@@ -1,0 +1,101 @@
+// Ablation: routing policy (ROV + Action-1 filters) on vs off.
+//
+// DESIGN.md calls out that the propagation substrate's filtering model is
+// load-bearing for every §9 result: with all filter policies removed,
+// RPKI-Invalid announcements propagate exactly like valid ones and the
+// MANRS-vs-non-MANRS differences of Figs 7-9 must disappear. This bench
+// demonstrates that.
+#include <cstdio>
+
+#include "harness.h"
+#include "ihr/dataset.h"
+
+using namespace manrs;
+
+namespace {
+
+struct Summary {
+  double large_manrs_zero_invalid = 0;   // % propagating zero RPKI-Invalid
+  double large_other_zero_invalid = 0;
+  double invalid_pref_positive = 0;      // Fig 9: % Invalid scores > 0
+  double valid_pref_positive = 0;
+};
+
+Summary summarize(const topogen::Scenario& scenario,
+                  const sim::PropagationSim& simulator) {
+  ihr::IhrSnapshotBuilder builder(simulator, scenario.vantage_points);
+  auto snapshot =
+      builder.build(scenario.announcements(), scenario.vrps, scenario.irr);
+  auto propagation = core::compute_propagation_stats(snapshot.transits);
+
+  size_t manrs_zero = 0, manrs_n = 0, other_zero = 0, other_n = 0;
+  for (const auto& [asn_value, stats] : propagation) {
+    net::Asn asn(asn_value);
+    if (astopo::classify_size(scenario.graph, asn) !=
+        astopo::SizeClass::kLarge) {
+      continue;
+    }
+    if (scenario.manrs.is_member(asn)) {
+      ++manrs_n;
+      manrs_zero += stats.rpki_invalid == 0;
+    } else {
+      ++other_n;
+      other_zero += stats.rpki_invalid == 0;
+    }
+  }
+  auto scores =
+      core::compute_preference_scores(snapshot.transits, scenario.manrs);
+  util::EmpiricalDistribution valid, invalid;
+  for (const auto& s : scores) {
+    if (s.rpki == rpki::RpkiStatus::kValid) valid.add(s.score);
+    if (rpki::is_invalid(s.rpki)) invalid.add(s.score);
+  }
+  Summary out;
+  out.large_manrs_zero_invalid =
+      manrs_n ? 100.0 * manrs_zero / manrs_n : 0.0;
+  out.large_other_zero_invalid =
+      other_n ? 100.0 * other_zero / other_n : 0.0;
+  out.valid_pref_positive =
+      valid.empty() ? 0 : 100.0 * (1.0 - valid.cdf(0.0));
+  out.invalid_pref_positive =
+      invalid.empty() ? 0 : 100.0 * (1.0 - invalid.cdf(0.0));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  benchx::print_title("ablate_filtering",
+                      "ablation: ROV / Action-1 filtering on vs off");
+  topogen::Scenario scenario =
+      topogen::build_scenario(benchx::config_from_env());
+
+  sim::PropagationSim with_policies = scenario.make_sim();
+  sim::PropagationSim no_policies(scenario.graph);  // default: no filters
+
+  Summary on = summarize(scenario, with_policies);
+  Summary off = summarize(scenario, no_policies);
+
+  benchx::print_section("large ASes propagating zero RPKI-Invalid");
+  std::printf("%-26s %14s %14s\n", "", "filtering on", "filtering off");
+  std::printf("%-26s %13.1f%% %13.1f%%\n", "large MANRS",
+              on.large_manrs_zero_invalid, off.large_manrs_zero_invalid);
+  std::printf("%-26s %13.1f%% %13.1f%%\n", "large non-MANRS",
+              on.large_other_zero_invalid, off.large_other_zero_invalid);
+
+  benchx::print_section("Fig 9 separation (share of scores > 0)");
+  std::printf("%-26s %14s %14s\n", "", "filtering on", "filtering off");
+  std::printf("%-26s %13.1f%% %13.1f%%\n", "RPKI Valid",
+              on.valid_pref_positive, off.valid_pref_positive);
+  std::printf("%-26s %13.1f%% %13.1f%%\n", "RPKI Invalid",
+              on.invalid_pref_positive, off.invalid_pref_positive);
+  std::printf("%-26s %13.1f %13.1f\n", "separation (pp)",
+              on.valid_pref_positive - on.invalid_pref_positive,
+              off.valid_pref_positive - off.invalid_pref_positive);
+  std::printf(
+      "\nInterpretation: without per-AS filtering, invalid announcements\n"
+      "traverse MANRS and non-MANRS transits alike -- the separation in\n"
+      "Fig 9 collapses, confirming filtering behaviour (not topology)\n"
+      "drives the paper's §9 results.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Extension bench: the MANRS Observatory view (the paper's reference [1])
+// computed from our measured data -- per-participant readiness by action,
+// bucket distribution, and per-RIR aggregates.
+#include <array>
+#include <cstdio>
+
+#include "core/observatory.h"
+#include "harness.h"
+
+using namespace manrs;
+
+int main() {
+  benchx::print_title("ext_observatory",
+                      "MANRS Observatory readiness (paper ref [1])");
+  benchx::Pipeline pipeline = benchx::Pipeline::build();
+  const topogen::Scenario& scenario = pipeline.scenario;
+
+  core::ObservatoryInputs inputs{
+      scenario.manrs,       scenario.irr,
+      scenario.peeringdb,   pipeline.snapshot.prefix_origins,
+      pipeline.snapshot.transits, scenario.snapshot_date};
+  auto readiness = core::score_participants(inputs);
+  auto summary = core::summarize(readiness);
+
+  benchx::print_section("ecosystem readiness");
+  std::printf("participants: %zu  ready %zu  aspiring %zu  lagging %zu\n",
+              readiness.size(), summary.ready, summary.aspiring,
+              summary.lagging);
+  std::printf("mean readiness: Action1 %.1f%%  Action3 %.1f%%  Action4 "
+              "%.1f%%  overall %.1f%%\n",
+              summary.mean_action1, summary.mean_action3,
+              summary.mean_action4, summary.mean_overall);
+
+  benchx::print_section("per-program readiness");
+  for (auto program : {core::Program::kIsp, core::Program::kCdn}) {
+    std::vector<core::ParticipantReadiness> subset;
+    for (const auto& r : readiness) {
+      if (r.program == program) subset.push_back(r);
+    }
+    auto s = core::summarize(subset);
+    std::printf("%-4s n=%-4zu A1 %.1f%% A3 %.1f%% A4 %.1f%% overall "
+                "%.1f%% (ready %zu / aspiring %zu / lagging %zu)\n",
+                std::string(core::to_string(program)).c_str(), subset.size(),
+                s.mean_action1, s.mean_action3, s.mean_action4,
+                s.mean_overall, s.ready, s.aspiring, s.lagging);
+  }
+
+  benchx::print_section("per-RIR readiness");
+  std::array<std::vector<core::ParticipantReadiness>, 5> by_rir;
+  for (const auto& r : readiness) {
+    const astopo::Organization* org =
+        scenario.as2org.find_organization(r.org_id);
+    if (org) by_rir[static_cast<size_t>(org->rir)].push_back(r);
+  }
+  for (net::Rir rir : net::kAllRirs) {
+    const auto& subset = by_rir[static_cast<size_t>(rir)];
+    if (subset.empty()) continue;
+    auto s = core::summarize(subset);
+    std::printf("%-8s n=%-4zu overall %.1f%% (ready %zu / aspiring %zu / "
+                "lagging %zu)\n",
+                std::string(net::rir_name(rir)).c_str(), subset.size(),
+                s.mean_overall, s.ready, s.aspiring, s.lagging);
+  }
+
+  benchx::print_section("worst laggards (what the private reports flag)");
+  std::vector<const core::ParticipantReadiness*> sorted;
+  for (const auto& r : readiness) sorted.push_back(&r);
+  std::sort(sorted.begin(), sorted.end(), [](auto* a, auto* b) {
+    return a->overall < b->overall;
+  });
+  for (size_t i = 0; i < sorted.size() && i < 8; ++i) {
+    std::printf("  %-12s %-4s A1 %5.1f%% A3 %5.1f%% A4 %5.1f%% -> %s\n",
+                sorted[i]->org_id.c_str(),
+                std::string(core::to_string(sorted[i]->program)).c_str(),
+                sorted[i]->action1, sorted[i]->action3, sorted[i]->action4,
+                std::string(core::to_string(sorted[i]->bucket)).c_str());
+  }
+  return 0;
+}

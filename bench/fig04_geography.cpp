@@ -1,0 +1,87 @@
+// Reproduces Fig 4a (MANRS ASes by RIR over time) and Fig 4b (percentage
+// of routed IPv4 address space announced by MANRS ASes, by RIR, over
+// time), including the anomalies the paper calls out: the 2020 Brazil
+// (LACNIC) AS jump and the 2020 APNIC/ARIN space jumps with the 2021 dip.
+#include <array>
+#include <cstdio>
+
+#include "astopo/prefix2as.h"
+#include "harness.h"
+
+using namespace manrs;
+
+int main() {
+  benchx::print_title("fig04_geography",
+                      "Fig 4a/4b (MANRS ASes and routed space by RIR)");
+  topogen::Scenario scenario =
+      topogen::build_scenario(benchx::config_from_env());
+
+  benchx::print_section("Fig 4a: MANRS ASes by RIR (cumulative)");
+  std::printf("%-6s", "year");
+  for (net::Rir rir : net::kAllRirs) {
+    std::printf("%10s", std::string(net::rir_name(rir)).c_str());
+  }
+  std::printf("%10s\n", "total");
+  for (int year = scenario.config.first_year;
+       year <= scenario.config.last_year; ++year) {
+    util::Date cutoff(year, 12, 31);
+    std::array<size_t, 5> counts{};
+    size_t total = 0;
+    for (net::Asn asn : scenario.manrs.member_ases_at(cutoff)) {
+      const topogen::AsProfile* profile = scenario.profile_of(asn);
+      if (!profile) continue;
+      ++counts[static_cast<size_t>(profile->rir)];
+      ++total;
+    }
+    std::printf("%-6d", year);
+    for (net::Rir rir : net::kAllRirs) {
+      std::printf("%10zu", counts[static_cast<size_t>(rir)]);
+    }
+    std::printf("%10zu\n", total);
+  }
+
+  benchx::print_section(
+      "Fig 4b: % of routed IPv4 space announced by MANRS ASes, by RIR");
+  std::printf("%-6s", "year");
+  for (net::Rir rir : net::kAllRirs) {
+    std::printf("%10s", std::string(net::rir_name(rir)).c_str());
+  }
+  std::printf("%10s\n", "total%");
+  for (int year = scenario.config.first_year;
+       year <= scenario.config.last_year; ++year) {
+    util::Date cutoff(year, 12, 31);
+    auto table = scenario.announcements_in_year(year);
+    astopo::Prefix2As all;
+    std::array<astopo::Prefix2As, 5> manrs_by_rir;
+    for (const auto& po : table) {
+      if (!po.prefix.is_v4()) continue;
+      all.push_back(po);
+      if (!scenario.manrs.is_member(po.origin, cutoff)) continue;
+      const topogen::AsProfile* profile = scenario.profile_of(po.origin);
+      if (!profile) continue;
+      manrs_by_rir[static_cast<size_t>(profile->rir)].push_back(po);
+    }
+    double total_space = astopo::routed_ipv4_space(all);
+    std::printf("%-6d", year);
+    double manrs_total = 0;
+    for (net::Rir rir : net::kAllRirs) {
+      double space =
+          astopo::routed_ipv4_space(manrs_by_rir[static_cast<size_t>(rir)]);
+      manrs_total += space;
+      std::printf("%9.2f%%", total_space > 0 ? 100.0 * space / total_space
+                                             : 0.0);
+    }
+    std::printf("%9.2f%%\n",
+                total_space > 0 ? 100.0 * manrs_total / total_space : 0.0);
+  }
+
+  benchx::print_section("anomaly checks vs paper");
+  benchx::print_vs_paper("LACNIC AS jump in 2020 (NIC.br outreach, ~90 ASes)",
+                         "see 4a LACNIC column", "Fig 4a");
+  benchx::print_vs_paper(
+      "APNIC space jump in 2020 (China-Telecom-like anchor)",
+      "see 4b APNIC column", "Fig 4b: AS4134 = 4.0% of routed v4 space");
+  benchx::print_vs_paper("ARIN space drop after 2020 (Lumen-like dip)",
+                         "see 4b ARIN column", "Fig 4b: 2021 dip");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces Fig 6: RPKI saturation (percentage of routed IPv4 address
+// space covered by validated ROAs) for MANRS vs non-MANRS networks,
+// 2015-2022, plus the §8.6 narrative statistics.
+#include <cstdio>
+
+#include "astopo/prefix2as.h"
+#include "harness.h"
+
+using namespace manrs;
+
+int main() {
+  benchx::print_title("fig06_saturation",
+                      "Fig 6 + Finding 8.8 / §8.6 (RPKI saturation)");
+  topogen::Scenario scenario =
+      topogen::build_scenario(benchx::config_from_env());
+
+  benchx::print_section("Fig 6 series: RPKI-covered % of routed v4 space");
+  std::printf("%-6s %12s %14s\n", "year", "MANRS", "non-MANRS");
+  double final_manrs = 0, final_other = 0;
+  for (int year = scenario.config.first_year;
+       year <= scenario.config.last_year; ++year) {
+    astopo::Prefix2As routed;
+    for (const auto& po : scenario.announcements_in_year(year)) {
+      routed.push_back(po);
+    }
+    rpki::VrpStore vrps = scenario.vrps_in_year(year);
+    // Membership as of that year: build a per-year view by filtering the
+    // registry with the cutoff date inside compute (the registry's
+    // is_member(asn) is date-less, so emulate by re-checking join dates).
+    core::ManrsRegistry as_of;
+    util::Date cutoff(year, 12, 31);
+    for (const auto& p : scenario.manrs.participants()) {
+      if (p.joined <= cutoff) as_of.add_participant(p);
+    }
+    auto result = core::compute_rpki_saturation(routed, vrps, as_of);
+    std::printf("%-6d %11.1f%% %13.1f%%\n", year, result.rsat_manrs(),
+                result.rsat_non_manrs());
+    final_manrs = result.rsat_manrs();
+    final_other = result.rsat_non_manrs();
+  }
+
+  benchx::print_section("Finding 8.8 checks (2022)");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", final_manrs);
+  benchx::print_vs_paper("MANRS RPKI saturation", buf, "58.2%");
+  std::snprintf(buf, sizeof(buf), "%.1f%%", final_other);
+  benchx::print_vs_paper("non-MANRS RPKI saturation", buf, "30.2%");
+
+  benchx::print_section("§8.6 narrative (May 2022 snapshot)");
+  astopo::Prefix2As routed;
+  for (const auto& po : scenario.announcements()) routed.push_back(po);
+  auto rpki_sat =
+      core::compute_rpki_saturation(routed, scenario.vrps, scenario.manrs);
+  auto irr_sat =
+      core::compute_irr_saturation(routed, scenario.irr, scenario.manrs);
+  double total_space =
+      rpki_sat.manrs_routed_space + rpki_sat.non_manrs_routed_space;
+  double vrp_uncovered =
+      100.0 - 100.0 * (rpki_sat.manrs_covered_space +
+                       rpki_sat.non_manrs_covered_space) /
+                  total_space;
+  double irr_uncovered =
+      100.0 - 100.0 * (irr_sat.manrs_covered_space +
+                       irr_sat.non_manrs_covered_space) /
+                  total_space;
+  std::snprintf(buf, sizeof(buf), "%.1f%%", vrp_uncovered);
+  benchx::print_vs_paper("routed v4 space with no covering VRP", buf,
+                         "64.8%");
+  std::snprintf(buf, sizeof(buf), "%.1f%%", irr_uncovered);
+  benchx::print_vs_paper("routed v4 space with no IRR route object", buf,
+                         "5.3%");
+  std::snprintf(buf, sizeof(buf), "%.1f%%", irr_sat.rsat_manrs());
+  benchx::print_vs_paper("MANRS space covered by IRR", buf, "95.0%");
+  std::snprintf(buf, sizeof(buf), "%.1f%%", irr_sat.rsat_non_manrs());
+  benchx::print_vs_paper("non-MANRS space covered by IRR", buf, "84.6%");
+  return 0;
+}

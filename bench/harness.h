@@ -1,0 +1,71 @@
+// Shared harness for the per-figure/per-table reproduction benches.
+//
+// Every bench builds the same paper-scale scenario (override with the
+// MANRS_SCALE environment variable: "tiny", "default", or "full") and
+// prints its figure or table as plain text, with the paper's published
+// value alongside where one exists. EXPERIMENTS.md collects the output.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/conformance.h"
+#include "ihr/dataset.h"
+#include "simulator/propagation.h"
+#include "topogen/scenario.h"
+#include "util/stats.h"
+
+namespace manrs::benchx {
+
+/// Scenario selected by MANRS_SCALE (default: paper_default).
+topogen::ScenarioConfig config_from_env();
+
+/// Classify announcements against the scenario's registries without
+/// running propagation (enough for the origination-side analyses).
+std::vector<ihr::PrefixOriginRecord> classify_only(
+    const topogen::Scenario& scenario,
+    const std::vector<bgp::PrefixOrigin>& announcements);
+
+/// The full pipeline: scenario + simulator + IHR snapshot. Construction
+/// cost is dominated by propagation, so benches that only need
+/// classification should use classify_only instead.
+struct Pipeline {
+  topogen::Scenario scenario;
+  sim::PropagationSim simulator;
+  ihr::IhrSnapshot snapshot;
+  std::unordered_map<uint32_t, core::OriginationStats> origination;
+  std::unordered_map<uint32_t, core::PropagationStats> propagation;
+
+  static Pipeline build();
+  static Pipeline build(const topogen::ScenarioConfig& config,
+                        bool with_transits = true);
+};
+
+/// Group key for the six Fig 5/7/8 populations.
+struct GroupKey {
+  astopo::SizeClass size;
+  bool manrs;
+};
+
+std::string group_label(const GroupKey& key, size_t n);
+
+/// Print helpers.
+void print_title(const std::string& bench, const std::string& artifact);
+void print_section(const std::string& name);
+/// One CDF as rows "x  F(x)" on a fixed grid plus summary quantiles.
+void print_cdf(const std::string& label,
+               const util::EmpiricalDistribution& dist, double lo, double hi,
+               size_t points = 11);
+/// "measured X (paper: Y)" line.
+void print_vs_paper(const std::string& what, const std::string& measured,
+                    const std::string& paper);
+
+/// When the MANRS_PLOT_DIR environment variable is set, write the full
+/// empirical CDF of `dist` as a gnuplot-ready two-column step file
+/// `<dir>/<bench>.<series>.dat` (x, F(x)); see plots/plot_all.gp. No-op
+/// otherwise.
+void export_cdf(const std::string& bench, const std::string& series,
+                const util::EmpiricalDistribution& dist);
+
+}  // namespace manrs::benchx

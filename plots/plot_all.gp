@@ -1,0 +1,61 @@
+# Gnuplot script for the paper's CDF figures.
+#
+# Generate the data files, then plot:
+#
+#   mkdir -p plots/data
+#   MANRS_PLOT_DIR=plots/data ./build/bench/fig05_origination
+#   MANRS_PLOT_DIR=plots/data ./build/bench/fig07_filtering
+#   MANRS_PLOT_DIR=plots/data ./build/bench/fig08_unconformant
+#   MANRS_PLOT_DIR=plots/data ./build/bench/fig09_preference
+#   gnuplot -e "datadir='plots/data'" plots/plot_all.gp
+#
+# Produces fig05a.png ... fig09.png next to the data directory.
+
+if (!exists("datadir")) datadir = "plots/data"
+
+set terminal pngcairo size 900,600 font ",11"
+set key bottom right
+set ylabel "CDF"
+set yrange [0:1]
+set grid
+
+set output datadir."/../fig05a.png"
+set title "Fig 5a: percent of originated RPKI Valid prefixes"
+set xlabel "Percent of originated RPKI Valid prefixes"
+set xrange [0:100]
+plot for [f in system("ls ".datadir."/fig05a.*.dat")] f using 1:2 \
+     with steps title system("basename ".f." .dat")[8:*]
+
+set output datadir."/../fig05b.png"
+set title "Fig 5b: percent of originated IRR Valid prefixes"
+set xlabel "Percent of originated IRR Valid prefixes"
+plot for [f in system("ls ".datadir."/fig05b.*.dat")] f using 1:2 \
+     with steps title system("basename ".f." .dat")[8:*]
+
+set output datadir."/../fig07a.png"
+set title "Fig 7a: percent of propagated RPKI Invalid prefixes"
+set xlabel "Percent of propagated RPKI Invalid prefixes"
+set xrange [0:2]
+plot for [f in system("ls ".datadir."/fig07a.*.dat")] f using 1:2 \
+     with steps title system("basename ".f." .dat")[8:*]
+
+set output datadir."/../fig07b.png"
+set title "Fig 7b: percent of propagated IRR Invalid prefixes"
+set xlabel "Percent of propagated IRR Invalid prefixes"
+set xrange [0:40]
+plot for [f in system("ls ".datadir."/fig07b.*.dat")] f using 1:2 \
+     with steps title system("basename ".f." .dat")[8:*]
+
+set output datadir."/../fig08.png"
+set title "Fig 8: percent of propagated MANRS-unconformant customer prefixes"
+set xlabel "Percent of propagated unconformant prefixes"
+set xrange [0:25]
+plot for [f in system("ls ".datadir."/fig08.*.dat")] f using 1:2 \
+     with steps title system("basename ".f." .dat")[7:*]
+
+set output datadir."/../fig09.png"
+set title "Fig 9: MANRS preference score by RPKI status"
+set xlabel "MANRS preference score"
+set xrange [-4:3]
+plot for [f in system("ls ".datadir."/fig09.*.dat")] f using 1:2 \
+     with steps title system("basename ".f." .dat")[7:*]

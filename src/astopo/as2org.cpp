@@ -1,0 +1,139 @@
+#include "astopo/as2org.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace manrs::astopo {
+
+void As2Org::add_organization(Organization org) {
+  orgs_[org.org_id] = std::move(org);
+}
+
+void As2Org::map_as(net::Asn asn, const std::string& org_id) {
+  auto it = as_to_org_.find(asn.value());
+  if (it != as_to_org_.end()) {
+    // Remove from the previous org's AS list.
+    auto& old_list = org_to_ases_[it->second];
+    old_list.erase(std::remove(old_list.begin(), old_list.end(), asn),
+                   old_list.end());
+  }
+  as_to_org_[asn.value()] = org_id;
+  org_to_ases_[org_id].push_back(asn);
+}
+
+const Organization* As2Org::organization_of(net::Asn asn) const {
+  auto it = as_to_org_.find(asn.value());
+  if (it == as_to_org_.end()) return nullptr;
+  return find_organization(it->second);
+}
+
+const Organization* As2Org::find_organization(const std::string& org_id) const {
+  auto it = orgs_.find(org_id);
+  return it == orgs_.end() ? nullptr : &it->second;
+}
+
+std::vector<net::Asn> As2Org::ases_of(const std::string& org_id) const {
+  auto it = org_to_ases_.find(org_id);
+  if (it == org_to_ases_.end()) return {};
+  std::vector<net::Asn> out = it->second;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool As2Org::are_siblings(net::Asn a, net::Asn b) const {
+  auto ita = as_to_org_.find(a.value());
+  auto itb = as_to_org_.find(b.value());
+  if (ita == as_to_org_.end() || itb == as_to_org_.end()) return false;
+  return ita->second == itb->second;
+}
+
+std::vector<std::string> As2Org::organization_ids() const {
+  std::vector<std::string> out;
+  out.reserve(orgs_.size());
+  for (const auto& [id, _] : orgs_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+AsAffinity As2Org::classify(net::Asn a, net::Asn b,
+                            const AsGraph& graph) const {
+  if (a == b) return AsAffinity::kSibling;
+  if (are_siblings(a, b)) return AsAffinity::kSibling;
+  if (graph.is_provider_of(a, b) || graph.is_provider_of(b, a)) {
+    return AsAffinity::kCustomerProvider;
+  }
+  return AsAffinity::kUnrelated;
+}
+
+void As2Org::write(std::ostream& out) const {
+  out << "# format:org_id|changed|name|country|source\n";
+  for (const auto& id : organization_ids()) {
+    const Organization& org = orgs_.at(id);
+    out << org.org_id << "|20220401|" << org.name << '|' << org.country
+        << '|' << net::rir_name(org.rir) << '\n';
+  }
+  out << "# format:aut|changed|aut_name|org_id|opaque_id|source\n";
+  std::vector<uint32_t> asns;
+  asns.reserve(as_to_org_.size());
+  for (const auto& [asn, _] : as_to_org_) asns.push_back(asn);
+  std::sort(asns.begin(), asns.end());
+  for (uint32_t asn : asns) {
+    const std::string& org_id = as_to_org_.at(asn);
+    const Organization* org = find_organization(org_id);
+    out << asn << "|20220401|AS" << asn << '|' << org_id << "||"
+        << (org ? std::string(net::rir_name(org->rir)) : std::string("?"))
+        << '\n';
+  }
+}
+
+As2Org As2Org::read(std::istream& in, size_t* bad_lines) {
+  As2Org out;
+  size_t bad = 0;
+  std::string line;
+  enum class Section { kUnknown, kOrg, kAut } section = Section::kUnknown;
+  while (std::getline(in, line)) {
+    std::string_view view = manrs::util::trim(line);
+    if (view.empty()) continue;
+    if (view.front() == '#') {
+      if (view.find("format:org_id") != std::string_view::npos) {
+        section = Section::kOrg;
+      } else if (view.find("format:aut") != std::string_view::npos) {
+        section = Section::kAut;
+      }
+      continue;
+    }
+    auto fields = manrs::util::split(view, '|');
+    if (section == Section::kOrg) {
+      if (fields.size() < 5) {
+        ++bad;
+        continue;
+      }
+      Organization org;
+      org.org_id = std::string(fields[0]);
+      org.name = std::string(fields[2]);
+      org.country = std::string(fields[3]);
+      if (auto rir = net::parse_rir(fields[4])) org.rir = *rir;
+      out.add_organization(std::move(org));
+    } else if (section == Section::kAut) {
+      if (fields.size() < 4) {
+        ++bad;
+        continue;
+      }
+      auto asn = net::Asn::parse(fields[0]);
+      if (!asn) {
+        ++bad;
+        continue;
+      }
+      out.map_as(*asn, std::string(fields[3]));
+    } else {
+      ++bad;
+    }
+  }
+  if (bad_lines) *bad_lines = bad;
+  return out;
+}
+
+}  // namespace manrs::astopo

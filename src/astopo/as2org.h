@@ -1,0 +1,69 @@
+// AS-to-organization mapping (CAIDA as2org dataset).
+//
+// The paper uses as2org to (1) find the headquarters country / RIR of
+// MANRS organizations (§6.3), (2) enumerate sibling ASes of MANRS members
+// for the registration-completeness analysis (Finding 7.0), and (3) label
+// mismatching origins as Sibling in Table 1. We implement the classic
+// pipe-separated CAIDA format with its two sections.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "astopo/graph.h"
+#include "netbase/asn.h"
+#include "netbase/rir.h"
+
+namespace manrs::astopo {
+
+struct Organization {
+  std::string org_id;
+  std::string name;
+  std::string country;  // ISO 3166 alpha-2
+  net::Rir rir = net::Rir::kRipe;
+};
+
+class As2Org {
+ public:
+  /// Register an organization (replaces any existing record with the same
+  /// org_id).
+  void add_organization(Organization org);
+
+  /// Map `asn` to organization `org_id` (last mapping wins).
+  void map_as(net::Asn asn, const std::string& org_id);
+
+  size_t organization_count() const { return orgs_.size(); }
+  size_t mapped_as_count() const { return as_to_org_.size(); }
+
+  const Organization* organization_of(net::Asn asn) const;
+  const Organization* find_organization(const std::string& org_id) const;
+
+  /// All ASes mapped to `org_id`, ascending.
+  std::vector<net::Asn> ases_of(const std::string& org_id) const;
+
+  /// Sibling test: both mapped, same organization.
+  bool are_siblings(net::Asn a, net::Asn b) const;
+
+  /// All org ids, sorted (deterministic iteration for reports).
+  std::vector<std::string> organization_ids() const;
+
+  /// Relationship classification used by Table 1: Sibling beats C-P beats
+  /// Unrelated.
+  AsAffinity classify(net::Asn a, net::Asn b, const AsGraph& graph) const;
+
+  /// CAIDA as2org flat-file format:
+  ///   # format:org_id|changed|name|country|source
+  ///   # format:aut|changed|aut_name|org_id|opaque_id|source
+  void write(std::ostream& out) const;
+  static As2Org read(std::istream& in, size_t* bad_lines = nullptr);
+
+ private:
+  std::unordered_map<std::string, Organization> orgs_;
+  std::unordered_map<uint32_t, std::string> as_to_org_;
+  std::unordered_map<std::string, std::vector<net::Asn>> org_to_ases_;
+};
+
+}  // namespace manrs::astopo

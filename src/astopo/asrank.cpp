@@ -1,0 +1,49 @@
+#include "astopo/asrank.h"
+
+#include <algorithm>
+
+namespace manrs::astopo {
+
+std::string_view to_string(SizeClass c) {
+  switch (c) {
+    case SizeClass::kSmall:
+      return "small";
+    case SizeClass::kMedium:
+      return "medium";
+    case SizeClass::kLarge:
+      return "large";
+  }
+  return "?";
+}
+
+SizeClass classify_degree(size_t customer_degree) {
+  if (customer_degree <= kSmallMaxDegree) return SizeClass::kSmall;
+  if (customer_degree <= kMediumMaxDegree) return SizeClass::kMedium;
+  return SizeClass::kLarge;
+}
+
+SizeClass classify_size(const AsGraph& graph, net::Asn asn) {
+  return classify_degree(graph.customer_degree(asn));
+}
+
+std::vector<AsRankEntry> compute_as_rank(const AsGraph& graph) {
+  std::vector<AsRankEntry> entries;
+  for (net::Asn asn : graph.all_asns()) {
+    AsRankEntry e;
+    e.asn = asn;
+    e.customer_cone_size = graph.customer_cone_size(asn);
+    e.customer_degree = graph.customer_degree(asn);
+    entries.push_back(e);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const AsRankEntry& a, const AsRankEntry& b) {
+              if (a.customer_cone_size != b.customer_cone_size) {
+                return a.customer_cone_size > b.customer_cone_size;
+              }
+              return a.asn < b.asn;
+            });
+  for (size_t i = 0; i < entries.size(); ++i) entries[i].rank = i + 1;
+  return entries;
+}
+
+}  // namespace manrs::astopo

@@ -1,0 +1,41 @@
+// AS size classification and ranking.
+//
+// §6.2 of the paper: ASes are classified by direct customer degree using
+// the Dhamdhere-Dovrolis thresholds -- small (<=2), medium (<=180), large
+// (>180) -- "to perform a fair comparison of conformance between ASes of
+// similar routing complexity". AS Rank orders ASes by customer-cone size,
+// as CAIDA's asrank.caida.org does.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "astopo/graph.h"
+#include "netbase/asn.h"
+
+namespace manrs::astopo {
+
+enum class SizeClass : uint8_t { kSmall = 0, kMedium = 1, kLarge = 2 };
+
+inline constexpr size_t kSmallMaxDegree = 2;
+inline constexpr size_t kMediumMaxDegree = 180;
+
+std::string_view to_string(SizeClass c);
+
+/// Classify by direct customer degree.
+SizeClass classify_size(const AsGraph& graph, net::Asn asn);
+SizeClass classify_degree(size_t customer_degree);
+
+struct AsRankEntry {
+  net::Asn asn;
+  size_t customer_cone_size = 0;
+  size_t customer_degree = 0;
+  size_t rank = 0;  // 1 = largest cone
+};
+
+/// Full AS-Rank table: sorted by cone size descending, ties broken by
+/// ascending ASN (deterministic).
+std::vector<AsRankEntry> compute_as_rank(const AsGraph& graph);
+
+}  // namespace manrs::astopo

@@ -1,0 +1,173 @@
+#include "astopo/graph.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace manrs::astopo {
+
+void AsGraph::add_as(net::Asn asn) { get(asn); }
+
+AsGraph::Node& AsGraph::get(net::Asn asn) { return nodes_[asn.value()]; }
+
+const AsGraph::Node* AsGraph::find(net::Asn asn) const {
+  auto it = nodes_.find(asn.value());
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+void AsGraph::add_provider_customer(net::Asn provider, net::Asn customer) {
+  if (provider == customer) return;
+  if (is_provider_of(provider, customer)) return;
+  get(provider).customers.push_back(customer);
+  get(customer).providers.push_back(provider);
+  ++edge_count_;
+}
+
+void AsGraph::add_peer_peer(net::Asn a, net::Asn b) {
+  if (a == b) return;
+  if (are_peers(a, b)) return;
+  get(a).peers.push_back(b);
+  get(b).peers.push_back(a);
+  ++edge_count_;
+}
+
+bool AsGraph::contains(net::Asn asn) const { return find(asn) != nullptr; }
+
+const std::vector<net::Asn>& AsGraph::customers(net::Asn asn) const {
+  static const std::vector<net::Asn> kEmpty;
+  const Node* n = find(asn);
+  return n ? n->customers : kEmpty;
+}
+
+const std::vector<net::Asn>& AsGraph::providers(net::Asn asn) const {
+  static const std::vector<net::Asn> kEmpty;
+  const Node* n = find(asn);
+  return n ? n->providers : kEmpty;
+}
+
+const std::vector<net::Asn>& AsGraph::peers(net::Asn asn) const {
+  static const std::vector<net::Asn> kEmpty;
+  const Node* n = find(asn);
+  return n ? n->peers : kEmpty;
+}
+
+bool AsGraph::is_provider_of(net::Asn provider, net::Asn customer) const {
+  const Node* n = find(provider);
+  if (!n) return false;
+  return std::find(n->customers.begin(), n->customers.end(), customer) !=
+         n->customers.end();
+}
+
+bool AsGraph::are_peers(net::Asn a, net::Asn b) const {
+  const Node* n = find(a);
+  if (!n) return false;
+  return std::find(n->peers.begin(), n->peers.end(), b) != n->peers.end();
+}
+
+std::vector<net::Asn> AsGraph::all_asns() const {
+  std::vector<net::Asn> out;
+  out.reserve(nodes_.size());
+  for (const auto& [value, _] : nodes_) out.emplace_back(value);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<net::Asn> AsGraph::customer_cone(net::Asn asn) const {
+  std::vector<net::Asn> cone;
+  if (!contains(asn)) return cone;
+  std::unordered_set<uint32_t> visited{asn.value()};
+  std::vector<net::Asn> frontier{asn};
+  cone.push_back(asn);
+  while (!frontier.empty()) {
+    net::Asn current = frontier.back();
+    frontier.pop_back();
+    for (net::Asn customer : customers(current)) {
+      if (visited.insert(customer.value()).second) {
+        cone.push_back(customer);
+        frontier.push_back(customer);
+      }
+    }
+  }
+  std::sort(cone.begin(), cone.end());
+  return cone;
+}
+
+size_t AsGraph::customer_cone_size(net::Asn asn) const {
+  if (!contains(asn)) return 0;
+  std::unordered_set<uint32_t> visited{asn.value()};
+  std::vector<net::Asn> frontier{asn};
+  while (!frontier.empty()) {
+    net::Asn current = frontier.back();
+    frontier.pop_back();
+    for (net::Asn customer : customers(current)) {
+      if (visited.insert(customer.value()).second) {
+        frontier.push_back(customer);
+      }
+    }
+  }
+  return visited.size();
+}
+
+void AsGraph::write_as_rel(std::ostream& out) const {
+  out << "# source: manrs-repro synthetic topology\n";
+  out << "# <provider-as>|<customer-as>|-1  or  <peer-as>|<peer-as>|0\n";
+  for (net::Asn asn : all_asns()) {
+    for (net::Asn customer : customers(asn)) {
+      out << asn.value() << '|' << customer.value() << "|-1\n";
+    }
+    for (net::Asn peer : peers(asn)) {
+      // Each p2p edge appears once, lower ASN first (CAIDA convention).
+      if (asn.value() < peer.value()) {
+        out << asn.value() << '|' << peer.value() << "|0\n";
+      }
+    }
+  }
+}
+
+AsGraph AsGraph::read_as_rel(std::istream& in, size_t* bad_lines) {
+  AsGraph graph;
+  size_t bad = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view view = manrs::util::trim(line);
+    if (view.empty() || view.front() == '#') continue;
+    auto fields = manrs::util::split(view, '|');
+    if (fields.size() < 3) {
+      ++bad;
+      continue;
+    }
+    auto a = net::Asn::parse(fields[0]);
+    auto b = net::Asn::parse(fields[1]);
+    auto rel = manrs::util::parse_int<int>(fields[2]);
+    if (!a || !b || !rel) {
+      ++bad;
+      continue;
+    }
+    if (*rel == -1) {
+      graph.add_provider_customer(*a, *b);
+    } else if (*rel == 0) {
+      graph.add_peer_peer(*a, *b);
+    } else {
+      ++bad;
+    }
+  }
+  if (bad_lines) *bad_lines = bad;
+  return graph;
+}
+
+std::string to_string(AsAffinity a) {
+  switch (a) {
+    case AsAffinity::kSibling:
+      return "Sibling";
+    case AsAffinity::kCustomerProvider:
+      return "C-P";
+    case AsAffinity::kUnrelated:
+      return "Unrelated";
+  }
+  return "?";
+}
+
+}  // namespace manrs::astopo

@@ -1,0 +1,92 @@
+// AS-level topology graph with business relationships.
+//
+// Mirrors CAIDA's AS Relationship dataset: directed provider-to-customer
+// (p2c) edges and undirected peer-to-peer (p2p) edges, serialized in the
+// "<as1>|<as2>|<rel>" format (rel -1 = as1 is provider of as2, 0 = peers).
+// The conformance analysis uses it to find each AS's direct customers
+// (Formula 6) and to classify mismatching-origin relationships (Table 1);
+// the propagation simulator uses it for Gao-Rexford routing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/asn.h"
+
+namespace manrs::astopo {
+
+enum class Relationship : uint8_t {
+  kProviderCustomer,  // first AS is the provider
+  kPeerPeer,
+};
+
+class AsGraph {
+ public:
+  /// Ensure `asn` exists as a node (isolated if no edges are added).
+  void add_as(net::Asn asn);
+
+  /// Add provider->customer edge. Duplicate edges are ignored.
+  void add_provider_customer(net::Asn provider, net::Asn customer);
+
+  /// Add a peering edge. Duplicate edges are ignored.
+  void add_peer_peer(net::Asn a, net::Asn b);
+
+  bool contains(net::Asn asn) const;
+  size_t as_count() const { return nodes_.size(); }
+  size_t edge_count() const { return edge_count_; }
+
+  /// Direct neighbors by role. Empty vector for unknown ASNs.
+  const std::vector<net::Asn>& customers(net::Asn asn) const;
+  const std::vector<net::Asn>& providers(net::Asn asn) const;
+  const std::vector<net::Asn>& peers(net::Asn asn) const;
+
+  /// Number of direct customers (the paper's "customer degree", §6.2).
+  size_t customer_degree(net::Asn asn) const {
+    return customers(asn).size();
+  }
+
+  bool is_provider_of(net::Asn provider, net::Asn customer) const;
+  bool are_peers(net::Asn a, net::Asn b) const;
+
+  /// All ASNs, ascending.
+  std::vector<net::Asn> all_asns() const;
+
+  /// Customer cone: the set of ASes reachable by only following
+  /// provider->customer edges from `asn`, including `asn` itself (CAIDA's
+  /// definition). Sorted ascending.
+  std::vector<net::Asn> customer_cone(net::Asn asn) const;
+  size_t customer_cone_size(net::Asn asn) const;
+
+  /// CAIDA serial-1 as-rel format.
+  void write_as_rel(std::ostream& out) const;
+  static AsGraph read_as_rel(std::istream& in, size_t* bad_lines = nullptr);
+
+ private:
+  struct Node {
+    std::vector<net::Asn> customers;
+    std::vector<net::Asn> providers;
+    std::vector<net::Asn> peers;
+  };
+  const Node* find(net::Asn asn) const;
+  Node& get(net::Asn asn);
+
+  std::unordered_map<uint32_t, Node> nodes_;
+  size_t edge_count_ = 0;
+};
+
+/// How two ASes are related, for the Table 1 breakdown of mismatching
+/// origins (§8.4): same organization, direct customer-provider (either
+/// direction), or unrelated.
+enum class AsAffinity : uint8_t {
+  kSibling,
+  kCustomerProvider,
+  kUnrelated,
+};
+
+std::string to_string(AsAffinity a);
+
+}  // namespace manrs::astopo

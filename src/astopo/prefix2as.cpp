@@ -1,0 +1,89 @@
+#include "astopo/prefix2as.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace manrs::astopo {
+
+void write_prefix2as(std::ostream& out, const Prefix2As& rows) {
+  for (const auto& row : rows) {
+    out << row.prefix.address().to_string() << '\t' << row.prefix.length()
+        << '\t' << row.origin.value() << '\n';
+  }
+}
+
+Prefix2As read_prefix2as(std::istream& in, size_t* bad_lines) {
+  Prefix2As rows;
+  size_t bad = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view view = manrs::util::trim(line);
+    if (view.empty() || view.front() == '#') continue;
+    auto fields = manrs::util::split_ws(view);
+    if (fields.size() < 3) {
+      ++bad;
+      continue;
+    }
+    auto addr = net::IpAddress::parse(fields[0]);
+    auto len = manrs::util::parse_uint<unsigned>(fields[1]);
+    if (!addr || !len || *len > addr->bits()) {
+      ++bad;
+      continue;
+    }
+    // CAIDA encodes multi-origin announcements as "as1_as2" and AS sets as
+    // "as1,as2"; emit one row per origin.
+    bool any = false;
+    for (auto part : manrs::util::split(fields[2], '_')) {
+      for (auto sub : manrs::util::split(part, ',')) {
+        if (auto asn = net::Asn::parse(sub)) {
+          rows.push_back(bgp::PrefixOrigin{net::Prefix(*addr, *len), *asn});
+          any = true;
+        }
+      }
+    }
+    if (!any) ++bad;
+  }
+  if (bad_lines) *bad_lines = bad;
+  return rows;
+}
+
+Prefix2As prefix2as_from_rib(const bgp::Rib& rib) {
+  Prefix2As rows = rib.prefix_origins();
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+double routed_ipv4_space(const Prefix2As& rows) {
+  // Union of [start, end) intervals over the 32-bit address space; 64-bit
+  // arithmetic avoids overflow at 2^32.
+  std::vector<std::pair<uint64_t, uint64_t>> intervals;
+  intervals.reserve(rows.size());
+  for (const auto& row : rows) {
+    if (!row.prefix.is_v4()) continue;
+    uint64_t start = row.prefix.address().v4_value();
+    uint64_t size = 1ULL << (32 - row.prefix.length());
+    intervals.emplace_back(start, start + size);
+  }
+  if (intervals.empty()) return 0.0;
+  std::sort(intervals.begin(), intervals.end());
+  uint64_t total = 0;
+  uint64_t cur_start = intervals[0].first;
+  uint64_t cur_end = intervals[0].second;
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].first <= cur_end) {
+      cur_end = std::max(cur_end, intervals[i].second);
+    } else {
+      total += cur_end - cur_start;
+      cur_start = intervals[i].first;
+      cur_end = intervals[i].second;
+    }
+  }
+  total += cur_end - cur_start;
+  return static_cast<double>(total);
+}
+
+}  // namespace manrs::astopo

@@ -1,0 +1,40 @@
+// CAIDA Routeviews prefix2as dataset (pfx2as).
+//
+// The paper's historical routing analysis runs over annual prefix2as
+// snapshots 2015-2022 (§5.1): tab-separated "address <TAB> length <TAB>
+// origin" lines derived from RouteViews RIBs. We read/write the same
+// format; in this reproduction the snapshots are derived from the
+// simulator's collector RIBs via from_rib(), which is exactly how CAIDA
+// derives theirs from RouteViews MRT dumps.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "bgp/rib.h"
+#include "bgp/route.h"
+#include "netbase/asn.h"
+#include "netbase/prefix.h"
+
+namespace manrs::astopo {
+
+/// One pfx2as row. Multi-origin prefixes appear as multiple rows (CAIDA
+/// encodes them as "as1_as2"; we split them into rows on write for
+/// simplicity of downstream joins -- the information content is the same).
+using Prefix2As = std::vector<bgp::PrefixOrigin>;
+
+void write_prefix2as(std::ostream& out, const Prefix2As& rows);
+Prefix2As read_prefix2as(std::istream& in, size_t* bad_lines = nullptr);
+
+/// Derive a pfx2as table from a collector RIB: every (prefix, origin) seen
+/// by any peer, sorted and de-duplicated.
+Prefix2As prefix2as_from_rib(const bgp::Rib& rib);
+
+/// Total IPv4 address space (as an address count) originated by the given
+/// origins in `rows`, counting each address once even when covered by
+/// multiple (overlapping) prefixes of the set. Used for Fig 4b and the
+/// RPKI-saturation analysis, which are fractions of *routed address
+/// space*.
+double routed_ipv4_space(const Prefix2As& rows);
+
+}  // namespace manrs::astopo

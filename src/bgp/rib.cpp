@@ -1,0 +1,72 @@
+#include "bgp/rib.h"
+
+#include <algorithm>
+
+namespace manrs::bgp {
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (size_t i = 0; i < hops_.size(); ++i) {
+    if (i) out += ' ';
+    out += "AS" + std::to_string(hops_[i].value());
+  }
+  return out;
+}
+
+uint32_t Rib::add_peer(net::Asn peer_asn) {
+  peers_.push_back(peer_asn);
+  return static_cast<uint32_t>(peers_.size() - 1);
+}
+
+void Rib::insert(const net::Prefix& prefix, uint32_t peer_index,
+                 AsPath path) {
+  auto& entries = table_[prefix];
+  for (auto& e : entries) {
+    if (e.peer_index == peer_index) {
+      e.path = std::move(path);
+      return;
+    }
+  }
+  entries.push_back(RibEntry{peer_index, std::move(path)});
+}
+
+size_t Rib::entry_count() const {
+  size_t n = 0;
+  for (const auto& [_, entries] : table_) n += entries.size();
+  return n;
+}
+
+const std::vector<RibEntry>& Rib::entries(const net::Prefix& prefix) const {
+  static const std::vector<RibEntry> kEmpty;
+  auto it = table_.find(prefix);
+  return it == table_.end() ? kEmpty : it->second;
+}
+
+std::vector<PrefixOrigin> Rib::prefix_origins() const {
+  std::vector<PrefixOrigin> out;
+  for (const auto& [prefix, entries] : table_) {
+    std::vector<net::Asn> origins;
+    for (const auto& e : entries) {
+      if (auto origin = e.path.origin()) origins.push_back(*origin);
+    }
+    std::sort(origins.begin(), origins.end());
+    origins.erase(std::unique(origins.begin(), origins.end()), origins.end());
+    for (net::Asn o : origins) out.push_back(PrefixOrigin{prefix, o});
+  }
+  return out;
+}
+
+std::vector<net::Prefix> Rib::prefixes_originated_by(net::Asn asn) const {
+  std::vector<net::Prefix> out;
+  for (const auto& [prefix, entries] : table_) {
+    for (const auto& e : entries) {
+      if (e.path.origin() == asn) {
+        out.push_back(prefix);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace manrs::bgp

@@ -1,0 +1,65 @@
+// Routing Information Base.
+//
+// A Rib stores, per prefix, the routes learned from each peer (Adj-RIB-In
+// collapsed into one table, the way a route collector's RIB dump looks)
+// and can answer the queries the measurement pipeline needs: all
+// prefix-origin pairs, all paths toward a prefix, and per-origin prefix
+// sets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/route.h"
+#include "netbase/prefix.h"
+
+namespace manrs::bgp {
+
+/// One RIB entry: a path learned from a peer.
+struct RibEntry {
+  uint32_t peer_index = 0;  // collector peer that contributed the path
+  AsPath path;
+};
+
+class Rib {
+ public:
+  /// Register a collector peer; returns its index. `peer_asn` is the AS the
+  /// collector sessions with.
+  uint32_t add_peer(net::Asn peer_asn);
+
+  size_t peer_count() const { return peers_.size(); }
+  net::Asn peer_asn(uint32_t index) const { return peers_.at(index); }
+
+  /// Insert a path for `prefix` from peer `peer_index`. Duplicate paths
+  /// from the same peer replace the previous one (a RIB has one best path
+  /// per peer per prefix).
+  void insert(const net::Prefix& prefix, uint32_t peer_index, AsPath path);
+
+  size_t prefix_count() const { return table_.size(); }
+  size_t entry_count() const;
+
+  /// All entries for `prefix` (empty if none).
+  const std::vector<RibEntry>& entries(const net::Prefix& prefix) const;
+
+  /// Iterate over (prefix, entries) in deterministic (sorted) order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [prefix, entries] : table_) fn(prefix, entries);
+  }
+
+  /// Distinct (prefix, origin) pairs across all peers, sorted.
+  std::vector<PrefixOrigin> prefix_origins() const;
+
+  /// Prefixes originated by `asn` (distinct, sorted).
+  std::vector<net::Prefix> prefixes_originated_by(net::Asn asn) const;
+
+ private:
+  std::vector<net::Asn> peers_;
+  std::map<net::Prefix, std::vector<RibEntry>> table_;
+};
+
+}  // namespace manrs::bgp

@@ -1,0 +1,114 @@
+// BGP route model: AS paths, announcements, and prefix-origin pairs.
+//
+// The unit of the paper's analysis is the *prefix-origin pair* (§6.4):
+// everything in the pipeline eventually reduces BGP state to (prefix,
+// origin AS) plus the set of transit ASes observed on paths toward it.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "netbase/asn.h"
+#include "netbase/prefix.h"
+
+namespace manrs::bgp {
+
+/// An AS_PATH as a flat sequence of ASNs (AS_SEQUENCE semantics; the
+/// simulator never emits AS_SETs, and the MRT codec rejects them on read
+/// the way most measurement pipelines do -- they are deprecated, RFC 6472).
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<net::Asn> hops) : hops_(std::move(hops)) {}
+
+  const std::vector<net::Asn>& hops() const { return hops_; }
+  bool empty() const { return hops_.empty(); }
+  size_t length() const { return hops_.size(); }
+
+  /// The origin AS is the last hop; nullopt for an empty path.
+  std::optional<net::Asn> origin() const {
+    if (hops_.empty()) return std::nullopt;
+    return hops_.back();
+  }
+
+  /// The neighbor the route was learned from is the first hop.
+  std::optional<net::Asn> first_hop() const {
+    if (hops_.empty()) return std::nullopt;
+    return hops_.front();
+  }
+
+  /// New path with `asn` prepended (what an AS does when exporting).
+  AsPath prepend(net::Asn asn) const {
+    std::vector<net::Asn> hops;
+    hops.reserve(hops_.size() + 1);
+    hops.push_back(asn);
+    hops.insert(hops.end(), hops_.begin(), hops_.end());
+    return AsPath(std::move(hops));
+  }
+
+  /// Loop detection: true if `asn` already appears in the path.
+  bool contains(net::Asn asn) const {
+    for (net::Asn hop : hops_) {
+      if (hop == asn) return true;
+    }
+    return false;
+  }
+
+  bool has_loop() const {
+    std::unordered_set<uint32_t> seen;
+    net::Asn prev{};
+    bool first = true;
+    for (net::Asn hop : hops_) {
+      // Consecutive repeats are prepending, not loops.
+      if (!first && hop == prev) continue;
+      if (!seen.insert(hop.value()).second) return true;
+      prev = hop;
+      first = false;
+    }
+    return false;
+  }
+
+  /// "AS1 AS2 AS3".
+  std::string to_string() const;
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<net::Asn> hops_;
+};
+
+/// A route as seen at some vantage point.
+struct Route {
+  net::Prefix prefix;
+  AsPath path;
+
+  std::optional<net::Asn> origin() const { return path.origin(); }
+};
+
+/// The analysis key: one announced prefix and its origin AS.
+struct PrefixOrigin {
+  net::Prefix prefix;
+  net::Asn origin;
+
+  std::string to_string() const {
+    return prefix.to_string() + " " + origin.to_string();
+  }
+
+  friend auto operator<=>(const PrefixOrigin&, const PrefixOrigin&) = default;
+};
+
+}  // namespace manrs::bgp
+
+template <>
+struct std::hash<manrs::bgp::PrefixOrigin> {
+  size_t operator()(const manrs::bgp::PrefixOrigin& po) const noexcept {
+    size_t h = std::hash<manrs::net::Prefix>{}(po.prefix);
+    size_t h2 = std::hash<manrs::net::Asn>{}(po.origin);
+    return h ^ (h2 + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  }
+};

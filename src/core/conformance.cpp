@@ -1,0 +1,233 @@
+#include "core/conformance.h"
+
+#include <algorithm>
+
+namespace manrs::core {
+
+ConformanceClass classify_conformance(rpki::RpkiStatus rpki,
+                                      irr::IrrStatus irr) {
+  if (rpki == rpki::RpkiStatus::kValid || irr == irr::IrrStatus::kValid ||
+      irr == irr::IrrStatus::kInvalidLength) {
+    return ConformanceClass::kConformant;
+  }
+  if (rpki::is_invalid(rpki) || irr == irr::IrrStatus::kInvalidAsn) {
+    return ConformanceClass::kUnconformant;
+  }
+  return ConformanceClass::kUnregistered;
+}
+
+namespace {
+double pct(size_t num, size_t den) {
+  return den == 0 ? 0.0
+                  : 100.0 * static_cast<double>(num) /
+                        static_cast<double>(den);
+}
+}  // namespace
+
+double OriginationStats::og_rpki_valid() const {
+  return pct(rpki_valid, total);
+}
+double OriginationStats::og_irr_valid() const { return pct(irr_valid, total); }
+double OriginationStats::og_conformant() const {
+  return pct(conformant, total);
+}
+
+double PropagationStats::pg_rpki_invalid() const {
+  return pct(rpki_invalid, total);
+}
+double PropagationStats::pg_irr_invalid() const {
+  return pct(irr_invalid, total);
+}
+double PropagationStats::pg_unconformant() const {
+  return pct(customer_unconformant, customer_total);
+}
+
+std::unordered_map<uint32_t, OriginationStats> compute_origination_stats(
+    const std::vector<ihr::PrefixOriginRecord>& records) {
+  std::unordered_map<uint32_t, OriginationStats> out;
+  for (const auto& r : records) {
+    OriginationStats& s = out[r.origin.value()];
+    ++s.total;
+    switch (r.rpki) {
+      case rpki::RpkiStatus::kValid:
+        ++s.rpki_valid;
+        break;
+      case rpki::RpkiStatus::kInvalidAsn:
+      case rpki::RpkiStatus::kInvalidLength:
+        ++s.rpki_invalid;
+        break;
+      case rpki::RpkiStatus::kNotFound:
+        ++s.rpki_not_found;
+        break;
+    }
+    switch (r.irr) {
+      case irr::IrrStatus::kValid:
+        ++s.irr_valid;
+        break;
+      case irr::IrrStatus::kInvalidAsn:
+        ++s.irr_invalid;
+        break;
+      case irr::IrrStatus::kInvalidLength:
+        ++s.irr_invalid_len;
+        break;
+      case irr::IrrStatus::kNotFound:
+        ++s.irr_not_found;
+        break;
+    }
+    if (classify_conformance(r.rpki, r.irr) == ConformanceClass::kConformant) {
+      ++s.conformant;
+    }
+  }
+  return out;
+}
+
+std::unordered_map<uint32_t, PropagationStats> compute_propagation_stats(
+    const std::vector<ihr::TransitRecord>& records) {
+  std::unordered_map<uint32_t, PropagationStats> out;
+  for (const auto& r : records) {
+    PropagationStats& s = out[r.transit.value()];
+    ++s.total;
+    if (rpki::is_invalid(r.rpki)) ++s.rpki_invalid;
+    if (r.irr == irr::IrrStatus::kInvalidAsn) ++s.irr_invalid;
+    if (r.via_customer) {
+      ++s.customer_total;
+      if (classify_conformance(r.rpki, r.irr) ==
+          ConformanceClass::kUnconformant) {
+        ++s.customer_unconformant;
+      }
+    }
+  }
+  return out;
+}
+
+Action4Verdict check_action4(const OriginationStats* stats, Program program) {
+  Action4Verdict verdict;
+  if (stats == nullptr || stats->total == 0) {
+    // §8.3: ASes that originate nothing are trivially conformant.
+    verdict.conformant = true;
+    verdict.trivially = true;
+    verdict.og_conformant = 100.0;
+    return verdict;
+  }
+  verdict.og_conformant = stats->og_conformant();
+  double threshold = action4_threshold(program);
+  // The CDN requirement is "all prefixes": compare counts, not a float
+  // percentage, to avoid 99.99%-rounds-to-100 artifacts.
+  if (threshold >= 100.0) {
+    verdict.conformant = stats->conformant == stats->total;
+  } else {
+    verdict.conformant = verdict.og_conformant >= threshold;
+  }
+  return verdict;
+}
+
+Action1Verdict check_action1(const PropagationStats* stats) {
+  Action1Verdict verdict;
+  if (stats == nullptr || stats->total == 0) {
+    verdict.conformant = true;
+    verdict.trivially = true;
+    return verdict;
+  }
+  verdict.provides_transit = true;
+  verdict.pg_unconformant = stats->pg_unconformant();
+  verdict.conformant = stats->customer_unconformant == 0;
+  return verdict;
+}
+
+namespace {
+
+/// Union size of IPv4 intervals.
+double interval_union(std::vector<std::pair<uint64_t, uint64_t>>& intervals) {
+  if (intervals.empty()) return 0.0;
+  std::sort(intervals.begin(), intervals.end());
+  uint64_t total = 0;
+  uint64_t start = intervals[0].first;
+  uint64_t end = intervals[0].second;
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].first <= end) {
+      end = std::max(end, intervals[i].second);
+    } else {
+      total += end - start;
+      start = intervals[i].first;
+      end = intervals[i].second;
+    }
+  }
+  total += end - start;
+  return static_cast<double>(total);
+}
+
+template <typename CoveredFn>
+SaturationResult compute_saturation(const astopo::Prefix2As& routed,
+                                    const ManrsRegistry& registry,
+                                    CoveredFn&& covered) {
+  std::vector<std::pair<uint64_t, uint64_t>> manrs_all, manrs_cov;
+  std::vector<std::pair<uint64_t, uint64_t>> other_all, other_cov;
+  for (const auto& row : routed) {
+    if (!row.prefix.is_v4()) continue;
+    uint64_t start = row.prefix.address().v4_value();
+    uint64_t size = 1ULL << (32 - row.prefix.length());
+    bool member = registry.is_member(row.origin);
+    auto& all = member ? manrs_all : other_all;
+    auto& cov = member ? manrs_cov : other_cov;
+    all.emplace_back(start, start + size);
+    if (covered(row.prefix)) cov.emplace_back(start, start + size);
+  }
+  SaturationResult result;
+  result.manrs_routed_space = interval_union(manrs_all);
+  result.manrs_covered_space = interval_union(manrs_cov);
+  result.non_manrs_routed_space = interval_union(other_all);
+  result.non_manrs_covered_space = interval_union(other_cov);
+  return result;
+}
+
+}  // namespace
+
+SaturationResult compute_rpki_saturation(const astopo::Prefix2As& routed,
+                                         const rpki::VrpStore& vrps,
+                                         const ManrsRegistry& registry) {
+  return compute_saturation(routed, registry, [&](const net::Prefix& p) {
+    return vrps.covered(p);
+  });
+}
+
+SaturationResult compute_irr_saturation(const astopo::Prefix2As& routed,
+                                        const irr::IrrRegistry& irr_registry,
+                                        const ManrsRegistry& registry) {
+  return compute_saturation(routed, registry, [&](const net::Prefix& p) {
+    return irr_registry.covered(p);
+  });
+}
+
+std::vector<PreferenceScore> compute_preference_scores(
+    const std::vector<ihr::TransitRecord>& transits,
+    const ManrsRegistry& registry) {
+  // Aggregate per prefix-origin. std::map keeps deterministic output
+  // order.
+  struct Acc {
+    rpki::RpkiStatus rpki = rpki::RpkiStatus::kNotFound;
+    double manrs_sum = 0.0;
+    double other_sum = 0.0;
+  };
+  std::map<bgp::PrefixOrigin, Acc> acc;
+  for (const auto& t : transits) {
+    Acc& a = acc[bgp::PrefixOrigin{t.prefix, t.origin}];
+    a.rpki = t.rpki;
+    if (registry.is_member(t.transit)) {
+      a.manrs_sum += t.hegemony;
+    } else {
+      a.other_sum += t.hegemony;
+    }
+  }
+  std::vector<PreferenceScore> out;
+  out.reserve(acc.size());
+  for (const auto& [po, a] : acc) {
+    PreferenceScore score;
+    score.prefix_origin = po;
+    score.rpki = a.rpki;
+    score.score = a.manrs_sum - a.other_sum;
+    out.push_back(score);
+  }
+  return out;
+}
+
+}  // namespace manrs::core

@@ -1,0 +1,151 @@
+// The MANRS conformance engine: Formulas 1-8 of the paper (§6.4-6.5).
+//
+// Definitions (§6.4): a prefix-origin pair is
+//   * MANRS-conformant   if RPKI Valid, or IRR Valid, or IRR Invalid
+//     Length (IRR has no max-length attribute, so de-aggregated
+//     traffic-engineering announcements are tolerated, §3);
+//   * MANRS-unconformant if RPKI Invalid, or (RPKI NotFound and IRR
+//     Invalid);
+//   * neither (unregistered) when both registries have no covering record
+//     -- counted in totals but in neither numerator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "astopo/prefix2as.h"
+#include "core/manrs.h"
+#include "ihr/dataset.h"
+#include "irr/validation.h"
+#include "rpki/validation.h"
+
+namespace manrs::core {
+
+/// The paper's tri-state classification of one prefix-origin.
+enum class ConformanceClass : uint8_t {
+  kConformant,
+  kUnconformant,
+  kUnregistered,
+};
+
+ConformanceClass classify_conformance(rpki::RpkiStatus rpki,
+                                      irr::IrrStatus irr);
+
+/// Per-AS origination behaviour (§6.4 "Prefix Origination Behavior").
+struct OriginationStats {
+  size_t total = 0;          // prefixes originated
+  size_t rpki_valid = 0;     // RPKI Valid
+  size_t rpki_invalid = 0;   // RPKI Invalid or Invalid Length
+  size_t rpki_not_found = 0;
+  size_t irr_valid = 0;      // IRR Valid
+  size_t irr_invalid = 0;    // IRR Invalid (wrong origin)
+  size_t irr_invalid_len = 0;
+  size_t irr_not_found = 0;
+  size_t conformant = 0;     // MANRS-conformant pairs
+
+  /// Formula 1: percent RPKI Valid of originated prefixes.
+  double og_rpki_valid() const;
+  /// Formula 2: percent IRR Valid of originated prefixes.
+  double og_irr_valid() const;
+  /// Formula 3: percent MANRS-conformant of originated prefixes.
+  double og_conformant() const;
+};
+
+/// Per-AS propagation behaviour (§6.4 "Route Filtering Behavior").
+struct PropagationStats {
+  size_t total = 0;               // prefixes propagated (transited)
+  size_t rpki_invalid = 0;        // RPKI Invalid + Invalid Length
+  size_t irr_invalid = 0;         // IRR Invalid
+  size_t customer_total = 0;      // propagated and learned from a customer
+  size_t customer_unconformant = 0;
+
+  /// Formula 4: percent RPKI-invalid of propagated prefixes.
+  double pg_rpki_invalid() const;
+  /// Formula 5: percent IRR-invalid of propagated prefixes.
+  double pg_irr_invalid() const;
+  /// Formula 6: percent MANRS-unconformant of propagated *customer*
+  /// prefixes.
+  double pg_unconformant() const;
+};
+
+/// Aggregate origination stats per origin AS from the IHR prefix-origin
+/// dataset. Every distinct (prefix, origin) counts once.
+std::unordered_map<uint32_t, OriginationStats> compute_origination_stats(
+    const std::vector<ihr::PrefixOriginRecord>& records);
+
+/// Aggregate propagation stats per transit AS from the IHR transit
+/// dataset. Every distinct (prefix, origin, transit) counts once.
+std::unordered_map<uint32_t, PropagationStats> compute_propagation_stats(
+    const std::vector<ihr::TransitRecord>& records);
+
+/// Action 4 verdict for one AS in a program (§8.3). An AS that originates
+/// nothing is trivially conformant.
+struct Action4Verdict {
+  bool conformant = false;
+  bool trivially = false;  // no originated prefixes
+  double og_conformant = 0.0;
+};
+
+Action4Verdict check_action4(const OriginationStats* stats, Program program);
+
+/// Action 1 verdict (§9.3): fully conformant iff no propagated customer
+/// announcement is MANRS-unconformant; trivially conformant when the AS
+/// propagates nothing.
+struct Action1Verdict {
+  bool conformant = false;
+  bool trivially = false;       // propagated no announcements at all
+  bool provides_transit = false;
+  double pg_unconformant = 0.0;
+};
+
+Action1Verdict check_action1(const PropagationStats* stats);
+
+/// RPKI saturation (Formulas 7-8): the fraction of routed IPv4 address
+/// space covered by a VRP, split by MANRS membership. Address space is a
+/// union of intervals (no double counting across overlapping prefixes).
+struct SaturationResult {
+  double manrs_routed_space = 0.0;
+  double manrs_covered_space = 0.0;
+  double non_manrs_routed_space = 0.0;
+  double non_manrs_covered_space = 0.0;
+
+  double rsat_manrs() const {
+    return manrs_routed_space > 0
+               ? 100.0 * manrs_covered_space / manrs_routed_space
+               : 0.0;
+  }
+  double rsat_non_manrs() const {
+    return non_manrs_routed_space > 0
+               ? 100.0 * non_manrs_covered_space / non_manrs_routed_space
+               : 0.0;
+  }
+};
+
+SaturationResult compute_rpki_saturation(const astopo::Prefix2As& routed,
+                                         const rpki::VrpStore& vrps,
+                                         const ManrsRegistry& registry);
+
+/// IRR coverage analog used for the §8.6 narrative (64.8% of v4 space had
+/// no VRP vs 5.3% no IRR object).
+SaturationResult compute_irr_saturation(const astopo::Prefix2As& routed,
+                                        const irr::IrrRegistry& irr_registry,
+                                        const ManrsRegistry& registry);
+
+/// MANRS preference score (Formula 9, §6.5): for one prefix-origin, the
+/// sum of MANRS transit hegemony scores minus the sum of non-MANRS ones.
+/// Positive means the announcement is more likely to traverse MANRS
+/// networks.
+struct PreferenceScore {
+  bgp::PrefixOrigin prefix_origin;
+  rpki::RpkiStatus rpki = rpki::RpkiStatus::kNotFound;
+  double score = 0.0;
+};
+
+std::vector<PreferenceScore> compute_preference_scores(
+    const std::vector<ihr::TransitRecord>& transits,
+    const ManrsRegistry& registry);
+
+}  // namespace manrs::core

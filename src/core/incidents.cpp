@@ -1,0 +1,128 @@
+#include "core/incidents.h"
+
+#include <algorithm>
+
+namespace manrs::core {
+
+std::string_view to_string(IncidentKind kind) {
+  switch (kind) {
+    case IncidentKind::kMoasConflict:
+      return "moas-conflict";
+    case IncidentKind::kRpkiInvalidOrigin:
+      return "rpki-invalid-origin";
+  }
+  return "?";
+}
+
+void IncidentDetector::observe(const std::vector<bgp::PrefixOrigin>& table) {
+  size_t snapshot = snapshot_count_++;
+
+  if (snapshot == 0) {
+    // First snapshot establishes the baseline origins. RPKI-invalid
+    // originations present from the start still open incidents (they are
+    // observable misconfigurations); MOAS needs history, so prefixes with
+    // multiple initial origins are treated as legitimate multi-origin
+    // (anycast etc.).
+    for (const auto& po : table) {
+      baseline_[po.prefix].push_back(po.origin);
+    }
+    for (auto& [prefix, origins] : baseline_) {
+      std::sort(origins.begin(), origins.end());
+      origins.erase(std::unique(origins.begin(), origins.end()),
+                    origins.end());
+    }
+  }
+
+  std::unordered_map<Key, bool, KeyHash> offending_now;
+  for (const auto& po : table) {
+    bool rpki_invalid =
+        rpki::is_invalid(vrps_.validate(po.prefix, po.origin));
+    bool moas = false;
+    if (snapshot > 0) {
+      auto it = baseline_.find(po.prefix);
+      if (it != baseline_.end() &&
+          std::find(it->second.begin(), it->second.end(), po.origin) ==
+              it->second.end()) {
+        moas = true;
+      }
+    }
+    if (!rpki_invalid && !moas) continue;
+
+    Key key{po.prefix, po.origin};
+    offending_now.emplace(key, true);
+    auto open_it = open_.find(key);
+    if (open_it != open_.end()) {
+      Incident& incident = list_[open_it->second];
+      incident.last_snapshot = snapshot;
+      continue;
+    }
+    Incident incident;
+    // MOAS takes precedence as the more specific diagnosis.
+    incident.kind = moas ? IncidentKind::kMoasConflict
+                         : IncidentKind::kRpkiInvalidOrigin;
+    incident.prefix = po.prefix;
+    incident.offender = po.origin;
+    if (moas) {
+      incident.established = baseline_.at(po.prefix).front();
+    }
+    incident.first_snapshot = snapshot;
+    incident.last_snapshot = snapshot;
+    open_.emplace(key, list_.size());
+    list_.push_back(incident);
+  }
+
+  // Close incidents whose offending pair disappeared.
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (!offending_now.count(it->first)) {
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<Incident> IncidentDetector::incidents() const {
+  std::vector<Incident> out = list_;
+  for (auto& incident : out) {
+    incident.ongoing =
+        snapshot_count_ > 0 && incident.last_snapshot == snapshot_count_ - 1;
+  }
+  return out;
+}
+
+IncidentSummary summarize_incidents(const std::vector<Incident>& incidents,
+                                    const ManrsRegistry& registry,
+                                    size_t member_origin_count,
+                                    size_t other_origin_count) {
+  IncidentSummary summary;
+  double total_duration = 0;
+  for (const auto& incident : incidents) {
+    ++summary.total;
+    if (incident.kind == IncidentKind::kMoasConflict) ++summary.moas;
+    if (incident.kind == IncidentKind::kRpkiInvalidOrigin) {
+      ++summary.rpki_invalid;
+    }
+    if (registry.is_member(incident.offender)) {
+      ++summary.by_manrs_members;
+    } else {
+      ++summary.by_others;
+    }
+    total_duration += static_cast<double>(incident.duration());
+  }
+  if (summary.total > 0) {
+    summary.mean_duration = total_duration / summary.total;
+  }
+  if (member_origin_count > 0) {
+    summary.member_rate_per_origin =
+        static_cast<double>(summary.by_manrs_members) /
+        static_cast<double>(member_origin_count);
+  }
+  if (other_origin_count > 0) {
+    summary.other_rate_per_origin =
+        static_cast<double>(summary.by_others) /
+        static_cast<double>(other_origin_count);
+  }
+  return summary;
+}
+
+}  // namespace manrs::core

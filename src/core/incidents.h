@@ -1,0 +1,103 @@
+// Routing-incident detection -- the paper's §12 future work: "we plan to
+// further study the impact of MANRS by comparing the number of routing
+// incidents before and after the launch of MANRS".
+//
+// The detector consumes a sequence of routing-table snapshots (or the
+// update stream derived from them) and flags two incident classes:
+//
+//   * MOAS conflict: a prefix acquires an origin AS that conflicts with
+//     its established origin (the classic hijack/leak signature, as in
+//     ARTEMIS [50]);
+//   * RPKI-invalid origination episode: a (prefix, origin) appears whose
+//     RPKI status is Invalid -- the paper's conformance lens applied to
+//     events instead of snapshots.
+//
+// An incident spans consecutive snapshots: it opens when the offending
+// pair first appears and closes when it disappears.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "bgp/route.h"
+#include "core/manrs.h"
+#include "rpki/validation.h"
+
+namespace manrs::core {
+
+enum class IncidentKind : uint8_t {
+  kMoasConflict = 0,
+  kRpkiInvalidOrigin = 1,
+};
+
+std::string_view to_string(IncidentKind kind);
+
+struct Incident {
+  IncidentKind kind = IncidentKind::kMoasConflict;
+  net::Prefix prefix;
+  net::Asn offender;          // the origin that triggered the incident
+  net::Asn established;       // the pre-existing origin (MOAS only)
+  size_t first_snapshot = 0;  // index where the incident opened
+  size_t last_snapshot = 0;   // last index where it was visible
+  bool ongoing = false;       // still visible in the final snapshot
+
+  size_t duration() const { return last_snapshot - first_snapshot + 1; }
+};
+
+/// Streaming detector: feed snapshots in order, then take the incidents.
+class IncidentDetector {
+ public:
+  /// `vrps` drives the RPKI-invalid classification; it is assumed stable
+  /// across the window (true for the paper's 3-month window, §8.5).
+  explicit IncidentDetector(const rpki::VrpStore& vrps) : vrps_(vrps) {}
+
+  /// Process the next snapshot (a full table of prefix-origin pairs).
+  void observe(const std::vector<bgp::PrefixOrigin>& table);
+
+  size_t snapshots_observed() const { return snapshot_count_; }
+
+  /// All incidents, opened order. Incidents still visible in the last
+  /// observed snapshot are marked ongoing.
+  std::vector<Incident> incidents() const;
+
+ private:
+  struct Key {
+    net::Prefix prefix;
+    net::Asn origin;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const noexcept {
+      return std::hash<bgp::PrefixOrigin>{}(
+          bgp::PrefixOrigin{k.prefix, k.origin});
+    }
+  };
+
+  const rpki::VrpStore& vrps_;
+  size_t snapshot_count_ = 0;
+  /// Origins seen for each prefix in the first snapshot (the established
+  /// baseline for MOAS detection).
+  std::unordered_map<net::Prefix, std::vector<net::Asn>> baseline_;
+  /// Open + closed incidents, keyed for episode tracking.
+  std::unordered_map<Key, size_t, KeyHash> open_;  // -> index in list_
+  std::vector<Incident> list_;
+};
+
+/// Summary statistics for the MANRS-vs-rest comparison.
+struct IncidentSummary {
+  size_t total = 0;
+  size_t moas = 0;
+  size_t rpki_invalid = 0;
+  size_t by_manrs_members = 0;  // offender registered in MANRS
+  size_t by_others = 0;
+  double mean_duration = 0.0;
+  double member_rate_per_origin = 0.0;  // incidents per originating member
+  double other_rate_per_origin = 0.0;
+};
+
+IncidentSummary summarize_incidents(
+    const std::vector<Incident>& incidents, const ManrsRegistry& registry,
+    size_t member_origin_count, size_t other_origin_count);
+
+}  // namespace manrs::core

@@ -1,0 +1,177 @@
+#include "core/manrs.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace manrs::core {
+
+std::string_view to_string(Program p) {
+  switch (p) {
+    case Program::kIsp:
+      return "ISP";
+    case Program::kCdn:
+      return "CDN";
+    case Program::kIxp:
+      return "IXP";
+    case Program::kEquipment:
+      return "Equipment";
+  }
+  return "?";
+}
+
+std::optional<Program> parse_program(std::string_view s) {
+  if (util::iequals(s, "ISP") || util::iequals(s, "Network Operators")) {
+    return Program::kIsp;
+  }
+  if (util::iequals(s, "CDN") || util::iequals(s, "CDN and Cloud")) {
+    return Program::kCdn;
+  }
+  if (util::iequals(s, "IXP")) return Program::kIxp;
+  if (util::iequals(s, "Equipment")) return Program::kEquipment;
+  return std::nullopt;
+}
+
+double action4_threshold(Program p) {
+  return p == Program::kCdn ? kCdnAction4Threshold : kIspAction4Threshold;
+}
+
+void ManrsRegistry::add_participant(Participant participant) {
+  size_t index = participants_.size();
+  for (net::Asn asn : participant.registered_ases) {
+    as_to_participant_.emplace(asn.value(), index);  // first wins
+  }
+  participants_.push_back(std::move(participant));
+}
+
+bool ManrsRegistry::is_member(net::Asn asn) const {
+  return as_to_participant_.count(asn.value()) > 0;
+}
+
+bool ManrsRegistry::is_member(net::Asn asn, const util::Date& date) const {
+  auto it = as_to_participant_.find(asn.value());
+  if (it == as_to_participant_.end()) return false;
+  return participants_[it->second].joined <= date;
+}
+
+std::optional<Program> ManrsRegistry::program_of(net::Asn asn) const {
+  auto it = as_to_participant_.find(asn.value());
+  if (it == as_to_participant_.end()) return std::nullopt;
+  return participants_[it->second].program;
+}
+
+std::optional<util::Date> ManrsRegistry::join_date(net::Asn asn) const {
+  auto it = as_to_participant_.find(asn.value());
+  if (it == as_to_participant_.end()) return std::nullopt;
+  return participants_[it->second].joined;
+}
+
+std::vector<net::Asn> ManrsRegistry::member_ases() const {
+  std::vector<net::Asn> out;
+  for (const auto& [value, _] : as_to_participant_) out.emplace_back(value);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<net::Asn> ManrsRegistry::member_ases(Program program) const {
+  std::vector<net::Asn> out;
+  for (const auto& [value, index] : as_to_participant_) {
+    if (participants_[index].program == program) out.emplace_back(value);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<net::Asn> ManrsRegistry::member_ases_at(
+    const util::Date& date) const {
+  std::vector<net::Asn> out;
+  for (const auto& [value, index] : as_to_participant_) {
+    if (participants_[index].joined <= date) out.emplace_back(value);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<const Participant*> ManrsRegistry::participants_in(
+    Program program) const {
+  std::vector<const Participant*> out;
+  for (const auto& p : participants_) {
+    if (p.program == program) out.push_back(&p);
+  }
+  return out;
+}
+
+const Participant* ManrsRegistry::participant_of(net::Asn asn) const {
+  auto it = as_to_participant_.find(asn.value());
+  if (it == as_to_participant_.end()) return nullptr;
+  return &participants_[it->second];
+}
+
+const Participant* ManrsRegistry::find_org(std::string_view org_id) const {
+  for (const auto& p : participants_) {
+    if (p.org_id == org_id) return &p;
+  }
+  return nullptr;
+}
+
+void ManrsRegistry::write_csv(std::ostream& out) const {
+  util::CsvWriter writer(out);
+  writer.write_row(
+      std::vector<std::string_view>{"org_id", "program", "joined", "ases"});
+  for (const auto& p : participants_) {
+    std::vector<std::string> asn_strings;
+    asn_strings.reserve(p.registered_ases.size());
+    for (net::Asn asn : p.registered_ases) {
+      asn_strings.push_back(std::to_string(asn.value()));
+    }
+    writer.write_row(std::vector<std::string_view>{
+        p.org_id, to_string(p.program), p.joined.to_string(),
+        util::join(asn_strings, "+")});
+  }
+}
+
+ManrsRegistry ManrsRegistry::read_csv(std::istream& in, size_t* bad_rows) {
+  util::CsvReader reader(in);
+  ManrsRegistry registry;
+  size_t bad = 0;
+  util::CsvRow row;
+  while (reader.next(row)) {
+    if (!row.empty() && row[0] == "org_id") continue;  // header
+    if (row.size() < 4) {
+      ++bad;
+      continue;
+    }
+    auto program = parse_program(row[1]);
+    auto joined = util::Date::parse(row[2]);
+    if (!program || !joined) {
+      ++bad;
+      continue;
+    }
+    Participant p;
+    p.org_id = row[0];
+    p.program = *program;
+    p.joined = *joined;
+    bool ok = true;
+    for (auto part : util::split(row[3], '+')) {
+      if (part.empty()) continue;
+      auto asn = net::Asn::parse(part);
+      if (!asn) {
+        ok = false;
+        break;
+      }
+      p.registered_ases.push_back(*asn);
+    }
+    if (!ok) {
+      ++bad;
+      continue;
+    }
+    registry.add_participant(std::move(p));
+  }
+  if (bad_rows) *bad_rows = bad;
+  return registry;
+}
+
+}  // namespace manrs::core

@@ -1,0 +1,95 @@
+// The MANRS participant registry (§2.4, §5.2 of the paper).
+//
+// MANRS runs four programs; the paper (and this reproduction) focuses on
+// Network Operators (ISP) and CDN & Cloud Providers. Membership is by
+// organization, which registers a subset of its ASNs in a program -- the
+// registered set, not the organization's full AS list, is what the MANRS
+// requirements bind (the gap between the two is Finding 7.0). The
+// "historical MANRS dataset" is the per-participant join date.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netbase/asn.h"
+#include "util/date.h"
+
+namespace manrs::core {
+
+enum class Program : uint8_t {
+  kIsp = 0,        // MANRS for Network Operators
+  kCdn = 1,        // MANRS for CDN and Cloud Providers
+  kIxp = 2,        // not analyzed in the paper; carried for completeness
+  kEquipment = 3,  // equipment vendors
+};
+
+std::string_view to_string(Program p);
+std::optional<Program> parse_program(std::string_view s);
+
+/// The actions the paper measures.
+///   Action 1: filter invalid announcements (customers for ISPs; peers and
+///             customers for CDNs).
+///   Action 4: register intended announcements in IRR or RPKI.
+/// The program-specific Action 4 thresholds (§8): ISPs must originate at
+/// least 90% IRR/RPKI-valid prefixes; CDNs 100%.
+inline constexpr double kIspAction4Threshold = 90.0;
+inline constexpr double kCdnAction4Threshold = 100.0;
+
+double action4_threshold(Program p);
+
+struct Participant {
+  std::string org_id;     // joins with the as2org dataset
+  Program program = Program::kIsp;
+  util::Date joined;      // from the historical MANRS dataset
+  std::vector<net::Asn> registered_ases;
+};
+
+class ManrsRegistry {
+ public:
+  void add_participant(Participant participant);
+
+  size_t participant_count() const { return participants_.size(); }
+  const std::vector<Participant>& participants() const {
+    return participants_;
+  }
+
+  /// Is `asn` registered in any program (optionally: as of `date`)?
+  bool is_member(net::Asn asn) const;
+  bool is_member(net::Asn asn, const util::Date& date) const;
+
+  /// The program `asn` is registered under, if any (first registration
+  /// wins if an AS were listed twice).
+  std::optional<Program> program_of(net::Asn asn) const;
+
+  /// Join date of the participant that registered `asn`.
+  std::optional<util::Date> join_date(net::Asn asn) const;
+
+  /// All registered ASNs (ascending), optionally restricted to a program
+  /// and/or to participants that joined on or before `date`.
+  std::vector<net::Asn> member_ases() const;
+  std::vector<net::Asn> member_ases(Program program) const;
+  std::vector<net::Asn> member_ases_at(const util::Date& date) const;
+
+  /// Participants in a program.
+  std::vector<const Participant*> participants_in(Program program) const;
+
+  const Participant* participant_of(net::Asn asn) const;
+  const Participant* find_org(std::string_view org_id) const;
+
+  /// CSV serialization: org_id,program,joined,ases("+"-separated). Mirrors
+  /// the shape of the scraped participant list plus ISOC's join dates.
+  void write_csv(std::ostream& out) const;
+  static ManrsRegistry read_csv(std::istream& in, size_t* bad_rows = nullptr);
+
+ private:
+  std::vector<Participant> participants_;
+  std::unordered_map<uint32_t, size_t> as_to_participant_;
+};
+
+}  // namespace manrs::core

@@ -1,0 +1,132 @@
+#include "core/monitoring.h"
+
+#include <algorithm>
+#include <map>
+
+namespace manrs::core {
+
+std::string_view to_string(PrefixTransition t) {
+  switch (t) {
+    case PrefixTransition::kBecameUnconformant:
+      return "became-unconformant";
+    case PrefixTransition::kResolved:
+      return "resolved";
+    case PrefixTransition::kNewUnconformant:
+      return "new-unconformant";
+    case PrefixTransition::kWithdrawnUnconformant:
+      return "withdrawn-unconformant";
+  }
+  return "?";
+}
+
+ConformanceDelta diff_conformance(
+    const std::vector<ihr::PrefixOriginRecord>& before,
+    const std::vector<ihr::PrefixOriginRecord>& after, double threshold) {
+  ConformanceDelta delta;
+
+  // Index both snapshots by prefix-origin. std::map keeps the output
+  // deterministic.
+  std::map<bgp::PrefixOrigin, const ihr::PrefixOriginRecord*> b_index,
+      a_index;
+  for (const auto& r : before) {
+    b_index.emplace(bgp::PrefixOrigin{r.prefix, r.origin}, &r);
+  }
+  for (const auto& r : after) {
+    a_index.emplace(bgp::PrefixOrigin{r.prefix, r.origin}, &r);
+  }
+
+  auto unconformant = [](const ihr::PrefixOriginRecord* r) {
+    return r != nullptr && classify_conformance(r->rpki, r->irr) ==
+                               ConformanceClass::kUnconformant;
+  };
+
+  for (const auto& [po, a_record] : a_index) {
+    auto b_it = b_index.find(po);
+    const ihr::PrefixOriginRecord* b_record =
+        b_it == b_index.end() ? nullptr : b_it->second;
+    bool was_bad = unconformant(b_record);
+    bool is_bad = unconformant(a_record);
+    if (is_bad && !was_bad) {
+      PrefixChange change;
+      change.prefix_origin = po;
+      change.transition = b_record == nullptr
+                              ? PrefixTransition::kNewUnconformant
+                              : PrefixTransition::kBecameUnconformant;
+      change.rpki_after = a_record->rpki;
+      change.irr_after = a_record->irr;
+      delta.prefix_changes.push_back(change);
+    } else if (!is_bad && was_bad) {
+      PrefixChange change;
+      change.prefix_origin = po;
+      change.transition = PrefixTransition::kResolved;
+      change.rpki_after = a_record->rpki;
+      change.irr_after = a_record->irr;
+      delta.prefix_changes.push_back(change);
+    }
+  }
+  for (const auto& [po, b_record] : b_index) {
+    if (a_index.count(po)) continue;
+    if (!unconformant(b_record)) continue;
+    PrefixChange change;
+    change.prefix_origin = po;
+    change.transition = PrefixTransition::kWithdrawnUnconformant;
+    delta.prefix_changes.push_back(change);
+  }
+
+  // AS-level verdict flips.
+  auto og_before = compute_origination_stats(before);
+  auto og_after = compute_origination_stats(after);
+  std::map<uint32_t, std::pair<double, double>> percentages;
+  auto pct = [&](const std::unordered_map<uint32_t, OriginationStats>& stats,
+                 uint32_t asn) {
+    auto it = stats.find(asn);
+    // Absent / quiescent = trivially conformant (§8.3).
+    return it == stats.end() || it->second.total == 0
+               ? 100.0
+               : it->second.og_conformant();
+  };
+  for (const auto& [asn, _] : og_before) {
+    percentages[asn] = {pct(og_before, asn), pct(og_after, asn)};
+  }
+  for (const auto& [asn, _] : og_after) {
+    percentages[asn] = {pct(og_before, asn), pct(og_after, asn)};
+  }
+  for (const auto& [asn, pair] : percentages) {
+    bool was_ok = pair.first >= threshold;
+    bool is_ok = pair.second >= threshold;
+    if (was_ok == is_ok) {
+      is_ok ? ++delta.stable_conformant_ases
+            : ++delta.stable_unconformant_ases;
+      continue;
+    }
+    AsTransition transition;
+    transition.asn = net::Asn(asn);
+    transition.was_conformant = was_ok;
+    transition.now_conformant = is_ok;
+    transition.og_before = pair.first;
+    transition.og_after = pair.second;
+    delta.as_transitions.push_back(transition);
+  }
+  return delta;
+}
+
+VrpDelta diff_vrps(const std::vector<rpki::Vrp>& before,
+                   const std::vector<rpki::Vrp>& after) {
+  VrpDelta delta;
+  std::vector<rpki::Vrp> b = before;
+  std::vector<rpki::Vrp> a = after;
+  std::sort(b.begin(), b.end());
+  std::sort(a.begin(), a.end());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(delta.added));
+  std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                      std::back_inserter(delta.removed));
+  // unchanged = |intersection|.
+  std::vector<rpki::Vrp> common;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(common));
+  delta.unchanged = common.size();
+  return delta;
+}
+
+}  // namespace manrs::core

@@ -1,0 +1,74 @@
+// Snapshot-to-snapshot monitoring: what changed between two measurement
+// rounds.
+//
+// Operators told the authors the monthly MANRS reports "needed more
+// actionable information" (§10). The actionable unit is the *delta*: which
+// prefixes became unconformant since last month, which were fixed, which
+// ASes crossed the conformance threshold, and how the registries churned.
+// This module computes those deltas from any two snapshots -- weekly IHR
+// tables (§8.5), monthly report rounds, or annual archives.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/conformance.h"
+#include "ihr/dataset.h"
+#include "rpki/vrp.h"
+
+namespace manrs::core {
+
+/// Per-prefix conformance transition between two prefix-origin snapshots.
+enum class PrefixTransition : uint8_t {
+  kBecameUnconformant,  // conformant/unregistered/new -> unconformant
+  kResolved,            // unconformant -> conformant (or withdrawn)
+  kNewUnconformant,     // appeared already-unconformant
+  kWithdrawnUnconformant,  // unconformant and no longer announced
+};
+
+std::string_view to_string(PrefixTransition t);
+
+struct PrefixChange {
+  bgp::PrefixOrigin prefix_origin;
+  PrefixTransition transition = PrefixTransition::kBecameUnconformant;
+  rpki::RpkiStatus rpki_after = rpki::RpkiStatus::kNotFound;
+  irr::IrrStatus irr_after = irr::IrrStatus::kNotFound;
+};
+
+/// Per-AS verdict flip between two snapshots.
+struct AsTransition {
+  net::Asn asn;
+  bool was_conformant = false;
+  bool now_conformant = false;
+  double og_before = 0.0;  // OG_conformant percentages
+  double og_after = 0.0;
+};
+
+struct ConformanceDelta {
+  std::vector<PrefixChange> prefix_changes;   // deterministic order
+  std::vector<AsTransition> as_transitions;   // only ASes that flipped
+  size_t stable_conformant_ases = 0;
+  size_t stable_unconformant_ases = 0;
+};
+
+/// Diff two classified prefix-origin snapshots. AS-level verdicts use the
+/// given Action 4 threshold (the ISP program's 90% by default); ASes
+/// absent from a snapshot count as trivially conformant on that side.
+ConformanceDelta diff_conformance(
+    const std::vector<ihr::PrefixOriginRecord>& before,
+    const std::vector<ihr::PrefixOriginRecord>& after,
+    double threshold = kIspAction4Threshold);
+
+/// Registry churn between two VRP snapshots: added / removed / unchanged
+/// counts plus the listings (sorted).
+struct VrpDelta {
+  std::vector<rpki::Vrp> added;
+  std::vector<rpki::Vrp> removed;
+  size_t unchanged = 0;
+};
+
+VrpDelta diff_vrps(const std::vector<rpki::Vrp>& before,
+                   const std::vector<rpki::Vrp>& after);
+
+}  // namespace manrs::core

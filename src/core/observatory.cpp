@@ -1,0 +1,97 @@
+#include "core/observatory.h"
+
+namespace manrs::core {
+
+std::string_view to_string(ReadinessBucket bucket) {
+  switch (bucket) {
+    case ReadinessBucket::kReady:
+      return "ready";
+    case ReadinessBucket::kAspiring:
+      return "aspiring";
+    case ReadinessBucket::kLagging:
+      return "lagging";
+  }
+  return "?";
+}
+
+ReadinessBucket bucket_for(double overall) {
+  if (overall >= 95.0) return ReadinessBucket::kReady;
+  if (overall >= 80.0) return ReadinessBucket::kAspiring;
+  return ReadinessBucket::kLagging;
+}
+
+std::vector<ParticipantReadiness> score_participants(
+    const ObservatoryInputs& inputs) {
+  auto origination = compute_origination_stats(inputs.prefix_origins);
+  auto propagation = compute_propagation_stats(inputs.transits);
+
+  std::vector<ParticipantReadiness> out;
+  out.reserve(inputs.registry.participant_count());
+  for (const auto& participant : inputs.registry.participants()) {
+    ParticipantReadiness readiness;
+    readiness.org_id = participant.org_id;
+    readiness.program = participant.program;
+
+    double a1_sum = 0, a3_sum = 0, a4_sum = 0;
+    size_t n = participant.registered_ases.size();
+    for (net::Asn asn : participant.registered_ases) {
+      // Action 4: conformant share of originations (100 when quiescent).
+      auto og = origination.find(asn.value());
+      a4_sum += (og == origination.end() || og->second.total == 0)
+                    ? 100.0
+                    : og->second.og_conformant();
+      // Action 1: 100 - unconformant customer propagation share.
+      auto pg = propagation.find(asn.value());
+      a1_sum += (pg == propagation.end() || pg->second.customer_total == 0)
+                    ? 100.0
+                    : 100.0 - pg->second.pg_unconformant();
+      // Action 3: contact present.
+      auto a3 = check_action3(inputs.irr_registry, inputs.peeringdb, asn,
+                              inputs.as_of);
+      a3_sum += a3.conformant ? 100.0 : 0.0;
+    }
+    if (n > 0) {
+      readiness.action1 = a1_sum / static_cast<double>(n);
+      readiness.action3 = a3_sum / static_cast<double>(n);
+      readiness.action4 = a4_sum / static_cast<double>(n);
+    }
+    readiness.overall = (2.0 * readiness.action1 + readiness.action3 +
+                         2.0 * readiness.action4) /
+                        5.0;
+    readiness.bucket = bucket_for(readiness.overall);
+    out.push_back(std::move(readiness));
+  }
+  return out;
+}
+
+ObservatorySummary summarize(
+    const std::vector<ParticipantReadiness>& readiness) {
+  ObservatorySummary summary;
+  for (const auto& r : readiness) {
+    switch (r.bucket) {
+      case ReadinessBucket::kReady:
+        ++summary.ready;
+        break;
+      case ReadinessBucket::kAspiring:
+        ++summary.aspiring;
+        break;
+      case ReadinessBucket::kLagging:
+        ++summary.lagging;
+        break;
+    }
+    summary.mean_action1 += r.action1;
+    summary.mean_action3 += r.action3;
+    summary.mean_action4 += r.action4;
+    summary.mean_overall += r.overall;
+  }
+  if (!readiness.empty()) {
+    double n = static_cast<double>(readiness.size());
+    summary.mean_action1 /= n;
+    summary.mean_action3 /= n;
+    summary.mean_action4 /= n;
+    summary.mean_overall /= n;
+  }
+  return summary;
+}
+
+}  // namespace manrs::core

@@ -1,0 +1,81 @@
+// MANRS Observatory-style readiness scoring (the paper's reference [1],
+// https://observatory.manrs.org).
+//
+// ISOC's Observatory aggregates external measurements into per-participant
+// "readiness" percentages per action and buckets participants into
+// ready / aspiring / lagging. The paper notes ISOC "provides some
+// aggregated statistics from external sources but declines to publicly
+// detail non-conformance"; this module computes the same style of
+// aggregate from our measured data, making the private monthly-report
+// content reproducible.
+//
+// Readiness definitions (per participant, over its registered ASes):
+//   * Action 1 (filtering):   100 - mean(PG_unconformant); ASes providing
+//     no transit contribute 100.
+//   * Action 3 (coordination): percent of registered ASes with usable
+//     contact information (IRR aut-num or fresh PeeringDB).
+//   * Action 4 (registration): mean(OG_conformant); quiescent ASes
+//     contribute 100.
+// Overall readiness weighs the mandatory routing actions double:
+//   (2*A1 + A3 + 2*A4) / 5.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/conformance.h"
+#include "core/manrs.h"
+#include "core/peeringdb.h"
+#include "ihr/dataset.h"
+#include "netbase/rir.h"
+
+namespace manrs::core {
+
+enum class ReadinessBucket : uint8_t {
+  kReady = 0,     // overall >= 95
+  kAspiring = 1,  // overall >= 80
+  kLagging = 2,   // below 80
+};
+
+std::string_view to_string(ReadinessBucket bucket);
+ReadinessBucket bucket_for(double overall);
+
+struct ParticipantReadiness {
+  std::string org_id;
+  Program program = Program::kIsp;
+  double action1 = 100.0;
+  double action3 = 100.0;
+  double action4 = 100.0;
+  double overall = 100.0;
+  ReadinessBucket bucket = ReadinessBucket::kReady;
+};
+
+struct ObservatoryInputs {
+  const ManrsRegistry& registry;
+  const irr::IrrRegistry& irr_registry;
+  const PeeringDb& peeringdb;
+  const std::vector<ihr::PrefixOriginRecord>& prefix_origins;
+  const std::vector<ihr::TransitRecord>& transits;
+  util::Date as_of;
+};
+
+/// Score every participant. Deterministic (registry order).
+std::vector<ParticipantReadiness> score_participants(
+    const ObservatoryInputs& inputs);
+
+/// Ecosystem aggregate: bucket counts and mean readiness per action.
+struct ObservatorySummary {
+  size_t ready = 0;
+  size_t aspiring = 0;
+  size_t lagging = 0;
+  double mean_action1 = 0.0;
+  double mean_action3 = 0.0;
+  double mean_action4 = 0.0;
+  double mean_overall = 0.0;
+};
+
+ObservatorySummary summarize(
+    const std::vector<ParticipantReadiness>& readiness);
+
+}  // namespace manrs::core

@@ -1,0 +1,83 @@
+#include "core/peeringdb.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/csv.h"
+
+namespace manrs::core {
+
+void PeeringDb::add(PeeringDbNet net) {
+  nets_[net.asn.value()] = std::move(net);
+}
+
+const PeeringDbNet* PeeringDb::find(net::Asn asn) const {
+  auto it = nets_.find(asn.value());
+  return it == nets_.end() ? nullptr : &it->second;
+}
+
+void PeeringDb::write_csv(std::ostream& out) const {
+  util::CsvWriter writer(out);
+  writer.write_row(
+      std::vector<std::string_view>{"asn", "name", "contact", "updated"});
+  // Deterministic order.
+  std::vector<uint32_t> asns;
+  asns.reserve(nets_.size());
+  for (const auto& [asn, _] : nets_) asns.push_back(asn);
+  std::sort(asns.begin(), asns.end());
+  for (uint32_t asn : asns) {
+    const PeeringDbNet& net = nets_.at(asn);
+    writer.write_row(std::vector<std::string_view>{
+        std::to_string(asn), net.name, net.contact_email,
+        net.updated.to_string()});
+  }
+}
+
+PeeringDb PeeringDb::read_csv(std::istream& in, size_t* bad_rows) {
+  util::CsvReader reader(in);
+  PeeringDb db;
+  size_t bad = 0;
+  util::CsvRow row;
+  while (reader.next(row)) {
+    if (!row.empty() && row[0] == "asn") continue;
+    if (row.size() < 4) {
+      ++bad;
+      continue;
+    }
+    auto asn = net::Asn::parse(row[0]);
+    auto updated = util::Date::parse(row[3]);
+    if (!asn || !updated) {
+      ++bad;
+      continue;
+    }
+    db.add(PeeringDbNet{*asn, row[1], row[2], *updated});
+  }
+  if (bad_rows) *bad_rows = bad;
+  return db;
+}
+
+Action3Verdict check_action3(const irr::IrrRegistry& irr_registry,
+                             const PeeringDb& peeringdb, net::Asn asn,
+                             const util::Date& as_of, int64_t max_age_days) {
+  Action3Verdict verdict;
+  for (const irr::IrrDatabase* db : irr_registry.databases()) {
+    const irr::AutNumObject* aut = db->find_aut_num(asn);
+    if (aut != nullptr && aut->has_contact()) {
+      verdict.via_irr = true;
+      break;
+    }
+  }
+  if (const PeeringDbNet* net = peeringdb.find(asn)) {
+    if (!net->contact_email.empty()) {
+      if (as_of.to_days() - net->updated.to_days() <= max_age_days) {
+        verdict.via_peeringdb = true;
+      } else {
+        verdict.stale_peeringdb = true;
+      }
+    }
+  }
+  verdict.conformant = verdict.via_irr || verdict.via_peeringdb;
+  return verdict;
+}
+
+}  // namespace manrs::core

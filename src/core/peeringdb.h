@@ -1,0 +1,65 @@
+// A PeeringDB-like network registry.
+//
+// MANRS Action 3 requires members to "maintain up-to-date network contact
+// information in IRR databases or PeeringDB" (§2.4). The paper scopes its
+// measurements to Actions 1 and 4; this module implements the Action 3
+// observable as an extension (§12: "extend this study to actions that are
+// not related to routing"): a minimal model of PeeringDB's `net` objects
+// with per-record update timestamps, plus the conformance check combining
+// both sources.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "irr/database.h"
+#include "netbase/asn.h"
+#include "util/date.h"
+
+namespace manrs::core {
+
+/// One PeeringDB `net` record, reduced to the Action 3 observables.
+struct PeeringDbNet {
+  net::Asn asn;
+  std::string name;
+  std::string contact_email;  // empty = no usable contact
+  util::Date updated;         // last modification timestamp
+};
+
+class PeeringDb {
+ public:
+  void add(PeeringDbNet net);
+
+  size_t size() const { return nets_.size(); }
+  const PeeringDbNet* find(net::Asn asn) const;
+
+  /// CSV serialization (asn,name,contact,updated).
+  void write_csv(std::ostream& out) const;
+  static PeeringDb read_csv(std::istream& in, size_t* bad_rows = nullptr);
+
+ private:
+  std::unordered_map<uint32_t, PeeringDbNet> nets_;
+};
+
+/// MANRS Action 3 verdict. "Up to date" is operationalized as: a contact
+/// exists in the IRR (aut-num admin-c/tech-c/e-mail) or in PeeringDB, and
+/// when only PeeringDB has it, the record was touched within
+/// `max_age_days` of `as_of` (stale PeeringDB records are a known failure
+/// mode; IRR objects carry no per-attribute timestamps in our model, so
+/// their presence alone counts).
+struct Action3Verdict {
+  bool conformant = false;
+  bool via_irr = false;
+  bool via_peeringdb = false;
+  bool stale_peeringdb = false;  // record exists but is out of date
+};
+
+Action3Verdict check_action3(const irr::IrrRegistry& irr_registry,
+                             const PeeringDb& peeringdb, net::Asn asn,
+                             const util::Date& as_of,
+                             int64_t max_age_days = 365 * 2);
+
+}  // namespace manrs::core

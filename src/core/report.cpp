@@ -1,0 +1,198 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+#include <unordered_set>
+
+namespace manrs::core {
+
+CompletenessStats compute_registration_completeness(
+    const ManrsRegistry& registry, const astopo::As2Org& as2org,
+    const std::vector<ihr::PrefixOriginRecord>& prefix_origins) {
+  CompletenessStats stats;
+
+  // Which ASes actually originate something, and how much v4 space.
+  std::unordered_map<uint32_t, double> space_by_as;
+  for (const auto& r : prefix_origins) {
+    if (r.prefix.is_v4()) {
+      space_by_as[r.origin.value()] += r.prefix.address_count();
+    }
+  }
+
+  for (const auto& participant : registry.participants()) {
+    ++stats.total_orgs;
+    std::unordered_set<uint32_t> registered;
+    for (net::Asn asn : participant.registered_ases) {
+      registered.insert(asn.value());
+    }
+    std::vector<net::Asn> all_ases = as2org.ases_of(participant.org_id);
+    if (all_ases.empty()) {
+      // Org unknown to as2org: fall back to the registered list.
+      all_ases = participant.registered_ases;
+    }
+
+    bool all_registered = true;
+    double registered_space = 0.0;
+    double unregistered_space = 0.0;
+    bool unregistered_quiescent = true;
+    for (net::Asn asn : all_ases) {
+      auto it = space_by_as.find(asn.value());
+      double space = it == space_by_as.end() ? 0.0 : it->second;
+      if (registered.count(asn.value())) {
+        registered_space += space;
+      } else {
+        all_registered = false;
+        unregistered_space += space;
+        if (space > 0.0) unregistered_quiescent = false;
+      }
+    }
+
+    if (all_registered) ++stats.orgs_all_ases_registered;
+    if (unregistered_space == 0.0) {
+      ++stats.orgs_all_space_via_registered;
+    } else {
+      ++stats.orgs_some_space_unregistered;
+      if (registered_space == 0.0) ++stats.orgs_only_unregistered_space;
+    }
+    if (!all_registered && unregistered_quiescent) {
+      ++stats.orgs_quiescent_unregistered;
+    }
+  }
+  return stats;
+}
+
+CaseStudyRow analyze_unconformant_org(
+    const Participant& participant, const std::string& label,
+    const astopo::As2Org& as2org, const astopo::AsGraph& graph,
+    const std::vector<ihr::PrefixOriginRecord>& prefix_origins,
+    const rpki::VrpStore& vrps, const irr::IrrRegistry& irr_registry) {
+  CaseStudyRow row;
+  row.org_id = participant.org_id;
+  row.label = label;
+
+  std::unordered_set<uint32_t> member_ases;
+  for (net::Asn asn : participant.registered_ases) {
+    member_ases.insert(asn.value());
+  }
+
+  // Best (closest) affinity between the BGP origin and any registered
+  // origin: Sibling beats C-P beats Unrelated.
+  auto best_affinity = [&](net::Asn bgp_origin,
+                           const std::vector<net::Asn>& registered_origins)
+      -> astopo::AsAffinity {
+    astopo::AsAffinity best = astopo::AsAffinity::kUnrelated;
+    for (net::Asn reg : registered_origins) {
+      astopo::AsAffinity a = as2org.classify(bgp_origin, reg, graph);
+      if (a == astopo::AsAffinity::kSibling) return a;
+      if (a == astopo::AsAffinity::kCustomerProvider) best = a;
+    }
+    return best;
+  };
+
+  for (const auto& record : prefix_origins) {
+    if (!member_ases.count(record.origin.value())) continue;
+    ConformanceClass cls = classify_conformance(record.rpki, record.irr);
+    if (cls == ConformanceClass::kUnregistered) {
+      ++row.unregistered;
+      continue;
+    }
+    if (cls != ConformanceClass::kUnconformant) continue;
+    if (rpki::is_invalid(record.rpki)) {
+      ++row.rpki_invalid;
+      std::vector<net::Asn> registered;
+      for (const auto& vrp : vrps.covering(record.prefix)) {
+        if (vrp.asn != record.origin) registered.push_back(vrp.asn);
+      }
+      if (best_affinity(record.origin, registered) ==
+          astopo::AsAffinity::kUnrelated) {
+        ++row.rpki_unrelated;
+      } else {
+        ++row.rpki_sibling_cp;
+      }
+    } else if (record.irr == irr::IrrStatus::kInvalidAsn) {
+      // Table 1's IRR Invalid column is scoped to RPKI NotFound (RPKI
+      // Invalid rows are already counted above).
+      ++row.irr_invalid;
+      std::vector<net::Asn> registered;
+      for (const auto& route : irr_registry.covering_routes(record.prefix)) {
+        if (route.origin != record.origin) registered.push_back(route.origin);
+      }
+      if (best_affinity(record.origin, registered) ==
+          astopo::AsAffinity::kUnrelated) {
+        ++row.irr_unrelated;
+      } else {
+        ++row.irr_sibling_cp;
+      }
+    }
+  }
+  return row;
+}
+
+MemberReport build_member_report(
+    const Participant& participant,
+    const std::vector<ihr::PrefixOriginRecord>& prefix_origins,
+    const std::vector<ihr::TransitRecord>& transits) {
+  MemberReport report;
+  report.org_id = participant.org_id;
+  report.program = participant.program;
+
+  auto origination = compute_origination_stats(prefix_origins);
+  auto propagation = compute_propagation_stats(transits);
+
+  for (net::Asn asn : participant.registered_ases) {
+    MemberAsReport as_report;
+    as_report.asn = asn;
+    auto og_it = origination.find(asn.value());
+    const OriginationStats* og =
+        og_it == origination.end() ? nullptr : &og_it->second;
+    auto pg_it = propagation.find(asn.value());
+    const PropagationStats* pg =
+        pg_it == propagation.end() ? nullptr : &pg_it->second;
+    if (og) as_report.origination = *og;
+    if (pg) as_report.propagation = *pg;
+    as_report.action4 = check_action4(og, participant.program);
+    as_report.action1 = check_action1(pg);
+    if (!as_report.action4.conformant) report.action4_conformant = false;
+    if (!as_report.action1.conformant) report.action1_conformant = false;
+
+    for (const auto& record : prefix_origins) {
+      if (record.origin != asn) continue;
+      if (classify_conformance(record.rpki, record.irr) ==
+          ConformanceClass::kUnconformant) {
+        as_report.unconformant_origins.push_back(record);
+      }
+    }
+    report.ases.push_back(std::move(as_report));
+  }
+  return report;
+}
+
+void print_member_report(std::ostream& out, const MemberReport& report) {
+  out << "=== MANRS conformance report: " << report.org_id << " ("
+      << to_string(report.program) << " program) ===\n";
+  out << "Action 4 (route registration): "
+      << (report.action4_conformant ? "CONFORMANT" : "NOT CONFORMANT")
+      << "\n";
+  out << "Action 1 (route filtering):    "
+      << (report.action1_conformant ? "CONFORMANT" : "NOT CONFORMANT")
+      << "\n";
+  for (const auto& as_report : report.ases) {
+    out << "  " << as_report.asn.to_string() << ": originated "
+        << as_report.origination.total << " prefixes ("
+        << as_report.origination.og_conformant()
+        << "% conformant), propagated " << as_report.propagation.total
+        << " (" << as_report.propagation.customer_unconformant
+        << " unconformant from customers)\n";
+    if (as_report.action4.trivially) {
+      out << "    Action 4: trivially conformant (no originated prefixes)\n";
+    }
+    for (const auto& record : as_report.unconformant_origins) {
+      out << "    offending: " << record.prefix.to_string() << " (RPKI "
+          << rpki::to_string(record.rpki) << ", IRR "
+          << irr::to_string(record.irr) << ")\n";
+    }
+  }
+}
+
+}  // namespace manrs::core

@@ -1,0 +1,112 @@
+// Ecosystem-level reports built on the conformance engine.
+//
+// Three consumers:
+//   * registration completeness (Finding 7.0): how much of each MANRS
+//     organization's AS footprint is actually registered in MANRS;
+//   * case-study analysis (Table 1 / §8.4): for an unconformant
+//     organization, break down its invalid prefix-origins by the
+//     relationship between the BGP origin and the registered origin;
+//   * the member conformance report -- the ISOC-style private monthly
+//     report (§1, §10), reproduced as a printable per-participant
+//     statement.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "astopo/as2org.h"
+#include "astopo/graph.h"
+#include "core/conformance.h"
+#include "core/manrs.h"
+#include "ihr/dataset.h"
+#include "irr/database.h"
+#include "rpki/validation.h"
+
+namespace manrs::core {
+
+/// Finding 7.0 aggregates.
+struct CompletenessStats {
+  size_t total_orgs = 0;
+  /// Organizations whose every AS (per as2org) is registered in MANRS.
+  size_t orgs_all_ases_registered = 0;
+  /// Organizations announcing IPv4 space only through registered ASes.
+  size_t orgs_all_space_via_registered = 0;
+  /// Organizations announcing some space from unregistered sibling ASes
+  /// (117 in the paper).
+  size_t orgs_some_space_unregistered = 0;
+  /// ... of which, announcing *only* from unregistered ASes (8).
+  size_t orgs_only_unregistered_space = 0;
+  /// Partial registrations whose unregistered ASes are all quiescent (80).
+  size_t orgs_quiescent_unregistered = 0;
+
+  double pct_all_ases() const {
+    return total_orgs ? 100.0 * static_cast<double>(orgs_all_ases_registered) /
+                            static_cast<double>(total_orgs)
+                      : 0.0;
+  }
+  double pct_all_space() const {
+    return total_orgs
+               ? 100.0 * static_cast<double>(orgs_all_space_via_registered) /
+                     static_cast<double>(total_orgs)
+               : 0.0;
+  }
+};
+
+CompletenessStats compute_registration_completeness(
+    const ManrsRegistry& registry, const astopo::As2Org& as2org,
+    const std::vector<ihr::PrefixOriginRecord>& prefix_origins);
+
+/// One row of Table 1.
+struct CaseStudyRow {
+  std::string org_id;
+  std::string label;  // anonymized name, e.g. "CDN1"
+  size_t rpki_invalid = 0;
+  size_t rpki_sibling_cp = 0;
+  size_t rpki_unrelated = 0;
+  size_t irr_invalid = 0;  // IRR Invalid & RPKI NotFound
+  size_t irr_sibling_cp = 0;
+  size_t irr_unrelated = 0;
+  /// Prefix-origins found in neither registry (the paper's parenthesized
+  /// RPKI-NotFound entries, e.g. CDN2's single offending prefix).
+  size_t unregistered = 0;
+};
+
+/// Classify the unconformant prefix-origins of one organization's MANRS
+/// ASes by the affinity between the BGP origin and the origins registered
+/// in RPKI/IRR for the prefix (§8.4 / Table 1 method).
+CaseStudyRow analyze_unconformant_org(
+    const Participant& participant, const std::string& label,
+    const astopo::As2Org& as2org, const astopo::AsGraph& graph,
+    const std::vector<ihr::PrefixOriginRecord>& prefix_origins,
+    const rpki::VrpStore& vrps, const irr::IrrRegistry& irr_registry);
+
+/// The ISOC-style monthly member report.
+struct MemberAsReport {
+  net::Asn asn;
+  OriginationStats origination;
+  PropagationStats propagation;
+  Action4Verdict action4;
+  Action1Verdict action1;
+  /// Offending prefix-origins, for the "more actionable information"
+  /// operators asked for in §10.
+  std::vector<ihr::PrefixOriginRecord> unconformant_origins;
+};
+
+struct MemberReport {
+  std::string org_id;
+  Program program = Program::kIsp;
+  std::vector<MemberAsReport> ases;
+  bool action4_conformant = true;  // all registered ASes pass Action 4
+  bool action1_conformant = true;
+};
+
+MemberReport build_member_report(
+    const Participant& participant,
+    const std::vector<ihr::PrefixOriginRecord>& prefix_origins,
+    const std::vector<ihr::TransitRecord>& transits);
+
+/// Human-readable rendering of the monthly report.
+void print_member_report(std::ostream& out, const MemberReport& report);
+
+}  // namespace manrs::core

@@ -1,0 +1,230 @@
+#include "ihr/dataset.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace manrs::ihr {
+
+namespace {
+
+rpki::RpkiStatus parse_rpki_status(std::string_view s) {
+  if (s == "Valid") return rpki::RpkiStatus::kValid;
+  if (s == "Invalid") return rpki::RpkiStatus::kInvalidAsn;
+  if (s == "InvalidLength") return rpki::RpkiStatus::kInvalidLength;
+  return rpki::RpkiStatus::kNotFound;
+}
+
+irr::IrrStatus parse_irr_status(std::string_view s) {
+  if (s == "Valid") return irr::IrrStatus::kValid;
+  if (s == "Invalid") return irr::IrrStatus::kInvalidAsn;
+  if (s == "InvalidLength") return irr::IrrStatus::kInvalidLength;
+  return irr::IrrStatus::kNotFound;
+}
+
+}  // namespace
+
+IhrSnapshotBuilder::IhrSnapshotBuilder(const sim::PropagationSim& sim,
+                                       std::vector<net::Asn> vantage_points,
+                                       double trim)
+    : sim_(sim), vantage_points_(std::move(vantage_points)), trim_(trim) {}
+
+IhrSnapshot IhrSnapshotBuilder::build(
+    const std::vector<bgp::PrefixOrigin>& announcements,
+    const rpki::VrpStore& vrps, const irr::IrrRegistry& irr_registry) const {
+  IhrSnapshot snapshot;
+
+  // Classify every announcement with the real validators, then group by
+  // (origin, droppability class): groups propagate identically.
+  struct Classified {
+    bgp::PrefixOrigin po;
+    rpki::RpkiStatus rpki;
+    irr::IrrStatus irr;
+  };
+  std::vector<sim::Announcement> sim_announcements;
+  sim_announcements.reserve(announcements.size());
+  std::vector<Classified> rows;
+  rows.reserve(announcements.size());
+  for (const auto& po : announcements) {
+    Classified c;
+    c.po = po;
+    c.rpki = vrps.validate(po.prefix, po.origin);
+    c.irr = irr::validate_route(irr_registry, po.prefix, po.origin);
+    rows.push_back(c);
+    sim::AnnouncementClass cls;
+    cls.rpki_invalid = rpki::is_invalid(c.rpki);
+    cls.irr_invalid = c.irr == irr::IrrStatus::kInvalidAsn;
+    cls.variant = (cls.rpki_invalid || cls.irr_invalid)
+                      ? sim::filter_variant(po.prefix)
+                      : 0;
+    sim_announcements.push_back(sim::Announcement{po.prefix, po.origin, cls});
+  }
+
+  // Per-group propagation, shared across all prefixes in the group.
+  auto groups = sim::group_announcements(sim_announcements);
+  struct GroupView {
+    std::vector<bgp::AsPath> paths;           // one per vantage with a route
+    std::vector<HegemonyScore> hegemony;      // transit scores
+    std::vector<bool> transit_via_customer;   // aligned with hegemony
+    uint32_t visibility = 0;
+  };
+  std::unordered_map<std::string, GroupView> views;
+  auto group_key = [](net::Asn origin, const sim::AnnouncementClass& cls) {
+    uint8_t variant =
+        (cls.rpki_invalid || cls.irr_invalid) ? cls.variant : 0;
+    return std::to_string(origin.value()) + "/" +
+           (cls.rpki_invalid ? "1" : "0") + (cls.irr_invalid ? "1" : "0") +
+           std::to_string(variant);
+  };
+  for (const auto& group : groups) {
+    sim::PropagationResult result = sim_.propagate(group.origin, group.cls);
+    GroupView view;
+    for (net::Asn vantage : vantage_points_) {
+      bgp::AsPath path = sim_.path_from(result, vantage);
+      if (!path.empty()) {
+        view.paths.push_back(std::move(path));
+        ++view.visibility;
+      }
+    }
+    view.hegemony = compute_hegemony(view.paths, trim_);
+    view.transit_via_customer.reserve(view.hegemony.size());
+    for (const auto& score : view.hegemony) {
+      int32_t id = sim_.indexer().id_of(score.asn);
+      bool via_customer =
+          id >= 0 && result.source[static_cast<size_t>(id)] ==
+                         sim::RouteSource::kCustomer;
+      view.transit_via_customer.push_back(via_customer);
+    }
+    views.emplace(group_key(group.origin, group.cls), std::move(view));
+  }
+
+  // Emit records.
+  snapshot.prefix_origins.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Classified& c = rows[i];
+    const sim::AnnouncementClass& cls = sim_announcements[i].cls;
+    const GroupView& view = views.at(group_key(c.po.origin, cls));
+    PrefixOriginRecord record;
+    record.prefix = c.po.prefix;
+    record.origin = c.po.origin;
+    record.rpki = c.rpki;
+    record.irr = c.irr;
+    record.visibility = view.visibility;
+    snapshot.prefix_origins.push_back(record);
+
+    for (size_t t = 0; t < view.hegemony.size(); ++t) {
+      if (view.hegemony[t].asn == c.po.origin) continue;  // trivial transit
+      TransitRecord transit;
+      transit.prefix = c.po.prefix;
+      transit.origin = c.po.origin;
+      transit.transit = view.hegemony[t].asn;
+      transit.hegemony = view.hegemony[t].score;
+      transit.via_customer = view.transit_via_customer[t];
+      transit.rpki = c.rpki;
+      transit.irr = c.irr;
+      snapshot.transits.push_back(transit);
+    }
+  }
+  return snapshot;
+}
+
+void write_prefix_origin_csv(std::ostream& out,
+                             const std::vector<PrefixOriginRecord>& records) {
+  util::CsvWriter writer(out);
+  writer.write_row(std::vector<std::string_view>{
+      "prefix", "originasn", "rpki_status", "irr_status", "visibility"});
+  for (const auto& r : records) {
+    writer.write_row(std::vector<std::string_view>{
+        r.prefix.to_string(), std::to_string(r.origin.value()),
+        rpki::to_string(r.rpki), irr::to_string(r.irr),
+        std::to_string(r.visibility)});
+  }
+}
+
+std::vector<PrefixOriginRecord> read_prefix_origin_csv(std::istream& in,
+                                                       size_t* bad_rows) {
+  util::CsvReader reader(in);
+  std::vector<PrefixOriginRecord> out;
+  size_t bad = 0;
+  util::CsvRow row;
+  while (reader.next(row)) {
+    if (!row.empty() && row[0] == "prefix") continue;  // header
+    if (row.size() < 5) {
+      ++bad;
+      continue;
+    }
+    auto prefix = net::Prefix::parse(row[0]);
+    auto origin = net::Asn::parse(row[1]);
+    auto visibility = util::parse_uint<uint32_t>(row[4]);
+    if (!prefix || !origin || !visibility) {
+      ++bad;
+      continue;
+    }
+    PrefixOriginRecord r;
+    r.prefix = *prefix;
+    r.origin = *origin;
+    r.rpki = parse_rpki_status(row[2]);
+    r.irr = parse_irr_status(row[3]);
+    r.visibility = *visibility;
+    out.push_back(r);
+  }
+  if (bad_rows) *bad_rows = bad;
+  return out;
+}
+
+void write_transit_csv(std::ostream& out,
+                       const std::vector<TransitRecord>& records) {
+  util::CsvWriter writer(out);
+  writer.write_row(std::vector<std::string_view>{
+      "prefix", "originasn", "transitasn", "hegemony", "via_customer",
+      "rpki_status", "irr_status"});
+  char hege[32];
+  for (const auto& r : records) {
+    std::snprintf(hege, sizeof(hege), "%.6f", r.hegemony);
+    writer.write_row(std::vector<std::string_view>{
+        r.prefix.to_string(), std::to_string(r.origin.value()),
+        std::to_string(r.transit.value()), hege,
+        r.via_customer ? "1" : "0", rpki::to_string(r.rpki),
+        irr::to_string(r.irr)});
+  }
+}
+
+std::vector<TransitRecord> read_transit_csv(std::istream& in,
+                                            size_t* bad_rows) {
+  util::CsvReader reader(in);
+  std::vector<TransitRecord> out;
+  size_t bad = 0;
+  util::CsvRow row;
+  while (reader.next(row)) {
+    if (!row.empty() && row[0] == "prefix") continue;
+    if (row.size() < 7) {
+      ++bad;
+      continue;
+    }
+    auto prefix = net::Prefix::parse(row[0]);
+    auto origin = net::Asn::parse(row[1]);
+    auto transit = net::Asn::parse(row[2]);
+    auto hegemony = util::parse_double(row[3]);
+    if (!prefix || !origin || !transit || !hegemony) {
+      ++bad;
+      continue;
+    }
+    TransitRecord r;
+    r.prefix = *prefix;
+    r.origin = *origin;
+    r.transit = *transit;
+    r.hegemony = *hegemony;
+    r.via_customer = row[4] == "1";
+    r.rpki = parse_rpki_status(row[5]);
+    r.irr = parse_irr_status(row[6]);
+    out.push_back(r);
+  }
+  if (bad_rows) *bad_rows = bad;
+  return out;
+}
+
+}  // namespace manrs::ihr

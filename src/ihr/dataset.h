@@ -1,0 +1,89 @@
+// The Internet Health Report datasets (§5.3 of the paper).
+//
+// The paper consumes two IHR products:
+//   * the *prefix-origin dataset*: routed (prefix, origin AS) pairs with
+//     their RPKI and IRR statuses (the origin is the "trivial transit"
+//     with hegemony 1, split out of the transit data);
+//   * the *transit dataset*: for each prefix-origin pair, the transit ASes
+//     observed on paths toward it with their AS-hegemony scores.
+//
+// IhrSnapshotBuilder recomputes both from the simulator's paths, running
+// the real RFC 6811 / IRR validators over each announcement -- i.e. the
+// IHR ROV module re-implemented. The CSV layouts mirror the fields the
+// paper lists: prefix, origin AS, RPKI status, IRR status, transit AS,
+// AS hegemony.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "bgp/route.h"
+#include "ihr/hegemony.h"
+#include "irr/validation.h"
+#include "netbase/asn.h"
+#include "netbase/prefix.h"
+#include "rpki/validation.h"
+#include "simulator/collector.h"
+#include "simulator/propagation.h"
+
+namespace manrs::ihr {
+
+struct PrefixOriginRecord {
+  net::Prefix prefix;
+  net::Asn origin;
+  rpki::RpkiStatus rpki = rpki::RpkiStatus::kNotFound;
+  irr::IrrStatus irr = irr::IrrStatus::kNotFound;
+  /// Number of vantage points with a route (visibility).
+  uint32_t visibility = 0;
+};
+
+struct TransitRecord {
+  net::Prefix prefix;
+  net::Asn origin;
+  net::Asn transit;
+  double hegemony = 0.0;
+  /// True when the transit learned this route from a direct customer;
+  /// Formula 6 (Action 1 conformance) scopes to customer announcements.
+  bool via_customer = false;
+  rpki::RpkiStatus rpki = rpki::RpkiStatus::kNotFound;
+  irr::IrrStatus irr = irr::IrrStatus::kNotFound;
+};
+
+struct IhrSnapshot {
+  std::vector<PrefixOriginRecord> prefix_origins;
+  std::vector<TransitRecord> transits;
+};
+
+class IhrSnapshotBuilder {
+ public:
+  /// `vantage_points` are the collector-peer ASes whose paths feed the
+  /// hegemony estimation; `trim` is the hegemony trim fraction.
+  IhrSnapshotBuilder(const sim::PropagationSim& sim,
+                     std::vector<net::Asn> vantage_points,
+                     double trim = 0.1);
+
+  /// Build a snapshot. Announcements are bare (prefix, origin) pairs; the
+  /// builder classifies each against `vrps` and `irr` (that classification
+  /// both labels the records and decides droppability during propagation,
+  /// as in the real system where routers validate the same data).
+  IhrSnapshot build(const std::vector<bgp::PrefixOrigin>& announcements,
+                    const rpki::VrpStore& vrps,
+                    const irr::IrrRegistry& irr_registry) const;
+
+ private:
+  const sim::PropagationSim& sim_;
+  std::vector<net::Asn> vantage_points_;
+  double trim_;
+};
+
+/// CSV I/O for both datasets (used to archive snapshots and by tests).
+void write_prefix_origin_csv(std::ostream& out,
+                             const std::vector<PrefixOriginRecord>& records);
+std::vector<PrefixOriginRecord> read_prefix_origin_csv(
+    std::istream& in, size_t* bad_rows = nullptr);
+void write_transit_csv(std::ostream& out,
+                       const std::vector<TransitRecord>& records);
+std::vector<TransitRecord> read_transit_csv(std::istream& in,
+                                            size_t* bad_rows = nullptr);
+
+}  // namespace manrs::ihr

@@ -1,0 +1,66 @@
+#include "ihr/hegemony.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace manrs::ihr {
+
+double trimmed_indicator_mean(size_t ones, size_t total, double trim) {
+  if (total == 0) return 0.0;
+  size_t cut = static_cast<size_t>(
+      std::floor(trim * static_cast<double>(total)));
+  if (2 * cut >= total) return 0.0;
+  size_t kept = total - 2 * cut;
+  size_t zeros = total - ones;
+  // Sorted indicators are [0]*zeros + [1]*ones; the kept window is
+  // [cut, total-cut). Count the ones inside it.
+  size_t window_begin = cut;
+  size_t window_end = total - cut;
+  size_t ones_begin = zeros;  // first index holding a 1
+  size_t ones_in_window = 0;
+  if (ones_begin < window_end) {
+    size_t lo = std::max(window_begin, ones_begin);
+    ones_in_window = window_end > lo ? window_end - lo : 0;
+  }
+  return static_cast<double>(ones_in_window) / static_cast<double>(kept);
+}
+
+std::vector<HegemonyScore> compute_hegemony(
+    const std::vector<bgp::AsPath>& paths, double trim) {
+  size_t total = paths.size();
+  if (total == 0) return {};
+
+  // Count, per AS, in how many viewpoint paths it appears as a transit.
+  std::unordered_map<uint32_t, size_t> appearances;
+  for (const auto& path : paths) {
+    const auto& hops = path.hops();
+    // Skip hop 0 (the vantage itself); de-duplicate prepended hops.
+    uint32_t prev = 0;
+    bool have_prev = false;
+    for (size_t i = 1; i < hops.size(); ++i) {
+      uint32_t value = hops[i].value();
+      if (have_prev && value == prev) continue;
+      ++appearances[value];
+      prev = value;
+      have_prev = true;
+    }
+  }
+
+  std::vector<HegemonyScore> out;
+  out.reserve(appearances.size());
+  for (const auto& [asn, ones] : appearances) {
+    double score = trimmed_indicator_mean(ones, total, trim);
+    if (score > 0.0) {
+      out.push_back(HegemonyScore{net::Asn(asn), score});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HegemonyScore& a, const HegemonyScore& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.asn < b.asn;
+            });
+  return out;
+}
+
+}  // namespace manrs::ihr

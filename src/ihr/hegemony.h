@@ -1,0 +1,42 @@
+// AS Hegemony (Fontugne, Shah, Aben -- PAM 2018).
+//
+// Hegemony estimates, from sampled BGP paths, the fraction of paths toward
+// a destination that transit a given AS; scores are in [0, 1]. Robustness
+// against vantage-point bias comes from trimming: per-AS indicator values
+// across viewpoints are sorted and the top and bottom `trim` fraction are
+// discarded before averaging (the paper's default trim is 10%).
+//
+// §5.3 of the MANRS paper: "IHR considers the origin AS of each prefix a
+// trivial transit AS with hegemony value of 1"; callers split that record
+// out, as IHR does.
+#pragma once
+
+#include <vector>
+
+#include "bgp/route.h"
+#include "netbase/asn.h"
+
+namespace manrs::ihr {
+
+struct HegemonyScore {
+  net::Asn asn;
+  double score = 0.0;
+
+  friend bool operator==(const HegemonyScore&,
+                         const HegemonyScore&) = default;
+};
+
+/// Compute hegemony scores from one AS path per vantage point toward a
+/// single destination. Each path is [vantage, ..., origin]; the vantage AS
+/// itself is not counted as a transit on its own path (a viewpoint is not
+/// evidence of its own centrality), every other hop is. ASes with a zero
+/// post-trim score are omitted. Result is sorted by descending score, ties
+/// by ascending ASN.
+std::vector<HegemonyScore> compute_hegemony(
+    const std::vector<bgp::AsPath>& paths, double trim = 0.1);
+
+/// Trimmed mean of 0/1 indicator samples; exposed for tests and the
+/// trim-sensitivity ablation bench.
+double trimmed_indicator_mean(size_t ones, size_t total, double trim);
+
+}  // namespace manrs::ihr

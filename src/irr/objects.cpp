@@ -1,0 +1,132 @@
+#include "irr/objects.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace manrs::irr {
+
+namespace {
+std::string upper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return out;
+}
+}  // namespace
+
+std::string canonical_set_name(std::string_view name) {
+  return upper(manrs::util::trim(name));
+}
+
+std::optional<RouteObject> RouteObject::from_rpsl(const RpslObject& obj) {
+  auto cls = obj.object_class();
+  if (cls != "route" && cls != "route6") return std::nullopt;
+  auto prefix = net::Prefix::parse(obj.key());
+  if (!prefix) return std::nullopt;
+  if (cls == "route" && !prefix->is_v4()) return std::nullopt;
+  if (cls == "route6" && prefix->is_v4()) return std::nullopt;
+  auto origin_attr = obj.first("origin");
+  if (!origin_attr) return std::nullopt;
+  auto origin = net::Asn::parse(manrs::util::trim(*origin_attr));
+  if (!origin) return std::nullopt;
+
+  RouteObject route;
+  route.prefix = *prefix;
+  route.origin = *origin;
+  if (auto src = obj.first("source")) route.source = upper(*src);
+  for (auto m : obj.all("mnt-by")) {
+    route.maintainers.emplace_back(upper(m));
+  }
+  return route;
+}
+
+RpslObject RouteObject::to_rpsl() const {
+  RpslObject obj;
+  obj.attributes.push_back(
+      {prefix.is_v4() ? "route" : "route6", prefix.to_string()});
+  obj.attributes.push_back({"origin", origin.to_string()});
+  for (const auto& m : maintainers) obj.attributes.push_back({"mnt-by", m});
+  if (!source.empty()) obj.attributes.push_back({"source", source});
+  return obj;
+}
+
+std::optional<AsSetObject> AsSetObject::from_rpsl(const RpslObject& obj) {
+  if (obj.object_class() != "as-set") return std::nullopt;
+  AsSetObject set;
+  set.name = canonical_set_name(obj.key());
+  if (set.name.empty()) return std::nullopt;
+  for (auto members_attr : obj.all("members")) {
+    for (auto member : manrs::util::split(members_attr, ',')) {
+      auto token = manrs::util::trim(member);
+      if (token.empty()) continue;
+      AsSetMember m;
+      if (auto asn = net::Asn::parse(token);
+          asn && token.find('-') == std::string_view::npos) {
+        m.asn = *asn;
+      } else {
+        m.set_name = canonical_set_name(token);
+      }
+      set.members.push_back(std::move(m));
+    }
+  }
+  if (auto src = obj.first("source")) set.source = upper(*src);
+  return set;
+}
+
+RpslObject AsSetObject::to_rpsl() const {
+  RpslObject obj;
+  obj.attributes.push_back({"as-set", name});
+  std::vector<std::string> tokens;
+  tokens.reserve(members.size());
+  for (const auto& m : members) {
+    tokens.push_back(m.is_asn() ? m.asn->to_string() : m.set_name);
+  }
+  if (!tokens.empty()) {
+    obj.attributes.push_back({"members", manrs::util::join(tokens, ", ")});
+  }
+  if (!source.empty()) obj.attributes.push_back({"source", source});
+  return obj;
+}
+
+std::optional<AutNumObject> AutNumObject::from_rpsl(const RpslObject& obj) {
+  if (obj.object_class() != "aut-num") return std::nullopt;
+  auto asn = net::Asn::parse(manrs::util::trim(obj.key()));
+  if (!asn) return std::nullopt;
+  AutNumObject aut;
+  aut.asn = *asn;
+  if (auto name = obj.first("as-name")) aut.as_name = std::string(*name);
+  for (auto line : obj.all("import")) aut.import_lines.emplace_back(line);
+  for (auto line : obj.all("export")) aut.export_lines.emplace_back(line);
+  for (const char* attr : {"admin-c", "tech-c", "e-mail", "notify"}) {
+    for (auto value : obj.all(attr)) {
+      aut.contacts.emplace_back(value);
+    }
+  }
+  if (auto src = obj.first("source")) aut.source = upper(*src);
+  return aut;
+}
+
+RpslObject AutNumObject::to_rpsl() const {
+  RpslObject obj;
+  obj.attributes.push_back({"aut-num", asn.to_string()});
+  if (!as_name.empty()) obj.attributes.push_back({"as-name", as_name});
+  for (const auto& line : import_lines) {
+    obj.attributes.push_back({"import", line});
+  }
+  for (const auto& line : export_lines) {
+    obj.attributes.push_back({"export", line});
+  }
+  for (const auto& contact : contacts) {
+    // Handles serialize as admin-c; addresses (containing '@') as e-mail.
+    obj.attributes.push_back(
+        {contact.find('@') != std::string::npos ? "e-mail" : "admin-c",
+         contact});
+  }
+  if (!source.empty()) obj.attributes.push_back({"source", source});
+  return obj;
+}
+
+}  // namespace manrs::irr

@@ -1,0 +1,79 @@
+// Typed views over RPSL objects.
+//
+// The analysis needs three object classes: route/route6 (the registration
+// the paper validates against, §2.2), as-set (membership expansion used by
+// IXPs/clouds for filter generation), and aut-num (per-AS metadata). Each
+// typed struct is produced from a generic RpslObject, with strict parsing
+// of the fields the pipeline depends on.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "irr/rpsl.h"
+#include "netbase/asn.h"
+#include "netbase/prefix.h"
+
+namespace manrs::irr {
+
+/// A route or route6 object: "this origin AS intends to announce this
+/// prefix".
+struct RouteObject {
+  net::Prefix prefix;
+  net::Asn origin;
+  std::string source;  // the registry this object came from ("RADB", ...)
+  std::vector<std::string> maintainers;  // mnt-by values
+
+  /// Parse from an RpslObject of class route/route6. Returns nullopt when
+  /// the prefix or origin is malformed.
+  static std::optional<RouteObject> from_rpsl(const RpslObject& obj);
+
+  /// Serialize to RPSL.
+  RpslObject to_rpsl() const;
+};
+
+/// An as-set member: either a concrete ASN or a reference to another set.
+struct AsSetMember {
+  std::optional<net::Asn> asn;  // set when the member is an AS number
+  std::string set_name;         // set when the member is another as-set
+
+  bool is_asn() const { return asn.has_value(); }
+};
+
+/// An as-set object: a named, possibly nested, collection of ASNs.
+struct AsSetObject {
+  std::string name;  // canonical upper-case, e.g. "AS-EXAMPLE"
+  std::vector<AsSetMember> members;
+  std::string source;
+
+  static std::optional<AsSetObject> from_rpsl(const RpslObject& obj);
+  RpslObject to_rpsl() const;
+};
+
+/// An aut-num object (policy is carried as opaque strings, which is how
+/// most tooling treats it; contact handles feed the MANRS Action 3
+/// "maintain up-to-date contact information" check).
+struct AutNumObject {
+  net::Asn asn;
+  std::string as_name;
+  std::vector<std::string> import_lines;
+  std::vector<std::string> export_lines;
+  /// admin-c / tech-c handles and e-mail/notify addresses, in source
+  /// order.
+  std::vector<std::string> contacts;
+  std::string source;
+
+  /// True when at least one contact attribute is present (the Action 3
+  /// observable).
+  bool has_contact() const { return !contacts.empty(); }
+
+  static std::optional<AutNumObject> from_rpsl(const RpslObject& obj);
+  RpslObject to_rpsl() const;
+};
+
+/// Canonicalize an as-set name (upper-case; RPSL names are
+/// case-insensitive).
+std::string canonical_set_name(std::string_view name);
+
+}  // namespace manrs::irr

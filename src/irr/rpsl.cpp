@@ -1,0 +1,118 @@
+#include "irr/rpsl.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace manrs::irr {
+
+std::optional<std::string_view> RpslObject::first(
+    std::string_view name) const {
+  for (const auto& attr : attributes) {
+    if (attr.name == name) return std::string_view(attr.value);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> RpslObject::all(std::string_view name) const {
+  std::vector<std::string_view> out;
+  for (const auto& attr : attributes) {
+    if (attr.name == name) out.emplace_back(attr.value);
+  }
+  return out;
+}
+
+namespace {
+/// Strip an RPSL end-of-line comment. '#' only starts a comment; there is
+/// no escaping in practice.
+std::string_view strip_comment(std::string_view line) {
+  size_t pos = line.find('#');
+  return pos == std::string_view::npos ? line : line.substr(0, pos);
+}
+}  // namespace
+
+bool RpslParser::next(RpslObject& object) {
+  object.attributes.clear();
+  std::string line;
+
+  auto get_line = [&]() -> bool {
+    if (has_pending_) {
+      line = std::move(pending_);
+      has_pending_ = false;
+      return true;
+    }
+    if (!std::getline(in_, line)) return false;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return true;
+  };
+
+  // Skip leading blank/comment-only lines.
+  while (true) {
+    if (!get_line()) return false;
+    std::string_view content = manrs::util::trim(strip_comment(line));
+    if (!content.empty()) break;
+  }
+
+  // `line` is the first line of the object.
+  while (true) {
+    std::string_view raw = line;
+    std::string_view content = strip_comment(raw);
+    if (manrs::util::trim(content).empty()) break;  // object terminator
+
+    bool continuation = !object.attributes.empty() && !raw.empty() &&
+                        (raw[0] == ' ' || raw[0] == '\t' || raw[0] == '+');
+    if (continuation) {
+      std::string_view cont = content;
+      if (!cont.empty() && cont[0] == '+') cont.remove_prefix(1);
+      cont = manrs::util::trim(cont);
+      auto& attr = object.attributes.back();
+      if (!cont.empty()) {
+        if (!attr.value.empty()) attr.value += ' ';
+        attr.value.append(cont);
+      }
+    } else {
+      size_t colon = content.find(':');
+      if (colon == std::string_view::npos) {
+        ++malformed_;
+      } else {
+        RpslAttribute attr;
+        attr.name =
+            manrs::util::to_lower(manrs::util::trim(content.substr(0, colon)));
+        attr.value = std::string(manrs::util::trim(content.substr(colon + 1)));
+        if (attr.name.empty()) {
+          ++malformed_;
+        } else {
+          object.attributes.push_back(std::move(attr));
+        }
+      }
+    }
+
+    if (!std::getline(in_, line)) break;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+  }
+  return !object.attributes.empty();
+}
+
+std::vector<RpslObject> parse_rpsl(std::string_view text, size_t* malformed) {
+  std::istringstream in{std::string(text)};
+  RpslParser parser(in);
+  std::vector<RpslObject> out;
+  RpslObject obj;
+  while (parser.next(obj)) out.push_back(obj);
+  if (malformed) *malformed = parser.malformed_lines();
+  return out;
+}
+
+void write_rpsl(std::ostream& out, const RpslObject& object) {
+  for (const auto& attr : object.attributes) {
+    out << attr.name << ":";
+    // Column-align values the way whois output does (16-column gutter).
+    for (size_t pad = attr.name.size() + 1; pad < 16; ++pad) out << ' ';
+    out << attr.value << '\n';
+  }
+  out << '\n';
+}
+
+}  // namespace manrs::irr

@@ -1,0 +1,71 @@
+// RPSL (Routing Policy Specification Language, RFC 2622) object parsing.
+//
+// IRR databases are distributed as flat RPSL text: objects are blocks of
+// "attribute: value" lines separated by blank lines; values continue on
+// following lines that start with whitespace or '+'; '#' begins a comment.
+// The paper's "IRR dataset" is daily snapshots of 22 such databases; we
+// parse and emit the identical representation.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace manrs::irr {
+
+/// One attribute of an RPSL object, with source order preserved.
+struct RpslAttribute {
+  std::string name;   // lowercased
+  std::string value;  // continuation lines joined with ' ', comments removed
+};
+
+/// A generic RPSL object: the class is the name of the first attribute
+/// ("route", "aut-num", "as-set", ...).
+struct RpslObject {
+  std::vector<RpslAttribute> attributes;
+
+  bool empty() const { return attributes.empty(); }
+  std::string_view object_class() const {
+    return attributes.empty() ? std::string_view{} : attributes[0].name;
+  }
+  /// The value of the first attribute, i.e. the primary key for most
+  /// classes ("route: 192.0.2.0/24" -> "192.0.2.0/24").
+  std::string_view key() const {
+    return attributes.empty() ? std::string_view{} : attributes[0].value;
+  }
+
+  /// First value of attribute `name`, if present.
+  std::optional<std::string_view> first(std::string_view name) const;
+  /// All values of attribute `name`, in order.
+  std::vector<std::string_view> all(std::string_view name) const;
+};
+
+/// Streaming parser over an RPSL document.
+class RpslParser {
+ public:
+  explicit RpslParser(std::istream& in) : in_(in) {}
+
+  /// Parse the next object; returns false at end of input. Malformed lines
+  /// (no colon outside a continuation) are skipped and counted.
+  bool next(RpslObject& object);
+
+  size_t malformed_lines() const { return malformed_; }
+
+ private:
+  std::istream& in_;
+  size_t malformed_ = 0;
+  std::string pending_;  // lookahead line owned between next() calls
+  bool has_pending_ = false;
+};
+
+/// Parse a whole document.
+std::vector<RpslObject> parse_rpsl(std::string_view text,
+                                   size_t* malformed = nullptr);
+
+/// Serialize one object back to RPSL text (attributes aligned, trailing
+/// blank line included so concatenated objects round-trip).
+void write_rpsl(std::ostream& out, const RpslObject& object);
+
+}  // namespace manrs::irr

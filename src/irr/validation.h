@@ -1,0 +1,39 @@
+// IRR prefix-origin validation.
+//
+// §6.1 of the paper: "For IRR, we apply the same classification method as
+// RPKI, but since there is no standardized max length attribute in IRR, we
+// consider the prefix length as the max length value for IRR entries."
+// So a route that is more specific than a registered route object with the
+// matching origin classifies as Invalid Length (which §3 treats as
+// MANRS-conformant, reflecting traffic-engineering de-aggregation).
+#pragma once
+
+#include <string_view>
+
+#include "irr/database.h"
+#include "netbase/asn.h"
+#include "netbase/prefix.h"
+
+namespace manrs::irr {
+
+enum class IrrStatus : uint8_t {
+  kValid = 0,
+  kInvalidAsn = 1,
+  kInvalidLength = 2,
+  kNotFound = 3,
+};
+
+std::string_view to_string(IrrStatus s);
+
+inline bool is_invalid(IrrStatus s) { return s == IrrStatus::kInvalidAsn; }
+
+/// Classify (prefix, origin) against the registry's route objects.
+IrrStatus validate_route(const IrrRegistry& registry,
+                         const net::Prefix& route, net::Asn origin);
+
+/// Same decision procedure over a single database (used by per-source
+/// accuracy comparisons).
+IrrStatus validate_route(const IrrDatabase& database,
+                         const net::Prefix& route, net::Asn origin);
+
+}  // namespace manrs::irr

@@ -1,0 +1,283 @@
+#include "mrt/bgp4mp.h"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "mrt/table_dump.h"  // shares the NLRI / path-attribute codecs
+
+namespace manrs::mrt {
+
+namespace {
+
+constexpr uint16_t kAfiIpv4 = 1;
+constexpr uint16_t kAfiIpv6 = 2;
+constexpr uint8_t kSafiUnicast = 1;
+constexpr uint8_t kAttrFlagOptional = 0x80;
+constexpr uint8_t kAttrFlagExtendedLength = 0x10;
+
+void write_address(ByteWriter& w, const net::IpAddress& addr) {
+  if (addr.is_v4()) {
+    w.u32(addr.v4_value());
+  } else {
+    w.u64(addr.hi());
+    w.u64(addr.lo());
+  }
+}
+
+net::IpAddress read_address(ByteReader& r, net::Family family) {
+  if (family == net::Family::kIpv4) return net::IpAddress::v4(r.u32());
+  uint64_t hi = r.u64();
+  uint64_t lo = r.u64();
+  return net::IpAddress::v6(hi, lo);
+}
+
+/// Encode the BGP UPDATE message body (without the 19-byte BGP header).
+ByteWriter encode_update_body(const BgpUpdate& update) {
+  std::vector<net::Prefix> v4_announced, v6_announced, v4_withdrawn,
+      v6_withdrawn;
+  for (const auto& p : update.announced) {
+    (p.is_v4() ? v4_announced : v6_announced).push_back(p);
+  }
+  for (const auto& p : update.withdrawn) {
+    (p.is_v4() ? v4_withdrawn : v6_withdrawn).push_back(p);
+  }
+
+  // Withdrawn routes (v4 only; v6 withdrawals ride in MP_UNREACH_NLRI).
+  ByteWriter withdrawn;
+  for (const auto& p : v4_withdrawn) encode_nlri(withdrawn, p);
+
+  // Path attributes.
+  ByteWriter attrs;
+  if (!update.announced.empty()) {
+    encode_path_attributes(attrs, update.path, net::Family::kIpv4);
+  }
+  if (!v6_announced.empty()) {
+    ByteWriter mp;
+    mp.u16(kAfiIpv6);
+    mp.u8(kSafiUnicast);
+    mp.u8(16);  // next-hop length
+    mp.u64(0x20010db800000000ULL);  // 2001:db8::1 documentation next hop
+    mp.u64(1);
+    mp.u8(0);  // reserved
+    for (const auto& p : v6_announced) encode_nlri(mp, p);
+    attrs.u8(kAttrFlagOptional | kAttrFlagExtendedLength);
+    attrs.u8(kAttrMpReachNlri);
+    attrs.u16(static_cast<uint16_t>(mp.size()));
+    attrs.bytes(mp);
+  }
+  if (!v6_withdrawn.empty()) {
+    ByteWriter mp;
+    mp.u16(kAfiIpv6);
+    mp.u8(kSafiUnicast);
+    for (const auto& p : v6_withdrawn) encode_nlri(mp, p);
+    attrs.u8(kAttrFlagOptional | kAttrFlagExtendedLength);
+    attrs.u8(kAttrMpUnreachNlri);
+    attrs.u16(static_cast<uint16_t>(mp.size()));
+    attrs.bytes(mp);
+  }
+
+  ByteWriter body;
+  body.u16(static_cast<uint16_t>(withdrawn.size()));
+  body.bytes(withdrawn);
+  body.u16(static_cast<uint16_t>(attrs.size()));
+  body.bytes(attrs);
+  for (const auto& p : v4_announced) encode_nlri(body, p);
+  return body;
+}
+
+/// Decode a BGP UPDATE body into a BgpUpdate.
+BgpUpdate decode_update_body(ByteReader& r, size_t body_len) {
+  size_t end = r.position() + body_len;
+  BgpUpdate update;
+
+  size_t withdrawn_len = r.u16();
+  size_t withdrawn_end = r.position() + withdrawn_len;
+  while (r.position() < withdrawn_end) {
+    update.withdrawn.push_back(decode_nlri(r, net::Family::kIpv4));
+  }
+  if (r.position() != withdrawn_end) {
+    throw MrtError("withdrawn-routes length mismatch");
+  }
+
+  size_t attrs_len = r.u16();
+  size_t attrs_end = r.position() + attrs_len;
+  if (attrs_end > end) throw MrtError("attribute block overruns message");
+  while (r.position() < attrs_end) {
+    uint8_t flags = r.u8();
+    uint8_t type = r.u8();
+    size_t len = (flags & kAttrFlagExtendedLength) ? r.u16() : r.u8();
+    if (r.position() + len > attrs_end) {
+      throw MrtError("attribute overruns block");
+    }
+    if (type == kAttrAsPath) {
+      ByteReader attr(r.bytes(len));
+      std::vector<net::Asn> hops;
+      while (!attr.done()) {
+        uint8_t seg_type = attr.u8();
+        uint8_t count = attr.u8();
+        if (seg_type != 2) throw MrtError("non-sequence AS_PATH segment");
+        for (uint8_t i = 0; i < count; ++i) hops.emplace_back(attr.u32());
+      }
+      update.path = bgp::AsPath(std::move(hops));
+    } else if (type == kAttrMpReachNlri) {
+      ByteReader attr(r.bytes(len));
+      uint16_t afi = attr.u16();
+      uint8_t safi = attr.u8();
+      size_t nh_len = attr.u8();
+      attr.skip(nh_len);
+      attr.skip(1);  // reserved
+      net::Family family =
+          afi == kAfiIpv6 ? net::Family::kIpv6 : net::Family::kIpv4;
+      if (safi != kSafiUnicast) continue;  // ignore non-unicast
+      while (!attr.done()) {
+        update.announced.push_back(decode_nlri(attr, family));
+      }
+    } else if (type == kAttrMpUnreachNlri) {
+      ByteReader attr(r.bytes(len));
+      uint16_t afi = attr.u16();
+      uint8_t safi = attr.u8();
+      net::Family family =
+          afi == kAfiIpv6 ? net::Family::kIpv6 : net::Family::kIpv4;
+      if (safi != kSafiUnicast) continue;
+      while (!attr.done()) {
+        update.withdrawn.push_back(decode_nlri(attr, family));
+      }
+    } else {
+      r.skip(len);
+    }
+  }
+  if (r.position() != attrs_end) throw MrtError("attribute length mismatch");
+
+  while (r.position() < end) {
+    update.announced.push_back(decode_nlri(r, net::Family::kIpv4));
+  }
+  return update;
+}
+
+}  // namespace
+
+void Bgp4mpWriter::write(const Bgp4mpRecord& record) {
+  ByteWriter body;
+  body.u32(record.peer_asn.value());
+  body.u32(record.local_asn.value());
+  body.u16(0);  // interface index
+  body.u16(record.peer_ip.is_v4() ? kAfiIpv4 : kAfiIpv6);
+  write_address(body, record.peer_ip);
+  write_address(body, record.local_ip);
+
+  ByteWriter update_body = encode_update_body(record.update);
+  // BGP message header: marker (16 x 0xFF), length, type.
+  for (int i = 0; i < 4; ++i) body.u32(0xFFFFFFFFu);
+  body.u16(static_cast<uint16_t>(19 + update_body.size()));
+  body.u8(kBgpMessageUpdate);
+  body.bytes(update_body);
+
+  ByteWriter header;
+  header.u32(record.timestamp);
+  header.u16(kTypeBgp4mp);
+  header.u16(kSubtypeBgp4mpMessageAs4);
+  header.u32(static_cast<uint32_t>(body.size()));
+  out_.write(reinterpret_cast<const char*>(header.data().data()),
+             static_cast<std::streamsize>(header.size()));
+  out_.write(reinterpret_cast<const char*>(body.data().data()),
+             static_cast<std::streamsize>(body.size()));
+  ++records_;
+}
+
+bool Bgp4mpReader::next(Bgp4mpRecord& record) {
+  while (true) {
+    uint8_t header_raw[12];
+    in_.read(reinterpret_cast<char*>(header_raw), 12);
+    if (in_.gcount() == 0) return false;
+    if (in_.gcount() != 12) {
+      ++bad_;
+      return false;
+    }
+    ByteReader hr(std::span<const uint8_t>(header_raw, 12));
+    uint32_t timestamp = hr.u32();
+    uint16_t type = hr.u16();
+    uint16_t subtype = hr.u16();
+    uint32_t length = hr.u32();
+
+    std::vector<uint8_t> body(length);
+    in_.read(reinterpret_cast<char*>(body.data()),
+             static_cast<std::streamsize>(body.size()));
+    if (static_cast<uint32_t>(in_.gcount()) != length) {
+      ++bad_;
+      return false;
+    }
+    if (type != kTypeBgp4mp || subtype != kSubtypeBgp4mpMessageAs4) {
+      ++skipped_;
+      continue;
+    }
+    try {
+      ByteReader r(body);
+      record.timestamp = timestamp;
+      record.peer_asn = net::Asn(r.u32());
+      record.local_asn = net::Asn(r.u32());
+      r.skip(2);  // interface index
+      uint16_t afi = r.u16();
+      net::Family family =
+          afi == kAfiIpv6 ? net::Family::kIpv6 : net::Family::kIpv4;
+      record.peer_ip = read_address(r, family);
+      record.local_ip = read_address(r, family);
+      // BGP header.
+      r.skip(16);  // marker
+      uint16_t msg_len = r.u16();
+      uint8_t msg_type = r.u8();
+      if (msg_type != kBgpMessageUpdate) {
+        ++skipped_;
+        continue;
+      }
+      if (msg_len < 19) throw MrtError("BGP message length < 19");
+      record.update = decode_update_body(r, msg_len - 19);
+      return true;
+    } catch (const MrtError&) {
+      ++bad_;
+    }
+  }
+}
+
+std::vector<BgpUpdate> diff_tables(
+    const std::vector<bgp::PrefixOrigin>& before,
+    const std::vector<bgp::PrefixOrigin>& after, net::Asn peer) {
+  std::vector<bgp::PrefixOrigin> sorted_before = before;
+  std::vector<bgp::PrefixOrigin> sorted_after = after;
+  std::sort(sorted_before.begin(), sorted_before.end());
+  std::sort(sorted_after.begin(), sorted_after.end());
+
+  std::vector<bgp::PrefixOrigin> added, removed;
+  std::set_difference(sorted_after.begin(), sorted_after.end(),
+                      sorted_before.begin(), sorted_before.end(),
+                      std::back_inserter(added));
+  std::set_difference(sorted_before.begin(), sorted_before.end(),
+                      sorted_after.begin(), sorted_after.end(),
+                      std::back_inserter(removed));
+
+  // Group announcements by origin (one UPDATE per origin, as a router
+  // would emit for routes sharing a path); withdrawals go in one UPDATE.
+  std::map<uint32_t, BgpUpdate> announces;
+  for (const auto& po : added) {
+    BgpUpdate& u = announces[po.origin.value()];
+    if (u.path.empty()) {
+      std::vector<net::Asn> hops;
+      if (peer != po.origin) hops.push_back(peer);
+      hops.push_back(po.origin);
+      u.path = bgp::AsPath(std::move(hops));
+    }
+    u.announced.push_back(po.prefix);
+  }
+  std::vector<BgpUpdate> out;
+  out.reserve(announces.size() + 1);
+  if (!removed.empty()) {
+    BgpUpdate withdrawal;
+    for (const auto& po : removed) withdrawal.withdrawn.push_back(po.prefix);
+    out.push_back(std::move(withdrawal));
+  }
+  for (auto& [_, update] : announces) out.push_back(std::move(update));
+  return out;
+}
+
+}  // namespace manrs::mrt

@@ -1,0 +1,95 @@
+// MRT BGP4MP update records (RFC 6396 §4.4) and the BGP UPDATE message
+// codec (RFC 4271 §4.3, with RFC 4760 multiprotocol NLRI for IPv6).
+//
+// RouteViews and RIS publish two product families: RIB snapshots
+// (table_dump.h) and *update streams* in BGP4MP format. The incident
+// analysis (core/incidents.h, the paper's §12 future work) consumes update
+// streams, so the codec implements the real wire format:
+//
+//   MRT header | peer AS | local AS | ifindex | AFI | peer IP | local IP |
+//   BGP message (16-byte marker, length, type=UPDATE, withdrawn routes,
+//   path attributes, NLRI)
+//
+// IPv4 routes ride in the classic UPDATE fields; IPv6 routes ride in
+// MP_REACH_NLRI / MP_UNREACH_NLRI attributes, exactly as on the wire.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "bgp/route.h"
+#include "mrt/wire.h"
+#include "netbase/ip.h"
+
+namespace manrs::mrt {
+
+inline constexpr uint16_t kTypeBgp4mp = 16;
+inline constexpr uint16_t kSubtypeBgp4mpMessageAs4 = 4;
+
+inline constexpr uint8_t kBgpMessageUpdate = 2;
+inline constexpr uint8_t kAttrMpReachNlri = 14;
+inline constexpr uint8_t kAttrMpUnreachNlri = 15;
+
+/// One BGP UPDATE, family-merged: `announced` prefixes share the given AS
+/// path; `withdrawn` prefixes are being removed.
+struct BgpUpdate {
+  std::vector<net::Prefix> announced;
+  std::vector<net::Prefix> withdrawn;
+  bgp::AsPath path;  // must be non-empty when `announced` is non-empty
+
+  bool empty() const { return announced.empty() && withdrawn.empty(); }
+};
+
+/// A BGP4MP_MESSAGE_AS4 record.
+struct Bgp4mpRecord {
+  uint32_t timestamp = 0;
+  net::Asn peer_asn;
+  net::Asn local_asn;
+  net::IpAddress peer_ip;   // also selects the header address family
+  net::IpAddress local_ip;  // must match peer_ip's family
+  BgpUpdate update;
+};
+
+/// Serialize BGP4MP update records to a stream.
+class Bgp4mpWriter {
+ public:
+  explicit Bgp4mpWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one record; v4 and v6 prefixes in the update are split into
+  /// the appropriate wire encodings automatically.
+  void write(const Bgp4mpRecord& record);
+
+  size_t records_written() const { return records_; }
+
+ private:
+  std::ostream& out_;
+  size_t records_ = 0;
+};
+
+/// Streaming BGP4MP reader. Unsupported MRT types/subtypes and non-UPDATE
+/// BGP messages are skipped; malformed records are counted and skipped.
+class Bgp4mpReader {
+ public:
+  explicit Bgp4mpReader(std::istream& in) : in_(in) {}
+
+  bool next(Bgp4mpRecord& record);
+
+  size_t skipped_records() const { return skipped_; }
+  size_t bad_records() const { return bad_; }
+
+ private:
+  std::istream& in_;
+  size_t skipped_ = 0;
+  size_t bad_ = 0;
+};
+
+/// Diff two routing tables into per-origin UPDATE messages: prefixes in
+/// `after` but not `before` are announced (grouped by origin, with a
+/// synthetic path [peer, origin] unless peer == origin), prefixes only in
+/// `before` are withdrawn. Deterministic order.
+std::vector<BgpUpdate> diff_tables(
+    const std::vector<bgp::PrefixOrigin>& before,
+    const std::vector<bgp::PrefixOrigin>& after, net::Asn peer);
+
+}  // namespace manrs::mrt

@@ -1,0 +1,333 @@
+#include "mrt/table_dump.h"
+
+#include <array>
+#include <istream>
+#include <ostream>
+
+namespace manrs::mrt {
+
+namespace {
+
+// Peer-type flag bits (RFC 6396 §4.3.1).
+constexpr uint8_t kPeerFlagV6 = 0x01;
+constexpr uint8_t kPeerFlagAs4 = 0x02;
+
+// BGP attribute flag bits.
+constexpr uint8_t kAttrFlagTransitive = 0x40;
+constexpr uint8_t kAttrFlagExtendedLength = 0x10;
+
+constexpr uint8_t kAsPathSegmentSet = 1;
+constexpr uint8_t kAsPathSegmentSequence = 2;
+
+void write_address(ByteWriter& w, const net::IpAddress& addr) {
+  if (addr.is_v4()) {
+    w.u32(addr.v4_value());
+  } else {
+    w.u64(addr.hi());
+    w.u64(addr.lo());
+  }
+}
+
+net::IpAddress read_address(ByteReader& r, net::Family family) {
+  if (family == net::Family::kIpv4) return net::IpAddress::v4(r.u32());
+  uint64_t hi = r.u64();
+  uint64_t lo = r.u64();
+  return net::IpAddress::v6(hi, lo);
+}
+
+}  // namespace
+
+void encode_nlri(ByteWriter& w, const net::Prefix& prefix) {
+  w.u8(static_cast<uint8_t>(prefix.length()));
+  size_t nbytes = (prefix.length() + 7) / 8;
+  // The address value is left-aligned in the 128-bit words for both
+  // families, so the first `nbytes` bytes of the big-endian encoding are
+  // exactly the NLRI bytes.
+  std::array<uint8_t, 16> raw{};
+  uint64_t hi = prefix.address().hi();
+  uint64_t lo = prefix.address().lo();
+  for (int i = 0; i < 8; ++i) {
+    raw[static_cast<size_t>(i)] = static_cast<uint8_t>(hi >> (56 - 8 * i));
+    raw[static_cast<size_t>(8 + i)] =
+        static_cast<uint8_t>(lo >> (56 - 8 * i));
+  }
+  w.bytes(std::span<const uint8_t>(raw.data(), nbytes));
+}
+
+net::Prefix decode_nlri(ByteReader& r, net::Family family) {
+  unsigned len = r.u8();
+  if (len > net::family_bits(family)) {
+    throw MrtError("NLRI length " + std::to_string(len) +
+                   " exceeds family width");
+  }
+  size_t nbytes = (len + 7) / 8;
+  auto raw = r.bytes(nbytes);
+  uint64_t hi = 0, lo = 0;
+  for (size_t i = 0; i < nbytes && i < 8; ++i) {
+    hi |= static_cast<uint64_t>(raw[i]) << (56 - 8 * i);
+  }
+  for (size_t i = 8; i < nbytes; ++i) {
+    lo |= static_cast<uint64_t>(raw[i]) << (56 - 8 * (i - 8));
+  }
+  net::IpAddress addr = family == net::Family::kIpv4
+                            ? net::IpAddress::v4(static_cast<uint32_t>(hi >> 32))
+                            : net::IpAddress::v6(hi, lo);
+  return net::Prefix(addr, len);
+}
+
+void encode_path_attributes(ByteWriter& w, const bgp::AsPath& path,
+                            net::Family family) {
+  // ORIGIN: IGP.
+  w.u8(kAttrFlagTransitive);
+  w.u8(kAttrOrigin);
+  w.u8(1);
+  w.u8(0);
+
+  // AS_PATH: one AS_SEQUENCE segment, 4-byte ASNs (AS4 peers).
+  {
+    ByteWriter seg;
+    seg.u8(kAsPathSegmentSequence);
+    seg.u8(static_cast<uint8_t>(path.hops().size()));
+    for (net::Asn asn : path.hops()) seg.u32(asn.value());
+    w.u8(kAttrFlagTransitive | kAttrFlagExtendedLength);
+    w.u8(kAttrAsPath);
+    w.u16(static_cast<uint16_t>(seg.size()));
+    w.bytes(seg);
+  }
+
+  // NEXT_HOP for IPv4 (IPv6 next hops ride in MP_REACH_NLRI in real BGP;
+  // RIB dumps omit it for v6 here, which decoders must tolerate anyway).
+  if (family == net::Family::kIpv4) {
+    w.u8(kAttrFlagTransitive);
+    w.u8(kAttrNextHop);
+    w.u8(4);
+    w.u32(0xC0000201);  // 192.0.2.1, a documentation next hop
+  }
+}
+
+bgp::AsPath decode_path_attributes(ByteReader& r, size_t attr_len) {
+  size_t end = r.position() + attr_len;
+  bgp::AsPath path;
+  while (r.position() < end) {
+    uint8_t flags = r.u8();
+    uint8_t type = r.u8();
+    size_t len =
+        (flags & kAttrFlagExtendedLength) ? r.u16() : r.u8();
+    if (r.position() + len > end) {
+      throw MrtError("attribute overruns attribute block");
+    }
+    if (type == kAttrAsPath) {
+      ByteReader attr(r.bytes(len));
+      std::vector<net::Asn> hops;
+      while (!attr.done()) {
+        uint8_t seg_type = attr.u8();
+        uint8_t count = attr.u8();
+        if (seg_type == kAsPathSegmentSet) {
+          throw MrtError("AS_SET segment (deprecated, RFC 6472)");
+        }
+        if (seg_type != kAsPathSegmentSequence) {
+          throw MrtError("unknown AS_PATH segment type " +
+                         std::to_string(seg_type));
+        }
+        for (uint8_t i = 0; i < count; ++i) {
+          hops.emplace_back(attr.u32());
+        }
+      }
+      path = bgp::AsPath(std::move(hops));
+    } else {
+      r.skip(len);
+    }
+  }
+  if (r.position() != end) throw MrtError("attribute block length mismatch");
+  return path;
+}
+
+void TableDumpWriter::write_record(uint16_t subtype, const ByteWriter& body) {
+  ByteWriter header;
+  header.u32(timestamp_);
+  header.u16(kTypeTableDumpV2);
+  header.u16(subtype);
+  header.u32(static_cast<uint32_t>(body.size()));
+  out_.write(reinterpret_cast<const char*>(header.data().data()),
+             static_cast<std::streamsize>(header.size()));
+  out_.write(reinterpret_cast<const char*>(body.data().data()),
+             static_cast<std::streamsize>(body.size()));
+}
+
+void TableDumpWriter::write_peer_index(const PeerIndexTable& table) {
+  ByteWriter body;
+  body.u32(table.collector_bgp_id);
+  body.u16(static_cast<uint16_t>(table.view_name.size()));
+  body.bytes(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(table.view_name.data()),
+      table.view_name.size()));
+  body.u16(static_cast<uint16_t>(table.peers.size()));
+  for (const auto& peer : table.peers) {
+    uint8_t flags = kPeerFlagAs4;
+    if (peer.address.is_v6()) flags |= kPeerFlagV6;
+    body.u8(flags);
+    body.u32(peer.bgp_id);
+    write_address(body, peer.address);
+    body.u32(peer.asn.value());
+  }
+  write_record(kSubtypePeerIndexTable, body);
+}
+
+void TableDumpWriter::write_rib_record(const RibRecord& record) {
+  ByteWriter body;
+  body.u32(record.sequence);
+  encode_nlri(body, record.prefix);
+  body.u16(static_cast<uint16_t>(record.entries.size()));
+  for (const auto& entry : record.entries) {
+    body.u16(entry.peer_index);
+    body.u32(entry.originated_time);
+    ByteWriter attrs;
+    encode_path_attributes(attrs, entry.path, record.prefix.family());
+    body.u16(static_cast<uint16_t>(attrs.size()));
+    body.bytes(attrs);
+  }
+  uint16_t subtype = record.prefix.is_v4() ? kSubtypeRibIpv4Unicast
+                                           : kSubtypeRibIpv6Unicast;
+  write_record(subtype, body);
+}
+
+size_t TableDumpWriter::write_rib(const bgp::Rib& rib,
+                                  const std::string& view_name) {
+  PeerIndexTable table;
+  table.collector_bgp_id = 0x0A000001;  // 10.0.0.1
+  table.view_name = view_name;
+  for (uint32_t i = 0; i < rib.peer_count(); ++i) {
+    PeerEntry peer;
+    peer.bgp_id = 0x0A000100 + i;
+    peer.address = net::IpAddress::v4(0x0A000100 + i);
+    peer.asn = rib.peer_asn(i);
+    table.peers.push_back(peer);
+  }
+  write_peer_index(table);
+
+  size_t records = 0;
+  uint32_t sequence = 0;
+  rib.for_each([&](const net::Prefix& prefix,
+                   const std::vector<bgp::RibEntry>& entries) {
+    RibRecord record;
+    record.sequence = sequence++;
+    record.prefix = prefix;
+    for (const auto& e : entries) {
+      record.entries.push_back(RibEntryRecord{
+          static_cast<uint16_t>(e.peer_index), timestamp_, e.path});
+    }
+    write_rib_record(record);
+    ++records;
+  });
+  return records;
+}
+
+bool TableDumpReader::next(Record& record) {
+  while (true) {
+    std::array<uint8_t, 12> header_raw{};
+    in_.read(reinterpret_cast<char*>(header_raw.data()), 12);
+    if (in_.gcount() == 0) return false;  // clean EOF
+    if (in_.gcount() != 12) {
+      ++bad_;
+      return false;  // truncated header: nothing more to salvage
+    }
+    ByteReader hr(header_raw);
+    MrtHeader header;
+    header.timestamp = hr.u32();
+    header.type = hr.u16();
+    header.subtype = hr.u16();
+    header.length = hr.u32();
+
+    std::vector<uint8_t> body(header.length);
+    in_.read(reinterpret_cast<char*>(body.data()),
+             static_cast<std::streamsize>(body.size()));
+    if (static_cast<uint32_t>(in_.gcount()) != header.length) {
+      ++bad_;
+      return false;
+    }
+
+    if (header.type != kTypeTableDumpV2) {
+      ++skipped_;
+      continue;
+    }
+
+    record.header = header;
+    record.peer_index.reset();
+    record.rib.reset();
+    try {
+      ByteReader r(body);
+      if (header.subtype == kSubtypePeerIndexTable) {
+        PeerIndexTable table;
+        table.collector_bgp_id = r.u32();
+        size_t name_len = r.u16();
+        auto name = r.bytes(name_len);
+        table.view_name.assign(reinterpret_cast<const char*>(name.data()),
+                               name.size());
+        size_t peer_count = r.u16();
+        for (size_t i = 0; i < peer_count; ++i) {
+          uint8_t flags = r.u8();
+          PeerEntry peer;
+          peer.bgp_id = r.u32();
+          peer.address = read_address(
+              r, (flags & kPeerFlagV6) ? net::Family::kIpv6
+                                       : net::Family::kIpv4);
+          peer.asn = net::Asn((flags & kPeerFlagAs4)
+                                  ? r.u32()
+                                  : static_cast<uint32_t>(r.u16()));
+          table.peers.push_back(peer);
+        }
+        record.peer_index = std::move(table);
+        return true;
+      }
+      if (header.subtype == kSubtypeRibIpv4Unicast ||
+          header.subtype == kSubtypeRibIpv6Unicast) {
+        RibRecord rib;
+        rib.sequence = r.u32();
+        rib.prefix = decode_nlri(
+            r, header.subtype == kSubtypeRibIpv4Unicast
+                   ? net::Family::kIpv4
+                   : net::Family::kIpv6);
+        size_t entry_count = r.u16();
+        for (size_t i = 0; i < entry_count; ++i) {
+          RibEntryRecord entry;
+          entry.peer_index = r.u16();
+          entry.originated_time = r.u32();
+          size_t attr_len = r.u16();
+          entry.path = decode_path_attributes(r, attr_len);
+          rib.entries.push_back(std::move(entry));
+        }
+        record.rib = std::move(rib);
+        return true;
+      }
+      ++skipped_;
+    } catch (const MrtError&) {
+      ++bad_;
+    }
+  }
+}
+
+bgp::Rib TableDumpReader::read_rib(std::istream& in, size_t* bad_records) {
+  TableDumpReader reader(in);
+  bgp::Rib rib;
+  Record record;
+  std::vector<uint32_t> peer_map;  // dump peer index -> rib peer index
+  while (reader.next(record)) {
+    if (record.peer_index) {
+      peer_map.clear();
+      for (const auto& peer : record.peer_index->peers) {
+        peer_map.push_back(rib.add_peer(peer.asn));
+      }
+    } else if (record.rib) {
+      for (auto& entry : record.rib->entries) {
+        uint32_t peer = entry.peer_index < peer_map.size()
+                            ? peer_map[entry.peer_index]
+                            : entry.peer_index;
+        rib.insert(record.rib->prefix, peer, std::move(entry.path));
+      }
+    }
+  }
+  if (bad_records) *bad_records = reader.bad_records();
+  return rib;
+}
+
+}  // namespace manrs::mrt

@@ -1,0 +1,125 @@
+// MRT TABLE_DUMP_V2 encoding and decoding (RFC 6396 §4.3).
+//
+// RouteViews and RIPE RIS publish RIB snapshots in this format; the
+// paper's BGP inputs (via IHR) ultimately come from such dumps. Our
+// simulator serializes collector RIBs to TABLE_DUMP_V2 and the analysis
+// pipeline parses them back, so the decode path is exercised exactly as a
+// bgpdump/libbgpstream pipeline would exercise it.
+//
+// Supported records: PEER_INDEX_TABLE, RIB_IPV4_UNICAST, RIB_IPV6_UNICAST.
+// Supported path attributes on decode: ORIGIN, AS_PATH (AS_SEQUENCE, 4-byte
+// ASNs); other attributes are skipped by length. AS_SET segments are
+// rejected per measurement-pipeline convention (RFC 6472 deprecates them).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/rib.h"
+#include "bgp/route.h"
+#include "mrt/wire.h"
+#include "netbase/ip.h"
+#include "netbase/prefix.h"
+
+namespace manrs::mrt {
+
+inline constexpr uint16_t kTypeTableDumpV2 = 13;
+inline constexpr uint16_t kSubtypePeerIndexTable = 1;
+inline constexpr uint16_t kSubtypeRibIpv4Unicast = 2;
+inline constexpr uint16_t kSubtypeRibIpv6Unicast = 4;
+
+// BGP path attribute type codes.
+inline constexpr uint8_t kAttrOrigin = 1;
+inline constexpr uint8_t kAttrAsPath = 2;
+inline constexpr uint8_t kAttrNextHop = 3;
+
+struct MrtHeader {
+  uint32_t timestamp = 0;
+  uint16_t type = 0;
+  uint16_t subtype = 0;
+  uint32_t length = 0;
+};
+
+struct PeerEntry {
+  uint32_t bgp_id = 0;
+  net::IpAddress address;
+  net::Asn asn;
+};
+
+struct PeerIndexTable {
+  uint32_t collector_bgp_id = 0;
+  std::string view_name;
+  std::vector<PeerEntry> peers;
+};
+
+struct RibEntryRecord {
+  uint16_t peer_index = 0;
+  uint32_t originated_time = 0;
+  bgp::AsPath path;
+};
+
+struct RibRecord {
+  uint32_t sequence = 0;
+  net::Prefix prefix;
+  std::vector<RibEntryRecord> entries;
+};
+
+/// Serializes a RIB snapshot to a TABLE_DUMP_V2 stream.
+class TableDumpWriter {
+ public:
+  TableDumpWriter(std::ostream& out, uint32_t timestamp)
+      : out_(out), timestamp_(timestamp) {}
+
+  void write_peer_index(const PeerIndexTable& table);
+  void write_rib_record(const RibRecord& record);
+
+  /// Convenience: dump an entire bgp::Rib (peer table first, then one
+  /// record per prefix in sorted order). Returns records written.
+  size_t write_rib(const bgp::Rib& rib, const std::string& view_name);
+
+ private:
+  void write_record(uint16_t subtype, const ByteWriter& body);
+  std::ostream& out_;
+  uint32_t timestamp_;
+};
+
+/// Streaming TABLE_DUMP_V2 reader.
+class TableDumpReader {
+ public:
+  explicit TableDumpReader(std::istream& in) : in_(in) {}
+
+  /// Parsed record variants; exactly one engages per successful read.
+  struct Record {
+    MrtHeader header;
+    std::optional<PeerIndexTable> peer_index;
+    std::optional<RibRecord> rib;
+  };
+
+  /// Read the next record. Returns false on clean EOF. Records of
+  /// unsupported type/subtype are skipped transparently; records that fail
+  /// to parse are skipped and counted.
+  bool next(Record& record);
+
+  size_t skipped_records() const { return skipped_; }
+  size_t bad_records() const { return bad_; }
+
+  /// Convenience: reconstruct a bgp::Rib from an entire stream.
+  static bgp::Rib read_rib(std::istream& in, size_t* bad_records = nullptr);
+
+ private:
+  std::istream& in_;
+  size_t skipped_ = 0;
+  size_t bad_ = 0;
+};
+
+/// Encode/decode helpers shared with tests.
+void encode_nlri(ByteWriter& w, const net::Prefix& prefix);
+net::Prefix decode_nlri(ByteReader& r, net::Family family);
+void encode_path_attributes(ByteWriter& w, const bgp::AsPath& path,
+                            net::Family family);
+bgp::AsPath decode_path_attributes(ByteReader& r, size_t attr_len);
+
+}  // namespace manrs::mrt

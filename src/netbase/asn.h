@@ -1,0 +1,73 @@
+// Autonomous System Number strong type.
+//
+// A plain uint32_t invites mixing up ASNs with counts and indices; Asn is a
+// trivially-copyable wrapper with parsing for both "64496" and "AS64496"
+// spellings (IRR objects use the latter).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace manrs::net {
+
+class Asn {
+ public:
+  constexpr Asn() = default;
+  constexpr explicit Asn(uint32_t value) : value_(value) {}
+
+  constexpr uint32_t value() const { return value_; }
+
+  /// AS0 is reserved (RFC 7607) and used in RPKI to mark address space
+  /// that must not be originated; the paper's AS23947 case study hinges
+  /// on an AS0 ROA.
+  constexpr bool is_reserved_as0() const { return value_ == 0; }
+
+  /// Parse "64496" or "AS64496" (case-insensitive prefix).
+  static std::optional<Asn> parse(std::string_view s);
+
+  /// "AS64496".
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Asn, Asn) = default;
+
+ private:
+  uint32_t value_ = 0;
+};
+
+}  // namespace manrs::net
+
+template <>
+struct std::hash<manrs::net::Asn> {
+  size_t operator()(manrs::net::Asn a) const noexcept {
+    uint64_t z = a.value() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+};
+
+namespace manrs::net {
+
+inline std::optional<Asn> Asn::parse(std::string_view s) {
+  if (s.size() >= 2 && (s[0] == 'A' || s[0] == 'a') &&
+      (s[1] == 'S' || s[1] == 's')) {
+    s.remove_prefix(2);
+  }
+  if (s.empty()) return std::nullopt;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+    if (v > 0xffffffffULL) return std::nullopt;
+  }
+  return Asn(static_cast<uint32_t>(v));
+}
+
+inline std::string Asn::to_string() const {
+  return "AS" + std::to_string(value_);
+}
+
+}  // namespace manrs::net

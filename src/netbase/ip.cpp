@@ -1,0 +1,205 @@
+#include "netbase/ip.h"
+
+#include <array>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace manrs::net {
+
+namespace {
+
+std::optional<IpAddress> parse_v4(std::string_view s) {
+  auto parts = manrs::util::split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  uint32_t value = 0;
+  for (auto part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    auto octet = manrs::util::parse_uint<uint32_t>(part);
+    if (!octet || *octet > 255) return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  return IpAddress::v4(value);
+}
+
+std::optional<uint16_t> parse_hextet(std::string_view s) {
+  if (s.empty() || s.size() > 4) return std::nullopt;
+  uint32_t value = 0;
+  for (char c : s) {
+    uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint32_t>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+    value = (value << 4) | digit;
+  }
+  return static_cast<uint16_t>(value);
+}
+
+std::optional<IpAddress> parse_v6(std::string_view s) {
+  // Split on "::" (at most one occurrence).
+  size_t gap = s.find("::");
+  std::vector<std::string_view> head, tail;
+  if (gap != std::string_view::npos) {
+    if (s.find("::", gap + 1) != std::string_view::npos) return std::nullopt;
+    std::string_view left = s.substr(0, gap);
+    std::string_view right = s.substr(gap + 2);
+    if (!left.empty()) head = manrs::util::split(left, ':');
+    if (!right.empty()) tail = manrs::util::split(right, ':');
+  } else {
+    head = manrs::util::split(s, ':');
+  }
+
+  // Expand an embedded IPv4 tail ("::ffff:192.0.2.1").
+  auto expand_v4 = [](std::vector<std::string_view>& groups,
+                      std::array<uint16_t, 8>& scratch,
+                      size_t& extra) -> bool {
+    extra = 0;
+    if (groups.empty()) return true;
+    std::string_view last = groups.back();
+    if (last.find('.') == std::string_view::npos) return true;
+    auto v4 = parse_v4(last);
+    if (!v4) return false;
+    uint32_t v = v4->v4_value();
+    scratch[0] = static_cast<uint16_t>(v >> 16);
+    scratch[1] = static_cast<uint16_t>(v & 0xffff);
+    groups.pop_back();
+    extra = 2;
+    return true;
+  };
+
+  std::array<uint16_t, 8> head_v4{}, tail_v4{};
+  size_t head_extra = 0, tail_extra = 0;
+  if (gap == std::string_view::npos) {
+    if (!expand_v4(head, head_v4, head_extra)) return std::nullopt;
+  } else {
+    if (!expand_v4(tail, tail_v4, tail_extra)) return std::nullopt;
+  }
+
+  std::vector<uint16_t> head_groups, tail_groups;
+  for (auto g : head) {
+    auto h = parse_hextet(g);
+    if (!h) return std::nullopt;
+    head_groups.push_back(*h);
+  }
+  for (size_t i = 0; i < head_extra; ++i) head_groups.push_back(head_v4[i]);
+  for (auto g : tail) {
+    auto h = parse_hextet(g);
+    if (!h) return std::nullopt;
+    tail_groups.push_back(*h);
+  }
+  for (size_t i = 0; i < tail_extra; ++i) tail_groups.push_back(tail_v4[i]);
+
+  size_t total = head_groups.size() + tail_groups.size();
+  if (gap == std::string_view::npos) {
+    if (total != 8) return std::nullopt;
+  } else {
+    if (total > 7 && !(total == 8 && head_groups.empty() &&
+                       tail_groups.empty())) {
+      // "::" must compress at least one group unless the address is all
+      // groups already; with 8 explicit groups "::" is redundant/invalid.
+      if (total >= 8) return std::nullopt;
+    }
+  }
+
+  std::array<uint16_t, 8> groups{};
+  for (size_t i = 0; i < head_groups.size(); ++i) groups[i] = head_groups[i];
+  for (size_t i = 0; i < tail_groups.size(); ++i) {
+    groups[8 - tail_groups.size() + i] = tail_groups[i];
+  }
+
+  uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 4; ++i) hi = (hi << 16) | groups[static_cast<size_t>(i)];
+  for (int i = 4; i < 8; ++i) lo = (lo << 16) | groups[static_cast<size_t>(i)];
+  return IpAddress::v6(hi, lo);
+}
+
+}  // namespace
+
+std::optional<IpAddress> IpAddress::parse(std::string_view s) {
+  s = manrs::util::trim(s);
+  if (s.empty()) return std::nullopt;
+  if (s.find(':') != std::string_view::npos) return parse_v6(s);
+  return parse_v4(s);
+}
+
+IpAddress IpAddress::with_bit(unsigned i, bool value) const {
+  IpAddress out = *this;
+  if (i < 64) {
+    uint64_t mask = 1ULL << (63 - i);
+    out.hi_ = value ? (hi_ | mask) : (hi_ & ~mask);
+  } else {
+    uint64_t mask = 1ULL << (127 - i);
+    out.lo_ = value ? (lo_ | mask) : (lo_ & ~mask);
+  }
+  return out;
+}
+
+IpAddress IpAddress::masked(unsigned len) const {
+  IpAddress out = *this;
+  if (len >= 128) return out;
+  if (len >= 64) {
+    unsigned keep = len - 64;
+    out.lo_ = keep == 0 ? 0 : (lo_ & (~0ULL << (64 - keep)));
+  } else {
+    out.hi_ = len == 0 ? 0 : (hi_ & (~0ULL << (64 - len)));
+    out.lo_ = 0;
+  }
+  return out;
+}
+
+std::string IpAddress::to_string() const {
+  char buf[64];
+  if (is_v4()) {
+    uint32_t v = v4_value();
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (v >> 24) & 0xff,
+                  (v >> 16) & 0xff, (v >> 8) & 0xff, v & 0xff);
+    return buf;
+  }
+  // RFC 5952: compress the longest run of zero groups (>= 2), lowercase hex.
+  std::array<uint16_t, 8> groups{};
+  for (int i = 0; i < 4; ++i) {
+    groups[static_cast<size_t>(i)] =
+        static_cast<uint16_t>(hi_ >> (48 - 16 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    groups[static_cast<size_t>(4 + i)] =
+        static_cast<uint16_t>(lo_ >> (48 - 16 * i));
+  }
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_len = j - i;
+      best_start = i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  for (int i = 0; i < 8; ++i) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len - 1;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof(buf), "%x", groups[static_cast<size_t>(i)]);
+    out += buf;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+}  // namespace manrs::net

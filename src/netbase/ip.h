@@ -1,0 +1,92 @@
+// IP address value type covering IPv4 and IPv6.
+//
+// Addresses are stored as a 128-bit big-endian quantity (two uint64 words);
+// IPv4 addresses occupy the high 32 bits of `hi` so that "bit i" means the
+// i-th most significant bit of the address for both families. This makes
+// longest-prefix-match tries family-agnostic.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace manrs::net {
+
+enum class Family : uint8_t { kIpv4 = 4, kIpv6 = 6 };
+
+/// Address width in bits for a family (32 or 128).
+constexpr unsigned family_bits(Family f) {
+  return f == Family::kIpv4 ? 32u : 128u;
+}
+
+class IpAddress {
+ public:
+  /// Default: IPv4 0.0.0.0.
+  constexpr IpAddress() = default;
+
+  /// IPv4 from host-order 32-bit value (e.g. 0xC0000200 = 192.0.2.0).
+  static constexpr IpAddress v4(uint32_t value) {
+    IpAddress a;
+    a.family_ = Family::kIpv4;
+    a.hi_ = static_cast<uint64_t>(value) << 32;
+    a.lo_ = 0;
+    return a;
+  }
+
+  /// IPv6 from two host-order 64-bit words (hi = first 8 bytes).
+  static constexpr IpAddress v6(uint64_t hi, uint64_t lo) {
+    IpAddress a;
+    a.family_ = Family::kIpv6;
+    a.hi_ = hi;
+    a.lo_ = lo;
+    return a;
+  }
+
+  /// Parse dotted-quad IPv4 or RFC 4291 IPv6 (with "::" compression and
+  /// optional embedded IPv4 tail). Returns nullopt on malformed input.
+  static std::optional<IpAddress> parse(std::string_view s);
+
+  Family family() const { return family_; }
+  bool is_v4() const { return family_ == Family::kIpv4; }
+  bool is_v6() const { return family_ == Family::kIpv6; }
+  unsigned bits() const { return family_bits(family_); }
+
+  /// IPv4 value in host order. Precondition: is_v4().
+  uint32_t v4_value() const { return static_cast<uint32_t>(hi_ >> 32); }
+
+  uint64_t hi() const { return hi_; }
+  uint64_t lo() const { return lo_; }
+
+  /// The i-th most significant bit (0-based). i < bits().
+  bool bit(unsigned i) const {
+    // IPv4 addresses live in the top 32 bits of hi_, so the same indexing
+    // works for both families.
+    if (i < 64) return (hi_ >> (63 - i)) & 1;
+    return (lo_ >> (127 - i)) & 1;
+  }
+
+  /// Copy with the i-th most significant bit set to `value`.
+  IpAddress with_bit(unsigned i, bool value) const;
+
+  /// Zero all bits at positions >= len (mask to a prefix of length `len`).
+  IpAddress masked(unsigned len) const;
+
+  /// Canonical text: dotted quad for v4, RFC 5952 compressed for v6.
+  std::string to_string() const;
+
+  friend auto operator<=>(const IpAddress& a, const IpAddress& b) {
+    if (auto c = a.family_ <=> b.family_; c != 0) return c;
+    if (auto c = a.hi_ <=> b.hi_; c != 0) return c;
+    return a.lo_ <=> b.lo_;
+  }
+  friend bool operator==(const IpAddress&, const IpAddress&) = default;
+
+ private:
+  Family family_ = Family::kIpv4;
+  uint64_t hi_ = 0;
+  uint64_t lo_ = 0;
+};
+
+}  // namespace manrs::net

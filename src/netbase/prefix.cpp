@@ -1,0 +1,64 @@
+#include "netbase/prefix.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace manrs::net {
+
+Prefix::Prefix(IpAddress address, unsigned length) {
+  unsigned width = address.bits();
+  if (length > width) length = width;
+  length_ = length;
+  // Mask position: v4 addresses sit in the top 32 bits of the 128-bit
+  // value, so masking at `length` works directly for both families.
+  address_ = address.masked(length);
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view s) {
+  s = manrs::util::trim(s);
+  size_t slash = s.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = IpAddress::parse(s.substr(0, slash));
+  if (!addr) return std::nullopt;
+  auto len = manrs::util::parse_uint<unsigned>(s.substr(slash + 1));
+  if (!len || *len > addr->bits()) return std::nullopt;
+  return Prefix(*addr, *len);
+}
+
+Prefix Prefix::must_parse(std::string_view s) {
+  auto p = parse(s);
+  if (!p) {
+    std::fprintf(stderr, "Prefix::must_parse: malformed prefix '%.*s'\n",
+                 static_cast<int>(s.size()), s.data());
+    std::abort();
+  }
+  return *p;
+}
+
+bool Prefix::contains(const Prefix& other) const {
+  if (family() != other.family()) return false;
+  if (other.length_ < length_) return false;
+  return other.address_.masked(length_) == address_;
+}
+
+bool Prefix::contains(const IpAddress& addr) const {
+  if (family() != addr.family()) return false;
+  return addr.masked(length_) == address_;
+}
+
+double Prefix::address_count() const {
+  unsigned width = address_.bits();
+  return std::pow(2.0, static_cast<double>(width - length_));
+}
+
+std::string Prefix::to_string() const {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%s/%u", address_.to_string().c_str(),
+                length_);
+  return buf;
+}
+
+}  // namespace manrs::net

@@ -1,0 +1,75 @@
+// CIDR prefix value type.
+//
+// A Prefix is a masked IpAddress plus a length. Construction canonicalizes
+// (host bits zeroed) so equality and hashing are structural.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netbase/ip.h"
+
+namespace manrs::net {
+
+class Prefix {
+ public:
+  /// Default: 0.0.0.0/0.
+  Prefix() = default;
+
+  /// Canonicalizing constructor: bits beyond `length` are zeroed. `length`
+  /// is clamped to the family width.
+  Prefix(IpAddress address, unsigned length);
+
+  /// Parse "addr/len", e.g. "192.0.2.0/24" or "2001:db8::/32".
+  static std::optional<Prefix> parse(std::string_view s);
+
+  /// Convenience for literals in tests; aborts on malformed input.
+  static Prefix must_parse(std::string_view s);
+
+  const IpAddress& address() const { return address_; }
+  unsigned length() const { return length_; }
+  Family family() const { return address_.family(); }
+  bool is_v4() const { return address_.is_v4(); }
+
+  /// True iff `other` is equal to or more specific than *this (same
+  /// family, other.length >= length, and the first `length` bits match).
+  bool contains(const Prefix& other) const;
+
+  /// True iff `addr` falls inside this prefix.
+  bool contains(const IpAddress& addr) const;
+
+  /// Number of addresses covered, as a double (v4 /0 = 2^32; v6 values can
+  /// exceed 2^64 so double is the honest type for address-space accounting,
+  /// which the paper reports as fractions of routed space).
+  double address_count() const;
+
+  /// "192.0.2.0/24".
+  std::string to_string() const;
+
+  friend auto operator<=>(const Prefix& a, const Prefix& b) {
+    if (auto c = a.address_ <=> b.address_; c != 0) return c;
+    return a.length_ <=> b.length_;
+  }
+  friend bool operator==(const Prefix&, const Prefix&) = default;
+
+ private:
+  IpAddress address_;
+  unsigned length_ = 0;
+};
+
+}  // namespace manrs::net
+
+template <>
+struct std::hash<manrs::net::Prefix> {
+  size_t operator()(const manrs::net::Prefix& p) const noexcept {
+    uint64_t h = p.address().hi() * 0x9e3779b97f4a7c15ULL;
+    h ^= p.address().lo() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= (static_cast<uint64_t>(p.length()) << 8) |
+         static_cast<uint64_t>(p.family());
+    return static_cast<size_t>(h * 0xbf58476d1ce4e5b9ULL);
+  }
+};

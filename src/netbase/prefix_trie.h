@@ -1,0 +1,154 @@
+// Binary radix trie keyed by CIDR prefixes.
+//
+// This is the central index of the pipeline: the RPKI validator needs "all
+// VRPs whose prefix covers this route" (walk from the root towards the
+// query), the IRR validator needs the same over route objects, and the
+// saturation analysis needs "all entries covered by this prefix" (subtree
+// enumeration). One trie per family internally; the API hides that.
+//
+// Values are stored in per-node vectors, so multiple entries may share a
+// prefix (e.g. several ROAs for the same prefix with different ASNs).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "netbase/prefix.h"
+
+namespace manrs::net {
+
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() = default;
+
+  /// Number of stored values (not distinct prefixes).
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void insert(const Prefix& prefix, T value) {
+    Node* node = &root(prefix.family());
+    for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+      bool b = prefix.address().bit(depth);
+      auto& child = node->children[b ? 1 : 0];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    node->values.push_back(std::move(value));
+    ++size_;
+  }
+
+  /// Values stored at exactly `prefix` (empty vector if none).
+  const std::vector<T>& exact(const Prefix& prefix) const {
+    static const std::vector<T> kEmpty;
+    const Node* node = find_node(prefix);
+    return node ? node->values : kEmpty;
+  }
+
+  /// Invoke `fn(prefix_length, value)` for every entry whose prefix covers
+  /// `query` (i.e., equal or less specific). Entries are visited from the
+  /// least specific (shortest) to the most specific.
+  template <typename Fn>
+  void for_each_covering(const Prefix& query, Fn&& fn) const {
+    const Node* node = &croot(query.family());
+    for (unsigned depth = 0;; ++depth) {
+      for (const T& v : node->values) fn(depth, v);
+      if (depth >= query.length()) break;
+      bool b = query.address().bit(depth);
+      const Node* child = node->children[b ? 1 : 0].get();
+      if (!child) break;
+      node = child;
+    }
+  }
+
+  /// Collect all covering values (least specific first).
+  std::vector<T> covering(const Prefix& query) const {
+    std::vector<T> out;
+    for_each_covering(query, [&](unsigned, const T& v) { out.push_back(v); });
+    return out;
+  }
+
+  /// Invoke `fn(value)` for every entry equal to or more specific than
+  /// `query` (subtree enumeration).
+  template <typename Fn>
+  void for_each_covered(const Prefix& query, Fn&& fn) const {
+    const Node* node = find_node(query);
+    if (!node) return;
+    visit_subtree(node, fn);
+  }
+
+  /// True iff any stored entry covers `query`.
+  bool any_covering(const Prefix& query) const {
+    bool found = false;
+    const Node* node = &croot(query.family());
+    for (unsigned depth = 0;; ++depth) {
+      if (!node->values.empty()) {
+        found = true;
+        break;
+      }
+      if (depth >= query.length()) break;
+      bool b = query.address().bit(depth);
+      const Node* child = node->children[b ? 1 : 0].get();
+      if (!child) break;
+      node = child;
+    }
+    return found;
+  }
+
+  /// Visit every stored value.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    visit_subtree(&v4_root_, fn);
+    visit_subtree(&v6_root_, fn);
+  }
+
+  void clear() {
+    v4_root_ = Node{};
+    v6_root_ = Node{};
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> children[2];
+    std::vector<T> values;
+  };
+
+  Node& root(Family f) { return f == Family::kIpv4 ? v4_root_ : v6_root_; }
+  const Node& croot(Family f) const {
+    return f == Family::kIpv4 ? v4_root_ : v6_root_;
+  }
+
+  const Node* find_node(const Prefix& prefix) const {
+    const Node* node = &croot(prefix.family());
+    for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+      bool b = prefix.address().bit(depth);
+      const Node* child = node->children[b ? 1 : 0].get();
+      if (!child) return nullptr;
+      node = child;
+    }
+    return node;
+  }
+
+  template <typename Fn>
+  static void visit_subtree(const Node* node, Fn& fn) {
+    // Iterative DFS; recursion depth could reach 128 which is fine, but an
+    // explicit stack avoids any pathological template-instantiation depth.
+    std::vector<const Node*> stack{node};
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      for (const T& v : n->values) fn(v);
+      if (n->children[0]) stack.push_back(n->children[0].get());
+      if (n->children[1]) stack.push_back(n->children[1].get());
+    }
+  }
+
+  Node v4_root_;
+  Node v6_root_;
+  size_t size_ = 0;
+};
+
+}  // namespace manrs::net

@@ -1,0 +1,55 @@
+// Regional Internet Registries.
+//
+// The five RIRs appear all over the pipeline: they are the RPKI trust
+// anchors, the operators of the authoritative IRR databases, and the axis
+// of the paper's geographic analysis (Fig 4a/4b).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace manrs::net {
+
+enum class Rir : uint8_t {
+  kAfrinic = 0,
+  kLacnic = 1,
+  kApnic = 2,
+  kRipe = 3,
+  kArin = 4,
+};
+
+inline constexpr std::array<Rir, 5> kAllRirs{
+    Rir::kAfrinic, Rir::kLacnic, Rir::kApnic, Rir::kRipe, Rir::kArin};
+
+inline constexpr std::string_view rir_name(Rir rir) {
+  switch (rir) {
+    case Rir::kAfrinic:
+      return "AFRINIC";
+    case Rir::kLacnic:
+      return "LACNIC";
+    case Rir::kApnic:
+      return "APNIC";
+    case Rir::kRipe:
+      return "RIPE";
+    case Rir::kArin:
+      return "ARIN";
+  }
+  return "?";
+}
+
+inline std::optional<Rir> parse_rir(std::string_view s) {
+  for (Rir r : kAllRirs) {
+    if (s == rir_name(r)) return r;
+  }
+  // Tolerate common alternate spellings found in registry dumps.
+  if (s == "RIPE NCC" || s == "ripencc" || s == "RIPENCC") return Rir::kRipe;
+  if (s == "afrinic") return Rir::kAfrinic;
+  if (s == "lacnic") return Rir::kLacnic;
+  if (s == "apnic") return Rir::kApnic;
+  if (s == "arin") return Rir::kArin;
+  return std::nullopt;
+}
+
+}  // namespace manrs::net

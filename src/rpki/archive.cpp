@@ -1,0 +1,94 @@
+#include "rpki/archive.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace manrs::rpki {
+
+void write_vrp_csv(std::ostream& out, const std::vector<Vrp>& vrps,
+                   const util::Date& snapshot) {
+  util::CsvWriter writer(out);
+  writer.write_row(std::vector<std::string_view>{
+      "URI", "ASN", "IP Prefix", "Max Length", "Not Before", "Not After"});
+  util::Date not_before = snapshot.add_months(-12);
+  util::Date not_after = snapshot.add_months(12);
+  size_t n = 0;
+  for (const auto& vrp : vrps) {
+    std::string uri = "rsync://rpki." +
+                      util::to_lower(net::rir_name(vrp.trust_anchor)) +
+                      ".net/repo/roa-" + std::to_string(n++) + ".roa";
+    writer.write_row(std::vector<std::string_view>{
+        uri, vrp.asn.to_string(), vrp.prefix.to_string(),
+        std::to_string(vrp.max_length), not_before.to_string(),
+        not_after.to_string()});
+  }
+}
+
+std::vector<Vrp> read_vrp_csv(std::istream& in, size_t* skipped) {
+  util::CsvReader reader(in, ',', '#');
+  std::vector<Vrp> vrps;
+  size_t bad = 0;
+  util::CsvRow row;
+  while (reader.next(row)) {
+    if (row.size() < 4) {
+      ++bad;
+      continue;
+    }
+    if (util::iequals(row[0], "URI")) continue;  // header
+    auto asn = net::Asn::parse(row[1]);
+    auto prefix = net::Prefix::parse(row[2]);
+    auto maxlen = util::parse_uint<unsigned>(util::trim(row[3]));
+    if (!asn || !prefix || !maxlen) {
+      ++bad;
+      continue;
+    }
+    net::Rir anchor = net::Rir::kRipe;
+    // Recover the trust anchor from the URI when it follows the synthetic
+    // scheme; real archives carry it in per-TA directories.
+    for (net::Rir r : net::kAllRirs) {
+      if (row[0].find(util::to_lower(net::rir_name(r))) !=
+          std::string::npos) {
+        anchor = r;
+        break;
+      }
+    }
+    Vrp vrp{*prefix, *maxlen, *asn, anchor};
+    if (!vrp.well_formed()) {
+      ++bad;
+      continue;
+    }
+    vrps.push_back(vrp);
+  }
+  if (skipped) *skipped = bad;
+  return vrps;
+}
+
+void RpkiArchiveSeries::add_snapshot(const util::Date& date,
+                                     std::vector<Vrp> vrps) {
+  snapshots_[date] = std::move(vrps);
+}
+
+const std::vector<Vrp>* RpkiArchiveSeries::at(const util::Date& date) const {
+  auto it = snapshots_.find(date);
+  return it == snapshots_.end() ? nullptr : &it->second;
+}
+
+const std::vector<Vrp>* RpkiArchiveSeries::at_or_before(
+    const util::Date& date) const {
+  auto it = snapshots_.upper_bound(date);
+  if (it == snapshots_.begin()) return nullptr;
+  --it;
+  return &it->second;
+}
+
+std::vector<util::Date> RpkiArchiveSeries::dates() const {
+  std::vector<util::Date> out;
+  out.reserve(snapshots_.size());
+  for (const auto& [d, _] : snapshots_) out.push_back(d);
+  return out;
+}
+
+}  // namespace manrs::rpki

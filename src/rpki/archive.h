@@ -1,0 +1,51 @@
+// Validated-ROA archive I/O in the RIPE NCC export format.
+//
+// RIPE publishes daily "validated ROA" CSVs with the header
+//   URI,ASN,IP Prefix,Max Length,Not Before,Not After
+// (https://ftp.ripe.net/ripe/rpki). The paper downloads monthly snapshots
+// of these from 2014-2022 (its "RPKI dataset"). We read and write the same
+// format so the pipeline is byte-compatible with the real archives.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rpki/vrp.h"
+#include "util/date.h"
+
+namespace manrs::rpki {
+
+/// Write VRPs as a RIPE-style CSV (header included). The URI column is
+/// synthesized as "rsync://rpki.<rir>.net/roa-<n>.roa"; Not Before / Not
+/// After bracket `snapshot` by one year, matching typical ROA validity.
+void write_vrp_csv(std::ostream& out, const std::vector<Vrp>& vrps,
+                   const util::Date& snapshot);
+
+/// Parse a RIPE-style CSV. Unparseable rows are skipped and counted in
+/// `skipped` (if provided); the header row is detected and ignored.
+std::vector<Vrp> read_vrp_csv(std::istream& in, size_t* skipped = nullptr);
+
+/// A dated series of VRP snapshots (the paper's monthly/annual archives).
+class RpkiArchiveSeries {
+ public:
+  void add_snapshot(const util::Date& date, std::vector<Vrp> vrps);
+
+  /// The snapshot at `date` exactly, if present.
+  const std::vector<Vrp>* at(const util::Date& date) const;
+
+  /// The latest snapshot with date <= `date` (how the paper pairs annual
+  /// prefix2as snapshots with "RPKI dataset snapshots with matching
+  /// dates"). Returns nullptr if none.
+  const std::vector<Vrp>* at_or_before(const util::Date& date) const;
+
+  std::vector<util::Date> dates() const;
+  size_t size() const { return snapshots_.size(); }
+
+ private:
+  std::map<util::Date, std::vector<Vrp>> snapshots_;
+};
+
+}  // namespace manrs::rpki

@@ -1,0 +1,100 @@
+#include "rpki/roa.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace manrs::rpki {
+
+std::string to_string(RoaValidity v) {
+  switch (v) {
+    case RoaValidity::kAccepted:
+      return "accepted";
+    case RoaValidity::kExpiredCertificate:
+      return "expired-certificate";
+    case RoaValidity::kBadSignature:
+      return "bad-signature";
+    case RoaValidity::kResourceOverclaim:
+      return "resource-overclaim";
+    case RoaValidity::kMalformed:
+      return "malformed";
+    case RoaValidity::kUnknownCertificate:
+      return "unknown-certificate";
+  }
+  return "?";
+}
+
+bool RelyingParty::add_certificate(ResourceCertificate cert) {
+  for (const auto& existing : certs_) {
+    if (existing.serial == cert.serial) return false;
+  }
+  certs_.push_back(std::move(cert));
+  return true;
+}
+
+void RelyingParty::add_roa(Roa roa) { roas_.push_back(std::move(roa)); }
+
+RoaValidity RelyingParty::validate_roa(const Roa& roa,
+                                       const util::Date& date) const {
+  const ResourceCertificate* cert = nullptr;
+  for (const auto& c : certs_) {
+    if (c.serial == roa.certificate_serial) {
+      cert = &c;
+      break;
+    }
+  }
+  if (!cert) return RoaValidity::kUnknownCertificate;
+  if (!cert->signature_valid) return RoaValidity::kBadSignature;
+  if (!(cert->not_before <= date && date <= cert->not_after)) {
+    return RoaValidity::kExpiredCertificate;
+  }
+  for (const auto& rp : roa.prefixes) {
+    unsigned eff = rp.effective_max_length();
+    if (eff < rp.prefix.length() ||
+        eff > net::family_bits(rp.prefix.family())) {
+      return RoaValidity::kMalformed;
+    }
+    if (!cert->covers(rp.prefix)) return RoaValidity::kResourceOverclaim;
+  }
+  return RoaValidity::kAccepted;
+}
+
+std::vector<Vrp> RelyingParty::evaluate(const util::Date& date,
+                                        size_t* rejected) const {
+  // Index certificates once; evaluate() is called per snapshot over
+  // thousands of ROAs.
+  std::unordered_map<uint64_t, const ResourceCertificate*> by_serial;
+  by_serial.reserve(certs_.size());
+  for (const auto& c : certs_) by_serial.emplace(c.serial, &c);
+
+  std::vector<Vrp> vrps;
+  size_t rejected_count = 0;
+  for (const auto& roa : roas_) {
+    auto it = by_serial.find(roa.certificate_serial);
+    const ResourceCertificate* cert =
+        it == by_serial.end() ? nullptr : it->second;
+    bool ok = cert != nullptr && cert->valid_at(date);
+    if (ok) {
+      for (const auto& rp : roa.prefixes) {
+        unsigned eff = rp.effective_max_length();
+        if (eff < rp.prefix.length() ||
+            eff > net::family_bits(rp.prefix.family()) ||
+            !cert->covers(rp.prefix)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) {
+      ++rejected_count;
+      continue;
+    }
+    for (const auto& rp : roa.prefixes) {
+      vrps.push_back(Vrp{rp.prefix, rp.effective_max_length(), roa.asn,
+                         cert->trust_anchor});
+    }
+  }
+  if (rejected) *rejected = rejected_count;
+  return vrps;
+}
+
+}  // namespace manrs::rpki

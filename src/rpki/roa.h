@@ -1,0 +1,109 @@
+// Route Origin Authorization (ROA) and a lightweight model of the RPKI
+// certificate hierarchy.
+//
+// The paper consumes *validated* ROA archives, i.e. the output of relying-
+// party (RP) software that has already checked the certificate chain. To
+// exercise that code path we model the chain itself: each RIR is a trust
+// anchor holding its address space; resource certificates delegate subsets
+// of that space; ROAs are signed under a certificate and are only accepted
+// by the RelyingParty if every announced prefix is covered by the signing
+// certificate's resources and the validity window contains the validation
+// date. Cryptography is abstracted to a boolean signature-validity flag --
+// what RP software outcome depends on, not the math itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netbase/asn.h"
+#include "netbase/prefix.h"
+#include "netbase/rir.h"
+#include "rpki/vrp.h"
+#include "util/date.h"
+
+namespace manrs::rpki {
+
+/// One (prefix, maxLength) element of a ROA.
+struct RoaPrefix {
+  net::Prefix prefix;
+  /// 0 means "not set": per RFC 6482 the max length then defaults to the
+  /// prefix length.
+  unsigned max_length = 0;
+
+  unsigned effective_max_length() const {
+    return max_length == 0 ? prefix.length() : max_length;
+  }
+};
+
+/// An X.509 resource certificate, reduced to what validation needs.
+struct ResourceCertificate {
+  uint64_t serial = 0;
+  net::Rir trust_anchor = net::Rir::kRipe;
+  /// IP resources this certificate is entitled to sign for.
+  std::vector<net::Prefix> resources;
+  util::Date not_before;
+  util::Date not_after;
+  /// Models an intact signature chain back to the trust anchor. Real RP
+  /// software computes this from crypto; the measurement pipeline only
+  /// consumes the outcome.
+  bool signature_valid = true;
+
+  bool covers(const net::Prefix& p) const {
+    for (const auto& r : resources) {
+      if (r.contains(p)) return true;
+    }
+    return false;
+  }
+
+  bool valid_at(const util::Date& date) const {
+    return signature_valid && not_before <= date && date <= not_after;
+  }
+};
+
+/// A ROA object: one origin ASN authorized for a set of prefixes.
+struct Roa {
+  net::Asn asn;
+  std::vector<RoaPrefix> prefixes;
+  /// Index of the signing certificate in the RelyingParty's store.
+  uint64_t certificate_serial = 0;
+};
+
+/// Outcome of RP validation of one ROA.
+enum class RoaValidity : uint8_t {
+  kAccepted,
+  kExpiredCertificate,
+  kBadSignature,
+  kResourceOverclaim,  // a prefix not covered by the certificate
+  kMalformed,          // max length below prefix length or above width
+  kUnknownCertificate,
+};
+
+std::string to_string(RoaValidity v);
+
+/// Relying-party software: holds certificates and ROAs, and emits VRPs for
+/// ROAs that validate (RFC 6487/6482 checks, abstracted as above).
+class RelyingParty {
+ public:
+  /// Register a certificate; returns false if the serial already exists.
+  bool add_certificate(ResourceCertificate cert);
+  void add_roa(Roa roa);
+
+  size_t certificate_count() const { return certs_.size(); }
+  size_t roa_count() const { return roas_.size(); }
+
+  /// Validate a single ROA at `date` without storing it.
+  RoaValidity validate_roa(const Roa& roa, const util::Date& date) const;
+
+  /// Run validation over all stored ROAs; emits one VRP per (prefix,
+  /// maxlen) of each accepted ROA. Rejected ROAs contribute nothing (and
+  /// are counted in `rejected`, if provided).
+  std::vector<Vrp> evaluate(const util::Date& date,
+                            size_t* rejected = nullptr) const;
+
+ private:
+  std::vector<ResourceCertificate> certs_;
+  std::vector<Roa> roas_;
+};
+
+}  // namespace manrs::rpki

@@ -1,0 +1,47 @@
+#include "rpki/validation.h"
+
+namespace manrs::rpki {
+
+std::string_view to_string(RpkiStatus s) {
+  switch (s) {
+    case RpkiStatus::kValid:
+      return "Valid";
+    case RpkiStatus::kInvalidAsn:
+      return "Invalid";
+    case RpkiStatus::kInvalidLength:
+      return "InvalidLength";
+    case RpkiStatus::kNotFound:
+      return "NotFound";
+  }
+  return "?";
+}
+
+void VrpStore::add(const Vrp& vrp) { trie_.insert(vrp.prefix, vrp); }
+
+void VrpStore::add_all(const std::vector<Vrp>& vrps) {
+  for (const auto& v : vrps) add(v);
+}
+
+RpkiStatus VrpStore::validate(const net::Prefix& route,
+                              net::Asn origin) const {
+  bool any_covering = false;
+  bool asn_match = false;
+  bool valid = false;
+  trie_.for_each_covering(route, [&](unsigned, const Vrp& vrp) {
+    any_covering = true;
+    if (vrp.asn == origin && !vrp.asn.is_reserved_as0()) {
+      asn_match = true;
+      if (vrp.max_length >= route.length()) valid = true;
+    }
+  });
+  if (!any_covering) return RpkiStatus::kNotFound;
+  if (valid) return RpkiStatus::kValid;
+  if (asn_match) return RpkiStatus::kInvalidLength;
+  return RpkiStatus::kInvalidAsn;
+}
+
+std::vector<Vrp> VrpStore::covering(const net::Prefix& route) const {
+  return trie_.covering(route);
+}
+
+}  // namespace manrs::rpki

@@ -1,0 +1,73 @@
+// RFC 6811 route origin validation.
+//
+// Implements the prefix-origin classification of §6.1 of the paper:
+//   Valid          - at least one covering VRP matches ASN and max length
+//   Invalid (ASN)  - covering VRPs exist but none matches the origin ASN
+//   Invalid Length - some VRP matches the ASN but its max length does not
+//                    cover the announced prefix
+//   Not Found      - no covering VRP
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/asn.h"
+#include "netbase/prefix.h"
+#include "netbase/prefix_trie.h"
+#include "rpki/vrp.h"
+
+namespace manrs::rpki {
+
+enum class RpkiStatus : uint8_t {
+  kValid = 0,
+  kInvalidAsn = 1,
+  kInvalidLength = 2,
+  kNotFound = 3,
+};
+
+std::string_view to_string(RpkiStatus s);
+
+/// True for both flavours of Invalid; the paper's propagation-invalidity
+/// metric (Formula 4) counts Invalid plus Invalid Length.
+inline bool is_invalid(RpkiStatus s) {
+  return s == RpkiStatus::kInvalidAsn || s == RpkiStatus::kInvalidLength;
+}
+
+/// Immutable, trie-indexed set of VRPs with the RFC 6811 decision
+/// procedure. Build once per snapshot, then validate any number of routes.
+class VrpStore {
+ public:
+  VrpStore() = default;
+  explicit VrpStore(const std::vector<Vrp>& vrps) { add_all(vrps); }
+
+  void add(const Vrp& vrp);
+  void add_all(const std::vector<Vrp>& vrps);
+
+  size_t size() const { return trie_.size(); }
+  bool empty() const { return trie_.empty(); }
+
+  /// RFC 6811 classification of (prefix, origin).
+  RpkiStatus validate(const net::Prefix& route, net::Asn origin) const;
+
+  /// All VRPs covering `route` (any ASN), least specific first.
+  std::vector<Vrp> covering(const net::Prefix& route) const;
+
+  /// True iff any VRP covers `route` (the "has a ROA" test used by the
+  /// RPKI-saturation analysis, Formula 7/8).
+  bool covered(const net::Prefix& route) const {
+    return trie_.any_covering(route);
+  }
+
+  /// Visit every VRP.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    trie_.for_each(fn);
+  }
+
+ private:
+  net::PrefixTrie<Vrp> trie_;
+};
+
+}  // namespace manrs::rpki

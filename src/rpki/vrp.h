@@ -1,0 +1,47 @@
+// Validated ROA Payload (VRP).
+//
+// A VRP is the unit the RFC 6811 origin-validation algorithm consumes:
+// (prefix, max length, origin ASN), produced by relying-party software
+// after walking the RPKI certificate chain. See §2.3 of the paper.
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "netbase/asn.h"
+#include "netbase/prefix.h"
+#include "netbase/rir.h"
+
+namespace manrs::rpki {
+
+struct Vrp {
+  net::Prefix prefix;
+  unsigned max_length = 0;
+  net::Asn asn;
+  /// Which of the five trust anchors this VRP descends from.
+  net::Rir trust_anchor = net::Rir::kRipe;
+
+  /// A VRP is well-formed when max_length lies in
+  /// [prefix.length(), family width].
+  bool well_formed() const {
+    return max_length >= prefix.length() &&
+           max_length <= net::family_bits(prefix.family());
+  }
+
+  /// True iff this VRP covers `route` (prefix containment only; ASN and
+  /// length checks are the validator's job).
+  bool covers(const net::Prefix& route) const {
+    return prefix.contains(route);
+  }
+
+  std::string to_string() const;
+
+  friend auto operator<=>(const Vrp&, const Vrp&) = default;
+};
+
+inline std::string Vrp::to_string() const {
+  return prefix.to_string() + "-" + std::to_string(max_length) + " " +
+         asn.to_string();
+}
+
+}  // namespace manrs::rpki

@@ -1,0 +1,61 @@
+#include "simulator/collector.h"
+
+#include <algorithm>
+#include <map>
+
+namespace manrs::sim {
+
+RouteCollector::RouteCollector(const PropagationSim& sim,
+                               std::vector<net::Asn> peer_ases,
+                               std::string name)
+    : sim_(sim), peer_ases_(std::move(peer_ases)), name_(std::move(name)) {}
+
+std::vector<AnnouncementGroup> group_announcements(
+    const std::vector<Announcement>& announcements) {
+  // Key: (origin, rpki_invalid, irr_invalid, variant). std::map keeps
+  // group order deterministic. Valid announcements all share variant 0 so
+  // they collapse into one group per origin.
+  std::map<std::tuple<uint32_t, bool, bool, uint8_t>, AnnouncementGroup>
+      groups;
+  for (const auto& a : announcements) {
+    uint8_t variant =
+        (a.cls.rpki_invalid || a.cls.irr_invalid) ? a.cls.variant : 0;
+    auto key = std::make_tuple(a.origin.value(), a.cls.rpki_invalid,
+                               a.cls.irr_invalid, variant);
+    auto& group = groups[key];
+    group.origin = a.origin;
+    group.cls = a.cls;
+    group.cls.variant = variant;
+    group.prefixes.push_back(a.prefix);
+  }
+  std::vector<AnnouncementGroup> out;
+  out.reserve(groups.size());
+  for (auto& [_, group] : groups) out.push_back(std::move(group));
+  return out;
+}
+
+bgp::Rib RouteCollector::collect(
+    const std::vector<Announcement>& announcements) const {
+  bgp::Rib rib;
+  std::vector<uint32_t> peer_indices;
+  peer_indices.reserve(peer_ases_.size());
+  for (net::Asn peer : peer_ases_) peer_indices.push_back(rib.add_peer(peer));
+
+  for (const auto& group : group_announcements(announcements)) {
+    PropagationResult result = sim_.propagate(group.origin, group.cls);
+    // Each peer's path is shared by every prefix in the group.
+    std::vector<std::pair<uint32_t, bgp::AsPath>> peer_paths;
+    for (size_t i = 0; i < peer_ases_.size(); ++i) {
+      bgp::AsPath path = sim_.path_from(result, peer_ases_[i]);
+      if (!path.empty()) peer_paths.emplace_back(peer_indices[i], path);
+    }
+    for (const net::Prefix& prefix : group.prefixes) {
+      for (const auto& [peer_index, path] : peer_paths) {
+        rib.insert(prefix, peer_index, path);
+      }
+    }
+  }
+  return rib;
+}
+
+}  // namespace manrs::sim

@@ -1,0 +1,56 @@
+// Route collectors: the simulated RouteViews / RIPE RIS.
+//
+// A RouteCollector peers with a set of vantage ASes and assembles the RIB
+// a real collector would dump: for every announcement, each peer that has
+// a route contributes its best AS path. Announcements with identical
+// (origin, validity class) propagate identically, so propagation results
+// are computed once per group.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/rib.h"
+#include "bgp/route.h"
+#include "simulator/propagation.h"
+
+namespace manrs::sim {
+
+/// One announcement entering the simulated routing system.
+struct Announcement {
+  net::Prefix prefix;
+  net::Asn origin;
+  AnnouncementClass cls;
+};
+
+class RouteCollector {
+ public:
+  /// `peer_ases` are the ASes that feed this collector (a vantage-point
+  /// set, like the RouteViews peers the paper inherits via IHR).
+  RouteCollector(const PropagationSim& sim, std::vector<net::Asn> peer_ases,
+                 std::string name = "route-views.sim");
+
+  const std::string& name() const { return name_; }
+  const std::vector<net::Asn>& peers() const { return peer_ases_; }
+
+  /// Build the collector RIB for a set of announcements.
+  bgp::Rib collect(const std::vector<Announcement>& announcements) const;
+
+ private:
+  const PropagationSim& sim_;
+  std::vector<net::Asn> peer_ases_;
+  std::string name_;
+};
+
+/// Group announcements by (origin, class); the propagation unit.
+struct AnnouncementGroup {
+  net::Asn origin;
+  AnnouncementClass cls;
+  std::vector<net::Prefix> prefixes;
+};
+
+std::vector<AnnouncementGroup> group_announcements(
+    const std::vector<Announcement>& announcements);
+
+}  // namespace manrs::sim

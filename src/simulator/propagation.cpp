@@ -1,0 +1,238 @@
+#include "simulator/propagation.h"
+
+#include <algorithm>
+
+namespace manrs::sim {
+
+AsIndexer::AsIndexer(const astopo::AsGraph& graph) {
+  asns_ = graph.all_asns();
+  ids_.reserve(asns_.size());
+  for (size_t i = 0; i < asns_.size(); ++i) {
+    ids_.emplace(asns_[i].value(), static_cast<int32_t>(i));
+  }
+}
+
+PropagationSim::PropagationSim(const astopo::AsGraph& graph)
+    : indexer_(graph) {
+  size_t n = indexer_.size();
+  providers_of_.resize(n);
+  customers_of_.resize(n);
+  peers_of_.resize(n);
+  policies_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    net::Asn asn = indexer_.asn_of(static_cast<int32_t>(i));
+    for (net::Asn p : graph.providers(asn)) {
+      providers_of_[i].push_back(indexer_.id_of(p));
+    }
+    for (net::Asn c : graph.customers(asn)) {
+      customers_of_[i].push_back(indexer_.id_of(c));
+    }
+    for (net::Asn p : graph.peers(asn)) {
+      peers_of_[i].push_back(indexer_.id_of(p));
+    }
+    // Deterministic neighbor order (ASN ascending) so tie-breaks are
+    // stable regardless of graph construction order.
+    auto by_asn = [this](int32_t a, int32_t b) {
+      return indexer_.asn_of(a).value() < indexer_.asn_of(b).value();
+    };
+    std::sort(providers_of_[i].begin(), providers_of_[i].end(), by_asn);
+    std::sort(customers_of_[i].begin(), customers_of_[i].end(), by_asn);
+    std::sort(peers_of_[i].begin(), peers_of_[i].end(), by_asn);
+  }
+}
+
+void PropagationSim::set_policy(net::Asn asn, const FilterPolicy& policy) {
+  int32_t id = indexer_.id_of(asn);
+  if (id >= 0) policies_[static_cast<size_t>(id)] = policy;
+}
+
+const FilterPolicy& PropagationSim::policy(net::Asn asn) const {
+  static const FilterPolicy kDefault;
+  int32_t id = indexer_.id_of(asn);
+  return id >= 0 ? policies_[static_cast<size_t>(id)] : kDefault;
+}
+
+uint8_t filter_variant(const net::Prefix& prefix) {
+  size_t h = std::hash<net::Prefix>{}(prefix);
+  return static_cast<uint8_t>(h % kFilterVariants);
+}
+
+namespace {
+/// Would `receiver` drop this announcement when learning it over the given
+/// adjacency?
+bool drops(const FilterPolicy& receiver, RouteSource adjacency,
+           const AnnouncementClass& cls) {
+  if (receiver.rov && cls.rpki_invalid) return true;
+  bool invalid = cls.rpki_invalid || cls.irr_invalid;
+  if (!invalid) return false;
+  if (adjacency == RouteSource::kCustomer &&
+      cls.variant < receiver.customer_strictness) {
+    return true;
+  }
+  if (adjacency == RouteSource::kPeer &&
+      cls.variant < receiver.peer_strictness) {
+    return true;
+  }
+  return false;
+}
+}  // namespace
+
+PropagationResult PropagationSim::propagate(
+    net::Asn origin, const AnnouncementClass& cls) const {
+  size_t n = indexer_.size();
+  PropagationResult result;
+  result.source.assign(n, RouteSource::kNone);
+  result.next_hop.assign(n, PropagationResult::kNoRoute);
+  result.distance.assign(n, std::numeric_limits<uint16_t>::max());
+
+  int32_t origin_id = indexer_.id_of(origin);
+  if (origin_id < 0) return result;
+  auto idx = [](int32_t id) { return static_cast<size_t>(id); };
+
+  result.source[idx(origin_id)] = RouteSource::kOrigin;
+  result.distance[idx(origin_id)] = 0;
+
+  // ---- Phase 1: customer routes climb provider edges -------------------
+  // BFS level by level; within a level, providers_of_ is ASN-sorted and we
+  // keep the first (lowest-ASN) offer, so tie-breaking is deterministic.
+  std::vector<int32_t> frontier{origin_id};
+  uint16_t level = 0;
+  while (!frontier.empty()) {
+    std::vector<int32_t> next;
+    for (int32_t u : frontier) {
+      for (int32_t v : providers_of_[idx(u)]) {
+        if (result.source[idx(v)] != RouteSource::kNone) {
+          // Already has a customer route; prefer shorter, then lower
+          // next-hop ASN. Same-level revisits can only improve the
+          // next-hop ASN.
+          if (result.source[idx(v)] == RouteSource::kCustomer &&
+              result.distance[idx(v)] == level + 1 &&
+              indexer_.asn_of(u).value() <
+                  indexer_.asn_of(result.next_hop[idx(v)]).value()) {
+            result.next_hop[idx(v)] = u;
+          }
+          continue;
+        }
+        if (drops(policies_[idx(v)], RouteSource::kCustomer, cls)) continue;
+        result.source[idx(v)] = RouteSource::kCustomer;
+        result.next_hop[idx(v)] = u;
+        result.distance[idx(v)] = level + 1;
+        next.push_back(v);
+      }
+    }
+    frontier = std::move(next);
+    ++level;
+  }
+
+  // ---- Phase 2: one lateral hop across peer edges ----------------------
+  // Candidates come only from ASes holding customer/origin routes; a peer
+  // route is never re-exported to peers (valley-free).
+  struct PeerOffer {
+    int32_t to;
+    int32_t from;
+    uint16_t dist;
+  };
+  std::vector<PeerOffer> offers;
+  for (size_t u = 0; u < n; ++u) {
+    RouteSource src = result.source[u];
+    if (src != RouteSource::kOrigin && src != RouteSource::kCustomer) {
+      continue;
+    }
+    for (int32_t v : peers_of_[u]) {
+      if (result.source[idx(v)] != RouteSource::kNone) continue;
+      if (drops(policies_[idx(v)], RouteSource::kPeer, cls)) continue;
+      offers.push_back(PeerOffer{v, static_cast<int32_t>(u),
+                                 static_cast<uint16_t>(result.distance[u] + 1)});
+    }
+  }
+  for (const auto& offer : offers) {
+    size_t v = idx(offer.to);
+    bool better =
+        result.source[v] == RouteSource::kNone ||
+        (result.source[v] == RouteSource::kPeer &&
+         (offer.dist < result.distance[v] ||
+          (offer.dist == result.distance[v] &&
+           indexer_.asn_of(offer.from).value() <
+               indexer_.asn_of(result.next_hop[v]).value())));
+    if (better) {
+      result.source[v] = RouteSource::kPeer;
+      result.next_hop[v] = offer.from;
+      result.distance[v] = offer.dist;
+    }
+  }
+
+  // ---- Phase 3: routes descend customer edges --------------------------
+  // Any AS holding a route exports it to customers. Customers without a
+  // better (customer/peer) route take the shortest provider route; a
+  // bucket queue by distance keeps the scan linear.
+  uint16_t max_dist = 0;
+  for (size_t u = 0; u < n; ++u) {
+    if (result.source[u] != RouteSource::kNone) {
+      max_dist = std::max(max_dist, result.distance[u]);
+    }
+  }
+  std::vector<std::vector<int32_t>> buckets(
+      static_cast<size_t>(max_dist) + n + 2);
+  for (size_t u = 0; u < n; ++u) {
+    if (result.source[u] != RouteSource::kNone) {
+      buckets[result.distance[u]].push_back(static_cast<int32_t>(u));
+    }
+  }
+  for (size_t d = 0; d < buckets.size(); ++d) {
+    for (size_t bi = 0; bi < buckets[d].size(); ++bi) {
+      int32_t u = buckets[d][bi];
+      if (result.distance[idx(u)] != d) continue;  // stale entry
+      for (int32_t v : customers_of_[idx(u)]) {
+        size_t vi = idx(v);
+        RouteSource src = result.source[vi];
+        if (src == RouteSource::kOrigin || src == RouteSource::kCustomer ||
+            src == RouteSource::kPeer) {
+          continue;  // better class of route already installed
+        }
+        if (drops(policies_[vi], RouteSource::kProvider, cls)) continue;
+        uint16_t cand = static_cast<uint16_t>(d + 1);
+        bool better = src == RouteSource::kNone ||
+                      cand < result.distance[vi] ||
+                      (cand == result.distance[vi] &&
+                       indexer_.asn_of(u).value() <
+                           indexer_.asn_of(result.next_hop[vi]).value());
+        if (better) {
+          bool requeue =
+              src == RouteSource::kNone || cand < result.distance[vi];
+          result.source[vi] = RouteSource::kProvider;
+          result.next_hop[vi] = u;
+          result.distance[vi] = cand;
+          if (requeue && cand < buckets.size()) {
+            buckets[cand].push_back(v);
+          }
+        }
+      }
+    }
+  }
+
+  return result;
+}
+
+bgp::AsPath PropagationSim::path_from(const PropagationResult& result,
+                                      net::Asn vantage) const {
+  int32_t id = indexer_.id_of(vantage);
+  if (id < 0) return bgp::AsPath{};
+  if (result.source[static_cast<size_t>(id)] == RouteSource::kNone) {
+    return bgp::AsPath{};
+  }
+  std::vector<net::Asn> hops;
+  int32_t current = id;
+  // Defensive bound: a well-formed next_hop chain strictly decreases
+  // distance, so it terminates; cap anyway.
+  for (size_t steps = 0; steps <= indexer_.size(); ++steps) {
+    hops.push_back(indexer_.asn_of(current));
+    if (result.source[static_cast<size_t>(current)] == RouteSource::kOrigin) {
+      return bgp::AsPath(std::move(hops));
+    }
+    current = result.next_hop[static_cast<size_t>(current)];
+    if (current < 0) break;
+  }
+  return bgp::AsPath{};  // broken chain: report as unreachable
+}
+
+}  // namespace manrs::sim

@@ -1,0 +1,145 @@
+// BGP route propagation over an AS topology with Gao-Rexford policies.
+//
+// The paper observes the real Internet through RouteViews/RIS; this
+// simulator produces the equivalent observable -- per-AS best paths toward
+// each announcement -- from a synthetic topology. Routing follows the
+// standard valley-free model:
+//
+//   * an AS prefers routes learned from customers over peers over
+//     providers, then shorter AS paths, then the lowest next-hop ASN;
+//   * routes learned from a customer are exported to everyone;
+//   * routes learned from a peer or provider are exported only to
+//     customers.
+//
+// That yields the classic three-phase computation (e.g. Gill et al.):
+// customer routes climb provider edges, peer routes take one lateral hop,
+// then routes descend customer edges. Each phase is O(V+E), so a full
+// propagation is linear -- cheap enough to run once per (origin,
+// announcement class).
+//
+// Filtering: each AS has a FilterPolicy. ROV drops RPKI-invalid
+// announcements from any neighbor (§2.3); customer/peer ingress filtering
+// (MANRS Action 1, §2.4) drops announcements whose RPKI or IRR status is
+// invalid when learned on the corresponding adjacency. A dropped
+// announcement is neither installed nor re-exported by that AS.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "astopo/graph.h"
+#include "bgp/route.h"
+#include "netbase/asn.h"
+
+namespace manrs::sim {
+
+/// Validity flags an announcement carries through the simulator. (The
+/// simulator does not re-derive them; the caller classifies against its
+/// VRP/IRR stores and passes the result in.)
+///
+/// `variant` models the well-known leakiness of manually maintained
+/// prefix-list filters: invalid announcements are bucketed into
+/// kFilterVariants classes (assigned by prefix hash), and an AS with
+/// customer/peer strictness s drops only buckets < s. Strictness
+/// kFilterVariants means "drops everything invalid"; ROV, which routers
+/// apply uniformly, is modeled as all-or-nothing.
+struct AnnouncementClass {
+  bool rpki_invalid = false;
+  bool irr_invalid = false;
+  uint8_t variant = 0;  // meaningful only when some flag is set
+
+  friend bool operator==(const AnnouncementClass&,
+                         const AnnouncementClass&) = default;
+};
+
+inline constexpr uint8_t kFilterVariants = 4;
+
+/// Deterministic variant bucket for a prefix.
+uint8_t filter_variant(const net::Prefix& prefix);
+
+/// Per-AS ingress filtering behaviour.
+struct FilterPolicy {
+  /// Full ROV deployment: drop RPKI-invalid routes from any neighbor.
+  bool rov = false;
+  /// MANRS Action 1 style filtering of customer announcements: drop
+  /// customer-learned RPKI/IRR-invalid routes in variant buckets
+  /// [0, customer_strictness). 0 = no filtering, kFilterVariants = strict.
+  uint8_t customer_strictness = 0;
+  /// Ingress filtering on peers (MANRS CDN Action 1 covers "peers and
+  /// customers").
+  uint8_t peer_strictness = 0;
+};
+
+/// How a route was learned at an AS.
+enum class RouteSource : uint8_t {
+  kNone = 0,
+  kProvider = 1,
+  kPeer = 2,
+  kCustomer = 3,
+  kOrigin = 4,
+};
+
+/// Result of one propagation: per-AS state indexed by dense AS id.
+struct PropagationResult {
+  static constexpr int32_t kNoRoute = -1;
+
+  std::vector<RouteSource> source;  // how each AS learned the route
+  std::vector<int32_t> next_hop;    // dense id of the neighbor toward origin
+  std::vector<uint16_t> distance;   // AS-path length in hops from origin
+
+  bool reached(int32_t id) const {
+    return source[static_cast<size_t>(id)] != RouteSource::kNone;
+  }
+};
+
+/// Maps ASNs to dense ids [0, n) and back.
+class AsIndexer {
+ public:
+  explicit AsIndexer(const astopo::AsGraph& graph);
+
+  int32_t id_of(net::Asn asn) const {
+    auto it = ids_.find(asn.value());
+    return it == ids_.end() ? -1 : it->second;
+  }
+  net::Asn asn_of(int32_t id) const { return asns_[static_cast<size_t>(id)]; }
+  size_t size() const { return asns_.size(); }
+  const std::vector<net::Asn>& asns() const { return asns_; }
+
+ private:
+  std::unordered_map<uint32_t, int32_t> ids_;
+  std::vector<net::Asn> asns_;
+};
+
+class PropagationSim {
+ public:
+  explicit PropagationSim(const astopo::AsGraph& graph);
+
+  const AsIndexer& indexer() const { return indexer_; }
+
+  /// Set the filtering policy of one AS (default: no filtering).
+  void set_policy(net::Asn asn, const FilterPolicy& policy);
+  const FilterPolicy& policy(net::Asn asn) const;
+
+  /// Propagate an announcement originated by `origin` with the given
+  /// validity class. Returns per-AS routing state.
+  PropagationResult propagate(net::Asn origin,
+                              const AnnouncementClass& cls) const;
+
+  /// Reconstruct the AS path from `vantage` to the origin (inclusive of
+  /// both): [vantage, ..., origin]. Empty when the vantage has no route.
+  bgp::AsPath path_from(const PropagationResult& result,
+                        net::Asn vantage) const;
+
+ private:
+  // Dense-id adjacency. providers_of_[u] lists ids that are providers of
+  // u, etc.
+  std::vector<std::vector<int32_t>> providers_of_;
+  std::vector<std::vector<int32_t>> customers_of_;
+  std::vector<std::vector<int32_t>> peers_of_;
+  std::vector<FilterPolicy> policies_;
+  AsIndexer indexer_;
+};
+
+}  // namespace manrs::sim

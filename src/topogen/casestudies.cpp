@@ -1,0 +1,137 @@
+#include "topogen/casestudies.h"
+
+namespace manrs::topogen {
+
+namespace {
+
+std::vector<CaseStudyTemplate> build_templates() {
+  std::vector<CaseStudyTemplate> out;
+
+  // CDN1 (§8.4, Table 1): one MANRS-listed AS originating ~3,900 prefixes
+  // at 98.7% conformance; 3 RPKI Invalid (all sibling), 48 IRR Invalid
+  // (38 sibling/C-P, 10 unrelated); 12 unlisted sibling ASes, 11 of them
+  // fully conformant.
+  {
+    CaseStudyTemplate t;
+    t.label = "CDN1";
+    t.org_id = "org-cdn1";
+    t.program = core::Program::kCdn;
+    t.ases.push_back(
+        {astopo::SizeClass::kLarge, true, false, 3851, false, false});
+    for (int i = 0; i < 12; ++i) {
+      CaseStudyAs sibling{astopo::SizeClass::kSmall, false, false,
+                          static_cast<size_t>(2 + i % 4), false, i == 0};
+      t.ases.push_back(sibling);
+    }
+    t.rpki_invalid_sibling = 3;
+    t.irr_invalid_sibling = 38;
+    t.irr_invalid_unrelated = 10;
+    out.push_back(std::move(t));
+  }
+
+  // CDN2: two listed ASes, one quiescent (trivially conformant, §8.3);
+  // the active one originates >3,500 prefixes with a single offender that
+  // is registered in neither registry (the parenthesized RPKI-NotFound
+  // entry of Table 1).
+  {
+    CaseStudyTemplate t;
+    t.label = "CDN2";
+    t.org_id = "org-cdn2";
+    t.program = core::Program::kCdn;
+    t.ases.push_back(
+        {astopo::SizeClass::kLarge, true, false, 3604, false, false});
+    t.ases.push_back(
+        {astopo::SizeClass::kMedium, true, true, 0, false, false});
+    for (int i = 0; i < 3; ++i) {
+      t.ases.push_back(
+          {astopo::SizeClass::kSmall, false, false, 2, false, i == 0});
+    }
+    t.unregistered = 1;
+    out.push_back(std::move(t));
+  }
+
+  // CDN3: one listed AS, 902 prefixes, 5 IRR Invalid all sibling.
+  {
+    CaseStudyTemplate t;
+    t.label = "CDN3";
+    t.org_id = "org-cdn3";
+    t.program = core::Program::kCdn;
+    t.ases.push_back(
+        {astopo::SizeClass::kMedium, true, false, 902, false, false});
+    t.ases.push_back(
+        {astopo::SizeClass::kSmall, false, false, 3, false, false});
+    t.irr_invalid_sibling = 5;
+    out.push_back(std::move(t));
+  }
+
+  // ISP1: the large ISP with 24 registered ASes -- one main network plus
+  // 23 small stubs originating fewer than 3 prefixes each with no valid
+  // registration. 1 RPKI Invalid (unrelated), 302 IRR Invalid
+  // (154 sibling/C-P, 148 unrelated).
+  {
+    CaseStudyTemplate t;
+    t.label = "ISP1";
+    t.org_id = "org-isp1";
+    t.program = core::Program::kIsp;
+    t.ases.push_back(
+        {astopo::SizeClass::kLarge, true, false, 1400, false, false});
+    for (int i = 0; i < 23; ++i) {
+      t.ases.push_back({astopo::SizeClass::kSmall, true, false,
+                        static_cast<size_t>(1 + i % 3), true, false});
+    }
+    t.ases.push_back(
+        {astopo::SizeClass::kSmall, false, false, 4, false, false});
+    t.rpki_invalid_unrelated = 1;
+    t.irr_invalid_sibling = 154;
+    t.irr_invalid_unrelated = 148;
+    out.push_back(std::move(t));
+  }
+
+  // ISP2: two registered ASes; 8 RPKI Invalid (6 sibling/C-P, 2
+  // unrelated) and 272 IRR Invalid (152 sibling/C-P, 120 unrelated).
+  {
+    CaseStudyTemplate t;
+    t.label = "ISP2";
+    t.org_id = "org-isp2";
+    t.program = core::Program::kIsp;
+    t.ases.push_back(
+        {astopo::SizeClass::kMedium, true, false, 310, false, false});
+    t.ases.push_back(
+        {astopo::SizeClass::kMedium, true, false, 290, false, false});
+    t.ases.push_back(
+        {astopo::SizeClass::kSmall, false, false, 2, false, false});
+    t.rpki_invalid_sibling = 6;
+    t.rpki_invalid_unrelated = 2;
+    t.irr_invalid_sibling = 152;
+    t.irr_invalid_unrelated = 120;
+    out.push_back(std::move(t));
+  }
+
+  // ISP3: one registered AS; 1 RPKI Invalid (sibling), 486 IRR Invalid
+  // (359 sibling/C-P, 127 unrelated).
+  {
+    CaseStudyTemplate t;
+    t.label = "ISP3";
+    t.org_id = "org-isp3";
+    t.program = core::Program::kIsp;
+    t.ases.push_back(
+        {astopo::SizeClass::kMedium, true, false, 810, false, false});
+    t.ases.push_back(
+        {astopo::SizeClass::kSmall, false, false, 3, false, false});
+    t.rpki_invalid_sibling = 1;
+    t.irr_invalid_sibling = 359;
+    t.irr_invalid_unrelated = 127;
+    out.push_back(std::move(t));
+  }
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<CaseStudyTemplate>& case_study_templates() {
+  static const std::vector<CaseStudyTemplate> kTemplates = build_templates();
+  return kTemplates;
+}
+
+}  // namespace manrs::topogen

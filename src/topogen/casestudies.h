@@ -1,0 +1,52 @@
+// Case-study organization templates (§8.4 / Table 1 of the paper).
+//
+// The paper manually analyzed six unconformant MANRS organizations (three
+// CDNs, the three largest unconformant ISPs) and broke their offending
+// prefix-origins down by the relationship between the BGP origin and the
+// registered origin. These templates script exactly those organizations:
+// AS structure (including the unregistered sibling ASes of Finding 8.6),
+// prefix counts, and the per-category offense counts of Table 1.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "astopo/asrank.h"
+#include "core/manrs.h"
+
+namespace manrs::topogen {
+
+struct CaseStudyAs {
+  astopo::SizeClass size = astopo::SizeClass::kMedium;
+  bool registered = true;  // listed in MANRS
+  bool quiet = false;      // originates nothing
+  size_t prefixes = 0;     // originated prefix count (ignored when quiet)
+  /// Stub ASes carry only offending prefixes (ISP1's "stub ASes of large
+  /// networks who originated fewer than 3 prefixes" with 0% validity).
+  bool all_invalid = false;
+  /// One unlisted sibling that is not fully conformant (CDN1 had 11 of 12
+  /// unlisted ASes at 100%).
+  bool sibling_blemish = false;
+};
+
+struct CaseStudyTemplate {
+  std::string label;   // anonymized name used in the paper ("CDN1", ...)
+  std::string org_id;  // our as2org identifier
+  core::Program program = core::Program::kIsp;
+  std::vector<CaseStudyAs> ases;
+
+  // Table 1 offense counts for the organization's registered ASes.
+  size_t rpki_invalid_sibling = 0;    // wrong-origin ROA, origin is sibling
+  size_t rpki_invalid_cp = 0;         // ... customer/provider
+  size_t rpki_invalid_unrelated = 0;  // ... unrelated
+  size_t irr_invalid_sibling = 0;     // wrong-origin route object (RPKI NF)
+  size_t irr_invalid_cp = 0;
+  size_t irr_invalid_unrelated = 0;
+  size_t unregistered = 0;  // neither registry (CDN2's single offender)
+};
+
+/// The six organizations of Table 1, calibrated to the published counts.
+const std::vector<CaseStudyTemplate>& case_study_templates();
+
+}  // namespace manrs::topogen

@@ -1,0 +1,120 @@
+// Configuration of the synthetic-Internet generator.
+//
+// Every knob is calibrated to a number the paper reports; the defaults
+// reproduce the May-2022 measurement at the scale documented in DESIGN.md
+// §6 (MANRS-side and large-AS populations at full scale, small non-MANRS
+// scaled 10x down for runtime; full_scale() restores paper scale).
+//
+// The per-group behaviour models are the *inputs* the measurement cannot
+// see directly -- who registers ROAs/route objects correctly, who filters
+// -- parameterized from the paper's published per-group outcomes (§8.1,
+// §8.2, §9.1); the pipeline then re-derives the outcomes through the real
+// validators and the routing simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace manrs::topogen {
+
+/// Behaviour mixture for one (membership, size-class) population.
+struct RegistrationBehavior {
+  /// Probability an AS maintains ROAs for all its prefixes.
+  double rpki_full = 0.0;
+  /// Probability an AS has no usable ROA at all (NotFound or Invalid for
+  /// everything). The remainder is "mixed": a uniform fraction covered.
+  double rpki_none = 0.0;
+  /// Probability an AS (among those with any registration activity)
+  /// carries at least one *wrong* ROA (misconfiguration -> RPKI Invalid).
+  double rpki_misconfig = 0.0;
+  /// Probability an AS maintains route objects for all its prefixes.
+  double irr_full = 0.0;
+  /// Probability an AS has no route objects at all.
+  double irr_none = 0.0;
+  /// Probability a registered route object is stale (wrong origin ->
+  /// IRR Invalid), applied per prefix for ASes with IRR registrations.
+  double irr_stale = 0.0;
+};
+
+/// Filtering behaviour for one population (drives Fig 7/8/9).
+struct FilterBehavior {
+  double rov = 0.0;               // full ROV deployment probability
+  double filter_customers = 0.0;  // MANRS Action 1 customer filtering
+  double filter_peers = 0.0;      // CDN-style peer filtering
+};
+
+struct PopulationConfig {
+  size_t count = 0;                  // ASes in this population
+  size_t quiet = 0;                  // of which originate no prefixes
+  RegistrationBehavior registration;
+  FilterBehavior filtering;
+};
+
+struct ScenarioConfig {
+  uint64_t seed = 22;  // IMC '22
+
+  // ---- population sizes (paper Fig 5 / Fig 7 / Table 2 legends) --------
+  PopulationConfig small_manrs;
+  PopulationConfig medium_manrs;
+  PopulationConfig large_manrs;
+  PopulationConfig small_other;
+  PopulationConfig medium_other;
+  PopulationConfig large_other;
+
+  size_t tier1_count = 12;       // clique at the top of the hierarchy
+  size_t cdn_program_ases = 21;  // of the MANRS ASes, how many are CDN
+  size_t vantage_points = 30;    // collector peers (RouteViews/RIS-like)
+
+  // ---- prefix-count distributions (pareto) ------------------------------
+  // Small networks: 75th percentile originates ~5 prefixes (§8.1).
+  double small_prefix_alpha = 0.86;
+  size_t small_prefix_cap = 120;
+  double medium_prefix_alpha = 1.1;
+  size_t medium_prefix_cap = 1200;
+  double large_prefix_alpha = 0.9;
+  size_t large_prefix_min = 40;
+  size_t large_prefix_cap = 4200;
+
+  /// Fraction of prefixes announced as IPv6 (the paper's analysis is
+  /// v4-centric; a v6 share exercises the family-generic code paths).
+  double ipv6_share = 0.08;
+
+  // ---- misregistration affinity (Table 1) --------------------------------
+  // When a registration carries the wrong origin, how the wrong AS relates
+  // to the announcer: the paper found >50% sibling or customer-provider.
+  double wrong_origin_sibling = 0.45;
+  double wrong_origin_cust_prov = 0.15;
+  // remainder: unrelated
+
+  // ---- history ----------------------------------------------------------
+  int first_year = 2015;
+  int last_year = 2022;
+
+  bool include_case_studies = true;
+  /// Include the two space-anchor giants (China-Telecom- and Lumen-like
+  /// MANRS ISPs holding disproportionate, mostly unsigned address space).
+  /// Off in tiny test configs, where two giants would dominate the
+  /// address-space metrics outright.
+  bool include_space_anchors = true;
+  /// Scales the case-study templates (prefix counts, offense counts, stub
+  /// and sibling AS counts) so miniature test scenarios are not dominated
+  /// by the six scripted organizations. 1.0 = the paper's exact counts.
+  double case_study_scale = 1.0;
+
+  /// Paper-calibrated defaults (see DESIGN.md §6 for the scale table).
+  static ScenarioConfig paper_default();
+
+  /// Same behaviour models at the paper's full population counts.
+  static ScenarioConfig full_scale();
+
+  /// A miniature configuration for unit/integration tests (hundreds of
+  /// ASes, seconds to generate and propagate).
+  static ScenarioConfig tiny();
+
+  size_t total_as_count() const {
+    return small_manrs.count + medium_manrs.count + large_manrs.count +
+           small_other.count + medium_other.count + large_other.count;
+  }
+};
+
+}  // namespace manrs::topogen

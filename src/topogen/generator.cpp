@@ -1,0 +1,1532 @@
+// Synthetic-Internet generator. See DESIGN.md §2 for the substitution
+// rationale and config.h for the calibration sources.
+//
+// Generation order matters: populations -> organizations -> topology ->
+// membership timeline -> prefixes & registrations -> policies -> final
+// assembly. Registration decisions need the topology (wrong-origin picks
+// prefer siblings and direct neighbors, which is what Table 1 measures).
+#include "topogen/scenario.h"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <unordered_set>
+
+#include "topogen/casestudies.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace manrs::topogen {
+
+std::vector<bgp::PrefixOrigin> Scenario::announcements() const {
+  return announcements_in_year(config.last_year);
+}
+
+std::vector<bgp::PrefixOrigin> Scenario::announcements_in_year(
+    int year) const {
+  std::vector<bgp::PrefixOrigin> out;
+  out.reserve(dated_announcements.size());
+  for (const auto& a : dated_announcements) {
+    if (a.first_year <= year && year <= a.last_year) out.push_back(a.po);
+  }
+  return out;
+}
+
+rpki::VrpStore Scenario::vrps_in_year(int year) const {
+  rpki::VrpStore store;
+  for (const auto& dated : dated_vrps) {
+    if (dated.year <= year) store.add(dated.vrp);
+  }
+  return store;
+}
+
+const AsProfile* Scenario::profile_of(net::Asn asn) const {
+  if (profile_index_.empty()) {
+    for (size_t i = 0; i < profiles.size(); ++i) {
+      profile_index_.emplace(profiles[i].asn.value(), i);
+    }
+  }
+  auto it = profile_index_.find(asn.value());
+  return it == profile_index_.end() ? nullptr : &profiles[it->second];
+}
+
+sim::PropagationSim Scenario::make_sim() const {
+  sim::PropagationSim simulator(graph);
+  for (const auto& profile : profiles) {
+    simulator.set_policy(profile.asn, profile.policy);
+  }
+  return simulator;
+}
+
+namespace {
+
+constexpr std::array<net::Rir, 5> kRirs = net::kAllRirs;
+
+size_t rir_index(net::Rir r) { return static_cast<size_t>(r); }
+
+/// Per-population RIR mix. MANRS small networks skew LACNIC (the Brazil
+/// cohort is added explicitly on top); large networks skew ARIN ("most
+/// large networks are from the ARIN region", Fig 4).
+std::array<double, 5> rir_weights(astopo::SizeClass size, bool manrs) {
+  // Order: AFRINIC, LACNIC, APNIC, RIPE, ARIN.
+  if (size == astopo::SizeClass::kLarge) {
+    return {0.03, 0.05, 0.20, 0.27, 0.45};
+  }
+  if (manrs && size == astopo::SizeClass::kSmall) {
+    return {0.07, 0.18, 0.20, 0.33, 0.22};
+  }
+  return {0.05, 0.13, 0.25, 0.35, 0.22};
+}
+
+std::string country_for(net::Rir rir, util::Rng& rng) {
+  switch (rir) {
+    case net::Rir::kAfrinic:
+      return rng.bernoulli(0.5) ? "ZA" : "KE";
+    case net::Rir::kLacnic:
+      return rng.bernoulli(0.6) ? "BR" : "AR";
+    case net::Rir::kApnic:
+      return rng.bernoulli(0.4) ? "CN" : (rng.bernoulli(0.5) ? "JP" : "IN");
+    case net::Rir::kRipe:
+      return rng.bernoulli(0.4) ? "DE" : (rng.bernoulli(0.5) ? "NL" : "FR");
+    case net::Rir::kArin:
+      return rng.bernoulli(0.85) ? "US" : "CA";
+  }
+  return "US";
+}
+
+/// Cumulative fraction of eventual MANRS organizations joined by each
+/// year, shaped like Fig 2 (slow start, steep 2020-2022).
+double join_cdf(int year) {
+  switch (year) {
+    case 2015:
+      return 0.04;
+    case 2016:
+      return 0.08;
+    case 2017:
+      return 0.14;
+    case 2018:
+      return 0.23;
+    case 2019:
+      return 0.38;
+    case 2020:
+      return 0.66;
+    case 2021:
+      return 0.86;
+    default:
+      return 1.0;
+  }
+}
+
+/// RPKI adoption weight per year (Fig 6 shape: slow before 2019, fast
+/// after); MANRS networks adopt the late years even harder (CDN program).
+int draw_roa_year(util::Rng& rng, bool manrs) {
+  static constexpr std::array<double, 8> kManrs{1, 1, 2, 3, 5, 9, 13, 15};
+  static constexpr std::array<double, 8> kOther{1, 2, 3, 4, 6, 8, 10, 11};
+  const auto& w = manrs ? kManrs : kOther;
+  return 2015 +
+         static_cast<int>(rng.weighted_index(std::span<const double>(w)));
+}
+
+struct Pending {
+  AsProfile profile;
+  bool quiet = false;
+  bool cdn = false;
+  bool tier1 = false;
+  bool case_study = false;  // behaviour fully scripted by the template
+  bool cs_all_invalid = false;
+  bool cs_blemish = false;
+  /// Space anchors hold the disproportionate address blocks of the
+  /// paper's named giants (China Telecom / AS4134, Lumen / AS3356).
+  bool space_anchor = false;
+  size_t prefix_target = 0;
+
+  // Behaviour draws (ground truth the pipeline must rediscover).
+  double rpki_coverage = 0.0;
+  bool rpki_misconfig = false;
+  double irr_coverage = 0.0;
+  double irr_stale = 0.0;
+  bool irr_aggregates_only = false;
+  bool deaggregates = false;
+};
+
+struct OrgDraft {
+  std::string id;
+  std::string name;
+  net::Rir rir = net::Rir::kRipe;
+  std::string country;
+  std::vector<size_t> members;     // indices into `ases` (all siblings)
+  std::vector<size_t> registered;  // subset registered in MANRS
+  bool manrs = false;
+  core::Program program = core::Program::kIsp;
+  int join_year = 0;
+};
+
+class Generator {
+ public:
+  explicit Generator(const ScenarioConfig& config)
+      : cfg_(config), rng_(config.seed) {}
+
+  Scenario run() {
+    create_populations();
+    create_case_study_orgs();
+    create_regular_orgs();
+    build_topology();
+    assign_join_years();
+    draw_behaviours();
+    make_space_anchors();
+    for (size_t i = 0; i < ases_.size(); ++i) {
+      if (!ases_[i].case_study) generate_as_data(i);
+    }
+    if (cfg_.include_case_studies) apply_case_studies();
+    apply_anchor_dip();
+    make_as0_anchor();
+    assign_policies();
+    pick_vantage_points();
+    return assemble();
+  }
+
+ private:
+  // ---------------------------------------------------------------------
+  void create_populations() {
+    auto make_group = [&](const PopulationConfig& pop, astopo::SizeClass size,
+                          bool manrs) {
+      std::vector<size_t> quiet_picks =
+          rng_.sample_indices(pop.count, pop.quiet);
+      std::unordered_set<size_t> quiet(quiet_picks.begin(),
+                                       quiet_picks.end());
+      for (size_t i = 0; i < pop.count; ++i) {
+        Pending p;
+        p.profile.asn = next_asn();
+        p.profile.size = size;
+        p.profile.manrs = manrs;
+        auto weights = rir_weights(size, manrs);
+        p.profile.rir =
+            kRirs[rng_.weighted_index(std::span<const double>(weights))];
+        p.profile.country = country_for(p.profile.rir, rng_);
+        p.quiet = quiet.count(i) > 0;
+        group(manrs, size).push_back(ases_.size());
+        ases_.push_back(std::move(p));
+      }
+    };
+    make_group(cfg_.small_manrs, astopo::SizeClass::kSmall, true);
+    make_group(cfg_.medium_manrs, astopo::SizeClass::kMedium, true);
+    make_group(cfg_.large_manrs, astopo::SizeClass::kLarge, true);
+    make_group(cfg_.small_other, astopo::SizeClass::kSmall, false);
+    make_group(cfg_.medium_other, astopo::SizeClass::kMedium, false);
+    make_group(cfg_.large_other, astopo::SizeClass::kLarge, false);
+
+    // The Brazil cohort (Fig 4a): up to 90 small MANRS ASes in LACNIC/BR
+    // that join in 2020 via the NIC.br outreach.
+    auto& small_manrs = group(true, astopo::SizeClass::kSmall);
+    size_t brazil =
+        std::min<size_t>(small_manrs.size() / 5, 90);
+    for (size_t i = 0; i < brazil; ++i) {
+      Pending& p = ases_[small_manrs[i]];
+      p.profile.rir = net::Rir::kLacnic;
+      p.profile.country = "BR";
+      brazil_cohort_.insert(small_manrs[i]);
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  void create_case_study_orgs() {
+    if (!cfg_.include_case_studies) return;
+    for (const CaseStudyTemplate& tpl : case_study_templates()) {
+      OrgDraft org;
+      org.id = tpl.org_id;
+      org.name = tpl.label;
+      org.manrs = true;
+      org.program = tpl.program;
+      org.rir = tpl.label == "ISP3" ? net::Rir::kApnic : net::Rir::kArin;
+      org.country = org.rir == net::Rir::kApnic ? "ID" : "US";
+
+      bool cdn = tpl.program == core::Program::kCdn;
+      size_t stub_budget = scaled_count(
+          std::count_if(tpl.ases.begin(), tpl.ases.end(),
+                        [](const CaseStudyAs& a) { return a.all_invalid; }));
+      size_t sibling_budget = scaled_count(
+          std::count_if(tpl.ases.begin(), tpl.ases.end(),
+                        [](const CaseStudyAs& a) { return !a.registered; }));
+      for (const CaseStudyAs& as_tpl : tpl.ases) {
+        if (as_tpl.all_invalid) {
+          if (stub_budget == 0) continue;
+          --stub_budget;
+        } else if (!as_tpl.registered) {
+          if (sibling_budget == 0) continue;
+          --sibling_budget;
+        }
+        size_t index = claim_as(as_tpl.size, as_tpl.registered, as_tpl.quiet);
+        Pending& p = ases_[index];
+        p.case_study = true;
+        p.quiet = as_tpl.quiet;
+        p.cdn = cdn && as_tpl.registered;
+        p.cs_all_invalid = as_tpl.all_invalid;
+        p.cs_blemish = as_tpl.sibling_blemish;
+        p.profile.org_id = org.id;
+        p.profile.rir = org.rir;
+        p.profile.country = org.country;
+        p.prefix_target =
+            as_tpl.quiet ? 0 : scaled_count(as_tpl.prefixes);
+        org.members.push_back(index);
+        if (as_tpl.registered) org.registered.push_back(index);
+      }
+      case_study_org_ids_.emplace_back(tpl.label, org.id);
+      orgs_.push_back(std::move(org));
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  void create_regular_orgs() {
+    // ---- MANRS organizations -------------------------------------------
+    std::vector<size_t> manrs_pool;
+    for (astopo::SizeClass size :
+         {astopo::SizeClass::kSmall, astopo::SizeClass::kMedium,
+          astopo::SizeClass::kLarge}) {
+      for (size_t index : group(true, size)) {
+        if (ases_[index].profile.org_id.empty()) manrs_pool.push_back(index);
+      }
+    }
+    rng_.shuffle(manrs_pool);
+
+    // ~1.25 registered ASes per org (Finding 7.0 scale): one AS per org,
+    // then sprinkle the remainder.
+    size_t org_count = std::max<size_t>(1, manrs_pool.size() * 4 / 5);
+    size_t cursor = 0;
+    std::vector<size_t> manrs_org_indices;
+    for (size_t i = 0; i < org_count && cursor < manrs_pool.size(); ++i) {
+      OrgDraft org;
+      org.id = "org-m" + std::to_string(i);
+      org.name = "ManrsNet-" + std::to_string(i);
+      size_t first = manrs_pool[cursor++];
+      org.rir = ases_[first].profile.rir;
+      org.country = ases_[first].profile.country;
+      org.manrs = true;
+      org.members.push_back(first);
+      org.registered.push_back(first);
+      ases_[first].profile.org_id = org.id;
+      manrs_org_indices.push_back(orgs_.size());
+      orgs_.push_back(std::move(org));
+    }
+    while (cursor < manrs_pool.size()) {
+      size_t as_index = manrs_pool[cursor++];
+      size_t org_index =
+          manrs_org_indices[rng_.uniform(manrs_org_indices.size())];
+      OrgDraft& org = orgs_[org_index];
+      org.members.push_back(as_index);
+      org.registered.push_back(as_index);
+      ases_[as_index].profile.org_id = org.id;
+      ases_[as_index].profile.rir = org.rir;
+      ases_[as_index].profile.country = org.country;
+    }
+
+    // CDN program: tag the configured number of MANRS ASes, preferring
+    // large then medium ones (CDNs are big originators). Case-study CDN
+    // ASes already count.
+    size_t cdn_have = 0;
+    for (const auto& p : ases_) {
+      if (p.cdn) ++cdn_have;
+    }
+    size_t cdn_needed =
+        cfg_.cdn_program_ases > cdn_have ? cfg_.cdn_program_ases - cdn_have
+                                         : 0;
+    // Prefer single-AS orgs so the per-organization program propagation
+    // below does not overshoot the configured CDN AS count; cap the large
+    // share (most large MANRS networks are transit ISPs, not CDNs --
+    // China Telecom, Lumen, ... -- while the CDN program is dominated by
+    // medium-degree content networks).
+    size_t large_cdn_budget = 4;
+    for (astopo::SizeClass size :
+         {astopo::SizeClass::kLarge, astopo::SizeClass::kMedium,
+          astopo::SizeClass::kSmall}) {
+      if (cdn_needed == 0) break;
+      for (size_t index : group(true, size)) {
+        Pending& p = ases_[index];
+        if (p.case_study || p.cdn) continue;
+        if (size == astopo::SizeClass::kLarge) {
+          if (large_cdn_budget == 0) break;
+          --large_cdn_budget;
+        }
+        const OrgDraft* org = find_org(p.profile.org_id);
+        if (!org || org->registered.size() != 1) continue;
+        p.cdn = true;
+        if (--cdn_needed == 0) break;
+      }
+    }
+    // A program is per organization: propagate the tag across each org's
+    // registered set.
+    for (OrgDraft& org : orgs_) {
+      bool any_cdn = false;
+      for (size_t index : org.registered) any_cdn |= ases_[index].cdn;
+      if (any_cdn) {
+        org.program = core::Program::kCdn;
+        for (size_t index : org.registered) ases_[index].cdn = true;
+      }
+    }
+
+    // ---- partial registration (Finding 7.0) ----------------------------
+    // The paper: 117 orgs announce some space from unregistered siblings
+    // (8 of them *only* from unregistered ASes); 80 orgs keep quiescent
+    // unregistered ASes.
+    rng_.shuffle(manrs_org_indices);
+    size_t originating_partial =
+        std::min<size_t>(117, manrs_org_indices.size() / 3);
+    size_t quiescent_partial =
+        std::min<size_t>(80, manrs_org_indices.size() / 4);
+    size_t only_unregistered = std::min<size_t>(8, originating_partial);
+    size_t at = 0;
+    for (size_t i = 0; i < originating_partial; ++i, ++at) {
+      OrgDraft& org = orgs_[manrs_org_indices[at]];
+      size_t extra = 1 + rng_.uniform(2);
+      for (size_t k = 0; k < extra; ++k) {
+        org.members.push_back(make_sibling_as(org, /*quiet=*/false));
+      }
+      if (i < only_unregistered) {
+        for (size_t index : org.registered) ases_[index].quiet = true;
+      }
+    }
+    for (size_t i = 0; i < quiescent_partial; ++i, ++at) {
+      OrgDraft& org = orgs_[manrs_org_indices[at]];
+      org.members.push_back(make_sibling_as(org, /*quiet=*/true));
+    }
+
+    // ---- non-MANRS organizations (1:1) ----------------------------------
+    size_t org_seq = 0;
+    for (astopo::SizeClass size :
+         {astopo::SizeClass::kSmall, astopo::SizeClass::kMedium,
+          astopo::SizeClass::kLarge}) {
+      for (size_t index : group(false, size)) {
+        Pending& p = ases_[index];
+        if (!p.profile.org_id.empty()) continue;
+        OrgDraft org;
+        org.id = "org-x" + std::to_string(org_seq++);
+        org.name = "Net-" + std::to_string(org_seq);
+        org.rir = p.profile.rir;
+        org.country = p.profile.country;
+        org.members.push_back(index);
+        p.profile.org_id = org.id;
+        orgs_.push_back(std::move(org));
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  void build_topology() {
+    std::vector<size_t> larges, mediums, smalls;
+    for (size_t i = 0; i < ases_.size(); ++i) {
+      switch (ases_[i].profile.size) {
+        case astopo::SizeClass::kLarge:
+          larges.push_back(i);
+          break;
+        case astopo::SizeClass::kMedium:
+          mediums.push_back(i);
+          break;
+        case astopo::SizeClass::kSmall:
+          smalls.push_back(i);
+          break;
+      }
+    }
+    for (const auto& p : ases_) graph_.add_as(p.profile.asn);
+
+    // Tier-1 clique: a MANRS-heavy mix (~40%), reflecting that much of the
+    // 2022 backbone -- Lumen, NTT, Telia, GTT, Telstra -- had joined MANRS
+    // while most large networks overall had not. That mix is what gives
+    // RPKI-Valid routes their positive MANRS preference baseline (Fig 9).
+    rng_.shuffle(larges);
+    std::stable_partition(larges.begin(), larges.end(), [&](size_t l) {
+      return ases_[l].profile.manrs;
+    });
+    size_t t1 = std::min(cfg_.tier1_count, larges.size());
+    size_t manrs_t1 = std::min<size_t>(t1 * 2 / 5, t1);
+    // Order tier-1 picks: manrs_t1 members first, then non-members; the
+    // partition above put members first, so rotate the member block down
+    // to exactly manrs_t1 entries.
+    size_t member_count = static_cast<size_t>(std::count_if(
+        larges.begin(), larges.end(),
+        [&](size_t l) { return ases_[l].profile.manrs; }));
+    if (member_count > manrs_t1) {
+      // Move the surplus members past the first t1 slots.
+      std::rotate(larges.begin() + static_cast<long>(manrs_t1),
+                  larges.begin() + static_cast<long>(member_count),
+                  larges.end());
+    }
+    for (size_t i = 0; i < t1; ++i) {
+      ases_[larges[i]].tier1 = true;
+      for (size_t j = i + 1; j < t1; ++j) {
+        graph_.add_peer_peer(asn(larges[i]), asn(larges[j]));
+      }
+    }
+    // Non-tier-1 larges buy transit from tier-1s and peer laterally.
+    for (size_t i = t1; i < larges.size(); ++i) {
+      size_t providers = 1 + rng_.uniform(2);
+      for (size_t k = 0; k < providers && t1 > 0; ++k) {
+        graph_.add_provider_customer(asn(larges[rng_.uniform(t1)]),
+                                     asn(larges[i]));
+      }
+      for (size_t j = t1; j < larges.size(); ++j) {
+        if (j != i && rng_.bernoulli(0.15)) {
+          graph_.add_peer_peer(asn(larges[i]), asn(larges[j]));
+        }
+      }
+    }
+
+    // Regional assortativity: providers are preferentially picked in the
+    // customer's own RIR region (70%), which concentrates each transit
+    // network's cone regionally -- the source of the per-network spread in
+    // Figs 7b/8 (regional IRR hygiene differs, see draw_behaviours).
+    std::array<std::vector<size_t>, 5> larges_by_rir, mediums_by_rir;
+    for (size_t l : larges) {
+      larges_by_rir[rir_index(ases_[l].profile.rir)].push_back(l);
+    }
+    for (size_t m : mediums) {
+      mediums_by_rir[rir_index(ases_[m].profile.rir)].push_back(m);
+    }
+    auto pick_regional = [&](const std::vector<size_t>& global,
+                             const std::array<std::vector<size_t>, 5>& by_rir,
+                             net::Rir rir) -> size_t {
+      const auto& local = by_rir[rir_index(rir)];
+      if (!local.empty() && rng_.bernoulli(0.7)) {
+        return local[rng_.uniform(local.size())];
+      }
+      return global[rng_.uniform(global.size())];
+    };
+
+    // Every medium gets 1-2 large providers; light lateral peering.
+    for (size_t m : mediums) {
+      size_t providers = 1 + rng_.uniform(2);
+      for (size_t k = 0; k < providers; ++k) {
+        graph_.add_provider_customer(
+            asn(pick_regional(larges, larges_by_rir, ases_[m].profile.rir)),
+            asn(m));
+      }
+      if (rng_.bernoulli(0.25)) {
+        graph_.add_peer_peer(asn(m),
+                             asn(mediums[rng_.uniform(mediums.size())]));
+      }
+    }
+
+    // Every small gets 1-2 providers, mostly mediums.
+    for (size_t sm : smalls) {
+      size_t providers = 1 + (rng_.bernoulli(0.35) ? 1 : 0);
+      net::Rir rir = ases_[sm].profile.rir;
+      for (size_t k = 0; k < providers; ++k) {
+        if (rng_.bernoulli(0.78) && !mediums.empty()) {
+          graph_.add_provider_customer(
+              asn(pick_regional(mediums, mediums_by_rir, rir)), asn(sm));
+        } else {
+          graph_.add_provider_customer(
+              asn(pick_regional(larges, larges_by_rir, rir)), asn(sm));
+        }
+      }
+    }
+
+    // ~23% of small ASes provide transit to 1-2 other smalls (Table 2).
+    for (size_t sm : smalls) {
+      if (!rng_.bernoulli(0.23)) continue;
+      size_t customers = 1 + rng_.uniform(2);
+      for (size_t k = 0; k < customers; ++k) {
+        size_t other = smalls[rng_.uniform(smalls.size())];
+        if (other != sm && graph_.customer_degree(asn(sm)) < 2) {
+          graph_.add_provider_customer(asn(sm), asn(other));
+        }
+      }
+    }
+
+    // Customer-quota top-ups are regional too.
+    std::array<std::vector<size_t>, 5> smalls_by_rir;
+    for (size_t sm : smalls) {
+      smalls_by_rir[rir_index(ases_[sm].profile.rir)].push_back(sm);
+    }
+
+    // Medium customer quotas: degree in (2, 180].
+    for (size_t m : mediums) {
+      size_t target = 3 + rng_.pareto_int(1, 1.4, 150) - 1;
+      target = std::min<size_t>(target, astopo::kMediumMaxDegree);
+      size_t guard = 0;
+      net::Rir rir = ases_[m].profile.rir;
+      while (graph_.customer_degree(asn(m)) < target && guard < target * 6) {
+        ++guard;
+        size_t c = pick_regional(smalls, smalls_by_rir, rir);
+        if (c != m) graph_.add_provider_customer(asn(m), asn(c));
+      }
+    }
+
+    // Large customer quotas: strictly more than 180 direct customers.
+    for (size_t l : larges) {
+      size_t extra = rng_.pareto_int(1, 1.0, ases_[l].tier1 ? 1200 : 400);
+      size_t target = astopo::kMediumMaxDegree + 1 + extra;
+      size_t guard = 0;
+      net::Rir rir = ases_[l].profile.rir;
+      while (graph_.customer_degree(asn(l)) < target && guard < target * 6) {
+        ++guard;
+        bool pick_medium = rng_.bernoulli(0.30) && !mediums.empty();
+        size_t c = pick_medium ? pick_regional(mediums, mediums_by_rir, rir)
+                               : pick_regional(smalls, smalls_by_rir, rir);
+        if (c != l) graph_.add_provider_customer(asn(l), asn(c));
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  void assign_join_years() {
+    for (OrgDraft& org : orgs_) {
+      if (!org.manrs) continue;
+      double u = rng_.uniform01();
+      int year = cfg_.last_year;
+      for (int y = cfg_.first_year; y <= cfg_.last_year; ++y) {
+        if (u <= join_cdf(y)) {
+          year = y;
+          break;
+        }
+      }
+      if (org.program == core::Program::kCdn && year < 2020) {
+        year = 2020 + static_cast<int>(rng_.uniform(3));
+      }
+      for (size_t index : org.members) {
+        if (brazil_cohort_.count(index)) year = 2020;
+      }
+      org.join_year = year;
+      for (size_t index : org.registered) {
+        ases_[index].profile.manrs_join_year = year;
+      }
+    }
+
+    for (Pending& p : ases_) {
+      double u = rng_.uniform01();
+      int year = cfg_.first_year +
+                 static_cast<int>(u * u * (cfg_.last_year - cfg_.first_year));
+      if (p.profile.manrs_join_year > 0) {
+        year = std::min(year, p.profile.manrs_join_year);
+      }
+      p.profile.first_routed_year = year;
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  /// IRR-record staleness varies by region (the IRR-accuracy literature
+  /// the paper cites [20, 28] finds large regional differences); combined
+  /// with the regionally assortative topology this yields the per-transit
+  /// heterogeneity of Figs 7b/8.
+  static double regional_stale_factor(net::Rir rir) {
+    switch (rir) {
+      case net::Rir::kAfrinic:
+        return 2.2;
+      case net::Rir::kLacnic:
+        return 1.7;
+      case net::Rir::kApnic:
+        return 1.3;
+      case net::Rir::kRipe:
+        return 0.7;
+      case net::Rir::kArin:
+        return 0.8;
+    }
+    return 1.0;
+  }
+
+  void draw_behaviours() {
+    auto behaviour_of = [&](const Pending& p) -> const PopulationConfig& {
+      if (p.profile.manrs) {
+        if (p.profile.size == astopo::SizeClass::kSmall) {
+          return cfg_.small_manrs;
+        }
+        if (p.profile.size == astopo::SizeClass::kMedium) {
+          return cfg_.medium_manrs;
+        }
+        return cfg_.large_manrs;
+      }
+      if (p.profile.size == astopo::SizeClass::kSmall) {
+        return cfg_.small_other;
+      }
+      if (p.profile.size == astopo::SizeClass::kMedium) {
+        return cfg_.medium_other;
+      }
+      return cfg_.large_other;
+    };
+
+    for (Pending& p : ases_) {
+      if (p.case_study) continue;
+      const RegistrationBehavior& reg = behaviour_of(p).registration;
+
+      double u = rng_.uniform01();
+      if (u < reg.rpki_full) {
+        p.rpki_coverage = 1.0;
+      } else if (u < reg.rpki_full + reg.rpki_none) {
+        p.rpki_coverage = 0.0;
+      } else if (p.profile.size == astopo::SizeClass::kLarge) {
+        // Large networks' partial coverage is space-heavy legacy address
+        // blocks (§8.6: RPKI registration of legacy space is hard), so
+        // the mixed regime sits lower for non-members.
+        p.rpki_coverage = p.profile.manrs ? rng_.uniform_real(0.25, 0.90)
+                                          : rng_.uniform_real(0.05, 0.60);
+      } else {
+        p.rpki_coverage = rng_.uniform_real(0.05, 0.95);
+      }
+      p.rpki_misconfig = rng_.bernoulli(reg.rpki_misconfig);
+
+      if (p.rpki_coverage == 0.0 &&
+          p.profile.size != astopo::SizeClass::kLarge) {
+        // "Registered only in IRR" (§8.2): ASes without RPKI presence
+        // almost always keep complete IRR records -- though those records
+        // go stale at the usual rate (the IRR-accuracy problem, [20]).
+        p.irr_coverage =
+            rng_.bernoulli(0.93) ? 1.0 : rng_.uniform_real(0.3, 0.95);
+        p.irr_stale = reg.irr_stale * (p.profile.manrs ? 0.2 : 0.9) *
+                      regional_stale_factor(p.profile.rir);
+      } else {
+        double v = rng_.uniform01();
+        if (v < reg.irr_full) {
+          p.irr_coverage = 1.0;
+        } else if (v < reg.irr_full + reg.irr_none) {
+          p.irr_coverage = 0.0;
+        } else if (p.profile.size == astopo::SizeClass::kLarge) {
+          // Finding 8.2: large MANRS networks let their IRR records rot
+          // once RPKI is in place (median 63.5% IRR-valid), while large
+          // non-MANRS networks still live off well-kept IRR data
+          // (median 84.0%).
+          p.irr_coverage = p.profile.manrs ? rng_.uniform_real(0.35, 0.80)
+                                           : rng_.uniform_real(0.70, 1.0);
+        } else {
+          p.irr_coverage = rng_.uniform_real(0.2, 1.0);
+        }
+        p.irr_stale = rng_.bernoulli(0.5)
+                          ? reg.irr_stale *
+                                regional_stale_factor(p.profile.rir)
+                          : 0.0;
+      }
+
+      // MANRS members keep their IRR records in much better shape than the
+      // RPKI-only mixtures suggest: a member with an RPKI gap almost
+      // always has the IRR side near-complete, otherwise the paper's 95%
+      // Action-4 conformance (Finding 8.4) could not hold.
+      if (p.profile.manrs && p.profile.size != astopo::SizeClass::kLarge &&
+          p.rpki_coverage < 1.0 && p.irr_coverage < 1.0) {
+        p.irr_coverage = std::max(
+            p.irr_coverage,
+            rng_.bernoulli(0.6) ? 1.0 : rng_.uniform_real(0.88, 1.0));
+      }
+
+      // Non-case-study CDNs keep complete registrations (§8.3: only the
+      // three case-study CDNs miss the 100% bar).
+      if (p.cdn) {
+        p.rpki_coverage = 1.0;
+        p.irr_coverage = 1.0;
+        p.rpki_misconfig = false;
+        p.irr_stale = 0.0;
+      }
+      // Unregistered siblings of MANRS orgs were still conformant
+      // (Finding 8.6): claimed sibling ASes already carry coverage 1.0
+      // from make_sibling_as via these flags.
+      if (sibling_set_.count(&p - ases_.data())) {
+        p.rpki_coverage = 1.0;
+        p.irr_coverage = 1.0;
+        p.rpki_misconfig = false;
+        p.irr_stale = 0.0;
+      }
+
+      p.irr_aggregates_only = rng_.bernoulli(0.15);
+      p.deaggregates = rng_.bernoulli(0.12);
+
+      if (p.quiet) {
+        p.prefix_target = 0;
+      } else if (p.prefix_target == 0) {
+        switch (p.profile.size) {
+          case astopo::SizeClass::kSmall:
+            p.prefix_target = rng_.pareto_int(1, cfg_.small_prefix_alpha,
+                                              cfg_.small_prefix_cap);
+            break;
+          case astopo::SizeClass::kMedium:
+            p.prefix_target = rng_.pareto_int(2, cfg_.medium_prefix_alpha,
+                                              cfg_.medium_prefix_cap);
+            break;
+          case astopo::SizeClass::kLarge:
+            p.prefix_target =
+                rng_.pareto_int(cfg_.large_prefix_min, cfg_.large_prefix_alpha,
+                                cfg_.large_prefix_cap);
+            break;
+        }
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  /// The paper's named giants. AS4134 (China Telecom, APNIC) joined MANRS
+  /// in 2020 holding ~4% of routed v4 space with minimal RPKI presence --
+  /// the Fig 4b APNIC jump and a drag on MANRS RPKI saturation. A
+  /// Lumen-like ARIN anchor announces fewer prefixes after 2020 (the
+  /// Fig 4b 2021 dip).
+  void make_space_anchors() {
+    if (!cfg_.include_space_anchors) return;
+    size_t made = 0;
+    for (size_t i = 0; i < ases_.size() && made < 2; ++i) {
+      Pending& p = ases_[i];
+      if (!p.profile.manrs || p.case_study || p.cdn ||
+          p.profile.size != astopo::SizeClass::kLarge || p.quiet) {
+        continue;
+      }
+      p.space_anchor = true;
+      p.rpki_coverage = 0.08;
+      p.irr_coverage = 1.0;
+      p.irr_stale = 0.02;
+      p.rpki_misconfig = false;
+      p.deaggregates = false;
+      p.prefix_target = std::max<size_t>(p.prefix_target, 60);
+      p.profile.rir = made == 0 ? net::Rir::kApnic : net::Rir::kArin;
+      p.profile.country = made == 0 ? "CN" : "US";
+      p.profile.first_routed_year = cfg_.first_year;
+      if (made == 0) {
+        // Membership override: joins in 2020 (handled via its org).
+        if (OrgDraft* org = find_org(p.profile.org_id)) {
+          org->join_year = 2020;
+          for (size_t index : org->registered) {
+            ases_[index].profile.manrs_join_year = 2020;
+          }
+        }
+        anchor_apnic_ = i;
+      } else {
+        anchor_arin_ = i;
+      }
+      ++made;
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  /// Generate prefixes + registrations for one non-scripted AS.
+  void generate_as_data(size_t index) {
+    Pending& p = ases_[index];
+    if (p.quiet || p.prefix_target == 0) return;
+
+    size_t announced_big_blocks = 0;
+    size_t remaining = p.prefix_target;
+    while (remaining > 0) {
+      bool v6 = !p.space_anchor && rng_.bernoulli(cfg_.ipv6_share);
+      unsigned len = draw_prefix_len(p.profile.size, v6);
+      if (p.space_anchor && announced_big_blocks < 30) {
+        static constexpr std::array<unsigned, 3> kBig{12, 14, 16};
+        len = kBig[rng_.uniform(3)];
+        ++announced_big_blocks;
+      }
+      net::Prefix block = allocate(p.profile.rir, len, v6);
+      org_resources_[p.profile.org_id].push_back(block);
+
+      // Optionally de-aggregate (traffic engineering, §3).
+      std::vector<net::Prefix> announced{block};
+      if (p.deaggregates && !v6 && len <= 22 && remaining >= 3 &&
+          rng_.bernoulli(0.5)) {
+        size_t subnets = 1 + rng_.uniform(3);
+        for (size_t s = 0; s < subnets && announced.size() < remaining;
+             ++s) {
+          uint32_t base = block.address().v4_value();
+          uint32_t sub = base + static_cast<uint32_t>(s) * (1u << 8);
+          announced.push_back(net::Prefix(net::IpAddress::v4(sub), 24));
+        }
+      }
+
+      // Legacy-space drag (§8.6): the biggest blocks are the least likely
+      // to be RPKI-signed -- except by operators who sign everything.
+      double roa_p = p.rpki_coverage;
+      if (!v6 && len <= 16 && p.rpki_coverage < 1.0) {
+        roa_p *= p.profile.manrs ? 0.55 : 0.75;
+      }
+      bool roa = rng_.uniform01() < roa_p;
+      bool roa_wrong = false;
+      if (p.rpki_misconfig && rng_.bernoulli(0.08)) {
+        roa = true;
+        roa_wrong = true;
+      }
+      if (roa) {
+        net::Asn roa_origin =
+            roa_wrong ? pick_wrong_origin(index) : p.profile.asn;
+        unsigned maxlen = len;
+        if (announced.size() > 1 && !v6) {
+          // Mostly cover the /24 de-aggregates; the remainder becomes
+          // RPKI Invalid Length (Formula 4 counts them as invalid).
+          // MANRS members keep max-length aligned more often.
+          maxlen = rng_.bernoulli(p.profile.manrs ? 0.90 : 0.82) ? 24 : len;
+        }
+        add_roa(index, block, maxlen, roa_origin);
+      }
+
+      bool irr_reg = rng_.uniform01() < p.irr_coverage;
+      if (irr_reg) {
+        net::Asn irr_origin = p.profile.asn;
+        if (p.irr_stale > 0 && rng_.bernoulli(p.irr_stale)) {
+          irr_origin = pick_wrong_origin(index);
+        }
+        if (p.irr_aggregates_only || announced.size() == 1) {
+          add_route_object(index, block, irr_origin);
+        } else {
+          for (const net::Prefix& pref : announced) {
+            add_route_object(index, pref, irr_origin);
+          }
+        }
+      }
+
+      for (const net::Prefix& pref : announced) {
+        if (remaining == 0) break;
+        add_announcement(index, pref);
+        --remaining;
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  /// Script the six Table 1 organizations exactly.
+  void apply_case_studies() {
+    for (const CaseStudyTemplate& tpl : case_study_templates()) {
+      OrgDraft* org = find_org(tpl.org_id);
+      if (!org) continue;
+
+      // Offense queues consumed while emitting prefixes.
+      std::deque<astopo::AsAffinity> rpki_queue, irr_queue;
+      auto fill = [](std::deque<astopo::AsAffinity>& q, size_t sib,
+                     size_t cp, size_t unrel) {
+        for (size_t i = 0; i < sib; ++i) {
+          q.push_back(astopo::AsAffinity::kSibling);
+        }
+        for (size_t i = 0; i < cp; ++i) {
+          q.push_back(astopo::AsAffinity::kCustomerProvider);
+        }
+        for (size_t i = 0; i < unrel; ++i) {
+          q.push_back(astopo::AsAffinity::kUnrelated);
+        }
+      };
+      fill(rpki_queue, scaled_count(tpl.rpki_invalid_sibling),
+           scaled_count(tpl.rpki_invalid_cp),
+           scaled_count(tpl.rpki_invalid_unrelated));
+      fill(irr_queue, scaled_count(tpl.irr_invalid_sibling),
+           scaled_count(tpl.irr_invalid_cp),
+           scaled_count(tpl.irr_invalid_unrelated));
+      size_t unregistered_left = scaled_count(tpl.unregistered);
+
+      auto origin_for = [&](size_t index,
+                            astopo::AsAffinity affinity) -> net::Asn {
+        if (affinity == astopo::AsAffinity::kSibling) {
+          for (size_t m : org->members) {
+            if (m != index) return asn(m);
+          }
+        }
+        if (affinity == astopo::AsAffinity::kCustomerProvider) {
+          const auto& providers = graph_.providers(asn(index));
+          if (!providers.empty()) {
+            return providers[rng_.uniform(providers.size())];
+          }
+        }
+        return pick_unrelated(index);
+      };
+
+      // Stub ASes (all_invalid) consume the IRR queue first; the primary
+      // (largest) AS takes everything remaining; others stay clean unless
+      // the queues still hold entries (ISP2's two ASes split the load).
+      std::vector<size_t> emit_order;  // stubs first, then by size desc
+      for (size_t index : org->members) {
+        if (ases_[index].cs_all_invalid) emit_order.push_back(index);
+      }
+      std::vector<size_t> rest;
+      for (size_t index : org->members) {
+        const Pending& p = ases_[index];
+        if (!p.cs_all_invalid && !p.quiet && p.prefix_target > 0) {
+          rest.push_back(index);
+        }
+      }
+      std::sort(rest.begin(), rest.end(), [&](size_t a, size_t b) {
+        return ases_[a].prefix_target > ases_[b].prefix_target;
+      });
+      emit_order.insert(emit_order.end(), rest.begin(), rest.end());
+
+      bool registered_pass = true;  // first loop over registered ASes
+      std::unordered_set<size_t> registered_set(org->registered.begin(),
+                                                org->registered.end());
+
+      // Precompute how many offenses each registered AS should absorb so
+      // multi-AS orgs (ISP2) have *every* AS below threshold: offenses
+      // are split proportionally to prefix counts.
+      size_t total_offenses =
+          rpki_queue.size() + irr_queue.size() + unregistered_left;
+      size_t total_prefixes = 0;
+      for (size_t index : emit_order) {
+        if (registered_set.count(index)) {
+          total_prefixes += ases_[index].prefix_target;
+        }
+      }
+      (void)registered_pass;
+
+      for (size_t index : emit_order) {
+        Pending& p = ases_[index];
+        bool is_registered = registered_set.count(index) > 0;
+        size_t quota = 0;
+        if (is_registered && !p.cs_all_invalid && total_prefixes > 0) {
+          quota = total_offenses * p.prefix_target / total_prefixes + 1;
+        }
+        for (size_t i = 0; i < p.prefix_target; ++i) {
+          unsigned len = draw_prefix_len(p.profile.size, /*v6=*/false);
+          net::Prefix prefix = allocate(p.profile.rir, len, false);
+          org_resources_[p.profile.org_id].push_back(prefix);
+          add_announcement(index, prefix);
+
+          if (!is_registered) {
+            // Unlisted sibling: fully conformant except the one blemish.
+            if (p.cs_blemish && i == 0) {
+              add_route_object(index, prefix, pick_unrelated(index));
+            } else {
+              add_roa(index, prefix, len, p.profile.asn);
+              add_route_object(index, prefix, p.profile.asn);
+            }
+            continue;
+          }
+
+          bool emitted_offense = false;
+          if (p.cs_all_invalid || quota > 0) {
+            if (!irr_queue.empty()) {
+              astopo::AsAffinity affinity = irr_queue.front();
+              irr_queue.pop_front();
+              add_route_object(index, prefix, origin_for(index, affinity));
+              emitted_offense = true;
+            } else if (!rpki_queue.empty()) {
+              astopo::AsAffinity affinity = rpki_queue.front();
+              rpki_queue.pop_front();
+              add_roa(index, prefix, len, origin_for(index, affinity));
+              emitted_offense = true;
+            } else if (unregistered_left > 0) {
+              --unregistered_left;
+              emitted_offense = true;  // neither registry
+            }
+          }
+          if (emitted_offense) {
+            if (quota > 0) --quota;
+            continue;
+          }
+          // Conformant prefix. The case-study CDNs register both ways
+          // (the big content networks drove the RPKI saturation jump,
+          // §8.6); the big ISPs are conformant mostly through the IRR.
+          bool is_cdn = tpl.program == core::Program::kCdn;
+          if (is_cdn || rng_.bernoulli(0.35)) {
+            add_roa(index, prefix, len, p.profile.asn);
+          }
+          add_route_object(index, prefix, p.profile.asn);
+        }
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  /// The ARIN anchor (Lumen-like) withdraws a quarter of its prefixes
+  /// after 2020, producing the Fig 4b dip the paper attributes to Level3
+  /// and China Telecom announcing fewer prefixes in 2021.
+  void apply_anchor_dip() {
+    if (anchor_arin_ == SIZE_MAX) return;
+    size_t seen = 0;
+    for (auto& intent : announcements_) {
+      if (intent.owner != anchor_arin_) continue;
+      if (++seen % 4 == 0) {
+        intent.last_year = 2020;
+        intent.first_year = std::min(intent.first_year, 2020);
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  void make_as0_anchor() {
+    // A large non-MANRS ISP with two prefixes registered under AS0 in the
+    // RPKI but correctly registered in RADB -- the paper's AS23947
+    // misconfiguration case (§8.1).
+    for (size_t i = 0; i < ases_.size(); ++i) {
+      Pending& p = ases_[i];
+      if (p.profile.manrs || p.case_study ||
+          p.profile.size != astopo::SizeClass::kLarge) {
+        continue;
+      }
+      size_t added = 0;
+      for (const auto& a : announcements_) {
+        if (a.owner != i || !a.po.prefix.is_v4()) continue;
+        add_roa(i, a.po.prefix, a.po.prefix.length(), net::Asn(0),
+                /*year=*/2019);
+        add_route_object(i, a.po.prefix, p.profile.asn);
+        if (++added == 2) break;
+      }
+      if (added > 0) {
+        as0_anchor_ = p.profile.asn;
+        break;
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  void assign_policies() {
+    auto filters_of = [&](const Pending& p) -> const FilterBehavior& {
+      if (p.profile.manrs) {
+        if (p.profile.size == astopo::SizeClass::kSmall) {
+          return cfg_.small_manrs.filtering;
+        }
+        if (p.profile.size == astopo::SizeClass::kMedium) {
+          return cfg_.medium_manrs.filtering;
+        }
+        return cfg_.large_manrs.filtering;
+      }
+      if (p.profile.size == astopo::SizeClass::kSmall) {
+        return cfg_.small_other.filtering;
+      }
+      if (p.profile.size == astopo::SizeClass::kMedium) {
+        return cfg_.medium_other.filtering;
+      }
+      return cfg_.large_other.filtering;
+    };
+    for (Pending& p : ases_) {
+      const FilterBehavior& f = filters_of(p);
+      sim::FilterPolicy policy;
+      policy.rov = rng_.bernoulli(f.rov);
+      if (rng_.bernoulli(f.filter_customers)) {
+        // Large networks maintain leaky manual filters (Table 2: no large
+        // MANRS AS was fully Action-1 conformant); small MANRS networks
+        // with one or two customers usually filter them completely
+        // (Table 2: 97.1% of transiting small MANRS ASes conformant).
+        if (p.profile.size == astopo::SizeClass::kLarge) {
+          policy.customer_strictness =
+              static_cast<uint8_t>(1 + rng_.uniform(sim::kFilterVariants - 1));
+        } else if (p.profile.size == astopo::SizeClass::kSmall &&
+                   p.profile.manrs && rng_.bernoulli(0.7)) {
+          policy.customer_strictness = sim::kFilterVariants;
+        } else {
+          policy.customer_strictness =
+              static_cast<uint8_t>(1 + rng_.uniform(sim::kFilterVariants));
+        }
+      }
+      if (rng_.bernoulli(f.filter_peers)) {
+        policy.peer_strictness =
+            static_cast<uint8_t>(1 + rng_.uniform(sim::kFilterVariants - 1));
+      }
+      if (p.cdn) {
+        policy.peer_strictness = std::max<uint8_t>(policy.peer_strictness, 2);
+        policy.customer_strictness =
+            std::max<uint8_t>(policy.customer_strictness, 2);
+      }
+      p.profile.policy = policy;
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  void pick_vantage_points() {
+    std::vector<size_t> larges, mediums;
+    for (size_t i = 0; i < ases_.size(); ++i) {
+      if (ases_[i].profile.size == astopo::SizeClass::kLarge) {
+        larges.push_back(i);
+      } else if (ases_[i].profile.size == astopo::SizeClass::kMedium) {
+        mediums.push_back(i);
+      }
+    }
+    size_t want_large = std::min(cfg_.vantage_points / 2, larges.size());
+    for (size_t i = 0; i < want_large; ++i) {
+      vantage_points_.push_back(asn(larges[i * larges.size() / want_large]));
+    }
+    size_t want_medium =
+        std::min(cfg_.vantage_points - want_large, mediums.size());
+    for (size_t i = 0; i < want_medium; ++i) {
+      vantage_points_.push_back(asn(
+          mediums[i * mediums.size() / std::max<size_t>(want_medium, 1)]));
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  Scenario assemble() {
+    Scenario s;
+    s.config = cfg_;
+    s.graph = std::move(graph_);
+    s.vantage_points = std::move(vantage_points_);
+    s.case_study_orgs = std::move(case_study_org_ids_);
+
+    for (const OrgDraft& org : orgs_) {
+      astopo::Organization record;
+      record.org_id = org.id;
+      record.name = org.name;
+      record.country = org.country;
+      record.rir = org.rir;
+      s.as2org.add_organization(record);
+      for (size_t index : org.members) {
+        s.as2org.map_as(ases_[index].profile.asn, org.id);
+      }
+      if (org.manrs) {
+        core::Participant participant;
+        participant.org_id = org.id;
+        participant.program = org.program;
+        participant.joined = util::Date(org.join_year, 5, 1);
+        for (size_t index : org.registered) {
+          participant.registered_ases.push_back(ases_[index].profile.asn);
+        }
+        std::sort(participant.registered_ases.begin(),
+                  participant.registered_ases.end());
+        s.manrs.add_participant(std::move(participant));
+      }
+    }
+
+    for (Pending& p : ases_) {
+      if (p.profile.manrs) {
+        p.profile.program = p.cdn ? core::Program::kCdn : core::Program::kIsp;
+      }
+    }
+
+    // RPKI: one resource certificate per organization, then ROAs.
+    uint64_t serial = 1;
+    std::unordered_map<std::string, uint64_t> org_serial;
+    for (const OrgDraft& org : orgs_) {
+      auto it = org_resources_.find(org.id);
+      if (it == org_resources_.end()) continue;
+      rpki::ResourceCertificate cert;
+      cert.serial = serial;
+      cert.trust_anchor = org.rir;
+      cert.resources = it->second;
+      cert.not_before = util::Date(2014, 1, 1);
+      cert.not_after = util::Date(2030, 1, 1);
+      s.relying_party.add_certificate(cert);
+      org_serial[org.id] = serial;
+      ++serial;
+    }
+    for (const RoaIntent& intent : roas_) {
+      const Pending& p = ases_[intent.owner];
+      auto it = org_serial.find(p.profile.org_id);
+      if (it == org_serial.end()) continue;
+      rpki::Roa roa;
+      roa.asn = intent.origin;
+      roa.prefixes.push_back(rpki::RoaPrefix{intent.prefix, intent.maxlen});
+      roa.certificate_serial = it->second;
+      s.relying_party.add_roa(roa);
+      s.dated_vrps.push_back(DatedVrp{
+          rpki::Vrp{intent.prefix, intent.maxlen, intent.origin,
+                    p.profile.rir},
+          intent.year});
+    }
+    size_t rejected = 0;
+    s.vrps =
+        rpki::VrpStore(s.relying_party.evaluate(s.snapshot_date, &rejected));
+    if (rejected > 0) {
+      util::log_warn() << "relying party rejected " << rejected << " ROAs";
+    }
+
+    // IRR: five authoritative RIR databases plus RADB (mirror).
+    std::unordered_map<std::string, irr::IrrDatabase*> dbs;
+    for (net::Rir rir : kRirs) {
+      std::string name(net::rir_name(rir));
+      dbs[name] = &s.irr.add_database(name, /*authoritative=*/true);
+    }
+    irr::IrrDatabase* radb = &s.irr.add_database("RADB", false);
+    for (const RouteIntent& intent : routes_) {
+      const Pending& p = ases_[intent.owner];
+      irr::RouteObject route;
+      route.prefix = intent.prefix;
+      route.origin = intent.origin;
+      route.maintainers.push_back("MAINT-" + p.profile.org_id);
+      if (intent.radb) {
+        route.source = "RADB";
+        radb->add_route(std::move(route));
+      } else {
+        std::string name(net::rir_name(p.profile.rir));
+        route.source = name;
+        dbs[name]->add_route(std::move(route));
+      }
+    }
+    for (net::Rir rir : kRirs) {
+      s.irr.mirror(*dbs[std::string(net::rir_name(rir))], "RADB");
+    }
+
+    // Contact data (MANRS Action 3 extension): aut-num objects with
+    // admin-c/tech-c handles and PeeringDB net records. Members keep both
+    // in better shape; a slice of PeeringDB records is stale.
+    for (const Pending& p : ases_) {
+      bool member = p.profile.manrs;
+      if (rng_.bernoulli(member ? 0.90 : 0.65)) {
+        irr::AutNumObject aut;
+        aut.asn = p.profile.asn;
+        aut.as_name = "AS-" + p.profile.org_id;
+        aut.contacts.push_back("NOC-" + p.profile.org_id);
+        if (rng_.bernoulli(0.6)) {
+          aut.contacts.push_back("noc@" + p.profile.org_id + ".example");
+        }
+        std::string name(net::rir_name(p.profile.rir));
+        aut.source = name;
+        dbs[name]->add_aut_num(std::move(aut));
+      }
+      if (rng_.bernoulli(member ? 0.80 : 0.40)) {
+        core::PeeringDbNet record;
+        record.asn = p.profile.asn;
+        record.name = p.profile.org_id;
+        record.contact_email =
+            rng_.bernoulli(0.9) ? "peering@" + p.profile.org_id + ".example"
+                                : "";
+        // Members refresh their records; others let them age (up to ~6
+        // years back).
+        int64_t age_days = member
+                               ? static_cast<int64_t>(rng_.uniform(400))
+                               : static_cast<int64_t>(rng_.uniform(2200));
+        record.updated = s.snapshot_date.add_days(-age_days);
+        s.peeringdb.add(std::move(record));
+      }
+    }
+
+    s.dated_announcements.reserve(announcements_.size());
+    for (const AnnouncementIntent& intent : announcements_) {
+      s.dated_announcements.push_back(
+          DatedAnnouncement{intent.po, intent.first_year, intent.last_year});
+    }
+
+    s.profiles.reserve(ases_.size());
+    for (Pending& p : ases_) s.profiles.push_back(std::move(p.profile));
+    return s;
+  }
+
+  // ---------------------------------------------------------------------
+  // Helpers.
+  struct RoaIntent {
+    size_t owner;
+    net::Prefix prefix;
+    unsigned maxlen;
+    net::Asn origin;
+    int year;
+  };
+  struct RouteIntent {
+    size_t owner;
+    net::Prefix prefix;
+    net::Asn origin;
+    bool radb;
+  };
+  struct AnnouncementIntent {
+    size_t owner;
+    bgp::PrefixOrigin po;
+    int first_year;
+    int last_year;
+  };
+
+  net::Asn asn(size_t index) const { return ases_[index].profile.asn; }
+
+  net::Asn next_asn() { return net::Asn(next_asn_value_++); }
+
+  /// Scale a case-study count by config.case_study_scale (nonzero counts
+  /// never scale to zero).
+  size_t scaled_count(size_t n) const {
+    if (n == 0 || cfg_.case_study_scale >= 1.0) return n;
+    size_t scaled =
+        static_cast<size_t>(static_cast<double>(n) * cfg_.case_study_scale);
+    return std::max<size_t>(1, scaled);
+  }
+  size_t scaled_count(long n) const {
+    return scaled_count(static_cast<size_t>(n));
+  }
+
+  std::vector<size_t>& group(bool manrs, astopo::SizeClass size) {
+    return group_index_[static_cast<size_t>(size) * 2 + (manrs ? 1 : 0)];
+  }
+
+  /// Claim an unassigned AS of the given class for a case-study org.
+  size_t claim_as(astopo::SizeClass size, bool manrs, bool prefer_quiet) {
+    auto& pool = group(manrs, size);
+    for (size_t index : pool) {
+      Pending& p = ases_[index];
+      if (!p.profile.org_id.empty() || p.case_study) continue;
+      if (prefer_quiet != p.quiet) continue;
+      return index;
+    }
+    for (size_t index : pool) {
+      Pending& p = ases_[index];
+      if (p.profile.org_id.empty() && !p.case_study) {
+        p.quiet = prefer_quiet;
+        return index;
+      }
+    }
+    // Pool exhausted (tiny configs): mint a new AS.
+    Pending p;
+    p.profile.asn = next_asn();
+    p.profile.size = size;
+    p.profile.manrs = manrs;
+    p.profile.rir = net::Rir::kArin;
+    p.profile.country = "US";
+    p.quiet = prefer_quiet;
+    pool.push_back(ases_.size());
+    ases_.push_back(std::move(p));
+    return ases_.size() - 1;
+  }
+
+  size_t make_sibling_as(OrgDraft& org, bool quiet) {
+    Pending p;
+    p.profile.asn = next_asn();
+    p.profile.size = astopo::SizeClass::kSmall;
+    p.profile.manrs = false;  // unregistered sibling
+    p.profile.org_id = org.id;
+    p.profile.rir = org.rir;
+    p.profile.country = org.country;
+    p.quiet = quiet;
+    if (!quiet) p.prefix_target = 1 + rng_.uniform(3);
+    size_t index = ases_.size();
+    sibling_set_.insert(index);
+    group(false, astopo::SizeClass::kSmall).push_back(index);
+    ases_.push_back(std::move(p));
+    return index;
+  }
+
+  net::Asn pick_wrong_origin(size_t index) {
+    const Pending& p = ases_[index];
+    double u = rng_.uniform01();
+    if (u < cfg_.wrong_origin_sibling) {
+      for (const OrgDraft& org : orgs_) {
+        if (org.id != p.profile.org_id) continue;
+        for (size_t member : org.members) {
+          if (member != index) return asn(member);
+        }
+        break;
+      }
+      // Fall through when the org has no sibling: prefer a neighbor.
+      const auto& providers = graph_.providers(p.profile.asn);
+      if (!providers.empty()) {
+        return providers[rng_.uniform(providers.size())];
+      }
+    }
+    if (u < cfg_.wrong_origin_sibling + cfg_.wrong_origin_cust_prov) {
+      const auto& providers = graph_.providers(p.profile.asn);
+      if (!providers.empty()) {
+        return providers[rng_.uniform(providers.size())];
+      }
+      const auto& customers = graph_.customers(p.profile.asn);
+      if (!customers.empty()) {
+        return customers[rng_.uniform(customers.size())];
+      }
+    }
+    return pick_unrelated(index);
+  }
+
+  /// An AS from a different organization that is neither a direct
+  /// customer nor provider.
+  net::Asn pick_unrelated(size_t index) {
+    const Pending& p = ases_[index];
+    for (int attempts = 0; attempts < 64; ++attempts) {
+      size_t other = rng_.uniform(ases_.size());
+      if (other == index) continue;
+      const Pending& q = ases_[other];
+      if (q.profile.org_id == p.profile.org_id) continue;
+      if (graph_.is_provider_of(p.profile.asn, q.profile.asn)) continue;
+      if (graph_.is_provider_of(q.profile.asn, p.profile.asn)) continue;
+      return q.profile.asn;
+    }
+    return asn((index + 1) % ases_.size());
+  }
+
+  unsigned draw_prefix_len(astopo::SizeClass size, bool v6) {
+    if (v6) {
+      static constexpr std::array<double, 3> w{0.55, 0.30, 0.15};
+      static constexpr std::array<unsigned, 3> lens{48, 40, 32};
+      return lens[rng_.weighted_index(std::span<const double>(w))];
+    }
+    switch (size) {
+      case astopo::SizeClass::kSmall: {
+        static constexpr std::array<double, 3> w{0.70, 0.15, 0.15};
+        static constexpr std::array<unsigned, 3> lens{24, 23, 22};
+        return lens[rng_.weighted_index(std::span<const double>(w))];
+      }
+      case astopo::SizeClass::kMedium: {
+        static constexpr std::array<double, 4> w{0.40, 0.30, 0.20, 0.10};
+        static constexpr std::array<unsigned, 4> lens{24, 22, 20, 19};
+        return lens[rng_.weighted_index(std::span<const double>(w))];
+      }
+      case astopo::SizeClass::kLarge: {
+        static constexpr std::array<double, 5> w{0.30, 0.25, 0.20, 0.15,
+                                                 0.10};
+        static constexpr std::array<unsigned, 5> lens{24, 22, 20, 18, 16};
+        return lens[rng_.weighted_index(std::span<const double>(w))];
+      }
+    }
+    return 24;
+  }
+
+  net::Prefix allocate(net::Rir rir, unsigned len, bool v6) {
+    if (v6) {
+      // Per-RIR /12 pools mirroring real allocations (2400::/12 APNIC,
+      // 2600::/12 ARIN, 2800::/12 LACNIC, 2a00::/12 RIPE, 2c00::/12
+      // AFRINIC); /32../48 blocks carved sequentially.
+      static constexpr std::array<uint64_t, 5> kPoolHi{
+          0x2c00000000000000ULL,  // AFRINIC
+          0x2800000000000000ULL,  // LACNIC
+          0x2400000000000000ULL,  // APNIC
+          0x2a00000000000000ULL,  // RIPE
+          0x2600000000000000ULL,  // ARIN
+      };
+      uint64_t unit = 1ULL << (64 - len);
+      uint64_t& cursor = v6_cursor_[rir_index(rir)];
+      cursor = (cursor + unit - 1) & ~(unit - 1);
+      uint64_t hi = kPoolHi[rir_index(rir)] + cursor;
+      cursor += unit;
+      return net::Prefix(net::IpAddress::v6(hi, 0), len);
+    }
+    // Per-RIR /3 v4 pools: 32/3, 64/3, 96/3, 128/3, 160/3.
+    static constexpr std::array<uint64_t, 5> kPoolBase{
+        0x20000000ULL, 0x40000000ULL, 0x60000000ULL, 0x80000000ULL,
+        0xA0000000ULL};
+    uint64_t size = 1ULL << (32 - len);
+    uint64_t& cursor = v4_cursor_[rir_index(rir)];
+    cursor = (cursor + size - 1) & ~(size - 1);
+    uint64_t base = kPoolBase[rir_index(rir)] + cursor;
+    cursor += size;
+    return net::Prefix(net::IpAddress::v4(static_cast<uint32_t>(base)), len);
+  }
+
+  void add_roa(size_t owner, const net::Prefix& prefix, unsigned maxlen,
+               net::Asn origin, int year = 0) {
+    const Pending& p = ases_[owner];
+    if (year == 0) {
+      year = std::max(p.profile.first_routed_year,
+                      draw_roa_year(rng_, p.profile.manrs));
+    }
+    roas_.push_back(RoaIntent{owner, prefix, maxlen, origin, year});
+  }
+
+  void add_route_object(size_t owner, const net::Prefix& prefix,
+                        net::Asn origin) {
+    routes_.push_back(
+        RouteIntent{owner, prefix, origin, rng_.bernoulli(0.5)});
+  }
+
+  void add_announcement(size_t owner, const net::Prefix& prefix,
+                        int first_year = 0, int last_year = 9999) {
+    const Pending& p = ases_[owner];
+    if (first_year == 0) {
+      first_year = p.profile.first_routed_year;
+      if (rng_.bernoulli(0.35)) {
+        first_year += static_cast<int>(rng_.uniform(
+            static_cast<uint64_t>(cfg_.last_year - first_year) + 1));
+      }
+    }
+    announcements_.push_back(AnnouncementIntent{
+        owner, bgp::PrefixOrigin{prefix, p.profile.asn}, first_year,
+        last_year});
+  }
+
+  OrgDraft* find_org(const std::string& id) {
+    for (auto& org : orgs_) {
+      if (org.id == id) return &org;
+    }
+    return nullptr;
+  }
+
+  ScenarioConfig cfg_;
+  util::Rng rng_;
+  std::vector<Pending> ases_;
+  std::unordered_map<size_t, std::vector<size_t>> group_index_;
+  std::unordered_set<size_t> brazil_cohort_;
+  std::unordered_set<size_t> sibling_set_;
+  std::vector<OrgDraft> orgs_;
+  std::vector<std::pair<std::string, std::string>> case_study_org_ids_;
+  astopo::AsGraph graph_;
+  std::vector<net::Asn> vantage_points_;
+  std::unordered_map<std::string, std::vector<net::Prefix>> org_resources_;
+  std::vector<RoaIntent> roas_;
+  std::vector<RouteIntent> routes_;
+  std::vector<AnnouncementIntent> announcements_;
+  std::array<uint64_t, 5> v4_cursor_{};
+  std::array<uint64_t, 5> v6_cursor_{};
+  uint32_t next_asn_value_ = 20000;
+  net::Asn as0_anchor_;
+  size_t anchor_apnic_ = SIZE_MAX;
+  size_t anchor_arin_ = SIZE_MAX;
+};
+
+}  // namespace
+
+Scenario build_scenario(const ScenarioConfig& config) {
+  Generator gen(config);
+  return gen.run();
+}
+
+}  // namespace manrs::topogen

@@ -1,0 +1,186 @@
+#include "topogen/history.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/conformance.h"
+#include "irr/validation.h"
+#include "rpki/validation.h"
+#include "util/rng.h"
+
+namespace manrs::topogen {
+
+namespace {
+
+/// A conformant "retired" announcement derived from an existing one: a
+/// more-specific inside an announced block (IRR Invalid Length when the
+/// block is registered, i.e. still MANRS-conformant, and guaranteed not to
+/// collide with any other allocation).
+bgp::PrefixOrigin derive_more_specific(const bgp::PrefixOrigin& base,
+                                       unsigned offset) {
+  unsigned len = std::min(24u, base.prefix.length() + 1);
+  if (len <= base.prefix.length()) len = base.prefix.length();  // /24 base
+  uint32_t addr = base.prefix.address().v4_value();
+  uint32_t step = len < 32 ? (1u << (32 - len)) : 1;
+  addr += (offset % 2) * step;  // stay inside the covering block
+  return bgp::PrefixOrigin{net::Prefix(net::IpAddress::v4(addr), len),
+                           base.origin};
+}
+
+}  // namespace
+
+WeeklySeries build_weekly_series(const Scenario& scenario, size_t weeks) {
+  WeeklySeries series;
+  util::Rng rng(scenario.config.seed ^ 0x5eed5eedULL);
+
+  // Dates: weekly steps ending at the snapshot date.
+  util::Date end = scenario.snapshot_date;
+  for (size_t w = 0; w < weeks; ++w) {
+    series.dates.push_back(
+        end.add_days(-7 * static_cast<int64_t>(weeks - 1 - w)));
+  }
+
+  std::vector<bgp::PrefixOrigin> base = scenario.announcements();
+
+  // ---- CDN1 churn -------------------------------------------------------
+  net::Asn cdn1_as;
+  for (const auto& [label, org_id] : scenario.case_study_orgs) {
+    if (label != "CDN1") continue;
+    if (const core::Participant* p = scenario.manrs.find_org(org_id)) {
+      // The registered (primary) AS is the big originator.
+      if (!p->registered_ases.empty()) cdn1_as = p->registered_ases.front();
+    }
+  }
+  std::vector<size_t> cdn1_rows;
+  for (size_t i = 0; i < base.size(); ++i) {
+    if (base[i].origin == cdn1_as && base[i].prefix.is_v4()) {
+      cdn1_rows.push_back(i);
+    }
+  }
+  // 141 of CDN1's current prefixes are "new" (appear mid-series); 80
+  // retired prefixes existed early and were withdrawn. Scale down for
+  // tiny scenarios.
+  size_t joiners = std::min<size_t>(141, cdn1_rows.size() / 4);
+  size_t leavers = std::min<size_t>(80, cdn1_rows.size() / 4);
+  std::unordered_map<size_t, size_t> join_week;  // base row -> first week
+  for (size_t i = 0; i < joiners; ++i) {
+    join_week[cdn1_rows[i]] = 1 + rng.uniform(weeks - 1);
+  }
+  struct Leaver {
+    bgp::PrefixOrigin po;
+    size_t last_week;
+  };
+  std::vector<Leaver> leaver_rows;
+  for (size_t i = 0; i < leavers; ++i) {
+    const bgp::PrefixOrigin& donor = base[cdn1_rows[joiners + i]];
+    leaver_rows.push_back(Leaver{derive_more_specific(donor, i),
+                                 rng.uniform(weeks - 1)});
+  }
+  series.cdn1_new = joiners;
+  series.cdn1_stopped = leavers;
+
+  // ---- background churn: ~0.4% of rows appear mid-series ----------------
+  for (size_t i = 0; i < base.size(); ++i) {
+    if (join_week.count(i)) continue;
+    if (base[i].origin == cdn1_as) continue;
+    if (rng.bernoulli(0.004 * static_cast<double>(weeks))) {
+      join_week[i] = 1 + rng.uniform(weeks - 1);
+    }
+  }
+
+  // ---- fluctuating ASes --------------------------------------------------
+  // Pick 11 MANRS ISP ASes that are currently fully conformant and small
+  // enough that one misorigination drops them under 90%.
+  std::vector<net::Asn> candidates;
+  {
+    auto origination = core::compute_origination_stats([&] {
+      std::vector<ihr::PrefixOriginRecord> records;
+      records.reserve(base.size());
+      for (const auto& po : base) {
+        ihr::PrefixOriginRecord r;
+        r.prefix = po.prefix;
+        r.origin = po.origin;
+        r.rpki = scenario.vrps.validate(po.prefix, po.origin);
+        r.irr = irr::validate_route(scenario.irr, po.prefix, po.origin);
+        records.push_back(r);
+      }
+      return records;
+    }());
+    for (net::Asn asn : scenario.manrs.member_ases(core::Program::kIsp)) {
+      auto it = origination.find(asn.value());
+      if (it == origination.end()) continue;
+      const auto& stats = it->second;
+      if (stats.total >= 1 && stats.total <= 6 &&
+          stats.conformant == stats.total) {
+        candidates.push_back(asn);
+      }
+      if (candidates.size() >= 11) break;
+    }
+  }
+  series.fluctuating = candidates;
+  if (!candidates.empty()) series.flip_flopper = candidates.front();
+
+  // A misorigination target per fluctuating AS: a prefix whose ROA names a
+  // different (valid) origin, so the leak classifies RPKI Invalid.
+  std::vector<bgp::PrefixOrigin> leak_targets;
+  for (const auto& po : base) {
+    if (leak_targets.size() >= candidates.size() * 2) break;
+    if (!po.prefix.is_v4()) continue;
+    if (scenario.vrps.validate(po.prefix, po.origin) ==
+        rpki::RpkiStatus::kValid) {
+      leak_targets.push_back(po);
+    }
+  }
+
+  // Weeks each fluctuating AS leaks: a contiguous run; the flip-flopper
+  // leaks in two separate windows (early Feb and late March).
+  struct Leak {
+    net::Asn leaker;
+    bgp::PrefixOrigin victim;
+    std::vector<size_t> weeks_active;
+  };
+  std::vector<Leak> leaks;
+  for (size_t i = 0; i < candidates.size() && i < leak_targets.size(); ++i) {
+    Leak leak;
+    leak.leaker = candidates[i];
+    leak.victim = leak_targets[i];
+    if (i == 0 && weeks >= 9) {
+      leak.weeks_active = {0, 1, 7, 8};  // the flip-flopper
+    } else {
+      size_t len = 1 + rng.uniform(weeks - 1);
+      size_t start = rng.uniform(weeks - len);
+      // Never active in the final week: the May snapshot must match the
+      // scenario's conformant state.
+      for (size_t w = start; w < start + len && w + 1 < weeks; ++w) {
+        leak.weeks_active.push_back(w);
+      }
+    }
+    leaks.push_back(std::move(leak));
+  }
+
+  // ---- assemble per-week tables -----------------------------------------
+  series.announcements.resize(weeks);
+  for (size_t w = 0; w < weeks; ++w) {
+    auto& table = series.announcements[w];
+    table.reserve(base.size() + leaver_rows.size() + leaks.size());
+    for (size_t i = 0; i < base.size(); ++i) {
+      auto it = join_week.find(i);
+      if (it != join_week.end() && w < it->second) continue;
+      table.push_back(base[i]);
+    }
+    for (const Leaver& leaver : leaver_rows) {
+      if (w <= leaver.last_week) table.push_back(leaver.po);
+    }
+    for (const Leak& leak : leaks) {
+      if (std::find(leak.weeks_active.begin(), leak.weeks_active.end(), w) !=
+          leak.weeks_active.end()) {
+        table.push_back(
+            bgp::PrefixOrigin{leak.victim.prefix, leak.leaker});
+      }
+    }
+  }
+  return series;
+}
+
+}  // namespace manrs::topogen

@@ -1,0 +1,42 @@
+// Weekly snapshot series for the conformance-stability analysis (§8.5).
+//
+// The paper takes 12 weekly IHR snapshots between Feb 1 and May 1, 2022
+// and reports: 17/20 CDNs stable-conformant, 3 stable-unconformant; 35 ISP
+// ASes consistently unconformant; 11 ASes unconformant only in some weeks
+// (one of which flip-flopped twice); and per-prefix churn at CDN1 (80
+// stopped / 141 new announcements, active set stable).
+//
+// build_weekly_series layers exactly that churn on a Scenario:
+//   * background announce/withdraw churn (~0.4%/week),
+//   * CDN1's prefix turnover,
+//   * temporary misoriginations that push the designated "fluctuating"
+//     ASes below the 90% bar for a contiguous run of weeks (a route-leak
+//     pattern: announcing a prefix whose ROA names another AS).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bgp/route.h"
+#include "netbase/asn.h"
+#include "topogen/scenario.h"
+#include "util/date.h"
+
+namespace manrs::topogen {
+
+struct WeeklySeries {
+  std::vector<util::Date> dates;  // ascending, last == snapshot_date
+  /// Full announcement table per week (same index as dates).
+  std::vector<std::vector<bgp::PrefixOrigin>> announcements;
+  /// ASes scripted to fluctuate (unconformant in only some weeks).
+  std::vector<net::Asn> fluctuating;
+  /// The one AS whose conformance dipped twice (early Feb, late March).
+  net::Asn flip_flopper;
+  /// CDN1 churn bookkeeping for the §8.5 narrative.
+  size_t cdn1_stopped = 0;
+  size_t cdn1_new = 0;
+};
+
+WeeklySeries build_weekly_series(const Scenario& scenario, size_t weeks = 12);
+
+}  // namespace manrs::topogen

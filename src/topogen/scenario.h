@@ -1,0 +1,106 @@
+// The generated synthetic Internet: everything the measurement pipeline
+// consumes, produced deterministically from a ScenarioConfig.
+//
+// A Scenario corresponds to the paper's May 1, 2022 measurement universe:
+// the AS topology with business relationships, the organization structure,
+// the MANRS participant list with join dates, the RPKI certificate/ROA
+// store, the IRR databases, the BGP announcements, and per-AS filtering
+// policies. Historical analyses (Figs 2/4/6) use the dated views
+// (announcements_in_year / vrps_in_year); the conformance-stability
+// analysis (§8.5) uses the weekly churn model in history.h.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "astopo/as2org.h"
+#include "astopo/asrank.h"
+#include "astopo/graph.h"
+#include "bgp/route.h"
+#include "core/manrs.h"
+#include "core/peeringdb.h"
+#include "irr/database.h"
+#include "netbase/rir.h"
+#include "rpki/roa.h"
+#include "rpki/validation.h"
+#include "simulator/propagation.h"
+#include "topogen/config.h"
+
+namespace manrs::topogen {
+
+/// Per-AS generated metadata (the generator's ground truth; analyses must
+/// not read the behaviour fields -- they re-derive everything from the
+/// registries, which is the point of the reproduction).
+struct AsProfile {
+  net::Asn asn;
+  astopo::SizeClass size = astopo::SizeClass::kSmall;
+  bool manrs = false;
+  core::Program program = core::Program::kIsp;  // valid when manrs
+  std::string org_id;
+  net::Rir rir = net::Rir::kRipe;
+  std::string country;
+  int first_routed_year = 2015;
+  int manrs_join_year = 0;  // 0 = not a member
+  sim::FilterPolicy policy;
+};
+
+/// An announcement plus its lifetime in the routing table ([first_year,
+/// last_year] inclusive; 9999 = still announced at the snapshot).
+struct DatedAnnouncement {
+  bgp::PrefixOrigin po;
+  int first_year = 2015;
+  int last_year = 9999;
+};
+
+/// A VRP plus the year its ROA was registered.
+struct DatedVrp {
+  rpki::Vrp vrp;
+  int year = 2015;
+};
+
+struct Scenario {
+  ScenarioConfig config;
+  util::Date snapshot_date{2022, 5, 1};
+
+  astopo::AsGraph graph;
+  astopo::As2Org as2org;
+  core::ManrsRegistry manrs;
+  rpki::RelyingParty relying_party;
+  rpki::VrpStore vrps;  // relying_party evaluated at snapshot_date
+  irr::IrrRegistry irr;
+  core::PeeringDb peeringdb;  // Action 3 extension data
+  std::vector<net::Asn> vantage_points;
+  std::vector<AsProfile> profiles;
+
+  std::vector<DatedAnnouncement> dated_announcements;
+  std::vector<DatedVrp> dated_vrps;
+
+  /// The §8.4 case-study organizations: (label, org_id) pairs, e.g.
+  /// ("CDN1", "org-cdn1"). Empty when config.include_case_studies is off.
+  std::vector<std::pair<std::string, std::string>> case_study_orgs;
+
+  /// The May-2022 BGP table: all current (prefix, origin) pairs.
+  std::vector<bgp::PrefixOrigin> announcements() const;
+
+  /// Announcements visible in the given year's snapshot.
+  std::vector<bgp::PrefixOrigin> announcements_in_year(int year) const;
+
+  /// The VRP set as of the given year (ROAs registered by then).
+  rpki::VrpStore vrps_in_year(int year) const;
+
+  const AsProfile* profile_of(net::Asn asn) const;
+
+  /// Construct a propagation simulator with every AS's filter policy
+  /// installed.
+  sim::PropagationSim make_sim() const;
+
+ private:
+  mutable std::unordered_map<uint32_t, size_t> profile_index_;
+};
+
+/// Generate the full scenario. Deterministic in config.seed.
+Scenario build_scenario(const ScenarioConfig& config);
+
+}  // namespace manrs::topogen

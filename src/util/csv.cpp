@@ -1,0 +1,121 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace manrs::util {
+
+CsvReader::CsvReader(std::istream& in, char delim, char comment)
+    : in_(in), delim_(delim), comment_(comment) {}
+
+bool CsvReader::next(CsvRow& row) {
+  row.clear();
+  std::string line;
+  // Skip comment lines and blank lines.
+  while (true) {
+    if (!std::getline(in_, line)) return false;
+    ++line_;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (comment_ != '\0') {
+      std::string_view t = trim(line);
+      if (!t.empty() && t.front() == comment_) continue;
+    }
+    break;
+  }
+
+  std::string field;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (true) {
+    if (i >= line.size()) {
+      if (in_quotes) {
+        // Quoted field spans a physical newline: pull the next line.
+        std::string cont;
+        if (!std::getline(in_, cont)) break;  // tolerate unterminated quote
+        ++line_;
+        if (!cont.empty() && cont.back() == '\r') cont.pop_back();
+        field.push_back('\n');
+        line = std::move(cont);
+        i = 0;
+        continue;
+      }
+      break;
+    }
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+    } else if (c == '"' && field.empty()) {
+      in_quotes = true;
+      ++i;
+    } else if (c == delim_) {
+      row.push_back(std::move(field));
+      field.clear();
+      ++i;
+    } else {
+      field.push_back(c);
+      ++i;
+    }
+  }
+  row.push_back(std::move(field));
+  return true;
+}
+
+CsvWriter::CsvWriter(std::ostream& out, char delim) : out_(out), delim_(delim) {}
+
+void CsvWriter::write_field(std::string_view f) {
+  bool needs_quotes = f.find(delim_) != std::string_view::npos ||
+                      f.find('"') != std::string_view::npos ||
+                      f.find('\n') != std::string_view::npos ||
+                      f.find('\r') != std::string_view::npos;
+  if (!needs_quotes) {
+    out_ << f;
+    return;
+  }
+  out_ << '"';
+  for (char c : f) {
+    if (c == '"') out_ << '"';
+    out_ << c;
+  }
+  out_ << '"';
+}
+
+void CsvWriter::write_row(const std::vector<std::string_view>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << delim_;
+    write_field(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const CsvRow& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << delim_;
+    write_field(fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::vector<CsvRow> parse_csv(std::string_view text, char delim,
+                              char comment) {
+  std::istringstream in{std::string(text)};
+  CsvReader reader(in, delim, comment);
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  while (reader.next(row)) rows.push_back(row);
+  return rows;
+}
+
+}  // namespace manrs::util

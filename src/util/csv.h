@@ -1,0 +1,64 @@
+// Minimal, dependency-free CSV/TSV reader and writer.
+//
+// Handles RFC 4180 quoting (embedded delimiters, quotes, and newlines in
+// quoted fields). The MANRS pipeline reads RIPE-style validated-ROA CSV
+// exports and CAIDA pipe-separated datasets through this layer so that
+// every dataset passes through the same tested code path.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace manrs::util {
+
+/// One parsed record (row) of fields.
+using CsvRow = std::vector<std::string>;
+
+/// Streaming CSV reader.
+///
+/// Usage:
+///   CsvReader reader(stream, ',');
+///   while (auto row = reader.next()) { ... }
+class CsvReader {
+ public:
+  /// `delim` is the field separator; `comment` (if non-zero) causes lines
+  /// whose first non-space character equals it to be skipped.
+  explicit CsvReader(std::istream& in, char delim = ',', char comment = '\0');
+
+  /// Read the next record. Returns false at end of input. Quoted fields may
+  /// span physical lines.
+  bool next(CsvRow& row);
+
+  /// Number of physical lines consumed so far (for error reporting).
+  size_t line_number() const { return line_; }
+
+ private:
+  std::istream& in_;
+  char delim_;
+  char comment_;
+  size_t line_ = 0;
+};
+
+/// Streaming CSV writer. Fields containing the delimiter, quotes, CR or LF
+/// are quoted; embedded quotes are doubled.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char delim = ',');
+
+  void write_row(const std::vector<std::string_view>& fields);
+  void write_row(const CsvRow& fields);
+
+ private:
+  void write_field(std::string_view f);
+  std::ostream& out_;
+  char delim_;
+};
+
+/// Parse a full document in memory. Convenience for tests and small files.
+std::vector<CsvRow> parse_csv(std::string_view text, char delim = ',',
+                              char comment = '\0');
+
+}  // namespace manrs::util

@@ -1,0 +1,114 @@
+#include "util/date.h"
+
+#include <array>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace manrs::util {
+
+namespace {
+constexpr bool is_leap(int y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+constexpr unsigned days_in_month(int y, unsigned m) {
+  constexpr std::array<unsigned, 12> kDays{31, 28, 31, 30, 31, 30,
+                                           31, 31, 30, 31, 30, 31};
+  if (m == 2 && is_leap(y)) return 29;
+  return kDays[m - 1];
+}
+}  // namespace
+
+bool Date::valid() const {
+  if (month_ < 1 || month_ > 12) return false;
+  if (day_ < 1 || day_ > days_in_month(year_, month_)) return false;
+  return true;
+}
+
+int64_t Date::to_days() const {
+  // Howard Hinnant's days_from_civil.
+  int y = year_;
+  unsigned m = month_;
+  unsigned d = day_;
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int64_t>(era) * 146097 +
+         static_cast<int64_t>(doe) - 719468;
+}
+
+Date Date::from_days(int64_t z) {
+  // Howard Hinnant's civil_from_days.
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int y = static_cast<int>(yoe) + static_cast<int>(era) * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  return Date(y + (m <= 2), m, d);
+}
+
+std::optional<Date> Date::parse(std::string_view s) {
+  s = trim(s);
+  std::vector<std::string_view> parts;
+  if (s.find('-') != std::string_view::npos) {
+    parts = split(s, '-');
+  } else if (s.find('/') != std::string_view::npos) {
+    parts = split(s, '/');
+  } else if (s.size() == 8) {
+    parts = {s.substr(0, 4), s.substr(4, 2), s.substr(6, 2)};
+  } else {
+    return std::nullopt;
+  }
+  if (parts.size() != 3) return std::nullopt;
+  auto y = parse_int<int>(parts[0]);
+  auto m = parse_uint<unsigned>(parts[1]);
+  auto d = parse_uint<unsigned>(parts[2]);
+  if (!y || !m || !d) return std::nullopt;
+  Date date(*y, *m, *d);
+  if (!date.valid()) return std::nullopt;
+  return date;
+}
+
+std::string Date::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", year_, month_, day_);
+  return buf;
+}
+
+Date Date::add_months(int n) const {
+  int total = year_ * 12 + static_cast<int>(month_) - 1 + n;
+  int y = total / 12;
+  int m = total % 12;
+  if (m < 0) {
+    m += 12;
+    y -= 1;
+  }
+  return Date(y, static_cast<unsigned>(m + 1), 1);
+}
+
+std::vector<Date> date_series(Date start, Date end, int step_days) {
+  std::vector<Date> out;
+  if (step_days <= 0) return out;
+  for (int64_t d = start.to_days(); d <= end.to_days(); d += step_days) {
+    out.push_back(Date::from_days(d));
+  }
+  return out;
+}
+
+std::vector<Date> annual_series(int first_year, int last_year, unsigned month,
+                                unsigned day) {
+  std::vector<Date> out;
+  for (int y = first_year; y <= last_year; ++y) {
+    out.emplace_back(y, month, day);
+  }
+  return out;
+}
+
+}  // namespace manrs::util

@@ -1,0 +1,73 @@
+// Civil (proleptic Gregorian) date arithmetic.
+//
+// The measurement pipeline is organized around dated snapshots: annual
+// prefix2as snapshots 2015-2022, monthly validated-ROA archives, weekly
+// IHR snapshots Feb-May 2022. Date is a small value type with day-level
+// resolution, total ordering, and exact day arithmetic (Howard Hinnant's
+// days_from_civil algorithm).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace manrs::util {
+
+class Date {
+ public:
+  /// Default: the Unix epoch, 1970-01-01.
+  constexpr Date() = default;
+  constexpr Date(int year, unsigned month, unsigned day)
+      : year_(year), month_(month), day_(day) {}
+
+  int year() const { return year_; }
+  unsigned month() const { return month_; }
+  unsigned day() const { return day_; }
+
+  /// True iff the date is a real calendar date (month 1-12, day valid for
+  /// the month, leap years honoured).
+  bool valid() const;
+
+  /// Days since 1970-01-01 (negative before the epoch).
+  int64_t to_days() const;
+
+  /// Inverse of to_days().
+  static Date from_days(int64_t days);
+
+  /// Parse "YYYY-MM-DD" (also accepts "YYYY/MM/DD" and "YYYYMMDD").
+  static std::optional<Date> parse(std::string_view s);
+
+  /// Format as "YYYY-MM-DD".
+  std::string to_string() const;
+
+  Date add_days(int64_t n) const { return from_days(to_days() + n); }
+
+  /// First day of the month `n` months later (n may be negative).
+  Date add_months(int n) const;
+
+  friend auto operator<=>(const Date& a, const Date& b) {
+    if (auto c = a.year_ <=> b.year_; c != 0) return c;
+    if (auto c = a.month_ <=> b.month_; c != 0) return c;
+    return a.day_ <=> b.day_;
+  }
+  friend bool operator==(const Date&, const Date&) = default;
+
+ private:
+  int year_ = 1970;
+  unsigned month_ = 1;
+  unsigned day_ = 1;
+};
+
+/// Inclusive series of dates spaced `step_days` apart, starting at `start`
+/// and not exceeding `end`. Used for weekly IHR snapshot series.
+std::vector<Date> date_series(Date start, Date end, int step_days);
+
+/// Annual series: the same month/day for each year in [first_year,
+/// last_year]. Used for yearly prefix2as snapshots.
+std::vector<Date> annual_series(int first_year, int last_year, unsigned month,
+                                unsigned day);
+
+}  // namespace manrs::util

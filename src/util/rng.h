@@ -1,0 +1,148 @@
+// Deterministic random number generation for the synthetic-Internet
+// generator and property tests.
+//
+// All randomness in the reproduction flows through Rng so that every
+// experiment is exactly reproducible from a seed. The engine is
+// xoshiro256**, seeded via splitmix64 (the construction recommended by the
+// xoshiro authors).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace manrs::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    // splitmix64 expansion of the seed into the four state words.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Derive an independent stream (for per-module generators that must not
+  /// perturb each other when one consumes more draws).
+  Rng fork(uint64_t stream) {
+    return Rng(next() ^ (stream * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL));
+  }
+
+  uint64_t next() {
+    auto rotl = [](uint64_t v, int k) { return (v << k) | (v >> (64 - k)); };
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0. Uses Lemire's unbiased method.
+  uint64_t uniform(uint64_t n) {
+    __uint128_t m = static_cast<__uint128_t>(next()) * n;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < n) {
+      uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next()) * n;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t uniform_int(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return (next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Discrete Pareto-like draw used to produce heavy-tailed counts
+  /// (prefixes per AS, customers per AS). Returns a value >= minimum.
+  uint64_t pareto_int(uint64_t minimum, double alpha, uint64_t cap) {
+    double u = uniform01();
+    if (u <= 0.0) u = 1e-12;
+    double v = static_cast<double>(minimum) / std::pow(u, 1.0 / alpha);
+    if (v > static_cast<double>(cap)) v = static_cast<double>(cap);
+    return static_cast<uint64_t>(v);
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple and
+  /// deterministic).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = uniform01();
+    double u2 = uniform01();
+    if (u1 <= 0.0) u1 = 1e-12;
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * 3.14159265358979323846 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Pick a uniformly random element index weighted by `weights`
+  /// (weights need not be normalized; all must be >= 0, sum > 0).
+  size_t weighted_index(std::span<const double> weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double r = uniform01() * total;
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  template <typename T>
+  const T& choice(const std::vector<T>& items) {
+    return items[uniform(items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = uniform(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Sample `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> sample_indices(size_t n, size_t k) {
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    for (size_t i = 0; i < k && i + 1 < n; ++i) {
+      size_t j = i + uniform(n - i);
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(std::min(k, n));
+    return idx;
+  }
+
+ private:
+  uint64_t state_[4] = {};
+};
+
+}  // namespace manrs::util

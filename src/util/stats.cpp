@@ -1,0 +1,122 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace manrs::util {
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
+    : samples_(std::move(samples)), sorted_(false) {}
+
+void EmpiricalDistribution::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void EmpiricalDistribution::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalDistribution::min() const {
+  if (samples_.empty()) throw std::logic_error("min() of empty distribution");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double EmpiricalDistribution::max() const {
+  if (samples_.empty()) throw std::logic_error("max() of empty distribution");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double EmpiricalDistribution::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0;
+  for (double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double EmpiricalDistribution::variance() const {
+  if (samples_.empty()) return 0.0;
+  double m = mean();
+  double acc = 0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(samples_.size());
+}
+
+double EmpiricalDistribution::stddev() const { return std::sqrt(variance()); }
+
+double EmpiricalDistribution::quantile(double q) const {
+  if (samples_.empty()) {
+    throw std::logic_error("quantile() of empty distribution");
+  }
+  ensure_sorted();
+  if (q <= 0) return samples_.front();
+  if (q >= 1) return samples_.back();
+  double pos = q * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalDistribution::mass_at(double x, double eps) const {
+  if (samples_.empty()) return 0.0;
+  size_t count = 0;
+  for (double s : samples_) {
+    if (std::fabs(s - x) <= eps) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> EmpiricalDistribution::cdf_series(
+    double lo, double hi, size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (points < 2 || hi <= lo) return out;
+  out.reserve(points);
+  for (size_t i = 0; i < points; ++i) {
+    double x = lo + (hi - lo) * static_cast<double>(i) /
+                        static_cast<double>(points - 1);
+    out.emplace_back(x, cdf(x));
+  }
+  return out;
+}
+
+const std::vector<double>& EmpiricalDistribution::sorted_samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
+std::string format_row(const std::vector<std::string>& cells,
+                       const std::vector<int>& widths) {
+  std::string out;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    int w = i < widths.size() ? widths[i] : 12;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%-*s", w, cells[i].c_str());
+    out += buf;
+    if (i + 1 < cells.size()) out += " ";
+  }
+  return out;
+}
+
+std::string percent(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", value);
+  return buf;
+}
+
+}  // namespace manrs::util

@@ -1,0 +1,64 @@
+// Summary statistics used throughout the evaluation harness.
+//
+// The paper reports CDFs (Figs 5, 7, 8, 9), medians, percentiles, and
+// variances (§9.2). EmpiricalDistribution is the single implementation all
+// benches use so the printed series are consistent.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace manrs::util {
+
+/// An empirical distribution over double samples.
+class EmpiricalDistribution {
+ public:
+  EmpiricalDistribution() = default;
+  explicit EmpiricalDistribution(std::vector<double> samples);
+
+  void add(double x);
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Population variance (the paper's §9.2 comparison of variances).
+  double variance() const;
+  double stddev() const;
+
+  /// Quantile in [0,1] using linear interpolation between order statistics.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  /// Empirical CDF value: P(X <= x).
+  double cdf(double x) const;
+
+  /// Fraction of samples exactly equal to `x` (used for statements like
+  /// "60.1% originated only RPKI Valid prefixes", i.e. mass at 100).
+  double mass_at(double x, double eps = 1e-9) const;
+
+  /// Evaluate the CDF on a fixed grid of `points` values spanning
+  /// [lo, hi]; returns (x, F(x)) pairs. This is what the fig benches print.
+  std::vector<std::pair<double, double>> cdf_series(double lo, double hi,
+                                                    size_t points) const;
+
+  const std::vector<double>& sorted_samples() const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Render a fixed-width ASCII table row; benches use this for the printed
+/// reproduction of the paper's tables.
+std::string format_row(const std::vector<std::string>& cells,
+                       const std::vector<int>& widths);
+
+/// Percent with one decimal, e.g. 83.4 -> "83.4%".
+std::string percent(double value);
+
+}  // namespace manrs::util

@@ -1,0 +1,72 @@
+// String helpers shared across the MANRS reproduction pipeline.
+//
+// All functions operate on std::string_view where possible and never
+// allocate unless a new string is genuinely required.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace manrs::util {
+
+/// Split `s` on every occurrence of `delim`. Empty fields are preserved
+/// ("a,,b" -> {"a","","b"}). An empty input yields a single empty field,
+/// matching the behaviour of line-oriented record formats (CSV, CAIDA
+/// as-rel) where a blank line is one empty column.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Split on runs of ASCII whitespace; empty fields are never produced.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// ASCII-only lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Join `parts` with `sep` between elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string join(const std::vector<std::string_view>& parts,
+                 std::string_view sep);
+
+/// Parse a decimal unsigned integer strictly: the whole view must be
+/// consumed and the value must fit. Returns nullopt otherwise.
+template <typename T>
+std::optional<T> parse_uint(std::string_view s) {
+  static_assert(std::is_unsigned_v<T>);
+  if (s.empty()) return std::nullopt;
+  T value{};
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+/// Parse a decimal signed integer strictly.
+template <typename T>
+std::optional<T> parse_int(std::string_view s) {
+  static_assert(std::is_signed_v<T>);
+  if (s.empty()) return std::nullopt;
+  T value{};
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+/// Strict double parse (whole view consumed).
+std::optional<double> parse_double(std::string_view s);
+
+}  // namespace manrs::util

@@ -1,0 +1,235 @@
+#include "astopo/as2org.h"
+#include "astopo/asrank.h"
+#include "astopo/graph.h"
+#include "astopo/prefix2as.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace manrs::astopo {
+namespace {
+
+using net::Asn;
+using net::Prefix;
+
+AsGraph diamond() {
+  // 1 (tier1) -> {2, 3} -> 4, with 2--3 peering.
+  AsGraph g;
+  g.add_provider_customer(Asn(1), Asn(2));
+  g.add_provider_customer(Asn(1), Asn(3));
+  g.add_provider_customer(Asn(2), Asn(4));
+  g.add_provider_customer(Asn(3), Asn(4));
+  g.add_peer_peer(Asn(2), Asn(3));
+  return g;
+}
+
+TEST(AsGraph, AdjacencyQueries) {
+  AsGraph g = diamond();
+  EXPECT_EQ(g.as_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 5u);
+  EXPECT_EQ(g.customers(Asn(1)), (std::vector<Asn>{Asn(2), Asn(3)}));
+  EXPECT_EQ(g.providers(Asn(4)), (std::vector<Asn>{Asn(2), Asn(3)}));
+  EXPECT_EQ(g.peers(Asn(2)), (std::vector<Asn>{Asn(3)}));
+  EXPECT_TRUE(g.is_provider_of(Asn(1), Asn(2)));
+  EXPECT_FALSE(g.is_provider_of(Asn(2), Asn(1)));
+  EXPECT_TRUE(g.are_peers(Asn(2), Asn(3)));
+  EXPECT_TRUE(g.are_peers(Asn(3), Asn(2)));
+  EXPECT_FALSE(g.are_peers(Asn(1), Asn(4)));
+}
+
+TEST(AsGraph, DuplicateAndSelfEdgesIgnored) {
+  AsGraph g;
+  g.add_provider_customer(Asn(1), Asn(2));
+  g.add_provider_customer(Asn(1), Asn(2));
+  g.add_provider_customer(Asn(1), Asn(1));
+  g.add_peer_peer(Asn(1), Asn(2));
+  g.add_peer_peer(Asn(2), Asn(1));
+  g.add_peer_peer(Asn(3), Asn(3));
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(AsGraph, UnknownAsnQueriesAreEmpty) {
+  AsGraph g = diamond();
+  EXPECT_TRUE(g.customers(Asn(99)).empty());
+  EXPECT_TRUE(g.providers(Asn(99)).empty());
+  EXPECT_EQ(g.customer_degree(Asn(99)), 0u);
+  EXPECT_EQ(g.customer_cone_size(Asn(99)), 0u);
+  EXPECT_FALSE(g.contains(Asn(99)));
+}
+
+TEST(AsGraph, CustomerCone) {
+  AsGraph g = diamond();
+  // CAIDA convention: the cone includes the AS itself.
+  EXPECT_EQ(g.customer_cone(Asn(1)),
+            (std::vector<Asn>{Asn(1), Asn(2), Asn(3), Asn(4)}));
+  EXPECT_EQ(g.customer_cone(Asn(2)), (std::vector<Asn>{Asn(2), Asn(4)}));
+  EXPECT_EQ(g.customer_cone(Asn(4)), (std::vector<Asn>{Asn(4)}));
+  EXPECT_EQ(g.customer_cone_size(Asn(1)), 4u);
+  // Peer links do not contribute to the cone.
+  EXPECT_EQ(g.customer_cone_size(Asn(3)), 2u);
+}
+
+TEST(AsGraph, ConeHandlesSharedSubtrees) {
+  // 4 is reachable via both 2 and 3 but counted once.
+  AsGraph g = diamond();
+  EXPECT_EQ(g.customer_cone_size(Asn(1)), 4u);
+}
+
+TEST(AsGraph, AsRelRoundTrip) {
+  AsGraph g = diamond();
+  std::ostringstream out;
+  g.write_as_rel(out);
+  std::istringstream in(out.str());
+  size_t bad = 0;
+  AsGraph parsed = AsGraph::read_as_rel(in, &bad);
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(parsed.as_count(), g.as_count());
+  EXPECT_EQ(parsed.edge_count(), g.edge_count());
+  EXPECT_TRUE(parsed.is_provider_of(Asn(1), Asn(2)));
+  EXPECT_TRUE(parsed.are_peers(Asn(2), Asn(3)));
+}
+
+TEST(AsGraph, AsRelParsesCaidaShape) {
+  std::istringstream in(
+      "# comment line\n"
+      "1|2|-1\n"
+      "2|3|0\n"
+      "bad line\n"
+      "4|5|7\n");  // unknown relationship code
+  size_t bad = 0;
+  AsGraph g = AsGraph::read_as_rel(in, &bad);
+  EXPECT_EQ(bad, 2u);
+  EXPECT_TRUE(g.is_provider_of(Asn(1), Asn(2)));
+  EXPECT_TRUE(g.are_peers(Asn(2), Asn(3)));
+}
+
+TEST(SizeClass, DhamdhereThresholds) {
+  EXPECT_EQ(classify_degree(0), SizeClass::kSmall);
+  EXPECT_EQ(classify_degree(2), SizeClass::kSmall);
+  EXPECT_EQ(classify_degree(3), SizeClass::kMedium);
+  EXPECT_EQ(classify_degree(180), SizeClass::kMedium);
+  EXPECT_EQ(classify_degree(181), SizeClass::kLarge);
+  EXPECT_EQ(to_string(SizeClass::kLarge), "large");
+}
+
+TEST(AsRank, OrderedByConeSize) {
+  AsGraph g = diamond();
+  auto rank = compute_as_rank(g);
+  ASSERT_EQ(rank.size(), 4u);
+  EXPECT_EQ(rank[0].asn, Asn(1));
+  EXPECT_EQ(rank[0].rank, 1u);
+  EXPECT_EQ(rank[0].customer_cone_size, 4u);
+  // Ties (AS2 and AS3 both have cone size 2) break by ascending ASN.
+  EXPECT_EQ(rank[1].asn, Asn(2));
+  EXPECT_EQ(rank[2].asn, Asn(3));
+  EXPECT_EQ(rank[3].asn, Asn(4));
+}
+
+TEST(As2Org, MappingAndSiblings) {
+  As2Org a2o;
+  a2o.add_organization({"org1", "Example", "US", net::Rir::kArin});
+  a2o.add_organization({"org2", "Other", "DE", net::Rir::kRipe});
+  a2o.map_as(Asn(1), "org1");
+  a2o.map_as(Asn(2), "org1");
+  a2o.map_as(Asn(3), "org2");
+
+  EXPECT_TRUE(a2o.are_siblings(Asn(1), Asn(2)));
+  EXPECT_FALSE(a2o.are_siblings(Asn(1), Asn(3)));
+  EXPECT_FALSE(a2o.are_siblings(Asn(1), Asn(99)));
+  EXPECT_EQ(a2o.ases_of("org1"), (std::vector<Asn>{Asn(1), Asn(2)}));
+  ASSERT_NE(a2o.organization_of(Asn(3)), nullptr);
+  EXPECT_EQ(a2o.organization_of(Asn(3))->country, "DE");
+  EXPECT_EQ(a2o.organization_of(Asn(99)), nullptr);
+}
+
+TEST(As2Org, RemapMovesAs) {
+  As2Org a2o;
+  a2o.add_organization({"org1", "A", "US", net::Rir::kArin});
+  a2o.add_organization({"org2", "B", "US", net::Rir::kArin});
+  a2o.map_as(Asn(1), "org1");
+  a2o.map_as(Asn(1), "org2");
+  EXPECT_TRUE(a2o.ases_of("org1").empty());
+  EXPECT_EQ(a2o.ases_of("org2"), (std::vector<Asn>{Asn(1)}));
+}
+
+TEST(As2Org, AffinityClassification) {
+  As2Org a2o;
+  a2o.add_organization({"org1", "A", "US", net::Rir::kArin});
+  a2o.map_as(Asn(1), "org1");
+  a2o.map_as(Asn(2), "org1");
+  AsGraph g;
+  g.add_provider_customer(Asn(3), Asn(1));
+
+  EXPECT_EQ(a2o.classify(Asn(1), Asn(2), g), AsAffinity::kSibling);
+  EXPECT_EQ(a2o.classify(Asn(1), Asn(3), g), AsAffinity::kCustomerProvider);
+  EXPECT_EQ(a2o.classify(Asn(3), Asn(1), g), AsAffinity::kCustomerProvider);
+  EXPECT_EQ(a2o.classify(Asn(2), Asn(3), g), AsAffinity::kUnrelated);
+  EXPECT_EQ(a2o.classify(Asn(1), Asn(1), g), AsAffinity::kSibling);
+  EXPECT_EQ(to_string(AsAffinity::kCustomerProvider), "C-P");
+}
+
+TEST(As2Org, FileRoundTrip) {
+  As2Org a2o;
+  a2o.add_organization({"org1", "Example Net", "US", net::Rir::kArin});
+  a2o.add_organization({"org2", "Beispiel", "DE", net::Rir::kRipe});
+  a2o.map_as(Asn(64496), "org1");
+  a2o.map_as(Asn(64497), "org2");
+
+  std::ostringstream out;
+  a2o.write(out);
+  std::istringstream in(out.str());
+  size_t bad = 0;
+  As2Org parsed = As2Org::read(in, &bad);
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(parsed.organization_count(), 2u);
+  EXPECT_EQ(parsed.mapped_as_count(), 2u);
+  ASSERT_NE(parsed.organization_of(Asn(64496)), nullptr);
+  EXPECT_EQ(parsed.organization_of(Asn(64496))->name, "Example Net");
+  EXPECT_EQ(parsed.organization_of(Asn(64497))->rir, net::Rir::kRipe);
+}
+
+TEST(Prefix2As, FileRoundTrip) {
+  Prefix2As rows{
+      {Prefix::must_parse("10.0.0.0/8"), Asn(1)},
+      {Prefix::must_parse("192.0.2.0/24"), Asn(64496)},
+  };
+  std::ostringstream out;
+  write_prefix2as(out, rows);
+  std::istringstream in(out.str());
+  size_t bad = 0;
+  auto parsed = read_prefix2as(in, &bad);
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(parsed, rows);
+}
+
+TEST(Prefix2As, ParsesMultiOriginRows) {
+  std::istringstream in("10.0.0.0\t8\t1_2\n192.0.2.0\t24\t3,4\n");
+  auto parsed = read_prefix2as(in);
+  ASSERT_EQ(parsed.size(), 4u);
+  EXPECT_EQ(parsed[0].origin, Asn(1));
+  EXPECT_EQ(parsed[1].origin, Asn(2));
+  EXPECT_EQ(parsed[3].origin, Asn(4));
+}
+
+TEST(Prefix2As, RoutedSpaceMergesOverlaps) {
+  Prefix2As rows{
+      {Prefix::must_parse("10.0.0.0/8"), Asn(1)},
+      {Prefix::must_parse("10.1.0.0/16"), Asn(2)},   // inside the /8
+      {Prefix::must_parse("192.0.2.0/24"), Asn(3)},
+      {Prefix::must_parse("2001:db8::/32"), Asn(4)},  // v6 ignored
+  };
+  EXPECT_DOUBLE_EQ(routed_ipv4_space(rows), 16777216.0 + 256.0);
+}
+
+TEST(Prefix2As, RoutedSpaceAdjacentBlocks) {
+  Prefix2As rows{
+      {Prefix::must_parse("10.0.0.0/9"), Asn(1)},
+      {Prefix::must_parse("10.128.0.0/9"), Asn(2)},  // adjacent, no overlap
+  };
+  EXPECT_DOUBLE_EQ(routed_ipv4_space(rows), 16777216.0);
+  EXPECT_DOUBLE_EQ(routed_ipv4_space({}), 0.0);
+}
+
+}  // namespace
+}  // namespace manrs::astopo

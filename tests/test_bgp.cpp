@@ -1,0 +1,133 @@
+#include "bgp/rib.h"
+#include "bgp/route.h"
+
+#include <gtest/gtest.h>
+
+namespace manrs::bgp {
+namespace {
+
+using net::Asn;
+using net::Prefix;
+
+AsPath path(std::initializer_list<uint32_t> hops) {
+  std::vector<Asn> v;
+  for (uint32_t h : hops) v.emplace_back(h);
+  return AsPath(std::move(v));
+}
+
+TEST(AsPath, OriginAndFirstHop) {
+  AsPath p = path({3, 2, 1});
+  EXPECT_EQ(p.origin(), Asn(1));
+  EXPECT_EQ(p.first_hop(), Asn(3));
+  EXPECT_EQ(p.length(), 3u);
+  AsPath empty;
+  EXPECT_FALSE(empty.origin().has_value());
+  EXPECT_FALSE(empty.first_hop().has_value());
+}
+
+TEST(AsPath, Prepend) {
+  AsPath p = path({2, 1}).prepend(Asn(3));
+  EXPECT_EQ(p, path({3, 2, 1}));
+  // prepend does not mutate the original (value semantics).
+  AsPath base = path({1});
+  AsPath extended = base.prepend(Asn(2));
+  EXPECT_EQ(base.length(), 1u);
+  EXPECT_EQ(extended.length(), 2u);
+}
+
+TEST(AsPath, LoopDetection) {
+  EXPECT_FALSE(path({3, 2, 1}).has_loop());
+  EXPECT_TRUE(path({3, 2, 3, 1}).has_loop());
+  // Consecutive repeats are prepending, not loops.
+  EXPECT_FALSE(path({3, 3, 3, 2, 1}).has_loop());
+  EXPECT_TRUE(path({3, 3, 2, 3, 1}).has_loop());
+  EXPECT_FALSE(AsPath{}.has_loop());
+}
+
+TEST(AsPath, Contains) {
+  AsPath p = path({3, 2, 1});
+  EXPECT_TRUE(p.contains(Asn(2)));
+  EXPECT_FALSE(p.contains(Asn(4)));
+}
+
+TEST(AsPath, ToString) {
+  EXPECT_EQ(path({3, 2, 1}).to_string(), "AS3 AS2 AS1");
+  EXPECT_EQ(AsPath{}.to_string(), "");
+}
+
+TEST(PrefixOrigin, OrderingAndHash) {
+  PrefixOrigin a{Prefix::must_parse("10.0.0.0/8"), Asn(1)};
+  PrefixOrigin b{Prefix::must_parse("10.0.0.0/8"), Asn(2)};
+  PrefixOrigin c{Prefix::must_parse("11.0.0.0/8"), Asn(1)};
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a, (PrefixOrigin{Prefix::must_parse("10.0.0.0/8"), Asn(1)}));
+  std::hash<PrefixOrigin> h;
+  EXPECT_NE(h(a), h(b));
+}
+
+TEST(Rib, InsertAndQuery) {
+  Rib rib;
+  uint32_t p0 = rib.add_peer(Asn(100));
+  uint32_t p1 = rib.add_peer(Asn(200));
+  EXPECT_EQ(rib.peer_count(), 2u);
+  EXPECT_EQ(rib.peer_asn(p1), Asn(200));
+
+  Prefix pfx = Prefix::must_parse("10.0.0.0/8");
+  rib.insert(pfx, p0, path({100, 1}));
+  rib.insert(pfx, p1, path({200, 50, 1}));
+  EXPECT_EQ(rib.prefix_count(), 1u);
+  EXPECT_EQ(rib.entry_count(), 2u);
+  EXPECT_EQ(rib.entries(pfx).size(), 2u);
+  EXPECT_TRUE(rib.entries(Prefix::must_parse("11.0.0.0/8")).empty());
+}
+
+TEST(Rib, SamePeerReplacesPath) {
+  Rib rib;
+  uint32_t p0 = rib.add_peer(Asn(100));
+  Prefix pfx = Prefix::must_parse("10.0.0.0/8");
+  rib.insert(pfx, p0, path({100, 1}));
+  rib.insert(pfx, p0, path({100, 2, 1}));
+  ASSERT_EQ(rib.entries(pfx).size(), 1u);
+  EXPECT_EQ(rib.entries(pfx)[0].path, path({100, 2, 1}));
+}
+
+TEST(Rib, PrefixOriginsDeduplicatesAcrossPeers) {
+  Rib rib;
+  uint32_t p0 = rib.add_peer(Asn(100));
+  uint32_t p1 = rib.add_peer(Asn(200));
+  Prefix pfx = Prefix::must_parse("10.0.0.0/8");
+  rib.insert(pfx, p0, path({100, 1}));
+  rib.insert(pfx, p1, path({200, 1}));  // same origin, different path
+  auto origins = rib.prefix_origins();
+  ASSERT_EQ(origins.size(), 1u);
+  EXPECT_EQ(origins[0].origin, Asn(1));
+}
+
+TEST(Rib, MoasProducesTwoPrefixOrigins) {
+  Rib rib;
+  uint32_t p0 = rib.add_peer(Asn(100));
+  uint32_t p1 = rib.add_peer(Asn(200));
+  Prefix pfx = Prefix::must_parse("10.0.0.0/8");
+  rib.insert(pfx, p0, path({100, 1}));
+  rib.insert(pfx, p1, path({200, 2}));  // different origin (MOAS)
+  auto origins = rib.prefix_origins();
+  ASSERT_EQ(origins.size(), 2u);
+  EXPECT_EQ(origins[0].origin, Asn(1));
+  EXPECT_EQ(origins[1].origin, Asn(2));
+}
+
+TEST(Rib, PrefixesOriginatedBy) {
+  Rib rib;
+  uint32_t p0 = rib.add_peer(Asn(100));
+  rib.insert(Prefix::must_parse("10.0.0.0/8"), p0, path({100, 1}));
+  rib.insert(Prefix::must_parse("11.0.0.0/8"), p0, path({100, 2}));
+  rib.insert(Prefix::must_parse("12.0.0.0/8"), p0, path({100, 5, 1}));
+  auto prefixes = rib.prefixes_originated_by(Asn(1));
+  ASSERT_EQ(prefixes.size(), 2u);
+  EXPECT_EQ(prefixes[0], Prefix::must_parse("10.0.0.0/8"));
+  EXPECT_EQ(prefixes[1], Prefix::must_parse("12.0.0.0/8"));
+}
+
+}  // namespace
+}  // namespace manrs::bgp

@@ -1,0 +1,245 @@
+#include "mrt/bgp4mp.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace manrs::mrt {
+namespace {
+
+using net::Asn;
+using net::Prefix;
+
+bgp::AsPath path(std::initializer_list<uint32_t> hops) {
+  std::vector<Asn> v;
+  for (uint32_t h : hops) v.emplace_back(h);
+  return bgp::AsPath(std::move(v));
+}
+
+Bgp4mpRecord make_record() {
+  Bgp4mpRecord record;
+  record.timestamp = 1651363200;
+  record.peer_asn = Asn(65000);
+  record.local_asn = Asn(65001);
+  record.peer_ip = net::IpAddress::v4(0x0A000001);
+  record.local_ip = net::IpAddress::v4(0x0A000002);
+  return record;
+}
+
+TEST(Bgp4mp, AnnouncementRoundTrip) {
+  Bgp4mpRecord record = make_record();
+  record.update.announced = {Prefix::must_parse("192.0.2.0/24"),
+                             Prefix::must_parse("10.0.0.0/8")};
+  record.update.path = path({65000, 64500});
+
+  std::ostringstream out;
+  Bgp4mpWriter writer(out);
+  writer.write(record);
+  EXPECT_EQ(writer.records_written(), 1u);
+
+  std::istringstream in(out.str());
+  Bgp4mpReader reader(in);
+  Bgp4mpRecord parsed;
+  ASSERT_TRUE(reader.next(parsed));
+  EXPECT_EQ(parsed.timestamp, record.timestamp);
+  EXPECT_EQ(parsed.peer_asn, record.peer_asn);
+  EXPECT_EQ(parsed.local_asn, record.local_asn);
+  EXPECT_EQ(parsed.peer_ip, record.peer_ip);
+  EXPECT_EQ(parsed.update.announced, record.update.announced);
+  EXPECT_EQ(parsed.update.path, record.update.path);
+  EXPECT_TRUE(parsed.update.withdrawn.empty());
+  EXPECT_FALSE(reader.next(parsed));
+  EXPECT_EQ(reader.bad_records(), 0u);
+}
+
+TEST(Bgp4mp, WithdrawalRoundTrip) {
+  Bgp4mpRecord record = make_record();
+  record.update.withdrawn = {Prefix::must_parse("192.0.2.0/24")};
+
+  std::ostringstream out;
+  Bgp4mpWriter writer(out);
+  writer.write(record);
+  std::istringstream in(out.str());
+  Bgp4mpReader reader(in);
+  Bgp4mpRecord parsed;
+  ASSERT_TRUE(reader.next(parsed));
+  EXPECT_EQ(parsed.update.withdrawn, record.update.withdrawn);
+  EXPECT_TRUE(parsed.update.announced.empty());
+}
+
+TEST(Bgp4mp, Ipv6RidesInMpAttributes) {
+  Bgp4mpRecord record = make_record();
+  record.peer_ip = *net::IpAddress::parse("2001:db8::1");
+  record.local_ip = *net::IpAddress::parse("2001:db8::2");
+  record.update.announced = {Prefix::must_parse("2001:db8:100::/40")};
+  record.update.withdrawn = {Prefix::must_parse("2001:db8:200::/40")};
+  record.update.path = path({65000, 64500});
+
+  std::ostringstream out;
+  Bgp4mpWriter writer(out);
+  writer.write(record);
+  std::istringstream in(out.str());
+  Bgp4mpReader reader(in);
+  Bgp4mpRecord parsed;
+  ASSERT_TRUE(reader.next(parsed));
+  EXPECT_EQ(parsed.peer_ip, record.peer_ip);
+  EXPECT_EQ(parsed.update.announced, record.update.announced);
+  EXPECT_EQ(parsed.update.withdrawn, record.update.withdrawn);
+}
+
+TEST(Bgp4mp, MixedFamilyUpdate) {
+  Bgp4mpRecord record = make_record();
+  record.update.announced = {Prefix::must_parse("10.0.0.0/8"),
+                             Prefix::must_parse("2001:db8::/32")};
+  record.update.withdrawn = {Prefix::must_parse("11.0.0.0/8"),
+                             Prefix::must_parse("2001:db9::/32")};
+  record.update.path = path({65000, 1});
+
+  std::ostringstream out;
+  Bgp4mpWriter writer(out);
+  writer.write(record);
+  std::istringstream in(out.str());
+  Bgp4mpReader reader(in);
+  Bgp4mpRecord parsed;
+  ASSERT_TRUE(reader.next(parsed));
+  // Order within a family is preserved; v4 comes first on decode.
+  ASSERT_EQ(parsed.update.announced.size(), 2u);
+  ASSERT_EQ(parsed.update.withdrawn.size(), 2u);
+  EXPECT_EQ(parsed.update.path, record.update.path);
+}
+
+TEST(Bgp4mp, SkipsForeignRecordTypes) {
+  std::ostringstream out;
+  // A TABLE_DUMP_V2 header with empty body, then a valid update.
+  ByteWriter foreign;
+  foreign.u32(0);
+  foreign.u16(13);
+  foreign.u16(1);
+  foreign.u32(0);
+  out.write(reinterpret_cast<const char*>(foreign.data().data()),
+            static_cast<std::streamsize>(foreign.size()));
+  Bgp4mpWriter writer(out);
+  Bgp4mpRecord record = make_record();
+  record.update.withdrawn = {Prefix::must_parse("10.0.0.0/8")};
+  writer.write(record);
+
+  std::istringstream in(out.str());
+  Bgp4mpReader reader(in);
+  Bgp4mpRecord parsed;
+  ASSERT_TRUE(reader.next(parsed));
+  EXPECT_EQ(reader.skipped_records(), 1u);
+}
+
+TEST(Bgp4mp, TruncatedRecordCounted) {
+  std::ostringstream out;
+  Bgp4mpWriter writer(out);
+  Bgp4mpRecord record = make_record();
+  record.update.announced = {Prefix::must_parse("10.0.0.0/8")};
+  record.update.path = path({65000, 1});
+  writer.write(record);
+  std::string bytes = out.str();
+  bytes.resize(bytes.size() - 3);
+
+  std::istringstream in(bytes);
+  Bgp4mpReader reader(in);
+  Bgp4mpRecord parsed;
+  EXPECT_FALSE(reader.next(parsed));
+  EXPECT_EQ(reader.bad_records(), 1u);
+}
+
+TEST(DiffTables, AnnouncesAndWithdraws) {
+  std::vector<bgp::PrefixOrigin> before{
+      {Prefix::must_parse("10.0.0.0/8"), Asn(1)},
+      {Prefix::must_parse("11.0.0.0/8"), Asn(2)},
+  };
+  std::vector<bgp::PrefixOrigin> after{
+      {Prefix::must_parse("10.0.0.0/8"), Asn(1)},   // unchanged
+      {Prefix::must_parse("12.0.0.0/8"), Asn(2)},   // new
+      {Prefix::must_parse("13.0.0.0/8"), Asn(3)},   // new, other origin
+  };
+  auto updates = diff_tables(before, after, Asn(65000));
+  ASSERT_EQ(updates.size(), 3u);
+  // First the withdrawal batch.
+  EXPECT_EQ(updates[0].withdrawn,
+            (std::vector<Prefix>{Prefix::must_parse("11.0.0.0/8")}));
+  // Then per-origin announcements, origin-ascending.
+  EXPECT_EQ(updates[1].announced,
+            (std::vector<Prefix>{Prefix::must_parse("12.0.0.0/8")}));
+  EXPECT_EQ(updates[1].path, path({65000, 2}));
+  EXPECT_EQ(updates[2].path, path({65000, 3}));
+}
+
+TEST(DiffTables, IdenticalTablesYieldNothing) {
+  std::vector<bgp::PrefixOrigin> table{
+      {Prefix::must_parse("10.0.0.0/8"), Asn(1)}};
+  EXPECT_TRUE(diff_tables(table, table, Asn(65000)).empty());
+}
+
+TEST(DiffTables, PeerEqualsOriginHasOneHopPath) {
+  std::vector<bgp::PrefixOrigin> after{
+      {Prefix::must_parse("10.0.0.0/8"), Asn(65000)}};
+  auto updates = diff_tables({}, after, Asn(65000));
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0].path, path({65000}));
+}
+
+// Property: a random diff applied as updates round-trips through the
+// wire format with nothing lost.
+class Bgp4mpStreamP : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Bgp4mpStreamP, StreamRoundTrip) {
+  manrs::util::Rng rng(GetParam());
+  std::ostringstream out;
+  Bgp4mpWriter writer(out);
+  std::vector<Bgp4mpRecord> originals;
+  for (int i = 0; i < 20; ++i) {
+    Bgp4mpRecord record = make_record();
+    record.timestamp = 1000 + static_cast<uint32_t>(i);
+    size_t announced = rng.uniform(4);
+    for (size_t a = 0; a < announced; ++a) {
+      bool v6 = rng.bernoulli(0.3);
+      unsigned len = static_cast<unsigned>(v6 ? 32 + rng.uniform(17)
+                                              : 8 + rng.uniform(17));
+      record.update.announced.push_back(
+          v6 ? Prefix(net::IpAddress::v6(rng.next(), 0), len)
+             : Prefix(net::IpAddress::v4(
+                          static_cast<uint32_t>(rng.next())),
+                      len));
+    }
+    if (announced > 0) record.update.path = path({65000, 64500});
+    size_t withdrawn = rng.uniform(3);
+    for (size_t w = 0; w < withdrawn; ++w) {
+      record.update.withdrawn.push_back(Prefix(
+          net::IpAddress::v4(static_cast<uint32_t>(rng.next())), 24));
+    }
+    if (record.update.empty()) {
+      record.update.withdrawn.push_back(Prefix::must_parse("10.0.0.0/8"));
+    }
+    writer.write(record);
+    originals.push_back(record);
+  }
+
+  std::istringstream in(out.str());
+  Bgp4mpReader reader(in);
+  Bgp4mpRecord parsed;
+  size_t index = 0;
+  while (reader.next(parsed)) {
+    ASSERT_LT(index, originals.size());
+    EXPECT_EQ(parsed.timestamp, originals[index].timestamp);
+    EXPECT_EQ(parsed.update.announced.size(),
+              originals[index].update.announced.size());
+    EXPECT_EQ(parsed.update.withdrawn.size(),
+              originals[index].update.withdrawn.size());
+    ++index;
+  }
+  EXPECT_EQ(index, originals.size());
+  EXPECT_EQ(reader.bad_records(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Bgp4mpStreamP,
+                         ::testing::Values(7, 17, 27, 37));
+
+}  // namespace
+}  // namespace manrs::mrt

@@ -1,0 +1,237 @@
+#include "core/conformance.h"
+
+#include <gtest/gtest.h>
+
+namespace manrs::core {
+namespace {
+
+using irr::IrrStatus;
+using net::Asn;
+using net::Prefix;
+using rpki::RpkiStatus;
+
+ihr::PrefixOriginRecord record(const char* prefix, uint32_t origin,
+                               RpkiStatus rpki, IrrStatus irr) {
+  ihr::PrefixOriginRecord r;
+  r.prefix = Prefix::must_parse(prefix);
+  r.origin = Asn(origin);
+  r.rpki = rpki;
+  r.irr = irr;
+  return r;
+}
+
+ihr::TransitRecord transit(const char* prefix, uint32_t origin,
+                           uint32_t transit_asn, RpkiStatus rpki,
+                           IrrStatus irr, bool via_customer,
+                           double hegemony = 0.5) {
+  ihr::TransitRecord t;
+  t.prefix = Prefix::must_parse(prefix);
+  t.origin = Asn(origin);
+  t.transit = Asn(transit_asn);
+  t.rpki = rpki;
+  t.irr = irr;
+  t.via_customer = via_customer;
+  t.hegemony = hegemony;
+  return t;
+}
+
+// --- the §6.4 conformance classification, case by case ------------------
+
+TEST(ConformanceClass, PaperDefinition) {
+  // Conformant: RPKI Valid, or IRR Valid, or IRR Invalid Length.
+  EXPECT_EQ(classify_conformance(RpkiStatus::kValid, IrrStatus::kNotFound),
+            ConformanceClass::kConformant);
+  EXPECT_EQ(classify_conformance(RpkiStatus::kNotFound, IrrStatus::kValid),
+            ConformanceClass::kConformant);
+  EXPECT_EQ(
+      classify_conformance(RpkiStatus::kNotFound, IrrStatus::kInvalidLength),
+      ConformanceClass::kConformant);
+  // RPKI Invalid but IRR Valid: the IRR side wins (§6.4's definition is a
+  // disjunction).
+  EXPECT_EQ(classify_conformance(RpkiStatus::kInvalidAsn, IrrStatus::kValid),
+            ConformanceClass::kConformant);
+  // Unconformant: RPKI Invalid, or (RPKI NotFound, IRR Invalid).
+  EXPECT_EQ(
+      classify_conformance(RpkiStatus::kInvalidAsn, IrrStatus::kNotFound),
+      ConformanceClass::kUnconformant);
+  EXPECT_EQ(
+      classify_conformance(RpkiStatus::kInvalidLength, IrrStatus::kNotFound),
+      ConformanceClass::kUnconformant);
+  EXPECT_EQ(
+      classify_conformance(RpkiStatus::kNotFound, IrrStatus::kInvalidAsn),
+      ConformanceClass::kUnconformant);
+  // Registered nowhere: neither bucket.
+  EXPECT_EQ(
+      classify_conformance(RpkiStatus::kNotFound, IrrStatus::kNotFound),
+      ConformanceClass::kUnregistered);
+}
+
+TEST(OriginationStats, FormulasOneTwoThree) {
+  std::vector<ihr::PrefixOriginRecord> records{
+      record("10.0.0.0/24", 1, RpkiStatus::kValid, IrrStatus::kValid),
+      record("10.0.1.0/24", 1, RpkiStatus::kNotFound, IrrStatus::kValid),
+      record("10.0.2.0/24", 1, RpkiStatus::kInvalidAsn, IrrStatus::kNotFound),
+      record("10.0.3.0/24", 1, RpkiStatus::kNotFound, IrrStatus::kNotFound),
+      record("20.0.0.0/24", 2, RpkiStatus::kValid, IrrStatus::kNotFound),
+  };
+  auto stats = compute_origination_stats(records);
+  ASSERT_EQ(stats.size(), 2u);
+  const OriginationStats& s1 = stats.at(1);
+  EXPECT_EQ(s1.total, 4u);
+  EXPECT_DOUBLE_EQ(s1.og_rpki_valid(), 25.0);   // Formula 1
+  EXPECT_DOUBLE_EQ(s1.og_irr_valid(), 50.0);    // Formula 2
+  EXPECT_DOUBLE_EQ(s1.og_conformant(), 50.0);   // Formula 3
+  EXPECT_EQ(s1.rpki_invalid, 1u);
+  EXPECT_EQ(s1.rpki_not_found, 2u);
+  EXPECT_EQ(s1.irr_not_found, 2u);
+  EXPECT_DOUBLE_EQ(stats.at(2).og_conformant(), 100.0);
+}
+
+TEST(PropagationStats, FormulasFourFiveSix) {
+  std::vector<ihr::TransitRecord> records{
+      transit("10.0.0.0/24", 1, 9, RpkiStatus::kValid, IrrStatus::kValid,
+              true),
+      transit("10.0.1.0/24", 1, 9, RpkiStatus::kInvalidAsn,
+              IrrStatus::kNotFound, true),
+      transit("10.0.2.0/24", 1, 9, RpkiStatus::kInvalidLength,
+              IrrStatus::kValid, false),
+      transit("10.0.3.0/24", 1, 9, RpkiStatus::kNotFound,
+              IrrStatus::kInvalidAsn, false),
+  };
+  auto stats = compute_propagation_stats(records);
+  const PropagationStats& s = stats.at(9);
+  EXPECT_EQ(s.total, 4u);
+  // Formula 4 counts Invalid + Invalid Length.
+  EXPECT_DOUBLE_EQ(s.pg_rpki_invalid(), 50.0);
+  EXPECT_DOUBLE_EQ(s.pg_irr_invalid(), 25.0);  // Formula 5
+  // Formula 6: of the 2 customer-learned records, 1 is unconformant
+  // (10.0.1/24); 10.0.2/24 is conformant via IRR Valid but came via peer
+  // anyway.
+  EXPECT_EQ(s.customer_total, 2u);
+  EXPECT_EQ(s.customer_unconformant, 1u);
+  EXPECT_DOUBLE_EQ(s.pg_unconformant(), 50.0);
+}
+
+TEST(Action4, IspThresholdIsNinetyPercent) {
+  OriginationStats s;
+  s.total = 10;
+  s.conformant = 9;
+  EXPECT_TRUE(check_action4(&s, Program::kIsp).conformant);
+  s.conformant = 8;
+  EXPECT_FALSE(check_action4(&s, Program::kIsp).conformant);
+}
+
+TEST(Action4, CdnRequiresEveryPrefix) {
+  OriginationStats s;
+  s.total = 1000;
+  s.conformant = 999;
+  EXPECT_FALSE(check_action4(&s, Program::kCdn).conformant);
+  s.conformant = 1000;
+  EXPECT_TRUE(check_action4(&s, Program::kCdn).conformant);
+  // ... while an ISP at 99.9% passes easily.
+  s.conformant = 999;
+  EXPECT_TRUE(check_action4(&s, Program::kIsp).conformant);
+}
+
+TEST(Action4, TriviallyConformantWhenOriginatingNothing) {
+  auto verdict = check_action4(nullptr, Program::kCdn);
+  EXPECT_TRUE(verdict.conformant);
+  EXPECT_TRUE(verdict.trivially);
+  OriginationStats empty;
+  verdict = check_action4(&empty, Program::kIsp);
+  EXPECT_TRUE(verdict.trivially);
+}
+
+TEST(Action1, FullyConformantMeansZeroUnconformant) {
+  PropagationStats s;
+  s.total = 100;
+  s.customer_total = 50;
+  s.customer_unconformant = 0;
+  auto verdict = check_action1(&s);
+  EXPECT_TRUE(verdict.conformant);
+  EXPECT_TRUE(verdict.provides_transit);
+  s.customer_unconformant = 1;
+  EXPECT_FALSE(check_action1(&s).conformant);
+}
+
+TEST(Action1, TriviallyConformantWithoutTransit) {
+  auto verdict = check_action1(nullptr);
+  EXPECT_TRUE(verdict.conformant);
+  EXPECT_TRUE(verdict.trivially);
+  EXPECT_FALSE(verdict.provides_transit);
+}
+
+TEST(Saturation, SplitsByMembershipAndMergesOverlap) {
+  ManrsRegistry registry;
+  Participant p;
+  p.org_id = "org1";
+  p.joined = util::Date(2020, 1, 1);
+  p.registered_ases.push_back(Asn(1));
+  registry.add_participant(p);
+
+  astopo::Prefix2As routed{
+      {Prefix::must_parse("10.0.0.0/8"), Asn(1)},     // MANRS, covered
+      {Prefix::must_parse("10.0.0.0/16"), Asn(1)},    // nested: no dbl count
+      {Prefix::must_parse("20.0.0.0/8"), Asn(1)},     // MANRS, uncovered
+      {Prefix::must_parse("30.0.0.0/8"), Asn(2)},     // other, covered
+      {Prefix::must_parse("40.0.0.0/7"), Asn(2)},     // other, uncovered
+  };
+  rpki::VrpStore vrps;
+  vrps.add({Prefix::must_parse("10.0.0.0/8"), 8, Asn(1)});
+  vrps.add({Prefix::must_parse("30.0.0.0/8"), 8, Asn(2)});
+
+  auto result = compute_rpki_saturation(routed, vrps, registry);
+  EXPECT_DOUBLE_EQ(result.manrs_routed_space, 2 * 16777216.0);
+  EXPECT_DOUBLE_EQ(result.manrs_covered_space, 16777216.0);
+  EXPECT_DOUBLE_EQ(result.rsat_manrs(), 50.0);
+  EXPECT_DOUBLE_EQ(result.non_manrs_routed_space, 3 * 16777216.0);
+  EXPECT_DOUBLE_EQ(result.rsat_non_manrs(), 100.0 / 3.0);
+}
+
+TEST(Saturation, EmptyInputsAreZero) {
+  ManrsRegistry registry;
+  rpki::VrpStore vrps;
+  auto result = compute_rpki_saturation({}, vrps, registry);
+  EXPECT_DOUBLE_EQ(result.rsat_manrs(), 0.0);
+  EXPECT_DOUBLE_EQ(result.rsat_non_manrs(), 0.0);
+}
+
+TEST(Saturation, IrrVariant) {
+  ManrsRegistry registry;
+  astopo::Prefix2As routed{{Prefix::must_parse("10.0.0.0/8"), Asn(1)}};
+  irr::IrrRegistry irr_registry;
+  auto& db = irr_registry.add_database("RADB", false);
+  irr::RouteObject route;
+  route.prefix = Prefix::must_parse("10.0.0.0/8");
+  route.origin = Asn(99);  // coverage is origin-agnostic
+  db.add_route(route);
+  auto result = compute_irr_saturation(routed, irr_registry, registry);
+  EXPECT_DOUBLE_EQ(result.rsat_non_manrs(), 100.0);
+}
+
+TEST(PreferenceScore, FormulaNine) {
+  ManrsRegistry registry;
+  Participant p;
+  p.org_id = "org1";
+  p.joined = util::Date(2020, 1, 1);
+  p.registered_ases.push_back(Asn(10));
+  registry.add_participant(p);
+
+  std::vector<ihr::TransitRecord> transits{
+      transit("10.0.0.0/24", 1, 10, RpkiStatus::kValid, IrrStatus::kValid,
+              false, 0.8),  // MANRS transit
+      transit("10.0.0.0/24", 1, 20, RpkiStatus::kValid, IrrStatus::kValid,
+              false, 0.3),  // non-MANRS transit
+      transit("20.0.0.0/24", 2, 20, RpkiStatus::kInvalidAsn,
+              IrrStatus::kNotFound, false, 0.9),
+  };
+  auto scores = compute_preference_scores(transits, registry);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_NEAR(scores[0].score, 0.5, 1e-12);  // 0.8 - 0.3
+  EXPECT_EQ(scores[0].rpki, RpkiStatus::kValid);
+  EXPECT_NEAR(scores[1].score, -0.9, 1e-12);
+  EXPECT_EQ(scores[1].rpki, RpkiStatus::kInvalidAsn);
+}
+
+}  // namespace
+}  // namespace manrs::core

@@ -1,0 +1,98 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace manrs::util {
+namespace {
+
+TEST(CsvReader, SimpleRows) {
+  std::istringstream in("a,b,c\n1,2,3\n");
+  CsvReader reader(in);
+  CsvRow row;
+  ASSERT_TRUE(reader.next(row));
+  EXPECT_EQ(row, (CsvRow{"a", "b", "c"}));
+  ASSERT_TRUE(reader.next(row));
+  EXPECT_EQ(row, (CsvRow{"1", "2", "3"}));
+  EXPECT_FALSE(reader.next(row));
+}
+
+TEST(CsvReader, QuotedFieldWithDelimiter) {
+  auto rows = parse_csv("\"a,b\",c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"a,b", "c"}));
+}
+
+TEST(CsvReader, EscapedQuotes) {
+  auto rows = parse_csv("\"say \"\"hi\"\"\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvReader, QuotedNewline) {
+  auto rows = parse_csv("\"line1\nline2\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line1\nline2");
+  EXPECT_EQ(rows[0][1], "x");
+}
+
+TEST(CsvReader, SkipsBlankAndCommentLines) {
+  auto rows = parse_csv("# header comment\n\na,b\n", ',', '#');
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b"}));
+}
+
+TEST(CsvReader, CrLfLineEndings) {
+  auto rows = parse_csv("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvReader, PipeDelimiter) {
+  auto rows = parse_csv("1|2|-1\n", '|');
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"1", "2", "-1"}));
+}
+
+TEST(CsvWriter, QuotesWhenNeeded) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row(std::vector<std::string_view>{"plain", "has,comma",
+                                                 "has\"quote", "has\nnl"});
+  EXPECT_EQ(out.str(),
+            "plain,\"has,comma\",\"has\"\"quote\",\"has\nnl\"\n");
+}
+
+TEST(CsvRoundTrip, WriterOutputParsesBack) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  CsvRow original{"a,b", "c\"d\"", "e\nf", "plain", ""};
+  writer.write_row(original);
+  auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], original);
+}
+
+// Property-style sweep: every combination of awkward characters must
+// round-trip through write + parse.
+class CsvRoundTripP : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CsvRoundTripP, FieldRoundTrips) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  CsvRow original{GetParam(), "sentinel"};
+  writer.write_row(original);
+  auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], original);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AwkwardFields, CsvRoundTripP,
+    ::testing::Values("", "plain", ",", "\"", "\"\"", "a,b,c", "line\nbreak",
+                      "\"quoted\"", "trailing,", ",leading", "mix,\"of\nall\"",
+                      "   spaces   "));
+
+}  // namespace
+}  // namespace manrs::util

@@ -1,0 +1,161 @@
+// Scenario-level dataset round trips: every serialized dataset must
+// reload into an equivalent in-memory structure, and analyses run on the
+// reloaded data must give identical answers -- the guarantee a downstream
+// user relies on when they archive `dataset_export` output and reprocess
+// it later.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "astopo/prefix2as.h"
+#include "core/conformance.h"
+#include "irr/validation.h"
+#include "rpki/archive.h"
+#include "topogen/scenario.h"
+
+namespace manrs {
+namespace {
+
+const topogen::Scenario& scenario() {
+  static const topogen::Scenario s =
+      topogen::build_scenario(topogen::ScenarioConfig::tiny());
+  return s;
+}
+
+TEST(DatasetRoundTrip, AsRelGraphEquivalent) {
+  std::ostringstream out;
+  scenario().graph.write_as_rel(out);
+  std::istringstream in(out.str());
+  size_t bad = 0;
+  astopo::AsGraph reloaded = astopo::AsGraph::read_as_rel(in, &bad);
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(reloaded.as_count(), scenario().graph.as_count());
+  EXPECT_EQ(reloaded.edge_count(), scenario().graph.edge_count());
+  // Degree classes (the analysis-relevant projection) must agree.
+  for (net::Asn asn : scenario().graph.all_asns()) {
+    EXPECT_EQ(reloaded.customer_degree(asn),
+              scenario().graph.customer_degree(asn))
+        << asn.to_string();
+  }
+}
+
+TEST(DatasetRoundTrip, As2OrgEquivalent) {
+  std::ostringstream out;
+  scenario().as2org.write(out);
+  std::istringstream in(out.str());
+  size_t bad = 0;
+  astopo::As2Org reloaded = astopo::As2Org::read(in, &bad);
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(reloaded.organization_count(),
+            scenario().as2org.organization_count());
+  EXPECT_EQ(reloaded.mapped_as_count(), scenario().as2org.mapped_as_count());
+  for (const auto& profile : scenario().profiles) {
+    const astopo::Organization* a =
+        scenario().as2org.organization_of(profile.asn);
+    const astopo::Organization* b = reloaded.organization_of(profile.asn);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->org_id, b->org_id);
+    EXPECT_EQ(a->rir, b->rir);
+  }
+}
+
+TEST(DatasetRoundTrip, ManrsRegistryEquivalent) {
+  std::ostringstream out;
+  scenario().manrs.write_csv(out);
+  std::istringstream in(out.str());
+  size_t bad = 0;
+  core::ManrsRegistry reloaded = core::ManrsRegistry::read_csv(in, &bad);
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(reloaded.participant_count(),
+            scenario().manrs.participant_count());
+  EXPECT_EQ(reloaded.member_ases(), scenario().manrs.member_ases());
+  for (net::Asn asn : scenario().manrs.member_ases()) {
+    EXPECT_EQ(reloaded.program_of(asn), scenario().manrs.program_of(asn));
+    EXPECT_EQ(reloaded.join_date(asn), scenario().manrs.join_date(asn));
+  }
+}
+
+TEST(DatasetRoundTrip, VrpsValidateIdentically) {
+  std::vector<rpki::Vrp> vrps;
+  scenario().vrps.for_each([&](const rpki::Vrp& v) { vrps.push_back(v); });
+  std::ostringstream out;
+  rpki::write_vrp_csv(out, vrps, scenario().snapshot_date);
+  std::istringstream in(out.str());
+  size_t skipped = 0;
+  rpki::VrpStore reloaded(rpki::read_vrp_csv(in, &skipped));
+  EXPECT_EQ(skipped, 0u);
+  EXPECT_EQ(reloaded.size(), scenario().vrps.size());
+  // The RFC 6811 verdicts -- the thing the archive exists for -- must be
+  // identical for every current announcement.
+  for (const auto& po : scenario().announcements()) {
+    EXPECT_EQ(reloaded.validate(po.prefix, po.origin),
+              scenario().vrps.validate(po.prefix, po.origin))
+        << po.to_string();
+  }
+}
+
+TEST(DatasetRoundTrip, IrrDumpsValidateIdentically) {
+  // Serialize every database to RPSL, reload into a fresh registry with
+  // the same authoritative flags, and compare validation outcomes.
+  irr::IrrRegistry reloaded;
+  for (const irr::IrrDatabase* db : scenario().irr.databases()) {
+    std::ostringstream out;
+    db->write_rpsl(out);
+    std::istringstream in(out.str());
+    auto& copy = reloaded.add_database(db->name(), db->authoritative());
+    size_t malformed = 0;
+    copy.load_rpsl(in, &malformed);
+    EXPECT_EQ(malformed, 0u) << db->name();
+    EXPECT_EQ(copy.route_count(), db->route_count()) << db->name();
+  }
+  size_t checked = 0;
+  for (const auto& po : scenario().announcements()) {
+    if (++checked > 2000) break;  // sampling keeps the test quick
+    EXPECT_EQ(irr::validate_route(reloaded, po.prefix, po.origin),
+              irr::validate_route(scenario().irr, po.prefix, po.origin))
+        << po.to_string();
+  }
+}
+
+TEST(DatasetRoundTrip, ConformanceIdenticalOnReloadedData) {
+  // End to end: reload VRPs + IRR from their archives and recompute
+  // Action 4 verdicts; every verdict must match the in-memory pipeline.
+  std::vector<rpki::Vrp> vrps;
+  scenario().vrps.for_each([&](const rpki::Vrp& v) { vrps.push_back(v); });
+  std::ostringstream vrp_out;
+  rpki::write_vrp_csv(vrp_out, vrps, scenario().snapshot_date);
+  std::istringstream vrp_in(vrp_out.str());
+  rpki::VrpStore vrps2(rpki::read_vrp_csv(vrp_in));
+
+  irr::IrrRegistry irr2;
+  for (const irr::IrrDatabase* db : scenario().irr.databases()) {
+    std::ostringstream out;
+    db->write_rpsl(out);
+    std::istringstream in(out.str());
+    irr2.add_database(db->name(), db->authoritative()).load_rpsl(in);
+  }
+
+  auto classify = [&](const rpki::VrpStore& v, const irr::IrrRegistry& i) {
+    std::vector<ihr::PrefixOriginRecord> records;
+    for (const auto& po : scenario().announcements()) {
+      ihr::PrefixOriginRecord r;
+      r.prefix = po.prefix;
+      r.origin = po.origin;
+      r.rpki = v.validate(po.prefix, po.origin);
+      r.irr = irr::validate_route(i, po.prefix, po.origin);
+      records.push_back(r);
+    }
+    return core::compute_origination_stats(records);
+  };
+  auto original = classify(scenario().vrps, scenario().irr);
+  auto reloaded = classify(vrps2, irr2);
+  ASSERT_EQ(original.size(), reloaded.size());
+  for (const auto& [asn, stats] : original) {
+    const auto& other = reloaded.at(asn);
+    EXPECT_EQ(stats.conformant, other.conformant) << asn;
+    EXPECT_EQ(stats.total, other.total) << asn;
+  }
+}
+
+}  // namespace
+}  // namespace manrs

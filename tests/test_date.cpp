@@ -1,0 +1,107 @@
+#include "util/date.h"
+
+#include <gtest/gtest.h>
+
+namespace manrs::util {
+namespace {
+
+TEST(Date, EpochIsDayZero) {
+  EXPECT_EQ(Date(1970, 1, 1).to_days(), 0);
+  EXPECT_EQ(Date(1970, 1, 2).to_days(), 1);
+  EXPECT_EQ(Date(1969, 12, 31).to_days(), -1);
+}
+
+TEST(Date, KnownOffsets) {
+  // 2022-05-01, the paper's snapshot date.
+  EXPECT_EQ(Date(2022, 5, 1).to_days(), 19113);
+  EXPECT_EQ(Date::from_days(19113), Date(2022, 5, 1));
+}
+
+TEST(Date, Validity) {
+  EXPECT_TRUE(Date(2022, 2, 28).valid());
+  EXPECT_FALSE(Date(2022, 2, 29).valid());  // not a leap year
+  EXPECT_TRUE(Date(2020, 2, 29).valid());   // leap year
+  EXPECT_FALSE(Date(2000, 13, 1).valid());
+  EXPECT_FALSE(Date(2000, 0, 1).valid());
+  EXPECT_FALSE(Date(2000, 4, 31).valid());
+  EXPECT_TRUE(Date(2000, 2, 29).valid());   // 400-year leap rule
+  EXPECT_FALSE(Date(1900, 2, 29).valid());  // 100-year non-leap rule
+}
+
+TEST(Date, Parse) {
+  EXPECT_EQ(Date::parse("2022-05-01"), Date(2022, 5, 1));
+  EXPECT_EQ(Date::parse("2022/05/01"), Date(2022, 5, 1));
+  EXPECT_EQ(Date::parse("20220501"), Date(2022, 5, 1));
+  EXPECT_EQ(Date::parse(" 2022-05-01 "), Date(2022, 5, 1));
+  EXPECT_FALSE(Date::parse("2022-13-01"));
+  EXPECT_FALSE(Date::parse("2022-02-30"));
+  EXPECT_FALSE(Date::parse("not-a-date"));
+  EXPECT_FALSE(Date::parse(""));
+}
+
+TEST(Date, Format) {
+  EXPECT_EQ(Date(2022, 5, 1).to_string(), "2022-05-01");
+  EXPECT_EQ(Date(199, 12, 31).to_string(), "0199-12-31");
+}
+
+TEST(Date, AddDaysAcrossMonthAndYear) {
+  EXPECT_EQ(Date(2022, 2, 25).add_days(7), Date(2022, 3, 4));
+  EXPECT_EQ(Date(2021, 12, 31).add_days(1), Date(2022, 1, 1));
+  EXPECT_EQ(Date(2022, 1, 1).add_days(-1), Date(2021, 12, 31));
+}
+
+TEST(Date, AddMonths) {
+  EXPECT_EQ(Date(2022, 5, 15).add_months(1), Date(2022, 6, 1));
+  EXPECT_EQ(Date(2022, 12, 1).add_months(1), Date(2023, 1, 1));
+  EXPECT_EQ(Date(2022, 1, 1).add_months(-1), Date(2021, 12, 1));
+  EXPECT_EQ(Date(2022, 5, 1).add_months(-12), Date(2021, 5, 1));
+}
+
+TEST(Date, Ordering) {
+  EXPECT_LT(Date(2021, 12, 31), Date(2022, 1, 1));
+  EXPECT_LT(Date(2022, 1, 31), Date(2022, 2, 1));
+  EXPECT_EQ(Date(2022, 5, 1), Date(2022, 5, 1));
+}
+
+TEST(DateSeries, WeeklySnapshots) {
+  // The paper's 12 weekly snapshots Feb 1 - May 1 2022 fit this helper.
+  auto series = date_series(Date(2022, 2, 1), Date(2022, 5, 1), 7);
+  ASSERT_FALSE(series.empty());
+  EXPECT_EQ(series.front(), Date(2022, 2, 1));
+  EXPECT_EQ(series.size(), 13u);  // inclusive
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_EQ(series[i].to_days() - series[i - 1].to_days(), 7);
+  }
+}
+
+TEST(DateSeries, AnnualSnapshots) {
+  auto series = annual_series(2015, 2022, 5, 1);
+  ASSERT_EQ(series.size(), 8u);
+  EXPECT_EQ(series.front(), Date(2015, 5, 1));
+  EXPECT_EQ(series.back(), Date(2022, 5, 1));
+}
+
+TEST(DateSeries, DegenerateInputs) {
+  EXPECT_TRUE(date_series(Date(2022, 1, 2), Date(2022, 1, 1), 7).empty());
+  EXPECT_TRUE(date_series(Date(2022, 1, 1), Date(2022, 2, 1), 0).empty());
+  EXPECT_EQ(date_series(Date(2022, 1, 1), Date(2022, 1, 1), 7).size(), 1u);
+}
+
+// Round-trip property across a wide range of days.
+class DateRoundTripP : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(DateRoundTripP, DaysRoundTrip) {
+  int64_t days = GetParam();
+  Date d = Date::from_days(days);
+  EXPECT_TRUE(d.valid());
+  EXPECT_EQ(d.to_days(), days);
+  EXPECT_EQ(Date::parse(d.to_string()), d);
+}
+
+INSTANTIATE_TEST_SUITE_P(SampledDays, DateRoundTripP,
+                         ::testing::Values(-719468, -1, 0, 1, 365, 10957,
+                                           16436, 18262, 19113, 20000,
+                                           30000, 2932896));
+
+}  // namespace
+}  // namespace manrs::util

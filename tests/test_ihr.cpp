@@ -1,0 +1,157 @@
+#include "ihr/dataset.h"
+#include "ihr/hegemony.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace manrs::ihr {
+namespace {
+
+using net::Asn;
+using net::Prefix;
+
+bgp::AsPath path(std::initializer_list<uint32_t> hops) {
+  std::vector<Asn> v;
+  for (uint32_t h : hops) v.emplace_back(h);
+  return bgp::AsPath(std::move(v));
+}
+
+double score_of(const std::vector<HegemonyScore>& scores, uint32_t asn) {
+  for (const auto& s : scores) {
+    if (s.asn == Asn(asn)) return s.score;
+  }
+  return 0.0;
+}
+
+TEST(TrimmedMean, NoTrim) {
+  EXPECT_DOUBLE_EQ(trimmed_indicator_mean(5, 10, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(trimmed_indicator_mean(0, 10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(trimmed_indicator_mean(10, 10, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(trimmed_indicator_mean(0, 0, 0.1), 0.0);
+}
+
+TEST(TrimmedMean, TrimRemovesExtremes) {
+  // 10 samples, trim 10% -> drop 1 from each end (one 0 and one 1).
+  // ones=5, zeros=5: window [1,9) holds indices 1..8 = 4 zeros, 4 ones.
+  EXPECT_DOUBLE_EQ(trimmed_indicator_mean(5, 10, 0.1), 0.5);
+  // ones=1: the single 1 sits at index 9, trimmed away.
+  EXPECT_DOUBLE_EQ(trimmed_indicator_mean(1, 10, 0.1), 0.0);
+  // ones=9: the single 0 at index 0 is trimmed; window all ones.
+  EXPECT_DOUBLE_EQ(trimmed_indicator_mean(9, 10, 0.1), 1.0);
+}
+
+TEST(TrimmedMean, OverTrimIsZero) {
+  EXPECT_DOUBLE_EQ(trimmed_indicator_mean(1, 2, 0.5), 0.0);
+}
+
+TEST(Hegemony, OriginOnAllPaths) {
+  std::vector<bgp::AsPath> paths{
+      path({10, 2, 1}),
+      path({11, 3, 1}),
+      path({12, 2, 1}),
+  };
+  auto scores = compute_hegemony(paths, 0.0);
+  // The origin AS1 is on every path (the "trivial transit", §5.3).
+  EXPECT_DOUBLE_EQ(score_of(scores, 1), 1.0);
+  EXPECT_NEAR(score_of(scores, 2), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(score_of(scores, 3), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Hegemony, VantageNotCountedOnOwnPath) {
+  std::vector<bgp::AsPath> paths{
+      path({10, 1}),
+      path({11, 10, 1}),
+  };
+  auto scores = compute_hegemony(paths, 0.0);
+  // AS10 appears as vantage on path 0 (not counted) and as transit on
+  // path 1 (counted): 1 of 2.
+  EXPECT_DOUBLE_EQ(score_of(scores, 10), 0.5);
+}
+
+TEST(Hegemony, PrependingCountedOnce) {
+  std::vector<bgp::AsPath> paths{path({10, 2, 2, 2, 1})};
+  auto scores = compute_hegemony(paths, 0.0);
+  EXPECT_DOUBLE_EQ(score_of(scores, 2), 1.0);
+}
+
+TEST(Hegemony, TrimDropsRareTransits) {
+  // 20 paths; AS9 on exactly one -> trimmed away at 10%.
+  std::vector<bgp::AsPath> paths;
+  for (int i = 0; i < 19; ++i) paths.push_back(path({100, 2, 1}));
+  paths.push_back(path({101, 9, 1}));
+  auto scores = compute_hegemony(paths, 0.1);
+  EXPECT_DOUBLE_EQ(score_of(scores, 9), 0.0);
+  EXPECT_GT(score_of(scores, 2), 0.9);
+  // Zero-score ASes are omitted entirely.
+  for (const auto& s : scores) EXPECT_NE(s.asn, Asn(9));
+}
+
+TEST(Hegemony, SortedByScoreDescending) {
+  std::vector<bgp::AsPath> paths{
+      path({10, 2, 1}),
+      path({11, 2, 1}),
+      path({12, 3, 1}),
+  };
+  auto scores = compute_hegemony(paths, 0.0);
+  for (size_t i = 1; i < scores.size(); ++i) {
+    EXPECT_GE(scores[i - 1].score, scores[i].score);
+  }
+  EXPECT_EQ(scores.front().asn, Asn(1));
+}
+
+TEST(Hegemony, EmptyInput) {
+  EXPECT_TRUE(compute_hegemony({}, 0.1).empty());
+}
+
+TEST(IhrCsv, PrefixOriginRoundTrip) {
+  std::vector<PrefixOriginRecord> records;
+  PrefixOriginRecord r;
+  r.prefix = Prefix::must_parse("10.0.0.0/8");
+  r.origin = Asn(64496);
+  r.rpki = rpki::RpkiStatus::kInvalidLength;
+  r.irr = irr::IrrStatus::kValid;
+  r.visibility = 17;
+  records.push_back(r);
+
+  std::ostringstream out;
+  write_prefix_origin_csv(out, records);
+  std::istringstream in(out.str());
+  size_t bad = 0;
+  auto parsed = read_prefix_origin_csv(in, &bad);
+  EXPECT_EQ(bad, 0u);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].prefix, r.prefix);
+  EXPECT_EQ(parsed[0].origin, r.origin);
+  EXPECT_EQ(parsed[0].rpki, r.rpki);
+  EXPECT_EQ(parsed[0].irr, r.irr);
+  EXPECT_EQ(parsed[0].visibility, 17u);
+}
+
+TEST(IhrCsv, TransitRoundTrip) {
+  std::vector<TransitRecord> records;
+  TransitRecord t;
+  t.prefix = Prefix::must_parse("2001:db8::/32");
+  t.origin = Asn(1);
+  t.transit = Asn(2);
+  t.hegemony = 0.66;
+  t.via_customer = true;
+  t.rpki = rpki::RpkiStatus::kNotFound;
+  t.irr = irr::IrrStatus::kInvalidAsn;
+  records.push_back(t);
+
+  std::ostringstream out;
+  write_transit_csv(out, records);
+  std::istringstream in(out.str());
+  size_t bad = 0;
+  auto parsed = read_transit_csv(in, &bad);
+  EXPECT_EQ(bad, 0u);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].transit, Asn(2));
+  EXPECT_NEAR(parsed[0].hegemony, 0.66, 1e-6);
+  EXPECT_TRUE(parsed[0].via_customer);
+  EXPECT_EQ(parsed[0].irr, irr::IrrStatus::kInvalidAsn);
+}
+
+}  // namespace
+}  // namespace manrs::ihr

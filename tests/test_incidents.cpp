@@ -1,0 +1,153 @@
+#include "core/incidents.h"
+
+#include <gtest/gtest.h>
+
+namespace manrs::core {
+namespace {
+
+using net::Asn;
+using net::Prefix;
+
+bgp::PrefixOrigin po(const char* prefix, uint32_t origin) {
+  return {Prefix::must_parse(prefix), Asn(origin)};
+}
+
+rpki::VrpStore victim_vrps() {
+  rpki::VrpStore vrps;
+  vrps.add({Prefix::must_parse("10.0.0.0/8"), 8, Asn(1)});
+  return vrps;
+}
+
+TEST(IncidentDetector, QuietBaselineNoIncidents) {
+  rpki::VrpStore vrps = victim_vrps();
+  IncidentDetector detector(vrps);
+  std::vector<bgp::PrefixOrigin> table{po("10.0.0.0/8", 1),
+                                       po("20.0.0.0/8", 2)};
+  detector.observe(table);
+  detector.observe(table);
+  detector.observe(table);
+  EXPECT_TRUE(detector.incidents().empty());
+}
+
+TEST(IncidentDetector, MoasConflictOpensAndCloses) {
+  rpki::VrpStore vrps;  // empty: pure MOAS, no RPKI signal
+  IncidentDetector detector(vrps);
+  detector.observe({po("10.0.0.0/8", 1)});
+  detector.observe({po("10.0.0.0/8", 1), po("10.0.0.0/8", 666)});  // hijack
+  detector.observe({po("10.0.0.0/8", 1), po("10.0.0.0/8", 666)});
+  detector.observe({po("10.0.0.0/8", 1)});  // resolved
+
+  auto incidents = detector.incidents();
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].kind, IncidentKind::kMoasConflict);
+  EXPECT_EQ(incidents[0].offender, Asn(666));
+  EXPECT_EQ(incidents[0].established, Asn(1));
+  EXPECT_EQ(incidents[0].first_snapshot, 1u);
+  EXPECT_EQ(incidents[0].last_snapshot, 2u);
+  EXPECT_EQ(incidents[0].duration(), 2u);
+  EXPECT_FALSE(incidents[0].ongoing);
+}
+
+TEST(IncidentDetector, ReappearanceIsNewEpisode) {
+  rpki::VrpStore vrps;
+  IncidentDetector detector(vrps);
+  detector.observe({po("10.0.0.0/8", 1)});
+  detector.observe({po("10.0.0.0/8", 1), po("10.0.0.0/8", 666)});
+  detector.observe({po("10.0.0.0/8", 1)});
+  detector.observe({po("10.0.0.0/8", 1), po("10.0.0.0/8", 666)});
+  auto incidents = detector.incidents();
+  ASSERT_EQ(incidents.size(), 2u);
+  EXPECT_TRUE(incidents[1].ongoing);
+  EXPECT_FALSE(incidents[0].ongoing);
+}
+
+TEST(IncidentDetector, InitialMultiOriginIsNotMoas) {
+  // Anycast-style legitimate MOAS present from the baseline.
+  rpki::VrpStore vrps;
+  IncidentDetector detector(vrps);
+  std::vector<bgp::PrefixOrigin> table{po("10.0.0.0/8", 1),
+                                       po("10.0.0.0/8", 2)};
+  detector.observe(table);
+  detector.observe(table);
+  EXPECT_TRUE(detector.incidents().empty());
+}
+
+TEST(IncidentDetector, RpkiInvalidOriginationDetected) {
+  rpki::VrpStore vrps = victim_vrps();
+  IncidentDetector detector(vrps);
+  // Invalid from the very first snapshot: still an incident.
+  detector.observe({po("10.0.0.0/8", 1), po("10.1.0.0/16", 99)});
+  detector.observe({po("10.0.0.0/8", 1)});
+  auto incidents = detector.incidents();
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].kind, IncidentKind::kRpkiInvalidOrigin);
+  EXPECT_EQ(incidents[0].offender, Asn(99));
+  EXPECT_EQ(incidents[0].duration(), 1u);
+}
+
+TEST(IncidentDetector, MoasTakesPrecedenceOverRpki) {
+  // A hijack of ROA-covered space is both MOAS and RPKI-invalid; it is
+  // reported once, as MOAS.
+  rpki::VrpStore vrps = victim_vrps();
+  IncidentDetector detector(vrps);
+  detector.observe({po("10.0.0.0/8", 1)});
+  detector.observe({po("10.0.0.0/8", 1), po("10.0.0.0/8", 666)});
+  auto incidents = detector.incidents();
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].kind, IncidentKind::kMoasConflict);
+}
+
+TEST(IncidentDetector, NewPrefixWithNewOriginIsNotMoas) {
+  // A prefix absent from the baseline cannot MOAS-conflict.
+  rpki::VrpStore vrps;
+  IncidentDetector detector(vrps);
+  detector.observe({po("10.0.0.0/8", 1)});
+  detector.observe({po("10.0.0.0/8", 1), po("30.0.0.0/8", 7)});
+  EXPECT_TRUE(detector.incidents().empty());
+}
+
+TEST(IncidentSummary, SplitsByMembership) {
+  ManrsRegistry registry;
+  Participant p;
+  p.org_id = "org1";
+  p.joined = util::Date(2020, 1, 1);
+  p.registered_ases.push_back(Asn(666));
+  registry.add_participant(p);
+
+  std::vector<Incident> incidents(3);
+  incidents[0].kind = IncidentKind::kMoasConflict;
+  incidents[0].offender = Asn(666);  // member
+  incidents[0].first_snapshot = 0;
+  incidents[0].last_snapshot = 1;
+  incidents[1].kind = IncidentKind::kRpkiInvalidOrigin;
+  incidents[1].offender = Asn(5);
+  incidents[2].kind = IncidentKind::kRpkiInvalidOrigin;
+  incidents[2].offender = Asn(6);
+
+  auto summary = summarize_incidents(incidents, registry, 10, 100);
+  EXPECT_EQ(summary.total, 3u);
+  EXPECT_EQ(summary.moas, 1u);
+  EXPECT_EQ(summary.rpki_invalid, 2u);
+  EXPECT_EQ(summary.by_manrs_members, 1u);
+  EXPECT_EQ(summary.by_others, 2u);
+  EXPECT_DOUBLE_EQ(summary.member_rate_per_origin, 0.1);
+  EXPECT_DOUBLE_EQ(summary.other_rate_per_origin, 0.02);
+  EXPECT_DOUBLE_EQ(summary.mean_duration, (2.0 + 1.0 + 1.0) / 3.0);
+}
+
+TEST(IncidentSummary, EmptyInputs) {
+  ManrsRegistry registry;
+  auto summary = summarize_incidents({}, registry, 0, 0);
+  EXPECT_EQ(summary.total, 0u);
+  EXPECT_DOUBLE_EQ(summary.mean_duration, 0.0);
+  EXPECT_DOUBLE_EQ(summary.member_rate_per_origin, 0.0);
+}
+
+TEST(IncidentKindNames, Strings) {
+  EXPECT_EQ(to_string(IncidentKind::kMoasConflict), "moas-conflict");
+  EXPECT_EQ(to_string(IncidentKind::kRpkiInvalidOrigin),
+            "rpki-invalid-origin");
+}
+
+}  // namespace
+}  // namespace manrs::core

@@ -1,0 +1,145 @@
+#include "netbase/ip.h"
+
+#include <gtest/gtest.h>
+
+namespace manrs::net {
+namespace {
+
+TEST(Ipv4, ParseAndFormat) {
+  auto a = IpAddress::parse("192.0.2.1");
+  ASSERT_TRUE(a);
+  EXPECT_TRUE(a->is_v4());
+  EXPECT_EQ(a->v4_value(), 0xC0000201u);
+  EXPECT_EQ(a->to_string(), "192.0.2.1");
+}
+
+TEST(Ipv4, Extremes) {
+  EXPECT_EQ(IpAddress::parse("0.0.0.0")->v4_value(), 0u);
+  EXPECT_EQ(IpAddress::parse("255.255.255.255")->v4_value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4, Malformed) {
+  EXPECT_FALSE(IpAddress::parse("256.0.0.1"));
+  EXPECT_FALSE(IpAddress::parse("1.2.3"));
+  EXPECT_FALSE(IpAddress::parse("1.2.3.4.5"));
+  EXPECT_FALSE(IpAddress::parse("1.2.3.x"));
+  EXPECT_FALSE(IpAddress::parse(""));
+  EXPECT_FALSE(IpAddress::parse("1..2.3"));
+  EXPECT_FALSE(IpAddress::parse("01234.1.1.1"));
+}
+
+TEST(Ipv6, ParseFull) {
+  auto a = IpAddress::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(a);
+  EXPECT_TRUE(a->is_v6());
+  EXPECT_EQ(a->hi(), 0x20010db800000000ULL);
+  EXPECT_EQ(a->lo(), 0x0000000000000001ULL);
+}
+
+TEST(Ipv6, ParseCompressed) {
+  auto a = IpAddress::parse("2001:db8::1");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->hi(), 0x20010db800000000ULL);
+  EXPECT_EQ(a->lo(), 1ULL);
+  EXPECT_EQ(IpAddress::parse("::")->hi(), 0ULL);
+  EXPECT_EQ(IpAddress::parse("::1")->lo(), 1ULL);
+  EXPECT_EQ(IpAddress::parse("fe80::")->hi(), 0xfe80000000000000ULL);
+}
+
+TEST(Ipv6, EmbeddedV4Tail) {
+  auto a = IpAddress::parse("::ffff:192.0.2.1");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->lo(), 0x0000ffffc0000201ULL);
+}
+
+TEST(Ipv6, Malformed) {
+  EXPECT_FALSE(IpAddress::parse("2001:db8"));
+  EXPECT_FALSE(IpAddress::parse("1:2:3:4:5:6:7:8:9"));
+  EXPECT_FALSE(IpAddress::parse("::1::2"));
+  EXPECT_FALSE(IpAddress::parse("2001:db8:::1"));
+  EXPECT_FALSE(IpAddress::parse("g::1"));
+  EXPECT_FALSE(IpAddress::parse("12345::"));
+}
+
+TEST(Ipv6, Rfc5952Formatting) {
+  // Longest zero run compressed, lowercase.
+  EXPECT_EQ(IpAddress::parse("2001:0DB8:0:0:0:0:0:1")->to_string(),
+            "2001:db8::1");
+  EXPECT_EQ(IpAddress::v6(0, 0).to_string(), "::");
+  EXPECT_EQ(IpAddress::v6(0, 1).to_string(), "::1");
+  // Zero run at the end.
+  EXPECT_EQ(IpAddress::parse("2a00::")->to_string(), "2a00::");
+  // Only runs of >= 2 groups compress.
+  EXPECT_EQ(IpAddress::parse("2001:0:1:2:3:4:5:6")->to_string(),
+            "2001:0:1:2:3:4:5:6");
+}
+
+TEST(IpAddress, BitIndexing) {
+  IpAddress v4 = IpAddress::v4(0x80000001u);  // 128.0.0.1
+  EXPECT_TRUE(v4.bit(0));
+  EXPECT_FALSE(v4.bit(1));
+  EXPECT_TRUE(v4.bit(31));
+
+  IpAddress v6 = IpAddress::v6(0x8000000000000000ULL, 1ULL);
+  EXPECT_TRUE(v6.bit(0));
+  EXPECT_FALSE(v6.bit(64));
+  EXPECT_TRUE(v6.bit(127));
+}
+
+TEST(IpAddress, WithBit) {
+  IpAddress a = IpAddress::v4(0);
+  IpAddress b = a.with_bit(0, true);
+  EXPECT_EQ(b.v4_value(), 0x80000000u);
+  EXPECT_EQ(b.with_bit(0, false), a);
+  IpAddress c = IpAddress::v6(0, 0).with_bit(127, true);
+  EXPECT_EQ(c.lo(), 1ULL);
+}
+
+TEST(IpAddress, Masked) {
+  IpAddress a = IpAddress::v4(0xC0A81234u);  // 192.168.18.52
+  EXPECT_EQ(a.masked(16).v4_value(), 0xC0A80000u);
+  EXPECT_EQ(a.masked(0).v4_value(), 0u);
+  EXPECT_EQ(a.masked(32).v4_value(), 0xC0A81234u);
+
+  IpAddress b = IpAddress::v6(0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(b.masked(64).lo(), 0ULL);
+  EXPECT_EQ(b.masked(64).hi(), 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(b.masked(65).lo(), 0x8000000000000000ULL);
+  EXPECT_EQ(b.masked(128), b);
+}
+
+TEST(IpAddress, OrderingByFamilyThenValue) {
+  // v4 < v6 by family tag.
+  EXPECT_LT(IpAddress::v4(0xFFFFFFFFu), IpAddress::v6(0, 0));
+  EXPECT_LT(IpAddress::v4(1), IpAddress::v4(2));
+}
+
+// Round-trip sweep.
+class Ipv4RoundTripP : public ::testing::TestWithParam<const char*> {};
+TEST_P(Ipv4RoundTripP, ParseFormatRoundTrip) {
+  auto a = IpAddress::parse(GetParam());
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->to_string(), GetParam());
+}
+INSTANTIATE_TEST_SUITE_P(Samples, Ipv4RoundTripP,
+                         ::testing::Values("0.0.0.0", "10.0.0.1",
+                                           "172.16.254.3", "192.0.2.0",
+                                           "203.0.113.200",
+                                           "255.255.255.255"));
+
+class Ipv6RoundTripP : public ::testing::TestWithParam<const char*> {};
+TEST_P(Ipv6RoundTripP, ParseFormatRoundTrip) {
+  auto a = IpAddress::parse(GetParam());
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->to_string(), GetParam());
+  // Formatting is canonical: re-parsing gives the same address.
+  EXPECT_EQ(IpAddress::parse(a->to_string()), *a);
+}
+INSTANTIATE_TEST_SUITE_P(Samples, Ipv6RoundTripP,
+                         ::testing::Values("::", "::1", "2001:db8::1",
+                                           "2400::", "2a00:1450:4001::5",
+                                           "fe80::1:2:3:4",
+                                           "2001:0:1:2:3:4:5:6"));
+
+}  // namespace
+}  // namespace manrs::net

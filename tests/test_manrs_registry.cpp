@@ -1,0 +1,112 @@
+#include "core/manrs.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace manrs::core {
+namespace {
+
+using net::Asn;
+using util::Date;
+
+Participant make_participant(const char* org, Program program, int year,
+                             std::initializer_list<uint32_t> ases) {
+  Participant p;
+  p.org_id = org;
+  p.program = program;
+  p.joined = Date(year, 5, 1);
+  for (uint32_t a : ases) p.registered_ases.emplace_back(a);
+  return p;
+}
+
+TEST(Program, NamesAndThresholds) {
+  EXPECT_EQ(to_string(Program::kIsp), "ISP");
+  EXPECT_EQ(to_string(Program::kCdn), "CDN");
+  EXPECT_EQ(parse_program("ISP"), Program::kIsp);
+  EXPECT_EQ(parse_program("Network Operators"), Program::kIsp);
+  EXPECT_EQ(parse_program("cdn"), Program::kCdn);
+  EXPECT_FALSE(parse_program("bogus"));
+  EXPECT_DOUBLE_EQ(action4_threshold(Program::kIsp), 90.0);
+  EXPECT_DOUBLE_EQ(action4_threshold(Program::kCdn), 100.0);
+}
+
+TEST(ManrsRegistry, MembershipLookups) {
+  ManrsRegistry registry;
+  registry.add_participant(
+      make_participant("org1", Program::kIsp, 2019, {1, 2}));
+  registry.add_participant(make_participant("org2", Program::kCdn, 2021, {3}));
+
+  EXPECT_TRUE(registry.is_member(Asn(1)));
+  EXPECT_TRUE(registry.is_member(Asn(3)));
+  EXPECT_FALSE(registry.is_member(Asn(4)));
+  EXPECT_EQ(registry.program_of(Asn(1)), Program::kIsp);
+  EXPECT_EQ(registry.program_of(Asn(3)), Program::kCdn);
+  EXPECT_FALSE(registry.program_of(Asn(4)).has_value());
+  EXPECT_EQ(registry.join_date(Asn(3)), Date(2021, 5, 1));
+}
+
+TEST(ManrsRegistry, MembershipAsOfDate) {
+  ManrsRegistry registry;
+  registry.add_participant(make_participant("org1", Program::kIsp, 2019, {1}));
+  EXPECT_FALSE(registry.is_member(Asn(1), Date(2018, 12, 31)));
+  EXPECT_TRUE(registry.is_member(Asn(1), Date(2019, 5, 1)));
+  EXPECT_TRUE(registry.is_member(Asn(1), Date(2022, 1, 1)));
+  EXPECT_EQ(registry.member_ases_at(Date(2018, 1, 1)).size(), 0u);
+  EXPECT_EQ(registry.member_ases_at(Date(2020, 1, 1)).size(), 1u);
+}
+
+TEST(ManrsRegistry, MemberListsSortedAndFiltered) {
+  ManrsRegistry registry;
+  registry.add_participant(
+      make_participant("org1", Program::kIsp, 2019, {5, 1}));
+  registry.add_participant(make_participant("org2", Program::kCdn, 2021, {3}));
+  EXPECT_EQ(registry.member_ases(),
+            (std::vector<Asn>{Asn(1), Asn(3), Asn(5)}));
+  EXPECT_EQ(registry.member_ases(Program::kCdn), (std::vector<Asn>{Asn(3)}));
+  EXPECT_EQ(registry.participants_in(Program::kIsp).size(), 1u);
+}
+
+TEST(ManrsRegistry, ParticipantOfAndFindOrg) {
+  ManrsRegistry registry;
+  registry.add_participant(make_participant("org1", Program::kIsp, 2019, {1}));
+  ASSERT_NE(registry.participant_of(Asn(1)), nullptr);
+  EXPECT_EQ(registry.participant_of(Asn(1))->org_id, "org1");
+  EXPECT_EQ(registry.participant_of(Asn(9)), nullptr);
+  ASSERT_NE(registry.find_org("org1"), nullptr);
+  EXPECT_EQ(registry.find_org("nope"), nullptr);
+}
+
+TEST(ManrsRegistry, CsvRoundTrip) {
+  ManrsRegistry registry;
+  registry.add_participant(
+      make_participant("org1", Program::kIsp, 2019, {1, 2}));
+  registry.add_participant(make_participant("org2", Program::kCdn, 2021, {3}));
+
+  std::ostringstream out;
+  registry.write_csv(out);
+  std::istringstream in(out.str());
+  size_t bad = 0;
+  ManrsRegistry parsed = ManrsRegistry::read_csv(in, &bad);
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(parsed.participant_count(), 2u);
+  EXPECT_TRUE(parsed.is_member(Asn(2)));
+  EXPECT_EQ(parsed.program_of(Asn(3)), Program::kCdn);
+  EXPECT_EQ(parsed.join_date(Asn(1)), Date(2019, 5, 1));
+}
+
+TEST(ManrsRegistry, CsvRejectsBadRows) {
+  std::istringstream in(
+      "org_id,program,joined,ases\n"
+      "org1,ISP,2019-05-01,1+2\n"
+      "org2,NOPE,2019-05-01,3\n"     // bad program
+      "org3,ISP,bogus,4\n"            // bad date
+      "org4,ISP,2019-05-01,x+5\n");  // bad ASN
+  size_t bad = 0;
+  ManrsRegistry parsed = ManrsRegistry::read_csv(in, &bad);
+  EXPECT_EQ(parsed.participant_count(), 1u);
+  EXPECT_EQ(bad, 3u);
+}
+
+}  // namespace
+}  // namespace manrs::core

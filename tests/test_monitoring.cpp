@@ -1,0 +1,146 @@
+#include "core/monitoring.h"
+
+#include <gtest/gtest.h>
+
+namespace manrs::core {
+namespace {
+
+using irr::IrrStatus;
+using net::Asn;
+using net::Prefix;
+using rpki::RpkiStatus;
+
+ihr::PrefixOriginRecord record(const char* prefix, uint32_t origin,
+                               RpkiStatus rpki, IrrStatus irr) {
+  ihr::PrefixOriginRecord r;
+  r.prefix = Prefix::must_parse(prefix);
+  r.origin = Asn(origin);
+  r.rpki = rpki;
+  r.irr = irr;
+  return r;
+}
+
+ihr::PrefixOriginRecord good(const char* prefix, uint32_t origin) {
+  return record(prefix, origin, RpkiStatus::kValid, IrrStatus::kValid);
+}
+
+ihr::PrefixOriginRecord bad(const char* prefix, uint32_t origin) {
+  return record(prefix, origin, RpkiStatus::kInvalidAsn,
+                IrrStatus::kNotFound);
+}
+
+TEST(ConformanceDelta, NoChangesOnIdenticalSnapshots) {
+  std::vector<ihr::PrefixOriginRecord> snapshot{good("10.0.0.0/24", 1),
+                                                bad("10.0.1.0/24", 1)};
+  auto delta = diff_conformance(snapshot, snapshot);
+  EXPECT_TRUE(delta.prefix_changes.empty());
+  EXPECT_TRUE(delta.as_transitions.empty());
+  EXPECT_EQ(delta.stable_unconformant_ases, 1u);  // AS1 at 50% < 90%
+}
+
+TEST(ConformanceDelta, DetectsBecameUnconformant) {
+  std::vector<ihr::PrefixOriginRecord> before{good("10.0.0.0/24", 1)};
+  std::vector<ihr::PrefixOriginRecord> after{bad("10.0.0.0/24", 1)};
+  auto delta = diff_conformance(before, after);
+  ASSERT_EQ(delta.prefix_changes.size(), 1u);
+  EXPECT_EQ(delta.prefix_changes[0].transition,
+            PrefixTransition::kBecameUnconformant);
+  EXPECT_EQ(delta.prefix_changes[0].rpki_after, RpkiStatus::kInvalidAsn);
+  // The AS flipped 100% -> 0%.
+  ASSERT_EQ(delta.as_transitions.size(), 1u);
+  EXPECT_TRUE(delta.as_transitions[0].was_conformant);
+  EXPECT_FALSE(delta.as_transitions[0].now_conformant);
+  EXPECT_DOUBLE_EQ(delta.as_transitions[0].og_before, 100.0);
+  EXPECT_DOUBLE_EQ(delta.as_transitions[0].og_after, 0.0);
+}
+
+TEST(ConformanceDelta, DetectsResolutionAndNewOffenders) {
+  std::vector<ihr::PrefixOriginRecord> before{bad("10.0.0.0/24", 1),
+                                              good("20.0.0.0/24", 2)};
+  std::vector<ihr::PrefixOriginRecord> after{good("10.0.0.0/24", 1),
+                                             good("20.0.0.0/24", 2),
+                                             bad("30.0.0.0/24", 3)};
+  auto delta = diff_conformance(before, after);
+  ASSERT_EQ(delta.prefix_changes.size(), 2u);
+  EXPECT_EQ(delta.prefix_changes[0].transition, PrefixTransition::kResolved);
+  EXPECT_EQ(delta.prefix_changes[0].prefix_origin.origin, Asn(1));
+  EXPECT_EQ(delta.prefix_changes[1].transition,
+            PrefixTransition::kNewUnconformant);
+  EXPECT_EQ(delta.prefix_changes[1].prefix_origin.origin, Asn(3));
+}
+
+TEST(ConformanceDelta, WithdrawnUnconformantReported) {
+  std::vector<ihr::PrefixOriginRecord> before{bad("10.0.0.0/24", 1),
+                                              good("10.0.1.0/24", 1)};
+  std::vector<ihr::PrefixOriginRecord> after{good("10.0.1.0/24", 1)};
+  auto delta = diff_conformance(before, after);
+  ASSERT_EQ(delta.prefix_changes.size(), 1u);
+  EXPECT_EQ(delta.prefix_changes[0].transition,
+            PrefixTransition::kWithdrawnUnconformant);
+  // AS1: 50% -> 100% (withdrawing the offender fixes the AS).
+  ASSERT_EQ(delta.as_transitions.size(), 1u);
+  EXPECT_TRUE(delta.as_transitions[0].now_conformant);
+}
+
+TEST(ConformanceDelta, ThresholdRespected) {
+  // 10 prefixes, 1 goes bad: 90% exactly -> still conformant at the ISP
+  // bar, a flip at a 95% bar.
+  std::vector<ihr::PrefixOriginRecord> before, after;
+  for (int i = 0; i < 10; ++i) {
+    std::string prefix = "10.0." + std::to_string(i) + ".0/24";
+    before.push_back(good(prefix.c_str(), 1));
+    after.push_back(i == 0 ? bad(prefix.c_str(), 1)
+                           : good(prefix.c_str(), 1));
+  }
+  EXPECT_TRUE(diff_conformance(before, after, 90.0).as_transitions.empty());
+  EXPECT_EQ(diff_conformance(before, after, 95.0).as_transitions.size(), 1u);
+}
+
+TEST(ConformanceDelta, UnregisteredIsNotUnconformant) {
+  // NotFound/NotFound prefixes are "unregistered", not offenders: no
+  // transition when they appear or disappear.
+  std::vector<ihr::PrefixOriginRecord> before{good("10.0.0.0/24", 1)};
+  std::vector<ihr::PrefixOriginRecord> after{
+      good("10.0.0.0/24", 1),
+      record("10.0.1.0/24", 1, RpkiStatus::kNotFound, IrrStatus::kNotFound)};
+  auto delta = diff_conformance(before, after);
+  EXPECT_TRUE(delta.prefix_changes.empty());
+}
+
+TEST(VrpDelta, AddedRemovedUnchanged) {
+  std::vector<rpki::Vrp> before{
+      {Prefix::must_parse("10.0.0.0/8"), 8, Asn(1)},
+      {Prefix::must_parse("11.0.0.0/8"), 8, Asn(2)},
+  };
+  std::vector<rpki::Vrp> after{
+      {Prefix::must_parse("10.0.0.0/8"), 8, Asn(1)},   // unchanged
+      {Prefix::must_parse("11.0.0.0/8"), 16, Asn(2)},  // maxlen changed
+      {Prefix::must_parse("12.0.0.0/8"), 8, Asn(3)},   // new
+  };
+  auto delta = diff_vrps(before, after);
+  EXPECT_EQ(delta.unchanged, 1u);
+  ASSERT_EQ(delta.added.size(), 2u);  // changed maxlen counts as add+remove
+  ASSERT_EQ(delta.removed.size(), 1u);
+  EXPECT_EQ(delta.removed[0].max_length, 8u);
+  EXPECT_EQ(delta.removed[0].asn, Asn(2));
+}
+
+TEST(VrpDelta, EmptySides) {
+  std::vector<rpki::Vrp> some{{Prefix::must_parse("10.0.0.0/8"), 8, Asn(1)}};
+  auto grow = diff_vrps({}, some);
+  EXPECT_EQ(grow.added.size(), 1u);
+  EXPECT_TRUE(grow.removed.empty());
+  auto shrink = diff_vrps(some, {});
+  EXPECT_EQ(shrink.removed.size(), 1u);
+  auto nil = diff_vrps({}, {});
+  EXPECT_EQ(nil.unchanged, 0u);
+}
+
+TEST(PrefixTransitionNames, Strings) {
+  EXPECT_EQ(to_string(PrefixTransition::kResolved), "resolved");
+  EXPECT_EQ(to_string(PrefixTransition::kNewUnconformant),
+            "new-unconformant");
+}
+
+}  // namespace
+}  // namespace manrs::core

@@ -1,0 +1,279 @@
+#include "mrt/table_dump.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mrt/wire.h"
+#include "util/rng.h"
+
+namespace manrs::mrt {
+namespace {
+
+using net::Asn;
+using net::Prefix;
+
+bgp::AsPath path(std::initializer_list<uint32_t> hops) {
+  std::vector<Asn> v;
+  for (uint32_t h : hops) v.emplace_back(h);
+  return bgp::AsPath(std::move(v));
+}
+
+TEST(Wire, BigEndianRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ULL);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, TruncationThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0);
+  EXPECT_THROW(r.u32(), MrtError);
+}
+
+TEST(Wire, PatchU16) {
+  ByteWriter w;
+  w.u16(0);
+  w.u8(9);
+  w.patch_u16(0, 0xBEEF);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u16(), 0xBEEF);
+}
+
+TEST(Nlri, EncodeDecodeV4) {
+  ByteWriter w;
+  encode_nlri(w, Prefix::must_parse("192.0.2.0/24"));
+  EXPECT_EQ(w.size(), 4u);  // 1 length byte + 3 prefix bytes
+  ByteReader r(w.data());
+  EXPECT_EQ(decode_nlri(r, net::Family::kIpv4),
+            Prefix::must_parse("192.0.2.0/24"));
+}
+
+TEST(Nlri, EncodeDecodeOddLengths) {
+  for (const char* s : {"10.0.0.0/8", "10.128.0.0/9", "0.0.0.0/0",
+                        "203.0.113.77/32", "10.1.2.0/23"}) {
+    ByteWriter w;
+    encode_nlri(w, Prefix::must_parse(s));
+    ByteReader r(w.data());
+    EXPECT_EQ(decode_nlri(r, net::Family::kIpv4), Prefix::must_parse(s)) << s;
+  }
+}
+
+TEST(Nlri, EncodeDecodeV6) {
+  ByteWriter w;
+  encode_nlri(w, Prefix::must_parse("2001:db8::/32"));
+  EXPECT_EQ(w.size(), 5u);
+  ByteReader r(w.data());
+  EXPECT_EQ(decode_nlri(r, net::Family::kIpv6),
+            Prefix::must_parse("2001:db8::/32"));
+}
+
+TEST(Nlri, BadLengthThrows) {
+  ByteWriter w;
+  w.u8(33);  // invalid for v4
+  w.u32(0);
+  ByteReader r(w.data());
+  EXPECT_THROW(decode_nlri(r, net::Family::kIpv4), MrtError);
+}
+
+TEST(PathAttributes, RoundTrip) {
+  ByteWriter w;
+  encode_path_attributes(w, path({64512, 64513, 64514}), net::Family::kIpv4);
+  ByteReader r(w.data());
+  bgp::AsPath decoded = decode_path_attributes(r, w.size());
+  EXPECT_EQ(decoded, path({64512, 64513, 64514}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(PathAttributes, FourByteAsns) {
+  ByteWriter w;
+  encode_path_attributes(w, path({4200000001u, 1}), net::Family::kIpv4);
+  ByteReader r(w.data());
+  EXPECT_EQ(decode_path_attributes(r, w.size()), path({4200000001u, 1}));
+}
+
+TEST(PathAttributes, AsSetSegmentRejected) {
+  // Craft an AS_PATH attribute with an AS_SET segment (type 1).
+  ByteWriter w;
+  w.u8(0x40);  // transitive
+  w.u8(2);     // AS_PATH
+  w.u8(6);     // length
+  w.u8(1);     // AS_SET
+  w.u8(1);     // one ASN
+  w.u32(99);
+  ByteReader r(w.data());
+  EXPECT_THROW(decode_path_attributes(r, w.size()), MrtError);
+}
+
+TEST(PathAttributes, UnknownAttributesSkipped) {
+  ByteWriter w;
+  // Unknown attribute type 42, 3 bytes.
+  w.u8(0x40);
+  w.u8(42);
+  w.u8(3);
+  w.u8(1);
+  w.u8(2);
+  w.u8(3);
+  // Then AS_PATH.
+  ByteWriter ap;
+  encode_path_attributes(ap, path({7, 8}), net::Family::kIpv6);
+  w.bytes(ap);
+  ByteReader r(w.data());
+  EXPECT_EQ(decode_path_attributes(r, w.size()), path({7, 8}));
+}
+
+TEST(TableDump, FullRibRoundTrip) {
+  bgp::Rib rib;
+  uint32_t p0 = rib.add_peer(Asn(100));
+  uint32_t p1 = rib.add_peer(Asn(200));
+  rib.insert(Prefix::must_parse("10.0.0.0/8"), p0, path({100, 1}));
+  rib.insert(Prefix::must_parse("10.0.0.0/8"), p1, path({200, 50, 1}));
+  rib.insert(Prefix::must_parse("192.0.2.0/24"), p0, path({100, 2}));
+  rib.insert(Prefix::must_parse("2001:db8::/32"), p1, path({200, 3}));
+
+  std::ostringstream out;
+  TableDumpWriter writer(out, /*timestamp=*/1651363200);  // 2022-05-01
+  size_t records = writer.write_rib(rib, "synthetic-view");
+  EXPECT_EQ(records, 3u);
+
+  std::istringstream in(out.str());
+  size_t bad = 0;
+  bgp::Rib parsed = TableDumpReader::read_rib(in, &bad);
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(parsed.prefix_count(), 3u);
+  EXPECT_EQ(parsed.entry_count(), 4u);
+  EXPECT_EQ(parsed.peer_count(), 2u);
+
+  auto entries = parsed.entries(Prefix::must_parse("10.0.0.0/8"));
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].path, path({100, 1}));
+  EXPECT_EQ(entries[1].path, path({200, 50, 1}));
+
+  auto v6 = parsed.entries(Prefix::must_parse("2001:db8::/32"));
+  ASSERT_EQ(v6.size(), 1u);
+  EXPECT_EQ(v6[0].path, path({200, 3}));
+}
+
+TEST(TableDump, PeerIndexTableRoundTrip) {
+  std::ostringstream out;
+  TableDumpWriter writer(out, 42);
+  PeerIndexTable table;
+  table.collector_bgp_id = 0x0A000001;
+  table.view_name = "rv6";
+  table.peers.push_back(
+      {0x01020304, net::IpAddress::v4(0x0A000002), Asn(65000)});
+  table.peers.push_back(
+      {0x05060708, *net::IpAddress::parse("2001:db8::1"), Asn(4200000000u)});
+  writer.write_peer_index(table);
+
+  std::istringstream in(out.str());
+  TableDumpReader reader(in);
+  TableDumpReader::Record record;
+  ASSERT_TRUE(reader.next(record));
+  ASSERT_TRUE(record.peer_index.has_value());
+  EXPECT_EQ(record.header.type, kTypeTableDumpV2);
+  EXPECT_EQ(record.header.timestamp, 42u);
+  EXPECT_EQ(record.peer_index->view_name, "rv6");
+  ASSERT_EQ(record.peer_index->peers.size(), 2u);
+  EXPECT_EQ(record.peer_index->peers[0].asn, Asn(65000));
+  EXPECT_EQ(record.peer_index->peers[1].address,
+            *net::IpAddress::parse("2001:db8::1"));
+  EXPECT_EQ(record.peer_index->peers[1].asn, Asn(4200000000u));
+  EXPECT_FALSE(reader.next(record));
+}
+
+TEST(TableDump, SkipsUnknownTypes) {
+  // Hand-craft a record of MRT type 12 (legacy TABLE_DUMP) followed by a
+  // valid PEER_INDEX_TABLE; the reader must skip the former.
+  std::ostringstream out;
+  ByteWriter legacy;
+  legacy.u32(0);
+  legacy.u16(12);
+  legacy.u16(1);
+  legacy.u32(4);
+  legacy.u32(0xFFFFFFFF);
+  out.write(reinterpret_cast<const char*>(legacy.data().data()),
+            static_cast<std::streamsize>(legacy.size()));
+  TableDumpWriter writer(out, 1);
+  writer.write_peer_index(PeerIndexTable{});
+
+  std::istringstream in(out.str());
+  TableDumpReader reader(in);
+  TableDumpReader::Record record;
+  ASSERT_TRUE(reader.next(record));
+  EXPECT_TRUE(record.peer_index.has_value());
+  EXPECT_EQ(reader.skipped_records(), 1u);
+}
+
+TEST(TableDump, TruncatedStreamCountsBadRecord) {
+  bgp::Rib rib;
+  uint32_t p0 = rib.add_peer(Asn(100));
+  rib.insert(Prefix::must_parse("10.0.0.0/8"), p0, path({100, 1}));
+  std::ostringstream out;
+  TableDumpWriter writer(out, 1);
+  writer.write_rib(rib, "x");
+  std::string bytes = out.str();
+  bytes.resize(bytes.size() - 5);  // chop the tail
+
+  std::istringstream in(bytes);
+  size_t bad = 0;
+  bgp::Rib parsed = TableDumpReader::read_rib(in, &bad);
+  EXPECT_EQ(bad, 1u);
+  EXPECT_EQ(parsed.prefix_count(), 0u);  // only the peer table survived
+}
+
+// Fuzz-ish property: random RIBs round-trip exactly.
+class MrtRoundTripP : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MrtRoundTripP, RandomRibRoundTrips) {
+  manrs::util::Rng rng(GetParam());
+  bgp::Rib rib;
+  std::vector<uint32_t> peers;
+  for (int i = 0; i < 5; ++i) {
+    peers.push_back(rib.add_peer(Asn(65000 + static_cast<uint32_t>(i))));
+  }
+  for (int i = 0; i < 50; ++i) {
+    bool v6 = rng.bernoulli(0.3);
+    unsigned len = static_cast<unsigned>(
+        v6 ? 16 + rng.uniform(49) : 8 + rng.uniform(25));
+    net::IpAddress addr =
+        v6 ? net::IpAddress::v6(rng.next(), rng.next())
+           : net::IpAddress::v4(static_cast<uint32_t>(rng.next()));
+    Prefix prefix(addr, len);
+    std::vector<Asn> hops;
+    size_t hop_count = 1 + rng.uniform(6);
+    for (size_t h = 0; h < hop_count; ++h) {
+      hops.emplace_back(static_cast<uint32_t>(1 + rng.uniform(100000)));
+    }
+    rib.insert(prefix, peers[rng.uniform(peers.size())],
+               bgp::AsPath(std::move(hops)));
+  }
+
+  std::ostringstream out;
+  TableDumpWriter writer(out, 123456);
+  writer.write_rib(rib, "fuzz");
+  std::istringstream in(out.str());
+  size_t bad = 0;
+  bgp::Rib parsed = TableDumpReader::read_rib(in, &bad);
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(parsed.prefix_count(), rib.prefix_count());
+  EXPECT_EQ(parsed.entry_count(), rib.entry_count());
+  // Spot-check: identical prefix-origin sets.
+  EXPECT_EQ(parsed.prefix_origins(), rib.prefix_origins());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MrtRoundTripP,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace manrs::mrt

@@ -1,0 +1,137 @@
+#include "core/observatory.h"
+
+#include <gtest/gtest.h>
+
+namespace manrs::core {
+namespace {
+
+using irr::IrrStatus;
+using net::Asn;
+using net::Prefix;
+using rpki::RpkiStatus;
+
+TEST(ReadinessBucket, Thresholds) {
+  EXPECT_EQ(bucket_for(100.0), ReadinessBucket::kReady);
+  EXPECT_EQ(bucket_for(95.0), ReadinessBucket::kReady);
+  EXPECT_EQ(bucket_for(94.9), ReadinessBucket::kAspiring);
+  EXPECT_EQ(bucket_for(80.0), ReadinessBucket::kAspiring);
+  EXPECT_EQ(bucket_for(79.9), ReadinessBucket::kLagging);
+  EXPECT_EQ(bucket_for(0.0), ReadinessBucket::kLagging);
+  EXPECT_EQ(to_string(ReadinessBucket::kAspiring), "aspiring");
+}
+
+struct Fixture {
+  ManrsRegistry registry;
+  irr::IrrRegistry irr_registry;
+  PeeringDb peeringdb;
+  std::vector<ihr::PrefixOriginRecord> origins;
+  std::vector<ihr::TransitRecord> transits;
+  util::Date as_of{2022, 5, 1};
+
+  Fixture() {
+    Participant perfect;
+    perfect.org_id = "org-good";
+    perfect.program = Program::kIsp;
+    perfect.joined = util::Date(2020, 1, 1);
+    perfect.registered_ases.push_back(Asn(1));
+    registry.add_participant(perfect);
+
+    Participant bad;
+    bad.org_id = "org-bad";
+    bad.program = Program::kIsp;
+    bad.joined = util::Date(2020, 1, 1);
+    bad.registered_ases.push_back(Asn(2));
+    registry.add_participant(bad);
+
+    // AS1: perfectly registered origination + contact; no transit.
+    ihr::PrefixOriginRecord good;
+    good.prefix = Prefix::must_parse("10.0.0.0/24");
+    good.origin = Asn(1);
+    good.rpki = RpkiStatus::kValid;
+    good.irr = IrrStatus::kValid;
+    origins.push_back(good);
+    auto& db = irr_registry.add_database("RIPE", true);
+    irr::AutNumObject aut;
+    aut.asn = Asn(1);
+    aut.contacts.push_back("NOC-GOOD");
+    db.add_aut_num(aut);
+
+    // AS2: half its originations unconformant, all customer transits
+    // unconformant, no contact anywhere.
+    for (int i = 0; i < 2; ++i) {
+      ihr::PrefixOriginRecord record;
+      record.prefix = Prefix::must_parse(i == 0 ? "20.0.0.0/24"
+                                                : "20.0.1.0/24");
+      record.origin = Asn(2);
+      record.rpki = i == 0 ? RpkiStatus::kValid : RpkiStatus::kInvalidAsn;
+      record.irr = IrrStatus::kNotFound;
+      origins.push_back(record);
+    }
+    ihr::TransitRecord transit;
+    transit.prefix = Prefix::must_parse("30.0.0.0/24");
+    transit.origin = Asn(5);
+    transit.transit = Asn(2);
+    transit.via_customer = true;
+    transit.rpki = RpkiStatus::kInvalidAsn;
+    transit.irr = IrrStatus::kNotFound;
+    transits.push_back(transit);
+  }
+
+  ObservatoryInputs inputs() {
+    return ObservatoryInputs{registry,  irr_registry, peeringdb,
+                             origins,   transits,     as_of};
+  }
+};
+
+TEST(Observatory, PerfectParticipantIsReady) {
+  Fixture f;
+  auto readiness = score_participants(f.inputs());
+  ASSERT_EQ(readiness.size(), 2u);
+  const auto& good = readiness[0];
+  EXPECT_EQ(good.org_id, "org-good");
+  EXPECT_DOUBLE_EQ(good.action1, 100.0);  // no transit -> 100
+  EXPECT_DOUBLE_EQ(good.action3, 100.0);
+  EXPECT_DOUBLE_EQ(good.action4, 100.0);
+  EXPECT_DOUBLE_EQ(good.overall, 100.0);
+  EXPECT_EQ(good.bucket, ReadinessBucket::kReady);
+}
+
+TEST(Observatory, LaggardScoresLow) {
+  Fixture f;
+  auto readiness = score_participants(f.inputs());
+  const auto& bad = readiness[1];
+  EXPECT_EQ(bad.org_id, "org-bad");
+  EXPECT_DOUBLE_EQ(bad.action4, 50.0);   // 1 of 2 originations conformant
+  EXPECT_DOUBLE_EQ(bad.action1, 0.0);    // all customer transit unconformant
+  EXPECT_DOUBLE_EQ(bad.action3, 0.0);    // no contact
+  EXPECT_DOUBLE_EQ(bad.overall, (2 * 0.0 + 0.0 + 2 * 50.0) / 5.0);
+  EXPECT_EQ(bad.bucket, ReadinessBucket::kLagging);
+}
+
+TEST(Observatory, PeeringDbContactCountsTowardAction3) {
+  Fixture f;
+  f.peeringdb.add(PeeringDbNet{Asn(2), "bad", "noc@bad.example",
+                               util::Date(2022, 4, 1)});
+  auto readiness = score_participants(f.inputs());
+  EXPECT_DOUBLE_EQ(readiness[1].action3, 100.0);
+}
+
+TEST(Observatory, SummaryBucketsAndMeans) {
+  Fixture f;
+  auto readiness = score_participants(f.inputs());
+  auto summary = summarize(readiness);
+  EXPECT_EQ(summary.ready, 1u);
+  EXPECT_EQ(summary.lagging, 1u);
+  EXPECT_EQ(summary.aspiring, 0u);
+  EXPECT_DOUBLE_EQ(summary.mean_action4, 75.0);
+  EXPECT_DOUBLE_EQ(summary.mean_overall, (100.0 + 20.0) / 2.0);
+}
+
+TEST(Observatory, EmptySummary) {
+  auto summary = summarize({});
+  EXPECT_EQ(summary.ready + summary.aspiring + summary.lagging, 0u);
+  EXPECT_DOUBLE_EQ(summary.mean_overall, 0.0);
+}
+
+}  // namespace
+}  // namespace manrs::core

@@ -1,0 +1,139 @@
+#include "core/peeringdb.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace manrs::core {
+namespace {
+
+using net::Asn;
+using util::Date;
+
+PeeringDbNet net_record(uint32_t asn, const char* email, Date updated) {
+  return PeeringDbNet{Asn(asn), "net-" + std::to_string(asn), email,
+                      updated};
+}
+
+TEST(PeeringDb, AddFindReplace) {
+  PeeringDb db;
+  db.add(net_record(1, "a@x", Date(2022, 1, 1)));
+  ASSERT_NE(db.find(Asn(1)), nullptr);
+  EXPECT_EQ(db.find(Asn(1))->contact_email, "a@x");
+  EXPECT_EQ(db.find(Asn(2)), nullptr);
+  db.add(net_record(1, "b@x", Date(2022, 2, 1)));
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.find(Asn(1))->contact_email, "b@x");
+}
+
+TEST(PeeringDb, CsvRoundTrip) {
+  PeeringDb db;
+  db.add(net_record(64496, "noc@example.net", Date(2022, 3, 4)));
+  db.add(net_record(64497, "", Date(2019, 1, 1)));
+  std::ostringstream out;
+  db.write_csv(out);
+  std::istringstream in(out.str());
+  size_t bad = 0;
+  PeeringDb parsed = PeeringDb::read_csv(in, &bad);
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.find(Asn(64496))->contact_email, "noc@example.net");
+  EXPECT_EQ(parsed.find(Asn(64497))->updated, Date(2019, 1, 1));
+}
+
+TEST(PeeringDb, CsvRejectsBadRows) {
+  std::istringstream in(
+      "asn,name,contact,updated\n"
+      "64496,x,a@b,2022-01-01\n"
+      "notanasn,x,a@b,2022-01-01\n"
+      "64497,x,a@b,baddate\n"
+      "64498,short\n");
+  size_t bad = 0;
+  PeeringDb parsed = PeeringDb::read_csv(in, &bad);
+  EXPECT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(bad, 3u);
+}
+
+struct Action3Fixture {
+  irr::IrrRegistry irr;
+  PeeringDb pdb;
+  Date as_of{2022, 5, 1};
+
+  Action3Fixture() {
+    auto& db = irr.add_database("RIPE", true);
+    irr::AutNumObject with_contact;
+    with_contact.asn = Asn(1);
+    with_contact.contacts.push_back("NOC-1");
+    db.add_aut_num(with_contact);
+    irr::AutNumObject no_contact;
+    no_contact.asn = Asn(2);
+    db.add_aut_num(no_contact);
+
+    pdb.add(PeeringDbNet{Asn(3), "fresh", "noc@fresh", Date(2022, 1, 1)});
+    pdb.add(PeeringDbNet{Asn(4), "stale", "noc@stale", Date(2015, 1, 1)});
+    pdb.add(PeeringDbNet{Asn(5), "no-mail", "", Date(2022, 1, 1)});
+  }
+};
+
+TEST(Action3, ViaIrrContact) {
+  Action3Fixture f;
+  auto verdict = check_action3(f.irr, f.pdb, Asn(1), f.as_of);
+  EXPECT_TRUE(verdict.conformant);
+  EXPECT_TRUE(verdict.via_irr);
+  EXPECT_FALSE(verdict.via_peeringdb);
+}
+
+TEST(Action3, AutNumWithoutContactDoesNotCount) {
+  Action3Fixture f;
+  auto verdict = check_action3(f.irr, f.pdb, Asn(2), f.as_of);
+  EXPECT_FALSE(verdict.conformant);
+  EXPECT_FALSE(verdict.via_irr);
+}
+
+TEST(Action3, ViaFreshPeeringDb) {
+  Action3Fixture f;
+  auto verdict = check_action3(f.irr, f.pdb, Asn(3), f.as_of);
+  EXPECT_TRUE(verdict.conformant);
+  EXPECT_TRUE(verdict.via_peeringdb);
+  EXPECT_FALSE(verdict.via_irr);
+}
+
+TEST(Action3, StalePeeringDbFails) {
+  Action3Fixture f;
+  auto verdict = check_action3(f.irr, f.pdb, Asn(4), f.as_of);
+  EXPECT_FALSE(verdict.conformant);
+  EXPECT_TRUE(verdict.stale_peeringdb);
+  // With a generous max age it passes.
+  verdict = check_action3(f.irr, f.pdb, Asn(4), f.as_of, 365 * 20);
+  EXPECT_TRUE(verdict.conformant);
+}
+
+TEST(Action3, EmptyEmailDoesNotCount) {
+  Action3Fixture f;
+  EXPECT_FALSE(check_action3(f.irr, f.pdb, Asn(5), f.as_of).conformant);
+}
+
+TEST(Action3, UnknownAsFails) {
+  Action3Fixture f;
+  EXPECT_FALSE(check_action3(f.irr, f.pdb, Asn(99), f.as_of).conformant);
+}
+
+TEST(Action3, AutNumContactParsesFromRpsl) {
+  auto objects = irr::parse_rpsl(
+      "aut-num: AS64496\n"
+      "as-name: EXAMPLE\n"
+      "admin-c: JD1-RIPE\n"
+      "tech-c:  NOC2-RIPE\n"
+      "e-mail:  noc@example.net\n");
+  auto aut = irr::AutNumObject::from_rpsl(objects[0]);
+  ASSERT_TRUE(aut);
+  EXPECT_TRUE(aut->has_contact());
+  EXPECT_EQ(aut->contacts.size(), 3u);
+  // Round trip preserves contact presence.
+  auto back = irr::AutNumObject::from_rpsl(aut->to_rpsl());
+  ASSERT_TRUE(back);
+  EXPECT_TRUE(back->has_contact());
+}
+
+}  // namespace
+}  // namespace manrs::core

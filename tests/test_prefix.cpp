@@ -1,0 +1,134 @@
+#include "netbase/prefix.h"
+
+#include <gtest/gtest.h>
+
+#include "netbase/asn.h"
+
+namespace manrs::net {
+namespace {
+
+TEST(Prefix, ParseBasics) {
+  auto p = Prefix::parse("192.0.2.0/24");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->length(), 24u);
+  EXPECT_TRUE(p->is_v4());
+  EXPECT_EQ(p->to_string(), "192.0.2.0/24");
+}
+
+TEST(Prefix, ParseV6) {
+  auto p = Prefix::parse("2001:db8::/32");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->length(), 32u);
+  EXPECT_FALSE(p->is_v4());
+}
+
+TEST(Prefix, Malformed) {
+  EXPECT_FALSE(Prefix::parse("192.0.2.0"));      // no length
+  EXPECT_FALSE(Prefix::parse("192.0.2.0/33"));   // v4 length > 32
+  EXPECT_FALSE(Prefix::parse("2001:db8::/129"));
+  EXPECT_FALSE(Prefix::parse("bogus/24"));
+  EXPECT_FALSE(Prefix::parse("192.0.2.0/-1"));
+  EXPECT_FALSE(Prefix::parse("192.0.2.0/x"));
+}
+
+TEST(Prefix, CanonicalizesHostBits) {
+  // 192.0.2.77/24 canonicalizes to 192.0.2.0/24.
+  auto p = Prefix::parse("192.0.2.77/24");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->to_string(), "192.0.2.0/24");
+  EXPECT_EQ(*p, Prefix::must_parse("192.0.2.0/24"));
+}
+
+TEST(Prefix, ContainsPrefix) {
+  Prefix p16 = Prefix::must_parse("10.1.0.0/16");
+  Prefix p24 = Prefix::must_parse("10.1.2.0/24");
+  Prefix other = Prefix::must_parse("10.2.0.0/16");
+  EXPECT_TRUE(p16.contains(p24));
+  EXPECT_FALSE(p24.contains(p16));
+  EXPECT_TRUE(p16.contains(p16));  // reflexive
+  EXPECT_FALSE(p16.contains(other));
+  EXPECT_FALSE(other.contains(p24));
+}
+
+TEST(Prefix, ContainsIsFamilyStrict) {
+  Prefix v4 = Prefix::must_parse("0.0.0.0/0");
+  Prefix v6 = Prefix::must_parse("::/0");
+  EXPECT_FALSE(v4.contains(v6));
+  EXPECT_FALSE(v6.contains(v4));
+  EXPECT_FALSE(v4.contains(*IpAddress::parse("::1")));
+}
+
+TEST(Prefix, ContainsAddress) {
+  Prefix p = Prefix::must_parse("192.0.2.0/24");
+  EXPECT_TRUE(p.contains(*IpAddress::parse("192.0.2.255")));
+  EXPECT_FALSE(p.contains(*IpAddress::parse("192.0.3.0")));
+}
+
+TEST(Prefix, DefaultRouteContainsEverythingV4) {
+  Prefix def = Prefix::must_parse("0.0.0.0/0");
+  EXPECT_TRUE(def.contains(Prefix::must_parse("203.0.113.0/24")));
+  EXPECT_TRUE(def.contains(*IpAddress::parse("8.8.8.8")));
+}
+
+TEST(Prefix, AddressCount) {
+  EXPECT_DOUBLE_EQ(Prefix::must_parse("10.0.0.0/8").address_count(),
+                   16777216.0);
+  EXPECT_DOUBLE_EQ(Prefix::must_parse("192.0.2.0/24").address_count(), 256.0);
+  EXPECT_DOUBLE_EQ(Prefix::must_parse("192.0.2.1/32").address_count(), 1.0);
+  EXPECT_DOUBLE_EQ(Prefix::must_parse("0.0.0.0/0").address_count(),
+                   4294967296.0);
+  EXPECT_DOUBLE_EQ(Prefix::must_parse("2001:db8::/64").address_count(),
+                   18446744073709551616.0);
+}
+
+TEST(Prefix, HashDistinguishesLengths) {
+  std::hash<Prefix> h;
+  EXPECT_NE(h(Prefix::must_parse("10.0.0.0/8")),
+            h(Prefix::must_parse("10.0.0.0/9")));
+}
+
+TEST(Prefix, OrderingIsTotal) {
+  Prefix a = Prefix::must_parse("10.0.0.0/8");
+  Prefix b = Prefix::must_parse("10.0.0.0/16");
+  Prefix c = Prefix::must_parse("11.0.0.0/8");
+  EXPECT_LT(a, b);  // same address, shorter first
+  EXPECT_LT(a, c);
+  EXPECT_LT(b, c);
+}
+
+TEST(Asn, ParseBothSpellings) {
+  EXPECT_EQ(Asn::parse("64496"), Asn(64496));
+  EXPECT_EQ(Asn::parse("AS64496"), Asn(64496));
+  EXPECT_EQ(Asn::parse("as64496"), Asn(64496));
+  EXPECT_EQ(Asn::parse("4294967295"), Asn(4294967295u));
+  EXPECT_FALSE(Asn::parse("4294967296"));  // > 32 bits
+  EXPECT_FALSE(Asn::parse("AS"));
+  EXPECT_FALSE(Asn::parse(""));
+  EXPECT_FALSE(Asn::parse("64496x"));
+  EXPECT_FALSE(Asn::parse("-1"));
+}
+
+TEST(Asn, FormatAndReserved) {
+  EXPECT_EQ(Asn(15169).to_string(), "AS15169");
+  EXPECT_TRUE(Asn(0).is_reserved_as0());
+  EXPECT_FALSE(Asn(1).is_reserved_as0());
+}
+
+// Containment is consistent with masking across a sweep of lengths.
+class PrefixContainsP : public ::testing::TestWithParam<unsigned> {};
+TEST_P(PrefixContainsP, ParentContainsAllChildren) {
+  unsigned len = GetParam();
+  Prefix parent(IpAddress::v4(0xC6336400u), len);  // 198.51.100.0
+  // A /28 child inside.
+  Prefix child(IpAddress::v4(0xC6336400u), 28);
+  if (len <= 28) {
+    EXPECT_TRUE(parent.contains(child)) << "len=" << len;
+  } else {
+    EXPECT_FALSE(parent.contains(child)) << "len=" << len;
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Lengths, PrefixContainsP,
+                         ::testing::Range(0u, 33u));
+
+}  // namespace
+}  // namespace manrs::net

@@ -1,0 +1,161 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace manrs::core {
+namespace {
+
+using irr::IrrStatus;
+using net::Asn;
+using net::Prefix;
+using rpki::RpkiStatus;
+
+ihr::PrefixOriginRecord record(const char* prefix, uint32_t origin,
+                               RpkiStatus rpki, IrrStatus irr) {
+  ihr::PrefixOriginRecord r;
+  r.prefix = Prefix::must_parse(prefix);
+  r.origin = Asn(origin);
+  r.rpki = rpki;
+  r.irr = irr;
+  return r;
+}
+
+Participant participant(const char* org, Program program,
+                        std::initializer_list<uint32_t> ases) {
+  Participant p;
+  p.org_id = org;
+  p.program = program;
+  p.joined = util::Date(2020, 1, 1);
+  for (uint32_t a : ases) p.registered_ases.emplace_back(a);
+  return p;
+}
+
+TEST(Completeness, Finding70Buckets) {
+  // org1: both ASes registered, both originate -> fully registered.
+  // org2: AS3 registered+originating, AS4 unregistered+originating
+  //       -> partial, some space unregistered.
+  // org3: AS5 registered, AS6 unregistered but quiet -> quiescent partial.
+  // org4: AS7 registered but quiet, AS8 unregistered originating
+  //       -> announces ONLY from unregistered ASes.
+  ManrsRegistry registry;
+  registry.add_participant(participant("org1", Program::kIsp, {1, 2}));
+  registry.add_participant(participant("org2", Program::kIsp, {3}));
+  registry.add_participant(participant("org3", Program::kIsp, {5}));
+  registry.add_participant(participant("org4", Program::kIsp, {7}));
+
+  astopo::As2Org a2o;
+  for (const char* org : {"org1", "org2", "org3", "org4"}) {
+    a2o.add_organization({org, org, "US", net::Rir::kArin});
+  }
+  a2o.map_as(Asn(1), "org1");
+  a2o.map_as(Asn(2), "org1");
+  a2o.map_as(Asn(3), "org2");
+  a2o.map_as(Asn(4), "org2");
+  a2o.map_as(Asn(5), "org3");
+  a2o.map_as(Asn(6), "org3");
+  a2o.map_as(Asn(7), "org4");
+  a2o.map_as(Asn(8), "org4");
+
+  std::vector<ihr::PrefixOriginRecord> origins{
+      record("10.0.0.0/24", 1, RpkiStatus::kValid, IrrStatus::kValid),
+      record("10.0.1.0/24", 2, RpkiStatus::kValid, IrrStatus::kValid),
+      record("10.0.2.0/24", 3, RpkiStatus::kValid, IrrStatus::kValid),
+      record("10.0.3.0/24", 4, RpkiStatus::kValid, IrrStatus::kValid),
+      record("10.0.4.0/24", 5, RpkiStatus::kValid, IrrStatus::kValid),
+      record("10.0.5.0/24", 8, RpkiStatus::kValid, IrrStatus::kValid),
+  };
+
+  CompletenessStats stats =
+      compute_registration_completeness(registry, a2o, origins);
+  EXPECT_EQ(stats.total_orgs, 4u);
+  EXPECT_EQ(stats.orgs_all_ases_registered, 1u);
+  EXPECT_EQ(stats.orgs_all_space_via_registered, 2u);  // org1, org3
+  EXPECT_EQ(stats.orgs_some_space_unregistered, 2u);   // org2, org4
+  EXPECT_EQ(stats.orgs_only_unregistered_space, 1u);   // org4
+  EXPECT_EQ(stats.orgs_quiescent_unregistered, 1u);    // org3
+  EXPECT_DOUBLE_EQ(stats.pct_all_ases(), 25.0);
+  EXPECT_DOUBLE_EQ(stats.pct_all_space(), 50.0);
+}
+
+TEST(CaseStudy, ClassifiesMismatchAffinity) {
+  // AS1 (registered) originates three bad prefixes:
+  //  - 10.0.0.0/24: RPKI Invalid, ROA names sibling AS2.
+  //  - 10.0.1.0/24: IRR Invalid, route object names provider AS3.
+  //  - 10.0.2.0/24: IRR Invalid, route object names unrelated AS9.
+  //  - 10.0.3.0/24: registered nowhere.
+  ManrsRegistry registry;
+  registry.add_participant(participant("org1", Program::kIsp, {1}));
+  astopo::As2Org a2o;
+  a2o.add_organization({"org1", "Org", "US", net::Rir::kArin});
+  a2o.map_as(Asn(1), "org1");
+  a2o.map_as(Asn(2), "org1");
+  astopo::AsGraph graph;
+  graph.add_provider_customer(Asn(3), Asn(1));
+  graph.add_as(Asn(9));
+
+  rpki::VrpStore vrps;
+  vrps.add({Prefix::must_parse("10.0.0.0/24"), 24, Asn(2)});
+  irr::IrrRegistry irr_registry;
+  auto& db = irr_registry.add_database("RADB", false);
+  irr::RouteObject r1;
+  r1.prefix = Prefix::must_parse("10.0.1.0/24");
+  r1.origin = Asn(3);
+  db.add_route(r1);
+  irr::RouteObject r2;
+  r2.prefix = Prefix::must_parse("10.0.2.0/24");
+  r2.origin = Asn(9);
+  db.add_route(r2);
+
+  std::vector<ihr::PrefixOriginRecord> origins{
+      record("10.0.0.0/24", 1, RpkiStatus::kInvalidAsn, IrrStatus::kNotFound),
+      record("10.0.1.0/24", 1, RpkiStatus::kNotFound, IrrStatus::kInvalidAsn),
+      record("10.0.2.0/24", 1, RpkiStatus::kNotFound, IrrStatus::kInvalidAsn),
+      record("10.0.3.0/24", 1, RpkiStatus::kNotFound, IrrStatus::kNotFound),
+      record("10.0.4.0/24", 1, RpkiStatus::kValid, IrrStatus::kValid),
+  };
+
+  CaseStudyRow row = analyze_unconformant_org(
+      *registry.participant_of(Asn(1)), "ISPX", a2o, graph, origins, vrps,
+      irr_registry);
+  EXPECT_EQ(row.label, "ISPX");
+  EXPECT_EQ(row.rpki_invalid, 1u);
+  EXPECT_EQ(row.rpki_sibling_cp, 1u);
+  EXPECT_EQ(row.rpki_unrelated, 0u);
+  EXPECT_EQ(row.irr_invalid, 2u);
+  EXPECT_EQ(row.irr_sibling_cp, 1u);
+  EXPECT_EQ(row.irr_unrelated, 1u);
+  EXPECT_EQ(row.unregistered, 1u);
+}
+
+TEST(MemberReport, VerdictsAndOffenders) {
+  Participant p = participant("org1", Program::kIsp, {1, 2});
+  std::vector<ihr::PrefixOriginRecord> origins{
+      record("10.0.0.0/24", 1, RpkiStatus::kValid, IrrStatus::kValid),
+      record("10.0.1.0/24", 1, RpkiStatus::kInvalidAsn, IrrStatus::kNotFound),
+      // AS2 originates nothing: trivially conformant.
+  };
+  std::vector<ihr::TransitRecord> transits;
+
+  MemberReport report = build_member_report(p, origins, transits);
+  EXPECT_EQ(report.org_id, "org1");
+  ASSERT_EQ(report.ases.size(), 2u);
+  // AS1: 50% conformant, below the 90% ISP bar.
+  EXPECT_FALSE(report.ases[0].action4.conformant);
+  ASSERT_EQ(report.ases[0].unconformant_origins.size(), 1u);
+  EXPECT_EQ(report.ases[0].unconformant_origins[0].prefix,
+            Prefix::must_parse("10.0.1.0/24"));
+  // AS2: trivially conformant.
+  EXPECT_TRUE(report.ases[1].action4.trivially);
+  EXPECT_FALSE(report.action4_conformant);
+  EXPECT_TRUE(report.action1_conformant);
+
+  std::ostringstream out;
+  print_member_report(out, report);
+  EXPECT_NE(out.str().find("NOT CONFORMANT"), std::string::npos);
+  EXPECT_NE(out.str().find("10.0.1.0/24"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manrs::core

@@ -1,0 +1,165 @@
+#include "rpki/roa.h"
+
+#include <gtest/gtest.h>
+
+namespace manrs::rpki {
+namespace {
+
+using net::Asn;
+using net::Prefix;
+using util::Date;
+
+ResourceCertificate make_cert(uint64_t serial,
+                              std::vector<Prefix> resources) {
+  ResourceCertificate cert;
+  cert.serial = serial;
+  cert.resources = std::move(resources);
+  cert.not_before = Date(2020, 1, 1);
+  cert.not_after = Date(2025, 1, 1);
+  return cert;
+}
+
+TEST(RelyingParty, AcceptsWellFormedRoa) {
+  RelyingParty rp;
+  rp.add_certificate(make_cert(1, {Prefix::must_parse("10.0.0.0/8")}));
+  Roa roa;
+  roa.asn = Asn(64496);
+  roa.prefixes.push_back({Prefix::must_parse("10.1.0.0/16"), 24});
+  roa.certificate_serial = 1;
+  rp.add_roa(roa);
+
+  EXPECT_EQ(rp.validate_roa(roa, Date(2022, 5, 1)), RoaValidity::kAccepted);
+  size_t rejected = 0;
+  auto vrps = rp.evaluate(Date(2022, 5, 1), &rejected);
+  ASSERT_EQ(vrps.size(), 1u);
+  EXPECT_EQ(rejected, 0u);
+  EXPECT_EQ(vrps[0].prefix, Prefix::must_parse("10.1.0.0/16"));
+  EXPECT_EQ(vrps[0].max_length, 24u);
+  EXPECT_EQ(vrps[0].asn, Asn(64496));
+}
+
+TEST(RelyingParty, DefaultMaxLengthIsPrefixLength) {
+  RelyingParty rp;
+  rp.add_certificate(make_cert(1, {Prefix::must_parse("10.0.0.0/8")}));
+  Roa roa;
+  roa.asn = Asn(64496);
+  roa.prefixes.push_back({Prefix::must_parse("10.1.0.0/16"), 0});  // unset
+  roa.certificate_serial = 1;
+  rp.add_roa(roa);
+  auto vrps = rp.evaluate(Date(2022, 5, 1));
+  ASSERT_EQ(vrps.size(), 1u);
+  EXPECT_EQ(vrps[0].max_length, 16u);
+}
+
+TEST(RelyingParty, RejectsExpiredCertificate) {
+  RelyingParty rp;
+  rp.add_certificate(make_cert(1, {Prefix::must_parse("10.0.0.0/8")}));
+  Roa roa;
+  roa.asn = Asn(1);
+  roa.prefixes.push_back({Prefix::must_parse("10.0.0.0/16"), 0});
+  roa.certificate_serial = 1;
+  rp.add_roa(roa);
+  EXPECT_EQ(rp.validate_roa(roa, Date(2026, 1, 1)),
+            RoaValidity::kExpiredCertificate);
+  EXPECT_EQ(rp.validate_roa(roa, Date(2019, 1, 1)),
+            RoaValidity::kExpiredCertificate);
+  size_t rejected = 0;
+  EXPECT_TRUE(rp.evaluate(Date(2026, 1, 1), &rejected).empty());
+  EXPECT_EQ(rejected, 1u);
+}
+
+TEST(RelyingParty, RejectsBadSignature) {
+  RelyingParty rp;
+  ResourceCertificate cert = make_cert(1, {Prefix::must_parse("10.0.0.0/8")});
+  cert.signature_valid = false;
+  rp.add_certificate(cert);
+  Roa roa;
+  roa.asn = Asn(1);
+  roa.prefixes.push_back({Prefix::must_parse("10.0.0.0/16"), 0});
+  roa.certificate_serial = 1;
+  rp.add_roa(roa);
+  EXPECT_EQ(rp.validate_roa(roa, Date(2022, 1, 1)),
+            RoaValidity::kBadSignature);
+  EXPECT_TRUE(rp.evaluate(Date(2022, 1, 1)).empty());
+}
+
+TEST(RelyingParty, RejectsResourceOverclaim) {
+  RelyingParty rp;
+  rp.add_certificate(make_cert(1, {Prefix::must_parse("10.0.0.0/8")}));
+  Roa roa;
+  roa.asn = Asn(1);
+  roa.prefixes.push_back({Prefix::must_parse("11.0.0.0/16"), 0});  // outside
+  roa.certificate_serial = 1;
+  rp.add_roa(roa);
+  EXPECT_EQ(rp.validate_roa(roa, Date(2022, 1, 1)),
+            RoaValidity::kResourceOverclaim);
+}
+
+TEST(RelyingParty, RejectsMalformedMaxLength) {
+  RelyingParty rp;
+  rp.add_certificate(make_cert(1, {Prefix::must_parse("10.0.0.0/8")}));
+  Roa roa;
+  roa.asn = Asn(1);
+  roa.prefixes.push_back({Prefix::must_parse("10.0.0.0/16"), 8});  // < len
+  roa.certificate_serial = 1;
+  EXPECT_EQ(rp.validate_roa(roa, Date(2022, 1, 1)), RoaValidity::kMalformed);
+  Roa roa2;
+  roa2.asn = Asn(1);
+  roa2.prefixes.push_back({Prefix::must_parse("10.0.0.0/16"), 33});  // > 32
+  roa2.certificate_serial = 1;
+  EXPECT_EQ(rp.validate_roa(roa2, Date(2022, 1, 1)), RoaValidity::kMalformed);
+}
+
+TEST(RelyingParty, RejectsUnknownCertificate) {
+  RelyingParty rp;
+  Roa roa;
+  roa.asn = Asn(1);
+  roa.certificate_serial = 42;
+  EXPECT_EQ(rp.validate_roa(roa, Date(2022, 1, 1)),
+            RoaValidity::kUnknownCertificate);
+}
+
+TEST(RelyingParty, DuplicateSerialRefused) {
+  RelyingParty rp;
+  EXPECT_TRUE(
+      rp.add_certificate(make_cert(1, {Prefix::must_parse("10.0.0.0/8")})));
+  EXPECT_FALSE(
+      rp.add_certificate(make_cert(1, {Prefix::must_parse("11.0.0.0/8")})));
+  EXPECT_EQ(rp.certificate_count(), 1u);
+}
+
+TEST(RelyingParty, MultiPrefixRoaEmitsOneVrpEach) {
+  RelyingParty rp;
+  rp.add_certificate(make_cert(1, {Prefix::must_parse("10.0.0.0/8"),
+                                   Prefix::must_parse("2001:db8::/32")}));
+  Roa roa;
+  roa.asn = Asn(64496);
+  roa.prefixes.push_back({Prefix::must_parse("10.1.0.0/16"), 20});
+  roa.prefixes.push_back({Prefix::must_parse("2001:db8::/48"), 0});
+  roa.certificate_serial = 1;
+  rp.add_roa(roa);
+  auto vrps = rp.evaluate(Date(2022, 1, 1));
+  EXPECT_EQ(vrps.size(), 2u);
+}
+
+TEST(RelyingParty, RoaWithAnyAsnOverOwnedSpaceIsAccepted) {
+  // A resource holder may authorize ANY origin ASN over its space (this
+  // is how the generator produces wrong-origin ROAs and how AS0 ROAs
+  // exist at all).
+  RelyingParty rp;
+  rp.add_certificate(make_cert(1, {Prefix::must_parse("10.0.0.0/8")}));
+  Roa roa;
+  roa.asn = Asn(0);
+  roa.prefixes.push_back({Prefix::must_parse("10.0.0.0/16"), 0});
+  roa.certificate_serial = 1;
+  EXPECT_EQ(rp.validate_roa(roa, Date(2022, 1, 1)), RoaValidity::kAccepted);
+}
+
+TEST(RoaValidity, Names) {
+  EXPECT_EQ(to_string(RoaValidity::kAccepted), "accepted");
+  EXPECT_EQ(to_string(RoaValidity::kResourceOverclaim),
+            "resource-overclaim");
+}
+
+}  // namespace
+}  // namespace manrs::rpki

@@ -1,0 +1,100 @@
+#include "rpki/archive.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace manrs::rpki {
+namespace {
+
+using net::Asn;
+using net::Prefix;
+using util::Date;
+
+TEST(VrpCsv, RoundTrip) {
+  std::vector<Vrp> vrps{
+      {Prefix::must_parse("10.0.0.0/8"), 24, Asn(64496), net::Rir::kRipe},
+      {Prefix::must_parse("2001:db8::/32"), 48, Asn(64497),
+       net::Rir::kApnic},
+  };
+  std::ostringstream out;
+  write_vrp_csv(out, vrps, Date(2022, 5, 1));
+
+  std::istringstream in(out.str());
+  size_t skipped = 0;
+  auto parsed = read_vrp_csv(in, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0], vrps[0]);
+  EXPECT_EQ(parsed[1], vrps[1]);
+}
+
+TEST(VrpCsv, HeaderMatchesRipeFormat) {
+  std::ostringstream out;
+  write_vrp_csv(out, {}, Date(2022, 5, 1));
+  EXPECT_EQ(out.str(),
+            "URI,ASN,IP Prefix,Max Length,Not Before,Not After\n");
+}
+
+TEST(VrpCsv, ReadsRealWorldShapedRows) {
+  // Rows in the exact shape RIPE publishes.
+  std::string text =
+      "URI,ASN,IP Prefix,Max Length,Not Before,Not After\n"
+      "rsync://rpki.ripe.net/repo/x.roa,AS3333,193.0.0.0/21,21,"
+      "2021-01-01,2023-01-01\n"
+      "rsync://rpki.apnic.net/repo/y.roa,AS4608,1.0.0.0/24,24,"
+      "2021-01-01,2023-01-01\n";
+  std::istringstream in(text);
+  auto vrps = read_vrp_csv(in);
+  ASSERT_EQ(vrps.size(), 2u);
+  EXPECT_EQ(vrps[0].asn, Asn(3333));
+  EXPECT_EQ(vrps[0].prefix, Prefix::must_parse("193.0.0.0/21"));
+  EXPECT_EQ(vrps[0].trust_anchor, net::Rir::kRipe);
+  EXPECT_EQ(vrps[1].trust_anchor, net::Rir::kApnic);
+}
+
+TEST(VrpCsv, SkipsMalformedRows) {
+  std::string text =
+      "URI,ASN,IP Prefix,Max Length,Not Before,Not After\n"
+      "u,ASxyz,10.0.0.0/8,8,a,b\n"      // bad ASN
+      "u,AS1,299.0.0.0/8,8,a,b\n"       // bad prefix
+      "u,AS1,10.0.0.0/8,notnum,a,b\n"   // bad max length
+      "u,AS1,10.0.0.0/8,7,a,b\n"        // max length < prefix length
+      "short,row\n"                     // too few columns
+      "u,AS1,10.0.0.0/8,8,a,b\n";       // good
+  std::istringstream in(text);
+  size_t skipped = 0;
+  auto vrps = read_vrp_csv(in, &skipped);
+  EXPECT_EQ(vrps.size(), 1u);
+  EXPECT_EQ(skipped, 5u);
+}
+
+TEST(ArchiveSeries, ExactAndAtOrBefore) {
+  RpkiArchiveSeries series;
+  series.add_snapshot(Date(2020, 5, 1),
+                      {{Prefix::must_parse("10.0.0.0/8"), 8, Asn(1)}});
+  series.add_snapshot(Date(2021, 5, 1),
+                      {{Prefix::must_parse("10.0.0.0/8"), 8, Asn(1)},
+                       {Prefix::must_parse("11.0.0.0/8"), 8, Asn(2)}});
+
+  ASSERT_NE(series.at(Date(2020, 5, 1)), nullptr);
+  EXPECT_EQ(series.at(Date(2020, 5, 1))->size(), 1u);
+  EXPECT_EQ(series.at(Date(2020, 6, 1)), nullptr);
+
+  // at_or_before picks the latest snapshot not after the query.
+  EXPECT_EQ(series.at_or_before(Date(2020, 12, 31))->size(), 1u);
+  EXPECT_EQ(series.at_or_before(Date(2022, 1, 1))->size(), 2u);
+  EXPECT_EQ(series.at_or_before(Date(2019, 1, 1)), nullptr);
+}
+
+TEST(ArchiveSeries, DatesSorted) {
+  RpkiArchiveSeries series;
+  series.add_snapshot(Date(2021, 5, 1), {});
+  series.add_snapshot(Date(2015, 5, 1), {});
+  auto dates = series.dates();
+  ASSERT_EQ(dates.size(), 2u);
+  EXPECT_LT(dates[0], dates[1]);
+}
+
+}  // namespace
+}  // namespace manrs::rpki

@@ -1,0 +1,195 @@
+#include "rpki/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace manrs::rpki {
+namespace {
+
+using net::Asn;
+using net::Prefix;
+
+VrpStore make_store(std::initializer_list<Vrp> vrps) {
+  VrpStore store;
+  for (const auto& v : vrps) store.add(v);
+  return store;
+}
+
+TEST(Rfc6811, NotFoundWhenNoCoveringVrp) {
+  VrpStore store = make_store({{Prefix::must_parse("10.0.0.0/8"), 8, Asn(1)}});
+  EXPECT_EQ(store.validate(Prefix::must_parse("11.0.0.0/8"), Asn(1)),
+            RpkiStatus::kNotFound);
+  // A more-specific VRP does not cover a less-specific route.
+  VrpStore store2 =
+      make_store({{Prefix::must_parse("10.1.0.0/16"), 16, Asn(1)}});
+  EXPECT_EQ(store2.validate(Prefix::must_parse("10.0.0.0/8"), Asn(1)),
+            RpkiStatus::kNotFound);
+}
+
+TEST(Rfc6811, ValidExactMatch) {
+  VrpStore store =
+      make_store({{Prefix::must_parse("192.0.2.0/24"), 24, Asn(64496)}});
+  EXPECT_EQ(store.validate(Prefix::must_parse("192.0.2.0/24"), Asn(64496)),
+            RpkiStatus::kValid);
+}
+
+TEST(Rfc6811, ValidViaMaxLength) {
+  VrpStore store =
+      make_store({{Prefix::must_parse("10.0.0.0/8"), 24, Asn(64496)}});
+  EXPECT_EQ(store.validate(Prefix::must_parse("10.1.2.0/24"), Asn(64496)),
+            RpkiStatus::kValid);
+  EXPECT_EQ(store.validate(Prefix::must_parse("10.0.0.0/8"), Asn(64496)),
+            RpkiStatus::kValid);
+}
+
+TEST(Rfc6811, InvalidLengthWhenTooSpecific) {
+  VrpStore store =
+      make_store({{Prefix::must_parse("10.0.0.0/8"), 16, Asn(64496)}});
+  EXPECT_EQ(store.validate(Prefix::must_parse("10.1.2.0/24"), Asn(64496)),
+            RpkiStatus::kInvalidLength);
+}
+
+TEST(Rfc6811, InvalidAsnWhenNoVrpMatchesOrigin) {
+  VrpStore store =
+      make_store({{Prefix::must_parse("10.0.0.0/8"), 24, Asn(64496)}});
+  EXPECT_EQ(store.validate(Prefix::must_parse("10.1.2.0/24"), Asn(64497)),
+            RpkiStatus::kInvalidAsn);
+}
+
+TEST(Rfc6811, AnyMatchingVrpMakesValid) {
+  // One VRP with wrong ASN, one correct: Valid wins (RFC 6811).
+  VrpStore store = make_store({
+      {Prefix::must_parse("10.0.0.0/8"), 8, Asn(1)},
+      {Prefix::must_parse("10.0.0.0/8"), 24, Asn(2)},
+  });
+  EXPECT_EQ(store.validate(Prefix::must_parse("10.1.0.0/16"), Asn(2)),
+            RpkiStatus::kValid);
+  // ASN matches but length fails on one VRP; another VRP has wrong ASN:
+  // Invalid Length (ASN match exists).
+  VrpStore store2 = make_store({
+      {Prefix::must_parse("10.0.0.0/8"), 8, Asn(2)},
+      {Prefix::must_parse("10.0.0.0/8"), 8, Asn(1)},
+  });
+  EXPECT_EQ(store2.validate(Prefix::must_parse("10.1.0.0/16"), Asn(2)),
+            RpkiStatus::kInvalidLength);
+}
+
+TEST(Rfc6811, As0NeverValidates) {
+  // RFC 7607/6483: an AS0 VRP marks space that must not be originated;
+  // it can only make announcements Invalid.
+  VrpStore store =
+      make_store({{Prefix::must_parse("203.0.113.0/24"), 24, Asn(0)}});
+  EXPECT_EQ(store.validate(Prefix::must_parse("203.0.113.0/24"), Asn(0)),
+            RpkiStatus::kInvalidAsn);
+  EXPECT_EQ(store.validate(Prefix::must_parse("203.0.113.0/24"), Asn(7)),
+            RpkiStatus::kInvalidAsn);
+}
+
+TEST(Rfc6811, As0PlusRealRoaStillValid) {
+  // The paper's AS23947 case: prefix registered under AS0 *and* correctly
+  // elsewhere would be Valid; with only AS0, Invalid.
+  VrpStore store = make_store({
+      {Prefix::must_parse("203.0.113.0/24"), 24, Asn(0)},
+      {Prefix::must_parse("203.0.113.0/24"), 24, Asn(23947)},
+  });
+  EXPECT_EQ(store.validate(Prefix::must_parse("203.0.113.0/24"), Asn(23947)),
+            RpkiStatus::kValid);
+}
+
+TEST(Rfc6811, Ipv6Routes) {
+  VrpStore store =
+      make_store({{Prefix::must_parse("2001:db8::/32"), 48, Asn(64496)}});
+  EXPECT_EQ(store.validate(Prefix::must_parse("2001:db8:1::/48"), Asn(64496)),
+            RpkiStatus::kValid);
+  EXPECT_EQ(store.validate(Prefix::must_parse("2001:db8::/64"), Asn(64496)),
+            RpkiStatus::kInvalidLength);
+  EXPECT_EQ(store.validate(Prefix::must_parse("2001:db9::/48"), Asn(64496)),
+            RpkiStatus::kNotFound);
+}
+
+TEST(VrpStore, CoveredAndCovering) {
+  VrpStore store =
+      make_store({{Prefix::must_parse("10.0.0.0/8"), 16, Asn(1)}});
+  EXPECT_TRUE(store.covered(Prefix::must_parse("10.9.0.0/16")));
+  EXPECT_FALSE(store.covered(Prefix::must_parse("11.0.0.0/8")));
+  auto covering = store.covering(Prefix::must_parse("10.9.0.0/16"));
+  ASSERT_EQ(covering.size(), 1u);
+  EXPECT_EQ(covering[0].asn, Asn(1));
+}
+
+TEST(Vrp, WellFormed) {
+  EXPECT_TRUE((Vrp{Prefix::must_parse("10.0.0.0/8"), 8, Asn(1)}).well_formed());
+  EXPECT_TRUE(
+      (Vrp{Prefix::must_parse("10.0.0.0/8"), 32, Asn(1)}).well_formed());
+  EXPECT_FALSE(
+      (Vrp{Prefix::must_parse("10.0.0.0/8"), 7, Asn(1)}).well_formed());
+  EXPECT_FALSE(
+      (Vrp{Prefix::must_parse("10.0.0.0/8"), 33, Asn(1)}).well_formed());
+  EXPECT_TRUE(
+      (Vrp{Prefix::must_parse("2001:db8::/32"), 128, Asn(1)}).well_formed());
+}
+
+TEST(StatusHelpers, InvalidPredicateAndNames) {
+  EXPECT_TRUE(is_invalid(RpkiStatus::kInvalidAsn));
+  EXPECT_TRUE(is_invalid(RpkiStatus::kInvalidLength));
+  EXPECT_FALSE(is_invalid(RpkiStatus::kValid));
+  EXPECT_FALSE(is_invalid(RpkiStatus::kNotFound));
+  EXPECT_EQ(to_string(RpkiStatus::kValid), "Valid");
+  EXPECT_EQ(to_string(RpkiStatus::kNotFound), "NotFound");
+}
+
+// Property test: the trie-backed validator agrees with a brute-force
+// implementation of RFC 6811 on random inputs.
+class RovVsBruteForceP : public ::testing::TestWithParam<uint64_t> {};
+
+RpkiStatus brute_force(const std::vector<Vrp>& vrps, const Prefix& route,
+                       Asn origin) {
+  bool any = false, asn_match = false, valid = false;
+  for (const auto& vrp : vrps) {
+    if (!vrp.prefix.contains(route)) continue;
+    any = true;
+    if (vrp.asn == origin && !vrp.asn.is_reserved_as0()) {
+      asn_match = true;
+      if (vrp.max_length >= route.length()) valid = true;
+    }
+  }
+  if (!any) return RpkiStatus::kNotFound;
+  if (valid) return RpkiStatus::kValid;
+  if (asn_match) return RpkiStatus::kInvalidLength;
+  return RpkiStatus::kInvalidAsn;
+}
+
+TEST_P(RovVsBruteForceP, Agrees) {
+  manrs::util::Rng rng(GetParam());
+  std::vector<Vrp> vrps;
+  VrpStore store;
+  for (int i = 0; i < 200; ++i) {
+    unsigned len = 8 + static_cast<unsigned>(rng.uniform(17));  // 8..24
+    // Cluster addresses so covering relations actually occur.
+    uint32_t addr = static_cast<uint32_t>(rng.uniform(16)) << 24;
+    Prefix p(net::IpAddress::v4(addr | (static_cast<uint32_t>(rng.next()) &
+                                        0x00FFFF00)),
+             len);
+    unsigned maxlen = len + static_cast<unsigned>(rng.uniform(33 - len));
+    Vrp vrp{p, maxlen, Asn(static_cast<uint32_t>(rng.uniform(6)))};
+    vrps.push_back(vrp);
+    store.add(vrp);
+  }
+  for (int q = 0; q < 300; ++q) {
+    unsigned len = 8 + static_cast<unsigned>(rng.uniform(25));  // 8..32
+    uint32_t addr = static_cast<uint32_t>(rng.uniform(16)) << 24;
+    Prefix route(net::IpAddress::v4(addr | (static_cast<uint32_t>(rng.next()) &
+                                            0x00FFFFFF)),
+                 len);
+    Asn origin(static_cast<uint32_t>(rng.uniform(6)));
+    EXPECT_EQ(store.validate(route, origin), brute_force(vrps, route, origin))
+        << route.to_string() << " " << origin.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RovVsBruteForceP,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace manrs::rpki

@@ -1,0 +1,120 @@
+#include "irr/rpsl.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace manrs::irr {
+namespace {
+
+TEST(RpslParser, SingleObject) {
+  auto objects = parse_rpsl(
+      "route:      192.0.2.0/24\n"
+      "origin:     AS64496\n"
+      "mnt-by:     MAINT-EXAMPLE\n"
+      "source:     RADB\n");
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].object_class(), "route");
+  EXPECT_EQ(objects[0].key(), "192.0.2.0/24");
+  EXPECT_EQ(objects[0].first("origin"), "AS64496");
+}
+
+TEST(RpslParser, MultipleObjectsSeparatedByBlankLines) {
+  auto objects = parse_rpsl(
+      "route: 10.0.0.0/8\norigin: AS1\n"
+      "\n\n"
+      "route: 11.0.0.0/8\norigin: AS2\n");
+  ASSERT_EQ(objects.size(), 2u);
+  EXPECT_EQ(objects[1].first("origin"), "AS2");
+}
+
+TEST(RpslParser, ContinuationLines) {
+  auto objects = parse_rpsl(
+      "as-set: AS-EXAMPLE\n"
+      "members: AS1, AS2,\n"
+      "         AS3, AS4\n"
+      "+        AS5\n");
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].first("members"), "AS1, AS2, AS3, AS4 AS5");
+}
+
+TEST(RpslParser, CommentsStripped) {
+  auto objects = parse_rpsl(
+      "# leading file comment\n"
+      "route: 10.0.0.0/8  # inline comment\n"
+      "origin: AS1\n");
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].key(), "10.0.0.0/8");
+}
+
+TEST(RpslParser, AttributeNamesLowercased) {
+  auto objects = parse_rpsl("ROUTE: 10.0.0.0/8\nOrigin: AS1\n");
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].object_class(), "route");
+  EXPECT_TRUE(objects[0].first("origin").has_value());
+}
+
+TEST(RpslParser, MalformedLinesCounted) {
+  size_t malformed = 0;
+  auto objects = parse_rpsl(
+      "route: 10.0.0.0/8\n"
+      "this line has no colon\n"
+      "origin: AS1\n",
+      &malformed);
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(malformed, 1u);
+  EXPECT_EQ(objects[0].first("origin"), "AS1");
+}
+
+TEST(RpslParser, RepeatedAttributes) {
+  auto objects = parse_rpsl(
+      "aut-num: AS1\n"
+      "import: from AS2 accept ANY\n"
+      "import: from AS3 accept AS3\n");
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].all("import").size(), 2u);
+}
+
+TEST(RpslParser, EmptyInput) {
+  EXPECT_TRUE(parse_rpsl("").empty());
+  EXPECT_TRUE(parse_rpsl("\n\n# only comments\n\n").empty());
+}
+
+TEST(RpslParser, CrLfTolerated) {
+  auto objects = parse_rpsl("route: 10.0.0.0/8\r\norigin: AS1\r\n");
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].first("origin"), "AS1");
+}
+
+TEST(RpslWriter, RoundTrip) {
+  RpslObject obj;
+  obj.attributes.push_back({"route", "192.0.2.0/24"});
+  obj.attributes.push_back({"origin", "AS64496"});
+  obj.attributes.push_back({"source", "RADB"});
+  std::ostringstream out;
+  write_rpsl(out, obj);
+
+  auto parsed = parse_rpsl(out.str());
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].attributes.size(), 3u);
+  EXPECT_EQ(parsed[0].key(), "192.0.2.0/24");
+  EXPECT_EQ(parsed[0].first("source"), "RADB");
+}
+
+TEST(RpslWriter, ConcatenatedObjectsRoundTrip) {
+  RpslObject a, b;
+  a.attributes.push_back({"route", "10.0.0.0/8"});
+  a.attributes.push_back({"origin", "AS1"});
+  b.attributes.push_back({"as-set", "AS-X"});
+  b.attributes.push_back({"members", "AS1, AS2"});
+  std::ostringstream out;
+  write_rpsl(out, a);
+  write_rpsl(out, b);
+  auto parsed = parse_rpsl(out.str());
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].object_class(), "route");
+  EXPECT_EQ(parsed[1].object_class(), "as-set");
+}
+
+}  // namespace
+}  // namespace manrs::irr

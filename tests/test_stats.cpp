@@ -1,0 +1,174 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace manrs::util {
+namespace {
+
+TEST(EmpiricalDistribution, BasicMoments) {
+  EmpiricalDistribution d({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 4.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 1.25);
+}
+
+TEST(EmpiricalDistribution, Quantiles) {
+  EmpiricalDistribution d({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(d.median(), 5.0);
+}
+
+TEST(EmpiricalDistribution, MedianOddCount) {
+  EmpiricalDistribution d({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(d.median(), 3.0);
+}
+
+TEST(EmpiricalDistribution, Cdf) {
+  EmpiricalDistribution d({1.0, 2.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(d.cdf(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.cdf(100.0), 1.0);
+}
+
+TEST(EmpiricalDistribution, MassAt) {
+  EmpiricalDistribution d({100.0, 100.0, 0.0, 50.0});
+  EXPECT_DOUBLE_EQ(d.mass_at(100.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.mass_at(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(d.mass_at(42.0), 0.0);
+}
+
+TEST(EmpiricalDistribution, CdfSeries) {
+  EmpiricalDistribution d({0.0, 50.0, 100.0});
+  auto series = d.cdf_series(0, 100, 5);
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_DOUBLE_EQ(series.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().first, 100.0);
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+  // CDF is monotone.
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+}
+
+TEST(EmpiricalDistribution, EmptyThrowsOnQuantile) {
+  EmpiricalDistribution d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_THROW(d.quantile(0.5), std::logic_error);
+  EXPECT_THROW(d.min(), std::logic_error);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.0);
+}
+
+TEST(EmpiricalDistribution, AddKeepsOrderCorrect) {
+  EmpiricalDistribution d;
+  d.add(3.0);
+  d.add(1.0);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  d.add(0.5);  // after a sorted read
+  EXPECT_DOUBLE_EQ(d.min(), 0.5);
+}
+
+TEST(Percent, Format) {
+  EXPECT_EQ(percent(83.449), "83.4%");
+  EXPECT_EQ(percent(0.0), "0.0%");
+  EXPECT_EQ(percent(100.0), "100.0%");
+}
+
+TEST(FormatRow, PadsToWidths) {
+  EXPECT_EQ(format_row({"a", "bb"}, {4, 4}), "a    bb  ");
+  // Missing widths default to 12.
+  EXPECT_EQ(format_row({"x"}, {}), std::string("x") + std::string(11, ' '));
+  EXPECT_EQ(format_row({}, {}), "");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a.next() != b.next();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(10), 10u);
+    double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    int64_t v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ParetoRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.pareto_int(3, 1.2, 100);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 100u);
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsZeroWeights) {
+  Rng rng(7);
+  std::vector<double> weights{0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.weighted_index(weights), 1u);
+  }
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(7);
+  auto sample = rng.sample_indices(50, 20);
+  ASSERT_EQ(sample.size(), 20u);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(std::unique(sample.begin(), sample.end()), sample.end());
+  EXPECT_LT(sample.back(), 50u);
+}
+
+TEST(Rng, SampleMoreThanAvailable) {
+  Rng rng(7);
+  auto sample = rng.sample_indices(5, 10);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng base(9);
+  Rng s1 = base.fork(1);
+  Rng s2 = base.fork(2);
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) differ |= s1.next() != s2.next();
+  EXPECT_TRUE(differ);
+}
+
+// Statistical sanity: uniform01 mean ~0.5 over many draws.
+TEST(Rng, Uniform01Mean) {
+  Rng rng(1234);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace manrs::util

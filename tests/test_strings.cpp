@@ -1,0 +1,93 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace manrs::util {
+namespace {
+
+TEST(Split, PreservesEmptyFields) {
+  auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, EmptyInputIsOneEmptyField) {
+  auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Split, TrailingDelimiter) {
+  auto parts = split("a|b|", '|');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(SplitWs, CollapsesRuns) {
+  auto parts = split_ws("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(SplitWs, EmptyAndAllWhitespace) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws(" \t\n").empty());
+}
+
+TEST(Trim, BothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Case, ToLowerAndIequals) {
+  EXPECT_EQ(to_lower("RaDb"), "radb");
+  EXPECT_TRUE(iequals("RIPE", "ripe"));
+  EXPECT_FALSE(iequals("RIPE", "RIPEE"));
+  EXPECT_FALSE(iequals("a", "b"));
+}
+
+TEST(Affixes, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("route6", "route"));
+  EXPECT_FALSE(starts_with("rou", "route"));
+  EXPECT_TRUE(ends_with("table.mrt", ".mrt"));
+  EXPECT_FALSE(ends_with("mrt", "table.mrt"));
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join(std::vector<std::string>{"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join(std::vector<std::string>{}, ","), "");
+  EXPECT_EQ(join(std::vector<std::string>{"x"}, ","), "x");
+}
+
+TEST(ParseUint, Strict) {
+  EXPECT_EQ(parse_uint<uint32_t>("42"), 42u);
+  EXPECT_EQ(parse_uint<uint32_t>("0"), 0u);
+  EXPECT_FALSE(parse_uint<uint32_t>(""));
+  EXPECT_FALSE(parse_uint<uint32_t>("42x"));
+  EXPECT_FALSE(parse_uint<uint32_t>("-1"));
+  EXPECT_FALSE(parse_uint<uint8_t>("256"));  // overflow
+  EXPECT_EQ(parse_uint<uint8_t>("255"), 255u);
+}
+
+TEST(ParseInt, Strict) {
+  EXPECT_EQ(parse_int<int>("-7"), -7);
+  EXPECT_FALSE(parse_int<int>("7.5"));
+  EXPECT_FALSE(parse_int<int>(" 7"));
+}
+
+TEST(ParseDouble, Strict) {
+  EXPECT_DOUBLE_EQ(*parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-1e3"), -1000.0);
+  EXPECT_FALSE(parse_double("abc"));
+  EXPECT_FALSE(parse_double("1.0x"));
+  EXPECT_FALSE(parse_double(""));
+}
+
+}  // namespace
+}  // namespace manrs::util

@@ -1,0 +1,252 @@
+#include "topogen/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "astopo/asrank.h"
+#include "topogen/casestudies.h"
+#include "topogen/history.h"
+
+namespace manrs::topogen {
+namespace {
+
+using astopo::SizeClass;
+using net::Asn;
+
+// One shared tiny scenario for the whole suite (generation is the
+// expensive part).
+const Scenario& tiny_scenario() {
+  static const Scenario scenario = [] {
+    return build_scenario(ScenarioConfig::tiny());
+  }();
+  return scenario;
+}
+
+TEST(Scenario, Deterministic) {
+  ScenarioConfig config = ScenarioConfig::tiny();
+  Scenario a = build_scenario(config);
+  Scenario b = build_scenario(config);
+  EXPECT_EQ(a.graph.as_count(), b.graph.as_count());
+  EXPECT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  EXPECT_EQ(a.announcements(), b.announcements());
+  EXPECT_EQ(a.vrps.size(), b.vrps.size());
+  EXPECT_EQ(a.manrs.participant_count(), b.manrs.participant_count());
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  ScenarioConfig config = ScenarioConfig::tiny();
+  config.seed = 1;
+  Scenario a = build_scenario(config);
+  config.seed = 2;
+  Scenario b = build_scenario(config);
+  EXPECT_NE(a.announcements(), b.announcements());
+}
+
+TEST(Scenario, PopulationCountsMatchConfig) {
+  const Scenario& s = tiny_scenario();
+  const ScenarioConfig& c = s.config;
+  size_t small_manrs = 0, medium_manrs = 0, large_manrs = 0;
+  for (const auto& p : s.profiles) {
+    if (!p.manrs) continue;
+    if (p.size == SizeClass::kSmall) ++small_manrs;
+    if (p.size == SizeClass::kMedium) ++medium_manrs;
+    if (p.size == SizeClass::kLarge) ++large_manrs;
+  }
+  EXPECT_EQ(small_manrs, c.small_manrs.count);
+  EXPECT_EQ(medium_manrs, c.medium_manrs.count);
+  EXPECT_EQ(large_manrs, c.large_manrs.count);
+}
+
+TEST(Scenario, DegreeClassesMatchProfiles) {
+  // The generator's size labels must agree with what the analysis will
+  // infer from the topology (the Dhamdhere thresholds).
+  const Scenario& s = tiny_scenario();
+  size_t checked = 0;
+  for (const auto& p : s.profiles) {
+    SizeClass derived = astopo::classify_size(s.graph, p.asn);
+    EXPECT_EQ(derived, p.size) << p.asn.to_string();
+    ++checked;
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(Scenario, EveryAsReachesTier1) {
+  // Connectivity: every announcement must reach the vantage points
+  // (checked by propagating a clean route from a few origins).
+  const Scenario& s = tiny_scenario();
+  sim::PropagationSim simulator = s.make_sim();
+  size_t sampled = 0;
+  for (const auto& p : s.profiles) {
+    if (sampled >= 25) break;
+    if (p.asn.value() % 7 != 0) continue;
+    ++sampled;
+    auto result = simulator.propagate(p.asn, sim::AnnouncementClass{});
+    size_t reached = 0;
+    for (Asn vantage : s.vantage_points) {
+      if (!simulator.path_from(result, vantage).empty()) ++reached;
+    }
+    EXPECT_GT(reached, s.vantage_points.size() / 2) << p.asn.to_string();
+  }
+}
+
+TEST(Scenario, ManrsRegistryConsistentWithProfiles) {
+  const Scenario& s = tiny_scenario();
+  for (const auto& p : s.profiles) {
+    EXPECT_EQ(s.manrs.is_member(p.asn), p.manrs) << p.asn.to_string();
+    if (p.manrs) {
+      ASSERT_TRUE(s.manrs.program_of(p.asn).has_value());
+      EXPECT_EQ(*s.manrs.program_of(p.asn), p.program);
+    }
+  }
+}
+
+TEST(Scenario, As2OrgCoversEveryAs) {
+  const Scenario& s = tiny_scenario();
+  for (const auto& p : s.profiles) {
+    const astopo::Organization* org = s.as2org.organization_of(p.asn);
+    ASSERT_NE(org, nullptr) << p.asn.to_string();
+    EXPECT_EQ(org->org_id, p.org_id);
+  }
+}
+
+TEST(Scenario, CdnProgramSizeMatchesConfig) {
+  const Scenario& s = tiny_scenario();
+  size_t cdn_ases = s.manrs.member_ases(core::Program::kCdn).size();
+  // Case-study CDN orgs contribute a fixed number of registered ASes (4);
+  // the generator tops up to the configured count but org-granularity can
+  // overshoot slightly.
+  EXPECT_GE(cdn_ases, s.config.cdn_program_ases);
+  EXPECT_LE(cdn_ases, s.config.cdn_program_ases + 3);
+}
+
+TEST(Scenario, AnnouncementsHaveKnownOrigins) {
+  const Scenario& s = tiny_scenario();
+  for (const auto& po : s.announcements()) {
+    EXPECT_NE(s.profile_of(po.origin), nullptr) << po.to_string();
+  }
+}
+
+TEST(Scenario, QuietAsesOriginateNothing) {
+  const Scenario& s = tiny_scenario();
+  // The "8 orgs announcing only from unregistered ASes" pattern requires
+  // quiet registered ASes; verify via announcements.
+  std::unordered_set<uint32_t> originating;
+  for (const auto& po : s.announcements()) {
+    originating.insert(po.origin.value());
+  }
+  size_t quiet_members = 0;
+  for (Asn asn : s.manrs.member_ases()) {
+    if (!originating.count(asn.value())) ++quiet_members;
+  }
+  EXPECT_GT(quiet_members, 0u);
+}
+
+TEST(Scenario, VrpsEvaluateFromRelyingParty) {
+  const Scenario& s = tiny_scenario();
+  EXPECT_GT(s.vrps.size(), 0u);
+  EXPECT_GT(s.relying_party.roa_count(), 0u);
+  EXPECT_GT(s.relying_party.certificate_count(), 0u);
+  // Every dated VRP must be within the generated year range.
+  for (const auto& dated : s.dated_vrps) {
+    EXPECT_GE(dated.year, s.config.first_year);
+    EXPECT_LE(dated.year, s.config.last_year);
+  }
+}
+
+TEST(Scenario, HistoryMonotone) {
+  const Scenario& s = tiny_scenario();
+  size_t prev_vrps = 0;
+  for (int year = s.config.first_year; year <= s.config.last_year; ++year) {
+    size_t vrps = s.vrps_in_year(year).size();
+    EXPECT_GE(vrps, prev_vrps) << year;  // ROAs only accumulate
+    prev_vrps = vrps;
+  }
+  // Announcements grow over the years (modulo the anchor dip, which only
+  // affects 2021+ and is small).
+  EXPECT_LT(s.announcements_in_year(2015).size(),
+            s.announcements_in_year(2022).size());
+  // Membership grows with join dates.
+  EXPECT_LT(s.manrs.member_ases_at(util::Date(2016, 5, 1)).size(),
+            s.manrs.member_ases_at(util::Date(2022, 5, 1)).size());
+}
+
+TEST(Scenario, IrrHasAuthoritativeAndMirrorDatabases) {
+  const Scenario& s = tiny_scenario();
+  EXPECT_NE(s.irr.find_database("RADB"), nullptr);
+  EXPECT_FALSE(s.irr.find_database("RADB")->authoritative());
+  EXPECT_NE(s.irr.find_database("RIPE"), nullptr);
+  EXPECT_TRUE(s.irr.find_database("RIPE")->authoritative());
+  // RADB mirrors the authoritative registries, so it is the biggest.
+  EXPECT_GT(s.irr.find_database("RADB")->route_count(),
+            s.irr.find_database("RIPE")->route_count() / 2);
+}
+
+TEST(CaseStudies, TemplatesPresentInScenario) {
+  const Scenario& s = tiny_scenario();
+  ASSERT_EQ(s.case_study_orgs.size(), 6u);
+  for (const auto& [label, org_id] : s.case_study_orgs) {
+    const core::Participant* participant = s.manrs.find_org(org_id);
+    ASSERT_NE(participant, nullptr) << label;
+    EXPECT_FALSE(participant->registered_ases.empty());
+  }
+}
+
+TEST(CaseStudies, TemplateDataMatchesTable1) {
+  const auto& templates = case_study_templates();
+  ASSERT_EQ(templates.size(), 6u);
+  EXPECT_EQ(templates[0].label, "CDN1");
+  EXPECT_EQ(templates[0].rpki_invalid_sibling, 3u);
+  EXPECT_EQ(templates[0].irr_invalid_sibling, 38u);
+  EXPECT_EQ(templates[0].irr_invalid_unrelated, 10u);
+  EXPECT_EQ(templates[3].label, "ISP1");
+  EXPECT_EQ(templates[3].irr_invalid_sibling +
+                templates[3].irr_invalid_unrelated,
+            302u);
+  // ISP1 has 24 registered ASes.
+  size_t registered = 0;
+  for (const auto& as_tpl : templates[3].ases) {
+    if (as_tpl.registered) ++registered;
+  }
+  EXPECT_EQ(registered, 24u);
+}
+
+TEST(WeeklySeries, ShapeAndChurn) {
+  const Scenario& s = tiny_scenario();
+  WeeklySeries series = build_weekly_series(s, 12);
+  ASSERT_EQ(series.dates.size(), 12u);
+  ASSERT_EQ(series.announcements.size(), 12u);
+  EXPECT_EQ(series.dates.back(), s.snapshot_date);
+  for (size_t w = 1; w < series.dates.size(); ++w) {
+    EXPECT_EQ(series.dates[w].to_days() - series.dates[w - 1].to_days(), 7);
+  }
+  // Week-to-week tables differ (churn exists) but are similar in size.
+  EXPECT_NE(series.announcements[0], series.announcements[11]);
+  double ratio = static_cast<double>(series.announcements[0].size()) /
+                 static_cast<double>(series.announcements[11].size());
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.1);
+  EXPECT_GT(series.cdn1_new, 0u);
+  EXPECT_GT(series.cdn1_stopped, 0u);
+}
+
+TEST(WeeklySeries, FinalWeekMatchesSnapshotConformance) {
+  // The last week's table must contain exactly the scenario's current
+  // announcements (no lingering leaks or leavers).
+  const Scenario& s = tiny_scenario();
+  WeeklySeries series = build_weekly_series(s, 12);
+  auto base = s.announcements();
+  std::sort(base.begin(), base.end());
+  auto last = series.announcements.back();
+  std::sort(last.begin(), last.end());
+  EXPECT_EQ(base, last);
+}
+
+TEST(WeeklySeries, FluctuatingAsesAreMembers) {
+  const Scenario& s = tiny_scenario();
+  WeeklySeries series = build_weekly_series(s, 12);
+  for (Asn asn : series.fluctuating) {
+    EXPECT_TRUE(s.manrs.is_member(asn)) << asn.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace manrs::topogen

@@ -1,0 +1,167 @@
+#include "netbase/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace manrs::net {
+namespace {
+
+TEST(PrefixTrie, ExactMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::must_parse("10.0.0.0/8"), 1);
+  trie.insert(Prefix::must_parse("10.0.0.0/8"), 2);  // multi-value
+  trie.insert(Prefix::must_parse("10.0.0.0/16"), 3);
+
+  EXPECT_EQ(trie.size(), 3u);
+  EXPECT_EQ(trie.exact(Prefix::must_parse("10.0.0.0/8")),
+            (std::vector<int>{1, 2}));
+  EXPECT_EQ(trie.exact(Prefix::must_parse("10.0.0.0/16")),
+            (std::vector<int>{3}));
+  EXPECT_TRUE(trie.exact(Prefix::must_parse("10.0.0.0/12")).empty());
+}
+
+TEST(PrefixTrie, CoveringOrderedLeastSpecificFirst) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::must_parse("10.0.0.0/8"), 8);
+  trie.insert(Prefix::must_parse("10.1.0.0/16"), 16);
+  trie.insert(Prefix::must_parse("10.1.2.0/24"), 24);
+  trie.insert(Prefix::must_parse("10.2.0.0/16"), 99);  // sibling, not covering
+
+  auto covering = trie.covering(Prefix::must_parse("10.1.2.0/24"));
+  EXPECT_EQ(covering, (std::vector<int>{8, 16, 24}));
+
+  covering = trie.covering(Prefix::must_parse("10.1.2.128/25"));
+  EXPECT_EQ(covering, (std::vector<int>{8, 16, 24}));
+
+  covering = trie.covering(Prefix::must_parse("10.3.0.0/16"));
+  EXPECT_EQ(covering, (std::vector<int>{8}));
+
+  covering = trie.covering(Prefix::must_parse("11.0.0.0/8"));
+  EXPECT_TRUE(covering.empty());
+}
+
+TEST(PrefixTrie, RootEntryCoversEverythingInFamily) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::must_parse("0.0.0.0/0"), 0);
+  EXPECT_EQ(trie.covering(Prefix::must_parse("203.0.113.0/24")).size(), 1u);
+  EXPECT_TRUE(trie.covering(Prefix::must_parse("2001:db8::/32")).empty());
+}
+
+TEST(PrefixTrie, CoveredSubtree) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::must_parse("10.0.0.0/8"), 8);
+  trie.insert(Prefix::must_parse("10.1.0.0/16"), 16);
+  trie.insert(Prefix::must_parse("10.1.2.0/24"), 24);
+  trie.insert(Prefix::must_parse("11.0.0.0/8"), 11);
+
+  std::vector<int> covered;
+  trie.for_each_covered(Prefix::must_parse("10.1.0.0/16"),
+                        [&](int v) { covered.push_back(v); });
+  std::sort(covered.begin(), covered.end());
+  EXPECT_EQ(covered, (std::vector<int>{16, 24}));
+
+  covered.clear();
+  trie.for_each_covered(Prefix::must_parse("10.0.0.0/8"),
+                        [&](int v) { covered.push_back(v); });
+  std::sort(covered.begin(), covered.end());
+  EXPECT_EQ(covered, (std::vector<int>{8, 16, 24}));
+}
+
+TEST(PrefixTrie, AnyCovering) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::must_parse("10.0.0.0/8"), 1);
+  EXPECT_TRUE(trie.any_covering(Prefix::must_parse("10.200.0.0/16")));
+  EXPECT_FALSE(trie.any_covering(Prefix::must_parse("12.0.0.0/8")));
+  // A /16 entry does not cover its /8 parent.
+  PrefixTrie<int> trie2;
+  trie2.insert(Prefix::must_parse("10.1.0.0/16"), 1);
+  EXPECT_FALSE(trie2.any_covering(Prefix::must_parse("10.0.0.0/8")));
+}
+
+TEST(PrefixTrie, FamiliesAreSeparate) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::must_parse("::/0"), 6);
+  trie.insert(Prefix::must_parse("0.0.0.0/0"), 4);
+  EXPECT_EQ(trie.covering(Prefix::must_parse("2001:db8::/32")),
+            (std::vector<int>{6}));
+  EXPECT_EQ(trie.covering(Prefix::must_parse("10.0.0.0/8")),
+            (std::vector<int>{4}));
+}
+
+TEST(PrefixTrie, ClearResets) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::must_parse("10.0.0.0/8"), 1);
+  trie.clear();
+  EXPECT_TRUE(trie.empty());
+  EXPECT_TRUE(trie.covering(Prefix::must_parse("10.0.0.0/8")).empty());
+}
+
+TEST(PrefixTrie, ForEachVisitsAll) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::must_parse("10.0.0.0/8"), 1);
+  trie.insert(Prefix::must_parse("2001:db8::/32"), 2);
+  int count = 0, sum = 0;
+  trie.for_each([&](int v) {
+    ++count;
+    sum += v;
+  });
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sum, 3);
+}
+
+// Property test: trie covering/covered results agree with a brute-force
+// linear scan over randomly generated prefixes.
+class TrieVsLinearP : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TrieVsLinearP, MatchesLinearScan) {
+  manrs::util::Rng rng(GetParam());
+  std::vector<Prefix> stored;
+  PrefixTrie<size_t> trie;
+  for (size_t i = 0; i < 300; ++i) {
+    bool v6 = rng.bernoulli(0.2);
+    unsigned maxlen = v6 ? 64 : 32;
+    unsigned len = static_cast<unsigned>(rng.uniform(maxlen + 1));
+    IpAddress addr =
+        v6 ? IpAddress::v6(rng.next(), 0) : IpAddress::v4(
+                 static_cast<uint32_t>(rng.next()));
+    Prefix p(addr, len);
+    stored.push_back(p);
+    trie.insert(p, i);
+  }
+
+  for (size_t q = 0; q < 100; ++q) {
+    bool v6 = rng.bernoulli(0.2);
+    unsigned maxlen = v6 ? 64 : 32;
+    unsigned len = static_cast<unsigned>(rng.uniform(maxlen + 1));
+    IpAddress addr =
+        v6 ? IpAddress::v6(rng.next(), 0) : IpAddress::v4(
+                 static_cast<uint32_t>(rng.next()));
+    Prefix query(addr, len);
+
+    std::vector<size_t> expected_covering, expected_covered;
+    for (size_t i = 0; i < stored.size(); ++i) {
+      if (stored[i].contains(query)) expected_covering.push_back(i);
+      if (query.contains(stored[i])) expected_covered.push_back(i);
+    }
+    auto got_covering = trie.covering(query);
+    std::sort(got_covering.begin(), got_covering.end());
+    std::sort(expected_covering.begin(), expected_covering.end());
+    EXPECT_EQ(got_covering, expected_covering);
+
+    std::vector<size_t> got_covered;
+    trie.for_each_covered(query, [&](size_t v) { got_covered.push_back(v); });
+    std::sort(got_covered.begin(), got_covered.end());
+    EXPECT_EQ(got_covered, expected_covered);
+
+    EXPECT_EQ(trie.any_covering(query), !expected_covering.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieVsLinearP,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace manrs::net

@@ -1,0 +1,179 @@
+// manrs_validate: classify routes against RPKI and IRR data from files,
+// and score MANRS Action 4 conformance per origin AS.
+//
+//   manrs_validate --vrps vrps.csv [--irr dump.db]... [--routes pfx2as.txt]
+//
+// Inputs use the real-world formats (RIPE validated-ROA CSV, RPSL dumps,
+// CAIDA pfx2as); without --routes, routes are read from stdin as
+// "<prefix> <asn>" lines. Output, one line per route:
+//
+//   <prefix> <origin> rpki=<status> irr=<status> manrs=<class>
+//
+// followed by a per-AS conformance table. This is the operator-facing
+// half of the paper's pipeline with no synthetic data involved.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "astopo/prefix2as.h"
+#include "core/conformance.h"
+#include "irr/database.h"
+#include "irr/validation.h"
+#include "rpki/archive.h"
+#include "rpki/validation.h"
+#include "util/strings.h"
+
+using namespace manrs;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: manrs_validate --vrps <vrps.csv> [--irr <dump.db>]... "
+               "[--routes <pfx2as.txt>] [--threshold <pct>]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string vrps_path;
+  std::vector<std::string> irr_paths;
+  std::string routes_path;
+  double threshold = core::kIspAction4Threshold;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "manrs_validate: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--vrps") == 0) {
+      vrps_path = need_value("--vrps");
+    } else if (std::strcmp(argv[i], "--irr") == 0) {
+      irr_paths.emplace_back(need_value("--irr"));
+    } else if (std::strcmp(argv[i], "--routes") == 0) {
+      routes_path = need_value("--routes");
+    } else if (std::strcmp(argv[i], "--threshold") == 0) {
+      threshold = std::atof(need_value("--threshold"));
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (vrps_path.empty() && irr_paths.empty()) {
+    usage();
+    return 2;
+  }
+
+  // Load VRPs.
+  rpki::VrpStore vrps;
+  if (!vrps_path.empty()) {
+    std::ifstream in(vrps_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", vrps_path.c_str());
+      return 1;
+    }
+    size_t skipped = 0;
+    auto loaded = rpki::read_vrp_csv(in, &skipped);
+    vrps.add_all(loaded);
+    std::fprintf(stderr, "loaded %zu VRPs from %s (%zu rows skipped)\n",
+                 loaded.size(), vrps_path.c_str(), skipped);
+  }
+
+  // Load IRR dumps (each file becomes one registry source; the file stem
+  // is the source name).
+  irr::IrrRegistry registry;
+  for (const std::string& path : irr_paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::string name = path;
+    if (auto pos = name.find_last_of('/'); pos != std::string::npos) {
+      name = name.substr(pos + 1);
+    }
+    auto& db = registry.add_database(name, /*authoritative=*/false);
+    size_t malformed = 0;
+    size_t objects = db.load_rpsl(in, &malformed);
+    std::fprintf(stderr,
+                 "loaded %zu objects from %s (%zu malformed lines)\n",
+                 objects, path.c_str(), malformed);
+  }
+
+  // Routes: pfx2as file or stdin lines.
+  astopo::Prefix2As routes;
+  if (!routes_path.empty()) {
+    std::ifstream in(routes_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", routes_path.c_str());
+      return 1;
+    }
+    size_t bad = 0;
+    routes = astopo::read_prefix2as(in, &bad);
+    if (bad > 0) {
+      std::fprintf(stderr, "%zu malformed route lines skipped\n", bad);
+    }
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      auto fields = util::split_ws(line);
+      if (fields.size() < 2) continue;
+      auto prefix = net::Prefix::parse(fields[0]);
+      auto asn = net::Asn::parse(fields[1]);
+      if (prefix && asn) {
+        routes.push_back({*prefix, *asn});
+      } else {
+        std::fprintf(stderr, "skipping malformed line: %s\n", line.c_str());
+      }
+    }
+  }
+
+  // Classify.
+  struct AsAccumulator {
+    size_t total = 0;
+    size_t conformant = 0;
+  };
+  std::map<uint32_t, AsAccumulator> per_as;
+  for (const auto& route : routes) {
+    rpki::RpkiStatus rpki = vrps.validate(route.prefix, route.origin);
+    irr::IrrStatus irr = irr::validate_route(registry, route.prefix,
+                                             route.origin);
+    core::ConformanceClass cls = core::classify_conformance(rpki, irr);
+    const char* cls_name =
+        cls == core::ConformanceClass::kConformant
+            ? "conformant"
+            : (cls == core::ConformanceClass::kUnconformant
+                   ? "UNCONFORMANT"
+                   : "unregistered");
+    std::printf("%-24s %-10s rpki=%-13s irr=%-13s manrs=%s\n",
+                route.prefix.to_string().c_str(),
+                route.origin.to_string().c_str(),
+                std::string(rpki::to_string(rpki)).c_str(),
+                std::string(irr::to_string(irr)).c_str(), cls_name);
+    AsAccumulator& acc = per_as[route.origin.value()];
+    ++acc.total;
+    if (cls == core::ConformanceClass::kConformant) ++acc.conformant;
+  }
+
+  if (!per_as.empty()) {
+    std::printf("\nper-AS MANRS Action 4 summary (threshold %.0f%%):\n",
+                threshold);
+    for (const auto& [asn, acc] : per_as) {
+      double pct = acc.total
+                       ? 100.0 * static_cast<double>(acc.conformant) /
+                             static_cast<double>(acc.total)
+                       : 0.0;
+      std::printf("  AS%-10u %4zu/%-4zu conformant (%5.1f%%)  %s\n", asn,
+                  acc.conformant, acc.total, pct,
+                  pct >= threshold ? "PASS" : "FAIL");
+    }
+  }
+  return 0;
+}
