@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_filtering.dir/ablate_filtering.cpp.o"
+  "CMakeFiles/ablate_filtering.dir/ablate_filtering.cpp.o.d"
+  "ablate_filtering"
+  "ablate_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_hegemony_trim.dir/ablate_hegemony_trim.cpp.o"
+  "CMakeFiles/ablate_hegemony_trim.dir/ablate_hegemony_trim.cpp.o.d"
+  "ablate_hegemony_trim"
+  "ablate_hegemony_trim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_hegemony_trim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

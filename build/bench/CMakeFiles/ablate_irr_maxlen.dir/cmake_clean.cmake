@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_irr_maxlen.dir/ablate_irr_maxlen.cpp.o"
+  "CMakeFiles/ablate_irr_maxlen.dir/ablate_irr_maxlen.cpp.o.d"
+  "ablate_irr_maxlen"
+  "ablate_irr_maxlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_irr_maxlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_irr_maxlen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_action3.dir/ext_action3.cpp.o"
+  "CMakeFiles/ext_action3.dir/ext_action3.cpp.o.d"
+  "ext_action3"
+  "ext_action3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_action3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_incidents.dir/ext_incidents.cpp.o"
+  "CMakeFiles/ext_incidents.dir/ext_incidents.cpp.o.d"
+  "ext_incidents"
+  "ext_incidents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_incidents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

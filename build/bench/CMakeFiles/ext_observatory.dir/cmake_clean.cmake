@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_observatory.dir/ext_observatory.cpp.o"
+  "CMakeFiles/ext_observatory.dir/ext_observatory.cpp.o.d"
+  "ext_observatory"
+  "ext_observatory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_observatory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f70_completeness.dir/f70_completeness.cpp.o"
+  "CMakeFiles/f70_completeness.dir/f70_completeness.cpp.o.d"
+  "f70_completeness"
+  "f70_completeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f70_completeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

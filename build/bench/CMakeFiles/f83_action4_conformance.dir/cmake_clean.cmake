@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f83_action4_conformance.dir/f83_action4_conformance.cpp.o"
+  "CMakeFiles/f83_action4_conformance.dir/f83_action4_conformance.cpp.o.d"
+  "f83_action4_conformance"
+  "f83_action4_conformance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f83_action4_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

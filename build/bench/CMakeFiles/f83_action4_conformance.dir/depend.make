@@ -1,0 +1,2 @@
+# Empty dependencies file for f83_action4_conformance.
+# This may be replaced when dependencies are built.

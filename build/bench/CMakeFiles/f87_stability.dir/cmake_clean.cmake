@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f87_stability.dir/f87_stability.cpp.o"
+  "CMakeFiles/f87_stability.dir/f87_stability.cpp.o.d"
+  "f87_stability"
+  "f87_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f87_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_growth.dir/fig02_growth.cpp.o"
+  "CMakeFiles/fig02_growth.dir/fig02_growth.cpp.o.d"
+  "fig02_growth"
+  "fig02_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig04_geography.cpp" "bench/CMakeFiles/fig04_geography.dir/fig04_geography.cpp.o" "gcc" "bench/CMakeFiles/fig04_geography.dir/fig04_geography.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topogen/CMakeFiles/manrs_topogen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/manrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ihr/CMakeFiles/manrs_ihr.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpki/CMakeFiles/manrs_rpki.dir/DependInfo.cmake"
+  "/root/repo/build/src/irr/CMakeFiles/manrs_irr.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/manrs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/astopo/CMakeFiles/manrs_astopo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/manrs_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/manrs_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/manrs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_geography.dir/fig04_geography.cpp.o"
+  "CMakeFiles/fig04_geography.dir/fig04_geography.cpp.o.d"
+  "fig04_geography"
+  "fig04_geography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_geography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_origination.dir/fig05_origination.cpp.o"
+  "CMakeFiles/fig05_origination.dir/fig05_origination.cpp.o.d"
+  "fig05_origination"
+  "fig05_origination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_origination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_saturation.dir/fig06_saturation.cpp.o"
+  "CMakeFiles/fig06_saturation.dir/fig06_saturation.cpp.o.d"
+  "fig06_saturation"
+  "fig06_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_filtering.dir/fig07_filtering.cpp.o"
+  "CMakeFiles/fig07_filtering.dir/fig07_filtering.cpp.o.d"
+  "fig07_filtering"
+  "fig07_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

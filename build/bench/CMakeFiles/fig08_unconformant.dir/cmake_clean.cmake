@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_unconformant.dir/fig08_unconformant.cpp.o"
+  "CMakeFiles/fig08_unconformant.dir/fig08_unconformant.cpp.o.d"
+  "fig08_unconformant"
+  "fig08_unconformant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_unconformant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_preference.dir/fig09_preference.cpp.o"
+  "CMakeFiles/fig09_preference.dir/fig09_preference.cpp.o.d"
+  "fig09_preference"
+  "fig09_preference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_preference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_casestudies.dir/table1_casestudies.cpp.o"
+  "CMakeFiles/table1_casestudies.dir/table1_casestudies.cpp.o.d"
+  "table1_casestudies"
+  "table1_casestudies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_casestudies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conformance_audit.dir/conformance_audit.cpp.o"
+  "CMakeFiles/conformance_audit.dir/conformance_audit.cpp.o.d"
+  "conformance_audit"
+  "conformance_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformance_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

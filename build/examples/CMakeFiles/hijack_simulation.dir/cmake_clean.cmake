@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hijack_simulation.dir/hijack_simulation.cpp.o"
+  "CMakeFiles/hijack_simulation.dir/hijack_simulation.cpp.o.d"
+  "hijack_simulation"
+  "hijack_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hijack_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irr_tools.dir/irr_tools.cpp.o"
+  "CMakeFiles/irr_tools.dir/irr_tools.cpp.o.d"
+  "irr_tools"
+  "irr_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irr_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

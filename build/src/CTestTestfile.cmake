@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("netbase")
+subdirs("rpki")
+subdirs("irr")
+subdirs("bgp")
+subdirs("mrt")
+subdirs("astopo")
+subdirs("simulator")
+subdirs("ihr")
+subdirs("topogen")
+subdirs("core")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manrs_astopo.dir/as2org.cpp.o"
+  "CMakeFiles/manrs_astopo.dir/as2org.cpp.o.d"
+  "CMakeFiles/manrs_astopo.dir/asrank.cpp.o"
+  "CMakeFiles/manrs_astopo.dir/asrank.cpp.o.d"
+  "CMakeFiles/manrs_astopo.dir/graph.cpp.o"
+  "CMakeFiles/manrs_astopo.dir/graph.cpp.o.d"
+  "CMakeFiles/manrs_astopo.dir/prefix2as.cpp.o"
+  "CMakeFiles/manrs_astopo.dir/prefix2as.cpp.o.d"
+  "libmanrs_astopo.a"
+  "libmanrs_astopo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manrs_astopo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

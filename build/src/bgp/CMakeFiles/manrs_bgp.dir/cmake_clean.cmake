@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manrs_bgp.dir/rib.cpp.o"
+  "CMakeFiles/manrs_bgp.dir/rib.cpp.o.d"
+  "libmanrs_bgp.a"
+  "libmanrs_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manrs_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

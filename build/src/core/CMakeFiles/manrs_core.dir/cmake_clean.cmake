@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manrs_core.dir/conformance.cpp.o"
+  "CMakeFiles/manrs_core.dir/conformance.cpp.o.d"
+  "CMakeFiles/manrs_core.dir/incidents.cpp.o"
+  "CMakeFiles/manrs_core.dir/incidents.cpp.o.d"
+  "CMakeFiles/manrs_core.dir/manrs.cpp.o"
+  "CMakeFiles/manrs_core.dir/manrs.cpp.o.d"
+  "CMakeFiles/manrs_core.dir/monitoring.cpp.o"
+  "CMakeFiles/manrs_core.dir/monitoring.cpp.o.d"
+  "CMakeFiles/manrs_core.dir/observatory.cpp.o"
+  "CMakeFiles/manrs_core.dir/observatory.cpp.o.d"
+  "CMakeFiles/manrs_core.dir/peeringdb.cpp.o"
+  "CMakeFiles/manrs_core.dir/peeringdb.cpp.o.d"
+  "CMakeFiles/manrs_core.dir/report.cpp.o"
+  "CMakeFiles/manrs_core.dir/report.cpp.o.d"
+  "libmanrs_core.a"
+  "libmanrs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manrs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

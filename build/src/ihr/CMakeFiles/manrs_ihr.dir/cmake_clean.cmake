@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manrs_ihr.dir/dataset.cpp.o"
+  "CMakeFiles/manrs_ihr.dir/dataset.cpp.o.d"
+  "CMakeFiles/manrs_ihr.dir/hegemony.cpp.o"
+  "CMakeFiles/manrs_ihr.dir/hegemony.cpp.o.d"
+  "libmanrs_ihr.a"
+  "libmanrs_ihr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manrs_ihr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/irr/database.cpp" "src/irr/CMakeFiles/manrs_irr.dir/database.cpp.o" "gcc" "src/irr/CMakeFiles/manrs_irr.dir/database.cpp.o.d"
+  "/root/repo/src/irr/objects.cpp" "src/irr/CMakeFiles/manrs_irr.dir/objects.cpp.o" "gcc" "src/irr/CMakeFiles/manrs_irr.dir/objects.cpp.o.d"
+  "/root/repo/src/irr/rpsl.cpp" "src/irr/CMakeFiles/manrs_irr.dir/rpsl.cpp.o" "gcc" "src/irr/CMakeFiles/manrs_irr.dir/rpsl.cpp.o.d"
+  "/root/repo/src/irr/validation.cpp" "src/irr/CMakeFiles/manrs_irr.dir/validation.cpp.o" "gcc" "src/irr/CMakeFiles/manrs_irr.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/manrs_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/manrs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

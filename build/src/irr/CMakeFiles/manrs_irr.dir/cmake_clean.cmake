@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manrs_irr.dir/database.cpp.o"
+  "CMakeFiles/manrs_irr.dir/database.cpp.o.d"
+  "CMakeFiles/manrs_irr.dir/objects.cpp.o"
+  "CMakeFiles/manrs_irr.dir/objects.cpp.o.d"
+  "CMakeFiles/manrs_irr.dir/rpsl.cpp.o"
+  "CMakeFiles/manrs_irr.dir/rpsl.cpp.o.d"
+  "CMakeFiles/manrs_irr.dir/validation.cpp.o"
+  "CMakeFiles/manrs_irr.dir/validation.cpp.o.d"
+  "libmanrs_irr.a"
+  "libmanrs_irr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manrs_irr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

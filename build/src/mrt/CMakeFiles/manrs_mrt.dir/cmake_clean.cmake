@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manrs_mrt.dir/bgp4mp.cpp.o"
+  "CMakeFiles/manrs_mrt.dir/bgp4mp.cpp.o.d"
+  "CMakeFiles/manrs_mrt.dir/table_dump.cpp.o"
+  "CMakeFiles/manrs_mrt.dir/table_dump.cpp.o.d"
+  "libmanrs_mrt.a"
+  "libmanrs_mrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manrs_mrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for manrs_mrt.
+# This may be replaced when dependencies are built.

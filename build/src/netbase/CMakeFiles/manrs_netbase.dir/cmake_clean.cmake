@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manrs_netbase.dir/ip.cpp.o"
+  "CMakeFiles/manrs_netbase.dir/ip.cpp.o.d"
+  "CMakeFiles/manrs_netbase.dir/prefix.cpp.o"
+  "CMakeFiles/manrs_netbase.dir/prefix.cpp.o.d"
+  "libmanrs_netbase.a"
+  "libmanrs_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manrs_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpki/archive.cpp" "src/rpki/CMakeFiles/manrs_rpki.dir/archive.cpp.o" "gcc" "src/rpki/CMakeFiles/manrs_rpki.dir/archive.cpp.o.d"
+  "/root/repo/src/rpki/roa.cpp" "src/rpki/CMakeFiles/manrs_rpki.dir/roa.cpp.o" "gcc" "src/rpki/CMakeFiles/manrs_rpki.dir/roa.cpp.o.d"
+  "/root/repo/src/rpki/validation.cpp" "src/rpki/CMakeFiles/manrs_rpki.dir/validation.cpp.o" "gcc" "src/rpki/CMakeFiles/manrs_rpki.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/manrs_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/manrs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

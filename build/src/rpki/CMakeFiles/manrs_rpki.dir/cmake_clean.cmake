@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manrs_rpki.dir/archive.cpp.o"
+  "CMakeFiles/manrs_rpki.dir/archive.cpp.o.d"
+  "CMakeFiles/manrs_rpki.dir/roa.cpp.o"
+  "CMakeFiles/manrs_rpki.dir/roa.cpp.o.d"
+  "CMakeFiles/manrs_rpki.dir/validation.cpp.o"
+  "CMakeFiles/manrs_rpki.dir/validation.cpp.o.d"
+  "libmanrs_rpki.a"
+  "libmanrs_rpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manrs_rpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulator/collector.cpp" "src/simulator/CMakeFiles/manrs_sim.dir/collector.cpp.o" "gcc" "src/simulator/CMakeFiles/manrs_sim.dir/collector.cpp.o.d"
+  "/root/repo/src/simulator/propagation.cpp" "src/simulator/CMakeFiles/manrs_sim.dir/propagation.cpp.o" "gcc" "src/simulator/CMakeFiles/manrs_sim.dir/propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/astopo/CMakeFiles/manrs_astopo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/manrs_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/manrs_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/manrs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

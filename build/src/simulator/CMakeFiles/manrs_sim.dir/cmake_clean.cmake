@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manrs_sim.dir/collector.cpp.o"
+  "CMakeFiles/manrs_sim.dir/collector.cpp.o.d"
+  "CMakeFiles/manrs_sim.dir/propagation.cpp.o"
+  "CMakeFiles/manrs_sim.dir/propagation.cpp.o.d"
+  "libmanrs_sim.a"
+  "libmanrs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manrs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmanrs_sim.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manrs_topogen.dir/casestudies.cpp.o"
+  "CMakeFiles/manrs_topogen.dir/casestudies.cpp.o.d"
+  "CMakeFiles/manrs_topogen.dir/config.cpp.o"
+  "CMakeFiles/manrs_topogen.dir/config.cpp.o.d"
+  "CMakeFiles/manrs_topogen.dir/generator.cpp.o"
+  "CMakeFiles/manrs_topogen.dir/generator.cpp.o.d"
+  "CMakeFiles/manrs_topogen.dir/history.cpp.o"
+  "CMakeFiles/manrs_topogen.dir/history.cpp.o.d"
+  "libmanrs_topogen.a"
+  "libmanrs_topogen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manrs_topogen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

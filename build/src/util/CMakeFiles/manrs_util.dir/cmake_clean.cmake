@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manrs_util.dir/csv.cpp.o"
+  "CMakeFiles/manrs_util.dir/csv.cpp.o.d"
+  "CMakeFiles/manrs_util.dir/date.cpp.o"
+  "CMakeFiles/manrs_util.dir/date.cpp.o.d"
+  "CMakeFiles/manrs_util.dir/logging.cpp.o"
+  "CMakeFiles/manrs_util.dir/logging.cpp.o.d"
+  "CMakeFiles/manrs_util.dir/stats.cpp.o"
+  "CMakeFiles/manrs_util.dir/stats.cpp.o.d"
+  "CMakeFiles/manrs_util.dir/strings.cpp.o"
+  "CMakeFiles/manrs_util.dir/strings.cpp.o.d"
+  "libmanrs_util.a"
+  "libmanrs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manrs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_astopo.cpp" "tests/CMakeFiles/tests_astopo.dir/test_astopo.cpp.o" "gcc" "tests/CMakeFiles/tests_astopo.dir/test_astopo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/astopo/CMakeFiles/manrs_astopo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/manrs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/manrs_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/manrs_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

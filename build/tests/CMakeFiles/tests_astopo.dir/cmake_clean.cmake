@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_astopo.dir/test_astopo.cpp.o"
+  "CMakeFiles/tests_astopo.dir/test_astopo.cpp.o.d"
+  "tests_astopo"
+  "tests_astopo.pdb"
+  "tests_astopo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_astopo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

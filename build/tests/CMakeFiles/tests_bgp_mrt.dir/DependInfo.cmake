@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bgp.cpp" "tests/CMakeFiles/tests_bgp_mrt.dir/test_bgp.cpp.o" "gcc" "tests/CMakeFiles/tests_bgp_mrt.dir/test_bgp.cpp.o.d"
+  "/root/repo/tests/test_bgp4mp.cpp" "tests/CMakeFiles/tests_bgp_mrt.dir/test_bgp4mp.cpp.o" "gcc" "tests/CMakeFiles/tests_bgp_mrt.dir/test_bgp4mp.cpp.o.d"
+  "/root/repo/tests/test_mrt.cpp" "tests/CMakeFiles/tests_bgp_mrt.dir/test_mrt.cpp.o" "gcc" "tests/CMakeFiles/tests_bgp_mrt.dir/test_mrt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mrt/CMakeFiles/manrs_mrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/manrs_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/manrs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/manrs_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

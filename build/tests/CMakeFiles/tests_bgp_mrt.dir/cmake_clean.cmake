@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_bgp_mrt.dir/test_bgp.cpp.o"
+  "CMakeFiles/tests_bgp_mrt.dir/test_bgp.cpp.o.d"
+  "CMakeFiles/tests_bgp_mrt.dir/test_bgp4mp.cpp.o"
+  "CMakeFiles/tests_bgp_mrt.dir/test_bgp4mp.cpp.o.d"
+  "CMakeFiles/tests_bgp_mrt.dir/test_mrt.cpp.o"
+  "CMakeFiles/tests_bgp_mrt.dir/test_mrt.cpp.o.d"
+  "tests_bgp_mrt"
+  "tests_bgp_mrt.pdb"
+  "tests_bgp_mrt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_bgp_mrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/test_conformance.cpp.o"
+  "CMakeFiles/tests_core.dir/test_conformance.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_incidents.cpp.o"
+  "CMakeFiles/tests_core.dir/test_incidents.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_manrs_registry.cpp.o"
+  "CMakeFiles/tests_core.dir/test_manrs_registry.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_monitoring.cpp.o"
+  "CMakeFiles/tests_core.dir/test_monitoring.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_observatory.cpp.o"
+  "CMakeFiles/tests_core.dir/test_observatory.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_peeringdb.cpp.o"
+  "CMakeFiles/tests_core.dir/test_peeringdb.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_report.cpp.o"
+  "CMakeFiles/tests_core.dir/test_report.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_fuzz.dir/test_fuzz.cpp.o"
+  "CMakeFiles/tests_fuzz.dir/test_fuzz.cpp.o.d"
+  "tests_fuzz"
+  "tests_fuzz.pdb"
+  "tests_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

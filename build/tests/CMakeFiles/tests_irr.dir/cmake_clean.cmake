@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_irr.dir/test_irr.cpp.o"
+  "CMakeFiles/tests_irr.dir/test_irr.cpp.o.d"
+  "CMakeFiles/tests_irr.dir/test_rpsl.cpp.o"
+  "CMakeFiles/tests_irr.dir/test_rpsl.cpp.o.d"
+  "tests_irr"
+  "tests_irr.pdb"
+  "tests_irr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_irr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

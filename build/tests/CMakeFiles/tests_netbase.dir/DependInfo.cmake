@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ip.cpp" "tests/CMakeFiles/tests_netbase.dir/test_ip.cpp.o" "gcc" "tests/CMakeFiles/tests_netbase.dir/test_ip.cpp.o.d"
+  "/root/repo/tests/test_prefix.cpp" "tests/CMakeFiles/tests_netbase.dir/test_prefix.cpp.o" "gcc" "tests/CMakeFiles/tests_netbase.dir/test_prefix.cpp.o.d"
+  "/root/repo/tests/test_trie.cpp" "tests/CMakeFiles/tests_netbase.dir/test_trie.cpp.o" "gcc" "tests/CMakeFiles/tests_netbase.dir/test_trie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/manrs_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/manrs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_netbase.dir/test_ip.cpp.o"
+  "CMakeFiles/tests_netbase.dir/test_ip.cpp.o.d"
+  "CMakeFiles/tests_netbase.dir/test_prefix.cpp.o"
+  "CMakeFiles/tests_netbase.dir/test_prefix.cpp.o.d"
+  "CMakeFiles/tests_netbase.dir/test_trie.cpp.o"
+  "CMakeFiles/tests_netbase.dir/test_trie.cpp.o.d"
+  "tests_netbase"
+  "tests_netbase.pdb"
+  "tests_netbase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

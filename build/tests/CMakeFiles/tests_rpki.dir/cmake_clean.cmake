@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_rpki.dir/test_roa.cpp.o"
+  "CMakeFiles/tests_rpki.dir/test_roa.cpp.o.d"
+  "CMakeFiles/tests_rpki.dir/test_rpki_archive.cpp.o"
+  "CMakeFiles/tests_rpki.dir/test_rpki_archive.cpp.o.d"
+  "CMakeFiles/tests_rpki.dir/test_rpki_validation.cpp.o"
+  "CMakeFiles/tests_rpki.dir/test_rpki_validation.cpp.o.d"
+  "tests_rpki"
+  "tests_rpki.pdb"
+  "tests_rpki[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_rpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

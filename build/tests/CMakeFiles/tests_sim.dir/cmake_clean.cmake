@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_sim.dir/test_ihr.cpp.o"
+  "CMakeFiles/tests_sim.dir/test_ihr.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/test_ihr_builder.cpp.o"
+  "CMakeFiles/tests_sim.dir/test_ihr_builder.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/test_propagation.cpp.o"
+  "CMakeFiles/tests_sim.dir/test_propagation.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/test_propagation_property.cpp.o"
+  "CMakeFiles/tests_sim.dir/test_propagation_property.cpp.o.d"
+  "tests_sim"
+  "tests_sim.pdb"
+  "tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

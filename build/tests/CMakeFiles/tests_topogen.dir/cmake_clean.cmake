@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_topogen.dir/test_topogen.cpp.o"
+  "CMakeFiles/tests_topogen.dir/test_topogen.cpp.o.d"
+  "tests_topogen"
+  "tests_topogen.pdb"
+  "tests_topogen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_topogen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/tests_util.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/tests_util.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_date.cpp" "tests/CMakeFiles/tests_util.dir/test_date.cpp.o" "gcc" "tests/CMakeFiles/tests_util.dir/test_date.cpp.o.d"
+  "/root/repo/tests/test_logging.cpp" "tests/CMakeFiles/tests_util.dir/test_logging.cpp.o" "gcc" "tests/CMakeFiles/tests_util.dir/test_logging.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/tests_util.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/tests_util.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_strings.cpp" "tests/CMakeFiles/tests_util.dir/test_strings.cpp.o" "gcc" "tests/CMakeFiles/tests_util.dir/test_strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/manrs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

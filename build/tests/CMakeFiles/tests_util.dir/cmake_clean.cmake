@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_util.dir/test_csv.cpp.o"
+  "CMakeFiles/tests_util.dir/test_csv.cpp.o.d"
+  "CMakeFiles/tests_util.dir/test_date.cpp.o"
+  "CMakeFiles/tests_util.dir/test_date.cpp.o.d"
+  "CMakeFiles/tests_util.dir/test_logging.cpp.o"
+  "CMakeFiles/tests_util.dir/test_logging.cpp.o.d"
+  "CMakeFiles/tests_util.dir/test_stats.cpp.o"
+  "CMakeFiles/tests_util.dir/test_stats.cpp.o.d"
+  "CMakeFiles/tests_util.dir/test_strings.cpp.o"
+  "CMakeFiles/tests_util.dir/test_strings.cpp.o.d"
+  "tests_util"
+  "tests_util.pdb"
+  "tests_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

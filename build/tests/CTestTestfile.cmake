@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_util[1]_include.cmake")
+include("/root/repo/build/tests/tests_netbase[1]_include.cmake")
+include("/root/repo/build/tests/tests_rpki[1]_include.cmake")
+include("/root/repo/build/tests/tests_irr[1]_include.cmake")
+include("/root/repo/build/tests/tests_bgp_mrt[1]_include.cmake")
+include("/root/repo/build/tests/tests_astopo[1]_include.cmake")
+include("/root/repo/build/tests/tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/tests_core[1]_include.cmake")
+include("/root/repo/build/tests/tests_topogen[1]_include.cmake")
+include("/root/repo/build/tests/tests_integration[1]_include.cmake")
+include("/root/repo/build/tests/tests_fuzz[1]_include.cmake")

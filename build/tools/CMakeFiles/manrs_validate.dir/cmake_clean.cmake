@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manrs_validate.dir/manrs_validate.cpp.o"
+  "CMakeFiles/manrs_validate.dir/manrs_validate.cpp.o.d"
+  "manrs_validate"
+  "manrs_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manrs_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

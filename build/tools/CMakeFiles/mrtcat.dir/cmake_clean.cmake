@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrtcat.dir/mrtcat.cpp.o"
+  "CMakeFiles/mrtcat.dir/mrtcat.cpp.o.d"
+  "mrtcat"
+  "mrtcat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrtcat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
