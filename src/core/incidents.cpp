@@ -110,7 +110,8 @@ IncidentSummary summarize_incidents(const std::vector<Incident>& incidents,
     total_duration += static_cast<double>(incident.duration());
   }
   if (summary.total > 0) {
-    summary.mean_duration = total_duration / summary.total;
+    summary.mean_duration =
+        total_duration / static_cast<double>(summary.total);
   }
   if (member_origin_count > 0) {
     summary.member_rate_per_origin =

@@ -34,7 +34,6 @@ std::string_view strip_comment(std::string_view line) {
 }  // namespace
 
 bool RpslParser::next(RpslObject& object) {
-  object.attributes.clear();
   std::string line;
 
   auto get_line = [&]() -> bool {
@@ -48,51 +47,64 @@ bool RpslParser::next(RpslObject& object) {
     return true;
   };
 
-  // Skip leading blank/comment-only lines.
+  // Outer loop: a block whose lines are all malformed yields no
+  // attributes; skip it and keep scanning rather than ending the stream.
   while (true) {
-    if (!get_line()) return false;
-    std::string_view content = manrs::util::trim(strip_comment(line));
-    if (!content.empty()) break;
-  }
+    object.attributes.clear();
 
-  // `line` is the first line of the object.
-  while (true) {
-    std::string_view raw = line;
-    std::string_view content = strip_comment(raw);
-    if (manrs::util::trim(content).empty()) break;  // object terminator
-
-    bool continuation = !object.attributes.empty() && !raw.empty() &&
-                        (raw[0] == ' ' || raw[0] == '\t' || raw[0] == '+');
-    if (continuation) {
-      std::string_view cont = content;
-      if (!cont.empty() && cont[0] == '+') cont.remove_prefix(1);
-      cont = manrs::util::trim(cont);
-      auto& attr = object.attributes.back();
-      if (!cont.empty()) {
-        if (!attr.value.empty()) attr.value += ' ';
-        attr.value.append(cont);
-      }
-    } else {
-      size_t colon = content.find(':');
-      if (colon == std::string_view::npos) {
-        ++malformed_;
-      } else {
-        RpslAttribute attr;
-        attr.name =
-            manrs::util::to_lower(manrs::util::trim(content.substr(0, colon)));
-        attr.value = std::string(manrs::util::trim(content.substr(colon + 1)));
-        if (attr.name.empty()) {
-          ++malformed_;
-        } else {
-          object.attributes.push_back(std::move(attr));
-        }
-      }
+    // Skip leading blank/comment-only lines.
+    while (true) {
+      if (!get_line()) return false;
+      std::string_view content = manrs::util::trim(strip_comment(line));
+      if (!content.empty()) break;
     }
 
-    if (!std::getline(in_, line)) break;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // `line` is the first line of the object.
+    while (true) {
+      std::string_view raw = line;
+      std::string_view content = strip_comment(raw);
+      if (manrs::util::trim(content).empty()) break;  // object terminator
+
+      bool continuation = !object.attributes.empty() && !raw.empty() &&
+                          (raw[0] == ' ' || raw[0] == '\t' || raw[0] == '+');
+      if (continuation) {
+        std::string_view cont = content;
+        if (!cont.empty() && cont[0] == '+') cont.remove_prefix(1);
+        cont = manrs::util::trim(cont);
+        auto& attr = object.attributes.back();
+        if (!cont.empty()) {
+          if (attr.value.size() + cont.size() + 1 > kMaxValueLength) {
+            // Value bomb: drop the excess instead of growing without bound.
+            ++malformed_;
+          } else {
+            if (!attr.value.empty()) attr.value += ' ';
+            attr.value.append(cont);
+          }
+        }
+      } else {
+        size_t colon = content.find(':');
+        if (colon == std::string_view::npos) {
+          ++malformed_;
+        } else {
+          RpslAttribute attr;
+          attr.name = manrs::util::to_lower(
+              manrs::util::trim(content.substr(0, colon)));
+          attr.value =
+              std::string(manrs::util::trim(content.substr(colon + 1)));
+          if (attr.name.empty() || attr.value.size() > kMaxValueLength ||
+              object.attributes.size() >= kMaxAttributes) {
+            ++malformed_;
+          } else {
+            object.attributes.push_back(std::move(attr));
+          }
+        }
+      }
+
+      if (!std::getline(in_, line)) break;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+    }
+    if (!object.attributes.empty()) return true;
   }
-  return !object.attributes.empty();
 }
 
 std::vector<RpslObject> parse_rpsl(std::string_view text, size_t* malformed) {

@@ -43,12 +43,25 @@ struct RpslObject {
 };
 
 /// Streaming parser over an RPSL document.
+///
+/// Resource limits: registry dumps come from the network, so a hostile or
+/// corrupt document must not be able to grow one object without bound.
+/// Objects are capped at kMaxAttributes attributes and attribute values at
+/// kMaxValueLength bytes; input past either cap is dropped and counted as
+/// malformed rather than accumulated.
 class RpslParser {
  public:
+  /// Largest accepted attribute count per object. Real IRR objects top out
+  /// in the hundreds (large as-set member lists).
+  static constexpr size_t kMaxAttributes = 4096;
+  /// Largest accepted joined attribute value, in bytes.
+  static constexpr size_t kMaxValueLength = 64 * 1024;
+
   explicit RpslParser(std::istream& in) : in_(in) {}
 
   /// Parse the next object; returns false at end of input. Malformed lines
-  /// (no colon outside a continuation) are skipped and counted.
+  /// (no colon outside a continuation, or input beyond the resource caps)
+  /// are skipped and counted.
   bool next(RpslObject& object);
 
   size_t malformed_lines() const { return malformed_; }

@@ -1,11 +1,13 @@
 #include "mrt/bgp4mp.h"
 
 #include <algorithm>
+#include <array>
 #include <istream>
 #include <map>
 #include <ostream>
 
 #include "mrt/table_dump.h"  // shares the NLRI / path-attribute codecs
+#include "util/bytes.h"
 
 namespace manrs::mrt {
 
@@ -87,32 +89,28 @@ ByteWriter encode_update_body(const BgpUpdate& update) {
   return body;
 }
 
-/// Decode a BGP UPDATE body into a BgpUpdate.
+/// Decode a BGP UPDATE body into a BgpUpdate. Every declared length
+/// (message body, withdrawn block, attribute block, each attribute)
+/// becomes a bounds-limited sub-cursor, so a lying length field raises a
+/// ParseError instead of reading sibling data.
 BgpUpdate decode_update_body(ByteReader& r, size_t body_len) {
-  size_t end = r.position() + body_len;
+  ByteReader body = r.sub(body_len);
   BgpUpdate update;
 
-  size_t withdrawn_len = r.u16();
-  size_t withdrawn_end = r.position() + withdrawn_len;
-  while (r.position() < withdrawn_end) {
-    update.withdrawn.push_back(decode_nlri(r, net::Family::kIpv4));
-  }
-  if (r.position() != withdrawn_end) {
-    throw MrtError("withdrawn-routes length mismatch");
+  size_t withdrawn_len = body.u16();
+  ByteReader withdrawn = body.sub(withdrawn_len);
+  while (!withdrawn.done()) {
+    update.withdrawn.push_back(decode_nlri(withdrawn, net::Family::kIpv4));
   }
 
-  size_t attrs_len = r.u16();
-  size_t attrs_end = r.position() + attrs_len;
-  if (attrs_end > end) throw MrtError("attribute block overruns message");
-  while (r.position() < attrs_end) {
-    uint8_t flags = r.u8();
-    uint8_t type = r.u8();
-    size_t len = (flags & kAttrFlagExtendedLength) ? r.u16() : r.u8();
-    if (r.position() + len > attrs_end) {
-      throw MrtError("attribute overruns block");
-    }
+  size_t attrs_len = body.u16();
+  ByteReader attrs = body.sub(attrs_len);
+  while (!attrs.done()) {
+    uint8_t flags = attrs.u8();
+    uint8_t type = attrs.u8();
+    size_t len = (flags & kAttrFlagExtendedLength) ? attrs.u16() : attrs.u8();
+    ByteReader attr = attrs.sub(len);
     if (type == kAttrAsPath) {
-      ByteReader attr(r.bytes(len));
       std::vector<net::Asn> hops;
       while (!attr.done()) {
         uint8_t seg_type = attr.u8();
@@ -122,7 +120,6 @@ BgpUpdate decode_update_body(ByteReader& r, size_t body_len) {
       }
       update.path = bgp::AsPath(std::move(hops));
     } else if (type == kAttrMpReachNlri) {
-      ByteReader attr(r.bytes(len));
       uint16_t afi = attr.u16();
       uint8_t safi = attr.u8();
       size_t nh_len = attr.u8();
@@ -135,7 +132,6 @@ BgpUpdate decode_update_body(ByteReader& r, size_t body_len) {
         update.announced.push_back(decode_nlri(attr, family));
       }
     } else if (type == kAttrMpUnreachNlri) {
-      ByteReader attr(r.bytes(len));
       uint16_t afi = attr.u16();
       uint8_t safi = attr.u8();
       net::Family family =
@@ -144,14 +140,11 @@ BgpUpdate decode_update_body(ByteReader& r, size_t body_len) {
       while (!attr.done()) {
         update.withdrawn.push_back(decode_nlri(attr, family));
       }
-    } else {
-      r.skip(len);
     }
   }
-  if (r.position() != attrs_end) throw MrtError("attribute length mismatch");
 
-  while (r.position() < end) {
-    update.announced.push_back(decode_nlri(r, net::Family::kIpv4));
+  while (!body.done()) {
+    update.announced.push_back(decode_nlri(body, net::Family::kIpv4));
   }
   return update;
 }
@@ -179,32 +172,32 @@ void Bgp4mpWriter::write(const Bgp4mpRecord& record) {
   header.u16(kTypeBgp4mp);
   header.u16(kSubtypeBgp4mpMessageAs4);
   header.u32(static_cast<uint32_t>(body.size()));
-  out_.write(reinterpret_cast<const char*>(header.data().data()),
-             static_cast<std::streamsize>(header.size()));
-  out_.write(reinterpret_cast<const char*>(body.data().data()),
-             static_cast<std::streamsize>(body.size()));
+  util::write_bytes(out_, header.span());
+  util::write_bytes(out_, body.span());
   ++records_;
 }
 
 bool Bgp4mpReader::next(Bgp4mpRecord& record) {
   while (true) {
-    uint8_t header_raw[12];
-    in_.read(reinterpret_cast<char*>(header_raw), 12);
-    if (in_.gcount() == 0) return false;
-    if (in_.gcount() != 12) {
+    std::array<uint8_t, 12> header_raw{};
+    size_t got = util::read_upto(in_, header_raw);
+    if (got == 0) return false;
+    if (got != header_raw.size()) {
       ++bad_;
       return false;
     }
-    ByteReader hr(std::span<const uint8_t>(header_raw, 12));
+    ByteReader hr(header_raw);
     uint32_t timestamp = hr.u32();
     uint16_t type = hr.u16();
     uint16_t subtype = hr.u16();
     uint32_t length = hr.u32();
 
+    if (length > kMaxRecordLength) {
+      ++bad_;
+      return false;
+    }
     std::vector<uint8_t> body(length);
-    in_.read(reinterpret_cast<char*>(body.data()),
-             static_cast<std::streamsize>(body.size()));
-    if (static_cast<uint32_t>(in_.gcount()) != length) {
+    if (!util::read_exact(in_, body)) {
       ++bad_;
       return false;
     }
@@ -232,9 +225,9 @@ bool Bgp4mpReader::next(Bgp4mpRecord& record) {
         continue;
       }
       if (msg_len < 19) throw MrtError("BGP message length < 19");
-      record.update = decode_update_body(r, msg_len - 19);
+      record.update = decode_update_body(r, msg_len - 19u);
       return true;
-    } catch (const MrtError&) {
+    } catch (const util::ParseError&) {
       ++bad_;
     }
   }

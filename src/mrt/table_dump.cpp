@@ -4,6 +4,8 @@
 #include <istream>
 #include <ostream>
 
+#include "util/bytes.h"
+
 namespace manrs::mrt {
 
 namespace {
@@ -106,18 +108,18 @@ void encode_path_attributes(ByteWriter& w, const bgp::AsPath& path,
 }
 
 bgp::AsPath decode_path_attributes(ByteReader& r, size_t attr_len) {
-  size_t end = r.position() + attr_len;
+  // The attribute block parses against its declared extent only: sub()
+  // bounds-checks attr_len against the record and each attribute's
+  // declared length against the block, so neither can overrun siblings.
+  ByteReader block = r.sub(attr_len);
   bgp::AsPath path;
-  while (r.position() < end) {
-    uint8_t flags = r.u8();
-    uint8_t type = r.u8();
+  while (!block.done()) {
+    uint8_t flags = block.u8();
+    uint8_t type = block.u8();
     size_t len =
-        (flags & kAttrFlagExtendedLength) ? r.u16() : r.u8();
-    if (r.position() + len > end) {
-      throw MrtError("attribute overruns attribute block");
-    }
+        (flags & kAttrFlagExtendedLength) ? block.u16() : block.u8();
+    ByteReader attr = block.sub(len);
     if (type == kAttrAsPath) {
-      ByteReader attr(r.bytes(len));
       std::vector<net::Asn> hops;
       while (!attr.done()) {
         uint8_t seg_type = attr.u8();
@@ -134,11 +136,8 @@ bgp::AsPath decode_path_attributes(ByteReader& r, size_t attr_len) {
         }
       }
       path = bgp::AsPath(std::move(hops));
-    } else {
-      r.skip(len);
     }
   }
-  if (r.position() != end) throw MrtError("attribute block length mismatch");
   return path;
 }
 
@@ -148,19 +147,15 @@ void TableDumpWriter::write_record(uint16_t subtype, const ByteWriter& body) {
   header.u16(kTypeTableDumpV2);
   header.u16(subtype);
   header.u32(static_cast<uint32_t>(body.size()));
-  out_.write(reinterpret_cast<const char*>(header.data().data()),
-             static_cast<std::streamsize>(header.size()));
-  out_.write(reinterpret_cast<const char*>(body.data().data()),
-             static_cast<std::streamsize>(body.size()));
+  util::write_bytes(out_, header.span());
+  util::write_bytes(out_, body.span());
 }
 
 void TableDumpWriter::write_peer_index(const PeerIndexTable& table) {
   ByteWriter body;
   body.u32(table.collector_bgp_id);
   body.u16(static_cast<uint16_t>(table.view_name.size()));
-  body.bytes(std::span<const uint8_t>(
-      reinterpret_cast<const uint8_t*>(table.view_name.data()),
-      table.view_name.size()));
+  body.ascii(table.view_name);
   body.u16(static_cast<uint16_t>(table.peers.size()));
   for (const auto& peer : table.peers) {
     uint8_t flags = kPeerFlagAs4;
@@ -225,9 +220,9 @@ size_t TableDumpWriter::write_rib(const bgp::Rib& rib,
 bool TableDumpReader::next(Record& record) {
   while (true) {
     std::array<uint8_t, 12> header_raw{};
-    in_.read(reinterpret_cast<char*>(header_raw.data()), 12);
-    if (in_.gcount() == 0) return false;  // clean EOF
-    if (in_.gcount() != 12) {
+    size_t got = util::read_upto(in_, header_raw);
+    if (got == 0) return false;  // clean EOF
+    if (got != header_raw.size()) {
       ++bad_;
       return false;  // truncated header: nothing more to salvage
     }
@@ -238,10 +233,14 @@ bool TableDumpReader::next(Record& record) {
     header.subtype = hr.u16();
     header.length = hr.u32();
 
+    // Reject absurd declared lengths before allocating: resynchronising
+    // after a corrupt length field is hopeless, so this ends the scan.
+    if (header.length > kMaxRecordLength) {
+      ++bad_;
+      return false;
+    }
     std::vector<uint8_t> body(header.length);
-    in_.read(reinterpret_cast<char*>(body.data()),
-             static_cast<std::streamsize>(body.size()));
-    if (static_cast<uint32_t>(in_.gcount()) != header.length) {
+    if (!util::read_exact(in_, body)) {
       ++bad_;
       return false;
     }
@@ -260,9 +259,7 @@ bool TableDumpReader::next(Record& record) {
         PeerIndexTable table;
         table.collector_bgp_id = r.u32();
         size_t name_len = r.u16();
-        auto name = r.bytes(name_len);
-        table.view_name.assign(reinterpret_cast<const char*>(name.data()),
-                               name.size());
+        table.view_name.assign(r.ascii(name_len));
         size_t peer_count = r.u16();
         for (size_t i = 0; i < peer_count; ++i) {
           uint8_t flags = r.u8();
@@ -300,7 +297,7 @@ bool TableDumpReader::next(Record& record) {
         return true;
       }
       ++skipped_;
-    } catch (const MrtError&) {
+    } catch (const util::ParseError&) {
       ++bad_;
     }
   }

@@ -1,115 +1,36 @@
-// Big-endian wire-format primitives for the MRT codec.
+// Wire-format primitives for the MRT codec.
 //
-// ByteWriter accumulates into a byte vector; ByteReader decodes with hard
-// bounds checks and throws MrtError on truncation, which the record reader
-// converts into a per-record parse failure (a corrupt record must not take
-// down a whole dump scan).
+// The actual bounds-checked reader/writer machinery lives in
+// util/bytes.h (ByteCursor / ByteBuf); this header binds the MRT-local
+// names and the MRT error type. ByteReader decodes with hard bounds
+// checks and throws on truncation, which the record readers convert into
+// a per-record parse failure (a corrupt record must not take down a whole
+// dump scan).
 #pragma once
 
-#include <cstdint>
-#include <cstring>
-#include <span>
-#include <stdexcept>
 #include <string>
-#include <vector>
+
+#include "util/bytes.h"
 
 namespace manrs::mrt {
 
-class MrtError : public std::runtime_error {
+/// MRT-specific parse failure. Derives from util::ParseError so that a
+/// record-level catch of ParseError also covers truncation errors thrown
+/// by the cursor layer itself.
+class MrtError : public util::ParseError {
  public:
-  explicit MrtError(const std::string& what) : std::runtime_error(what) {}
+  explicit MrtError(const std::string& what) : util::ParseError(what) {}
 };
 
-class ByteWriter {
- public:
-  void u8(uint8_t v) { buf_.push_back(v); }
-  void u16(uint16_t v) {
-    buf_.push_back(static_cast<uint8_t>(v >> 8));
-    buf_.push_back(static_cast<uint8_t>(v));
-  }
-  void u32(uint32_t v) {
-    buf_.push_back(static_cast<uint8_t>(v >> 24));
-    buf_.push_back(static_cast<uint8_t>(v >> 16));
-    buf_.push_back(static_cast<uint8_t>(v >> 8));
-    buf_.push_back(static_cast<uint8_t>(v));
-  }
-  void u64(uint64_t v) {
-    u32(static_cast<uint32_t>(v >> 32));
-    u32(static_cast<uint32_t>(v));
-  }
-  void bytes(std::span<const uint8_t> data) {
-    buf_.insert(buf_.end(), data.begin(), data.end());
-  }
-  void bytes(const ByteWriter& other) {
-    buf_.insert(buf_.end(), other.buf_.begin(), other.buf_.end());
-  }
+using ByteReader = util::ByteCursor;
+using ByteWriter = util::ByteBuf;
 
-  /// Overwrite a previously written 16-bit slot (for back-patched length
-  /// fields).
-  void patch_u16(size_t offset, uint16_t v) {
-    buf_[offset] = static_cast<uint8_t>(v >> 8);
-    buf_[offset + 1] = static_cast<uint8_t>(v);
-  }
-
-  size_t size() const { return buf_.size(); }
-  const std::vector<uint8_t>& data() const { return buf_; }
-  std::vector<uint8_t> take() { return std::move(buf_); }
-
- private:
-  std::vector<uint8_t> buf_;
-};
-
-class ByteReader {
- public:
-  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
-
-  size_t remaining() const { return data_.size() - pos_; }
-  bool done() const { return pos_ == data_.size(); }
-  size_t position() const { return pos_; }
-
-  uint8_t u8() {
-    need(1);
-    return data_[pos_++];
-  }
-  uint16_t u16() {
-    need(2);
-    uint16_t v = static_cast<uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
-    pos_ += 2;
-    return v;
-  }
-  uint32_t u32() {
-    need(4);
-    uint32_t v = static_cast<uint32_t>(data_[pos_]) << 24 |
-                 static_cast<uint32_t>(data_[pos_ + 1]) << 16 |
-                 static_cast<uint32_t>(data_[pos_ + 2]) << 8 |
-                 static_cast<uint32_t>(data_[pos_ + 3]);
-    pos_ += 4;
-    return v;
-  }
-  uint64_t u64() {
-    uint64_t hi = u32();
-    return (hi << 32) | u32();
-  }
-  std::span<const uint8_t> bytes(size_t n) {
-    need(n);
-    auto out = data_.subspan(pos_, n);
-    pos_ += n;
-    return out;
-  }
-  void skip(size_t n) {
-    need(n);
-    pos_ += n;
-  }
-
- private:
-  void need(size_t n) const {
-    if (data_.size() - pos_ < n) {
-      throw MrtError("truncated record: need " + std::to_string(n) +
-                     " bytes, have " + std::to_string(data_.size() - pos_));
-    }
-  }
-  std::span<const uint8_t> data_;
-  size_t pos_ = 0;
-};
+/// Upper bound on a declared MRT record body length. RFC 6396 puts no
+/// limit in the header, but a real TABLE_DUMP_V2 / BGP4MP record is tens
+/// of kilobytes at most; a multi-megabyte declared length is either a
+/// corrupt header or a decompression bomb, and blindly allocating it
+/// turns one flipped bit into an OOM. Oversized records are rejected as
+/// parse errors before any allocation.
+inline constexpr uint32_t kMaxRecordLength = 16u * 1024 * 1024;
 
 }  // namespace manrs::mrt

@@ -3,6 +3,7 @@
 #include <istream>
 #include <ostream>
 
+#include "util/bytes.h"
 #include "util/csv.h"
 #include "util/strings.h"
 
@@ -27,42 +28,66 @@ void write_vrp_csv(std::ostream& out, const std::vector<Vrp>& vrps,
   }
 }
 
-std::vector<Vrp> read_vrp_csv(std::istream& in, size_t* skipped) {
+std::optional<Vrp> parse_vrp_row(const std::vector<std::string>& row) {
+  if (!row.empty() && util::iequals(row[0], "URI")) return std::nullopt;
+  if (row.size() < 4) {
+    throw util::ParseError("VRP row has " + std::to_string(row.size()) +
+                           " columns, need at least 4");
+  }
+  auto asn = net::Asn::parse(row[1]);
+  if (!asn) throw util::ParseError("bad ASN column: '" + row[1] + "'");
+  auto prefix = net::Prefix::parse(row[2]);
+  if (!prefix) throw util::ParseError("bad prefix column: '" + row[2] + "'");
+  auto maxlen = util::parse_uint<unsigned>(util::trim(row[3]));
+  if (!maxlen) {
+    throw util::ParseError("bad max-length column: '" + row[3] + "'");
+  }
+  net::Rir anchor = net::Rir::kRipe;
+  // Recover the trust anchor from the URI when it follows the synthetic
+  // scheme; real archives carry it in per-TA directories.
+  for (net::Rir r : net::kAllRirs) {
+    if (row[0].find(util::to_lower(net::rir_name(r))) != std::string::npos) {
+      anchor = r;
+      break;
+    }
+  }
+  Vrp vrp{*prefix, *maxlen, *asn, anchor};
+  if (!vrp.well_formed()) {
+    throw util::ParseError("max length " + std::to_string(*maxlen) +
+                           " outside [" + std::to_string(prefix->length()) +
+                           ", " +
+                           std::to_string(net::family_bits(prefix->family())) +
+                           "] for " + prefix->to_string());
+  }
+  return vrp;
+}
+
+std::vector<Vrp> read_vrp_csv(std::istream& in, VrpCsvStats& stats) {
   util::CsvReader reader(in, ',', '#');
   std::vector<Vrp> vrps;
-  size_t bad = 0;
   util::CsvRow row;
   while (reader.next(row)) {
-    if (row.size() < 4) {
-      ++bad;
-      continue;
-    }
-    if (util::iequals(row[0], "URI")) continue;  // header
-    auto asn = net::Asn::parse(row[1]);
-    auto prefix = net::Prefix::parse(row[2]);
-    auto maxlen = util::parse_uint<unsigned>(util::trim(row[3]));
-    if (!asn || !prefix || !maxlen) {
-      ++bad;
-      continue;
-    }
-    net::Rir anchor = net::Rir::kRipe;
-    // Recover the trust anchor from the URI when it follows the synthetic
-    // scheme; real archives carry it in per-TA directories.
-    for (net::Rir r : net::kAllRirs) {
-      if (row[0].find(util::to_lower(net::rir_name(r))) !=
-          std::string::npos) {
-        anchor = r;
-        break;
+    try {
+      auto vrp = parse_vrp_row(row);
+      if (!vrp) continue;  // header
+      ++stats.rows;
+      vrps.push_back(*vrp);
+    } catch (const util::ParseError& e) {
+      ++stats.rows;
+      ++stats.skipped;
+      if (stats.first_error.empty()) {
+        stats.first_error =
+            "line " + std::to_string(reader.line_number()) + ": " + e.what();
       }
     }
-    Vrp vrp{*prefix, *maxlen, *asn, anchor};
-    if (!vrp.well_formed()) {
-      ++bad;
-      continue;
-    }
-    vrps.push_back(vrp);
   }
-  if (skipped) *skipped = bad;
+  return vrps;
+}
+
+std::vector<Vrp> read_vrp_csv(std::istream& in, size_t* skipped) {
+  VrpCsvStats stats;
+  auto vrps = read_vrp_csv(in, stats);
+  if (skipped) *skipped = stats.skipped;
   return vrps;
 }
 

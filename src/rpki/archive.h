@@ -24,9 +24,26 @@ namespace manrs::rpki {
 void write_vrp_csv(std::ostream& out, const std::vector<Vrp>& vrps,
                    const util::Date& snapshot);
 
+/// Parse one CSV row (URI,ASN,IP Prefix,Max Length,...) into a Vrp.
+/// Throws util::ParseError naming the offending column for short rows,
+/// unparseable fields, and max-length values outside
+/// [prefix length, family width]. Returns nullopt only for the header row.
+std::optional<Vrp> parse_vrp_row(const std::vector<std::string>& row);
+
+/// Row-level accounting for a CSV read; `first_error` keeps the first
+/// typed parse failure for diagnostics.
+struct VrpCsvStats {
+  size_t rows = 0;     // data rows seen (header excluded)
+  size_t skipped = 0;  // rows rejected with a parse error
+  std::string first_error;
+};
+
 /// Parse a RIPE-style CSV. Unparseable rows are skipped and counted in
 /// `skipped` (if provided); the header row is detected and ignored.
 std::vector<Vrp> read_vrp_csv(std::istream& in, size_t* skipped = nullptr);
+
+/// As above, with full row accounting.
+std::vector<Vrp> read_vrp_csv(std::istream& in, VrpCsvStats& stats);
 
 /// A dated series of VRP snapshots (the paper's monthly/annual archives).
 class RpkiArchiveSeries {

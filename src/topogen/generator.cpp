@@ -715,7 +715,7 @@ class Generator {
       // Unregistered siblings of MANRS orgs were still conformant
       // (Finding 8.6): claimed sibling ASes already carry coverage 1.0
       // from make_sibling_as via these flags.
-      if (sibling_set_.count(&p - ases_.data())) {
+      if (sibling_set_.count(static_cast<size_t>(&p - ases_.data()))) {
         p.rpki_coverage = 1.0;
         p.irr_coverage = 1.0;
         p.rpki_misconfig = false;

@@ -74,8 +74,9 @@ WeeklySeries build_weekly_series(const Scenario& scenario, size_t weeks) {
   std::vector<Leaver> leaver_rows;
   for (size_t i = 0; i < leavers; ++i) {
     const bgp::PrefixOrigin& donor = base[cdn1_rows[joiners + i]];
-    leaver_rows.push_back(Leaver{derive_more_specific(donor, i),
-                                 rng.uniform(weeks - 1)});
+    leaver_rows.push_back(
+        Leaver{derive_more_specific(donor, static_cast<unsigned>(i)),
+               rng.uniform(weeks - 1)});
   }
   series.cdn1_new = joiners;
   series.cdn1_stopped = leavers;

@@ -1,0 +1,48 @@
+#include "util/bytes.h"
+
+#include <istream>
+#include <ostream>
+
+namespace manrs::util {
+
+std::string_view ByteCursor::ascii(size_t n) {
+  return as_chars(bytes(n));
+}
+
+// The casts below are the codebase's one sanctioned byte<->char aliasing
+// site: uint8_t and char have the same size and alignment, and aliasing
+// through [unsigned] char is explicitly defined behaviour. Everything
+// above the stream boundary works in uint8_t spans only.
+// lint-ok: audited aliasing bridge
+
+bool read_exact(std::istream& in, std::span<uint8_t> out) {
+  if (out.empty()) return true;
+  in.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(out.size()));
+  return static_cast<size_t>(in.gcount()) == out.size();
+}
+
+size_t read_upto(std::istream& in, std::span<uint8_t> out) {
+  if (out.empty()) return 0;
+  in.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(out.size()));
+  return static_cast<size_t>(in.gcount());
+}
+
+void write_bytes(std::ostream& out, std::span<const uint8_t> data) {
+  if (data.empty()) return;
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+std::string_view as_chars(std::span<const uint8_t> data) {
+  return std::string_view(reinterpret_cast<const char*>(data.data()),
+                          data.size());
+}
+
+std::span<const uint8_t> as_bytes(std::string_view s) {
+  return std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+}  // namespace manrs::util

@@ -34,7 +34,7 @@ int64_t Date::to_days() const {
   y -= m <= 2;
   const int era = (y >= 0 ? y : y - 399) / 400;
   const unsigned yoe = static_cast<unsigned>(y - era * 400);
-  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doy = (153 * (m + (m > 2 ? -3u : 9u)) + 2) / 5 + d - 1;
   const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
   return static_cast<int64_t>(era) * 146097 +
          static_cast<int64_t>(doe) - 719468;
@@ -50,7 +50,7 @@ Date Date::from_days(int64_t z) {
   const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
   const unsigned mp = (5 * doy + 2) / 153;
   const unsigned d = doy - (153 * mp + 2) / 5 + 1;
-  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  const unsigned m = mp + (mp < 10 ? 3u : -9u);
   return Date(y + (m <= 2), m, d);
 }
 

@@ -71,7 +71,9 @@ class Rng {
   }
 
   /// Uniform double in [0, 1).
-  double uniform01() { return (next() >> 11) * 0x1.0p-53; }
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
   double uniform_real(double lo, double hi) {

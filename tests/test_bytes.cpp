@@ -1,0 +1,149 @@
+// Unit tests for the bounds-checked byte cursor/buffer layer that all
+// wire-format codecs decode through (util/bytes.h).
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+
+namespace manrs::util {
+namespace {
+
+TEST(ByteBuf, BigEndianEncoding) {
+  ByteBuf w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u32(0x04050607);
+  w.u64(0x08090A0B0C0D0E0FULL);
+  const std::vector<uint8_t> expected = {0x01, 0x02, 0x03, 0x04, 0x05,
+                                         0x06, 0x07, 0x08, 0x09, 0x0A,
+                                         0x0B, 0x0C, 0x0D, 0x0E, 0x0F};
+  EXPECT_EQ(w.data(), expected);
+}
+
+TEST(ByteBuf, AsciiAppendsWithoutCasts) {
+  ByteBuf w;
+  w.ascii("rrc00");
+  ASSERT_EQ(w.size(), 5u);
+  EXPECT_EQ(as_chars(w.span()), "rrc00");
+}
+
+TEST(ByteBuf, PatchU16RewritesSlot) {
+  ByteBuf w;
+  w.u16(0);
+  w.u32(0xDEADBEEF);
+  w.patch_u16(0, 0x1234);
+  ByteCursor r(w.span());
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEF);
+}
+
+TEST(ByteBuf, PatchU16OutOfRangeThrows) {
+  ByteBuf w;
+  w.u8(0);
+  EXPECT_THROW(w.patch_u16(0, 1), ParseError);
+  EXPECT_THROW(w.patch_u16(7, 1), ParseError);
+}
+
+TEST(ByteCursor, RoundTripsWriterOutput) {
+  ByteBuf w;
+  w.u8(0xAB);
+  w.u16(0xCDEF);
+  w.u32(0x01234567);
+  w.u64(0x89ABCDEF01234567ULL);
+  ByteCursor r(w.span());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xCDEF);
+  EXPECT_EQ(r.u32(), 0x01234567u);
+  EXPECT_EQ(r.u64(), 0x89ABCDEF01234567ULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteCursor, ThrowsOnTruncationWithoutAdvancing) {
+  const std::vector<uint8_t> data = {0x00, 0x01, 0x02};
+  ByteCursor r(data);
+  r.u8();
+  EXPECT_THROW(r.u32(), ParseError);
+  // A failed read must not consume anything.
+  EXPECT_EQ(r.position(), 1u);
+  EXPECT_EQ(r.u16(), 0x0102);
+}
+
+TEST(ByteCursor, TryReadsReturnNulloptAtEnd) {
+  const std::vector<uint8_t> data = {0x11, 0x22};
+  ByteCursor r(data);
+  EXPECT_EQ(r.try_u16(), 0x1122);
+  EXPECT_EQ(r.try_u8(), std::nullopt);
+  EXPECT_EQ(r.try_u16(), std::nullopt);
+  EXPECT_EQ(r.try_u32(), std::nullopt);
+  EXPECT_EQ(r.try_u64(), std::nullopt);
+  EXPECT_EQ(r.try_bytes(1), std::nullopt);
+}
+
+TEST(ByteCursor, SubCursorIsBoundsLimited) {
+  const std::vector<uint8_t> data = {0x01, 0x02, 0x03, 0x04, 0x05};
+  ByteCursor r(data);
+  ByteCursor inner = r.sub(2);
+  EXPECT_EQ(inner.u16(), 0x0102);
+  // The inner cursor cannot see the parent's remaining bytes.
+  EXPECT_THROW(inner.u8(), ParseError);
+  // The parent resumes exactly after the carved extent.
+  EXPECT_EQ(r.u8(), 0x03);
+}
+
+TEST(ByteCursor, SubCursorOverrunThrows) {
+  const std::vector<uint8_t> data = {0x01, 0x02};
+  ByteCursor r(data);
+  EXPECT_THROW(r.sub(3), ParseError);
+}
+
+TEST(ByteCursor, AsciiAliasesBuffer) {
+  ByteBuf w;
+  w.ascii("view-name");
+  ByteCursor r(w.span());
+  EXPECT_EQ(r.ascii(4), "view");
+  EXPECT_EQ(r.remaining(), 5u);
+}
+
+TEST(ByteCursor, SkipAndBytesBoundsChecked) {
+  const std::vector<uint8_t> data(8, 0xAA);
+  ByteCursor r(data);
+  r.skip(4);
+  EXPECT_THROW(r.skip(5), ParseError);
+  EXPECT_THROW(r.bytes(5), ParseError);
+  EXPECT_EQ(r.bytes(4).size(), 4u);
+}
+
+TEST(StreamBridge, ReadExactAndUpto) {
+  std::istringstream in(std::string("\x01\x02\x03", 3));
+  std::array<uint8_t, 2> two{};
+  ASSERT_TRUE(read_exact(in, two));
+  EXPECT_EQ(two[0], 0x01);
+  EXPECT_EQ(two[1], 0x02);
+  std::array<uint8_t, 4> four{};
+  EXPECT_EQ(read_upto(in, four), 1u);  // only one byte left
+  EXPECT_EQ(four[0], 0x03);
+  EXPECT_FALSE(read_exact(in, two));  // EOF
+}
+
+TEST(StreamBridge, WriteBytesRoundTrip) {
+  ByteBuf w;
+  w.u32(0xCAFEBABE);
+  std::ostringstream out;
+  write_bytes(out, w.span());
+  std::string s = out.str();
+  ByteCursor r(as_bytes(s));
+  EXPECT_EQ(r.u32(), 0xCAFEBABE);
+}
+
+TEST(StreamBridge, CharViewsRoundTrip) {
+  std::string_view text = "mrt";
+  auto bytes = as_bytes(text);
+  ASSERT_EQ(bytes.size(), 3u);
+  EXPECT_EQ(bytes[0], 'm');
+  EXPECT_EQ(as_chars(bytes), text);
+}
+
+}  // namespace
+}  // namespace manrs::util

@@ -2,20 +2,335 @@
 // survive arbitrary and corrupted input without crashing, hanging, or
 // over-reading -- a real pipeline meets truncated MRT dumps and mangled
 // registry exports routinely.
+//
+// Two layers:
+//   * a deterministic corpus of named malformations (truncated headers,
+//     lying length fields, overrunning attributes, zero-length AS_PATHs,
+//     malformed RPSL) with exact per-case accounting, and
+//   * seeded random garbage / bit-flip sweeps for breadth.
+// Both run under ASan+UBSan via tools/check.sh.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include "irr/rpsl.h"
 #include "mrt/bgp4mp.h"
 #include "mrt/table_dump.h"
 #include "netbase/prefix.h"
 #include "rpki/archive.h"
+#include "util/bytes.h"
 #include "util/csv.h"
 #include "util/rng.h"
 
 namespace manrs {
 namespace {
+
+// ---- deterministic corpus ----------------------------------------------
+
+/// Serialize one MRT record (header + body) to a byte string.
+std::string mrt_record(uint16_t type, uint16_t subtype,
+                       const mrt::ByteWriter& body, uint32_t declared_length) {
+  mrt::ByteWriter rec;
+  rec.u32(1650000000);  // timestamp
+  rec.u16(type);
+  rec.u16(subtype);
+  rec.u32(declared_length);
+  rec.bytes(body);
+  return std::string(util::as_chars(rec.span()));
+}
+
+std::string mrt_record(uint16_t type, uint16_t subtype,
+                       const mrt::ByteWriter& body) {
+  return mrt_record(type, subtype, body,
+                    static_cast<uint32_t>(body.size()));
+}
+
+/// Run the TABLE_DUMP_V2 reader over `bytes` and report (parsed, bad).
+std::pair<size_t, size_t> scan_table_dump(const std::string& bytes) {
+  std::istringstream in(bytes);
+  mrt::TableDumpReader reader(in);
+  mrt::TableDumpReader::Record record;
+  size_t parsed = 0;
+  while (reader.next(record)) ++parsed;
+  return {parsed, reader.bad_records()};
+}
+
+std::pair<size_t, size_t> scan_bgp4mp(const std::string& bytes) {
+  std::istringstream in(bytes);
+  mrt::Bgp4mpReader reader(in);
+  mrt::Bgp4mpRecord record;
+  size_t parsed = 0;
+  while (reader.next(record)) ++parsed;
+  return {parsed, reader.bad_records()};
+}
+
+TEST(FuzzCorpus, TruncatedMrtHeader) {
+  auto [parsed, bad] = scan_table_dump(std::string("\x00\x01\x02", 3));
+  EXPECT_EQ(parsed, 0u);
+  EXPECT_EQ(bad, 1u);
+}
+
+TEST(FuzzCorpus, OversizedDeclaredLengthRejectedBeforeAllocation) {
+  // Header declares a 4 GiB body. The reader must reject it at the
+  // length cap -- reaching the allocation would OOM under ASan.
+  mrt::ByteWriter empty;
+  auto [parsed, bad] = scan_table_dump(
+      mrt_record(mrt::kTypeTableDumpV2, mrt::kSubtypeRibIpv4Unicast, empty,
+                 0xFFFFFFFFu));
+  EXPECT_EQ(parsed, 0u);
+  EXPECT_EQ(bad, 1u);
+}
+
+TEST(FuzzCorpus, DeclaredLengthLongerThanStream) {
+  mrt::ByteWriter body;
+  body.u32(0);  // 4 bytes present...
+  auto [parsed, bad] = scan_table_dump(
+      mrt_record(mrt::kTypeTableDumpV2, mrt::kSubtypeRibIpv4Unicast, body,
+                 100));  // ...100 declared
+  EXPECT_EQ(parsed, 0u);
+  EXPECT_EQ(bad, 1u);
+}
+
+TEST(FuzzCorpus, PeerIndexViewNameOverrunsBody) {
+  mrt::ByteWriter body;
+  body.u32(0x0A000001);
+  body.u16(50);  // view name claims 50 bytes
+  body.ascii("abc");
+  auto [parsed, bad] = scan_table_dump(
+      mrt_record(mrt::kTypeTableDumpV2, mrt::kSubtypePeerIndexTable, body));
+  EXPECT_EQ(parsed, 0u);
+  EXPECT_EQ(bad, 1u);
+}
+
+TEST(FuzzCorpus, NlriLengthExceedsFamilyWidth) {
+  mrt::ByteWriter body;
+  body.u32(0);   // sequence
+  body.u8(96);   // /96 in an IPv4 record
+  auto [parsed, bad] = scan_table_dump(
+      mrt_record(mrt::kTypeTableDumpV2, mrt::kSubtypeRibIpv4Unicast, body));
+  EXPECT_EQ(parsed, 0u);
+  EXPECT_EQ(bad, 1u);
+}
+
+TEST(FuzzCorpus, AttributeOverrunsDeclaredBlock) {
+  mrt::ByteWriter body;
+  body.u32(0);                   // sequence
+  body.u8(24);                   // /24
+  body.bytes(std::to_array<uint8_t>({192, 0, 2}));
+  body.u16(1);                   // one RIB entry
+  body.u16(0);                   // peer index
+  body.u32(0);                   // originated
+  body.u16(4);                   // attr block: 4 bytes...
+  body.u8(0x40);
+  body.u8(2);                    // AS_PATH
+  body.u8(200);                  // ...but attribute claims 200
+  body.u8(0);
+  auto [parsed, bad] = scan_table_dump(
+      mrt_record(mrt::kTypeTableDumpV2, mrt::kSubtypeRibIpv4Unicast, body));
+  EXPECT_EQ(parsed, 0u);
+  EXPECT_EQ(bad, 1u);
+}
+
+TEST(FuzzCorpus, AsPathSegmentCountOverrunsAttribute) {
+  mrt::ByteWriter attr;
+  attr.u8(2);    // AS_SEQUENCE
+  attr.u8(50);   // claims 50 hops
+  attr.u32(65000);  // provides one
+
+  mrt::ByteWriter body;
+  body.u32(0);
+  body.u8(24);
+  body.bytes(std::to_array<uint8_t>({192, 0, 2}));
+  body.u16(1);
+  body.u16(0);
+  body.u32(0);
+  body.u16(static_cast<uint16_t>(attr.size() + 3));
+  body.u8(0x40);
+  body.u8(2);  // AS_PATH
+  body.u8(static_cast<uint8_t>(attr.size()));
+  body.bytes(attr);
+  auto [parsed, bad] = scan_table_dump(
+      mrt_record(mrt::kTypeTableDumpV2, mrt::kSubtypeRibIpv4Unicast, body));
+  EXPECT_EQ(parsed, 0u);
+  EXPECT_EQ(bad, 1u);
+}
+
+TEST(FuzzCorpus, AsSetSegmentIsTypedParseError) {
+  mrt::ByteWriter attr;
+  attr.u8(1);  // AS_SET (deprecated)
+  attr.u8(1);
+  attr.u32(65000);
+
+  mrt::ByteWriter body;
+  body.u32(0);
+  body.u8(24);
+  body.bytes(std::to_array<uint8_t>({192, 0, 2}));
+  body.u16(1);
+  body.u16(0);
+  body.u32(0);
+  body.u16(static_cast<uint16_t>(attr.size() + 3));
+  body.u8(0x40);
+  body.u8(2);
+  body.u8(static_cast<uint8_t>(attr.size()));
+  body.bytes(attr);
+  auto [parsed, bad] = scan_table_dump(
+      mrt_record(mrt::kTypeTableDumpV2, mrt::kSubtypeRibIpv4Unicast, body));
+  EXPECT_EQ(parsed, 0u);
+  EXPECT_EQ(bad, 1u);
+}
+
+TEST(FuzzCorpus, ZeroLengthAsPathParsesToEmptyPath) {
+  // A zero-length AS_PATH attribute is structurally valid: the record
+  // must parse (not crash, not count bad) and yield an empty path.
+  mrt::ByteWriter body;
+  body.u32(0);
+  body.u8(24);
+  body.bytes(std::to_array<uint8_t>({192, 0, 2}));
+  body.u16(1);
+  body.u16(0);
+  body.u32(0);
+  body.u16(3);   // attr block: flags, type, len=0
+  body.u8(0x40);
+  body.u8(2);    // AS_PATH
+  body.u8(0);    // zero-length
+
+  std::istringstream in(
+      mrt_record(mrt::kTypeTableDumpV2, mrt::kSubtypeRibIpv4Unicast, body));
+  mrt::TableDumpReader reader(in);
+  mrt::TableDumpReader::Record record;
+  ASSERT_TRUE(reader.next(record));
+  ASSERT_TRUE(record.rib.has_value());
+  ASSERT_EQ(record.rib->entries.size(), 1u);
+  EXPECT_TRUE(record.rib->entries[0].path.empty());
+  EXPECT_EQ(reader.bad_records(), 0u);
+}
+
+TEST(FuzzCorpus, Bgp4mpMessageLengthBelowHeaderSize) {
+  mrt::ByteWriter body;
+  body.u32(65000);  // peer asn
+  body.u32(65001);  // local asn
+  body.u16(0);      // ifindex
+  body.u16(1);      // AFI v4
+  body.u32(0x0A000001);
+  body.u32(0x0A000002);
+  for (int i = 0; i < 4; ++i) body.u32(0xFFFFFFFFu);  // marker
+  body.u16(10);  // BGP message length < 19
+  body.u8(2);    // UPDATE
+  auto [parsed, bad] = scan_bgp4mp(
+      mrt_record(mrt::kTypeBgp4mp, mrt::kSubtypeBgp4mpMessageAs4, body));
+  EXPECT_EQ(parsed, 0u);
+  EXPECT_EQ(bad, 1u);
+}
+
+TEST(FuzzCorpus, Bgp4mpWithdrawnBlockOverrunsBody) {
+  mrt::ByteWriter update;
+  update.u16(60);  // withdrawn routes length overruns the message
+
+  mrt::ByteWriter body;
+  body.u32(65000);
+  body.u32(65001);
+  body.u16(0);
+  body.u16(1);
+  body.u32(0x0A000001);
+  body.u32(0x0A000002);
+  for (int i = 0; i < 4; ++i) body.u32(0xFFFFFFFFu);
+  body.u16(static_cast<uint16_t>(19 + update.size()));
+  body.u8(2);
+  body.bytes(update);
+  auto [parsed, bad] = scan_bgp4mp(
+      mrt_record(mrt::kTypeBgp4mp, mrt::kSubtypeBgp4mpMessageAs4, body));
+  EXPECT_EQ(parsed, 0u);
+  EXPECT_EQ(bad, 1u);
+}
+
+TEST(FuzzCorpus, Bgp4mpMpReachNextHopOverrunsAttribute) {
+  mrt::ByteWriter attr;
+  attr.u16(2);   // AFI v6
+  attr.u8(1);    // SAFI unicast
+  attr.u8(200);  // next-hop length overruns the attribute
+
+  mrt::ByteWriter update;
+  update.u16(0);  // no withdrawn
+  update.u16(static_cast<uint16_t>(attr.size() + 3));
+  update.u8(0x80);
+  update.u8(14);  // MP_REACH_NLRI
+  update.u8(static_cast<uint8_t>(attr.size()));
+  update.bytes(attr);
+
+  mrt::ByteWriter body;
+  body.u32(65000);
+  body.u32(65001);
+  body.u16(0);
+  body.u16(1);
+  body.u32(0x0A000001);
+  body.u32(0x0A000002);
+  for (int i = 0; i < 4; ++i) body.u32(0xFFFFFFFFu);
+  body.u16(static_cast<uint16_t>(19 + update.size()));
+  body.u8(2);
+  body.bytes(update);
+  auto [parsed, bad] = scan_bgp4mp(
+      mrt_record(mrt::kTypeBgp4mp, mrt::kSubtypeBgp4mpMessageAs4, body));
+  EXPECT_EQ(parsed, 0u);
+  EXPECT_EQ(bad, 1u);
+}
+
+TEST(FuzzCorpus, MalformedRpslLinesAreCountedNotFatal) {
+  // A no-colon line, a continuation before any attribute, and an
+  // attribute-less object must all be survivable and counted.
+  const std::string text =
+      "this line has no colon\n"
+      "+ continuation with nothing to continue\n"
+      "\n"
+      "route: 192.0.2.0/24\n"
+      "origin: AS64500\n"
+      "\n";
+  size_t malformed = 0;
+  auto objects = irr::parse_rpsl(text, &malformed);
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].object_class(), "route");
+  EXPECT_GE(malformed, 2u);
+}
+
+TEST(FuzzCorpus, RpslValueBombIsCappedAndCounted) {
+  // Continuation lines that would grow one value past the cap are dropped
+  // and counted instead of accumulated without bound.
+  std::string text = "remarks: start\n";
+  std::string filler(8000, 'x');
+  for (int i = 0; i < 12; ++i) {
+    text += "+ " + filler + "\n";
+  }
+  text += "\n";
+  size_t malformed = 0;
+  auto objects = irr::parse_rpsl(text, &malformed);
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_LE(objects[0].attributes[0].value.size(),
+            irr::RpslParser::kMaxValueLength);
+  EXPECT_GE(malformed, 1u);
+}
+
+TEST(FuzzCorpus, VrpCsvRowErrorsAreTypedAndLocated) {
+  const std::string text =
+      "URI,ASN,IP Prefix,Max Length,Not Before,Not After\n"
+      "rsync://x,notanasn,192.0.2.0/24,24,,\n"
+      "rsync://y,AS64500,999.999.0.0/24,24,,\n"
+      "rsync://z,AS64500,192.0.2.0/24,99,,\n"
+      "rsync://ok,AS64500,192.0.2.0/24,24,,\n";
+  std::istringstream in(text);
+  rpki::VrpCsvStats stats;
+  auto vrps = rpki::read_vrp_csv(in, stats);
+  EXPECT_EQ(vrps.size(), 1u);
+  EXPECT_EQ(stats.rows, 4u);
+  EXPECT_EQ(stats.skipped, 3u);
+  EXPECT_NE(stats.first_error.find("line 2"), std::string::npos)
+      << stats.first_error;
+  EXPECT_NE(stats.first_error.find("ASN"), std::string::npos)
+      << stats.first_error;
+}
+
+// ---- randomized sweeps -------------------------------------------------
 
 std::string random_bytes(util::Rng& rng, size_t n) {
   std::string out(n, '\0');

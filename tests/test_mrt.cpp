@@ -38,7 +38,9 @@ TEST(Wire, TruncationThrows) {
   w.u16(7);
   ByteReader r(w.data());
   EXPECT_EQ(r.u8(), 0);
-  EXPECT_THROW(r.u32(), MrtError);
+  // Cursor truncation throws util::ParseError; MrtError (a subclass) is
+  // reserved for MRT semantic errors. Both unwind to the record boundary.
+  EXPECT_THROW(r.u32(), util::ParseError);
 }
 
 TEST(Wire, PatchU16) {

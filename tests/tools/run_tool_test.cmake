@@ -1,0 +1,33 @@
+# Negative-path runner for CLI tools: asserts exit code and (optionally) a
+# regex over combined stdout+stderr. CTest invokes this as
+#   cmake -DTOOL=<bin> -DARGS=<;-list> -DEXPECT_EXIT=<n>
+#         [-DEXPECT_OUTPUT=<regex>] -P run_tool_test.cmake
+# A tool that dies on a signal (ASan abort, segfault) produces a non-numeric
+# RESULT_VARIABLE, which never matches EXPECT_EXIT -- crashes always fail.
+if(NOT DEFINED TOOL OR NOT DEFINED EXPECT_EXIT)
+  message(FATAL_ERROR "run_tool_test.cmake needs -DTOOL and -DEXPECT_EXIT")
+endif()
+
+separate_arguments(tool_args UNIX_COMMAND "${ARGS}")
+
+execute_process(
+  COMMAND "${TOOL}" ${tool_args}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE run_stdout
+  ERROR_VARIABLE run_stderr
+  TIMEOUT 60
+)
+
+if(NOT exit_code STREQUAL "${EXPECT_EXIT}")
+  message(FATAL_ERROR
+    "${TOOL} ${ARGS}: expected exit ${EXPECT_EXIT}, got '${exit_code}'\n"
+    "stdout: ${run_stdout}\nstderr: ${run_stderr}")
+endif()
+
+if(DEFINED EXPECT_OUTPUT)
+  if(NOT "${run_stdout}${run_stderr}" MATCHES "${EXPECT_OUTPUT}")
+    message(FATAL_ERROR
+      "${TOOL} ${ARGS}: output does not match '${EXPECT_OUTPUT}'\n"
+      "stdout: ${run_stdout}\nstderr: ${run_stderr}")
+  endif()
+endif()

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Single-entry-point static-analysis + test gate, usable as CI:
+#
+#   1. configure + build with ASan+UBSan, warnings-as-errors
+#   2. run the full ctest suite (including the malformed-input fuzz
+#      corpus) under the sanitizers
+#   3. clang-tidy over src/ (skipped with a warning if not installed)
+#   4. the repo-specific wire lint (tools/lint_wire.py)
+#
+# Exit 0 iff every stage that could run passed. See
+# docs/static-analysis.md for the policy behind each stage.
+#
+# Env knobs:
+#   BUILD_DIR   sanitizer build directory (default: build-sanitize)
+#   SANITIZE    sanitizer set (default: address,undefined; use thread
+#               for a TSan pass)
+#   JOBS        parallelism (default: nproc)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+SANITIZE="${SANITIZE:-address,undefined}"
+JOBS="${JOBS:-$(nproc)}"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "configure + build (SANITIZE=$SANITIZE)"
+cmake -B "$BUILD_DIR" -S . -DSANITIZE="$SANITIZE" \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+step "ctest under sanitizers"
+# abort_on_error makes any ASan report fail the test immediately;
+# detect_leaks stays on by default with ASan.
+ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+step "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  mapfile -t tidy_sources < <(find src -name '*.cpp' | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p "$BUILD_DIR" -quiet "${tidy_sources[@]}"
+  else
+    clang-tidy -p "$BUILD_DIR" --quiet "${tidy_sources[@]}"
+  fi
+else
+  echo "warning: clang-tidy not installed; skipping (install it to run" \
+       "the checked-in .clang-tidy profile)" >&2
+fi
+
+step "wire lint"
+python3 tools/lint_wire.py
+
+step "all checks passed"

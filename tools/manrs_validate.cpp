@@ -60,7 +60,16 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--routes") == 0) {
       routes_path = need_value("--routes");
     } else if (std::strcmp(argv[i], "--threshold") == 0) {
-      threshold = std::atof(need_value("--threshold"));
+      const char* raw = need_value("--threshold");
+      auto parsed = util::parse_double(raw);
+      if (!parsed || *parsed < 0.0 || *parsed > 100.0) {
+        std::fprintf(stderr,
+                     "manrs_validate: invalid threshold '%s' "
+                     "(need a percentage in [0, 100])\n",
+                     raw);
+        return 2;
+      }
+      threshold = *parsed;
     } else {
       usage();
       return 2;
@@ -79,11 +88,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot open %s\n", vrps_path.c_str());
       return 1;
     }
-    size_t skipped = 0;
-    auto loaded = rpki::read_vrp_csv(in, &skipped);
+    rpki::VrpCsvStats stats;
+    auto loaded = rpki::read_vrp_csv(in, stats);
+    if (loaded.empty() && stats.skipped > 0) {
+      std::fprintf(stderr,
+                   "manrs_validate: %s: no valid VRP rows (%zu rows "
+                   "rejected; first error: %s)\n",
+                   vrps_path.c_str(), stats.skipped,
+                   stats.first_error.c_str());
+      return 1;
+    }
     vrps.add_all(loaded);
     std::fprintf(stderr, "loaded %zu VRPs from %s (%zu rows skipped)\n",
-                 loaded.size(), vrps_path.c_str(), skipped);
+                 loaded.size(), vrps_path.c_str(), stats.skipped);
   }
 
   // Load IRR dumps (each file becomes one registry source; the file stem

@@ -9,6 +9,7 @@
 //   BGP4MP|<timestamp>|W|<peer-ip>|<peer-asn>|<prefix>
 // which matches the classic `bgpdump -m` field layout closely enough for
 // downstream scripts.
+#include <array>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -17,6 +18,7 @@
 
 #include "mrt/bgp4mp.h"
 #include "mrt/table_dump.h"
+#include "util/bytes.h"
 
 using namespace manrs;
 
@@ -98,11 +100,11 @@ int dump_updates(std::istream& in, bool print, Summary& summary) {
 /// Peek the first record header to choose a decoder (type 13 = table
 /// dump, 16 = BGP4MP).
 int detect_type(std::istream& in) {
-  char header[12];
-  in.read(header, 12);
-  if (in.gcount() != 12) return -1;
-  int type = (static_cast<unsigned char>(header[4]) << 8) |
-             static_cast<unsigned char>(header[5]);
+  std::array<uint8_t, 12> header{};
+  if (!util::read_exact(in, header)) return -1;
+  util::ByteCursor cursor(header);
+  cursor.skip(4);  // timestamp
+  uint16_t type = cursor.u16();
   in.seekg(0);
   return type;
 }
