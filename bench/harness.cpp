@@ -1,12 +1,15 @@
 #include "harness.h"
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "irr/validation.h"
 #include "rpki/validation.h"
+#include "util/logging.h"
+#include "util/parallel.h"
 
 namespace manrs::benchx {
 
@@ -43,8 +46,18 @@ Pipeline Pipeline::build() { return build(config_from_env()); }
 
 Pipeline Pipeline::build(const topogen::ScenarioConfig& config,
                          bool with_transits) {
+  // One-line stage timing on stderr (util::logging) so bench-runtime
+  // regressions show up in any bench run, not only in perf_pipeline.
+  using Clock = std::chrono::steady_clock;
+  auto elapsed_ms = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(b - a)
+        .count();
+  };
+  Clock::time_point t0 = Clock::now();
   topogen::Scenario scenario = topogen::build_scenario(config);
+  Clock::time_point t1 = Clock::now();
   sim::PropagationSim simulator = scenario.make_sim();
+  Clock::time_point t2 = Clock::now();
   ihr::IhrSnapshot snapshot;
   if (with_transits) {
     ihr::IhrSnapshotBuilder builder(simulator, scenario.vantage_points);
@@ -54,6 +67,12 @@ Pipeline Pipeline::build(const topogen::ScenarioConfig& config,
     snapshot.prefix_origins =
         classify_only(scenario, scenario.announcements());
   }
+  Clock::time_point t3 = Clock::now();
+  util::log_info() << "Pipeline::build: scenario " << elapsed_ms(t0, t1)
+                   << " ms, propagation-sim " << elapsed_ms(t1, t2)
+                   << " ms, snapshot " << elapsed_ms(t2, t3) << " ms ("
+                   << scenario.config.total_as_count() << " ASes, "
+                   << util::thread_count() << " threads)";
   Pipeline pipeline{std::move(scenario), std::move(simulator),
                     std::move(snapshot), {}, {}};
   pipeline.origination =

@@ -1,0 +1,218 @@
+// perf_pipeline -- wall-clock benchmark of the parallelized pipeline
+// stages, with a machine-readable JSON trail for the perf trajectory
+// across PRs.
+//
+// Times each stage once with the exact serial fallback (1 thread) and
+// once with the parallel pool, at the scenario scale selected by
+// MANRS_SCALE (tiny / default / full):
+//
+//   propagation  RouteCollector::collect -- per-(origin, validity-class)
+//                BGP propagation fan-out into the collector RIB
+//   hegemony     IhrSnapshotBuilder::build -- per-group propagation plus
+//                AS-hegemony over every (vantage, origin) path set
+//   mrt_decode   TableDumpReader::read_rib -- TABLE_DUMP_V2 record-split
+//                parallel decode of the serialized collector RIB
+//
+// Output: a human-readable table on stdout and BENCH_pipeline.json
+// (override the path with MANRS_BENCH_JSON) with one row per (stage,
+// threads): {stage, scale, threads, wall_ms, speedup}. Speedup is
+// serial-time / row-time, so the 1-thread rows read 1.0 by construction.
+// Parallel thread count: MANRS_THREADS when set, otherwise
+// max(hardware_concurrency, 4) so the pool machinery is exercised even
+// on small hosts. hardware_concurrency is recorded in the JSON because
+// a speedup of ~1x on a 1-core host is expected (the parallel rows then
+// measure pool overhead), not a regression.
+//
+// Every stage's parallel result is checked against the serial result
+// (entry counts) before timings are reported; the golden byte-equality
+// tests live in tests/test_parallel_golden.cpp.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "irr/validation.h"
+#include "mrt/table_dump.h"
+#include "rpki/validation.h"
+#include "simulator/collector.h"
+#include "topogen/scenario.h"
+#include "util/parallel.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using manrs::net::Asn;
+
+double time_ms(const std::function<void()>& fn) {
+  Clock::time_point t0 = Clock::now();
+  fn();
+  Clock::time_point t1 = Clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+struct StageRow {
+  std::string stage;
+  size_t threads = 1;
+  double wall_ms = 0.0;
+  double speedup = 1.0;
+};
+
+std::string scale_name() {
+  const char* scale = std::getenv("MANRS_SCALE");
+  if (scale == nullptr) return "default";
+  return scale;
+}
+
+/// Classify announcements the way the IHR builder does, so propagation
+/// groups match the real pipeline's.
+std::vector<manrs::sim::Announcement> classify(
+    const manrs::topogen::Scenario& scenario) {
+  std::vector<manrs::sim::Announcement> out;
+  for (const auto& po : scenario.announcements()) {
+    manrs::sim::AnnouncementClass cls;
+    cls.rpki_invalid =
+        manrs::rpki::is_invalid(scenario.vrps.validate(po.prefix, po.origin));
+    cls.irr_invalid =
+        manrs::irr::validate_route(scenario.irr, po.prefix, po.origin) ==
+        manrs::irr::IrrStatus::kInvalidAsn;
+    cls.variant = (cls.rpki_invalid || cls.irr_invalid)
+                      ? manrs::sim::filter_variant(po.prefix)
+                      : 0;
+    out.push_back(manrs::sim::Announcement{po.prefix, po.origin, cls});
+  }
+  return out;
+}
+
+void write_json(const std::string& path, const std::string& scale,
+                size_t threads_parallel, const std::vector<StageRow>& rows) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "perf_pipeline: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(file, "{\n");
+  std::fprintf(file, "  \"bench\": \"perf_pipeline\",\n");
+  std::fprintf(file, "  \"scale\": \"%s\",\n", scale.c_str());
+  std::fprintf(file, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(file, "  \"threads_parallel\": %zu,\n", threads_parallel);
+  std::fprintf(file, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const StageRow& r = rows[i];
+    std::fprintf(file,
+                 "    {\"stage\": \"%s\", \"scale\": \"%s\", \"threads\": "
+                 "%zu, \"wall_ms\": %.3f, \"speedup\": %.3f}%s\n",
+                 r.stage.c_str(), scale.c_str(), r.threads, r.wall_ms,
+                 r.speedup, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+}
+
+}  // namespace
+
+int main() {
+  using namespace manrs;
+
+  const std::string scale = scale_name();
+  size_t threads = util::default_thread_count();
+  if (std::getenv("MANRS_THREADS") == nullptr && threads < 4) threads = 4;
+  const char* json_env = std::getenv("MANRS_BENCH_JSON");
+  const std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_pipeline.json";
+
+  benchx::print_title("perf_pipeline",
+                      "pipeline stage wall-clock (serial vs parallel)");
+  std::printf("scale %s, parallel pool %zu threads, hardware %u\n",
+              scale.c_str(), threads, std::thread::hardware_concurrency());
+
+  topogen::Scenario scenario =
+      topogen::build_scenario(benchx::config_from_env());
+  sim::PropagationSim simulator = scenario.make_sim();
+  std::vector<sim::Announcement> announcements = classify(scenario);
+  sim::RouteCollector collector(simulator, scenario.vantage_points);
+  ihr::IhrSnapshotBuilder builder(simulator, scenario.vantage_points);
+
+  std::vector<StageRow> rows;
+  auto record_stage = [&](const std::string& stage, double serial_ms,
+                          double parallel_ms) {
+    rows.push_back(StageRow{stage, 1, serial_ms, 1.0});
+    rows.push_back(StageRow{stage, threads, parallel_ms,
+                            parallel_ms > 0.0 ? serial_ms / parallel_ms
+                                              : 0.0});
+    std::printf("%-12s serial %9.1f ms   parallel(%zu) %9.1f ms   "
+                "speedup %.2fx\n",
+                stage.c_str(), serial_ms, threads, parallel_ms,
+                parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0);
+  };
+
+  // --- propagation: collector RIB fan-out --------------------------------
+  bgp::Rib rib_serial, rib_parallel;
+  util::set_thread_count(1);
+  double prop_serial =
+      time_ms([&] { rib_serial = collector.collect(announcements); });
+  util::set_thread_count(threads);
+  double prop_parallel =
+      time_ms([&] { rib_parallel = collector.collect(announcements); });
+  if (rib_serial.entry_count() != rib_parallel.entry_count()) {
+    std::fprintf(stderr, "perf_pipeline: propagation mismatch (%zu vs %zu)\n",
+                 rib_serial.entry_count(), rib_parallel.entry_count());
+    return 1;
+  }
+  record_stage("propagation", prop_serial, prop_parallel);
+
+  // --- hegemony: IHR snapshot over (vantage, origin) path sets -----------
+  ihr::IhrSnapshot snap_serial, snap_parallel;
+  util::set_thread_count(1);
+  double hege_serial = time_ms([&] {
+    snap_serial =
+        builder.build(scenario.announcements(), scenario.vrps, scenario.irr);
+  });
+  util::set_thread_count(threads);
+  double hege_parallel = time_ms([&] {
+    snap_parallel =
+        builder.build(scenario.announcements(), scenario.vrps, scenario.irr);
+  });
+  if (snap_serial.transits.size() != snap_parallel.transits.size()) {
+    std::fprintf(stderr, "perf_pipeline: hegemony mismatch (%zu vs %zu)\n",
+                 snap_serial.transits.size(), snap_parallel.transits.size());
+    return 1;
+  }
+  record_stage("hegemony", hege_serial, hege_parallel);
+
+  // --- mrt_decode: TABLE_DUMP_V2 whole-dump decode -----------------------
+  std::ostringstream dump_stream;
+  mrt::TableDumpWriter writer(dump_stream, /*timestamp=*/1651363200);
+  writer.write_rib(rib_serial, "perf.pipeline");
+  const std::string dump = dump_stream.str();
+  std::printf("mrt dump: %zu bytes, %zu prefixes\n", dump.size(),
+              rib_serial.prefix_count());
+
+  bgp::Rib decoded_serial, decoded_parallel;
+  util::set_thread_count(1);
+  double mrt_serial = time_ms([&] {
+    std::istringstream in(dump);
+    decoded_serial = mrt::TableDumpReader::read_rib(in);
+  });
+  util::set_thread_count(threads);
+  double mrt_parallel = time_ms([&] {
+    std::istringstream in(dump);
+    decoded_parallel = mrt::TableDumpReader::read_rib(in);
+  });
+  util::set_thread_count(0);
+  if (decoded_serial.entry_count() != decoded_parallel.entry_count() ||
+      decoded_serial.entry_count() != rib_serial.entry_count()) {
+    std::fprintf(stderr, "perf_pipeline: mrt_decode mismatch\n");
+    return 1;
+  }
+  record_stage("mrt_decode", mrt_serial, mrt_parallel);
+
+  write_json(json_path, scale, threads, rows);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -30,6 +30,23 @@ void Rib::insert(const net::Prefix& prefix, uint32_t peer_index,
   entries.push_back(RibEntry{peer_index, std::move(path)});
 }
 
+void Rib::insert_many(const net::Prefix& prefix,
+                      std::span<const RibEntry> new_entries) {
+  auto& entries = table_[prefix];
+  entries.reserve(entries.size() + new_entries.size());
+  for (const auto& incoming : new_entries) {
+    bool replaced = false;
+    for (auto& e : entries) {
+      if (e.peer_index == incoming.peer_index) {
+        e.path = incoming.path;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) entries.push_back(incoming);
+  }
+}
+
 size_t Rib::entry_count() const {
   size_t n = 0;
   for (const auto& [_, entries] : table_) n += entries.size();

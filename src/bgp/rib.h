@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +39,13 @@ class Rib {
   /// from the same peer replace the previous one (a RIB has one best path
   /// per peer per prefix).
   void insert(const net::Prefix& prefix, uint32_t peer_index, AsPath path);
+
+  /// Insert a batch of entries for `prefix` (same replace-per-peer
+  /// semantics as repeated insert), reserving the entry vector's capacity
+  /// once up front. The collector's merge path uses this: every prefix in
+  /// an announcement group shares the same per-peer path set.
+  void insert_many(const net::Prefix& prefix,
+                   std::span<const RibEntry> entries);
 
   size_t prefix_count() const { return table_.size(); }
   size_t entry_count() const;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "util/csv.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace manrs::ihr {
@@ -80,7 +81,13 @@ IhrSnapshot IhrSnapshotBuilder::build(
            (cls.rpki_invalid ? "1" : "0") + (cls.irr_invalid ? "1" : "0") +
            std::to_string(variant);
   };
-  for (const auto& group : groups) {
+  // Each group's propagation + hegemony estimate depends only on const
+  // simulator state: fan the groups out, fill index-addressed slots, and
+  // build the lookup map serially afterwards (determinism contract; see
+  // docs/performance.md).
+  std::vector<GroupView> group_views(groups.size());
+  util::parallel_for(groups.size(), [&](size_t g) {
+    const auto& group = groups[g];
     sim::PropagationResult result = sim_.propagate(group.origin, group.cls);
     GroupView view;
     for (net::Asn vantage : vantage_points_) {
@@ -99,7 +106,11 @@ IhrSnapshot IhrSnapshotBuilder::build(
                          sim::RouteSource::kCustomer;
       view.transit_via_customer.push_back(via_customer);
     }
-    views.emplace(group_key(group.origin, group.cls), std::move(view));
+    group_views[g] = std::move(view);
+  });
+  for (size_t g = 0; g < groups.size(); ++g) {
+    views.emplace(group_key(groups[g].origin, groups[g].cls),
+                  std::move(group_views[g]));
   }
 
   // Emit records.

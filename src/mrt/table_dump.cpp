@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "util/bytes.h"
+#include "util/parallel.h"
 
 namespace manrs::mrt {
 
@@ -35,6 +36,60 @@ net::IpAddress read_address(ByteReader& r, net::Family family) {
   uint64_t hi = r.u64();
   uint64_t lo = r.u64();
   return net::IpAddress::v6(hi, lo);
+}
+
+/// Parse one TABLE_DUMP_V2 record body into `record`. Returns true when
+/// the subtype is supported (record engaged), false when it should be
+/// skipped. Throws util::ParseError / MrtError on malformed bodies. Pure
+/// function of (header, body) -- the streaming reader and the parallel
+/// whole-dump decoder share it, so both produce identical records.
+bool parse_table_dump_body(const MrtHeader& header,
+                           std::span<const uint8_t> body,
+                           TableDumpReader::Record& record) {
+  record.header = header;
+  record.peer_index.reset();
+  record.rib.reset();
+  ByteReader r(body);
+  if (header.subtype == kSubtypePeerIndexTable) {
+    PeerIndexTable table;
+    table.collector_bgp_id = r.u32();
+    size_t name_len = r.u16();
+    table.view_name.assign(r.ascii(name_len));
+    size_t peer_count = r.u16();
+    for (size_t i = 0; i < peer_count; ++i) {
+      uint8_t flags = r.u8();
+      PeerEntry peer;
+      peer.bgp_id = r.u32();
+      peer.address = read_address(
+          r, (flags & kPeerFlagV6) ? net::Family::kIpv6 : net::Family::kIpv4);
+      peer.asn = net::Asn((flags & kPeerFlagAs4)
+                              ? r.u32()
+                              : static_cast<uint32_t>(r.u16()));
+      table.peers.push_back(peer);
+    }
+    record.peer_index = std::move(table);
+    return true;
+  }
+  if (header.subtype == kSubtypeRibIpv4Unicast ||
+      header.subtype == kSubtypeRibIpv6Unicast) {
+    RibRecord rib;
+    rib.sequence = r.u32();
+    rib.prefix = decode_nlri(r, header.subtype == kSubtypeRibIpv4Unicast
+                                    ? net::Family::kIpv4
+                                    : net::Family::kIpv6);
+    size_t entry_count = r.u16();
+    for (size_t i = 0; i < entry_count; ++i) {
+      RibEntryRecord entry;
+      entry.peer_index = r.u16();
+      entry.originated_time = r.u32();
+      size_t attr_len = r.u16();
+      entry.path = decode_path_attributes(r, attr_len);
+      rib.entries.push_back(std::move(entry));
+    }
+    record.rib = std::move(rib);
+    return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -250,52 +305,8 @@ bool TableDumpReader::next(Record& record) {
       continue;
     }
 
-    record.header = header;
-    record.peer_index.reset();
-    record.rib.reset();
     try {
-      ByteReader r(body);
-      if (header.subtype == kSubtypePeerIndexTable) {
-        PeerIndexTable table;
-        table.collector_bgp_id = r.u32();
-        size_t name_len = r.u16();
-        table.view_name.assign(r.ascii(name_len));
-        size_t peer_count = r.u16();
-        for (size_t i = 0; i < peer_count; ++i) {
-          uint8_t flags = r.u8();
-          PeerEntry peer;
-          peer.bgp_id = r.u32();
-          peer.address = read_address(
-              r, (flags & kPeerFlagV6) ? net::Family::kIpv6
-                                       : net::Family::kIpv4);
-          peer.asn = net::Asn((flags & kPeerFlagAs4)
-                                  ? r.u32()
-                                  : static_cast<uint32_t>(r.u16()));
-          table.peers.push_back(peer);
-        }
-        record.peer_index = std::move(table);
-        return true;
-      }
-      if (header.subtype == kSubtypeRibIpv4Unicast ||
-          header.subtype == kSubtypeRibIpv6Unicast) {
-        RibRecord rib;
-        rib.sequence = r.u32();
-        rib.prefix = decode_nlri(
-            r, header.subtype == kSubtypeRibIpv4Unicast
-                   ? net::Family::kIpv4
-                   : net::Family::kIpv6);
-        size_t entry_count = r.u16();
-        for (size_t i = 0; i < entry_count; ++i) {
-          RibEntryRecord entry;
-          entry.peer_index = r.u16();
-          entry.originated_time = r.u32();
-          size_t attr_len = r.u16();
-          entry.path = decode_path_attributes(r, attr_len);
-          rib.entries.push_back(std::move(entry));
-        }
-        record.rib = std::move(rib);
-        return true;
-      }
+      if (parse_table_dump_body(header, body, record)) return true;
       ++skipped_;
     } catch (const util::ParseError&) {
       ++bad_;
@@ -304,26 +315,96 @@ bool TableDumpReader::next(Record& record) {
 }
 
 bgp::Rib TableDumpReader::read_rib(std::istream& in, size_t* bad_records) {
-  TableDumpReader reader(in);
+  // Whole-dump decode in three phases, mirroring the streaming reader's
+  // semantics exactly:
+  //   1. slurp the stream and split it at record boundaries (headers are
+  //      the only place lengths live; the scan is serial and cheap);
+  //   2. parse record bodies -- the expensive part -- concurrently into
+  //      index-addressed slots;
+  //   3. fold the slots into the Rib serially, in stream order, so the
+  //      result is byte-identical to a serial decode (peer-table records
+  //      re-map subsequent RIB records' peer indices, an order-dependent
+  //      rule the fold preserves).
+  std::vector<uint8_t> data;
+  {
+    std::array<uint8_t, 65536> chunk{};
+    size_t got = 0;
+    while ((got = util::read_upto(in, chunk)) > 0) {
+      data.insert(data.end(), chunk.data(), chunk.data() + got);
+    }
+  }
+
+  struct Slice {
+    MrtHeader header;
+    size_t offset = 0;  // body offset into `data`
+  };
+  std::vector<Slice> slices;
+  size_t bad = 0;
+  util::ByteCursor cursor{std::span<const uint8_t>(data)};
+  while (!cursor.done()) {
+    if (!cursor.can_read(12)) {
+      ++bad;  // truncated header: nothing more to salvage
+      break;
+    }
+    MrtHeader header;
+    header.timestamp = cursor.u32();
+    header.type = cursor.u16();
+    header.subtype = cursor.u16();
+    header.length = cursor.u32();
+    // Reject absurd declared lengths (and bodies running past EOF):
+    // resynchronising after a corrupt length field is hopeless, so this
+    // ends the scan, exactly as the streaming reader stops.
+    if (header.length > kMaxRecordLength || !cursor.can_read(header.length)) {
+      ++bad;
+      break;
+    }
+    size_t offset = cursor.position();
+    cursor.skip(header.length);
+    if (header.type != kTypeTableDumpV2) continue;  // skipped, not an error
+    slices.push_back(Slice{header, offset});
+  }
+
+  struct Parsed {
+    Record record;
+    bool engaged = false;
+    bool failed = false;
+  };
+  std::vector<Parsed> parsed(slices.size());
+  std::span<const uint8_t> bytes(data);
+  util::parallel_for(slices.size(), [&](size_t i) {
+    const Slice& slice = slices[i];
+    try {
+      parsed[i].engaged = parse_table_dump_body(
+          slice.header, bytes.subspan(slice.offset, slice.header.length),
+          parsed[i].record);
+    } catch (const util::ParseError&) {
+      parsed[i].failed = true;
+    }
+  });
+
   bgp::Rib rib;
-  Record record;
   std::vector<uint32_t> peer_map;  // dump peer index -> rib peer index
-  while (reader.next(record)) {
-    if (record.peer_index) {
+  for (auto& p : parsed) {
+    if (p.failed) {
+      ++bad;
+      continue;
+    }
+    if (!p.engaged) continue;
+    if (p.record.peer_index) {
       peer_map.clear();
-      for (const auto& peer : record.peer_index->peers) {
+      for (const auto& peer : p.record.peer_index->peers) {
         peer_map.push_back(rib.add_peer(peer.asn));
       }
-    } else if (record.rib) {
-      for (auto& entry : record.rib->entries) {
+    } else if (p.record.rib) {
+      for (auto& entry : p.record.rib->entries) {
         uint32_t peer = entry.peer_index < peer_map.size()
                             ? peer_map[entry.peer_index]
                             : entry.peer_index;
-        rib.insert(record.rib->prefix, peer, std::move(entry.path));
+        rib.insert(p.record.rib->prefix, peer, std::move(entry.path));
       }
     }
   }
-  if (bad_records) *bad_records = reader.bad_records();
+  if (bad_records) *bad_records = bad;
   return rib;
 }
 

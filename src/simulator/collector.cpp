@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "util/parallel.h"
+
 namespace manrs::sim {
 
 RouteCollector::RouteCollector(const PropagationSim& sim,
@@ -41,18 +43,31 @@ bgp::Rib RouteCollector::collect(
   peer_indices.reserve(peer_ases_.size());
   for (net::Asn peer : peer_ases_) peer_indices.push_back(rib.add_peer(peer));
 
-  for (const auto& group : group_announcements(announcements)) {
-    PropagationResult result = sim_.propagate(group.origin, group.cls);
-    // Each peer's path is shared by every prefix in the group.
-    std::vector<std::pair<uint32_t, bgp::AsPath>> peer_paths;
+  // Groups propagate independently over const simulator state: fan out,
+  // collect each group's per-peer paths into its index slot, then merge
+  // serially in group order so the RIB is identical to the serial build.
+  const std::vector<AnnouncementGroup> groups =
+      group_announcements(announcements);
+  std::vector<std::vector<bgp::RibEntry>> group_entries(groups.size());
+  util::parallel_for(groups.size(), [&](size_t g) {
+    PropagationResult result = sim_.propagate(groups[g].origin, groups[g].cls);
+    // Each peer's path is shared by every prefix in the group; peers with
+    // no route are dropped here so the per-prefix merge never re-walks
+    // them.
+    std::vector<bgp::RibEntry> entries;
+    entries.reserve(peer_ases_.size());
     for (size_t i = 0; i < peer_ases_.size(); ++i) {
       bgp::AsPath path = sim_.path_from(result, peer_ases_[i]);
-      if (!path.empty()) peer_paths.emplace_back(peer_indices[i], path);
-    }
-    for (const net::Prefix& prefix : group.prefixes) {
-      for (const auto& [peer_index, path] : peer_paths) {
-        rib.insert(prefix, peer_index, path);
+      if (!path.empty()) {
+        entries.push_back(bgp::RibEntry{peer_indices[i], std::move(path)});
       }
+    }
+    group_entries[g] = std::move(entries);
+  });
+
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (const net::Prefix& prefix : groups[g].prefixes) {
+      rib.insert_many(prefix, group_entries[g]);
     }
   }
   return rib;

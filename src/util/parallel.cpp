@@ -1,0 +1,221 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "util/strings.h"
+
+namespace manrs::util {
+
+namespace {
+
+/// Set while the current thread is executing parallel_for items (either
+/// as a pool worker or as the participating caller). A nested
+/// parallel_for on such a thread runs serially inline: with one shared
+/// pool, waiting on the pool from inside the pool can starve itself.
+thread_local bool tl_in_parallel_region = false;
+
+class RegionGuard {
+ public:
+  RegionGuard() : prev_(tl_in_parallel_region) {
+    tl_in_parallel_region = true;
+  }
+  ~RegionGuard() { tl_in_parallel_region = prev_; }
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+void serial_for(size_t n, const std::function<void(size_t)>& fn) {
+  for (size_t i = 0; i < n; ++i) fn(i);
+}
+
+}  // namespace
+
+size_t parse_thread_count(const char* value, size_t hardware) {
+  if (hardware == 0) hardware = 1;
+  if (hardware > kMaxThreads) hardware = kMaxThreads;
+  if (value == nullptr) return hardware;
+  auto parsed = parse_uint<uint64_t>(value);
+  if (!parsed || *parsed == 0) return hardware;  // garbage or 0: default
+  if (*parsed > kMaxThreads) return kMaxThreads;
+  return static_cast<size_t>(*parsed);
+}
+
+size_t default_thread_count() {
+  return parse_thread_count(std::getenv("MANRS_THREADS"),
+                            std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) threads = 1;
+  if (threads > kMaxThreads) threads = kMaxThreads;
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(size_t n,
+                              const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || tl_in_parallel_region) {
+    RegionGuard guard;
+    serial_for(n, fn);
+    return;
+  }
+
+  // Per-call state shared with the queued worker tasks. shared_ptr so a
+  // task that outlives this call (it cannot, since we block, but the
+  // destructor drain path keeps it alive regardless) stays valid.
+  struct ForState {
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    size_t pending = 0;  // queued helper tasks not yet finished
+    std::exception_ptr error;
+    size_t n = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+  };
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->fn = &fn;
+
+  auto run_items = [](const std::shared_ptr<ForState>& s) {
+    RegionGuard guard;
+    for (;;) {
+      size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->n || s->failed.load(std::memory_order_relaxed)) break;
+      try {
+        (*s->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s->mutex);
+        if (!s->error) s->error = std::current_exception();
+        s->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  // One helper task per worker (capped by the item count); the caller
+  // participates too, so completion never depends on pool availability.
+  size_t helpers = workers_.size() < n - 1 ? workers_.size() : n - 1;
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->pending = helpers;
+  }
+  for (size_t t = 0; t < helpers; ++t) {
+    submit([state, run_items] {
+      run_items(state);
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        --state->pending;
+      }
+      state->done_cv.notify_one();
+    });
+  }
+
+  run_items(state);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(lock, [&] { return state->pending == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+namespace {
+
+/// Process-global pool state. The pool is built lazily so that binaries
+/// that never fan out never spawn threads, and so set_thread_count can
+/// reconfigure before first use.
+struct GlobalPool {
+  std::mutex mutex;
+  size_t count = 0;  // 0 = not yet resolved from the environment
+  std::unique_ptr<ThreadPool> pool;
+};
+
+GlobalPool& global_pool() {
+  static GlobalPool g;
+  return g;
+}
+
+/// Resolve the configured width and (when > 1) the pool to run on.
+ThreadPool* acquire_pool() {
+  GlobalPool& g = global_pool();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  if (g.count == 0) g.count = default_thread_count();
+  if (g.count > 1 && !g.pool) {
+    g.pool = std::make_unique<ThreadPool>(g.count);
+  }
+  return g.pool.get();
+}
+
+}  // namespace
+
+size_t thread_count() {
+  GlobalPool& g = global_pool();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  if (g.count == 0) g.count = default_thread_count();
+  return g.count;
+}
+
+void set_thread_count(size_t n) {
+  if (n > kMaxThreads) n = kMaxThreads;
+  GlobalPool& g = global_pool();
+  std::unique_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lock(g.mutex);
+    old = std::move(g.pool);  // joined outside the lock
+    g.count = n;
+  }
+}
+
+void parallel_for(size_t n, const std::function<void(size_t)>& fn) {
+  if (n < 2 || tl_in_parallel_region) {
+    RegionGuard guard;
+    serial_for(n, fn);
+    return;
+  }
+  ThreadPool* pool = acquire_pool();
+  if (pool == nullptr) {  // configured width 1: exact serial fallback
+    RegionGuard guard;
+    serial_for(n, fn);
+    return;
+  }
+  pool->parallel_for(n, fn);
+}
+
+}  // namespace manrs::util

@@ -1,0 +1,162 @@
+// Serial-vs-parallel golden equality: the determinism contract of the
+// parallel measurement pipeline. For each parallelized stage --
+// collector propagation, IHR hegemony, MRT TABLE_DUMP_V2 decode -- the
+// output with MANRS_THREADS=1 (exact serial fallback) must be
+// byte-identical to the output with a multi-thread pool. Outputs are
+// compared through their canonical serializations (TABLE_DUMP_V2 bytes,
+// dataset CSVs), so any reordering or dropped/duplicated item fails.
+// tools/check.sh additionally runs these tests under TSan.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ihr/dataset.h"
+#include "mrt/table_dump.h"
+#include "simulator/collector.h"
+#include "topogen/scenario.h"
+#include "util/parallel.h"
+
+namespace manrs {
+namespace {
+
+using net::Asn;
+
+constexpr size_t kParallelThreads = 4;
+
+const topogen::Scenario& golden_scenario() {
+  static const topogen::Scenario s =
+      topogen::build_scenario(topogen::ScenarioConfig::tiny());
+  return s;
+}
+
+/// Classified simulator announcements, the collector's input (same
+/// classification rule as IhrSnapshotBuilder::build).
+std::vector<sim::Announcement> classified_announcements(
+    const topogen::Scenario& scenario) {
+  std::vector<sim::Announcement> out;
+  for (const auto& po : scenario.announcements()) {
+    sim::AnnouncementClass cls;
+    cls.rpki_invalid = rpki::is_invalid(scenario.vrps.validate(po.prefix, po.origin));
+    cls.irr_invalid = irr::validate_route(scenario.irr, po.prefix, po.origin) ==
+                      irr::IrrStatus::kInvalidAsn;
+    cls.variant = (cls.rpki_invalid || cls.irr_invalid)
+                      ? sim::filter_variant(po.prefix)
+                      : 0;
+    out.push_back(sim::Announcement{po.prefix, po.origin, cls});
+  }
+  return out;
+}
+
+std::string rib_bytes(const bgp::Rib& rib) {
+  std::ostringstream out;
+  mrt::TableDumpWriter writer(out, /*timestamp=*/1651363200);  // 2022-05-01
+  writer.write_rib(rib, "golden");
+  return out.str();
+}
+
+/// Run `fn` with the global pool pinned to `threads`, restoring the
+/// environment-derived default afterwards.
+template <typename Fn>
+auto with_threads(size_t threads, Fn&& fn) {
+  util::set_thread_count(threads);
+  auto result = fn();
+  util::set_thread_count(0);
+  return result;
+}
+
+TEST(ParallelGolden, CollectorRibIsByteIdentical) {
+  const topogen::Scenario& scenario = golden_scenario();
+  sim::PropagationSim simulator = scenario.make_sim();
+  sim::RouteCollector collector(simulator, scenario.vantage_points);
+  auto announcements = classified_announcements(scenario);
+  ASSERT_FALSE(announcements.empty());
+
+  std::string serial = with_threads(
+      1, [&] { return rib_bytes(collector.collect(announcements)); });
+  std::string parallel = with_threads(kParallelThreads, [&] {
+    return rib_bytes(collector.collect(announcements));
+  });
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelGolden, HegemonySnapshotIsByteIdentical) {
+  const topogen::Scenario& scenario = golden_scenario();
+  sim::PropagationSim simulator = scenario.make_sim();
+  ihr::IhrSnapshotBuilder builder(simulator, scenario.vantage_points);
+
+  auto snapshot_csvs = [&] {
+    ihr::IhrSnapshot snapshot = builder.build(scenario.announcements(),
+                                              scenario.vrps, scenario.irr);
+    std::ostringstream po, transit;
+    ihr::write_prefix_origin_csv(po, snapshot.prefix_origins);
+    ihr::write_transit_csv(transit, snapshot.transits);
+    return po.str() + "\n---\n" + transit.str();
+  };
+  std::string serial = with_threads(1, snapshot_csvs);
+  std::string parallel = with_threads(kParallelThreads, snapshot_csvs);
+  ASSERT_GT(serial.size(), 100u);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelGolden, MrtDecodeIsByteIdentical) {
+  const topogen::Scenario& scenario = golden_scenario();
+  sim::PropagationSim simulator = scenario.make_sim();
+  sim::RouteCollector collector(simulator, scenario.vantage_points);
+  auto announcements = classified_announcements(scenario);
+  std::string dump = with_threads(
+      1, [&] { return rib_bytes(collector.collect(announcements)); });
+
+  auto decode = [&] {
+    std::istringstream in(dump);
+    size_t bad = 0;
+    bgp::Rib rib = mrt::TableDumpReader::read_rib(in, &bad);
+    EXPECT_EQ(bad, 0u);
+    return rib_bytes(rib);
+  };
+  std::string serial = with_threads(1, decode);
+  std::string parallel = with_threads(kParallelThreads, decode);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  // Decode must also round-trip the original dump exactly.
+  EXPECT_EQ(serial, dump);
+}
+
+TEST(ParallelGolden, MrtDecodeCorruptionHandlingMatchesSerial) {
+  const topogen::Scenario& scenario = golden_scenario();
+  sim::PropagationSim simulator = scenario.make_sim();
+  sim::RouteCollector collector(simulator, scenario.vantage_points);
+  auto announcements = classified_announcements(scenario);
+  std::string dump = with_threads(
+      1, [&] { return rib_bytes(collector.collect(announcements)); });
+  ASSERT_GT(dump.size(), 200u);
+
+  // Three corruptions: a truncated tail, a flipped byte mid-stream, and
+  // a corrupt body byte. Serial and parallel decodes must agree on both
+  // the surviving RIB and the bad-record count.
+  std::vector<std::string> corrupted;
+  corrupted.push_back(dump.substr(0, dump.size() - 7));
+  for (size_t victim : {dump.size() / 2, dump.size() / 3}) {
+    std::string c = dump;
+    c[victim] = static_cast<char>(~static_cast<unsigned char>(c[victim]));
+    corrupted.push_back(std::move(c));
+  }
+
+  for (const std::string& stream : corrupted) {
+    auto decode = [&] {
+      std::istringstream in(stream);
+      size_t bad = 0;
+      bgp::Rib rib = mrt::TableDumpReader::read_rib(in, &bad);
+      return std::make_pair(rib_bytes(rib), bad);
+    };
+    auto serial = with_threads(1, decode);
+    auto parallel = with_threads(kParallelThreads, decode);
+    EXPECT_EQ(serial.first, parallel.first);
+    EXPECT_EQ(serial.second, parallel.second);
+  }
+}
+
+}  // namespace
+}  // namespace manrs

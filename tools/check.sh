@@ -4,17 +4,22 @@
 #   1. configure + build with ASan+UBSan, warnings-as-errors
 #   2. run the full ctest suite (including the malformed-input fuzz
 #      corpus) under the sanitizers
-#   3. clang-tidy over src/ (skipped with a warning if not installed)
-#   4. the repo-specific wire lint (tools/lint_wire.py)
+#   3. TSan build + run of the parallel-pipeline tests (thread pool and
+#      the serial-vs-parallel golden tests), plus a perf_pipeline smoke
+#      run at MANRS_SCALE=tiny (skip with TSAN=0)
+#   4. clang-tidy over src/ (skipped with a warning if not installed)
+#   5. the repo-specific wire lint (tools/lint_wire.py)
 #
 # Exit 0 iff every stage that could run passed. See
 # docs/static-analysis.md for the policy behind each stage.
 #
 # Env knobs:
-#   BUILD_DIR   sanitizer build directory (default: build-sanitize)
-#   SANITIZE    sanitizer set (default: address,undefined; use thread
-#               for a TSan pass)
-#   JOBS        parallelism (default: nproc)
+#   BUILD_DIR       sanitizer build directory (default: build-sanitize)
+#   SANITIZE        sanitizer set (default: address,undefined; use thread
+#                   for a TSan pass of the whole suite)
+#   TSAN_BUILD_DIR  TSan build directory (default: build-tsan)
+#   TSAN            set to 0 to skip the dedicated TSan parallel-test stage
+#   JOBS            parallelism (default: nproc)
 
 set -euo pipefail
 
@@ -38,6 +43,28 @@ step "ctest under sanitizers"
 ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [[ "${TSAN:-1}" != "0" && "$SANITIZE" != "thread" ]]; then
+  TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+
+  step "TSan: build parallel-pipeline tests"
+  cmake -B "$TSAN_BUILD_DIR" -S . -DSANITIZE=thread
+  cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
+    --target tests_util tests_integration perf_pipeline
+
+  step "TSan: parallel + golden tests"
+  # The pool, env-parsing, and shutdown tests plus the serial-vs-parallel
+  # golden equality tests; TSan halts on the first data race.
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
+      -R 'Parallel|ThreadPool'
+
+  step "TSan: perf_pipeline smoke (MANRS_SCALE=tiny)"
+  MANRS_SCALE=tiny \
+  MANRS_BENCH_JSON="$TSAN_BUILD_DIR/BENCH_pipeline.smoke.json" \
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    "./$TSAN_BUILD_DIR/bench/perf_pipeline"
+fi
 
 step "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -21,6 +21,11 @@ this). The banned patterns:
   unbounded-copy     strcpy / strcat / sprintf / gets: unbounded writes.
   union-punning      type punning through union member writes in parse
                      code (flagged only in parse dirs, heuristic).
+  raw-thread         std::thread / std::jthread / std::async outside
+                     src/util/parallel.*. All concurrency flows through
+                     util::parallel_for so the determinism contract and
+                     TSan coverage of tests/test_parallel*.cpp apply to
+                     every parallel code path.
 
 A line may carry an explicit waiver comment `// lint-ok: <reason>`; the
 waiver applies to that line and, for a line containing only the comment,
@@ -43,6 +48,12 @@ DEFAULT_SCAN_DIRS = ["src", "tools"]
 # Files allowed to contain reinterpret_cast: the audited aliasing bridge.
 REINTERPRET_ALLOWLIST = {
     Path("src/util/bytes.cpp"),
+}
+
+# Files allowed to spawn threads: the sanctioned concurrency layer.
+THREAD_ALLOWLIST = {
+    Path("src/util/parallel.h"),
+    Path("src/util/parallel.cpp"),
 }
 
 # Parse-path directories where memcpy/punning from network data is banned.
@@ -86,6 +97,12 @@ RULES = [
         re.compile(r"\bunion\b.*\{"),
         PARSE_DIRS,
         "decode through ByteCursor typed reads, not unions",
+    ),
+    (
+        "raw-thread",
+        re.compile(r"\bstd::(thread|jthread|async)\b"),
+        None,
+        "use util::parallel_for / util::ThreadPool (src/util/parallel.h)",
     ),
 ]
 
@@ -146,6 +163,8 @@ def scan_file(root: Path, path: Path) -> list[str]:
             if not pattern.search(code):
                 continue
             if name == "reinterpret-cast" and rel in REINTERPRET_ALLOWLIST:
+                continue
+            if name == "raw-thread" and rel in THREAD_ALLOWLIST:
                 continue
             if waived:
                 continue
