@@ -6,22 +6,28 @@
 // once with the parallel pool, at the scenario scale selected by
 // MANRS_SCALE (tiny / default / full):
 //
+//   scenario_gen topogen::build_scenario -- synthetic-Internet generation
+//                (per-AS plans fan out; allocation + emission serial)
 //   propagation  RouteCollector::collect -- per-(origin, validity-class)
 //                BGP propagation fan-out into the collector RIB
+//   rib_merge    sim::merge_group_entries -- sharded sort-then-build of
+//                the flat RIB rows from precomputed group entries
 //   hegemony     IhrSnapshotBuilder::build -- per-group propagation plus
 //                AS-hegemony over every (vantage, origin) path set
 //   mrt_decode   TableDumpReader::read_rib -- TABLE_DUMP_V2 record-split
 //                parallel decode of the serialized collector RIB
 //
 // Output: a human-readable table on stdout and BENCH_pipeline.json
-// (override the path with MANRS_BENCH_JSON) with one row per (stage,
-// threads): {stage, scale, threads, wall_ms, speedup}. Speedup is
-// serial-time / row-time, so the 1-thread rows read 1.0 by construction.
+// (override the path with MANRS_BENCH_JSON). The JSON accumulates one
+// run object per invocation ({"bench": ..., "runs": [...]}) so the perf
+// trajectory across PRs is never overwritten; rows are {stage, scale,
+// threads, wall_ms, speedup}, with "oversubscribed": true on rows whose
+// thread count exceeds hardware_concurrency -- on such hosts the
+// parallel rows measure pool overhead, not parallel speedup, and a
+// sub-1.0 "speedup" is expected rather than a regression.
 // Parallel thread count: MANRS_THREADS when set, otherwise
 // max(hardware_concurrency, 4) so the pool machinery is exercised even
-// on small hosts. hardware_concurrency is recorded in the JSON because
-// a speedup of ~1x on a 1-core host is expected (the parallel rows then
-// measure pool overhead), not a regression.
+// on small hosts.
 //
 // Every stage's parallel result is checked against the serial result
 // (entry counts) before timings are reported; the golden byte-equality
@@ -29,6 +35,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -60,6 +67,7 @@ struct StageRow {
   size_t threads = 1;
   double wall_ms = 0.0;
   double speedup = 1.0;
+  bool oversubscribed = false;
 };
 
 std::string scale_name() {
@@ -88,8 +96,78 @@ std::vector<manrs::sim::Announcement> classify(
   return out;
 }
 
-void write_json(const std::string& path, const std::string& scale,
-                size_t threads_parallel, const std::vector<StageRow>& rows) {
+/// Serialize one run (this invocation) as a JSON object.
+std::string run_json(const std::string& scale, size_t threads_parallel,
+                     const std::vector<StageRow>& rows) {
+  std::ostringstream out;
+  char buf[256];
+  out << "{\n";
+  out << "      \"scale\": \"" << scale << "\",\n";
+  std::snprintf(buf, sizeof(buf), "      \"hardware_concurrency\": %u,\n",
+                std::thread::hardware_concurrency());
+  out << buf;
+  std::snprintf(buf, sizeof(buf), "      \"threads_parallel\": %zu,\n",
+                threads_parallel);
+  out << buf;
+  out << "      \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const StageRow& r = rows[i];
+    std::snprintf(buf, sizeof(buf),
+                  "        {\"stage\": \"%s\", \"scale\": \"%s\", "
+                  "\"threads\": %zu, \"wall_ms\": %.3f, \"speedup\": %.3f",
+                  r.stage.c_str(), scale.c_str(), r.threads, r.wall_ms,
+                  r.speedup);
+    out << buf;
+    if (r.oversubscribed) out << ", \"oversubscribed\": true";
+    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n";
+  out << "    }";
+  return out.str();
+}
+
+/// Pull the serialized run objects out of an existing BENCH_pipeline.json
+/// ({"bench": ..., "runs": [...]}) so a new run can be appended without
+/// rewriting history. Unknown / legacy content yields no runs.
+std::vector<std::string> extract_runs(const std::string& text) {
+  std::vector<std::string> runs;
+  size_t pos = text.find("\"runs\"");
+  if (pos == std::string::npos) return runs;
+  pos = text.find('[', pos);
+  if (pos == std::string::npos) return runs;
+  int bracket = 0;
+  int brace = 0;
+  size_t start = std::string::npos;
+  for (size_t i = pos; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '[') {
+      ++bracket;
+    } else if (c == ']') {
+      if (--bracket == 0 && brace == 0) break;
+    } else if (c == '{') {
+      if (brace++ == 0) start = i;
+    } else if (c == '}') {
+      if (--brace == 0 && start != std::string::npos) {
+        runs.push_back(text.substr(start, i - start + 1));
+        start = std::string::npos;
+      }
+    }
+  }
+  return runs;
+}
+
+void write_json(const std::string& path, const std::string& new_run) {
+  std::vector<std::string> runs;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream text;
+      text << in.rdbuf();
+      runs = extract_runs(text.str());
+    }
+  }
+  runs.push_back(new_run);
+
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "perf_pipeline: cannot open %s\n", path.c_str());
@@ -97,18 +175,10 @@ void write_json(const std::string& path, const std::string& scale,
   }
   std::fprintf(file, "{\n");
   std::fprintf(file, "  \"bench\": \"perf_pipeline\",\n");
-  std::fprintf(file, "  \"scale\": \"%s\",\n", scale.c_str());
-  std::fprintf(file, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(file, "  \"threads_parallel\": %zu,\n", threads_parallel);
-  std::fprintf(file, "  \"rows\": [\n");
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const StageRow& r = rows[i];
-    std::fprintf(file,
-                 "    {\"stage\": \"%s\", \"scale\": \"%s\", \"threads\": "
-                 "%zu, \"wall_ms\": %.3f, \"speedup\": %.3f}%s\n",
-                 r.stage.c_str(), scale.c_str(), r.threads, r.wall_ms,
-                 r.speedup, i + 1 < rows.size() ? "," : "");
+  std::fprintf(file, "  \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    std::fprintf(file, "    %s%s\n", runs[i].c_str(),
+                 i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(file, "  ]\n}\n");
   std::fclose(file);
@@ -122,34 +192,53 @@ int main() {
   const std::string scale = scale_name();
   size_t threads = util::default_thread_count();
   if (std::getenv("MANRS_THREADS") == nullptr && threads < 4) threads = 4;
+  const bool oversubscribed = threads > std::thread::hardware_concurrency();
   const char* json_env = std::getenv("MANRS_BENCH_JSON");
   const std::string json_path =
       json_env != nullptr ? json_env : "BENCH_pipeline.json";
 
   benchx::print_title("perf_pipeline",
                       "pipeline stage wall-clock (serial vs parallel)");
-  std::printf("scale %s, parallel pool %zu threads, hardware %u\n",
-              scale.c_str(), threads, std::thread::hardware_concurrency());
-
-  topogen::Scenario scenario =
-      topogen::build_scenario(benchx::config_from_env());
-  sim::PropagationSim simulator = scenario.make_sim();
-  std::vector<sim::Announcement> announcements = classify(scenario);
-  sim::RouteCollector collector(simulator, scenario.vantage_points);
-  ihr::IhrSnapshotBuilder builder(simulator, scenario.vantage_points);
+  std::printf("scale %s, parallel pool %zu threads, hardware %u%s\n",
+              scale.c_str(), threads, std::thread::hardware_concurrency(),
+              oversubscribed ? " (oversubscribed)" : "");
 
   std::vector<StageRow> rows;
   auto record_stage = [&](const std::string& stage, double serial_ms,
                           double parallel_ms) {
-    rows.push_back(StageRow{stage, 1, serial_ms, 1.0});
+    rows.push_back(StageRow{stage, 1, serial_ms, 1.0, false});
     rows.push_back(StageRow{stage, threads, parallel_ms,
-                            parallel_ms > 0.0 ? serial_ms / parallel_ms
-                                              : 0.0});
+                            parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0,
+                            oversubscribed});
     std::printf("%-12s serial %9.1f ms   parallel(%zu) %9.1f ms   "
-                "speedup %.2fx\n",
+                "speedup %.2fx%s\n",
                 stage.c_str(), serial_ms, threads, parallel_ms,
-                parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0);
+                parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0,
+                oversubscribed ? " (oversubscribed)" : "");
   };
+
+  // --- scenario_gen: synthetic-Internet generation -----------------------
+  topogen::ScenarioConfig config = benchx::config_from_env();
+  topogen::Scenario scenario, scenario_parallel;
+  util::set_thread_count(1);
+  double gen_serial =
+      time_ms([&] { scenario = topogen::build_scenario(config); });
+  util::set_thread_count(threads);
+  double gen_parallel =
+      time_ms([&] { scenario_parallel = topogen::build_scenario(config); });
+  if (scenario.dated_announcements.size() !=
+      scenario_parallel.dated_announcements.size()) {
+    std::fprintf(stderr, "perf_pipeline: scenario_gen mismatch (%zu vs %zu)\n",
+                 scenario.dated_announcements.size(),
+                 scenario_parallel.dated_announcements.size());
+    return 1;
+  }
+  record_stage("scenario_gen", gen_serial, gen_parallel);
+
+  sim::PropagationSim simulator = scenario.make_sim();
+  std::vector<sim::Announcement> announcements = classify(scenario);
+  sim::RouteCollector collector(simulator, scenario.vantage_points);
+  ihr::IhrSnapshotBuilder builder(simulator, scenario.vantage_points);
 
   // --- propagation: collector RIB fan-out --------------------------------
   bgp::Rib rib_serial, rib_parallel;
@@ -165,6 +254,26 @@ int main() {
     return 1;
   }
   record_stage("propagation", prop_serial, prop_parallel);
+
+  // --- rib_merge: sharded flat-RIB row build from group entries ----------
+  const std::vector<sim::AnnouncementGroup> groups =
+      sim::group_announcements(announcements);
+  const std::vector<std::vector<bgp::RibEntry>> group_entries =
+      collector.collect_group_entries(groups);
+  std::vector<bgp::RibRow> merged_serial, merged_parallel;
+  util::set_thread_count(1);
+  double merge_serial = time_ms(
+      [&] { merged_serial = sim::merge_group_entries(groups, group_entries); });
+  util::set_thread_count(threads);
+  double merge_parallel = time_ms([&] {
+    merged_parallel = sim::merge_group_entries(groups, group_entries);
+  });
+  if (merged_serial.size() != merged_parallel.size() ||
+      merged_serial.size() != rib_serial.prefix_count()) {
+    std::fprintf(stderr, "perf_pipeline: rib_merge mismatch\n");
+    return 1;
+  }
+  record_stage("rib_merge", merge_serial, merge_parallel);
 
   // --- hegemony: IHR snapshot over (vantage, origin) path sets -----------
   ihr::IhrSnapshot snap_serial, snap_parallel;
@@ -212,7 +321,7 @@ int main() {
   }
   record_stage("mrt_decode", mrt_serial, mrt_parallel);
 
-  write_json(json_path, scale, threads, rows);
+  write_json(json_path, run_json(scale, threads, rows));
   std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -20,65 +20,115 @@ uint32_t Rib::add_peer(net::Asn peer_asn) {
 
 void Rib::insert(const net::Prefix& prefix, uint32_t peer_index,
                  AsPath path) {
-  auto& entries = table_[prefix];
-  for (auto& e : entries) {
-    if (e.peer_index == peer_index) {
-      e.path = std::move(path);
-      return;
-    }
-  }
-  entries.push_back(RibEntry{peer_index, std::move(path)});
+  staged_.push_back(Staged{prefix, RibEntry{peer_index, std::move(path)}});
 }
 
 void Rib::insert_many(const net::Prefix& prefix,
                       std::span<const RibEntry> new_entries) {
-  auto& entries = table_[prefix];
-  entries.reserve(entries.size() + new_entries.size());
+  staged_.reserve(staged_.size() + new_entries.size());
   for (const auto& incoming : new_entries) {
-    bool replaced = false;
-    for (auto& e : entries) {
-      if (e.peer_index == incoming.peer_index) {
-        e.path = incoming.path;
-        replaced = true;
-        break;
-      }
-    }
-    if (!replaced) entries.push_back(incoming);
+    staged_.push_back(Staged{prefix, incoming});
   }
 }
 
+void Rib::apply_entry(std::vector<RibEntry>& entries, Staged&& staged) {
+  for (auto& e : entries) {
+    if (e.peer_index == staged.entry.peer_index) {
+      e.path = std::move(staged.entry.path);
+      return;
+    }
+  }
+  entries.push_back(std::move(staged.entry));
+}
+
+void Rib::finalize() {
+  if (staged_.empty()) return;
+  // Stable sort groups staged entries by prefix while keeping insertion
+  // order inside each group -- the order the replace-per-peer rule is
+  // defined over.
+  std::stable_sort(staged_.begin(), staged_.end(),
+                   [](const Staged& a, const Staged& b) {
+                     return a.prefix < b.prefix;
+                   });
+
+  // Two-way merge of the sorted table and the sorted staged runs.
+  std::vector<RibRow> merged;
+  merged.reserve(table_.size() + staged_.size());
+  size_t ti = 0;
+  size_t si = 0;
+  while (ti < table_.size() || si < staged_.size()) {
+    if (si >= staged_.size() ||
+        (ti < table_.size() && table_[ti].prefix < staged_[si].prefix)) {
+      merged.push_back(std::move(table_[ti++]));
+      continue;
+    }
+    const net::Prefix prefix = staged_[si].prefix;
+    RibRow row;
+    row.prefix = prefix;
+    if (ti < table_.size() && table_[ti].prefix == prefix) {
+      row.entries = std::move(table_[ti++].entries);
+    }
+    while (si < staged_.size() && staged_[si].prefix == prefix) {
+      apply_entry(row.entries, std::move(staged_[si++]));
+    }
+    merged.push_back(std::move(row));
+  }
+  table_ = std::move(merged);
+  staged_.clear();
+  staged_.shrink_to_fit();
+}
+
+void Rib::adopt_rows(std::vector<RibRow> rows) {
+  table_ = std::move(rows);
+  staged_.clear();
+  staged_.shrink_to_fit();
+}
+
+size_t Rib::prefix_count() const {
+  ensure_finalized();
+  return table_.size();
+}
+
 size_t Rib::entry_count() const {
+  ensure_finalized();
   size_t n = 0;
-  for (const auto& [_, entries] : table_) n += entries.size();
+  for (const RibRow& row : table_) n += row.entries.size();
   return n;
 }
 
 const std::vector<RibEntry>& Rib::entries(const net::Prefix& prefix) const {
   static const std::vector<RibEntry> kEmpty;
-  auto it = table_.find(prefix);
-  return it == table_.end() ? kEmpty : it->second;
+  ensure_finalized();
+  auto it = std::lower_bound(table_.begin(), table_.end(), prefix,
+                             [](const RibRow& row, const net::Prefix& p) {
+                               return row.prefix < p;
+                             });
+  if (it == table_.end() || it->prefix != prefix) return kEmpty;
+  return it->entries;
 }
 
 std::vector<PrefixOrigin> Rib::prefix_origins() const {
+  ensure_finalized();
   std::vector<PrefixOrigin> out;
-  for (const auto& [prefix, entries] : table_) {
+  for (const RibRow& row : table_) {
     std::vector<net::Asn> origins;
-    for (const auto& e : entries) {
+    for (const auto& e : row.entries) {
       if (auto origin = e.path.origin()) origins.push_back(*origin);
     }
     std::sort(origins.begin(), origins.end());
     origins.erase(std::unique(origins.begin(), origins.end()), origins.end());
-    for (net::Asn o : origins) out.push_back(PrefixOrigin{prefix, o});
+    for (net::Asn o : origins) out.push_back(PrefixOrigin{row.prefix, o});
   }
   return out;
 }
 
 std::vector<net::Prefix> Rib::prefixes_originated_by(net::Asn asn) const {
+  ensure_finalized();
   std::vector<net::Prefix> out;
-  for (const auto& [prefix, entries] : table_) {
-    for (const auto& e : entries) {
+  for (const RibRow& row : table_) {
+    for (const auto& e : row.entries) {
       if (e.path.origin() == asn) {
-        out.push_back(prefix);
+        out.push_back(row.prefix);
         break;
       }
     }

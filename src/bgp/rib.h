@@ -5,14 +5,28 @@
 // and can answer the queries the measurement pipeline needs: all
 // prefix-origin pairs, all paths toward a prefix, and per-origin prefix
 // sets.
+//
+// Storage is a flat vector of rows sorted by prefix (not a node-based
+// tree): reads are cache-friendly and the sorted order IS the
+// deterministic iteration order for_each() promises. Writes go through a
+// build-phase staging buffer -- insert()/insert_many() append staged
+// entries in O(1) -- and finalize() sorts the staged batch once and
+// merges it into the table, applying the replace-per-peer rule in
+// insertion order (a RIB has one best path per peer per prefix, and a
+// later insert for the same (prefix, peer) replaces the earlier path).
+// Read accessors finalize lazily, so callers that interleave inserts and
+// queries keep working; bulk builders (the route collector's sharded
+// merge, the MRT decoder's stream fold) call finalize() once at the end.
+//
+// Concurrency: a finalized Rib is safe to read from many threads. A Rib
+// with staged writes is not (the lazy finalize mutates); finish building
+// before sharing, as every pipeline stage does.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "bgp/route.h"
@@ -26,6 +40,12 @@ struct RibEntry {
   AsPath path;
 };
 
+/// One table row: a prefix and its per-peer entries (first-insert order).
+struct RibRow {
+  net::Prefix prefix;
+  std::vector<RibEntry> entries;
+};
+
 class Rib {
  public:
   /// Register a collector peer; returns its index. `peer_asn` is the AS the
@@ -35,28 +55,41 @@ class Rib {
   size_t peer_count() const { return peers_.size(); }
   net::Asn peer_asn(uint32_t index) const { return peers_.at(index); }
 
-  /// Insert a path for `prefix` from peer `peer_index`. Duplicate paths
-  /// from the same peer replace the previous one (a RIB has one best path
-  /// per peer per prefix).
+  /// Stage a path for `prefix` from peer `peer_index`. Duplicate paths
+  /// from the same peer replace the previous one at finalize time.
   void insert(const net::Prefix& prefix, uint32_t peer_index, AsPath path);
 
-  /// Insert a batch of entries for `prefix` (same replace-per-peer
-  /// semantics as repeated insert), reserving the entry vector's capacity
-  /// once up front. The collector's merge path uses this: every prefix in
-  /// an announcement group shares the same per-peer path set.
+  /// Stage a batch of entries for `prefix` (same replace-per-peer
+  /// semantics as repeated insert).
   void insert_many(const net::Prefix& prefix,
                    std::span<const RibEntry> entries);
 
-  size_t prefix_count() const { return table_.size(); }
+  /// Merge all staged inserts into the sorted table. Idempotent; cheap
+  /// when nothing is staged. Read accessors call this lazily, but bulk
+  /// builders should call it once after the last insert.
+  void finalize();
+
+  /// True when no writes are staged (the table is the full state).
+  bool finalized() const { return staged_.empty(); }
+
+  /// Replace the table with externally built rows. Precondition: `rows`
+  /// sorted by prefix, no duplicate prefixes, entries already deduplicated
+  /// per peer -- what the collector's sharded merge produces. Any staged
+  /// writes are discarded.
+  void adopt_rows(std::vector<RibRow> rows);
+
+  size_t prefix_count() const;
   size_t entry_count() const;
 
-  /// All entries for `prefix` (empty if none).
+  /// All entries for `prefix` (empty if none). The reference is valid
+  /// until the next write + finalize cycle.
   const std::vector<RibEntry>& entries(const net::Prefix& prefix) const;
 
   /// Iterate over (prefix, entries) in deterministic (sorted) order.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [prefix, entries] : table_) fn(prefix, entries);
+    ensure_finalized();
+    for (const RibRow& row : table_) fn(row.prefix, row.entries);
   }
 
   /// Distinct (prefix, origin) pairs across all peers, sorted.
@@ -66,8 +99,22 @@ class Rib {
   std::vector<net::Prefix> prefixes_originated_by(net::Asn asn) const;
 
  private:
+  struct Staged {
+    net::Prefix prefix;
+    RibEntry entry;
+  };
+
+  /// Lazy finalize from const accessors; see the concurrency note above.
+  void ensure_finalized() const {
+    if (!staged_.empty()) const_cast<Rib*>(this)->finalize();
+  }
+
+  /// Apply one staged entry onto a row (replace-per-peer or append).
+  static void apply_entry(std::vector<RibEntry>& entries, Staged&& staged);
+
   std::vector<net::Asn> peers_;
-  std::map<net::Prefix, std::vector<RibEntry>> table_;
+  std::vector<RibRow> table_;  // sorted by prefix, unique
+  std::vector<Staged> staged_;
 };
 
 }  // namespace manrs::bgp

@@ -201,31 +201,40 @@ SaturationResult compute_irr_saturation(const astopo::Prefix2As& routed,
 std::vector<PreferenceScore> compute_preference_scores(
     const std::vector<ihr::TransitRecord>& transits,
     const ManrsRegistry& registry) {
-  // Aggregate per prefix-origin. std::map keeps deterministic output
-  // order.
-  struct Acc {
-    rpki::RpkiStatus rpki = rpki::RpkiStatus::kNotFound;
+  // Aggregate per prefix-origin by sort-then-scan over a flat vector
+  // (this is a hot path at full scale; a node-based map thrashes the
+  // cache). stable_sort keeps transit order inside each prefix-origin
+  // run, so the last-record-wins rpki status and the floating-point
+  // accumulation order -- and therefore the output bytes -- match the
+  // old map-based build exactly.
+  std::vector<const ihr::TransitRecord*> sorted;
+  sorted.reserve(transits.size());
+  for (const auto& t : transits) sorted.push_back(&t);
+  auto key = [](const ihr::TransitRecord* t) {
+    return bgp::PrefixOrigin{t->prefix, t->origin};
+  };
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [&](const ihr::TransitRecord* a,
+                       const ihr::TransitRecord* b) { return key(a) < key(b); });
+
+  std::vector<PreferenceScore> out;
+  for (size_t i = 0; i < sorted.size();) {
+    PreferenceScore score;
+    score.prefix_origin = key(sorted[i]);
     double manrs_sum = 0.0;
     double other_sum = 0.0;
-  };
-  std::map<bgp::PrefixOrigin, Acc> acc;
-  for (const auto& t : transits) {
-    Acc& a = acc[bgp::PrefixOrigin{t.prefix, t.origin}];
-    a.rpki = t.rpki;
-    if (registry.is_member(t.transit)) {
-      a.manrs_sum += t.hegemony;
-    } else {
-      a.other_sum += t.hegemony;
+    size_t j = i;
+    for (; j < sorted.size() && key(sorted[j]) == score.prefix_origin; ++j) {
+      score.rpki = sorted[j]->rpki;
+      if (registry.is_member(sorted[j]->transit)) {
+        manrs_sum += sorted[j]->hegemony;
+      } else {
+        other_sum += sorted[j]->hegemony;
+      }
     }
-  }
-  std::vector<PreferenceScore> out;
-  out.reserve(acc.size());
-  for (const auto& [po, a] : acc) {
-    PreferenceScore score;
-    score.prefix_origin = po;
-    score.rpki = a.rpki;
-    score.score = a.manrs_sum - a.other_sum;
+    score.score = manrs_sum - other_sum;
     out.push_back(score);
+    i = j;
   }
   return out;
 }

@@ -1,9 +1,49 @@
 #include "core/monitoring.h"
 
 #include <algorithm>
-#include <map>
 
 namespace manrs::core {
+
+namespace {
+
+/// Snapshot index: (prefix-origin, record) sorted by key, first record
+/// winning on duplicates -- a flat sorted vector instead of a node map,
+/// same deterministic order (see docs/performance.md).
+using IndexEntry =
+    std::pair<bgp::PrefixOrigin, const ihr::PrefixOriginRecord*>;
+
+std::vector<IndexEntry> build_index(
+    const std::vector<ihr::PrefixOriginRecord>& records) {
+  std::vector<IndexEntry> index;
+  index.reserve(records.size());
+  for (const auto& r : records) {
+    index.emplace_back(bgp::PrefixOrigin{r.prefix, r.origin}, &r);
+  }
+  // stable_sort + unique keep the FIRST record of each duplicate key,
+  // matching the map::emplace behaviour this replaces.
+  std::stable_sort(index.begin(), index.end(),
+                   [](const IndexEntry& a, const IndexEntry& b) {
+                     return a.first < b.first;
+                   });
+  index.erase(std::unique(index.begin(), index.end(),
+                          [](const IndexEntry& a, const IndexEntry& b) {
+                            return a.first == b.first;
+                          }),
+              index.end());
+  return index;
+}
+
+const ihr::PrefixOriginRecord* find_record(
+    const std::vector<IndexEntry>& index, const bgp::PrefixOrigin& po) {
+  auto it = std::lower_bound(index.begin(), index.end(), po,
+                             [](const IndexEntry& e,
+                                const bgp::PrefixOrigin& key) {
+                               return e.first < key;
+                             });
+  return it != index.end() && it->first == po ? it->second : nullptr;
+}
+
+}  // namespace
 
 std::string_view to_string(PrefixTransition t) {
   switch (t) {
@@ -24,16 +64,10 @@ ConformanceDelta diff_conformance(
     const std::vector<ihr::PrefixOriginRecord>& after, double threshold) {
   ConformanceDelta delta;
 
-  // Index both snapshots by prefix-origin. std::map keeps the output
-  // deterministic.
-  std::map<bgp::PrefixOrigin, const ihr::PrefixOriginRecord*> b_index,
-      a_index;
-  for (const auto& r : before) {
-    b_index.emplace(bgp::PrefixOrigin{r.prefix, r.origin}, &r);
-  }
-  for (const auto& r : after) {
-    a_index.emplace(bgp::PrefixOrigin{r.prefix, r.origin}, &r);
-  }
+  // Index both snapshots by prefix-origin (sorted flat vectors; the
+  // sorted order is the deterministic output order).
+  std::vector<IndexEntry> b_index = build_index(before);
+  std::vector<IndexEntry> a_index = build_index(after);
 
   auto unconformant = [](const ihr::PrefixOriginRecord* r) {
     return r != nullptr && classify_conformance(r->rpki, r->irr) ==
@@ -41,9 +75,7 @@ ConformanceDelta diff_conformance(
   };
 
   for (const auto& [po, a_record] : a_index) {
-    auto b_it = b_index.find(po);
-    const ihr::PrefixOriginRecord* b_record =
-        b_it == b_index.end() ? nullptr : b_it->second;
+    const ihr::PrefixOriginRecord* b_record = find_record(b_index, po);
     bool was_bad = unconformant(b_record);
     bool is_bad = unconformant(a_record);
     if (is_bad && !was_bad) {
@@ -65,7 +97,7 @@ ConformanceDelta diff_conformance(
     }
   }
   for (const auto& [po, b_record] : b_index) {
-    if (a_index.count(po)) continue;
+    if (find_record(a_index, po) != nullptr) continue;
     if (!unconformant(b_record)) continue;
     PrefixChange change;
     change.prefix_origin = po;
@@ -76,7 +108,6 @@ ConformanceDelta diff_conformance(
   // AS-level verdict flips.
   auto og_before = compute_origination_stats(before);
   auto og_after = compute_origination_stats(after);
-  std::map<uint32_t, std::pair<double, double>> percentages;
   auto pct = [&](const std::unordered_map<uint32_t, OriginationStats>& stats,
                  uint32_t asn) {
     auto it = stats.find(asn);
@@ -85,13 +116,14 @@ ConformanceDelta diff_conformance(
                ? 100.0
                : it->second.og_conformant();
   };
-  for (const auto& [asn, _] : og_before) {
-    percentages[asn] = {pct(og_before, asn), pct(og_after, asn)};
-  }
-  for (const auto& [asn, _] : og_after) {
-    percentages[asn] = {pct(og_before, asn), pct(og_after, asn)};
-  }
-  for (const auto& [asn, pair] : percentages) {
+  std::vector<uint32_t> asns;
+  asns.reserve(og_before.size() + og_after.size());
+  for (const auto& [asn, _] : og_before) asns.push_back(asn);
+  for (const auto& [asn, _] : og_after) asns.push_back(asn);
+  std::sort(asns.begin(), asns.end());
+  asns.erase(std::unique(asns.begin(), asns.end()), asns.end());
+  for (uint32_t asn : asns) {
+    std::pair<double, double> pair{pct(og_before, asn), pct(og_after, asn)};
     bool was_ok = pair.first >= threshold;
     bool is_ok = pair.second >= threshold;
     if (was_ok == is_ok) {

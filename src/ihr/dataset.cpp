@@ -3,7 +3,6 @@
 #include <istream>
 #include <ostream>
 #include <string>
-#include <unordered_map>
 
 #include "util/csv.h"
 #include "util/parallel.h"
@@ -66,25 +65,19 @@ IhrSnapshot IhrSnapshotBuilder::build(
   }
 
   // Per-group propagation, shared across all prefixes in the group.
-  auto groups = sim::group_announcements(sim_announcements);
+  // group_of[i] is announcement i's index into the group (and slot)
+  // vectors -- no string keys, no hash lookups on the emit path.
+  std::vector<size_t> group_of;
+  auto groups = sim::group_announcements(sim_announcements, &group_of);
   struct GroupView {
     std::vector<bgp::AsPath> paths;           // one per vantage with a route
     std::vector<HegemonyScore> hegemony;      // transit scores
     std::vector<bool> transit_via_customer;   // aligned with hegemony
     uint32_t visibility = 0;
   };
-  std::unordered_map<std::string, GroupView> views;
-  auto group_key = [](net::Asn origin, const sim::AnnouncementClass& cls) {
-    uint8_t variant =
-        (cls.rpki_invalid || cls.irr_invalid) ? cls.variant : 0;
-    return std::to_string(origin.value()) + "/" +
-           (cls.rpki_invalid ? "1" : "0") + (cls.irr_invalid ? "1" : "0") +
-           std::to_string(variant);
-  };
   // Each group's propagation + hegemony estimate depends only on const
-  // simulator state: fan the groups out, fill index-addressed slots, and
-  // build the lookup map serially afterwards (determinism contract; see
-  // docs/performance.md).
+  // simulator state: fan the groups out and fill index-addressed slots
+  // (determinism contract; see docs/performance.md).
   std::vector<GroupView> group_views(groups.size());
   util::parallel_for(groups.size(), [&](size_t g) {
     const auto& group = groups[g];
@@ -108,17 +101,12 @@ IhrSnapshot IhrSnapshotBuilder::build(
     }
     group_views[g] = std::move(view);
   });
-  for (size_t g = 0; g < groups.size(); ++g) {
-    views.emplace(group_key(groups[g].origin, groups[g].cls),
-                  std::move(group_views[g]));
-  }
 
   // Emit records.
   snapshot.prefix_origins.reserve(rows.size());
   for (size_t i = 0; i < rows.size(); ++i) {
     const Classified& c = rows[i];
-    const sim::AnnouncementClass& cls = sim_announcements[i].cls;
-    const GroupView& view = views.at(group_key(c.po.origin, cls));
+    const GroupView& view = group_views[group_of[i]];
     PrefixOriginRecord record;
     record.prefix = c.po.prefix;
     record.origin = c.po.origin;

@@ -1,5 +1,6 @@
 #include "mrt/table_dump.h"
 
+#include <algorithm>
 #include <array>
 #include <istream>
 #include <ostream>
@@ -382,8 +383,25 @@ bgp::Rib TableDumpReader::read_rib(std::istream& in, size_t* bad_records) {
     }
   });
 
+  // Fold the stream into rows, one per RIB record. TABLE_DUMP_V2 groups
+  // all of a prefix's entries into a single record, so building a RibRow
+  // per record and sorting rows (150k for a full dump) is far cheaper
+  // than staging and sorting every entry (millions) through
+  // Rib::insert + finalize.
+  auto apply = [](std::vector<bgp::RibEntry>& entries, uint32_t peer,
+                  bgp::AsPath&& path) {
+    for (auto& have : entries) {
+      if (have.peer_index == peer) {
+        have.path = std::move(path);  // replace-per-peer, stream order
+        return;
+      }
+    }
+    entries.push_back(bgp::RibEntry{peer, std::move(path)});
+  };
+
   bgp::Rib rib;
   std::vector<uint32_t> peer_map;  // dump peer index -> rib peer index
+  std::vector<bgp::RibRow> rows;
   for (auto& p : parsed) {
     if (p.failed) {
       ++bad;
@@ -396,15 +414,38 @@ bgp::Rib TableDumpReader::read_rib(std::istream& in, size_t* bad_records) {
         peer_map.push_back(rib.add_peer(peer.asn));
       }
     } else if (p.record.rib) {
+      bgp::RibRow row;
+      row.prefix = p.record.rib->prefix;
       for (auto& entry : p.record.rib->entries) {
         uint32_t peer = entry.peer_index < peer_map.size()
                             ? peer_map[entry.peer_index]
                             : entry.peer_index;
-        rib.insert(p.record.rib->prefix, peer, std::move(entry.path));
+        apply(row.entries, peer, std::move(entry.path));
       }
+      if (!row.entries.empty()) rows.push_back(std::move(row));
     }
   }
   if (bad_records) *bad_records = bad;
+
+  // Our own dumps emit rows in sorted order, so the stable sort is a
+  // single verification pass; foreign dumps may repeat or reorder
+  // prefixes, and duplicate rows merge in stream order below.
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const bgp::RibRow& a, const bgp::RibRow& b) {
+                     return a.prefix < b.prefix;
+                   });
+  std::vector<bgp::RibRow> merged;
+  merged.reserve(rows.size());
+  for (auto& row : rows) {
+    if (!merged.empty() && merged.back().prefix == row.prefix) {
+      for (auto& e : row.entries) {
+        apply(merged.back().entries, e.peer_index, std::move(e.path));
+      }
+    } else {
+      merged.push_back(std::move(row));
+    }
+  }
+  rib.adopt_rows(std::move(merged));
   return rib;
 }
 

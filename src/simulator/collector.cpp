@@ -13,41 +13,48 @@ RouteCollector::RouteCollector(const PropagationSim& sim,
     : sim_(sim), peer_ases_(std::move(peer_ases)), name_(std::move(name)) {}
 
 std::vector<AnnouncementGroup> group_announcements(
-    const std::vector<Announcement>& announcements) {
+    const std::vector<Announcement>& announcements,
+    std::vector<size_t>* group_of) {
   // Key: (origin, rpki_invalid, irr_invalid, variant). std::map keeps
   // group order deterministic. Valid announcements all share variant 0 so
   // they collapse into one group per origin.
-  std::map<std::tuple<uint32_t, bool, bool, uint8_t>, AnnouncementGroup>
-      groups;
-  for (const auto& a : announcements) {
+  using Key = std::tuple<uint32_t, bool, bool, uint8_t>;
+  auto key_of = [](const Announcement& a) {
     uint8_t variant =
         (a.cls.rpki_invalid || a.cls.irr_invalid) ? a.cls.variant : 0;
-    auto key = std::make_tuple(a.origin.value(), a.cls.rpki_invalid,
-                               a.cls.irr_invalid, variant);
+    return std::make_tuple(a.origin.value(), a.cls.rpki_invalid,
+                           a.cls.irr_invalid, variant);
+  };
+  std::map<Key, AnnouncementGroup> groups;
+  for (const auto& a : announcements) {
+    auto key = key_of(a);
     auto& group = groups[key];
     group.origin = a.origin;
     group.cls = a.cls;
-    group.cls.variant = variant;
+    group.cls.variant = std::get<3>(key);
     group.prefixes.push_back(a.prefix);
   }
   std::vector<AnnouncementGroup> out;
   out.reserve(groups.size());
-  for (auto& [_, group] : groups) out.push_back(std::move(group));
+  std::map<Key, size_t> order;
+  for (auto& [key, group] : groups) {
+    order.emplace(key, out.size());
+    out.push_back(std::move(group));
+  }
+  if (group_of != nullptr) {
+    group_of->clear();
+    group_of->reserve(announcements.size());
+    for (const auto& a : announcements) {
+      group_of->push_back(order.at(key_of(a)));
+    }
+  }
   return out;
 }
 
-bgp::Rib RouteCollector::collect(
-    const std::vector<Announcement>& announcements) const {
-  bgp::Rib rib;
-  std::vector<uint32_t> peer_indices;
-  peer_indices.reserve(peer_ases_.size());
-  for (net::Asn peer : peer_ases_) peer_indices.push_back(rib.add_peer(peer));
-
-  // Groups propagate independently over const simulator state: fan out,
-  // collect each group's per-peer paths into its index slot, then merge
-  // serially in group order so the RIB is identical to the serial build.
-  const std::vector<AnnouncementGroup> groups =
-      group_announcements(announcements);
+std::vector<std::vector<bgp::RibEntry>> RouteCollector::collect_group_entries(
+    const std::vector<AnnouncementGroup>& groups) const {
+  // Groups propagate independently over const simulator state: fan out
+  // and collect each group's per-peer paths into its index slot.
   std::vector<std::vector<bgp::RibEntry>> group_entries(groups.size());
   util::parallel_for(groups.size(), [&](size_t g) {
     PropagationResult result = sim_.propagate(groups[g].origin, groups[g].cls);
@@ -59,17 +66,86 @@ bgp::Rib RouteCollector::collect(
     for (size_t i = 0; i < peer_ases_.size(); ++i) {
       bgp::AsPath path = sim_.path_from(result, peer_ases_[i]);
       if (!path.empty()) {
-        entries.push_back(bgp::RibEntry{peer_indices[i], std::move(path)});
+        entries.push_back(
+            bgp::RibEntry{static_cast<uint32_t>(i), std::move(path)});
       }
     }
     group_entries[g] = std::move(entries);
   });
+  return group_entries;
+}
 
+std::vector<bgp::RibRow> merge_group_entries(
+    const std::vector<AnnouncementGroup>& groups,
+    const std::vector<std::vector<bgp::RibEntry>>& group_entries) {
+  // One task per announced (prefix, group). Sorting by (prefix, group)
+  // puts every row's work in one contiguous run, in exactly the order
+  // the serial build staged it: groups ascending, and duplicates of the
+  // same pair are idempotent under replace-per-peer.
+  struct Task {
+    net::Prefix prefix;
+    size_t group;
+  };
+  size_t total = 0;
+  for (const auto& g : groups) total += g.prefixes.size();
+  std::vector<Task> tasks;
+  tasks.reserve(total);
   for (size_t g = 0; g < groups.size(); ++g) {
     for (const net::Prefix& prefix : groups[g].prefixes) {
-      rib.insert_many(prefix, group_entries[g]);
+      tasks.push_back(Task{prefix, g});
     }
   }
+  std::sort(tasks.begin(), tasks.end(), [](const Task& a, const Task& b) {
+    if (a.prefix != b.prefix) return a.prefix < b.prefix;
+    return a.group < b.group;
+  });
+
+  // Row boundaries at each distinct prefix. A chunk of consecutive rows
+  // is a prefix-range shard, so the grain-chunked parallel_for below IS
+  // the sharded build -- and each row lands in its index slot, so the
+  // result is identical at any thread count.
+  std::vector<size_t> row_start;
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    if (t == 0 || tasks[t].prefix != tasks[t - 1].prefix) {
+      row_start.push_back(t);
+    }
+  }
+  row_start.push_back(tasks.size());
+  const size_t rows = row_start.size() - 1;
+
+  std::vector<bgp::RibRow> out(rows);
+  util::parallel_for(rows, [&](size_t r) {
+    bgp::RibRow row;
+    row.prefix = tasks[row_start[r]].prefix;
+    for (size_t t = row_start[r]; t < row_start[r + 1]; ++t) {
+      for (const bgp::RibEntry& e : group_entries[tasks[t].group]) {
+        auto it = std::find_if(row.entries.begin(), row.entries.end(),
+                               [&](const bgp::RibEntry& have) {
+                                 return have.peer_index == e.peer_index;
+                               });
+        if (it == row.entries.end()) {
+          row.entries.push_back(e);
+        } else {
+          it->path = e.path;
+        }
+      }
+    }
+    out[r] = std::move(row);
+  });
+  // Prefixes every peer dropped produce no row: an empty row cannot
+  // survive an MRT write/read round-trip anyway.
+  std::erase_if(out,
+                [](const bgp::RibRow& row) { return row.entries.empty(); });
+  return out;
+}
+
+bgp::Rib RouteCollector::collect(
+    const std::vector<Announcement>& announcements) const {
+  bgp::Rib rib;
+  for (net::Asn peer : peer_ases_) rib.add_peer(peer);
+  const std::vector<AnnouncementGroup> groups =
+      group_announcements(announcements);
+  rib.adopt_rows(merge_group_entries(groups, collect_group_entries(groups)));
   return rib;
 }
 

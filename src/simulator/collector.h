@@ -24,6 +24,13 @@ struct Announcement {
   AnnouncementClass cls;
 };
 
+/// Group announcements by (origin, class); the propagation unit.
+struct AnnouncementGroup {
+  net::Asn origin;
+  AnnouncementClass cls;
+  std::vector<net::Prefix> prefixes;
+};
+
 class RouteCollector {
  public:
   /// `peer_ases` are the ASes that feed this collector (a vantage-point
@@ -34,8 +41,17 @@ class RouteCollector {
   const std::string& name() const { return name_; }
   const std::vector<net::Asn>& peers() const { return peer_ases_; }
 
-  /// Build the collector RIB for a set of announcements.
+  /// Build the collector RIB for a set of announcements. Propagation
+  /// fans out per group; the RIB itself is built by a sharded parallel
+  /// merge (see merge_group_entries) instead of serial map inserts.
   bgp::Rib collect(const std::vector<Announcement>& announcements) const;
+
+  /// The propagation half of collect(): run each group's propagation and
+  /// gather its per-peer RIB entries (peer_index = position in peers();
+  /// peers with no route are dropped). Slot g belongs to groups[g].
+  /// Exposed so benchmarks can time propagation and merge separately.
+  std::vector<std::vector<bgp::RibEntry>> collect_group_entries(
+      const std::vector<AnnouncementGroup>& groups) const;
 
  private:
   const PropagationSim& sim_;
@@ -43,14 +59,24 @@ class RouteCollector {
   std::string name_;
 };
 
-/// Group announcements by (origin, class); the propagation unit.
-struct AnnouncementGroup {
-  net::Asn origin;
-  AnnouncementClass cls;
-  std::vector<net::Prefix> prefixes;
-};
-
+/// Group announcements by (origin, class) in deterministic key order.
+/// When `group_of` is non-null it receives, per announcement, the index
+/// of its group in the returned vector -- the O(1) lookup that lets
+/// consumers address per-group results by index instead of re-deriving
+/// string keys.
 std::vector<AnnouncementGroup> group_announcements(
-    const std::vector<Announcement>& announcements);
+    const std::vector<Announcement>& announcements,
+    std::vector<size_t>* group_of = nullptr);
+
+/// Sharded parallel merge of per-group entry sets into sorted RIB rows
+/// (the Rib::adopt_rows precondition). (prefix, group) pairs are sorted
+/// so every distinct prefix becomes one row and ascending group order
+/// reproduces the serial insert_many order; rows are then built in
+/// parallel -- a chunk of consecutive rows is a prefix-range shard -- and
+/// the result is byte-identical at any thread count or grain. Prefixes
+/// whose groups reached no peer produce no row.
+std::vector<bgp::RibRow> merge_group_entries(
+    const std::vector<AnnouncementGroup>& groups,
+    const std::vector<std::vector<bgp::RibEntry>>& group_entries);
 
 }  // namespace manrs::sim

@@ -14,6 +14,7 @@
 
 #include "topogen/casestudies.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace manrs::topogen {
@@ -174,8 +175,17 @@ class Generator {
     assign_join_years();
     draw_behaviours();
     make_space_anchors();
+    // Per-AS plans fan out (each AS owns an RNG stream forked from
+    // (seed, index)); allocation + emission stay serial in index order.
+    std::vector<AsPlan> plans(ases_.size());
+    util::parallel_for(ases_.size(), [&](size_t i) {
+      if (!ases_[i].case_study) {
+        util::Rng as_rng = util::Rng(cfg_.seed).fork(i);
+        plans[i] = plan_as_data(i, as_rng);
+      }
+    });
     for (size_t i = 0; i < ases_.size(); ++i) {
-      if (!ases_[i].case_study) generate_as_data(i);
+      if (!ases_[i].case_study) emit_as_data(i, plans[i]);
     }
     if (cfg_.include_case_studies) apply_case_studies();
     apply_anchor_dip();
@@ -789,81 +799,157 @@ class Generator {
   }
 
   // ---------------------------------------------------------------------
-  /// Generate prefixes + registrations for one non-scripted AS.
-  void generate_as_data(size_t index) {
-    Pending& p = ases_[index];
-    if (p.quiet || p.prefix_target == 0) return;
+  // Per-AS population generation is split in two so the expensive half
+  // can fan out (ROADMAP: parallel scenario generation).
+  //
+  //   plan_as_data (parallel) -- every RNG draw and every graph/org
+  //     lookup for one AS, written into an index-addressed AsPlan. Each
+  //     AS gets its own RNG stream forked from (seed, index), so the
+  //     plan -- and therefore the scenario bytes -- is identical at any
+  //     thread count or grain.
+  //   emit_as_data (serial, index order) -- address allocation (the
+  //     per-RIR cursors are order-dependent shared state) and intent
+  //     emission, zero RNG draws.
+
+  /// One allocated block and everything decided about it.
+  struct BlockPlan {
+    bool v6 = false;
+    unsigned len = 0;
+    size_t extra_subnets = 0;  // de-aggregated /24s appended after block
+    bool roa = false;
+    unsigned roa_maxlen = 0;
+    net::Asn roa_origin{0};
+    int roa_year = 0;
+    bool irr = false;
+    bool irr_per_prefix = false;  // else one route object for the block
+    net::Asn irr_origin{0};
+    std::vector<bool> irr_radb;   // one per emitted route object
+    std::vector<int> first_years;  // one per announced prefix
+  };
+  struct AsPlan {
+    std::vector<BlockPlan> blocks;
+  };
+
+  /// Decide prefixes + registrations for one non-scripted AS. Only reads
+  /// shared state (graph_, orgs_, ases_, cfg_); all draws come from the
+  /// caller-owned per-AS `rng`.
+  AsPlan plan_as_data(size_t index, util::Rng& rng) const {
+    const Pending& p = ases_[index];
+    AsPlan plan;
+    if (p.quiet || p.prefix_target == 0) return plan;
 
     size_t announced_big_blocks = 0;
     size_t remaining = p.prefix_target;
     while (remaining > 0) {
-      bool v6 = !p.space_anchor && rng_.bernoulli(cfg_.ipv6_share);
-      unsigned len = draw_prefix_len(p.profile.size, v6);
+      BlockPlan b;
+      b.v6 = !p.space_anchor && rng.bernoulli(cfg_.ipv6_share);
+      b.len = draw_prefix_len(rng, p.profile.size, b.v6);
       if (p.space_anchor && announced_big_blocks < 30) {
         static constexpr std::array<unsigned, 3> kBig{12, 14, 16};
-        len = kBig[rng_.uniform(3)];
+        b.len = kBig[rng.uniform(3)];
         ++announced_big_blocks;
       }
-      net::Prefix block = allocate(p.profile.rir, len, v6);
-      org_resources_[p.profile.org_id].push_back(block);
 
-      // Optionally de-aggregate (traffic engineering, §3).
-      std::vector<net::Prefix> announced{block};
-      if (p.deaggregates && !v6 && len <= 22 && remaining >= 3 &&
-          rng_.bernoulli(0.5)) {
-        size_t subnets = 1 + rng_.uniform(3);
-        for (size_t s = 0; s < subnets && announced.size() < remaining;
-             ++s) {
-          uint32_t base = block.address().v4_value();
-          uint32_t sub = base + static_cast<uint32_t>(s) * (1u << 8);
-          announced.push_back(net::Prefix(net::IpAddress::v4(sub), 24));
-        }
+      // Optionally de-aggregate (traffic engineering, §3). remaining >= 3
+      // bounds extra_subnets, so every announced prefix gets announced.
+      if (p.deaggregates && !b.v6 && b.len <= 22 && remaining >= 3 &&
+          rng.bernoulli(0.5)) {
+        size_t subnets = 1 + rng.uniform(3);
+        b.extra_subnets = std::min(subnets, remaining - 1);
       }
+      const size_t announced = 1 + b.extra_subnets;
 
       // Legacy-space drag (§8.6): the biggest blocks are the least likely
       // to be RPKI-signed -- except by operators who sign everything.
       double roa_p = p.rpki_coverage;
-      if (!v6 && len <= 16 && p.rpki_coverage < 1.0) {
+      if (!b.v6 && b.len <= 16 && p.rpki_coverage < 1.0) {
         roa_p *= p.profile.manrs ? 0.55 : 0.75;
       }
-      bool roa = rng_.uniform01() < roa_p;
+      b.roa = rng.uniform01() < roa_p;
       bool roa_wrong = false;
-      if (p.rpki_misconfig && rng_.bernoulli(0.08)) {
-        roa = true;
+      if (p.rpki_misconfig && rng.bernoulli(0.08)) {
+        b.roa = true;
         roa_wrong = true;
       }
-      if (roa) {
-        net::Asn roa_origin =
-            roa_wrong ? pick_wrong_origin(index) : p.profile.asn;
-        unsigned maxlen = len;
-        if (announced.size() > 1 && !v6) {
+      if (b.roa) {
+        b.roa_origin =
+            roa_wrong ? pick_wrong_origin(rng, index) : p.profile.asn;
+        b.roa_maxlen = b.len;
+        if (announced > 1 && !b.v6) {
           // Mostly cover the /24 de-aggregates; the remainder becomes
           // RPKI Invalid Length (Formula 4 counts them as invalid).
           // MANRS members keep max-length aligned more often.
-          maxlen = rng_.bernoulli(p.profile.manrs ? 0.90 : 0.82) ? 24 : len;
+          b.roa_maxlen =
+              rng.bernoulli(p.profile.manrs ? 0.90 : 0.82) ? 24 : b.len;
         }
-        add_roa(index, block, maxlen, roa_origin);
+        b.roa_year = std::max(p.profile.first_routed_year,
+                              draw_roa_year(rng, p.profile.manrs));
       }
 
-      bool irr_reg = rng_.uniform01() < p.irr_coverage;
-      if (irr_reg) {
-        net::Asn irr_origin = p.profile.asn;
-        if (p.irr_stale > 0 && rng_.bernoulli(p.irr_stale)) {
-          irr_origin = pick_wrong_origin(index);
+      b.irr = rng.uniform01() < p.irr_coverage;
+      if (b.irr) {
+        b.irr_origin = p.profile.asn;
+        if (p.irr_stale > 0 && rng.bernoulli(p.irr_stale)) {
+          b.irr_origin = pick_wrong_origin(rng, index);
         }
-        if (p.irr_aggregates_only || announced.size() == 1) {
-          add_route_object(index, block, irr_origin);
+        b.irr_per_prefix = !p.irr_aggregates_only && announced > 1;
+        size_t objects = b.irr_per_prefix ? announced : 1;
+        b.irr_radb.reserve(objects);
+        for (size_t i = 0; i < objects; ++i) {
+          b.irr_radb.push_back(rng.bernoulli(0.5));
+        }
+      }
+
+      b.first_years.reserve(announced);
+      for (size_t i = 0; i < announced; ++i) {
+        int first_year = p.profile.first_routed_year;
+        if (rng.bernoulli(0.35)) {
+          first_year += static_cast<int>(rng.uniform(
+              static_cast<uint64_t>(cfg_.last_year - first_year) + 1));
+        }
+        b.first_years.push_back(first_year);
+      }
+
+      remaining -= announced;
+      plan.blocks.push_back(std::move(b));
+    }
+    return plan;
+  }
+
+  /// Allocate addresses and emit the intents a plan decided. Serial, in
+  /// AS index order: the per-RIR allocation cursors make emission order
+  /// part of the scenario's identity.
+  void emit_as_data(size_t index, const AsPlan& plan) {
+    const Pending& p = ases_[index];
+    for (const BlockPlan& b : plan.blocks) {
+      net::Prefix block = allocate(p.profile.rir, b.len, b.v6);
+      org_resources_[p.profile.org_id].push_back(block);
+
+      std::vector<net::Prefix> announced{block};
+      for (size_t s = 0; s < b.extra_subnets; ++s) {
+        uint32_t base = block.address().v4_value();
+        uint32_t sub = base + static_cast<uint32_t>(s) * (1u << 8);
+        announced.push_back(net::Prefix(net::IpAddress::v4(sub), 24));
+      }
+
+      if (b.roa) {
+        add_roa(index, block, b.roa_maxlen, b.roa_origin, b.roa_year);
+      }
+      if (b.irr) {
+        if (!b.irr_per_prefix) {
+          routes_.push_back(
+              RouteIntent{index, block, b.irr_origin, b.irr_radb[0]});
         } else {
-          for (const net::Prefix& pref : announced) {
-            add_route_object(index, pref, irr_origin);
+          for (size_t i = 0; i < announced.size(); ++i) {
+            routes_.push_back(RouteIntent{index, announced[i], b.irr_origin,
+                                          b.irr_radb[i]});
           }
         }
       }
-
-      for (const net::Prefix& pref : announced) {
-        if (remaining == 0) break;
-        add_announcement(index, pref);
-        --remaining;
+      for (size_t i = 0; i < announced.size(); ++i) {
+        announcements_.push_back(AnnouncementIntent{
+            index, bgp::PrefixOrigin{announced[i], p.profile.asn},
+            b.first_years[i], 9999});
       }
     }
   }
@@ -910,7 +996,7 @@ class Generator {
             return providers[rng_.uniform(providers.size())];
           }
         }
-        return pick_unrelated(index);
+        return pick_unrelated(rng_, index);
       };
 
       // Stub ASes (all_invalid) consume the IRR queue first; the primary
@@ -957,7 +1043,7 @@ class Generator {
           quota = total_offenses * p.prefix_target / total_prefixes + 1;
         }
         for (size_t i = 0; i < p.prefix_target; ++i) {
-          unsigned len = draw_prefix_len(p.profile.size, /*v6=*/false);
+          unsigned len = draw_prefix_len(rng_, p.profile.size, /*v6=*/false);
           net::Prefix prefix = allocate(p.profile.rir, len, false);
           org_resources_[p.profile.org_id].push_back(prefix);
           add_announcement(index, prefix);
@@ -965,7 +1051,7 @@ class Generator {
           if (!is_registered) {
             // Unlisted sibling: fully conformant except the one blemish.
             if (p.cs_blemish && i == 0) {
-              add_route_object(index, prefix, pick_unrelated(index));
+              add_route_object(index, prefix, pick_unrelated(rng_, index));
             } else {
               add_roa(index, prefix, len, p.profile.asn);
               add_route_object(index, prefix, p.profile.asn);
@@ -1358,9 +1444,11 @@ class Generator {
     return index;
   }
 
-  net::Asn pick_wrong_origin(size_t index) {
+  /// Draws come from `rng` so the parallel plan phase can use per-AS
+  /// streams; serial callers pass rng_. Reads shared state only.
+  net::Asn pick_wrong_origin(util::Rng& rng, size_t index) const {
     const Pending& p = ases_[index];
-    double u = rng_.uniform01();
+    double u = rng.uniform01();
     if (u < cfg_.wrong_origin_sibling) {
       for (const OrgDraft& org : orgs_) {
         if (org.id != p.profile.org_id) continue;
@@ -1372,28 +1460,28 @@ class Generator {
       // Fall through when the org has no sibling: prefer a neighbor.
       const auto& providers = graph_.providers(p.profile.asn);
       if (!providers.empty()) {
-        return providers[rng_.uniform(providers.size())];
+        return providers[rng.uniform(providers.size())];
       }
     }
     if (u < cfg_.wrong_origin_sibling + cfg_.wrong_origin_cust_prov) {
       const auto& providers = graph_.providers(p.profile.asn);
       if (!providers.empty()) {
-        return providers[rng_.uniform(providers.size())];
+        return providers[rng.uniform(providers.size())];
       }
       const auto& customers = graph_.customers(p.profile.asn);
       if (!customers.empty()) {
-        return customers[rng_.uniform(customers.size())];
+        return customers[rng.uniform(customers.size())];
       }
     }
-    return pick_unrelated(index);
+    return pick_unrelated(rng, index);
   }
 
   /// An AS from a different organization that is neither a direct
   /// customer nor provider.
-  net::Asn pick_unrelated(size_t index) {
+  net::Asn pick_unrelated(util::Rng& rng, size_t index) const {
     const Pending& p = ases_[index];
     for (int attempts = 0; attempts < 64; ++attempts) {
-      size_t other = rng_.uniform(ases_.size());
+      size_t other = rng.uniform(ases_.size());
       if (other == index) continue;
       const Pending& q = ases_[other];
       if (q.profile.org_id == p.profile.org_id) continue;
@@ -1404,28 +1492,29 @@ class Generator {
     return asn((index + 1) % ases_.size());
   }
 
-  unsigned draw_prefix_len(astopo::SizeClass size, bool v6) {
+  unsigned draw_prefix_len(util::Rng& rng, astopo::SizeClass size,
+                           bool v6) const {
     if (v6) {
       static constexpr std::array<double, 3> w{0.55, 0.30, 0.15};
       static constexpr std::array<unsigned, 3> lens{48, 40, 32};
-      return lens[rng_.weighted_index(std::span<const double>(w))];
+      return lens[rng.weighted_index(std::span<const double>(w))];
     }
     switch (size) {
       case astopo::SizeClass::kSmall: {
         static constexpr std::array<double, 3> w{0.70, 0.15, 0.15};
         static constexpr std::array<unsigned, 3> lens{24, 23, 22};
-        return lens[rng_.weighted_index(std::span<const double>(w))];
+        return lens[rng.weighted_index(std::span<const double>(w))];
       }
       case astopo::SizeClass::kMedium: {
         static constexpr std::array<double, 4> w{0.40, 0.30, 0.20, 0.10};
         static constexpr std::array<unsigned, 4> lens{24, 22, 20, 19};
-        return lens[rng_.weighted_index(std::span<const double>(w))];
+        return lens[rng.weighted_index(std::span<const double>(w))];
       }
       case astopo::SizeClass::kLarge: {
         static constexpr std::array<double, 5> w{0.30, 0.25, 0.20, 0.15,
                                                  0.10};
         static constexpr std::array<unsigned, 5> lens{24, 22, 20, 18, 16};
-        return lens[rng_.weighted_index(std::span<const double>(w))];
+        return lens[rng.weighted_index(std::span<const double>(w))];
       }
     }
     return 24;

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <limits>
 #include <memory>
 
 #include "util/strings.h"
@@ -51,6 +52,22 @@ size_t default_thread_count() {
                             std::thread::hardware_concurrency());
 }
 
+size_t parse_grain(const char* value) {
+  if (value == nullptr) return 0;
+  auto parsed = parse_uint<uint64_t>(value);
+  if (!parsed) return 0;  // garbage: auto
+  if (*parsed > static_cast<uint64_t>(std::numeric_limits<size_t>::max())) {
+    return std::numeric_limits<size_t>::max();
+  }
+  return static_cast<size_t>(*parsed);
+}
+
+size_t auto_grain(size_t n, size_t threads) {
+  if (threads == 0) threads = 1;
+  size_t g = n / (threads * 8);
+  return g == 0 ? 1 : g;
+}
+
 ThreadPool::ThreadPool(size_t threads) {
   if (threads == 0) threads = 1;
   if (threads > kMaxThreads) threads = kMaxThreads;
@@ -91,14 +108,16 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(size_t n,
-                              const std::function<void(size_t)>& fn) {
+void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn,
+                              size_t grain) {
   if (n == 0) return;
   if (n == 1 || tl_in_parallel_region) {
     RegionGuard guard;
     serial_for(n, fn);
     return;
   }
+  if (grain == 0) grain = auto_grain(n, workers_.size() + 1);
+  if (grain > n) grain = n;
 
   // Per-call state shared with the queued worker tasks. shared_ptr so a
   // task that outlives this call (it cannot, since we block, but the
@@ -111,30 +130,39 @@ void ThreadPool::parallel_for(size_t n,
     size_t pending = 0;  // queued helper tasks not yet finished
     std::exception_ptr error;
     size_t n = 0;
+    size_t grain = 1;
     const std::function<void(size_t)>* fn = nullptr;
   };
   auto state = std::make_shared<ForState>();
   state->n = n;
+  state->grain = grain;
   state->fn = &fn;
 
   auto run_items = [](const std::shared_ptr<ForState>& s) {
     RegionGuard guard;
     for (;;) {
-      size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= s->n || s->failed.load(std::memory_order_relaxed)) break;
-      try {
-        (*s->fn)(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(s->mutex);
-        if (!s->error) s->error = std::current_exception();
-        s->failed.store(true, std::memory_order_relaxed);
+      size_t start = s->next.fetch_add(s->grain, std::memory_order_relaxed);
+      if (start >= s->n || s->failed.load(std::memory_order_relaxed)) break;
+      // grain <= n, so start + grain cannot wrap before this clamp.
+      size_t end = s->grain > s->n - start ? s->n : start + s->grain;
+      for (size_t i = start; i < end; ++i) {
+        if (s->failed.load(std::memory_order_relaxed)) return;
+        try {
+          (*s->fn)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(s->mutex);
+          if (!s->error) s->error = std::current_exception();
+          s->failed.store(true, std::memory_order_relaxed);
+        }
       }
     }
   };
 
-  // One helper task per worker (capped by the item count); the caller
-  // participates too, so completion never depends on pool availability.
-  size_t helpers = workers_.size() < n - 1 ? workers_.size() : n - 1;
+  // One helper task per worker, capped by the number of chunks beyond
+  // the caller's first; the caller participates too, so completion never
+  // depends on pool availability.
+  size_t chunks = (n + grain - 1) / grain;
+  size_t helpers = workers_.size() < chunks - 1 ? workers_.size() : chunks - 1;
   {
     std::lock_guard<std::mutex> lock(state->mutex);
     state->pending = helpers;
@@ -164,6 +192,8 @@ namespace {
 struct GlobalPool {
   std::mutex mutex;
   size_t count = 0;  // 0 = not yet resolved from the environment
+  bool grain_resolved = false;
+  size_t grain = 0;  // 0 = auto chunking per call
   std::unique_ptr<ThreadPool> pool;
 };
 
@@ -203,6 +233,28 @@ void set_thread_count(size_t n) {
   }
 }
 
+size_t grain_size() {
+  GlobalPool& g = global_pool();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  if (!g.grain_resolved) {
+    g.grain = parse_grain(std::getenv("MANRS_GRAIN"));
+    g.grain_resolved = true;
+  }
+  return g.grain;
+}
+
+void set_grain(size_t n) {
+  GlobalPool& g = global_pool();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  if (n == 0) {
+    g.grain_resolved = false;  // re-read MANRS_GRAIN on next use
+    g.grain = 0;
+  } else {
+    g.grain_resolved = true;
+    g.grain = n;
+  }
+}
+
 void parallel_for(size_t n, const std::function<void(size_t)>& fn) {
   if (n < 2 || tl_in_parallel_region) {
     RegionGuard guard;
@@ -215,7 +267,7 @@ void parallel_for(size_t n, const std::function<void(size_t)>& fn) {
     serial_for(n, fn);
     return;
   }
-  pool->parallel_for(n, fn);
+  pool->parallel_for(n, fn, grain_size());
 }
 
 }  // namespace manrs::util

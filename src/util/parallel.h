@@ -13,6 +13,12 @@
 //     dynamic, so callers MUST NOT depend on execution order: collect
 //     results into index-addressed slots and merge serially afterwards
 //     (the determinism contract, see docs/performance.md).
+//     Scheduling is chunked: the shared work counter hands out a static
+//     chunk of `grain` consecutive indices per atomic op, not single
+//     indices, so fine-grained items stop paying one atomic per item.
+//     The grain comes from the MANRS_GRAIN environment variable
+//     (unset/0/garbage -> auto = n / (threads * 8), clamped to >= 1);
+//     chunking never changes which indices run, only how they batch.
 //   * parallel_map<T>(n, fn) -- the index-slot pattern packaged: returns
 //     {fn(0), ..., fn(n-1)} exactly as a serial loop would.
 //
@@ -53,6 +59,16 @@ size_t parse_thread_count(const char* value, size_t hardware);
 /// getenv("MANRS_THREADS") and std::thread::hardware_concurrency().
 size_t default_thread_count();
 
+/// Resolve a MANRS_GRAIN-style string. nullptr / empty / non-numeric / 0
+/// mean "auto" and return 0; explicit values pass through. Exposed for
+/// tests; callers use grain_size().
+size_t parse_grain(const char* value);
+
+/// Automatic chunk size for n items on `threads` threads:
+/// n / (threads * 8) clamped to >= 1 -- about eight chunks per thread,
+/// enough slack for dynamic load balancing without per-item atomics.
+size_t auto_grain(size_t n, size_t threads);
+
 /// Fixed-width worker pool. Tasks run in FIFO order across workers; the
 /// destructor drains the queue (every submitted task runs) and joins.
 class ThreadPool {
@@ -73,8 +89,12 @@ class ThreadPool {
   /// calling thread participates in the work, so progress never depends
   /// on pool capacity. If one or more items throw, the first exception
   /// (in completion order) is rethrown here after all workers stop
-  /// picking up new items.
-  void parallel_for(size_t n, const std::function<void(size_t)>& fn);
+  /// picking up new items. `grain` is the chunk size the shared counter
+  /// hands out per atomic op; 0 = auto_grain(n, size() + 1), values
+  /// above n clamp to n. Chunking affects batching only, never which
+  /// indices run.
+  void parallel_for(size_t n, const std::function<void(size_t)>& fn,
+                    size_t grain = 0);
 
  private:
   void worker_loop();
@@ -94,6 +114,14 @@ size_t thread_count();
 /// next use. Not safe concurrently with in-flight parallel_for calls;
 /// intended for tests and bench drivers, which are serial at top level.
 void set_thread_count(size_t n);
+
+/// Chunk size used by the global parallel_for (initialised from
+/// MANRS_GRAIN on first use). 0 = auto per call.
+size_t grain_size();
+
+/// Reconfigure the global grain. 0 = re-read the environment on next
+/// use (mirroring set_thread_count). Same concurrency caveat.
+void set_grain(size_t n);
 
 /// parallel_for over the process-global pool (serial inline when the
 /// configured width is 1, n < 2, or the caller is itself a pool worker).

@@ -10,7 +10,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
 #include <thread>
 
@@ -78,6 +80,118 @@ TEST(ParallelConfig, SetThreadCountReconfiguresGlobal) {
   set_thread_count(0);
   EXPECT_EQ(thread_count(), 2u);
   ::unsetenv("MANRS_THREADS");
+  set_thread_count(0);
+}
+
+// ---- MANRS_GRAIN parsing / auto grain ----------------------------------
+
+TEST(ParallelConfig, ParseGrainUnsetOrGarbageMeansAuto) {
+  EXPECT_EQ(parse_grain(nullptr), 0u);
+  EXPECT_EQ(parse_grain(""), 0u);
+  EXPECT_EQ(parse_grain("abc"), 0u);
+  EXPECT_EQ(parse_grain("-3"), 0u);
+  EXPECT_EQ(parse_grain("2.5"), 0u);
+  EXPECT_EQ(parse_grain("64x"), 0u);
+  EXPECT_EQ(parse_grain(" 64"), 0u);
+  EXPECT_EQ(parse_grain("99999999999999999999999"), 0u);  // > uint64
+}
+
+TEST(ParallelConfig, ParseGrainExplicitValues) {
+  EXPECT_EQ(parse_grain("0"), 0u);  // 0 = auto, by definition
+  EXPECT_EQ(parse_grain("1"), 1u);
+  EXPECT_EQ(parse_grain("64"), 64u);
+  EXPECT_EQ(parse_grain("100000"), 100000u);
+}
+
+TEST(ParallelConfig, AutoGrainScalesWithWorkPerThread) {
+  // n / (threads * 8), clamped to at least 1.
+  EXPECT_EQ(auto_grain(0, 4), 1u);
+  EXPECT_EQ(auto_grain(31, 4), 1u);   // 31/32 rounds to 0 -> clamp
+  EXPECT_EQ(auto_grain(32, 4), 1u);
+  EXPECT_EQ(auto_grain(64, 4), 2u);
+  EXPECT_EQ(auto_grain(1000, 4), 31u);
+  EXPECT_EQ(auto_grain(1000, 1), 125u);
+  EXPECT_EQ(auto_grain(1000, 0), 125u);  // 0 threads treated as 1
+}
+
+TEST(ParallelConfig, SetGrainReconfiguresGlobal) {
+  set_grain(64);
+  EXPECT_EQ(grain_size(), 64u);
+  set_grain(1);
+  EXPECT_EQ(grain_size(), 1u);
+  // 0 = re-resolve from the environment on next query.
+  ::setenv("MANRS_GRAIN", "7", 1);
+  set_grain(0);
+  EXPECT_EQ(grain_size(), 7u);
+  ::unsetenv("MANRS_GRAIN");
+  set_grain(0);
+  EXPECT_EQ(grain_size(), 0u);  // unset env -> auto
+}
+
+// ---- chunk boundary edges ----------------------------------------------
+
+// Each case: every index hit exactly once, at every explicit grain,
+// including n == 0, n < grain, and n not divisible by grain.
+TEST(ThreadPool, ChunkedCoversAllIndicesAtEveryGrain) {
+  ThreadPool pool(4);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{64}, size_t{100}}) {
+    for (size_t grain : {size_t{0}, size_t{1}, size_t{3}, size_t{64},
+                         size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.parallel_for(n, [&](size_t i) { ++hits[i]; }, grain);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1)
+            << "n=" << n << " grain=" << grain << " index " << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, GrainLargerThanNRunsSerially) {
+  // One chunk covers everything: no helper tasks, caller runs it all.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::set<std::thread::id> seen;
+  std::mutex mu;
+  pool.parallel_for(
+      5,
+      [&](size_t) {
+        ++ran;
+        std::lock_guard<std::mutex> lock(mu);
+        seen.insert(std::this_thread::get_id());
+      },
+      /*grain=*/1000);
+  EXPECT_EQ(ran.load(), 5);
+  EXPECT_EQ(seen.size(), 1u);  // single chunk -> single thread
+}
+
+TEST(ThreadPool, ChunkedExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   100,
+                   [](size_t i) {
+                     if (i == 37) throw std::runtime_error("item 37");
+                   },
+                   /*grain=*/8),
+               std::runtime_error);
+  std::atomic<int> ran{0};
+  pool.parallel_for(8, [&](size_t) { ++ran; }, /*grain=*/3);
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ParallelFor, GlobalHonorsGrainAcrossBoundaryCases) {
+  set_thread_count(4);
+  for (size_t grain : {size_t{1}, size_t{3}, size_t{64}}) {
+    set_grain(grain);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{63}, size_t{65}}) {
+      std::vector<std::atomic<int>> hits(n);
+      parallel_for(n, [&](size_t i) { ++hits[i]; });
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " grain=" << grain;
+      }
+    }
+  }
+  set_grain(0);
   set_thread_count(0);
 }
 

@@ -1,11 +1,14 @@
 // Serial-vs-parallel golden equality: the determinism contract of the
 // parallel measurement pipeline. For each parallelized stage --
-// collector propagation, IHR hegemony, MRT TABLE_DUMP_V2 decode -- the
-// output with MANRS_THREADS=1 (exact serial fallback) must be
-// byte-identical to the output with a multi-thread pool. Outputs are
-// compared through their canonical serializations (TABLE_DUMP_V2 bytes,
-// dataset CSVs), so any reordering or dropped/duplicated item fails.
-// tools/check.sh additionally runs these tests under TSan.
+// scenario generation, collector propagation (including the sharded
+// flat-RIB merge), IHR hegemony, MRT TABLE_DUMP_V2 decode -- the output
+// with MANRS_THREADS=1 (exact serial fallback) must be byte-identical
+// to the output with a multi-thread pool, at every chunking grain
+// (MANRS_GRAIN). Outputs are compared through their canonical
+// serializations (TABLE_DUMP_V2 bytes, dataset CSVs, scenario content
+// dumps), so any reordering or dropped/duplicated item fails.
+// tools/check.sh additionally runs these tests under TSan and repeats
+// the matrix through the environment variables.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -66,6 +69,46 @@ auto with_threads(size_t threads, Fn&& fn) {
   return result;
 }
 
+/// The golden matrix: compute `fn` serially, then under every
+/// MANRS_THREADS in {2, 4} x MANRS_GRAIN in {1, 64} combination, and
+/// require byte equality with the serial result.
+template <typename Fn>
+void expect_thread_grain_invariant(Fn&& fn) {
+  util::set_thread_count(1);
+  util::set_grain(0);
+  const std::string golden = fn();
+  ASSERT_FALSE(golden.empty());
+  for (size_t threads : {size_t{2}, size_t{4}}) {
+    for (size_t grain : {size_t{1}, size_t{64}}) {
+      util::set_thread_count(threads);
+      util::set_grain(grain);
+      EXPECT_EQ(golden, fn())
+          << "threads=" << threads << " grain=" << grain;
+    }
+  }
+  util::set_thread_count(0);
+  util::set_grain(0);
+}
+
+/// Canonical byte dump of the RNG-derived scenario content: dated
+/// announcements, dated VRPs, and vantage points. Any divergence in the
+/// per-AS plan streams shows up here.
+std::string scenario_bytes(const topogen::Scenario& s) {
+  std::ostringstream out;
+  for (const auto& a : s.dated_announcements) {
+    out << a.po.prefix.to_string() << ' ' << a.po.origin.value() << ' '
+        << a.first_year << ' ' << a.last_year << '\n';
+  }
+  out << "---\n";
+  for (const auto& v : s.dated_vrps) {
+    out << v.vrp.prefix.to_string() << ' ' << v.vrp.max_length << ' '
+        << v.vrp.asn.value() << ' ' << v.year << '\n';
+  }
+  out << "---\n";
+  for (const auto& vp : s.vantage_points) out << vp.value() << '\n';
+  return out.str();
+}
+
 TEST(ParallelGolden, CollectorRibIsByteIdentical) {
   const topogen::Scenario& scenario = golden_scenario();
   sim::PropagationSim simulator = scenario.make_sim();
@@ -122,6 +165,63 @@ TEST(ParallelGolden, MrtDecodeIsByteIdentical) {
   EXPECT_EQ(serial, parallel);
   // Decode must also round-trip the original dump exactly.
   EXPECT_EQ(serial, dump);
+}
+
+TEST(ParallelGolden, ScenarioBytesInvariantAcrossThreadsAndGrain) {
+  expect_thread_grain_invariant([] {
+    return scenario_bytes(
+        topogen::build_scenario(topogen::ScenarioConfig::tiny()));
+  });
+}
+
+TEST(ParallelGolden, CollectorRibInvariantAcrossThreadsAndGrain) {
+  const topogen::Scenario& scenario = golden_scenario();
+  sim::PropagationSim simulator = scenario.make_sim();
+  sim::RouteCollector collector(simulator, scenario.vantage_points);
+  auto announcements = classified_announcements(scenario);
+  expect_thread_grain_invariant(
+      [&] { return rib_bytes(collector.collect(announcements)); });
+}
+
+TEST(ParallelGolden, HegemonyInvariantAcrossThreadsAndGrain) {
+  const topogen::Scenario& scenario = golden_scenario();
+  sim::PropagationSim simulator = scenario.make_sim();
+  ihr::IhrSnapshotBuilder builder(simulator, scenario.vantage_points);
+  expect_thread_grain_invariant([&] {
+    ihr::IhrSnapshot snapshot = builder.build(scenario.announcements(),
+                                              scenario.vrps, scenario.irr);
+    std::ostringstream po, transit;
+    ihr::write_prefix_origin_csv(po, snapshot.prefix_origins);
+    ihr::write_transit_csv(transit, snapshot.transits);
+    return po.str() + "\n---\n" + transit.str();
+  });
+}
+
+TEST(ParallelGolden, ShardedMergeMatchesStagedFinalize) {
+  // merge_group_entries (the sharded bulk path) must produce exactly the
+  // rows the staged insert_many + finalize path produces.
+  const topogen::Scenario& scenario = golden_scenario();
+  sim::PropagationSim simulator = scenario.make_sim();
+  sim::RouteCollector collector(simulator, scenario.vantage_points);
+  auto announcements = classified_announcements(scenario);
+  auto groups = sim::group_announcements(announcements);
+  auto group_entries = with_threads(
+      1, [&] { return collector.collect_group_entries(groups); });
+
+  bgp::Rib staged;
+  for (Asn peer : scenario.vantage_points) staged.add_peer(peer);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (const auto& prefix : groups[g].prefixes) {
+      staged.insert_many(prefix, group_entries[g]);
+    }
+  }
+  staged.finalize();
+
+  bgp::Rib sharded;
+  for (Asn peer : scenario.vantage_points) sharded.add_peer(peer);
+  sharded.adopt_rows(sim::merge_group_entries(groups, group_entries));
+
+  EXPECT_EQ(rib_bytes(staged), rib_bytes(sharded));
 }
 
 TEST(ParallelGolden, MrtDecodeCorruptionHandlingMatchesSerial) {

@@ -4,11 +4,14 @@
 #   1. configure + build with ASan+UBSan, warnings-as-errors
 #   2. run the full ctest suite (including the malformed-input fuzz
 #      corpus) under the sanitizers
-#   3. TSan build + run of the parallel-pipeline tests (thread pool and
-#      the serial-vs-parallel golden tests), plus a perf_pipeline smoke
-#      run at MANRS_SCALE=tiny (skip with TSAN=0)
-#   4. clang-tidy over src/ (skipped with a warning if not installed)
-#   5. the repo-specific wire lint (tools/lint_wire.py)
+#   3. repeat the golden tests across the MANRS_THREADS x MANRS_GRAIN
+#      environment matrix (byte-equality at every combination)
+#   4. TSan build + run of the parallel-pipeline tests (thread pool,
+#      the serial-vs-parallel golden tests, the sharded RIB merge) --
+#      once at defaults and once at MANRS_GRAIN=1 -- plus a
+#      perf_pipeline smoke run at MANRS_SCALE=tiny (skip with TSAN=0)
+#   5. clang-tidy over src/ (skipped with a warning if not installed)
+#   6. the repo-specific wire lint (tools/lint_wire.py)
 #
 # Exit 0 iff every stage that could run passed. See
 # docs/static-analysis.md for the policy behind each stage.
@@ -44,6 +47,23 @@ ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+step "thread x grain golden matrix"
+# Repeat the serial-vs-parallel golden tests through the environment:
+# every MANRS_THREADS x MANRS_GRAIN combination must be byte-identical
+# (the tests compare against an in-process serial golden). This also
+# exercises the env parsing / pool construction paths the in-test
+# set_thread_count / set_grain overrides bypass.
+for matrix_threads in 2 4; do
+  for matrix_grain in 1 64; do
+    echo "-- MANRS_THREADS=$matrix_threads MANRS_GRAIN=$matrix_grain"
+    MANRS_THREADS="$matrix_threads" MANRS_GRAIN="$matrix_grain" \
+    ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}" \
+    UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+      ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+        -R 'ParallelGolden'
+  done
+done
+
 if [[ "${TSAN:-1}" != "0" && "$SANITIZE" != "thread" ]]; then
   TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 
@@ -54,10 +74,19 @@ if [[ "${TSAN:-1}" != "0" && "$SANITIZE" != "thread" ]]; then
 
   step "TSan: parallel + golden tests"
   # The pool, env-parsing, and shutdown tests plus the serial-vs-parallel
-  # golden equality tests; TSan halts on the first data race.
+  # golden equality tests (including the sharded flat-RIB merge); TSan
+  # halts on the first data race.
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
       -R 'Parallel|ThreadPool'
+
+  step "TSan: golden tests at MANRS_GRAIN=1 (max chunk handoff)"
+  # Grain 1 maximises work-counter contention and cross-thread row
+  # handoffs in the sharded merge -- the worst case for races.
+  MANRS_THREADS=4 MANRS_GRAIN=1 \
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
+      -R 'ParallelGolden'
 
   step "TSan: perf_pipeline smoke (MANRS_SCALE=tiny)"
   MANRS_SCALE=tiny \

@@ -26,6 +26,12 @@ this). The banned patterns:
                      util::parallel_for so the determinism contract and
                      TSan coverage of tests/test_parallel*.cpp apply to
                      every parallel code path.
+  rib-map            std::map keyed by net::Prefix or bgp::PrefixOrigin
+                     outside src/bgp/rib.*. The RIB is a flat sorted
+                     vector and hot aggregations use sort-then-scan over
+                     flat vectors (docs/performance.md); a prefix-keyed
+                     tree map reintroduces the allocation- and
+                     cache-miss-heavy pattern the flat RIB replaced.
 
 A line may carry an explicit waiver comment `// lint-ok: <reason>`; the
 waiver applies to that line and, for a line containing only the comment,
@@ -54,6 +60,14 @@ REINTERPRET_ALLOWLIST = {
 THREAD_ALLOWLIST = {
     Path("src/util/parallel.h"),
     Path("src/util/parallel.cpp"),
+}
+
+# Files allowed to hold prefix-keyed tree maps: the RIB itself (its flat
+# table is the sanctioned representation; the allowlist exists so a
+# staged-build implementation detail never forces a waiver comment).
+RIB_MAP_ALLOWLIST = {
+    Path("src/bgp/rib.h"),
+    Path("src/bgp/rib.cpp"),
 }
 
 # Parse-path directories where memcpy/punning from network data is banned.
@@ -103,6 +117,13 @@ RULES = [
         re.compile(r"\bstd::(thread|jthread|async)\b"),
         None,
         "use util::parallel_for / util::ThreadPool (src/util/parallel.h)",
+    ),
+    (
+        "rib-map",
+        re.compile(r"\bstd::map\s*<\s*(net::Prefix|bgp::PrefixOrigin)\b"),
+        None,
+        "use the flat sorted bgp::Rib / sort-then-scan over a flat vector"
+        " (docs/performance.md)",
     ),
 ]
 
@@ -165,6 +186,8 @@ def scan_file(root: Path, path: Path) -> list[str]:
             if name == "reinterpret-cast" and rel in REINTERPRET_ALLOWLIST:
                 continue
             if name == "raw-thread" and rel in THREAD_ALLOWLIST:
+                continue
+            if name == "rib-map" and rel in RIB_MAP_ALLOWLIST:
                 continue
             if waived:
                 continue
