@@ -8,12 +8,23 @@
 //
 //   scenario_gen topogen::build_scenario -- synthetic-Internet generation
 //                (per-AS plans fan out; allocation + emission serial)
+//   propagation_single
+//                PropagationSim::propagate -- ONE engine call (largest
+//                group, no fan-out, serial only): the raw per-call cost
+//                of the CSR/bitmask/workspace engine, after a warmup
+//                call that builds the lazy drop masks
 //   propagation  RouteCollector::collect -- per-(origin, validity-class)
-//                BGP propagation fan-out into the collector RIB
+//                BGP propagation fan-out into the collector RIB (the
+//                propagation cache is cleared before each timed run, so
+//                this measures computation, not cache hits)
 //   rib_merge    sim::merge_group_entries -- sharded sort-then-build of
 //                the flat RIB rows from precomputed group entries
 //   hegemony     IhrSnapshotBuilder::build -- per-group propagation plus
-//                AS-hegemony over every (vantage, origin) path set
+//                AS-hegemony over every (vantage, origin) path set; runs
+//                against the cache warmed by the propagation stage, so
+//                it measures the cross-stage reuse the shared
+//                propagation cache provides (hit counts are printed and
+//                recorded in the run JSON as "prop_cache")
 //   mrt_decode   TableDumpReader::read_rib -- TABLE_DUMP_V2 record-split
 //                parallel decode of the serialized collector RIB
 //
@@ -98,6 +109,8 @@ std::vector<manrs::sim::Announcement> classify(
 
 /// Serialize one run (this invocation) as a JSON object.
 std::string run_json(const std::string& scale, size_t threads_parallel,
+                     const manrs::sim::PropagationCacheStats& cache,
+                     uint64_t hegemony_hits,
                      const std::vector<StageRow>& rows) {
   std::ostringstream out;
   char buf[256];
@@ -108,6 +121,13 @@ std::string run_json(const std::string& scale, size_t threads_parallel,
   out << buf;
   std::snprintf(buf, sizeof(buf), "      \"threads_parallel\": %zu,\n",
                 threads_parallel);
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "      \"prop_cache\": {\"hits\": %llu, \"misses\": %llu, "
+                "\"entries\": %zu, \"hegemony_hits\": %llu},\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses), cache.entries,
+                static_cast<unsigned long long>(hegemony_hits));
   out << buf;
   out << "      \"rows\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -239,13 +259,46 @@ int main() {
   std::vector<sim::Announcement> announcements = classify(scenario);
   sim::RouteCollector collector(simulator, scenario.vantage_points);
   ihr::IhrSnapshotBuilder builder(simulator, scenario.vantage_points);
+  const std::vector<sim::AnnouncementGroup> groups =
+      sim::group_announcements(announcements);
+
+  // --- propagation_single: one engine call, no fan-out -------------------
+  // The raw per-call cost of the propagation engine on the largest
+  // group. A warmup call builds the lazy drop masks and sizes the
+  // thread-local workspace, so the timed call is the steady state the
+  // fan-out stages see.
+  if (groups.empty()) {
+    std::fprintf(stderr, "perf_pipeline: no announcement groups\n");
+    return 1;
+  }
+  size_t big = 0;
+  for (size_t g = 1; g < groups.size(); ++g) {
+    if (groups[g].prefixes.size() > groups[big].prefixes.size()) big = g;
+  }
+  util::set_thread_count(1);
+  (void)simulator.propagate(groups[big].origin, groups[big].cls);  // warmup
+  sim::PropagationResult single;
+  double single_ms = time_ms(
+      [&] { single = simulator.propagate(groups[big].origin, groups[big].cls); });
+  if (single.source.size() != simulator.indexer().size()) {
+    std::fprintf(stderr, "perf_pipeline: propagation_single bad result\n");
+    return 1;
+  }
+  rows.push_back(StageRow{"propagation_single", 1, single_ms, 1.0, false});
+  std::printf("%-12s serial %9.3f ms   (one engine call, no fan-out)\n",
+              "propagation_single", single_ms);
 
   // --- propagation: collector RIB fan-out --------------------------------
+  // The cache is cleared before each timed run so both measure actual
+  // propagation work; cross-stage reuse is measured at the hegemony
+  // stage below.
   bgp::Rib rib_serial, rib_parallel;
   util::set_thread_count(1);
+  simulator.clear_cache();
   double prop_serial =
       time_ms([&] { rib_serial = collector.collect(announcements); });
   util::set_thread_count(threads);
+  simulator.clear_cache();
   double prop_parallel =
       time_ms([&] { rib_parallel = collector.collect(announcements); });
   if (rib_serial.entry_count() != rib_parallel.entry_count()) {
@@ -256,8 +309,6 @@ int main() {
   record_stage("propagation", prop_serial, prop_parallel);
 
   // --- rib_merge: sharded flat-RIB row build from group entries ----------
-  const std::vector<sim::AnnouncementGroup> groups =
-      sim::group_announcements(announcements);
   const std::vector<std::vector<bgp::RibEntry>> group_entries =
       collector.collect_group_entries(groups);
   std::vector<bgp::RibRow> merged_serial, merged_parallel;
@@ -276,6 +327,10 @@ int main() {
   record_stage("rib_merge", merge_serial, merge_parallel);
 
   // --- hegemony: IHR snapshot over (vantage, origin) path sets -----------
+  // Runs against the cache the propagation stage warmed: the per-group
+  // propagations are shared, so this stage measures path extraction +
+  // hegemony scoring plus cache lookups, which is the production shape.
+  const sim::PropagationCacheStats before_hegemony = simulator.cache_stats();
   ihr::IhrSnapshot snap_serial, snap_parallel;
   util::set_thread_count(1);
   double hege_serial = time_ms([&] {
@@ -293,6 +348,15 @@ int main() {
     return 1;
   }
   record_stage("hegemony", hege_serial, hege_parallel);
+  const sim::PropagationCacheStats cache_stats = simulator.cache_stats();
+  const uint64_t hegemony_hits = cache_stats.hits - before_hegemony.hits;
+  std::printf("propagation cache: %llu hits (%llu during hegemony), "
+              "%llu misses, %zu entries, %.1f MiB\n",
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(hegemony_hits),
+              static_cast<unsigned long long>(cache_stats.misses),
+              cache_stats.entries,
+              static_cast<double>(cache_stats.bytes) / (1024.0 * 1024.0));
 
   // --- mrt_decode: TABLE_DUMP_V2 whole-dump decode -----------------------
   std::ostringstream dump_stream;
@@ -321,7 +385,8 @@ int main() {
   }
   record_stage("mrt_decode", mrt_serial, mrt_parallel);
 
-  write_json(json_path, run_json(scale, threads, rows));
+  write_json(json_path,
+             run_json(scale, threads, cache_stats, hegemony_hits, rows));
   std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/incidents.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace manrs::core {
 
@@ -33,7 +34,7 @@ void IncidentDetector::observe(const std::vector<bgp::PrefixOrigin>& table) {
     }
   }
 
-  std::unordered_map<Key, bool, KeyHash> offending_now;
+  std::unordered_set<bgp::PrefixOrigin> offending_now;
   for (const auto& po : table) {
     bool rpki_invalid =
         rpki::is_invalid(vrps_.validate(po.prefix, po.origin));
@@ -48,8 +49,8 @@ void IncidentDetector::observe(const std::vector<bgp::PrefixOrigin>& table) {
     }
     if (!rpki_invalid && !moas) continue;
 
-    Key key{po.prefix, po.origin};
-    offending_now.emplace(key, true);
+    bgp::PrefixOrigin key{po.prefix, po.origin};
+    offending_now.insert(key);
     auto open_it = open_.find(key);
     if (open_it != open_.end()) {
       Incident& incident = list_[open_it->second];

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "bgp/route.h"
@@ -62,25 +63,13 @@ class IncidentDetector {
   std::vector<Incident> incidents() const;
 
  private:
-  struct Key {
-    net::Prefix prefix;
-    net::Asn origin;
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    size_t operator()(const Key& k) const noexcept {
-      return std::hash<bgp::PrefixOrigin>{}(
-          bgp::PrefixOrigin{k.prefix, k.origin});
-    }
-  };
-
   const rpki::VrpStore& vrps_;
   size_t snapshot_count_ = 0;
   /// Origins seen for each prefix in the first snapshot (the established
   /// baseline for MOAS detection).
   std::unordered_map<net::Prefix, std::vector<net::Asn>> baseline_;
   /// Open + closed incidents, keyed for episode tracking.
-  std::unordered_map<Key, size_t, KeyHash> open_;  // -> index in list_
+  std::unordered_map<bgp::PrefixOrigin, size_t> open_;  // -> index in list_
   std::vector<Incident> list_;
 };
 

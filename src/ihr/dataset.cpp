@@ -81,10 +81,13 @@ IhrSnapshot IhrSnapshotBuilder::build(
   std::vector<GroupView> group_views(groups.size());
   util::parallel_for(groups.size(), [&](size_t g) {
     const auto& group = groups[g];
-    sim::PropagationResult result = sim_.propagate(group.origin, group.cls);
+    // Cached: when the same simulator already served RouteCollector, the
+    // collector's propagations are reused here instead of recomputed.
+    sim::PropagationResultPtr result =
+        sim_.propagate_cached(group.origin, group.cls);
     GroupView view;
     for (net::Asn vantage : vantage_points_) {
-      bgp::AsPath path = sim_.path_from(result, vantage);
+      bgp::AsPath path = sim_.path_from(*result, vantage);
       if (!path.empty()) {
         view.paths.push_back(std::move(path));
         ++view.visibility;
@@ -95,7 +98,7 @@ IhrSnapshot IhrSnapshotBuilder::build(
     for (const auto& score : view.hegemony) {
       int32_t id = sim_.indexer().id_of(score.asn);
       bool via_customer =
-          id >= 0 && result.source[static_cast<size_t>(id)] ==
+          id >= 0 && result->source[static_cast<size_t>(id)] ==
                          sim::RouteSource::kCustomer;
       view.transit_via_customer.push_back(via_customer);
     }

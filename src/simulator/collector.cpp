@@ -57,14 +57,15 @@ std::vector<std::vector<bgp::RibEntry>> RouteCollector::collect_group_entries(
   // and collect each group's per-peer paths into its index slot.
   std::vector<std::vector<bgp::RibEntry>> group_entries(groups.size());
   util::parallel_for(groups.size(), [&](size_t g) {
-    PropagationResult result = sim_.propagate(groups[g].origin, groups[g].cls);
+    PropagationResultPtr result =
+        sim_.propagate_cached(groups[g].origin, groups[g].cls);
     // Each peer's path is shared by every prefix in the group; peers with
     // no route are dropped here so the per-prefix merge never re-walks
     // them.
     std::vector<bgp::RibEntry> entries;
     entries.reserve(peer_ases_.size());
     for (size_t i = 0; i < peer_ases_.size(); ++i) {
-      bgp::AsPath path = sim_.path_from(result, peer_ases_[i]);
+      bgp::AsPath path = sim_.path_from(*result, peer_ases_[i]);
       if (!path.empty()) {
         entries.push_back(
             bgp::RibEntry{static_cast<uint32_t>(i), std::move(path)});

@@ -1,10 +1,18 @@
 #include "simulator/propagation.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/det_hash.h"
+#include "util/strings.h"
 
 namespace manrs::sim {
 
 AsIndexer::AsIndexer(const astopo::AsGraph& graph) {
+  // all_asns() is ascending, so dense ids are ASN-ascending: comparing
+  // ids IS comparing ASNs (the engine's tie-breaks depend on this).
   asns_ = graph.all_asns();
   ids_.reserve(asns_.size());
   for (size_t i = 0; i < asns_.size(); ++i) {
@@ -12,54 +20,23 @@ AsIndexer::AsIndexer(const astopo::AsGraph& graph) {
   }
 }
 
-PropagationSim::PropagationSim(const astopo::AsGraph& graph)
-    : indexer_(graph) {
-  size_t n = indexer_.size();
-  providers_of_.resize(n);
-  customers_of_.resize(n);
-  peers_of_.resize(n);
-  policies_.resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    net::Asn asn = indexer_.asn_of(static_cast<int32_t>(i));
-    for (net::Asn p : graph.providers(asn)) {
-      providers_of_[i].push_back(indexer_.id_of(p));
-    }
-    for (net::Asn c : graph.customers(asn)) {
-      customers_of_[i].push_back(indexer_.id_of(c));
-    }
-    for (net::Asn p : graph.peers(asn)) {
-      peers_of_[i].push_back(indexer_.id_of(p));
-    }
-    // Deterministic neighbor order (ASN ascending) so tie-breaks are
-    // stable regardless of graph construction order.
-    auto by_asn = [this](int32_t a, int32_t b) {
-      return indexer_.asn_of(a).value() < indexer_.asn_of(b).value();
-    };
-    std::sort(providers_of_[i].begin(), providers_of_[i].end(), by_asn);
-    std::sort(customers_of_[i].begin(), customers_of_[i].end(), by_asn);
-    std::sort(peers_of_[i].begin(), peers_of_[i].end(), by_asn);
-  }
-}
-
-void PropagationSim::set_policy(net::Asn asn, const FilterPolicy& policy) {
-  int32_t id = indexer_.id_of(asn);
-  if (id >= 0) policies_[static_cast<size_t>(id)] = policy;
-}
-
-const FilterPolicy& PropagationSim::policy(net::Asn asn) const {
-  static const FilterPolicy kDefault;
-  int32_t id = indexer_.id_of(asn);
-  return id >= 0 ? policies_[static_cast<size_t>(id)] : kDefault;
-}
-
 uint8_t filter_variant(const net::Prefix& prefix) {
-  size_t h = std::hash<net::Prefix>{}(prefix);
+  // FNV-1a over the prefix's wire bytes. std::hash would make the bucket
+  // -- and through it scenario and dataset bytes -- depend on the
+  // standard library in use.
+  uint64_t h = util::kFnv1aOffset;
+  h = util::fnv1a_byte(h, static_cast<uint8_t>(prefix.family()));
+  h = util::fnv1a_byte(h, static_cast<uint8_t>(prefix.length()));
+  h = util::fnv1a_u64(h, prefix.address().hi());
+  h = util::fnv1a_u64(h, prefix.address().lo());
   return static_cast<uint8_t>(h % kFilterVariants);
 }
 
 namespace {
-/// Would `receiver` drop this announcement when learning it over the given
-/// adjacency?
+
+/// Reference drop rule: would `receiver` drop this announcement when
+/// learning it over the given adjacency? The packed drop masks are built
+/// from this; the BFS itself only ever does bit tests.
 bool drops(const FilterPolicy& receiver, RouteSource adjacency,
            const AnnouncementClass& cls) {
   if (receiver.rov && cls.rpki_invalid) return true;
@@ -75,164 +52,521 @@ bool drops(const FilterPolicy& receiver, RouteSource adjacency,
   }
   return false;
 }
+
+inline bool test_bit(const uint64_t* mask, int32_t v) {
+  size_t i = static_cast<size_t>(v);
+  return ((mask[i >> 6] >> (i & 63)) & 1) != 0;
+}
+
+/// Approximate heap footprint of one cached PropagationResult.
+size_t cache_entry_bytes(size_t n) {
+  return n * (sizeof(RouteSource) + sizeof(int32_t) + sizeof(uint16_t)) + 168;
+}
+
+size_t cache_capacity_from_env() {
+  constexpr size_t kDefaultMb = 2048;
+  const char* env = std::getenv("MANRS_PROP_CACHE_MB");
+  size_t mb = kDefaultMb;
+  if (env != nullptr && *env != '\0') {
+    if (auto parsed = util::parse_uint<uint64_t>(env)) {
+      mb = static_cast<size_t>(*parsed);
+    }
+  }
+  return mb * 1024 * 1024;
+}
+
+// Adjacency indices into the drop-mask table.
+constexpr size_t kDropCustomer = 0;
+constexpr size_t kDropPeer = 1;
+constexpr size_t kDropProvider = 2;
+
 }  // namespace
+
+// Mutable engine state: the lazily built per-class drop masks and the
+// cross-stage propagation cache. Held by pointer so PropagationSim stays
+// movable despite the mutexes/atomics.
+struct PropagationSim::State {
+  // Drop masks: for each (class, adjacency), one bit per AS ("this AS
+  // drops this class on this adjacency"). Built lazily under mask_mutex
+  // on first propagate after a policy change; masks_ready publishes.
+  std::mutex mask_mutex;
+  std::atomic<bool> masks_ready{false};
+  size_t words = 0;            // 64-bit words per bitset
+  uint16_t variant_slots = 1;  // max strictness + 1; variants clamp here
+  std::vector<uint64_t> drop_masks;
+  // Effective drop signature per class: classes with identical masks
+  // share a signature, and with it a propagation cache slot. Signature 0
+  // is the all-zero (nothing drops) signature of the valid class.
+  std::vector<uint16_t> sig_of_class;
+
+  // Memoized results keyed by (origin_id << 16) | signature.
+  std::mutex cache_mutex;
+  std::unordered_map<uint64_t, PropagationResultPtr> cache;
+  size_t cache_bytes = 0;
+  size_t cache_capacity = cache_capacity_from_env();
+  std::atomic<bool> cache_enabled{true};
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+};
+
+PropagationSim::PropagationSim(const astopo::AsGraph& graph)
+    : indexer_(graph), state_(std::make_unique<State>()) {
+  const size_t n = indexer_.size();
+  policies_.resize(n);
+
+  // CSR adjacency, built in one counting pass + one fill pass per role.
+  // graph neighbor lists hold ASNs; ids are ASN-ascending, so sorting the
+  // mapped ids reproduces the deterministic ASN-ascending neighbor order.
+  auto build = [&](Csr& csr, auto&& neighbors_of) {
+    csr.offsets.assign(n + 1, 0);
+    for (size_t i = 0; i < n; ++i) {
+      csr.offsets[i + 1] =
+          csr.offsets[i] +
+          static_cast<uint32_t>(
+              neighbors_of(indexer_.asn_of(static_cast<int32_t>(i))).size());
+    }
+    csr.edges.resize(csr.offsets[n]);
+    for (size_t i = 0; i < n; ++i) {
+      int32_t* out = csr.edges.data() + csr.offsets[i];
+      for (net::Asn neighbor :
+           neighbors_of(indexer_.asn_of(static_cast<int32_t>(i)))) {
+        *out++ = indexer_.id_of(neighbor);
+      }
+      std::sort(csr.edges.data() + csr.offsets[i],
+                csr.edges.data() + csr.offsets[i + 1]);
+    }
+  };
+  build(providers_, [&](net::Asn a) -> const std::vector<net::Asn>& {
+    return graph.providers(a);
+  });
+  build(customers_, [&](net::Asn a) -> const std::vector<net::Asn>& {
+    return graph.customers(a);
+  });
+  build(peers_, [&](net::Asn a) -> const std::vector<net::Asn>& {
+    return graph.peers(a);
+  });
+}
+
+PropagationSim::~PropagationSim() = default;
+PropagationSim::PropagationSim(PropagationSim&&) noexcept = default;
+PropagationSim& PropagationSim::operator=(PropagationSim&&) noexcept = default;
+
+void PropagationSim::set_policy(net::Asn asn, const FilterPolicy& policy) {
+  int32_t id = indexer_.id_of(asn);
+  if (id < 0) return;
+  policies_[static_cast<size_t>(id)] = policy;
+  state_->masks_ready.store(false, std::memory_order_release);
+  clear_cache();
+}
+
+const FilterPolicy& PropagationSim::policy(net::Asn asn) const {
+  static const FilterPolicy kDefault;
+  int32_t id = indexer_.id_of(asn);
+  return id >= 0 ? policies_[static_cast<size_t>(id)] : kDefault;
+}
+
+void PropagationSim::ensure_masks() const {
+  State& st = *state_;
+  if (st.masks_ready.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(st.mask_mutex);
+  if (st.masks_ready.load(std::memory_order_relaxed)) return;
+
+  const size_t n = indexer_.size();
+  st.words = (n + 63) / 64;
+
+  // Variants at or above every strictness behave identically, so the
+  // class space only needs max-strictness + 1 variant slots.
+  uint8_t vmax = 0;
+  for (const FilterPolicy& p : policies_) {
+    vmax = std::max(vmax, std::max(p.customer_strictness, p.peer_strictness));
+  }
+  st.variant_slots = static_cast<uint16_t>(vmax) + 1;
+  const size_t classes = 1 + 3 * static_cast<size_t>(st.variant_slots);
+
+  st.drop_masks.assign(classes * 3 * st.words, 0);
+  for (size_t u = 0; u < n; ++u) {
+    const FilterPolicy& p = policies_[u];
+    if (!p.rov && p.customer_strictness == 0 && p.peer_strictness == 0) {
+      continue;  // filters nothing: leaves every bit clear
+    }
+    const size_t word = u >> 6;
+    const uint64_t bit = 1ull << (u & 63);
+    for (size_t c = 1; c < classes; ++c) {
+      const size_t pair = (c - 1) / st.variant_slots;  // 0 rpki, 1 irr, 2 both
+      AnnouncementClass cls;
+      cls.rpki_invalid = pair != 1;
+      cls.irr_invalid = pair != 0;
+      cls.variant = static_cast<uint8_t>((c - 1) % st.variant_slots);
+      const size_t base = c * 3 * st.words;
+      if (drops(p, RouteSource::kCustomer, cls)) {
+        st.drop_masks[base + kDropCustomer * st.words + word] |= bit;
+      }
+      if (drops(p, RouteSource::kPeer, cls)) {
+        st.drop_masks[base + kDropPeer * st.words + word] |= bit;
+      }
+      if (drops(p, RouteSource::kProvider, cls)) {
+        st.drop_masks[base + kDropProvider * st.words + word] |= bit;
+      }
+    }
+  }
+
+  // Collapse classes with identical masks onto shared signatures.
+  st.sig_of_class.assign(classes, 0);
+  std::vector<size_t> reps;
+  for (size_t c = 0; c < classes; ++c) {
+    const uint64_t* mine = st.drop_masks.data() + c * 3 * st.words;
+    uint16_t sig = 0;
+    bool found = false;
+    for (size_t r = 0; r < reps.size(); ++r) {
+      const uint64_t* rep = st.drop_masks.data() + reps[r] * 3 * st.words;
+      if (std::equal(mine, mine + 3 * st.words, rep)) {
+        sig = static_cast<uint16_t>(r);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      sig = static_cast<uint16_t>(reps.size());
+      reps.push_back(c);
+    }
+    st.sig_of_class[c] = sig;
+  }
+
+  st.masks_ready.store(true, std::memory_order_release);
+}
+
+size_t PropagationSim::class_index(const AnnouncementClass& cls) const {
+  if (!cls.rpki_invalid && !cls.irr_invalid) return 0;
+  const size_t pair = cls.rpki_invalid ? (cls.irr_invalid ? 2 : 0) : 1;
+  const uint16_t slots = state_->variant_slots;
+  const uint16_t v = std::min<uint16_t>(cls.variant, slots - 1);
+  return 1 + pair * slots + v;
+}
+
+const uint64_t* PropagationSim::mask_for(size_t cls_index,
+                                         size_t adjacency) const {
+  return state_->drop_masks.data() +
+         (cls_index * 3 + adjacency) * state_->words;
+}
 
 PropagationResult PropagationSim::propagate(
     net::Asn origin, const AnnouncementClass& cls) const {
-  size_t n = indexer_.size();
+  // Pool workers persist across parallel_for calls, so a thread-local
+  // workspace gives every worker (and the serial caller) near-zero
+  // per-call allocation without any caller-side plumbing.
+  static thread_local PropagationWorkspace tl_workspace;
+  return propagate(origin, cls, tl_workspace);
+}
+
+PropagationResult PropagationSim::propagate(
+    net::Asn origin, const AnnouncementClass& cls,
+    PropagationWorkspace& workspace) const {
+  return propagate_id(indexer_.id_of(origin), cls, workspace);
+}
+
+PropagationResult PropagationSim::propagate_id(
+    int32_t origin_id, const AnnouncementClass& cls,
+    PropagationWorkspace& ws) const {
+  using NodeState = PropagationWorkspace::NodeState;
+  const size_t n = indexer_.size();
   PropagationResult result;
-  result.source.assign(n, RouteSource::kNone);
-  result.next_hop.assign(n, PropagationResult::kNoRoute);
-  result.distance.assign(n, std::numeric_limits<uint16_t>::max());
+  if (origin_id < 0) {
+    result.source.assign(n, RouteSource::kNone);
+    result.next_hop.assign(n, PropagationResult::kNoRoute);
+    result.distance.assign(n, std::numeric_limits<uint16_t>::max());
+    return result;
+  }
 
-  int32_t origin_id = indexer_.id_of(origin);
-  if (origin_id < 0) return result;
-  auto idx = [](int32_t id) { return static_cast<size_t>(id); };
+  ensure_masks();
+  const size_t ci = class_index(cls);
+  const uint64_t* drop_cust = mask_for(ci, kDropCustomer);
+  const uint64_t* drop_peer = mask_for(ci, kDropPeer);
+  const uint64_t* drop_prov = mask_for(ci, kDropProvider);
 
-  result.source[idx(origin_id)] = RouteSource::kOrigin;
-  result.distance[idx(origin_id)] = 0;
+  ws.begin(n);
+  // The inner loops below hand-inline stamped()/install() against these
+  // locals; `node` stays valid for the whole call (no growth after begin).
+  NodeState* const node = ws.node.data();
+  const uint8_t epoch = ws.epoch;
+  ws.install(origin_id, RouteSource::kOrigin, PropagationResult::kNoRoute, 0);
 
   // ---- Phase 1: customer routes climb provider edges -------------------
-  // BFS level by level; within a level, providers_of_ is ASN-sorted and we
-  // keep the first (lowest-ASN) offer, so tie-breaking is deterministic.
-  std::vector<int32_t> frontier{origin_id};
+  // BFS level by level; provider edges are id- (== ASN-) sorted and the
+  // first offer wins, so tie-breaking is deterministic. Same-level
+  // revisits can only lower the next-hop id.
+  ws.frontier.push_back(origin_id);
   uint16_t level = 0;
-  while (!frontier.empty()) {
-    std::vector<int32_t> next;
-    for (int32_t u : frontier) {
-      for (int32_t v : providers_of_[idx(u)]) {
-        if (result.source[idx(v)] != RouteSource::kNone) {
-          // Already has a customer route; prefer shorter, then lower
-          // next-hop ASN. Same-level revisits can only improve the
-          // next-hop ASN.
-          if (result.source[idx(v)] == RouteSource::kCustomer &&
-              result.distance[idx(v)] == level + 1 &&
-              indexer_.asn_of(u).value() <
-                  indexer_.asn_of(result.next_hop[idx(v)]).value()) {
-            result.next_hop[idx(v)] = u;
+  while (!ws.frontier.empty()) {
+    ws.next.clear();
+    const uint16_t next_level = static_cast<uint16_t>(level + 1);
+    for (int32_t u : ws.frontier) {
+      const int32_t* e = providers_.begin(u);
+      const int32_t* const e_end = providers_.end(u);
+      for (; e != e_end; ++e) {
+        const int32_t v = *e;
+        NodeState& s = node[static_cast<size_t>(v)];
+        if (s.stamp == epoch) {
+          if (s.source == RouteSource::kCustomer && s.distance == next_level &&
+              u < s.next_hop) {
+            s.next_hop = u;
           }
           continue;
         }
-        if (drops(policies_[idx(v)], RouteSource::kCustomer, cls)) continue;
-        result.source[idx(v)] = RouteSource::kCustomer;
-        result.next_hop[idx(v)] = u;
-        result.distance[idx(v)] = level + 1;
-        next.push_back(v);
+        if (test_bit(drop_cust, v)) continue;
+        s = NodeState{u, next_level, RouteSource::kCustomer, epoch};
+        ws.touched.push_back(v);
+        ws.next.push_back(v);
       }
     }
-    frontier = std::move(next);
+    std::swap(ws.frontier, ws.next);
     ++level;
   }
 
   // ---- Phase 2: one lateral hop across peer edges ----------------------
-  // Candidates come only from ASes holding customer/origin routes; a peer
-  // route is never re-exported to peers (valley-free).
-  struct PeerOffer {
-    int32_t to;
-    int32_t from;
-    uint16_t dist;
-  };
-  std::vector<PeerOffer> offers;
-  for (size_t u = 0; u < n; ++u) {
-    RouteSource src = result.source[u];
-    if (src != RouteSource::kOrigin && src != RouteSource::kCustomer) {
-      continue;
-    }
-    for (int32_t v : peers_of_[u]) {
-      if (result.source[idx(v)] != RouteSource::kNone) continue;
-      if (drops(policies_[idx(v)], RouteSource::kPeer, cls)) continue;
-      offers.push_back(PeerOffer{v, static_cast<int32_t>(u),
-                                 static_cast<uint16_t>(result.distance[u] + 1)});
+  // Offers come only from ASes holding customer/origin routes (exactly
+  // the touched set after phase 1); a peer route is never re-exported to
+  // peers (valley-free). The apply step keeps, per target, the minimum
+  // (distance, neighbor id) offer -- order-independent, so scanning the
+  // touched list instead of all ids changes nothing.
+  for (int32_t u : ws.touched) {
+    const uint16_t dist =
+        static_cast<uint16_t>(node[static_cast<size_t>(u)].distance + 1);
+    const int32_t* e = peers_.begin(u);
+    const int32_t* const e_end = peers_.end(u);
+    for (; e != e_end; ++e) {
+      const int32_t v = *e;
+      if (node[static_cast<size_t>(v)].stamp == epoch) continue;
+      if (test_bit(drop_peer, v)) continue;
+      ws.offers.push_back(PropagationWorkspace::PeerOffer{v, u, dist});
     }
   }
-  for (const auto& offer : offers) {
-    size_t v = idx(offer.to);
-    bool better =
-        result.source[v] == RouteSource::kNone ||
-        (result.source[v] == RouteSource::kPeer &&
-         (offer.dist < result.distance[v] ||
-          (offer.dist == result.distance[v] &&
-           indexer_.asn_of(offer.from).value() <
-               indexer_.asn_of(result.next_hop[v]).value())));
-    if (better) {
-      result.source[v] = RouteSource::kPeer;
-      result.next_hop[v] = offer.from;
-      result.distance[v] = offer.dist;
+  for (const auto& offer : ws.offers) {
+    NodeState& s = node[static_cast<size_t>(offer.to)];
+    if (s.stamp != epoch) {
+      s = NodeState{offer.from, offer.dist, RouteSource::kPeer, epoch};
+      ws.touched.push_back(offer.to);
+      continue;
+    }
+    if (s.source == RouteSource::kPeer &&
+        (offer.dist < s.distance ||
+         (offer.dist == s.distance && offer.from < s.next_hop))) {
+      s.next_hop = offer.from;
+      s.distance = offer.dist;
     }
   }
 
   // ---- Phase 3: routes descend customer edges --------------------------
-  // Any AS holding a route exports it to customers. Customers without a
-  // better (customer/peer) route take the shortest provider route; a
-  // bucket queue by distance keeps the scan linear.
-  uint16_t max_dist = 0;
-  for (size_t u = 0; u < n; ++u) {
-    if (result.source[u] != RouteSource::kNone) {
-      max_dist = std::max(max_dist, result.distance[u]);
+  // Any AS holding a route exports it to customers; an AS without a
+  // better (customer/peer) route takes the shortest provider route,
+  // lowest next-hop id on ties. The descent dominates full-graph
+  // propagation (it crosses every p2c edge once), and with an
+  // unpredictable install-or-skip branch per edge it is mispredict-bound,
+  // so the inner loop is branchless instead: each AS carries one packed
+  // 64-bit order key
+  //
+  //     [63:56] priority   [55:32] distance   [31:0] next-hop id
+  //
+  // where smaller = better. Seeds from phases 1-2 and ASes whose policy
+  // drops provider routes are pinned at key 0 (never displaced); unseen
+  // ASes sit at 2^64-1; a provider-route candidate at BFS level d from
+  // parent u encodes as (1 << 56) | (d+1 << 32) | u. One conditional
+  // move takes the min, and a change bitmap accumulates the next level's
+  // frontier, so distances stay level-monotone with no stale entries.
+  // (The distance field caps path lengths at 2^24 hops; distances
+  // elsewhere are uint16 already.)
+  constexpr uint64_t kUnseenKey = ~0ull;
+  constexpr uint64_t kPinnedKey = 0ull;
+  constexpr uint64_t kProviderBit = 1ull << 56;
+  uint64_t* const key = ws.key.data();
+  uint64_t* const ch = ws.changed.data();
+  const size_t words = (n + 63) / 64;
+  std::fill(ws.key.begin(), ws.key.begin() + static_cast<ptrdiff_t>(n),
+            kUnseenKey);
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t bits = drop_prov[w];
+    while (bits != 0) {
+      const int b = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      key[(w << 6) + static_cast<size_t>(b)] = kPinnedKey;
     }
   }
-  std::vector<std::vector<int32_t>> buckets(
-      static_cast<size_t>(max_dist) + n + 2);
-  for (size_t u = 0; u < n; ++u) {
-    if (result.source[u] != RouteSource::kNone) {
-      buckets[result.distance[u]].push_back(static_cast<int32_t>(u));
-    }
+  uint16_t max_seed = 0;
+  for (int32_t u : ws.touched) {
+    key[static_cast<size_t>(u)] = kPinnedKey;
+    max_seed = std::max(max_seed, node[static_cast<size_t>(u)].distance);
   }
-  for (size_t d = 0; d < buckets.size(); ++d) {
-    for (size_t bi = 0; bi < buckets[d].size(); ++bi) {
-      int32_t u = buckets[d][bi];
-      if (result.distance[idx(u)] != d) continue;  // stale entry
-      for (int32_t v : customers_of_[idx(u)]) {
-        size_t vi = idx(v);
-        RouteSource src = result.source[vi];
-        if (src == RouteSource::kOrigin || src == RouteSource::kCustomer ||
-            src == RouteSource::kPeer) {
-          continue;  // better class of route already installed
-        }
-        if (drops(policies_[vi], RouteSource::kProvider, cls)) continue;
-        uint16_t cand = static_cast<uint16_t>(d + 1);
-        bool better = src == RouteSource::kNone ||
-                      cand < result.distance[vi] ||
-                      (cand == result.distance[vi] &&
-                       indexer_.asn_of(u).value() <
-                           indexer_.asn_of(result.next_hop[vi]).value());
-        if (better) {
-          bool requeue =
-              src == RouteSource::kNone || cand < result.distance[vi];
-          result.source[vi] = RouteSource::kProvider;
-          result.next_hop[vi] = u;
-          result.distance[vi] = cand;
-          if (requeue && cand < buckets.size()) {
-            buckets[cand].push_back(v);
-          }
-        }
+  if (ws.buckets.size() < static_cast<size_t>(max_seed) + 1) {
+    ws.buckets.resize(static_cast<size_t>(max_seed) + 1);
+  }
+  for (int32_t u : ws.touched) {
+    ws.buckets[node[static_cast<size_t>(u)].distance].push_back(u);
+  }
+  std::vector<int32_t>& cur = ws.frontier;
+  cur.clear();
+  for (size_t d = 0;; ++d) {
+    if (d <= max_seed && !ws.buckets[d].empty()) {
+      cur.insert(cur.end(), ws.buckets[d].begin(), ws.buckets[d].end());
+      ws.buckets[d].clear();  // consumed; keeps capacity for the next call
+    }
+    if (cur.empty()) {
+      if (d >= max_seed) break;
+      continue;
+    }
+    const uint64_t level_base = kProviderBit | ((d + 1) << 32);
+    for (int32_t u : cur) {
+      const uint64_t cand = level_base | static_cast<uint32_t>(u);
+      const int32_t* e = customers_.begin(u);
+      const int32_t* const e_end = customers_.end(u);
+      for (; e != e_end; ++e) {
+        const size_t v = static_cast<size_t>(*e);
+        const uint64_t have = key[v];
+        const bool take = cand < have;
+        key[v] = take ? cand : have;
+        ch[v >> 6] |= static_cast<uint64_t>(take) << (v & 63);
+      }
+    }
+    // The improved set is exactly the next level's frontier (a provider
+    // route installed at level d can only be re-offered longer ones).
+    cur.clear();
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t bits = ch[w];
+      if (bits == 0) continue;
+      ch[w] = 0;
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        cur.push_back(static_cast<int32_t>((w << 6) + static_cast<size_t>(b)));
       }
     }
   }
 
+  // Materialize the dense result in one sequential pass: provider routes
+  // decode from their order key, everything else (origin/customer/peer
+  // routes, and unreached ASes) reads from the stamped node state.
+  result.source.resize(n);
+  result.next_hop.resize(n);
+  result.distance.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t k = key[i];
+    if ((k >> 56) == 1) {
+      result.source[i] = RouteSource::kProvider;
+      result.next_hop[i] = static_cast<int32_t>(static_cast<uint32_t>(k));
+      result.distance[i] = static_cast<uint16_t>(k >> 32);
+    } else if (node[i].stamp == epoch) {
+      const NodeState& s = node[i];
+      result.source[i] = s.source;
+      result.next_hop[i] = s.next_hop;
+      result.distance[i] = s.distance;
+    } else {
+      result.source[i] = RouteSource::kNone;
+      result.next_hop[i] = PropagationResult::kNoRoute;
+      result.distance[i] = std::numeric_limits<uint16_t>::max();
+    }
+  }
   return result;
+}
+
+PropagationResultPtr PropagationSim::propagate_cached(
+    net::Asn origin, const AnnouncementClass& cls) const {
+  static thread_local PropagationWorkspace tl_workspace;
+  State& st = *state_;
+  const int32_t origin_id = indexer_.id_of(origin);
+  if (origin_id < 0 || !st.cache_enabled.load(std::memory_order_relaxed)) {
+    return std::make_shared<PropagationResult>(
+        propagate_id(origin_id, cls, tl_workspace));
+  }
+
+  ensure_masks();
+  const uint16_t sig = st.sig_of_class[class_index(cls)];
+  const uint64_t key =
+      (static_cast<uint64_t>(static_cast<uint32_t>(origin_id)) << 16) | sig;
+  {
+    std::lock_guard<std::mutex> lock(st.cache_mutex);
+    auto it = st.cache.find(key);
+    if (it != st.cache.end()) {
+      st.hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+
+  auto result = std::make_shared<PropagationResult>(
+      propagate_id(origin_id, cls, tl_workspace));
+  st.misses.fetch_add(1, std::memory_order_relaxed);
+  const size_t bytes = cache_entry_bytes(indexer_.size());
+  {
+    std::lock_guard<std::mutex> lock(st.cache_mutex);
+    auto it = st.cache.find(key);
+    if (it != st.cache.end()) return it->second;  // lost the race: share
+    if (st.cache_bytes + bytes <= st.cache_capacity) {
+      st.cache.emplace(key, result);
+      st.cache_bytes += bytes;
+    }
+  }
+  return result;
+}
+
+void PropagationSim::set_cache_enabled(bool enabled) {
+  state_->cache_enabled.store(enabled, std::memory_order_relaxed);
+  if (!enabled) clear_cache();
+}
+
+bool PropagationSim::cache_enabled() const {
+  return state_->cache_enabled.load(std::memory_order_relaxed);
+}
+
+void PropagationSim::clear_cache() {
+  std::lock_guard<std::mutex> lock(state_->cache_mutex);
+  state_->cache.clear();
+  state_->cache_bytes = 0;
+}
+
+PropagationCacheStats PropagationSim::cache_stats() const {
+  PropagationCacheStats stats;
+  stats.hits = state_->hits.load(std::memory_order_relaxed);
+  stats.misses = state_->misses.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(state_->cache_mutex);
+  stats.entries = state_->cache.size();
+  stats.bytes = state_->cache_bytes;
+  return stats;
 }
 
 bgp::AsPath PropagationSim::path_from(const PropagationResult& result,
                                       net::Asn vantage) const {
-  int32_t id = indexer_.id_of(vantage);
-  if (id < 0) return bgp::AsPath{};
-  if (result.source[static_cast<size_t>(id)] == RouteSource::kNone) {
+  return path_from(result, vantage, nullptr);
+}
+
+bgp::AsPath PropagationSim::path_from(const PropagationResult& result,
+                                      net::Asn vantage,
+                                      PathStatus* status) const {
+  auto fail = [&](PathStatus s) {
+    if (status != nullptr) *status = s;
     return bgp::AsPath{};
+  };
+  const int32_t id = indexer_.id_of(vantage);
+  if (id < 0) return fail(PathStatus::kNoRoute);
+  const size_t limit = std::min(indexer_.size(), result.source.size());
+  if (static_cast<size_t>(id) >= limit) return fail(PathStatus::kBrokenChain);
+  if (result.source[static_cast<size_t>(id)] == RouteSource::kNone) {
+    return fail(PathStatus::kNoRoute);
   }
   std::vector<net::Asn> hops;
   int32_t current = id;
-  // Defensive bound: a well-formed next_hop chain strictly decreases
-  // distance, so it terminates; cap anyway.
-  for (size_t steps = 0; steps <= indexer_.size(); ++steps) {
+  // A well-formed next_hop chain is a simple path, so it reaches the
+  // origin within `limit` hops; anything longer is a cycle.
+  for (size_t steps = 0; steps <= limit; ++steps) {
     hops.push_back(indexer_.asn_of(current));
     if (result.source[static_cast<size_t>(current)] == RouteSource::kOrigin) {
+      if (status != nullptr) *status = PathStatus::kOk;
       return bgp::AsPath(std::move(hops));
     }
-    current = result.next_hop[static_cast<size_t>(current)];
-    if (current < 0) break;
+    const int32_t next = result.next_hop[static_cast<size_t>(current)];
+    if (next < 0 || static_cast<size_t>(next) >= limit ||
+        result.source[static_cast<size_t>(next)] == RouteSource::kNone) {
+      return fail(PathStatus::kBrokenChain);  // chain leaves routed state
+    }
+    current = next;
   }
-  return bgp::AsPath{};  // broken chain: report as unreachable
+  return fail(PathStatus::kBrokenChain);  // exceeded any simple path: cycle
 }
 
 }  // namespace manrs::sim

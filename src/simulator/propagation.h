@@ -22,10 +22,29 @@
 // (MANRS Action 1, §2.4) drops announcements whose RPKI or IRR status is
 // invalid when learned on the corresponding adjacency. A dropped
 // announcement is neither installed nor re-exported by that AS.
+//
+// Engine layout (see docs/performance.md, "The propagation engine"):
+//   * adjacency is CSR (flat offset/edge arrays), with dense ids assigned
+//     in ASN-ascending order so every tie-break compares ids directly;
+//   * per-(policy, adjacency, class) drop decisions are precomputed into
+//     packed bitsets, turning the BFS inner-loop filter check into one
+//     bit test;
+//   * per-call scratch lives in a reusable, epoch-stamped
+//     PropagationWorkspace, so steady-state propagation allocates almost
+//     nothing beyond its output;
+//   * the dominant downhill phase is branchless: per-AS packed order
+//     keys folded with conditional moves instead of an unpredictable
+//     install-or-skip branch per edge (see propagate_id);
+//   * propagate_cached() memoizes results by (origin, effective drop
+//     signature), letting the collector and hegemony stages share one
+//     propagation per group -- and letting classes no policy tells apart
+//     collapse onto a single cache entry.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -56,7 +75,11 @@ struct AnnouncementClass {
 
 inline constexpr uint8_t kFilterVariants = 4;
 
-/// Deterministic variant bucket for a prefix.
+/// Deterministic variant bucket for a prefix: FNV-1a over the prefix's
+/// wire bytes (family, length, 16 address bytes big-endian), mod
+/// kFilterVariants. Never std::hash -- the bucket feeds propagation and
+/// therefore output bytes, which must not depend on the standard library
+/// (util/det_hash.h).
 uint8_t filter_variant(const net::Prefix& prefix);
 
 /// Per-AS ingress filtering behaviour.
@@ -94,7 +117,23 @@ struct PropagationResult {
   }
 };
 
-/// Maps ASNs to dense ids [0, n) and back.
+/// Shared, immutable propagation result (the propagation cache's unit).
+using PropagationResultPtr = std::shared_ptr<const PropagationResult>;
+
+/// Outcome of path reconstruction (path_from). kNoRoute is the normal
+/// "vantage never learned the route" case; kBrokenChain means the
+/// next_hop chain itself is corrupt (a cycle, an out-of-range id, or a
+/// hop with no installed route) -- possible only with a damaged or
+/// mismatched PropagationResult, never with one this engine produced.
+enum class PathStatus : uint8_t {
+  kOk = 0,
+  kNoRoute = 1,
+  kBrokenChain = 2,
+};
+
+/// Maps ASNs to dense ids [0, n) and back. Ids are assigned in
+/// ASN-ascending order, so `id_a < id_b` iff `asn_of(id_a) < asn_of(id_b)`
+/// -- the propagation tie-breaks rely on this to compare ids directly.
 class AsIndexer {
  public:
   explicit AsIndexer(const astopo::AsGraph& graph);
@@ -112,34 +151,171 @@ class AsIndexer {
   std::vector<net::Asn> asns_;
 };
 
+/// Reusable per-call scratch for propagate(). Reset is O(1): per-AS state
+/// is valid only when its stamp matches the current epoch, so a new call
+/// bumps the epoch instead of clearing n-sized arrays. One workspace
+/// serves any number of sequential calls (grow-only across simulators of
+/// different sizes); it must not be shared between concurrent calls --
+/// parallel callers keep one per worker thread.
+struct PropagationWorkspace {
+  struct PeerOffer {
+    int32_t to;
+    int32_t from;
+    uint16_t dist;
+  };
+
+  /// Per-AS state, packed into one 8-byte slot. The BFS inner loops are
+  /// bound by random reads of neighbor state; keeping stamp, next hop,
+  /// distance, and source together means each neighbor visit touches
+  /// exactly one cache line instead of one per parallel array.
+  struct NodeState {
+    int32_t next_hop;
+    uint16_t distance;
+    RouteSource source;
+    uint8_t stamp;  // valid iff == workspace epoch
+  };
+  static_assert(sizeof(NodeState) == 8, "NodeState must stay one 8-byte slot");
+
+  uint8_t epoch = 0;
+  std::vector<NodeState> node;
+  std::vector<int32_t> touched;  // ids stamped this epoch, in set order
+  std::vector<int32_t> frontier;
+  std::vector<int32_t> next;
+  std::vector<PeerOffer> offers;
+  std::vector<std::vector<int32_t>> buckets;  // phase-3 seeds by distance
+  // Phase-3 scratch: the branchless descent keeps one packed order key
+  // per AS (smaller = better route) and a change bitmap per level; see
+  // propagate_id for the key encoding.
+  std::vector<uint64_t> key;
+  std::vector<uint64_t> changed;  // 1 bit per AS; all-zero between calls
+
+  /// Start a new call over n ASes: bump the epoch (full re-stamp only on
+  /// first use, growth, or every 255th call when the 8-bit epoch wraps)
+  /// and clear the small lists.
+  void begin(size_t n) {
+    if (node.size() < n) {
+      node.assign(n, NodeState{});
+      key.resize(n);
+      changed.assign((n + 63) / 64, 0);
+      epoch = 0;
+    }
+    if (++epoch == 0) {  // uint8 wrap: invalidate all stamps
+      for (NodeState& s : node) s.stamp = 0;
+      epoch = 1;
+    }
+    touched.clear();
+    frontier.clear();
+    next.clear();
+    offers.clear();
+  }
+
+  bool stamped(int32_t v) const {
+    return node[static_cast<size_t>(v)].stamp == epoch;
+  }
+
+  /// Install a route at v and record it in the touched list.
+  void install(int32_t v, RouteSource src, int32_t hop, uint16_t dist) {
+    NodeState& s = node[static_cast<size_t>(v)];
+    s.stamp = epoch;
+    s.source = src;
+    s.next_hop = hop;
+    s.distance = dist;
+    touched.push_back(v);
+  }
+};
+
+/// Propagation-cache counters (cumulative over the simulator's lifetime;
+/// entries/bytes reflect the current contents).
+struct PropagationCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;  // computed fresh (inserted unless over capacity)
+  size_t entries = 0;
+  size_t bytes = 0;
+};
+
 class PropagationSim {
  public:
   explicit PropagationSim(const astopo::AsGraph& graph);
+  ~PropagationSim();
+  PropagationSim(PropagationSim&&) noexcept;
+  PropagationSim& operator=(PropagationSim&&) noexcept;
 
   const AsIndexer& indexer() const { return indexer_; }
 
   /// Set the filtering policy of one AS (default: no filtering).
+  /// Invalidates the precomputed drop masks and the propagation cache;
+  /// not safe concurrently with propagate() calls.
   void set_policy(net::Asn asn, const FilterPolicy& policy);
   const FilterPolicy& policy(net::Asn asn) const;
 
   /// Propagate an announcement originated by `origin` with the given
-  /// validity class. Returns per-AS routing state.
+  /// validity class. Returns per-AS routing state. Always computes (no
+  /// cache); the workspace overload reuses caller scratch.
   PropagationResult propagate(net::Asn origin,
                               const AnnouncementClass& cls) const;
+  PropagationResult propagate(net::Asn origin, const AnnouncementClass& cls,
+                              PropagationWorkspace& workspace) const;
+
+  /// Memoized propagation, shared across pipeline stages: results are
+  /// keyed by (origin, effective drop signature), so classes that no
+  /// policy distinguishes -- all valid classes, and invalid variants with
+  /// identical drop masks -- collapse onto one cached propagation. The
+  /// returned pointer stays valid after clear_cache(). Safe to call
+  /// concurrently. When the cache is disabled this computes fresh.
+  PropagationResultPtr propagate_cached(net::Asn origin,
+                                        const AnnouncementClass& cls) const;
+
+  /// Cache controls. Capacity defaults to MANRS_PROP_CACHE_MB megabytes
+  /// (2048 when unset); at capacity, new results are returned uncached.
+  /// Disabling also clears. Cached bytes are pure function values, so
+  /// outputs are byte-identical with the cache on or off.
+  void set_cache_enabled(bool enabled);
+  bool cache_enabled() const;
+  void clear_cache();
+  PropagationCacheStats cache_stats() const;
 
   /// Reconstruct the AS path from `vantage` to the origin (inclusive of
   /// both): [vantage, ..., origin]. Empty when the vantage has no route.
+  /// The status overload distinguishes "no route" from a corrupt
+  /// next_hop chain (see PathStatus); both return an empty path.
   bgp::AsPath path_from(const PropagationResult& result,
                         net::Asn vantage) const;
+  bgp::AsPath path_from(const PropagationResult& result, net::Asn vantage,
+                        PathStatus* status) const;
 
  private:
-  // Dense-id adjacency. providers_of_[u] lists ids that are providers of
-  // u, etc.
-  std::vector<std::vector<int32_t>> providers_of_;
-  std::vector<std::vector<int32_t>> customers_of_;
-  std::vector<std::vector<int32_t>> peers_of_;
-  std::vector<FilterPolicy> policies_;
+  /// Flat compressed-sparse-row adjacency: neighbors of u are
+  /// edges[offsets[u] .. offsets[u+1]), ascending by id (== by ASN).
+  struct Csr {
+    std::vector<uint32_t> offsets;
+    std::vector<int32_t> edges;
+
+    const int32_t* begin(int32_t u) const {
+      return edges.data() + offsets[static_cast<size_t>(u)];
+    }
+    const int32_t* end(int32_t u) const {
+      return edges.data() + offsets[static_cast<size_t>(u) + 1];
+    }
+  };
+
+  // Mutable engine state (lazily built drop masks, the propagation
+  // cache) lives behind a pointer so the simulator stays movable; the
+  // definition is in propagation.cpp.
+  struct State;
+
+  void ensure_masks() const;
+  size_t class_index(const AnnouncementClass& cls) const;
+  const uint64_t* mask_for(size_t cls_index, size_t adjacency) const;
+  PropagationResult propagate_id(int32_t origin_id,
+                                 const AnnouncementClass& cls,
+                                 PropagationWorkspace& ws) const;
+
   AsIndexer indexer_;
+  Csr providers_;  // providers_.edges of u: ids that are providers of u
+  Csr customers_;
+  Csr peers_;
+  std::vector<FilterPolicy> policies_;
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace manrs::sim

@@ -210,6 +210,72 @@ TEST(Propagation, DeterministicTieBreakByLowestAsn) {
   EXPECT_EQ(path.to_string(), "AS30 AS10 AS1");
 }
 
+TEST(Propagation, PathStatusDistinguishesNoRouteFromOk) {
+  AsGraph g;
+  g.add_provider_customer(Asn(1), Asn(2));
+  g.add_as(Asn(99));  // isolated
+  PropagationSim sim(g);
+  auto result = sim.propagate(Asn(2), AnnouncementClass{});
+
+  PathStatus status = PathStatus::kBrokenChain;
+  EXPECT_FALSE(sim.path_from(result, Asn(1), &status).empty());
+  EXPECT_EQ(status, PathStatus::kOk);
+  EXPECT_TRUE(sim.path_from(result, Asn(99), &status).empty());
+  EXPECT_EQ(status, PathStatus::kNoRoute);
+  EXPECT_TRUE(sim.path_from(result, Asn(12345), &status).empty());
+  EXPECT_EQ(status, PathStatus::kNoRoute);
+}
+
+TEST(Propagation, PathStatusFlagsCorruptedNextHopChain) {
+  AsGraph g = test_graph();
+  PropagationSim sim(g);
+  auto result = sim.propagate(Asn(101), AnnouncementClass{});
+  const int32_t b = sim.indexer().id_of(Asn(102));
+  const int32_t a = sim.indexer().id_of(Asn(101));
+  ASSERT_GE(b, 0);
+  ASSERT_GE(a, 0);
+
+  // A cycle: b's chain loops back to itself instead of descending.
+  PropagationResult cycle = result;
+  cycle.next_hop[static_cast<size_t>(b)] = b;
+  PathStatus status = PathStatus::kOk;
+  EXPECT_TRUE(sim.path_from(cycle, Asn(102), &status).empty());
+  EXPECT_EQ(status, PathStatus::kBrokenChain);
+
+  // A hop pointing at an AS that never installed a route.
+  PropagationResult dangling = result;
+  dangling.source[static_cast<size_t>(a)] = RouteSource::kNone;
+  // 102's chain runs ... -> 101 (the origin), which now claims no route.
+  EXPECT_TRUE(sim.path_from(dangling, Asn(102), &status).empty());
+  EXPECT_EQ(status, PathStatus::kBrokenChain);
+
+  // An out-of-range id in the chain.
+  PropagationResult wild = result;
+  wild.next_hop[static_cast<size_t>(b)] = 1 << 20;
+  EXPECT_TRUE(sim.path_from(wild, Asn(102), &status).empty());
+  EXPECT_EQ(status, PathStatus::kBrokenChain);
+
+  // The untouched result still reconstructs fine (and the non-status
+  // overload keeps its "empty on any failure" contract).
+  EXPECT_FALSE(sim.path_from(result, Asn(102)).empty());
+  EXPECT_TRUE(sim.path_from(cycle, Asn(102)).empty());
+}
+
+TEST(Propagation, FilterVariantIsStdlibIndependent) {
+  // The variant bucket folds into scenario and dataset bytes, so it must
+  // be the documented FNV-1a of the prefix wire bytes -- not std::hash.
+  // These values are fixed-point constants of that definition; if this
+  // test fails, goldens produced on other platforms no longer match.
+  EXPECT_EQ(filter_variant(net::Prefix::must_parse("10.0.0.0/8")), 3);
+  EXPECT_EQ(filter_variant(net::Prefix::must_parse("192.168.0.0/16")), 1);
+  EXPECT_EQ(filter_variant(net::Prefix::must_parse("2001:db8::/32")), 1);
+  // Stable across calls and distinct inputs spread across buckets.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(filter_variant(net::Prefix::must_parse("10.0.0.0/8")),
+              filter_variant(net::Prefix::must_parse("10.0.0.0/8")));
+  }
+}
+
 TEST(Collector, GroupsByOriginAndClass) {
   std::vector<Announcement> anns;
   anns.push_back({Prefix::must_parse("10.0.0.0/8"), Asn(1), {}});

@@ -4,12 +4,14 @@
 #   1. configure + build with ASan+UBSan, warnings-as-errors
 #   2. run the full ctest suite (including the malformed-input fuzz
 #      corpus) under the sanitizers
-#   3. repeat the golden tests across the MANRS_THREADS x MANRS_GRAIN
-#      environment matrix (byte-equality at every combination)
+#   3. repeat the golden + propagation oracle/cache-equality tests
+#      across the MANRS_THREADS x MANRS_GRAIN environment matrix
+#      (byte-equality at every combination)
 #   4. TSan build + run of the parallel-pipeline tests (thread pool,
-#      the serial-vs-parallel golden tests, the sharded RIB merge) --
-#      once at defaults and once at MANRS_GRAIN=1 -- plus a
-#      perf_pipeline smoke run at MANRS_SCALE=tiny (skip with TSAN=0)
+#      the serial-vs-parallel golden tests, the sharded RIB merge, the
+#      propagation oracle and cache-equality tests) -- once at defaults
+#      and once at MANRS_GRAIN=1 -- plus a perf_pipeline smoke run at
+#      MANRS_SCALE=tiny (skip with TSAN=0)
 #   5. clang-tidy over src/ (skipped with a warning if not installed)
 #   6. the repo-specific wire lint (tools/lint_wire.py)
 #
@@ -48,11 +50,13 @@ UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 step "thread x grain golden matrix"
-# Repeat the serial-vs-parallel golden tests through the environment:
-# every MANRS_THREADS x MANRS_GRAIN combination must be byte-identical
-# (the tests compare against an in-process serial golden). This also
-# exercises the env parsing / pool construction paths the in-test
-# set_thread_count / set_grain overrides bypass.
+# Repeat the serial-vs-parallel golden tests plus the propagation
+# oracle / cache-equality tests through the environment: every
+# MANRS_THREADS x MANRS_GRAIN combination must be byte-identical (the
+# tests compare against an in-process serial golden or the naive
+# reference oracle). This also exercises the env parsing / pool
+# construction paths the in-test set_thread_count / set_grain
+# overrides bypass, and the cache under every pool shape.
 for matrix_threads in 2 4; do
   for matrix_grain in 1 64; do
     echo "-- MANRS_THREADS=$matrix_threads MANRS_GRAIN=$matrix_grain"
@@ -60,7 +64,7 @@ for matrix_threads in 2 4; do
     ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}" \
     UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
       ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
-        -R 'ParallelGolden'
+        -R 'ParallelGolden|PropagationOracle|PropagationCache'
   done
 done
 
@@ -72,21 +76,23 @@ if [[ "${TSAN:-1}" != "0" && "$SANITIZE" != "thread" ]]; then
   cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
     --target tests_util tests_integration perf_pipeline
 
-  step "TSan: parallel + golden tests"
+  step "TSan: parallel + golden + propagation cache tests"
   # The pool, env-parsing, and shutdown tests plus the serial-vs-parallel
-  # golden equality tests (including the sharded flat-RIB merge); TSan
-  # halts on the first data race.
+  # golden equality tests (including the sharded flat-RIB merge) and the
+  # propagation oracle / cache tests (concurrent lazy mask build and
+  # cache insert/lookup under the pool); TSan halts on the first race.
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-      -R 'Parallel|ThreadPool'
+      -R 'Parallel|ThreadPool|PropagationOracle|PropagationCache'
 
-  step "TSan: golden tests at MANRS_GRAIN=1 (max chunk handoff)"
-  # Grain 1 maximises work-counter contention and cross-thread row
-  # handoffs in the sharded merge -- the worst case for races.
+  step "TSan: golden + cache tests at MANRS_GRAIN=1 (max chunk handoff)"
+  # Grain 1 maximises work-counter contention, cross-thread row handoffs
+  # in the sharded merge, and propagation-cache insert/lookup
+  # interleavings -- the worst case for races.
   MANRS_THREADS=4 MANRS_GRAIN=1 \
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-      -R 'ParallelGolden'
+      -R 'ParallelGolden|PropagationOracle|PropagationCache'
 
   step "TSan: perf_pipeline smoke (MANRS_SCALE=tiny)"
   MANRS_SCALE=tiny \

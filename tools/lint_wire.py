@@ -32,6 +32,15 @@ this). The banned patterns:
                      flat vectors (docs/performance.md); a prefix-keyed
                      tree map reintroduces the allocation- and
                      cache-miss-heavy pattern the flat RIB replaced.
+  std-hash           std::hash<...> named anywhere in src/ outside
+                     src/util/det_hash.h and the allowlisted container
+                     hasher specializations. std::hash is stdlib-specific,
+                     so a hash folded into output bytes (variant buckets,
+                     shard keys) silently breaks the "bytes depend only on
+                     the seed" contract -- exactly the filter_variant bug.
+                     Hash wire bytes with util::fnv1a_* instead; plain
+                     unordered containers over project types use their
+                     std::hash specializations without naming std::hash.
 
 A line may carry an explicit waiver comment `// lint-ok: <reason>`; the
 waiver applies to that line and, for a line containing only the comment,
@@ -68,6 +77,17 @@ THREAD_ALLOWLIST = {
 RIB_MAP_ALLOWLIST = {
     Path("src/bgp/rib.h"),
     Path("src/bgp/rib.cpp"),
+}
+
+# Files allowed to name std::hash<...>: the deterministic-hash header that
+# documents the rule, and the std::hash specializations that make project
+# key types usable in unordered containers (in-memory only -- their values
+# must never be folded into output bytes).
+STD_HASH_ALLOWLIST = {
+    Path("src/util/det_hash.h"),
+    Path("src/netbase/asn.h"),
+    Path("src/netbase/prefix.h"),
+    Path("src/bgp/route.h"),
 }
 
 # Parse-path directories where memcpy/punning from network data is banned.
@@ -124,6 +144,14 @@ RULES = [
         None,
         "use the flat sorted bgp::Rib / sort-then-scan over a flat vector"
         " (docs/performance.md)",
+    ),
+    (
+        "std-hash",
+        re.compile(r"\bstd::hash\s*<"),
+        ("src/",),
+        "output-facing hashes use util::fnv1a_* (src/util/det_hash.h);"
+        " container hashers go through the type's std::hash"
+        " specialization implicitly",
     ),
 ]
 
@@ -188,6 +216,8 @@ def scan_file(root: Path, path: Path) -> list[str]:
             if name == "raw-thread" and rel in THREAD_ALLOWLIST:
                 continue
             if name == "rib-map" and rel in RIB_MAP_ALLOWLIST:
+                continue
+            if name == "std-hash" and rel in STD_HASH_ALLOWLIST:
                 continue
             if waived:
                 continue
