@@ -29,6 +29,7 @@ Summary summarize(const topogen::Scenario& scenario,
   auto propagation = core::compute_propagation_stats(snapshot.transits);
 
   size_t manrs_zero = 0, manrs_n = 0, other_zero = 0, other_n = 0;
+  // lint-ok: commutative counter fold, order-independent
   for (const auto& [asn_value, stats] : propagation) {
     net::Asn asn(asn_value);
     if (astopo::classify_size(scenario.graph, asn) !=

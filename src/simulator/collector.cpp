@@ -78,7 +78,7 @@ std::vector<std::vector<bgp::RibEntry>> RouteCollector::collect_group_entries(
 
 std::vector<bgp::RibRow> merge_group_entries(
     const std::vector<AnnouncementGroup>& groups,
-    const std::vector<std::vector<bgp::RibEntry>>& group_entries) {
+    std::vector<std::vector<bgp::RibEntry>> group_entries) {
   // One task per announced (prefix, group). Sorting by (prefix, group)
   // puts every row's work in one contiguous run, in exactly the order
   // the serial build staged it: groups ascending, and duplicates of the
@@ -91,9 +91,16 @@ std::vector<bgp::RibRow> merge_group_entries(
   for (const auto& g : groups) total += g.prefixes.size();
   std::vector<Task> tasks;
   tasks.reserve(total);
+  // Groups referenced by exactly one task never feed another row, so
+  // their entries (and the AsPath heap blocks behind them) can be moved
+  // into that row instead of deep-copied. Single-prefix groups dominate
+  // invalid-announcement scenarios, so this trims most of the merge's
+  // serial allocation fat.
+  std::vector<uint32_t> group_refs(groups.size(), 0);
   for (size_t g = 0; g < groups.size(); ++g) {
     for (const net::Prefix& prefix : groups[g].prefixes) {
       tasks.push_back(Task{prefix, g});
+      ++group_refs[g];
     }
   }
   std::sort(tasks.begin(), tasks.end(), [](const Task& a, const Task& b) {
@@ -119,13 +126,28 @@ std::vector<bgp::RibRow> merge_group_entries(
     bgp::RibRow row;
     row.prefix = tasks[row_start[r]].prefix;
     for (size_t t = row_start[r]; t < row_start[r + 1]; ++t) {
-      for (const bgp::RibEntry& e : group_entries[tasks[t].group]) {
+      // A singleton group belongs to this task alone: no other row (on
+      // any thread) reads that slot, so stealing its entries is
+      // race-free and value-identical to the copy.
+      std::vector<bgp::RibEntry>& src = group_entries[tasks[t].group];
+      const bool sole_use = group_refs[tasks[t].group] == 1;
+      if (sole_use && row.entries.empty()) {
+        row.entries = std::move(src);
+        continue;
+      }
+      for (bgp::RibEntry& e : src) {
         auto it = std::find_if(row.entries.begin(), row.entries.end(),
                                [&](const bgp::RibEntry& have) {
                                  return have.peer_index == e.peer_index;
                                });
         if (it == row.entries.end()) {
-          row.entries.push_back(e);
+          if (sole_use) {
+            row.entries.push_back(std::move(e));
+          } else {
+            row.entries.push_back(e);
+          }
+        } else if (sole_use) {
+          it->path = std::move(e.path);
         } else {
           it->path = e.path;
         }

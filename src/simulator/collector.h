@@ -74,9 +74,11 @@ std::vector<AnnouncementGroup> group_announcements(
 /// reproduces the serial insert_many order; rows are then built in
 /// parallel -- a chunk of consecutive rows is a prefix-range shard -- and
 /// the result is byte-identical at any thread count or grain. Prefixes
-/// whose groups reached no peer produce no row.
+/// whose groups reached no peer produce no row. Takes the entry sets by
+/// value: groups referenced by a single (prefix, group) task have their
+/// entries moved into the row instead of deep-copying every AsPath.
 std::vector<bgp::RibRow> merge_group_entries(
     const std::vector<AnnouncementGroup>& groups,
-    const std::vector<std::vector<bgp::RibEntry>>& group_entries);
+    std::vector<std::vector<bgp::RibEntry>> group_entries);
 
 }  // namespace manrs::sim

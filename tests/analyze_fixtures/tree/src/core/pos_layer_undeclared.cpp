@@ -1,0 +1,3 @@
+// Positive: the 'core' module is not declared in this tree's
+// layers.txt at all.
+void f_undeclared_module() {}

@@ -1,0 +1,6 @@
+#include "netbase/prefix.h"
+#include <vector>
+// Negative: mrt -> netbase is a declared edge; angled includes and
+// same-module includes are never layer edges.
+#include "mrt/wire.h"
+void f_layer_ok() {}

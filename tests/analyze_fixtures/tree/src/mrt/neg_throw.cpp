@@ -1,0 +1,15 @@
+// Negative: ParseError is the boundary type, and a bare rethrow
+// propagates whatever the boundary already admitted.
+namespace util {
+struct ParseError {};
+}
+void f_good_throw() {
+  throw util::ParseError{};
+}
+void f_rethrow() {
+  try {
+    f_good_throw();
+  } catch (...) {
+    throw;
+  }
+}

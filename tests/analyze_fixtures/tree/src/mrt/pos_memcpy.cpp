@@ -1,0 +1,5 @@
+// Positive: memcpy in a wire-parse dir.
+#include <cstring>
+void f_memcpy(void* dst, const void* src, unsigned long n) {
+  std::memcpy(dst, src, n);
+}

@@ -1,0 +1,4 @@
+// Positive: reinterpret_cast outside the audited bridge.
+const int* f_reinterpret(const char* p) {
+  return reinterpret_cast<const int*>(p);
+}

@@ -1,0 +1,6 @@
+// Positive: a non-ParseError throw inside a wire-parse dir bypasses
+// the per-record error boundary.
+#include <stdexcept>
+void f_bad_throw() {
+  throw std::runtime_error("bad header");
+}

@@ -1,0 +1,5 @@
+// Positive: a union definition in a wire-parse dir (punning heuristic).
+union PunBits {
+  unsigned int u;
+  float f;
+};

@@ -1,0 +1,3 @@
+#include "simulator/collector.h"
+// Positive (line 1): netbase may not reach up into simulator.
+void f_layer_up() {}

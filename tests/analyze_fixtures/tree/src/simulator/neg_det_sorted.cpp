@@ -1,0 +1,13 @@
+// Negative: the sanctioned sort-then-scan shape -- the accumulator is
+// sorted before use, so iteration order cannot leak into the result.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+std::vector<int> f_sorted(const std::unordered_map<int, int>& scores) {
+  std::vector<int> keys;
+  for (const auto& [key, value] : scores) {
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}

@@ -1,0 +1,10 @@
+// Negative: an order-independent fold under an explicit waiver.
+#include <unordered_map>
+int f_total(const std::unordered_map<int, int>& scores) {
+  int total = 0;
+  // lint-ok: commutative sum, order-independent
+  for (const auto& [key, value] : scores) {
+    total += value;
+  }
+  return total;
+}

@@ -1,0 +1,6 @@
+// Negative: memcpy outside the wire-parse dirs is not this rule's
+// business.
+#include <cstring>
+void f_memcpy_ok(void* dst, const void* src, unsigned long n) {
+  std::memcpy(dst, src, n);
+}

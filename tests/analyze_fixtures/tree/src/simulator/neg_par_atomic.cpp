@@ -1,0 +1,10 @@
+// Negative: the captured accumulator is atomic, so the concurrent
+// writes are synchronized.
+#include <atomic>
+#include <cstddef>
+void f_atomic(std::size_t n) {
+  std::atomic<long> total{0};
+  util::parallel_for(n, [&](std::size_t i) {
+    total += static_cast<long>(i);
+  });
+}

@@ -1,0 +1,9 @@
+// Negative: every write lands in the slot indexed by the loop
+// variable, so threads never touch the same element.
+#include <cstddef>
+#include <vector>
+void f_slots(std::vector<int>& out) {
+  util::parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = static_cast<int>(i) * 2;
+  });
+}

@@ -1,0 +1,5 @@
+// Negative: unions outside the wire-parse dirs are out of scope.
+union PlainTag {
+  unsigned int u;
+  int i;
+};

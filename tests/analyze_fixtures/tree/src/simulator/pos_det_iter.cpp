@@ -1,0 +1,11 @@
+// Positive: range-for over an unordered_map mutating an accumulator
+// that is never sorted -- output depends on stdlib iteration order.
+#include <unordered_map>
+#include <vector>
+std::vector<int> f_collect(const std::unordered_map<int, int>& scores) {
+  std::vector<int> out;
+  for (const auto& [key, value] : scores) {
+    out.push_back(key + value);
+  }
+  return out;
+}

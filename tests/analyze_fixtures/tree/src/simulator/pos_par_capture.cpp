@@ -1,0 +1,10 @@
+// Positive: a [&] lambda given to parallel_for writes to a captured
+// accumulator without indexing by the loop variable -- a data race.
+#include <cstddef>
+void f_race(std::size_t n) {
+  std::size_t total = 0;
+  util::parallel_for(n, [&](std::size_t i) {
+    total += i;
+  });
+  (void)total;
+}

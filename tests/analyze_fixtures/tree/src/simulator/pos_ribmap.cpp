@@ -1,0 +1,8 @@
+// Positive: a prefix-keyed tree map outside src/bgp/rib.*.
+#include <map>
+namespace net {
+struct Prefix {};
+}
+struct RouteTable {
+  std::map<net::Prefix, int> table;
+};

@@ -1,0 +1,5 @@
+// Negative: this path is the allowlisted aliasing bridge, so the
+// reinterpret_cast below is sanctioned.
+const int* f_bridge(const char* p) {
+  return reinterpret_cast<const int*>(p);
+}

@@ -1,0 +1,7 @@
+// Negative: banned names inside comments, string literals, and raw
+// strings are not code. reinterpret_cast<int*>(p) in this comment is
+// invisible to the token rules.
+const char* kDoc =
+    "memcpy(dst, src, n); strcpy(a, b); std::hash<int> h; union U {";
+/* std::thread t; atoi("7"); std::stoi(s); */
+const char* kRaw = R"(std::stoi(s); reinterpret_cast<char*>(p))";

@@ -1,0 +1,11 @@
+// Negative: a member function named stoi is not std::stoi, and the
+// spelling inside a comment or string is not a call at all.
+#include <string>
+struct NumberParser {
+  int stoi(const std::string&) { return 0; }
+};
+int f_member_stoi(NumberParser& p, const std::string& s) {
+  const char* doc = "never call std::stoi(s) here";  // std::stoi(s)
+  (void)doc;
+  return p.stoi(s);
+}

@@ -1,0 +1,5 @@
+// Negative: std::thread::hardware_concurrency is a query, not a spawn.
+#include <thread>
+unsigned f_hw() {
+  return std::thread::hardware_concurrency();
+}

@@ -1,0 +1,5 @@
+// Negative: a member call named strcpy is not the C library function.
+struct Wrapper;
+void f_member_strcpy(Wrapper& w, char* d, const char* s) {
+  w.strcpy(d, s);
+}

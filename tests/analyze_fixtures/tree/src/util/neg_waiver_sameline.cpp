@@ -1,0 +1,4 @@
+// Negative: a same-line waiver with a reason covers its own line.
+void f_waived(char* d, const char* s) {
+  strcpy(d, s);  // lint-ok: fixture exercising the same-line waiver
+}

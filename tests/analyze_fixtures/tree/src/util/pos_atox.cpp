@@ -1,0 +1,4 @@
+// Positive: atoi has UB on out-of-range input.
+int f_atoi(const char* s) {
+  return atoi(s);
+}

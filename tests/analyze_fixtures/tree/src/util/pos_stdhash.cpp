@@ -1,0 +1,5 @@
+// Positive: std::hash named in src/ (stdlib-specific hash values).
+#include <functional>
+unsigned long f_hash(int v) {
+  return std::hash<int>{}(v);
+}

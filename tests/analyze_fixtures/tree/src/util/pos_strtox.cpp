@@ -1,0 +1,5 @@
+// Positive: std::stoi throws on malformed input.
+#include <string>
+int f_stoi(const std::string& s) {
+  return std::stoi(s);
+}

@@ -1,0 +1,6 @@
+// Positive: spawning a raw std::thread bypasses the pool.
+#include <thread>
+void f_thread() {
+  std::thread t([] {});
+  t.join();
+}

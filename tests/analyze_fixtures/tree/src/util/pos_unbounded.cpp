@@ -1,0 +1,4 @@
+// Positive: strcpy writes without a length bound.
+void f_strcpy(char* dst, const char* src) {
+  strcpy(dst, src);
+}

@@ -1,0 +1,4 @@
+// Positive: a bare "lint-ok:" with no reason waives nothing.
+void f_not_waived(char* d, const char* s) {
+  strcpy(d, s);  // lint-ok:
+}

@@ -1,0 +1,5 @@
+// Negative: std-hash is scoped to src/; tools may hash locally.
+#include <functional>
+unsigned long f_tool_hash(int v) {
+  return std::hash<int>{}(v);
+}

@@ -1,0 +1,178 @@
+// Lexer unit tests for manrs_analyze: the phase-2/phase-3 corner cases
+// the analyzer's correctness rests on -- raw strings, line-spliced
+// comments and identifiers, digit separators, and include extraction.
+#include "analyze/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using manrs::analyze::IncludeDirective;
+using manrs::analyze::lex;
+using manrs::analyze::Token;
+using manrs::analyze::TokenKind;
+
+/// Tokens minus the trailing kEndOfFile.
+std::vector<Token> lex_body(std::string_view text) {
+  std::vector<Token> tokens = lex(text);
+  EXPECT_FALSE(tokens.empty());
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEndOfFile);
+  tokens.pop_back();
+  return tokens;
+}
+
+const Token* find_kind(const std::vector<Token>& tokens, TokenKind kind) {
+  for (const Token& t : tokens) {
+    if (t.kind == kind) return &t;
+  }
+  return nullptr;
+}
+
+TEST(AnalyzeLexer, RawStringIsOneVerbatimToken) {
+  // Quotes, backslashes, and a would-be line splice inside a raw string
+  // are all inert.
+  auto tokens = lex_body("const char* s = R\"(say \"hi\" \\ not-escape)\";");
+  const Token* str = find_kind(tokens, TokenKind::kString);
+  ASSERT_NE(str, nullptr);
+  EXPECT_NE(str->text.find("say \"hi\""), std::string::npos);
+  EXPECT_NE(str->text.find("not-escape"), std::string::npos);
+  // Exactly one string literal: the inner quotes opened nothing.
+  int strings = 0;
+  for (const Token& t : tokens) strings += t.kind == TokenKind::kString;
+  EXPECT_EQ(strings, 1);
+}
+
+TEST(AnalyzeLexer, RawStringCustomDelimiter) {
+  // The )" inside the literal does not close it; only )x" does.
+  auto tokens = lex_body("auto s = R\"x(close )\" not yet)x\";");
+  const Token* str = find_kind(tokens, TokenKind::kString);
+  ASSERT_NE(str, nullptr);
+  EXPECT_NE(str->text.find("close )\" not yet"), std::string::npos);
+  // The statement still ends in a ; punct after the string.
+  EXPECT_TRUE(tokens.back().is_punct(";"));
+}
+
+TEST(AnalyzeLexer, RawStringMultiLineTracksLines) {
+  auto tokens = lex_body("auto s = R\"(one\ntwo\nthree)\";\nint after = 0;");
+  const Token* str = find_kind(tokens, TokenKind::kString);
+  ASSERT_NE(str, nullptr);
+  EXPECT_EQ(str->line, 1);
+  EXPECT_EQ(str->end_line, 3);
+  // The token after the literal's line is physical, not logical.
+  const Token* after = nullptr;
+  for (const Token& t : tokens) {
+    if (t.is_ident("after")) after = &t;
+  }
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->line, 4);
+}
+
+TEST(AnalyzeLexer, SplicedLineCommentContinues) {
+  // The backslash-newline splices the comment across two physical
+  // lines; `int x` only starts on line 3.
+  auto tokens = lex_body("// part one \\\npart two\nint x;");
+  ASSERT_FALSE(tokens.empty());
+  EXPECT_EQ(tokens[0].kind, TokenKind::kComment);
+  EXPECT_NE(tokens[0].text.find("part two"), std::string::npos);
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].end_line, 2);
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[1].is_ident("int"));
+  EXPECT_EQ(tokens[1].line, 3);
+}
+
+TEST(AnalyzeLexer, SplicedIdentifierLexesAsOne) {
+  auto tokens = lex_body("in\\\nt value;");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].is_ident("int"));
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].end_line, 2);
+  EXPECT_TRUE(tokens[1].is_ident("value"));
+  EXPECT_EQ(tokens[1].line, 2);
+}
+
+TEST(AnalyzeLexer, DigitSeparatorsStayInOneNumber) {
+  auto tokens = lex_body("auto n = 1'000'000; auto h = 0xFF'FFu;");
+  int numbers = 0;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kNumber) {
+      ++numbers;
+      EXPECT_TRUE(t.text == "1'000'000" || t.text == "0xFF'FFu") << t.text;
+    }
+    // The ' in a separator must never open a character literal.
+    EXPECT_NE(t.kind, TokenKind::kCharLit);
+  }
+  EXPECT_EQ(numbers, 2);
+}
+
+TEST(AnalyzeLexer, FloatExponentIsOneNumber) {
+  auto tokens = lex_body("double d = 1.5e-3;");
+  const Token* num = find_kind(tokens, TokenKind::kNumber);
+  ASSERT_NE(num, nullptr);
+  EXPECT_EQ(num->text, "1.5e-3");
+}
+
+TEST(AnalyzeLexer, EscapedQuoteStaysInString) {
+  auto tokens = lex_body("const char* s = \"a\\\"b\"; int y;");
+  const Token* str = find_kind(tokens, TokenKind::kString);
+  ASSERT_NE(str, nullptr);
+  EXPECT_NE(str->text.find("a\\\"b"), std::string::npos);
+  const Token* y = nullptr;
+  for (const Token& t : tokens) {
+    if (t.is_ident("y")) y = &t;
+  }
+  EXPECT_NE(y, nullptr);
+}
+
+TEST(AnalyzeLexer, ExtractIncludesQuotedAndAngled) {
+  std::vector<Token> tokens =
+      lex("#include \"bgp/rib.h\"\n#include <vector>\nint x;\n"
+          "#include \"util/bytes.h\"  // lint-ok: fixture reason\n");
+  std::vector<IncludeDirective> incs = manrs::analyze::extract_includes(tokens);
+  ASSERT_EQ(incs.size(), 3u);
+  EXPECT_EQ(incs[0].path, "bgp/rib.h");
+  EXPECT_FALSE(incs[0].angled);
+  EXPECT_EQ(incs[0].line, 1);
+  EXPECT_EQ(incs[1].path, "vector");
+  EXPECT_TRUE(incs[1].angled);
+  EXPECT_EQ(incs[1].line, 2);
+  EXPECT_EQ(incs[2].path, "util/bytes.h");
+  EXPECT_EQ(incs[2].line, 4);
+  // The trailing comment on the include line must stay a comment token
+  // (waivers on include lines depend on it).
+  bool saw_waiver_comment = false;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kComment &&
+        t.text.find("lint-ok:") != std::string::npos) {
+      saw_waiver_comment = true;
+      EXPECT_EQ(t.line, 4);
+    }
+  }
+  EXPECT_TRUE(saw_waiver_comment);
+}
+
+TEST(AnalyzeLexer, ThreeCharPunctLongestMatch) {
+  auto tokens = lex_body("a <=> b; c >>= 2;");
+  bool spaceship = false, shift_assign = false;
+  for (const Token& t : tokens) {
+    spaceship |= t.is_punct("<=>");
+    shift_assign |= t.is_punct(">>=");
+  }
+  EXPECT_TRUE(spaceship);
+  EXPECT_TRUE(shift_assign);
+}
+
+TEST(AnalyzeLexer, BlockCommentSpansLines) {
+  auto tokens = lex_body("/* one\ntwo */ int z;");
+  ASSERT_FALSE(tokens.empty());
+  EXPECT_EQ(tokens[0].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].end_line, 2);
+  EXPECT_TRUE(tokens[1].is_ident("int"));
+  EXPECT_EQ(tokens[1].line, 2);
+}
+
+}  // namespace

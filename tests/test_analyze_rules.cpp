@@ -1,0 +1,163 @@
+// End-to-end rule tests for manrs_analyze: run the real binary over
+// the deliberately-broken fixture tree (tests/analyze_fixtures/tree)
+// with --json and assert the exact (file, line, rule) finding set --
+// positives and negatives in one shot, since any unexpected finding
+// fails the set comparison.
+//
+// The fixture corpus doubles as the parity check for the retired
+// tools/lint_wire.py regex rules: every spelling the old regexes
+// flagged appears as a positive here, so all nine ported rule ids must
+// show up, alongside the four token/scope-native ones.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#ifndef MANRS_ANALYZE_BIN
+#error "MANRS_ANALYZE_BIN must point at the manrs_analyze binary"
+#endif
+#ifndef MANRS_ANALYZE_TREE
+#error "MANRS_ANALYZE_TREE must point at the fixture tree"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;
+};
+
+RunResult run_analyzer(const std::string& args) {
+  std::string cmd =
+      std::string(MANRS_ANALYZE_BIN) + " " + args + " 2>/dev/null";
+  RunResult r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) r.out.append(buf, n);
+  int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+using FindingKey = std::tuple<std::string, int, std::string>;  // file,line,rule
+
+/// Pull (file, line, rule) triples out of the analyzer's --json output.
+/// The format is the fixed machine shape write_json emits, so simple
+/// key scanning is reliable.
+std::vector<FindingKey> parse_findings(const std::string& json) {
+  std::vector<FindingKey> out;
+  size_t pos = 0;
+  while ((pos = json.find("{\"file\":\"", pos)) != std::string::npos) {
+    size_t fbeg = pos + 9;
+    size_t fend = json.find('"', fbeg);
+    size_t lbeg = json.find("\"line\":", fend) + 7;
+    size_t rbeg = json.find("\"rule\":\"", fend) + 8;
+    size_t rend = json.find('"', rbeg);
+    out.emplace_back(json.substr(fbeg, fend - fbeg),
+                     static_cast<int>(
+                         std::strtol(json.c_str() + lbeg, nullptr, 10)),
+                     json.substr(rbeg, rend - rbeg));
+    pos = rend;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(AnalyzeRules, FixtureTreeFindingsMatchExactly) {
+  RunResult r = run_analyzer(std::string("--root ") + MANRS_ANALYZE_TREE +
+                             " --json");
+  ASSERT_EQ(r.exit_code, 1) << r.out;  // findings present -> exit 1
+
+  std::vector<FindingKey> expected = {
+      {"src/core/pos_layer_undeclared.cpp", 1, "layer-violation"},
+      {"src/mrt/pos_memcpy.cpp", 4, "unchecked-memcpy"},
+      {"src/mrt/pos_reinterpret.cpp", 3, "reinterpret-cast"},
+      {"src/mrt/pos_throw.cpp", 5, "parse-throw-boundary"},
+      {"src/mrt/pos_union.cpp", 2, "union-punning"},
+      {"src/netbase/pos_layer.cpp", 1, "layer-violation"},
+      {"src/simulator/pos_det_iter.cpp", 7, "determinism-iteration"},
+      {"src/simulator/pos_par_capture.cpp", 7, "parallel-capture"},
+      {"src/simulator/pos_ribmap.cpp", 7, "rib-map"},
+      {"src/util/pos_atox.cpp", 3, "locale-atox"},
+      {"src/util/pos_stdhash.cpp", 4, "std-hash"},
+      {"src/util/pos_strtox.cpp", 4, "throwing-strtox"},
+      {"src/util/pos_thread.cpp", 4, "raw-thread"},
+      {"src/util/pos_unbounded.cpp", 3, "unbounded-copy"},
+      {"src/util/pos_waiver_noreason.cpp", 3, "unbounded-copy"},
+  };
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(parse_findings(r.out), expected) << r.out;
+}
+
+TEST(AnalyzeRules, RegexCorpusParityAllPortedRulesFire) {
+  // Every rule id the old tools/lint_wire.py regexes implemented must
+  // still be produced by the port (the fixture corpus holds the old
+  // corpus spellings), and the four new rules must fire too.
+  RunResult r = run_analyzer(std::string("--root ") + MANRS_ANALYZE_TREE +
+                             " --json");
+  ASSERT_EQ(r.exit_code, 1);
+  std::set<std::string> fired;
+  for (const FindingKey& k : parse_findings(r.out)) {
+    fired.insert(std::get<2>(k));
+  }
+  const std::array<const char*, 13> all_rules = {
+      "reinterpret-cast", "unchecked-memcpy", "throwing-strtox",
+      "locale-atox", "unbounded-copy", "union-punning", "raw-thread",
+      "rib-map", "std-hash", "determinism-iteration", "parallel-capture",
+      "layer-violation", "parse-throw-boundary"};
+  for (const char* rule : all_rules) {
+    EXPECT_EQ(fired.count(rule), 1u) << "rule never fired: " << rule;
+  }
+}
+
+TEST(AnalyzeRules, CleanFileExitsZero) {
+  RunResult r = run_analyzer(std::string("--root ") + MANRS_ANALYZE_TREE +
+                             " --json src/util/neg_thread.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_EQ(parse_findings(r.out).size(), 0u) << r.out;
+}
+
+TEST(AnalyzeRules, WaiversAreCountedNotReported) {
+  RunResult r = run_analyzer(std::string("--root ") + MANRS_ANALYZE_TREE +
+                             " --json src/util/neg_waiver_sameline.cpp" +
+                             " src/simulator/neg_det_waived.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("\"waived\":2"), std::string::npos) << r.out;
+}
+
+TEST(AnalyzeRules, ListRulesShowsFullCatalog) {
+  RunResult r = run_analyzer("--list-rules");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* rule :
+       {"reinterpret-cast", "determinism-iteration", "parallel-capture",
+        "layer-violation", "parse-throw-boundary"}) {
+    EXPECT_NE(r.out.find(rule), std::string::npos) << rule;
+  }
+}
+
+TEST(AnalyzeRules, SarifArtifactIsWritten) {
+  std::string sarif_path = testing::TempDir() + "analyze_test.sarif";
+  RunResult r = run_analyzer(std::string("--root ") + MANRS_ANALYZE_TREE +
+                             " --sarif " + sarif_path);
+  EXPECT_EQ(r.exit_code, 1);
+  std::ifstream in(sarif_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("\"2.1.0\""), std::string::npos);
+  EXPECT_NE(text.str().find("manrs_analyze"), std::string::npos);
+  EXPECT_NE(text.str().find("determinism-iteration"), std::string::npos);
+  std::remove(sarif_path.c_str());
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "util/bytes.h"
 #include "util/rng.h"
 
 namespace manrs::mrt {
@@ -118,8 +119,7 @@ TEST(Bgp4mp, SkipsForeignRecordTypes) {
   foreign.u16(13);
   foreign.u16(1);
   foreign.u32(0);
-  out.write(reinterpret_cast<const char*>(foreign.data().data()),
-            static_cast<std::streamsize>(foreign.size()));
+  util::write_bytes(out, foreign.data());
   Bgp4mpWriter writer(out);
   Bgp4mpRecord record = make_record();
   record.update.withdrawn = {Prefix::must_parse("10.0.0.0/8")};

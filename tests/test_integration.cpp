@@ -215,6 +215,7 @@ TEST(Integration, WeeklyConformanceMostlyStable) {
     }
   }
   size_t stable = 0, fluctuating = 0;
+  // lint-ok: commutative counter fold, order-independent
   for (const auto& [asn, history] : verdicts) {
     bool all_same = std::adjacent_find(history.begin(), history.end(),
                                        std::not_equal_to<>()) == history.end();

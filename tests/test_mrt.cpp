@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "mrt/wire.h"
+#include "util/bytes.h"
 #include "util/rng.h"
 
 namespace manrs::mrt {
@@ -204,8 +205,7 @@ TEST(TableDump, SkipsUnknownTypes) {
   legacy.u16(1);
   legacy.u32(4);
   legacy.u32(0xFFFFFFFF);
-  out.write(reinterpret_cast<const char*>(legacy.data().data()),
-            static_cast<std::streamsize>(legacy.size()));
+  util::write_bytes(out, legacy.data());
   TableDumpWriter writer(out, 1);
   writer.write_peer_index(PeerIndexTable{});
 

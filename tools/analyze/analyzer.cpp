@@ -1,0 +1,407 @@
+#include "analyze/analyzer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace manrs::analyze {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const std::set<std::string> kCppSuffixes = {".cpp", ".cc", ".cxx", ".h",
+                                            ".hpp"};
+
+/// Directory names never scanned: generated trees and the deliberately
+/// broken analyzer fixture corpus (tests/analyze_fixtures).
+bool skip_dir(const std::string& name) {
+  return name == ".git" || name == "out" || name == "data" ||
+         name == "analyze_fixtures" || name.rfind("build", 0) == 0;
+}
+
+/// Audited exceptions carried over from tools/lint_wire.py: per rule,
+/// the repo-relative files where the pattern is the sanctioned
+/// implementation rather than a violation.
+bool allowlisted(const std::string& rule, const std::string& rel) {
+  if (rule == "reinterpret-cast") {
+    return rel == "src/util/bytes.cpp";
+  }
+  if (rule == "raw-thread") {
+    return rel == "src/util/parallel.h" || rel == "src/util/parallel.cpp";
+  }
+  if (rule == "rib-map") {
+    return rel == "src/bgp/rib.h" || rel == "src/bgp/rib.cpp";
+  }
+  if (rule == "std-hash") {
+    return rel == "src/util/det_hash.h" || rel == "src/netbase/asn.h" ||
+           rel == "src/netbase/prefix.h" || rel == "src/bgp/route.h";
+  }
+  return false;
+}
+
+bool is_waiver_comment(const std::string& text) {
+  size_t pos = text.find("lint-ok:");
+  if (pos == std::string::npos) return false;
+  pos += 8;
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  // A reason is required; a bare "lint-ok:" waives nothing.
+  return pos < text.size() && text[pos] != '*' && text[pos] != '/';
+}
+
+}  // namespace
+
+LayerConfig parse_layers(const std::string& text, std::string path) {
+  LayerConfig config;
+  config.source_path = std::move(path);
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string module = line.substr(0, colon);
+    // trim
+    auto trim = [](std::string& s) {
+      size_t b = s.find_first_not_of(" \t\r");
+      size_t e = s.find_last_not_of(" \t\r");
+      s = b == std::string::npos ? "" : s.substr(b, e - b + 1);
+    };
+    trim(module);
+    if (module.empty()) continue;
+    std::set<std::string>& deps = config.allowed[module];
+    std::istringstream rest(line.substr(colon + 1));
+    std::string dep;
+    while (rest >> dep) deps.insert(dep);
+  }
+  config.loaded = !config.allowed.empty();
+  return config;
+}
+
+bool path_starts_with(const std::string& rel_path,
+                      std::initializer_list<const char*> prefixes) {
+  for (const char* p : prefixes) {
+    if (rel_path.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
+bool in_parse_dirs(const std::string& rel_path) {
+  return path_starts_with(rel_path,
+                          {"src/mrt/", "src/rpki/", "src/irr/",
+                           "src/netbase/"});
+}
+
+bool FileContext::unordered_var_in_scope(const std::string& name,
+                                         int line) const {
+  auto it = file_.unordered_vars.find(name);
+  if (it != file_.unordered_vars.end()) {
+    for (int decl_line : it->second) {
+      if (decl_line <= line) return true;
+    }
+  }
+  // Members declared in a first-party header this file includes (e.g. a
+  // .cpp iterating a map member declared in its own .h). One level of
+  // include resolution is enough for that pattern.
+  for (const IncludeDirective& inc : file_.includes) {
+    if (inc.angled) continue;
+    for (const char* prefix : {"src/", "tools/", ""}) {
+      auto fit = program_.files.find(prefix + inc.path);
+      if (fit == program_.files.end()) continue;
+      const AnalyzedFile* header = fit->second;
+      if (header->unordered_vars.find(name) != header->unordered_vars.end()) {
+        return true;
+      }
+      break;
+    }
+  }
+  return false;
+}
+
+Finding FileContext::finding(const Rule& rule, size_t code_pos,
+                             std::string message) const {
+  const Token& t = tok(code_pos);
+  Finding f;
+  f.file = file_.rel_path;
+  f.line = t.line;
+  f.col = t.col;
+  f.rule = rule.info().id;
+  f.severity = rule.info().severity;
+  f.message = std::move(message);
+  f.hint = rule.info().hint;
+  return f;
+}
+
+Analyzer::Analyzer(std::string root) {
+  // Anchor the root so target expansion and rel-path computation agree
+  // regardless of how the caller spelled it.
+  std::error_code ec;
+  fs::path abs = fs::absolute(root, ec);
+  root_ = ec ? root : abs.lexically_normal().string();
+  std::ifstream in(root_ + "/tools/analyze/layers.txt");
+  if (in) {
+    std::ostringstream text;
+    text << in.rdbuf();
+    layers_ = parse_layers(text.str(), root_ + "/tools/analyze/layers.txt");
+  }
+}
+
+bool Analyzer::add_file(const std::string& path) {
+  fs::path abs = fs::path(path).is_absolute() ? fs::path(path)
+                                              : fs::path(root_) / path;
+  std::ifstream in(abs, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "manrs_analyze: cannot read %s\n",
+                 abs.string().c_str());
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  AnalyzedFile file;
+  std::error_code ec;
+  fs::path rel = fs::relative(abs, root_, ec);
+  file.rel_path = (ec || rel.empty()) ? abs.generic_string()
+                                      : rel.generic_string();
+  file.tokens = lex(text.str());
+  file.includes = extract_includes(file.tokens);
+  index_file(file);
+  files_.push_back(std::move(file));
+  indexed_ = false;
+  return true;
+}
+
+bool Analyzer::add_target(const std::string& target) {
+  fs::path abs = fs::path(target).is_absolute() ? fs::path(target)
+                                                : fs::path(root_) / target;
+  std::error_code ec;
+  if (fs::is_regular_file(abs, ec)) return add_file(abs.string());
+  if (!fs::is_directory(abs, ec)) {
+    std::fprintf(stderr, "manrs_analyze: no such path: %s\n",
+                 abs.string().c_str());
+    return false;
+  }
+  std::vector<std::string> paths;
+  std::vector<fs::path> stack = {abs};
+  while (!stack.empty()) {
+    fs::path dir = stack.back();
+    stack.pop_back();
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (entry.is_directory()) {
+        if (!skip_dir(entry.path().filename().string())) {
+          stack.push_back(entry.path());
+        }
+        continue;
+      }
+      if (!entry.is_regular_file()) continue;
+      if (kCppSuffixes.count(entry.path().extension().string()) != 0) {
+        paths.push_back(entry.path().string());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  bool ok = true;
+  for (const std::string& p : paths) ok = add_file(p) && ok;
+  return ok;
+}
+
+void Analyzer::index_file(AnalyzedFile& file) {
+  const std::vector<Token>& toks = file.tokens;
+
+  // Code view + waivers.
+  int pending_waiver_line = 0;  // standalone waiver comment covers line+1
+  std::map<int, bool> line_has_code;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokenKind::kComment) {
+      if (is_waiver_comment(t.text)) {
+        for (int l = t.line; l <= t.end_line; ++l) file.waived_lines.insert(l);
+        if (!line_has_code[t.line]) pending_waiver_line = t.end_line + 1;
+      }
+      continue;
+    }
+    if (t.kind == TokenKind::kEndOfFile) continue;
+    for (int l = t.line; l <= t.end_line; ++l) line_has_code[l] = true;
+    if (t.kind == TokenKind::kDirective) continue;
+    file.code.push_back(i);
+  }
+  if (pending_waiver_line != 0) {
+    // Re-scan: each standalone waiver comment covers the next line.
+    bool prev_standalone_waiver = false;
+    int prev_end_line = 0;
+    for (const Token& t : toks) {
+      if (t.kind == TokenKind::kComment && is_waiver_comment(t.text) &&
+          !line_has_code[t.line]) {
+        prev_standalone_waiver = true;
+        prev_end_line = t.end_line;
+        continue;
+      }
+      if (prev_standalone_waiver && t.kind != TokenKind::kEndOfFile &&
+          t.line > prev_end_line) {
+        file.waived_lines.insert(t.line);
+        prev_standalone_waiver = false;
+      }
+    }
+  }
+
+  // Bracket matching + enclosing-brace table over the code view.
+  const size_t n = file.code.size();
+  file.match.assign(n, FileContext::npos);
+  file.encl.assign(n, FileContext::npos);
+  std::vector<size_t> paren_stack;
+  std::vector<size_t> brace_stack;
+  for (size_t i = 0; i < n; ++i) {
+    const Token& t = toks[file.code[i]];
+    file.encl[i] = brace_stack.empty() ? FileContext::npos
+                                       : brace_stack.back();
+    if (t.kind != TokenKind::kPunct) continue;
+    if (t.text == "(" || t.text == "[") {
+      paren_stack.push_back(i);
+    } else if (t.text == ")" || t.text == "]") {
+      if (!paren_stack.empty()) {
+        file.match[paren_stack.back()] = i;
+        file.match[i] = paren_stack.back();
+        paren_stack.pop_back();
+      }
+    } else if (t.text == "{") {
+      brace_stack.push_back(i);
+    } else if (t.text == "}") {
+      if (!brace_stack.empty()) {
+        file.match[brace_stack.back()] = i;
+        file.match[i] = brace_stack.back();
+        brace_stack.pop_back();
+      }
+    }
+  }
+
+  // Declaration index: unordered_map/unordered_set variables and
+  // functions returning them. The scan is token-local: find the type
+  // name, balance its template argument list, then classify what the
+  // closing '>' is followed by.
+  auto code_tok = [&](size_t i) -> const Token& { return toks[file.code[i]]; };
+  for (size_t i = 0; i < n; ++i) {
+    const Token& t = code_tok(i);
+    if (t.kind != TokenKind::kIdentifier ||
+        (t.text != "unordered_map" && t.text != "unordered_set")) {
+      continue;
+    }
+    if (i + 1 >= n || !code_tok(i + 1).is_punct("<")) continue;
+    // Balance the template argument list (">>" closes two levels).
+    int depth = 0;
+    size_t j = i + 1;
+    for (; j < n && j < i + 400; ++j) {
+      const Token& a = code_tok(j);
+      if (a.is_punct("<")) {
+        ++depth;
+      } else if (a.is_punct(">")) {
+        if (--depth == 0) break;
+      } else if (a.is_punct(">>")) {
+        depth -= 2;
+        if (depth <= 0) break;
+      } else if (a.is_punct(";") || a.is_punct("{")) {
+        break;
+      }
+    }
+    if (j >= n || depth > 0) continue;
+    size_t k = j + 1;
+    // Skip declarator decorations between type and name.
+    while (k < n && (code_tok(k).is_punct("&") || code_tok(k).is_punct("*") ||
+                     code_tok(k).is_punct("&&") ||
+                     code_tok(k).is_ident("const"))) {
+      ++k;
+    }
+    if (k >= n || code_tok(k).kind != TokenKind::kIdentifier) continue;
+    if (code_tok(k).is_ident("const")) continue;
+    const std::string& name = code_tok(k).text;
+    if (k + 1 < n && code_tok(k + 1).is_punct("(")) {
+      // Declared return type of a function.
+      program_.unordered_fns.insert(name);
+    } else if (k + 1 < n && (code_tok(k + 1).is_punct("::") ||
+                             code_tok(k + 1).is_punct("<"))) {
+      // unordered_map<...>::iterator etc. -- not a variable.
+    } else {
+      file.unordered_vars[name].push_back(code_tok(k).line);
+    }
+  }
+}
+
+void Analyzer::finish_index() {
+  if (indexed_) return;
+  program_.files.clear();
+  for (const AnalyzedFile& f : files_) {
+    program_.files[f.rel_path] = &f;
+  }
+  // `auto x = f(...)` where f is declared (in any scanned file) to
+  // return an unordered container: x inherits the container type.
+  for (AnalyzedFile& file : files_) {
+    const size_t n = file.code.size();
+    auto code_tok = [&](size_t i) -> const Token& {
+      return file.tokens[file.code[i]];
+    };
+    for (size_t i = 0; i + 3 < n; ++i) {
+      if (!code_tok(i).is_ident("auto")) continue;
+      size_t k = i + 1;
+      while (k < n && (code_tok(k).is_punct("&") || code_tok(k).is_punct("*") ||
+                       code_tok(k).is_ident("const"))) {
+        ++k;
+      }
+      if (k + 2 >= n || code_tok(k).kind != TokenKind::kIdentifier) continue;
+      if (!code_tok(k + 1).is_punct("=")) continue;
+      // Find the called function: the identifier right before the first
+      // '(' of the initializer.
+      size_t p = k + 2;
+      while (p < n && !code_tok(p).is_punct("(") && !code_tok(p).is_punct(";"))
+        ++p;
+      if (p >= n || !code_tok(p).is_punct("(") || p == k + 2) continue;
+      const Token& callee = code_tok(p - 1);
+      if (callee.kind == TokenKind::kIdentifier &&
+          program_.unordered_fns.count(callee.text) != 0) {
+        file.unordered_vars[code_tok(k).text].push_back(code_tok(k).line);
+      }
+    }
+    for (auto& [name, lines] : file.unordered_vars) {
+      std::sort(lines.begin(), lines.end());
+    }
+  }
+  indexed_ = true;
+}
+
+AnalysisResult Analyzer::run() {
+  finish_index();
+  std::vector<std::unique_ptr<Rule>> rules = make_all_rules();
+  AnalysisResult result;
+  result.files_scanned = files_.size();
+  for (const AnalyzedFile& file : files_) {
+    FileContext ctx(file, program_, layers_);
+    std::vector<Finding> raw;
+    for (const auto& rule : rules) {
+      if (!rule->applies_to(file.rel_path)) continue;
+      if (allowlisted(rule->info().id, file.rel_path)) continue;
+      rule->check(ctx, raw);
+    }
+    for (Finding& f : raw) {
+      if (file.waived_lines.count(f.line) != 0) {
+        ++result.waived;
+        continue;
+      }
+      result.findings.push_back(std::move(f));
+    }
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
+              return a.rule < b.rule;
+            });
+  return result;
+}
+
+}  // namespace manrs::analyze

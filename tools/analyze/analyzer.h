@@ -1,0 +1,135 @@
+// manrs_analyze driver: file loading, lexing, indexing, rule running.
+//
+// The analyzer makes two passes. Pass 1 lexes every file, extracts its
+// includes, scans its comment tokens for `// lint-ok: <reason>` waivers,
+// and builds the declaration index: variables (locals, members, and
+// parameters) whose declared type names unordered_map/unordered_set,
+// functions whose declared return type does, and `auto x = f(...)`
+// propagation through those functions. Pass 2 runs every registered
+// rule over every file, then drops findings on waived lines and
+// findings covered by the per-rule allowlists (the audited exceptions
+// inherited from tools/lint_wire.py).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/lexer.h"
+#include "analyze/rule.h"
+#include "analyze/token.h"
+
+namespace manrs::analyze {
+
+/// The include-layering contract, parsed from tools/analyze/layers.txt.
+/// Each declared module (a directory under src/) lists the modules it
+/// may include; including an undeclared edge is a layer-violation.
+struct LayerConfig {
+  bool loaded = false;
+  std::string source_path;
+  // module -> allowed first-party modules (not including itself).
+  std::map<std::string, std::set<std::string>> allowed;
+
+  bool is_module(const std::string& name) const {
+    return allowed.find(name) != allowed.end();
+  }
+};
+
+/// Parse a layers.txt. Lines: `module: dep dep ...`; '#' comments.
+LayerConfig parse_layers(const std::string& text, std::string path);
+
+struct AnalyzedFile {
+  std::string rel_path;  // posix, relative to the analysis root
+  std::vector<Token> tokens;
+  std::vector<size_t> code;  // indexes of code tokens (no comments/directives)
+  std::vector<size_t> match;  // per code position: matching ()/[]/{} position
+  std::vector<size_t> encl;   // per code position: enclosing '{' code position
+  std::vector<IncludeDirective> includes;
+  std::set<int> waived_lines;
+  // name -> source lines where an unordered_map/unordered_set variable
+  // of that name is declared in this file.
+  std::map<std::string, std::vector<int>> unordered_vars;
+};
+
+struct ProgramIndex {
+  // Functions (by name, any file) declared to return an unordered
+  // container -- used to type `auto x = f(...)` and `for (e : f())`.
+  std::set<std::string> unordered_fns;
+  // rel_path -> file (owned by Analysis below).
+  std::map<std::string, const AnalyzedFile*> files;
+};
+
+/// Rule-facing view of one file plus the global index.
+class FileContext {
+ public:
+  FileContext(const AnalyzedFile& file, const ProgramIndex& program,
+              const LayerConfig& layers)
+      : file_(file), program_(program), layers_(layers) {}
+
+  const AnalyzedFile& file() const { return file_; }
+  const ProgramIndex& program() const { return program_; }
+  const LayerConfig& layers() const { return layers_; }
+  const std::string& rel_path() const { return file_.rel_path; }
+
+  /// Code view: tokens with comments and directives removed.
+  size_t size() const { return file_.code.size(); }
+  const Token& tok(size_t i) const { return file_.tokens[file_.code[i]]; }
+  /// Matching bracket for a code position holding ( [ or {; npos if none.
+  size_t match(size_t i) const { return file_.match[i]; }
+  /// Code position of the nearest enclosing '{'; npos at namespace scope.
+  size_t encl(size_t i) const { return file_.encl[i]; }
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  /// True if `name`, used at `line` in this file, resolves to a variable
+  /// declared with an unordered container type -- in this file or in a
+  /// first-party header this file includes.
+  bool unordered_var_in_scope(const std::string& name, int line) const;
+
+  Finding finding(const Rule& rule, size_t code_pos,
+                  std::string message) const;
+
+ private:
+  const AnalyzedFile& file_;
+  const ProgramIndex& program_;
+  const LayerConfig& layers_;
+};
+
+struct AnalysisResult {
+  std::vector<Finding> findings;  // unwaived, sorted (file, line, col, rule)
+  size_t files_scanned = 0;
+  size_t waived = 0;
+};
+
+class Analyzer {
+ public:
+  /// `root`: the repository root all rel paths are computed against.
+  explicit Analyzer(std::string root);
+
+  /// Load + lex one file (path absolute or root-relative). Returns false
+  /// (with a message to stderr) if unreadable.
+  bool add_file(const std::string& path);
+
+  /// Expand a file-or-directory target into add_file calls, skipping
+  /// non-C++ files and the skip list (build dirs, fixture corpora).
+  /// Returns false if the target does not exist.
+  bool add_target(const std::string& target);
+
+  /// Run every rule over every loaded file.
+  AnalysisResult run();
+
+  const LayerConfig& layers() const { return layers_; }
+
+ private:
+  void index_file(AnalyzedFile& file);
+  void finish_index();
+
+  std::string root_;
+  LayerConfig layers_;
+  std::vector<AnalyzedFile> files_;
+  ProgramIndex program_;
+  bool indexed_ = false;
+};
+
+}  // namespace manrs::analyze

@@ -1,0 +1,413 @@
+#include "analyze/lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace manrs::analyze {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+bool alnum(char c) { return std::isalnum(static_cast<unsigned char>(c)); }
+
+/// Multi-character punctuators, longest first within each family. The
+/// lexer tries 3-char, then 2-char, then falls back to a single char.
+constexpr std::array<std::string_view, 5> kPunct3 = {
+    "<<=", ">>=", "...", "->*", "<=>"};
+constexpr std::array<std::string_view, 19> kPunct2 = {
+    "::", "->", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", "==", "!=", "<=", ">=", "&&", "||", "##"};
+
+/// Character scanner over the raw source text. `advance()` moves one
+/// logical character: line splices (backslash followed by a newline,
+/// optionally with a carriage return) are consumed transparently and
+/// counted as line breaks, so token spellings come out spliced while
+/// line numbers stay physical. Raw string bodies bypass the splice skip
+/// via `advance_raw()`.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) { skip_splices(); }
+
+  bool done() const { return pos_ >= text_.size(); }
+  char cur() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  /// Logical lookahead: the character `ahead` logical positions past the
+  /// current one, skipping splices in between.
+  char peek(size_t ahead) const {
+    size_t i = pos_;
+    for (size_t k = 0; k < ahead && i < text_.size(); ++k) {
+      i = splice_end(i + 1);
+    }
+    return i < text_.size() ? text_[i] : '\0';
+  }
+
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+  /// Consume one logical character (then skip any splices).
+  void advance() {
+    advance_raw();
+    skip_splices();
+  }
+
+  /// Consume one physical character, no splice processing (raw strings).
+  void advance_raw() {
+    if (pos_ >= text_.size()) return;
+    if (text_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+ private:
+  /// If a splice sequence starts at `i`, the index just past it (and past
+  /// any chained splices); otherwise `i`.
+  size_t splice_end(size_t i) const {
+    while (i + 1 < text_.size() && text_[i] == '\\') {
+      if (text_[i + 1] == '\n') {
+        i += 2;
+      } else if (text_[i + 1] == '\r' && i + 2 < text_.size() &&
+                 text_[i + 2] == '\n') {
+        i += 3;
+      } else {
+        break;
+      }
+    }
+    return i;
+  }
+
+  void skip_splices() {
+    while (pos_ + 1 < text_.size() && text_[pos_] == '\\') {
+      if (text_[pos_ + 1] == '\n') {
+        pos_ += 2;
+      } else if (text_[pos_ + 1] == '\r' && pos_ + 2 < text_.size() &&
+                 text_[pos_ + 2] == '\n') {
+        pos_ += 3;
+      } else {
+        break;
+      }
+      ++line_;
+      col_ = 1;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : c_(text) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    bool line_start = true;  // only whitespace seen since the last newline
+    while (!c_.done()) {
+      char ch = c_.cur();
+      if (ch == '\n') {
+        line_start = true;
+        c_.advance();
+        continue;
+      }
+      if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\v' || ch == '\f') {
+        c_.advance();
+        continue;
+      }
+      if (ch == '/' && c_.peek(1) == '/') {
+        out.push_back(line_comment());
+        continue;
+      }
+      if (ch == '/' && c_.peek(1) == '*') {
+        out.push_back(block_comment());
+        continue;
+      }
+      if (ch == '#' && line_start) {
+        out.push_back(directive());
+        continue;
+      }
+      line_start = false;
+      if (ident_start(ch)) {
+        out.push_back(identifier_or_literal());
+        continue;
+      }
+      if (digit(ch) || (ch == '.' && digit(c_.peek(1)))) {
+        out.push_back(number());
+        continue;
+      }
+      if (ch == '"') {
+        out.push_back(string_literal(""));
+        continue;
+      }
+      if (ch == '\'') {
+        out.push_back(char_literal(""));
+        continue;
+      }
+      out.push_back(punct());
+    }
+    Token eof;
+    eof.kind = TokenKind::kEndOfFile;
+    eof.line = c_.line();
+    eof.end_line = c_.line();
+    eof.col = c_.col();
+    out.push_back(eof);
+    return out;
+  }
+
+ private:
+  Token start(TokenKind kind) const {
+    Token t;
+    t.kind = kind;
+    t.line = c_.line();
+    t.col = c_.col();
+    return t;
+  }
+
+  void finish(Token& t) const { t.end_line = c_.line(); }
+
+  void take(Token& t) {
+    t.text.push_back(c_.cur());
+    t.end_line = c_.line();
+    c_.advance();
+  }
+
+  void take_raw(Token& t) {
+    t.text.push_back(c_.cur());
+    t.end_line = c_.line();
+    c_.advance_raw();
+  }
+
+  Token line_comment() {
+    Token t = start(TokenKind::kComment);
+    // Splices inside the comment are consumed by advance(), so a spliced
+    // // comment swallows the next physical line exactly as in phase 2.
+    while (!c_.done() && c_.cur() != '\n') take(t);
+    return t;
+  }
+
+  Token block_comment() {
+    Token t = start(TokenKind::kComment);
+    take(t);  // '/'
+    take(t);  // '*'
+    while (!c_.done()) {
+      if (c_.cur() == '*' && c_.peek(1) == '/') {
+        take(t);
+        take(t);
+        break;
+      }
+      take(t);
+    }
+    return t;
+  }
+
+  Token directive() {
+    Token t = start(TokenKind::kDirective);
+    // Up to the logical end of line; a trailing // comment is left for
+    // the normal comment path so waivers on include lines stay visible.
+    while (!c_.done() && c_.cur() != '\n') {
+      if (c_.cur() == '/' && c_.peek(1) == '/') break;
+      if (c_.cur() == '/' && c_.peek(1) == '*') {
+        // Swallow an embedded block comment; it cannot carry a waiver.
+        c_.advance();
+        c_.advance();
+        while (!c_.done() && !(c_.cur() == '*' && c_.peek(1) == '/')) {
+          c_.advance();
+        }
+        if (!c_.done()) {
+          c_.advance();
+          c_.advance();
+        }
+        t.text.push_back(' ');
+        t.end_line = c_.line();
+        continue;
+      }
+      take(t);
+    }
+    return t;
+  }
+
+  Token identifier_or_literal() {
+    Token t = start(TokenKind::kIdentifier);
+    while (!c_.done() && ident_cont(c_.cur())) take(t);
+    // Encoding prefixes glue onto an immediately following literal.
+    if (c_.cur() == '"') {
+      if (t.text == "R" || t.text == "u8R" || t.text == "uR" ||
+          t.text == "UR" || t.text == "LR") {
+        return raw_string(std::move(t));
+      }
+      if (t.text == "u8" || t.text == "u" || t.text == "U" || t.text == "L") {
+        return string_literal_into(std::move(t));
+      }
+    }
+    if (c_.cur() == '\'' &&
+        (t.text == "u8" || t.text == "u" || t.text == "U" || t.text == "L")) {
+      return char_literal_into(std::move(t));
+    }
+    return t;
+  }
+
+  Token number() {
+    Token t = start(TokenKind::kNumber);
+    // pp-number: digits, identifier chars, '.', exponent signs, and
+    // digit separators (a ' followed by an alphanumeric character).
+    while (!c_.done()) {
+      char ch = c_.cur();
+      if (alnum(ch) || ch == '_' || ch == '.') {
+        bool exponent = (ch == 'e' || ch == 'E' || ch == 'p' || ch == 'P');
+        take(t);
+        if (exponent && (c_.cur() == '+' || c_.cur() == '-')) take(t);
+        continue;
+      }
+      if (ch == '\'' && alnum(c_.peek(1))) {
+        take(t);
+        continue;
+      }
+      break;
+    }
+    return t;
+  }
+
+  Token string_literal(std::string_view prefix) {
+    Token t = start(TokenKind::kString);
+    t.text = prefix;
+    return string_literal_into(std::move(t));
+  }
+
+  Token string_literal_into(Token t) {
+    t.kind = TokenKind::kString;
+    take(t);  // opening quote
+    while (!c_.done() && c_.cur() != '\n') {
+      if (c_.cur() == '\\') {
+        take(t);
+        if (!c_.done()) take(t);
+        continue;
+      }
+      if (c_.cur() == '"') {
+        take(t);
+        break;
+      }
+      take(t);
+    }
+    return t;
+  }
+
+  Token char_literal(std::string_view prefix) {
+    Token t = start(TokenKind::kCharLit);
+    t.text = prefix;
+    return char_literal_into(std::move(t));
+  }
+
+  Token char_literal_into(Token t) {
+    t.kind = TokenKind::kCharLit;
+    take(t);  // opening quote
+    while (!c_.done() && c_.cur() != '\n') {
+      if (c_.cur() == '\\') {
+        take(t);
+        if (!c_.done()) take(t);
+        continue;
+      }
+      if (c_.cur() == '\'') {
+        take(t);
+        break;
+      }
+      take(t);
+    }
+    return t;
+  }
+
+  Token raw_string(Token t) {
+    t.kind = TokenKind::kString;
+    take_raw(t);  // opening quote -- from here on, splices are inert
+    std::string delim;
+    while (!c_.done() && c_.cur() != '(' && c_.cur() != '\n' &&
+           delim.size() < 16) {
+      delim.push_back(c_.cur());
+      take_raw(t);
+    }
+    if (c_.cur() != '(') return t;  // malformed; degrade gracefully
+    take_raw(t);
+    const std::string closer = ")" + delim + "\"";
+    std::string window;
+    while (!c_.done()) {
+      window.push_back(c_.cur());
+      if (window.size() > closer.size()) window.erase(window.begin());
+      take_raw(t);
+      if (window == closer) break;
+    }
+    return t;
+  }
+
+  Token punct() {
+    Token t = start(TokenKind::kPunct);
+    std::array<char, 3> look = {c_.cur(), c_.peek(1), c_.peek(2)};
+    for (std::string_view p : kPunct3) {
+      if (p[0] == look[0] && p[1] == look[1] && p[2] == look[2]) {
+        take(t);
+        take(t);
+        take(t);
+        return t;
+      }
+    }
+    for (std::string_view p : kPunct2) {
+      if (p[0] == look[0] && p[1] == look[1]) {
+        take(t);
+        take(t);
+        return t;
+      }
+    }
+    take(t);
+    return t;
+  }
+
+  Cursor c_;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view text) { return Lexer(text).run(); }
+
+std::vector<IncludeDirective> extract_includes(
+    const std::vector<Token>& tokens) {
+  std::vector<IncludeDirective> out;
+  for (const Token& t : tokens) {
+    if (t.kind != TokenKind::kDirective) continue;
+    // Directive text looks like: #  include  "path"  or  <path>
+    size_t i = t.text.find('#');
+    if (i == std::string::npos) continue;
+    ++i;
+    while (i < t.text.size() &&
+           std::isspace(static_cast<unsigned char>(t.text[i]))) {
+      ++i;
+    }
+    if (t.text.compare(i, 7, "include") != 0) continue;
+    i += 7;
+    while (i < t.text.size() &&
+           std::isspace(static_cast<unsigned char>(t.text[i]))) {
+      ++i;
+    }
+    if (i >= t.text.size()) continue;
+    char open = t.text[i];
+    char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+    if (close == '\0') continue;
+    size_t end = t.text.find(close, i + 1);
+    if (end == std::string::npos) continue;
+    IncludeDirective inc;
+    inc.path = t.text.substr(i + 1, end - i - 1);
+    inc.angled = open == '<';
+    inc.line = t.line;
+    out.push_back(std::move(inc));
+  }
+  return out;
+}
+
+}  // namespace manrs::analyze

@@ -1,0 +1,48 @@
+// A small, honest C++ lexer for static analysis.
+//
+// Scope: enough of the phase-2/phase-3 translation rules that the
+// analyzer never mistakes text inside strings or comments for code (the
+// false-positive class the old regex lint could not eliminate):
+//
+//   * line splices (backslash-newline, also backslash-CR-LF) are removed
+//     everywhere except inside raw string literals, exactly as the
+//     standard specifies -- a spliced // comment continues on the next
+//     physical line, a spliced identifier lexes as one token;
+//   * raw strings R"delim(...)delim" (with optional encoding prefix) are
+//     scanned verbatim, so splices and quote characters inside them are
+//     inert;
+//   * pp-numbers consume digit separators (1'000'000) and exponent
+//     signs, so the ' in a separator never opens a character literal;
+//   * // and /* */ comments become kComment tokens (waivers live there);
+//   * a # that starts a line becomes one kDirective token holding the
+//     spliced directive text (stopping before a trailing // comment, so
+//     waiver comments on include lines still lex as comments).
+//
+// The lexer never fails: malformed input (unterminated string, stray
+// byte) degrades to best-effort tokens, because analysis must keep
+// going on code the compiler would reject.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/token.h"
+
+namespace manrs::analyze {
+
+/// Lex `text` into tokens. The final token is always kEndOfFile.
+std::vector<Token> lex(std::string_view text);
+
+/// One #include extracted from a kDirective token.
+struct IncludeDirective {
+  std::string path;    // the text between quotes / angle brackets
+  bool angled = false; // <...> vs "..."
+  int line = 0;
+};
+
+/// Parse every #include out of a token stream's directive tokens.
+std::vector<IncludeDirective> extract_includes(
+    const std::vector<Token>& tokens);
+
+}  // namespace manrs::analyze

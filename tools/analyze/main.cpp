@@ -1,0 +1,128 @@
+// manrs_analyze: token- and scope-aware static analyzer for this repo.
+//
+//   manrs_analyze [--root DIR] [--json] [--sarif FILE] [--list-rules]
+//                 [paths...]
+//
+// Paths (files or directories) are resolved against the repo root. With
+// no paths, scans src tools bench tests (whichever exist). Exit 0 when
+// clean, 1 with findings, 2 on usage/configuration errors.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "analyze/output.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Walk up from the current directory looking for the layering config
+/// that marks the repo root.
+std::string discover_root() {
+  std::error_code ec;
+  fs::path dir = fs::current_path(ec);
+  if (ec) return ".";
+  for (fs::path p = dir; !p.empty(); p = p.parent_path()) {
+    if (fs::exists(p / "tools" / "analyze" / "layers.txt", ec)) {
+      return p.string();
+    }
+    if (p == p.root_path()) break;
+  }
+  return dir.string();
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [--json] [--sarif FILE] "
+               "[--list-rules] [paths...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  bool json = false;
+  bool list_rules = false;
+  std::string sarif_path;
+  std::vector<std::string> targets;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--root") == 0) {
+      if (++i >= argc) return usage(argv[0]);
+      root = argv[i];
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(arg, "--sarif") == 0) {
+      if (++i >= argc) return usage(argv[0]);
+      sarif_path = argv[i];
+    } else if (std::strcmp(arg, "--list-rules") == 0) {
+      list_rules = true;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else if (arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      targets.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& rule : manrs::analyze::make_all_rules()) {
+      const manrs::analyze::RuleInfo& info = rule->info();
+      std::printf("%-24s %-8s %s\n", info.id, info.severity, info.summary);
+    }
+    return 0;
+  }
+
+  if (root.empty()) root = discover_root();
+  manrs::analyze::Analyzer analyzer(root);
+  if (!analyzer.layers().loaded) {
+    std::fprintf(stderr,
+                 "manrs_analyze: warning: no layering config at "
+                 "%s/tools/analyze/layers.txt; layer-violation disabled\n",
+                 root.c_str());
+  }
+
+  if (targets.empty()) {
+    std::error_code ec;
+    for (const char* d : {"src", "tools", "bench", "tests"}) {
+      if (fs::is_directory(fs::path(root) / d, ec)) targets.push_back(d);
+    }
+    if (targets.empty()) {
+      std::fprintf(stderr, "manrs_analyze: nothing to scan under %s\n",
+                   root.c_str());
+      return 2;
+    }
+  }
+
+  bool ok = true;
+  for (const std::string& t : targets) ok = analyzer.add_target(t) && ok;
+  if (!ok) return 2;
+
+  manrs::analyze::AnalysisResult result = analyzer.run();
+
+  if (!sarif_path.empty()) {
+    std::ofstream sarif(sarif_path);
+    if (!sarif) {
+      std::fprintf(stderr, "manrs_analyze: cannot write %s\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+    manrs::analyze::write_sarif(sarif, result);
+  }
+  if (json) {
+    manrs::analyze::write_json(std::cout, result);
+  } else {
+    manrs::analyze::write_text(std::cout, result);
+  }
+  return result.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+#include "analyze/output.h"
+
+#include <cstdio>
+#include <string>
+
+namespace manrs::analyze {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_text(std::ostream& out, const AnalysisResult& result) {
+  for (const Finding& f : result.findings) {
+    out << f.file << ":" << f.line << ":" << f.col << ": " << f.severity
+        << ": " << f.message << " [" << f.rule << "]\n";
+    if (!f.hint.empty()) out << "    hint: " << f.hint << "\n";
+  }
+  out << "manrs_analyze: " << result.files_scanned << " file(s), "
+      << result.findings.size() << " finding(s), " << result.waived
+      << " waived\n";
+}
+
+void write_json(std::ostream& out, const AnalysisResult& result) {
+  out << "{\"tool\":\"manrs_analyze\",\"version\":1,\"files_scanned\":"
+      << result.files_scanned << ",\"waived\":" << result.waived
+      << ",\"findings\":[";
+  bool first = true;
+  for (const Finding& f : result.findings) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"file\":\"" << json_escape(f.file) << "\",\"line\":" << f.line
+        << ",\"column\":" << f.col << ",\"rule\":\"" << json_escape(f.rule)
+        << "\",\"severity\":\"" << json_escape(f.severity)
+        << "\",\"message\":\"" << json_escape(f.message) << "\",\"hint\":\""
+        << json_escape(f.hint) << "\"}";
+  }
+  out << "]}\n";
+}
+
+void write_sarif(std::ostream& out, const AnalysisResult& result) {
+  out << "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+      << "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+      << "\"name\":\"manrs_analyze\",\"informationUri\":"
+      << "\"docs/static-analysis.md\",\"rules\":[";
+  bool first = true;
+  for (const auto& rule : make_all_rules()) {
+    const RuleInfo& info = rule->info();
+    if (!first) out << ",";
+    first = false;
+    out << "{\"id\":\"" << json_escape(info.id)
+        << "\",\"shortDescription\":{\"text\":\"" << json_escape(info.summary)
+        << "\"},\"help\":{\"text\":\"" << json_escape(info.hint)
+        << "\"},\"defaultConfiguration\":{\"level\":\""
+        << (std::string(info.severity) == "error" ? "error" : "warning")
+        << "\"}}";
+  }
+  out << "]}},\"results\":[";
+  first = true;
+  for (const Finding& f : result.findings) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"ruleId\":\"" << json_escape(f.rule) << "\",\"level\":\""
+        << (f.severity == "error" ? "error" : "warning")
+        << "\",\"message\":{\"text\":\"" << json_escape(f.message)
+        << "\"},\"locations\":[{\"physicalLocation\":{"
+        << "\"artifactLocation\":{\"uri\":\"" << json_escape(f.file)
+        << "\"},\"region\":{\"startLine\":" << f.line
+        << ",\"startColumn\":" << f.col << "}}}]}";
+  }
+  out << "]}]}\n";
+}
+
+}  // namespace manrs::analyze

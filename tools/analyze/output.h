@@ -1,0 +1,23 @@
+// Output emitters for manrs_analyze: human text, machine JSON, and
+// SARIF 2.1.0 (the CI artifact format).
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "analyze/rule.h"
+
+namespace manrs::analyze {
+
+/// `file:line:col: severity: message [rule]` plus a trailing summary.
+void write_text(std::ostream& out, const AnalysisResult& result);
+
+/// {"tool":"manrs_analyze","version":1,"files_scanned":N,"findings":[...]}
+void write_json(std::ostream& out, const AnalysisResult& result);
+
+/// SARIF 2.1.0: one run, rule metadata in tool.driver.rules, one result
+/// per finding.
+void write_sarif(std::ostream& out, const AnalysisResult& result);
+
+}  // namespace manrs::analyze

@@ -1,0 +1,63 @@
+// Rule registry model for manrs_analyze.
+//
+// Each rule is a small class carrying an id, a severity, a one-line
+// rationale, and a fix hint, plus a check() that walks one file's token
+// stream. Rules see the world through FileContext: the comment-free
+// code view, brace/paren match tables, the per-file (plus included
+// headers) declaration index, and the layer configuration. Waivers and
+// per-rule allowlists are applied centrally by the analyzer, not by the
+// rules themselves.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyze/token.h"
+
+namespace manrs::analyze {
+
+struct Finding {
+  std::string file;  // repo-relative posix path
+  int line = 0;
+  int col = 0;
+  std::string rule;
+  std::string severity;
+  std::string message;
+  std::string hint;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* severity;  // "error" | "warning"
+  const char* summary;   // one-line rationale (doc/catalog text)
+  const char* hint;      // fix hint shown with each finding
+};
+
+class FileContext;
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual const RuleInfo& info() const = 0;
+  /// Restrict the rule to path prefixes (repo-relative). Default: all.
+  virtual bool applies_to(const std::string& rel_path) const {
+    (void)rel_path;
+    return true;
+  }
+  virtual void check(const FileContext& ctx,
+                     std::vector<Finding>& out) const = 0;
+};
+
+/// Every rule the analyzer ships, in catalog order (the 9 rules ported
+/// from the regex lint first, then the 4 token/scope-native rules).
+std::vector<std::unique_ptr<Rule>> make_all_rules();
+
+/// True if `rel_path` starts with any of the given posix prefixes.
+bool path_starts_with(const std::string& rel_path,
+                      std::initializer_list<const char*> prefixes);
+
+/// The wire-format parse directories (per-record error boundary scope).
+bool in_parse_dirs(const std::string& rel_path);
+
+}  // namespace manrs::analyze

@@ -1,0 +1,558 @@
+// The four rules regex cannot express: they need scopes, declarations,
+// and call sites.
+//
+//   determinism-iteration  range-for over an unordered container that
+//                          mutates an accumulator: iteration order is
+//                          stdlib-specific, so unless the accumulator is
+//                          sorted afterwards (the sanctioned
+//                          sort-then-scan shape, recognized here) the
+//                          output bytes depend on the stdlib -- the
+//                          filter_variant bug class.
+//   parallel-capture       a [&] lambda handed to util::parallel_for /
+//                          parallel_map that writes to a captured
+//                          variable not indexed by the loop variable --
+//                          the data-race shape TSan only catches when a
+//                          test happens to interleave.
+//   layer-violation        a first-party include edge not declared in
+//                          tools/analyze/layers.txt.
+//   parse-throw-boundary   a throw of anything but ParseError/MrtError
+//                          inside the wire dirs, which would sail past
+//                          the per-record catch (ParseError) boundary.
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "analyze/analyzer.h"
+#include "analyze/rule.h"
+
+namespace manrs::analyze {
+
+namespace {
+
+bool is_keywordish(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "return", "throw",  "case",   "goto",  "new",    "delete",
+      "else",   "do",     "co_return", "co_yield", "co_await", "sizeof",
+      "typeid", "if",     "while",  "switch", "not",   "and", "or"};
+  return kKeywords.count(s) != 0;
+}
+
+bool type_ish(const Token& t) {
+  if (t.kind == TokenKind::kIdentifier) return !is_keywordish(t.text);
+  return t.is_punct(">") || t.is_punct("*") || t.is_punct("&") ||
+         t.is_punct("&&") || t.is_punct("]") || t.is_punct("::");
+}
+
+bool compound_assign(const Token& t) {
+  if (t.kind != TokenKind::kPunct) return false;
+  return t.text == "+=" || t.text == "-=" || t.text == "*=" ||
+         t.text == "/=" || t.text == "%=" || t.text == "&=" ||
+         t.text == "|=" || t.text == "^=" || t.text == "<<=" ||
+         t.text == ">>=";
+}
+
+bool mutating_method(const std::string& name) {
+  static const std::set<std::string> kMethods = {
+      "push_back", "emplace_back", "pop_back", "insert", "emplace",
+      "erase",     "clear",        "resize",   "assign", "append",
+      "push",      "pop",          "push_front"};
+  return kMethods.count(name) != 0;
+}
+
+/// Heuristic local-declaration collector for a token range: an
+/// identifier preceded by a type-ish token and followed by a declarator
+/// continuation is recorded, as are structured-binding names. Over-
+/// approximating locals only ever silences a finding, never invents one.
+void collect_locals(const FileContext& ctx, size_t begin, size_t end,
+                    std::set<std::string>& locals) {
+  for (size_t i = begin; i < end && i < ctx.size(); ++i) {
+    const Token& t = ctx.tok(i);
+    if (t.is_punct("[") && i > begin) {
+      // auto& [a, b] : structured binding introduces every name inside.
+      const Token& prev = ctx.tok(i - 1);
+      if (prev.is_ident("auto") || prev.is_punct("&") || prev.is_punct("&&")) {
+        size_t close = ctx.match(i);
+        for (size_t j = i + 1; j < close && j < ctx.size(); ++j) {
+          if (ctx.tok(j).kind == TokenKind::kIdentifier) {
+            locals.insert(ctx.tok(j).text);
+          }
+        }
+      }
+      continue;
+    }
+    if (t.kind != TokenKind::kIdentifier || is_keywordish(t.text)) continue;
+    if (i == begin || i + 1 >= ctx.size()) continue;
+    const Token& prev = ctx.tok(i - 1);
+    const Token& next = ctx.tok(i + 1);
+    if (!type_ish(prev) || prev.is_punct("::")) continue;
+    if (prev.kind == TokenKind::kIdentifier && is_keywordish(prev.text))
+      continue;
+    if (next.is_punct("=") || next.is_punct(";") || next.is_punct(",") ||
+        next.is_punct(")") || next.is_punct(":") || next.is_punct("{") ||
+        next.is_punct("(")) {
+      locals.insert(t.text);
+    }
+  }
+}
+
+struct Mutation {
+  size_t pos = 0;            // code position of the mutated identifier
+  std::string name;          // the identifier (head of any member chain)
+  bool indexed_by_var = false;  // some subscript on it names the loop var
+};
+
+/// Scan [begin, end) for writes to identifiers outside `locals`: direct
+/// or compound assignment, increment/decrement, mutating member calls,
+/// and subscripted stores. `loop_var` (may be empty) marks subscripts
+/// that make a store per-slot safe for the parallel rule.
+std::vector<Mutation> scan_mutations(const FileContext& ctx, size_t begin,
+                                     size_t end,
+                                     const std::set<std::string>& locals,
+                                     const std::string& loop_var) {
+  std::vector<Mutation> out;
+  for (size_t i = begin; i < end && i < ctx.size(); ++i) {
+    const Token& t = ctx.tok(i);
+    if (t.kind != TokenKind::kIdentifier || is_keywordish(t.text)) continue;
+    if (i > 0) {
+      const Token& prev = ctx.tok(i - 1);
+      if (prev.is_punct(".") || prev.is_punct("->") || prev.is_punct("::"))
+        continue;  // not the head of the chain
+    }
+    if (locals.count(t.text) != 0 || t.text == loop_var) continue;
+
+    // Walk the access chain: subscripts and member selections.
+    size_t j = i + 1;
+    bool indexed = false;
+    bool subscripted = false;
+    std::string last_member;
+    while (j < end) {
+      const Token& a = ctx.tok(j);
+      if (a.is_punct("[")) {
+        size_t close = ctx.match(j);
+        if (close == FileContext::npos || close >= end) break;
+        if (!loop_var.empty()) {
+          for (size_t k = j + 1; k < close; ++k) {
+            if (ctx.tok(k).is_ident(loop_var)) indexed = true;
+          }
+        }
+        subscripted = true;
+        j = close + 1;
+        continue;
+      }
+      if ((a.is_punct(".") || a.is_punct("->")) && j + 1 < end &&
+          ctx.tok(j + 1).kind == TokenKind::kIdentifier) {
+        last_member = ctx.tok(j + 1).text;
+        j += 2;
+        continue;
+      }
+      break;
+    }
+    if (j >= end) continue;
+    const Token& op = ctx.tok(j);
+
+    bool wrote = false;
+    if (op.is_punct("=")) {
+      // Plain `X = ...` straight after a type-ish token is a declaration
+      // with initializer, already covered by collect_locals.
+      bool decl = j == i + 1 && i > begin && type_ish(ctx.tok(i - 1));
+      wrote = !decl;
+    } else if (compound_assign(op) || op.is_punct("++") || op.is_punct("--")) {
+      wrote = true;
+    } else if (!last_member.empty() && op.is_punct("(") &&
+               mutating_method(last_member)) {
+      wrote = true;
+    }
+    if (!wrote && i > 0) {
+      const Token& prev = ctx.tok(i - 1);
+      if ((prev.is_punct("++") || prev.is_punct("--")) && j == i + 1) {
+        wrote = true;
+        (void)subscripted;
+      }
+    }
+    if (!wrote) continue;
+    Mutation m;
+    m.pos = i;
+    m.name = t.text;
+    m.indexed_by_var = indexed;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+/// The close position of the innermost enclosing brace pair that looks
+/// like a function body (its '{' is preceded by ')' or a function
+/// qualifier); falls back to the innermost enclosing brace.
+size_t enclosing_function_close(const FileContext& ctx, size_t pos) {
+  size_t open = ctx.encl(pos);
+  size_t fallback = FileContext::npos;
+  while (open != FileContext::npos) {
+    if (fallback == FileContext::npos) fallback = ctx.match(open);
+    if (open > 0) {
+      const Token& before = ctx.tok(open - 1);
+      if (before.is_punct(")") || before.is_ident("const") ||
+          before.is_ident("noexcept") || before.is_ident("override") ||
+          before.is_ident("try") || before.is_ident("mutable")) {
+        return ctx.match(open);
+      }
+    }
+    open = ctx.encl(open);
+  }
+  return fallback != FileContext::npos ? fallback : ctx.size();
+}
+
+/// True if `name` is passed to std::sort / std::stable_sort between
+/// `from` and `to` -- the sanctioned sort-then-scan completion.
+bool sorted_later(const FileContext& ctx, size_t from, size_t to,
+                  const std::string& name) {
+  for (size_t i = from; i < to && i + 1 < ctx.size(); ++i) {
+    const Token& t = ctx.tok(i);
+    if (t.kind != TokenKind::kIdentifier ||
+        (t.text != "sort" && t.text != "stable_sort")) {
+      continue;
+    }
+    if (!ctx.tok(i + 1).is_punct("(")) continue;
+    size_t close = ctx.match(i + 1);
+    if (close == FileContext::npos) continue;
+    for (size_t j = i + 2; j < close; ++j) {
+      if (ctx.tok(j).is_ident(name)) return true;
+    }
+  }
+  return false;
+}
+
+class DeterminismIterationRule final : public Rule {
+ public:
+  const RuleInfo& info() const override {
+    static const RuleInfo kInfo = {
+        "determinism-iteration", "error",
+        "range-for over an unordered container mutating an accumulator: "
+        "iteration order is stdlib-specific, so the result depends on the "
+        "standard library unless the accumulator is sorted afterwards",
+        "collect into a flat vector and sort before use (sort-then-scan, "
+        "docs/performance.md), or waive with the reason the fold is "
+        "order-independent"};
+    return kInfo;
+  }
+
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    for (size_t i = 0; i + 1 < ctx.size(); ++i) {
+      if (!ctx.tok(i).is_ident("for") || !ctx.tok(i + 1).is_punct("(")) {
+        continue;
+      }
+      size_t open = i + 1;
+      size_t close = ctx.match(open);
+      if (close == FileContext::npos) continue;
+      // The range-for colon at top nesting depth inside the parens.
+      size_t colon = FileContext::npos;
+      int depth = 0;
+      for (size_t j = open + 1; j < close; ++j) {
+        const Token& t = ctx.tok(j);
+        if (t.is_punct("(") || t.is_punct("[") || t.is_punct("{")) ++depth;
+        if (t.is_punct(")") || t.is_punct("]") || t.is_punct("}")) --depth;
+        if (depth == 0 && t.is_punct(":")) {
+          colon = j;
+          break;
+        }
+        if (depth == 0 && t.is_punct(";")) break;  // classic for
+      }
+      if (colon == FileContext::npos) continue;
+
+      // Resolve the range expression to a container name.
+      size_t j = colon + 1;
+      while (j < close &&
+             (ctx.tok(j).is_punct("*") || ctx.tok(j).is_punct("&"))) {
+        ++j;
+      }
+      std::string name;
+      bool call = false;
+      while (j < close) {
+        const Token& t = ctx.tok(j);
+        if (t.kind == TokenKind::kIdentifier) {
+          name = t.text;
+          ++j;
+          continue;
+        }
+        if (t.is_punct("::") || t.is_punct(".") || t.is_punct("->")) {
+          ++j;
+          continue;
+        }
+        if (t.is_punct("(")) call = true;
+        break;
+      }
+      if (name.empty()) continue;
+      bool unordered =
+          call ? ctx.program().unordered_fns.count(name) != 0
+               : ctx.unordered_var_in_scope(name, ctx.tok(i).line);
+      if (!unordered) continue;
+
+      // Scope bookkeeping: loop-head names and body locals don't count.
+      std::set<std::string> locals;
+      for (size_t k = open + 1; k < colon; ++k) {
+        if (ctx.tok(k).kind == TokenKind::kIdentifier) {
+          locals.insert(ctx.tok(k).text);
+        }
+      }
+      size_t body_begin = close + 1;
+      size_t body_end;
+      if (body_begin < ctx.size() && ctx.tok(body_begin).is_punct("{")) {
+        body_end = ctx.match(body_begin);
+        if (body_end == FileContext::npos) continue;
+        ++body_begin;
+      } else {
+        body_end = body_begin;
+        while (body_end < ctx.size() && !ctx.tok(body_end).is_punct(";")) {
+          ++body_end;
+        }
+      }
+      collect_locals(ctx, body_begin, body_end, locals);
+      std::vector<Mutation> muts =
+          scan_mutations(ctx, body_begin, body_end, locals, "");
+
+      size_t func_close = enclosing_function_close(ctx, i);
+      std::set<std::string> reported;
+      for (const Mutation& m : muts) {
+        if (reported.count(m.name) != 0) continue;
+        reported.insert(m.name);
+        if (sorted_later(ctx, body_end, func_close, m.name)) continue;
+        out.push_back(ctx.finding(
+            *this, i,
+            "range-for over unordered container '" + name +
+                "' mutates accumulator '" + m.name +
+                "' which is never sorted afterwards"));
+      }
+    }
+  }
+};
+
+class ParallelCaptureRule final : public Rule {
+ public:
+  const RuleInfo& info() const override {
+    static const RuleInfo kInfo = {
+        "parallel-capture", "error",
+        "a [&] lambda given to util::parallel_for/parallel_map writes to a "
+        "captured variable without indexing by the loop variable -- a data "
+        "race TSan only catches when a test happens to interleave",
+        "collect into index-addressed slots (out[i] = ...) and merge "
+        "serially afterwards (docs/performance.md), or use an atomic"};
+    return kInfo;
+  }
+
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    // Names declared with atomic/mutex-guard types anywhere in the file
+    // are synchronization, not races.
+    std::set<std::string> synced;
+    for (size_t i = 0; i + 1 < ctx.size(); ++i) {
+      const Token& t = ctx.tok(i);
+      if (t.kind != TokenKind::kIdentifier) continue;
+      if (t.text.rfind("atomic", 0) != 0 && t.text != "mutex" &&
+          t.text != "lock_guard" && t.text != "unique_lock" &&
+          t.text != "scoped_lock") {
+        continue;
+      }
+      size_t j = i + 1;
+      if (ctx.tok(j).is_punct("<")) {
+        int depth = 0;
+        for (; j < ctx.size() && j < i + 64; ++j) {
+          if (ctx.tok(j).is_punct("<")) ++depth;
+          if (ctx.tok(j).is_punct(">") && --depth == 0) break;
+          if (ctx.tok(j).is_punct(">>")) {
+            depth -= 2;
+            if (depth <= 0) break;
+          }
+        }
+        ++j;
+      }
+      if (j < ctx.size() && ctx.tok(j).kind == TokenKind::kIdentifier) {
+        synced.insert(ctx.tok(j).text);
+      }
+    }
+
+    for (size_t i = 0; i < ctx.size(); ++i) {
+      const Token& t = ctx.tok(i);
+      if (t.kind != TokenKind::kIdentifier ||
+          (t.text != "parallel_for" && t.text != "parallel_map")) {
+        continue;
+      }
+      size_t j = i + 1;
+      if (j < ctx.size() && ctx.tok(j).is_punct("<")) {
+        int depth = 0;
+        for (; j < ctx.size() && j < i + 64; ++j) {
+          if (ctx.tok(j).is_punct("<")) ++depth;
+          if (ctx.tok(j).is_punct(">") && --depth == 0) break;
+        }
+        ++j;
+      }
+      if (j >= ctx.size() || !ctx.tok(j).is_punct("(")) continue;
+      size_t call_close = ctx.match(j);
+      if (call_close == FileContext::npos) continue;
+
+      // Find a [&] capture inside the argument list.
+      size_t cap = FileContext::npos;
+      for (size_t k = j + 1; k + 2 < call_close; ++k) {
+        if (ctx.tok(k).is_punct("[") && ctx.tok(k + 1).is_punct("&") &&
+            ctx.tok(k + 2).is_punct("]")) {
+          cap = k;
+          break;
+        }
+      }
+      if (cap == FileContext::npos) continue;
+
+      std::set<std::string> locals;
+      std::string loop_var;
+      size_t after_params = cap + 3;
+      if (after_params < call_close && ctx.tok(after_params).is_punct("(")) {
+        size_t pclose = ctx.match(after_params);
+        if (pclose == FileContext::npos) continue;
+        for (size_t k = after_params + 1; k < pclose; ++k) {
+          if (ctx.tok(k).kind == TokenKind::kIdentifier) {
+            locals.insert(ctx.tok(k).text);
+            loop_var = ctx.tok(k).text;  // last identifier of the list
+          }
+        }
+        after_params = pclose + 1;
+      }
+      // Skip specifiers to the body brace.
+      size_t bopen = after_params;
+      while (bopen < call_close && !ctx.tok(bopen).is_punct("{")) ++bopen;
+      if (bopen >= call_close) continue;
+      size_t bclose = ctx.match(bopen);
+      if (bclose == FileContext::npos) continue;
+
+      collect_locals(ctx, bopen + 1, bclose, locals);
+      std::vector<Mutation> muts =
+          scan_mutations(ctx, bopen + 1, bclose, locals, loop_var);
+      bool has_guard = false;
+      for (size_t k = bopen + 1; k < bclose; ++k) {
+        const Token& g = ctx.tok(k);
+        if (g.is_ident("lock_guard") || g.is_ident("unique_lock") ||
+            g.is_ident("scoped_lock")) {
+          has_guard = true;
+        }
+      }
+      for (const Mutation& m : muts) {
+        if (m.indexed_by_var) continue;
+        if (synced.count(m.name) != 0 || has_guard) continue;
+        out.push_back(ctx.finding(
+            *this, m.pos,
+            "lambda passed to " + t.text + " writes to captured '" + m.name +
+                "' without indexing by loop variable '" +
+                (loop_var.empty() ? std::string("<none>") : loop_var) + "'"));
+      }
+    }
+  }
+};
+
+class LayerViolationRule final : public Rule {
+ public:
+  const RuleInfo& info() const override {
+    static const RuleInfo kInfo = {
+        "layer-violation", "error",
+        "first-party include edge not declared in the layering DAG "
+        "(tools/analyze/layers.txt); undeclared edges calcify into cycles",
+        "depend downward only, or declare the edge in "
+        "tools/analyze/layers.txt with review"};
+    return kInfo;
+  }
+  bool applies_to(const std::string& rel) const override {
+    return path_starts_with(rel, {"src/"});
+  }
+
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    const LayerConfig& layers = ctx.layers();
+    if (!layers.loaded) return;
+    const std::string& rel = ctx.rel_path();
+    size_t slash = rel.find('/', 4);  // after "src/"
+    if (slash == std::string::npos) return;
+    std::string module = rel.substr(4, slash - 4);
+
+    auto make = [&](int line, std::string message) {
+      Finding f;
+      f.file = rel;
+      f.line = line;
+      f.col = 1;
+      f.rule = info().id;
+      f.severity = info().severity;
+      f.message = std::move(message);
+      f.hint = info().hint;
+      out.push_back(std::move(f));
+    };
+
+    if (!layers.is_module(module)) {
+      make(1, "module '" + module + "' is not declared in " +
+                  layers.source_path);
+      return;
+    }
+    const std::set<std::string>& allowed = layers.allowed.at(module);
+    for (const IncludeDirective& inc : ctx.file().includes) {
+      if (inc.angled) continue;
+      size_t s = inc.path.find('/');
+      if (s == std::string::npos) continue;
+      std::string target = inc.path.substr(0, s);
+      if (target == module || !layers.is_module(target)) continue;
+      if (allowed.count(target) != 0) continue;
+      make(inc.line, "layer violation: '" + module + "' includes '" +
+                         inc.path + "' but layers.txt declares no " +
+                         module + " -> " + target + " edge");
+    }
+  }
+};
+
+class ParseThrowBoundaryRule final : public Rule {
+ public:
+  const RuleInfo& info() const override {
+    static const RuleInfo kInfo = {
+        "parse-throw-boundary", "error",
+        "the wire readers catch util::ParseError per record and keep "
+        "scanning; any other exception type thrown in a parse path "
+        "bypasses that boundary and aborts the whole read",
+        "throw util::ParseError (or mrt::MrtError, which derives from "
+        "it); report soft failures through return values"};
+    return kInfo;
+  }
+  bool applies_to(const std::string& rel) const override {
+    return in_parse_dirs(rel);
+  }
+
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    for (size_t i = 0; i < ctx.size(); ++i) {
+      if (!ctx.tok(i).is_ident("throw")) continue;
+      if (i + 1 >= ctx.size()) continue;
+      if (ctx.tok(i + 1).is_punct(";")) continue;  // rethrow
+      // Resolve the thrown type's terminal name.
+      std::string last;
+      size_t j = i + 1;
+      while (j < ctx.size()) {
+        const Token& t = ctx.tok(j);
+        if (t.kind == TokenKind::kIdentifier) {
+          last = t.text;
+          ++j;
+          continue;
+        }
+        if (t.is_punct("::")) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      if (last == "ParseError" || last == "MrtError") continue;
+      out.push_back(ctx.finding(
+          *this, i,
+          "throw of '" + (last.empty() ? std::string("<non-type>") : last) +
+              "' inside a wire-parse dir bypasses the per-record "
+              "ParseError boundary"));
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> make_contract_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<DeterminismIterationRule>());
+  rules.push_back(std::make_unique<ParallelCaptureRule>());
+  rules.push_back(std::make_unique<LayerViolationRule>());
+  rules.push_back(std::make_unique<ParseThrowBoundaryRule>());
+  return rules;
+}
+
+}  // namespace manrs::analyze

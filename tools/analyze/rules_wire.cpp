@@ -1,0 +1,287 @@
+// The nine rules ported from the tools/lint_wire.py regex corpus onto
+// the token stream. Porting buys three things the regexes could not do:
+// banned names inside string literals and comments are invisible, the
+// raw-thread rule distinguishes spawning a thread from naming
+// std::thread::hardware_concurrency, and member calls (obj.sprintf)
+// never collide with the C library functions being banned.
+#include <initializer_list>
+#include <set>
+#include <string>
+
+#include "analyze/analyzer.h"
+#include "analyze/rule.h"
+
+namespace manrs::analyze {
+
+namespace {
+
+/// True when the code token at `i` is a free-function use: not reached
+/// through `.` `->` or `::`.
+bool free_call(const FileContext& ctx, size_t i) {
+  if (i == 0) return true;
+  const Token& prev = ctx.tok(i - 1);
+  return !(prev.is_punct(".") || prev.is_punct("->") || prev.is_punct("::"));
+}
+
+bool next_is(const FileContext& ctx, size_t i, const char* text) {
+  return i + 1 < ctx.size() && ctx.tok(i + 1).is(text);
+}
+
+/// True when tokens [i, i+2] spell `std :: name`.
+bool std_qualified(const FileContext& ctx, size_t i) {
+  return i >= 2 && ctx.tok(i - 2).is_ident("std") &&
+         ctx.tok(i - 1).is_punct("::");
+}
+
+class ReinterpretCastRule final : public Rule {
+ public:
+  const RuleInfo& info() const override {
+    static const RuleInfo kInfo = {
+        "reinterpret-cast", "error",
+        "aliasing/alignment UB on input buffers; the audited byte<->char "
+        "bridge in src/util/bytes.cpp is the only sanctioned site",
+        "use ByteCursor / util::read_exact / util::as_chars instead"};
+    return kInfo;
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    for (size_t i = 0; i < ctx.size(); ++i) {
+      if (ctx.tok(i).is_ident("reinterpret_cast")) {
+        out.push_back(ctx.finding(*this, i, "reinterpret_cast in first-party "
+                                            "code"));
+      }
+    }
+  }
+};
+
+class UncheckedMemcpyRule final : public Rule {
+ public:
+  const RuleInfo& info() const override {
+    static const RuleInfo kInfo = {
+        "unchecked-memcpy", "error",
+        "memcpy in parse paths copies with a length derived from network "
+        "data; the cursor API bounds-checks first",
+        "use ByteCursor::bytes() / ByteBuf::bytes() in parse paths"};
+    return kInfo;
+  }
+  bool applies_to(const std::string& rel) const override {
+    return in_parse_dirs(rel);
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    for (size_t i = 0; i < ctx.size(); ++i) {
+      if (!ctx.tok(i).is_ident("memcpy") || !next_is(ctx, i, "(")) continue;
+      if (!free_call(ctx, i) && !std_qualified(ctx, i)) continue;
+      out.push_back(ctx.finding(*this, i, "memcpy in a wire-parse path"));
+    }
+  }
+};
+
+class ThrowingStrtoxRule final : public Rule {
+ public:
+  const RuleInfo& info() const override {
+    static const RuleInfo kInfo = {
+        "throwing-strtox", "error",
+        "std::sto* throws on malformed input and silently accepts trailing "
+        "junk",
+        "use util::parse_uint / parse_int / parse_double"};
+    return kInfo;
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    static const std::set<std::string> kNames = {
+        "stoi", "stol", "stoll", "stoul", "stoull", "stof", "stod", "stold"};
+    for (size_t i = 0; i < ctx.size(); ++i) {
+      const Token& t = ctx.tok(i);
+      if (t.kind != TokenKind::kIdentifier || kNames.count(t.text) == 0)
+        continue;
+      if (!std_qualified(ctx, i)) continue;
+      out.push_back(ctx.finding(*this, i, "std::" + t.text + " call"));
+    }
+  }
+};
+
+class LocaleAtoxRule final : public Rule {
+ public:
+  const RuleInfo& info() const override {
+    static const RuleInfo kInfo = {
+        "locale-atox", "error",
+        "atoi/atol/atof: undefined behaviour on out-of-range input, no "
+        "error reporting at all",
+        "use util::parse_uint / parse_int / parse_double"};
+    return kInfo;
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    static const std::set<std::string> kNames = {"atoi", "atol", "atoll",
+                                                 "atof"};
+    for (size_t i = 0; i < ctx.size(); ++i) {
+      const Token& t = ctx.tok(i);
+      if (t.kind != TokenKind::kIdentifier || kNames.count(t.text) == 0)
+        continue;
+      if (!next_is(ctx, i, "(")) continue;
+      if (!free_call(ctx, i) && !std_qualified(ctx, i)) continue;
+      out.push_back(ctx.finding(*this, i, t.text + " call"));
+    }
+  }
+};
+
+class UnboundedCopyRule final : public Rule {
+ public:
+  const RuleInfo& info() const override {
+    static const RuleInfo kInfo = {
+        "unbounded-copy", "error",
+        "strcpy/strcat/sprintf/gets write without a length bound",
+        "use bounded/typed formatting (snprintf, std::string)"};
+    return kInfo;
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    static const std::set<std::string> kNames = {"strcpy", "strcat", "sprintf",
+                                                 "gets"};
+    for (size_t i = 0; i < ctx.size(); ++i) {
+      const Token& t = ctx.tok(i);
+      if (t.kind != TokenKind::kIdentifier || kNames.count(t.text) == 0)
+        continue;
+      if (!next_is(ctx, i, "(")) continue;
+      if (!free_call(ctx, i) && !std_qualified(ctx, i)) continue;
+      out.push_back(ctx.finding(*this, i, t.text + " call"));
+    }
+  }
+};
+
+class UnionPunningRule final : public Rule {
+ public:
+  const RuleInfo& info() const override {
+    static const RuleInfo kInfo = {
+        "union-punning", "error",
+        "type punning through union member writes in parse code "
+        "(heuristic: any union defined in a parse dir)",
+        "decode through ByteCursor typed reads, not unions"};
+    return kInfo;
+  }
+  bool applies_to(const std::string& rel) const override {
+    return in_parse_dirs(rel);
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    for (size_t i = 0; i < ctx.size(); ++i) {
+      if (!ctx.tok(i).is_ident("union")) continue;
+      // A definition: `union {` or `union Name {`.
+      for (size_t j = i + 1; j < ctx.size() && j <= i + 3; ++j) {
+        if (ctx.tok(j).is_punct("{")) {
+          out.push_back(
+              ctx.finding(*this, i, "union definition in a wire-parse path"));
+          break;
+        }
+        if (ctx.tok(j).kind != TokenKind::kIdentifier) break;
+      }
+    }
+  }
+};
+
+class RawThreadRule final : public Rule {
+ public:
+  const RuleInfo& info() const override {
+    static const RuleInfo kInfo = {
+        "raw-thread", "error",
+        "all concurrency flows through util::parallel_for so the "
+        "determinism contract and the TSan matrix cover every parallel "
+        "path; raw std::thread/jthread/async bypass both",
+        "use util::parallel_for / util::ThreadPool (src/util/parallel.h)"};
+    return kInfo;
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    for (size_t i = 0; i < ctx.size(); ++i) {
+      const Token& t = ctx.tok(i);
+      if (t.kind != TokenKind::kIdentifier ||
+          (t.text != "thread" && t.text != "jthread" && t.text != "async")) {
+        continue;
+      }
+      if (!std_qualified(ctx, i)) continue;
+      // std::thread::id / std::thread::hardware_concurrency are queries,
+      // not thread creation; only a declarator or call spawns.
+      if (next_is(ctx, i, "::")) continue;
+      out.push_back(ctx.finding(*this, i, "raw std::" + t.text + " use"));
+    }
+  }
+};
+
+class RibMapRule final : public Rule {
+ public:
+  const RuleInfo& info() const override {
+    static const RuleInfo kInfo = {
+        "rib-map", "error",
+        "a prefix-keyed tree map reintroduces the allocation- and "
+        "cache-miss-heavy pattern the flat sorted Rib replaced "
+        "(docs/performance.md)",
+        "use the flat sorted bgp::Rib / sort-then-scan over a flat vector"};
+    return kInfo;
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    for (size_t i = 0; i < ctx.size(); ++i) {
+      if (!ctx.tok(i).is_ident("map") || !std_qualified(ctx, i)) continue;
+      if (!next_is(ctx, i, "<")) continue;
+      // First template argument: net::Prefix or bgp::PrefixOrigin,
+      // optionally const-qualified.
+      size_t j = i + 2;
+      while (j < ctx.size() && ctx.tok(j).is_ident("const")) ++j;
+      if (j + 2 >= ctx.size()) continue;
+      bool prefix_key =
+          (ctx.tok(j).is_ident("net") && ctx.tok(j + 1).is_punct("::") &&
+           ctx.tok(j + 2).is_ident("Prefix")) ||
+          (ctx.tok(j).is_ident("bgp") && ctx.tok(j + 1).is_punct("::") &&
+           ctx.tok(j + 2).is_ident("PrefixOrigin"));
+      if (!prefix_key) continue;
+      out.push_back(ctx.finding(
+          *this, i, "std::map keyed by " + ctx.tok(j).text +
+                        "::" + ctx.tok(j + 2).text + " outside src/bgp/rib.*"));
+    }
+  }
+};
+
+class StdHashRule final : public Rule {
+ public:
+  const RuleInfo& info() const override {
+    static const RuleInfo kInfo = {
+        "std-hash", "error",
+        "std::hash is stdlib-specific; a hash folded into output bytes "
+        "silently breaks the bytes-depend-only-on-the-seed contract (the "
+        "filter_variant bug)",
+        "output-facing hashes use util::fnv1a_* (src/util/det_hash.h); "
+        "container hashers go through the type's std::hash specialization "
+        "implicitly"};
+    return kInfo;
+  }
+  bool applies_to(const std::string& rel) const override {
+    return path_starts_with(rel, {"src/"});
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    for (size_t i = 0; i < ctx.size(); ++i) {
+      if (!ctx.tok(i).is_ident("hash") || !std_qualified(ctx, i)) continue;
+      if (!next_is(ctx, i, "<")) continue;
+      out.push_back(ctx.finding(*this, i, "std::hash named in src/"));
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> make_wire_rules();
+std::vector<std::unique_ptr<Rule>> make_contract_rules();
+
+std::vector<std::unique_ptr<Rule>> make_wire_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<ReinterpretCastRule>());
+  rules.push_back(std::make_unique<UncheckedMemcpyRule>());
+  rules.push_back(std::make_unique<ThrowingStrtoxRule>());
+  rules.push_back(std::make_unique<LocaleAtoxRule>());
+  rules.push_back(std::make_unique<UnboundedCopyRule>());
+  rules.push_back(std::make_unique<UnionPunningRule>());
+  rules.push_back(std::make_unique<RawThreadRule>());
+  rules.push_back(std::make_unique<RibMapRule>());
+  rules.push_back(std::make_unique<StdHashRule>());
+  return rules;
+}
+
+std::vector<std::unique_ptr<Rule>> make_all_rules() {
+  std::vector<std::unique_ptr<Rule>> rules = make_wire_rules();
+  for (auto& r : make_contract_rules()) rules.push_back(std::move(r));
+  return rules;
+}
+
+}  // namespace manrs::analyze

@@ -1,0 +1,44 @@
+// Token model for the manrs_analyze C++ lexer.
+//
+// The lexer produces a flat token stream in which comments and
+// preprocessor directives are first-class tokens: rules that inspect
+// code use the comment-free "code view" (see analyzer.h), while the
+// waiver scanner and the include extractor read the comment and
+// directive tokens directly. Line numbers always refer to the original
+// source text, before line-splice (backslash-newline) removal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace manrs::analyze {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,  // identifiers and keywords (rules match on spelling)
+  kNumber,      // pp-number: integers, floats, digit separators, suffixes
+  kString,      // string literal, including raw strings and prefixes
+  kCharLit,     // character literal, including prefixes
+  kPunct,       // operators and punctuation, longest-match
+  kComment,     // // or /* */ comment, full text
+  kDirective,   // a # preprocessor directive (text up to // or newline)
+  kEndOfFile,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  std::string text;  // splice-normalized spelling (raw strings verbatim)
+  int line = 0;      // 1-based line of the first character
+  int col = 0;       // 1-based column of the first character
+  int end_line = 0;  // line of the last character (multi-line tokens)
+
+  bool is(std::string_view s) const { return text == s; }
+  bool is_ident(std::string_view s) const {
+    return kind == TokenKind::kIdentifier && text == s;
+  }
+  bool is_punct(std::string_view s) const {
+    return kind == TokenKind::kPunct && text == s;
+  }
+};
+
+}  // namespace manrs::analyze

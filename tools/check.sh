@@ -12,8 +12,14 @@
 #      propagation oracle and cache-equality tests) -- once at defaults
 #      and once at MANRS_GRAIN=1 -- plus a perf_pipeline smoke run at
 #      MANRS_SCALE=tiny (skip with TSAN=0)
-#   5. clang-tidy over src/ (skipped with a warning if not installed)
-#   6. the repo-specific wire lint (tools/lint_wire.py)
+#   5. clang-tidy over the full tree (src, tools, bench, tests) against
+#      the sanitize build's compile_commands.json (skipped with a
+#      warning if not installed)
+#   6. manrs_analyze (tools/analyze/): the repo's own token- and
+#      scope-aware analyzer -- fails on any unwaived finding, writes a
+#      SARIF artifact to out/analyze.sarif, and self-checks its own
+#      sources; the legacy tools/lint_wire.py entry point is exercised
+#      as a shim over the same binary
 #
 # Exit 0 iff every stage that could run passed. See
 # docs/static-analysis.md for the policy behind each stage.
@@ -101,9 +107,13 @@ if [[ "${TSAN:-1}" != "0" && "$SANITIZE" != "thread" ]]; then
     "./$TSAN_BUILD_DIR/bench/perf_pipeline"
 fi
 
-step "clang-tidy"
+step "clang-tidy (full tree)"
 if command -v clang-tidy >/dev/null 2>&1; then
-  mapfile -t tidy_sources < <(find src -name '*.cpp' | sort)
+  # Every first-party .cpp with an entry in the sanitize build's
+  # compile_commands.json, including tools/analyze/; the fixture corpus
+  # is deliberately broken and never compiled, so it is excluded.
+  mapfile -t tidy_sources < <(find src tools bench tests -name '*.cpp' \
+    -not -path 'tests/analyze_fixtures/*' | sort)
   if command -v run-clang-tidy >/dev/null 2>&1; then
     run-clang-tidy -p "$BUILD_DIR" -quiet "${tidy_sources[@]}"
   else
@@ -114,7 +124,20 @@ else
        "the checked-in .clang-tidy profile)" >&2
 fi
 
-step "wire lint"
-python3 tools/lint_wire.py
+step "analyze (manrs_analyze)"
+analyze_bin="$BUILD_DIR/tools/analyze/manrs_analyze"
+if [[ ! -x "$analyze_bin" ]]; then
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target manrs_analyze
+fi
+mkdir -p out
+# Fails (exit 1) on any unwaived finding across src tools bench tests;
+# the SARIF artifact is the CI-consumable report.
+"$analyze_bin" --root "$repo_root" --sarif out/analyze.sarif
+
+step "analyze: self-check (tools/analyze over itself)"
+"$analyze_bin" --root "$repo_root" tools/analyze
+
+step "analyze: lint_wire.py shim contract"
+MANRS_ANALYZE="$analyze_bin" python3 tools/lint_wire.py
 
 step "all checks passed"

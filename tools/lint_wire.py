@@ -1,275 +1,67 @@
 #!/usr/bin/env python3
-"""Repo-specific wire-safety lint.
+"""Compatibility shim: the wire lint is now the manrs_analyze binary.
 
-Scans first-party C++ sources for patterns that have caused real bugs in
-network-data parsers and that the ByteCursor layer (src/util/bytes.h)
-exists to replace. Any new violation fails the build (tools/check.sh runs
-this). The banned patterns:
+The nine regex rules that lived here were ported onto manrs_analyze's
+token stream (tools/analyze/), which also adds the scope-aware rules
+regex cannot express. This shim keeps the old CLI contract --
+``python3 tools/lint_wire.py [--root DIR] [paths...]``, exit 0 clean /
+1 findings / 2 usage -- and execs the binary.
 
-  reinterpret-cast   reinterpret_cast anywhere outside the audited
-                     byte<->char bridge in src/util/bytes.cpp. Wire
-                     decoding must go through ByteCursor, stream I/O
-                     through util::read_exact / util::write_bytes.
-  unchecked-memcpy   memcpy in parse paths (src/mrt, src/rpki, src/irr,
-                     src/netbase). Use ByteCursor::bytes() / ByteBuf.
-  throwing-strtox    std::stoi / stol / stoul / stoull / stof / stod:
-                     throw on malformed input and silently accept
-                     trailing junk. Use util::parse_uint / parse_int /
-                     parse_double (strict, optional-returning).
-  locale-atox        atoi / atol / atof: undefined behaviour on
-                     out-of-range input, no error reporting at all.
-  unbounded-copy     strcpy / strcat / sprintf / gets: unbounded writes.
-  union-punning      type punning through union member writes in parse
-                     code (flagged only in parse dirs, heuristic).
-  raw-thread         std::thread / std::jthread / std::async outside
-                     src/util/parallel.*. All concurrency flows through
-                     util::parallel_for so the determinism contract and
-                     TSan coverage of tests/test_parallel*.cpp apply to
-                     every parallel code path.
-  rib-map            std::map keyed by net::Prefix or bgp::PrefixOrigin
-                     outside src/bgp/rib.*. The RIB is a flat sorted
-                     vector and hot aggregations use sort-then-scan over
-                     flat vectors (docs/performance.md); a prefix-keyed
-                     tree map reintroduces the allocation- and
-                     cache-miss-heavy pattern the flat RIB replaced.
-  std-hash           std::hash<...> named anywhere in src/ outside
-                     src/util/det_hash.h and the allowlisted container
-                     hasher specializations. std::hash is stdlib-specific,
-                     so a hash folded into output bytes (variant buckets,
-                     shard keys) silently breaks the "bytes depend only on
-                     the seed" contract -- exactly the filter_variant bug.
-                     Hash wire bytes with util::fnv1a_* instead; plain
-                     unordered containers over project types use their
-                     std::hash specializations without naming std::hash.
-
-A line may carry an explicit waiver comment `// lint-ok: <reason>`; the
-waiver applies to that line and, for a line containing only the comment,
-to the following line. Waivers are expected to be rare and reviewed.
-
-Usage: lint_wire.py [--root DIR] [paths...]
-Exit status: 0 = clean, 1 = violations found, 2 = usage error.
+Binary discovery: $MANRS_ANALYZE if set, else the newest
+build*/tools/analyze/manrs_analyze under the repo root.
 """
 
 from __future__ import annotations
 
-import argparse
-import re
+import os
 import sys
 from pathlib import Path
 
-# Directories scanned by default, relative to the repo root.
-DEFAULT_SCAN_DIRS = ["src", "tools"]
 
-# Files allowed to contain reinterpret_cast: the audited aliasing bridge.
-REINTERPRET_ALLOWLIST = {
-    Path("src/util/bytes.cpp"),
-}
-
-# Files allowed to spawn threads: the sanctioned concurrency layer.
-THREAD_ALLOWLIST = {
-    Path("src/util/parallel.h"),
-    Path("src/util/parallel.cpp"),
-}
-
-# Files allowed to hold prefix-keyed tree maps: the RIB itself (its flat
-# table is the sanctioned representation; the allowlist exists so a
-# staged-build implementation detail never forces a waiver comment).
-RIB_MAP_ALLOWLIST = {
-    Path("src/bgp/rib.h"),
-    Path("src/bgp/rib.cpp"),
-}
-
-# Files allowed to name std::hash<...>: the deterministic-hash header that
-# documents the rule, and the std::hash specializations that make project
-# key types usable in unordered containers (in-memory only -- their values
-# must never be folded into output bytes).
-STD_HASH_ALLOWLIST = {
-    Path("src/util/det_hash.h"),
-    Path("src/netbase/asn.h"),
-    Path("src/netbase/prefix.h"),
-    Path("src/bgp/route.h"),
-}
-
-# Parse-path directories where memcpy/punning from network data is banned.
-PARSE_DIRS = ("src/mrt", "src/rpki", "src/irr", "src/netbase")
-
-CPP_SUFFIXES = {".cpp", ".cc", ".cxx", ".h", ".hpp"}
-
-RULES = [
-    (
-        "reinterpret-cast",
-        re.compile(r"\breinterpret_cast\b"),
-        None,  # everywhere (allowlist handled separately)
-        "use ByteCursor / util::read_exact / util::as_chars instead",
-    ),
-    (
-        "unchecked-memcpy",
-        re.compile(r"\bmemcpy\s*\("),
-        PARSE_DIRS,
-        "use ByteCursor::bytes() / ByteBuf::bytes() in parse paths",
-    ),
-    (
-        "throwing-strtox",
-        re.compile(r"\bstd::sto(i|l|ul|ll|ull|f|d|ld)\b"),
-        None,
-        "use util::parse_uint / parse_int / parse_double",
-    ),
-    (
-        "locale-atox",
-        re.compile(r"(?<![\w:])ato[ifl]\s*\("),
-        None,
-        "use util::parse_uint / parse_int / parse_double",
-    ),
-    (
-        "unbounded-copy",
-        re.compile(r"(?<![\w:])(strcpy|strcat|sprintf|gets)\s*\("),
-        None,
-        "use bounded/typed formatting (snprintf, std::string)",
-    ),
-    (
-        "union-punning",
-        re.compile(r"\bunion\b.*\{"),
-        PARSE_DIRS,
-        "decode through ByteCursor typed reads, not unions",
-    ),
-    (
-        "raw-thread",
-        re.compile(r"\bstd::(thread|jthread|async)\b"),
-        None,
-        "use util::parallel_for / util::ThreadPool (src/util/parallel.h)",
-    ),
-    (
-        "rib-map",
-        re.compile(r"\bstd::map\s*<\s*(net::Prefix|bgp::PrefixOrigin)\b"),
-        None,
-        "use the flat sorted bgp::Rib / sort-then-scan over a flat vector"
-        " (docs/performance.md)",
-    ),
-    (
-        "std-hash",
-        re.compile(r"\bstd::hash\s*<"),
-        ("src/",),
-        "output-facing hashes use util::fnv1a_* (src/util/det_hash.h);"
-        " container hashers go through the type's std::hash"
-        " specialization implicitly",
-    ),
-]
-
-WAIVER = re.compile(r"//\s*lint-ok:\s*\S")
-LINE_COMMENT = re.compile(r"//.*$")
-
-
-def strip_strings_and_comments(line: str) -> str:
-    """Best-effort removal of string literal contents and // comments so
-    that banned identifiers inside text don't trip the scan."""
-    out = []
-    in_str = None
-    i = 0
-    while i < len(line):
-        c = line[i]
-        if in_str:
-            if c == "\\":
-                i += 2
-                continue
-            if c == in_str:
-                in_str = None
-            i += 1
-            continue
-        if c in "\"'":
-            in_str = c
-            out.append(c)
-            i += 1
-            continue
-        if c == "/" and line[i : i + 2] == "//":
-            break
-        out.append(c)
-        i += 1
-    return "".join(out)
-
-
-def scan_file(root: Path, path: Path) -> list[str]:
-    rel = path.relative_to(root)
-    rel_posix = rel.as_posix()
-    try:
-        text = path.read_text(encoding="utf-8", errors="replace")
-    except OSError as e:
-        return [f"{rel_posix}: unreadable: {e}"]
-
-    violations = []
-    waiver_next = False
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        waived = waiver_next or bool(WAIVER.search(raw))
-        # A standalone waiver comment covers the following line.
-        waiver_next = bool(WAIVER.search(raw)) and bool(
-            raw.strip().startswith("//")
-        )
-        code = strip_strings_and_comments(raw)
-        if not code.strip():
-            continue
-        for name, pattern, dirs, hint in RULES:
-            if dirs is not None and not rel_posix.startswith(dirs):
-                continue
-            if not pattern.search(code):
-                continue
-            if name == "reinterpret-cast" and rel in REINTERPRET_ALLOWLIST:
-                continue
-            if name == "raw-thread" and rel in THREAD_ALLOWLIST:
-                continue
-            if name == "rib-map" and rel in RIB_MAP_ALLOWLIST:
-                continue
-            if name == "std-hash" and rel in STD_HASH_ALLOWLIST:
-                continue
-            if waived:
-                continue
-            violations.append(
-                f"{rel_posix}:{lineno}: [{name}] {raw.strip()}\n"
-                f"    hint: {hint}"
-            )
-    return violations
+def find_binary(root: Path) -> Path | None:
+    env = os.environ.get("MANRS_ANALYZE")
+    if env:
+        path = Path(env)
+        return path if path.is_file() else None
+    candidates = [
+        path
+        for path in root.glob("build*/tools/analyze/manrs_analyze")
+        if path.is_file() and os.access(path, os.X_OK)
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda p: p.stat().st_mtime)
 
 
 def main(argv: list[str]) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--root",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent,
-        help="repository root (default: parent of tools/)",
-    )
-    parser.add_argument(
-        "paths",
-        nargs="*",
-        help=f"files or directories to scan (default: {DEFAULT_SCAN_DIRS})",
-    )
-    args = parser.parse_args(argv)
-    root = args.root.resolve()
-
-    targets = [root / p for p in (args.paths or DEFAULT_SCAN_DIRS)]
-    files: list[Path] = []
-    for target in targets:
-        if target.is_file():
-            files.append(target)
-        elif target.is_dir():
-            files.extend(
-                p
-                for p in sorted(target.rglob("*"))
-                if p.suffix in CPP_SUFFIXES and p.is_file()
-            )
+    root = Path(__file__).resolve().parent.parent
+    passthrough = []
+    args = argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg == "--root":
+            if not args:
+                print("usage: lint_wire.py [--root DIR] [paths...]",
+                      file=sys.stderr)
+                return 2
+            root = Path(args.pop(0)).resolve()
         else:
-            print(f"lint_wire: no such path: {target}", file=sys.stderr)
-            return 2
+            passthrough.append(arg)
 
-    all_violations: list[str] = []
-    for f in files:
-        all_violations.extend(scan_file(root, f))
+    binary = find_binary(root)
+    if binary is None:
+        print(
+            "lint_wire.py: manrs_analyze binary not found; build it first\n"
+            "  (cmake -B build -S . && cmake --build build "
+            "--target manrs_analyze)\n"
+            "  or set $MANRS_ANALYZE to the binary path",
+            file=sys.stderr,
+        )
+        return 2
 
-    if all_violations:
-        print(f"lint_wire: {len(all_violations)} violation(s):\n")
-        print("\n".join(all_violations))
-        return 1
-    print(f"lint_wire: OK ({len(files)} files clean)")
-    return 0
+    os.execv(str(binary), [str(binary), "--root", str(root), *passthrough])
+    return 2  # unreachable
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    sys.exit(main(sys.argv))
