@@ -153,6 +153,7 @@ void BM_MrtEncodeDecode(benchmark::State& state) {
     }
     rib.insert(random_v4(rng), peer, bgp::AsPath(std::move(hops)));
   }
+  rib.finalize();
   for (auto _ : state) {
     std::ostringstream out;
     mrt::TableDumpWriter writer(out, 0);

@@ -87,6 +87,29 @@ std::string scale_name() {
   return scale;
 }
 
+std::string env_or_default(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return "default";
+  return value;
+}
+
+/// Short git revision of the tree the binary runs in, "unknown" when
+/// git is unavailable (tarball builds, stripped CI checkouts).
+std::string git_revision() {
+  std::string rev;
+  std::FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe != nullptr) {
+    char buf[64];
+    if (std::fgets(buf, sizeof buf, pipe) != nullptr) rev = buf;
+    pclose(pipe);
+  }
+  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+    rev.pop_back();
+  }
+  if (rev.empty()) rev = "unknown";
+  return rev;
+}
+
 /// Classify announcements the way the IHR builder does, so propagation
 /// groups match the real pipeline's.
 std::vector<manrs::sim::Announcement> classify(
@@ -116,6 +139,13 @@ std::string run_json(const std::string& scale, size_t threads_parallel,
   char buf[256];
   out << "{\n";
   out << "      \"scale\": \"" << scale << "\",\n";
+  // Stamp the knobs that shape the numbers, so accumulated runs stay
+  // comparable: the parallel grain, the propagation cache budget, and
+  // the revision the binary was built from.
+  out << "      \"grain\": \"" << env_or_default("MANRS_GRAIN") << "\",\n";
+  out << "      \"prop_cache_mb\": \""
+      << env_or_default("MANRS_PROP_CACHE_MB") << "\",\n";
+  out << "      \"git_rev\": \"" << git_revision() << "\",\n";
   std::snprintf(buf, sizeof(buf), "      \"hardware_concurrency\": %u,\n",
                 std::thread::hardware_concurrency());
   out << buf;

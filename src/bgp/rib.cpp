@@ -78,6 +78,11 @@ void Rib::finalize() {
   staged_.shrink_to_fit();
 }
 
+void Rib::clear() {
+  table_.clear();
+  staged_.clear();
+}
+
 void Rib::adopt_rows(std::vector<RibRow> rows) {
   table_ = std::move(rows);
   staged_.clear();

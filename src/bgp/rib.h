@@ -72,6 +72,11 @@ class Rib {
   /// True when no writes are staged (the table is the full state).
   bool finalized() const { return staged_.empty(); }
 
+  /// Drop every row and staged write (registered peers are kept): the
+  /// Rib returns to the clean build state and may be refilled. The
+  /// sanctioned way to reuse a finalized Rib for another build cycle.
+  void clear();
+
   /// Replace the table with externally built rows. Precondition: `rows`
   /// sorted by prefix, no duplicate prefixes, entries already deduplicated
   /// per peer -- what the collector's sharded merge produces. Any staged

@@ -187,6 +187,10 @@ bool Bgp4mpReader::next(Bgp4mpRecord& record) {
       return false;
     }
     ByteReader hr(header_raw);
+    if (!hr.can_read(header_raw.size())) {
+      ++bad_;
+      return false;
+    }
     uint32_t timestamp = hr.u32();
     uint16_t type = hr.u16();
     uint16_t subtype = hr.u16();

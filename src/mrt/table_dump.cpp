@@ -283,6 +283,10 @@ bool TableDumpReader::next(Record& record) {
       return false;  // truncated header: nothing more to salvage
     }
     ByteReader hr(header_raw);
+    if (!hr.can_read(header_raw.size())) {
+      ++bad_;
+      return false;
+    }
     MrtHeader header;
     header.timestamp = hr.u32();
     header.type = hr.u16();

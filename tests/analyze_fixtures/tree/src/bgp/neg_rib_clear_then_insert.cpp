@@ -1,0 +1,10 @@
+// Negative: clear() returns a finalized Rib to the clean build state;
+// the second insert batch is legal.
+void f_clear_then_insert() {
+  Rib rib;
+  rib.insert(1, 2, 3);
+  rib.finalize();
+  rib.clear();
+  rib.insert(4, 5, 6);
+  rib.finalize();
+}

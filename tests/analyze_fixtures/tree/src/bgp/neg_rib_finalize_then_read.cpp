@@ -1,0 +1,9 @@
+// Negative: the sanctioned build cycle -- finalize() after the last
+// insert, reads afterwards.
+void f_finalize_then_read() {
+  Rib rib;
+  rib.insert(1, 2, 3);
+  rib.finalize();
+  auto n = rib.entry_count();
+  (void)n;
+}

@@ -1,0 +1,11 @@
+// Negative: the callee summary sees a finalized Rib at the call site,
+// so the read inside the helper is fine.
+unsigned long count_rows(Rib& rib) {
+  return rib.entry_count();
+}
+void f_pass_finalized() {
+  Rib rib;
+  rib.insert(1, 2, 3);
+  rib.finalize();
+  count_rows(rib);
+}

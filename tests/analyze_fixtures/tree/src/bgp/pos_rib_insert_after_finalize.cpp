@@ -1,0 +1,8 @@
+// Positive: insert after finalize() re-stages into a sealed table;
+// clear() is required between build cycles.
+void f_insert_after_finalize() {
+  Rib rib;
+  rib.insert(1, 2, 3);
+  rib.finalize();
+  rib.insert(4, 5, 6);
+}

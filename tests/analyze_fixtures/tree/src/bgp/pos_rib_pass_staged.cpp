@@ -1,0 +1,10 @@
+// Positive: a staged Rib handed to a reader; the callee summary
+// reports the hidden finalize at the call site.
+unsigned long dump_all(Rib& rib) {
+  return rib.entry_count();
+}
+void f_pass_staged() {
+  Rib rib;
+  rib.insert(1, 2, 3);
+  dump_all(rib);
+}

@@ -1,0 +1,8 @@
+// Positive: entry_count() while inserts are staged triggers the
+// hidden lazy finalize inside a read accessor.
+void f_read_staged() {
+  Rib rib;
+  rib.insert(1, 2, 3);
+  auto n = rib.entry_count();
+  (void)n;
+}

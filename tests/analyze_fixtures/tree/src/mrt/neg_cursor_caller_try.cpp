@@ -1,0 +1,13 @@
+// Negative: every caller wraps the helper in the per-record try, so
+// the ParseError a short read throws is already handled.
+void parse_one(const Bytes& data) {
+  ByteCursor c(data);
+  auto v = c.u64();
+  (void)v;
+}
+void f_caller(const Bytes& data) {
+  try {
+    parse_one(data);
+  } catch (...) {
+  }
+}

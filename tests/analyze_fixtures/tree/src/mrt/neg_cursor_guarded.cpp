@@ -1,0 +1,10 @@
+// Negative: the remaining() check dominates the reads.
+void f_guarded(const Bytes& data) {
+  ByteCursor c(data);
+  if (c.remaining() >= 6) {
+    auto a = c.u16();
+    auto b = c.u32();
+    (void)a;
+    (void)b;
+  }
+}

@@ -1,0 +1,12 @@
+// Negative: the record try block owns the ParseError; reads inside it
+// are the sanctioned pattern.
+void f_try_reads(const Bytes& data) {
+  ByteCursor c(data);
+  try {
+    auto a = c.u16();
+    auto b = c.bytes(4);
+    (void)a;
+    (void)b;
+  } catch (...) {
+  }
+}

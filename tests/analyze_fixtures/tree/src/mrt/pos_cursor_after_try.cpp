@@ -1,0 +1,11 @@
+// Positive: the try block covers earlier work; the read after it has
+// neither a guard nor an owning boundary.
+void f_after_try(const Bytes& data) {
+  ByteCursor c(data);
+  try {
+    first_pass(data);
+  } catch (...) {
+  }
+  auto v = c.u32();
+  (void)v;
+}

@@ -1,0 +1,7 @@
+// Positive: a read with no dominating bounds guard and no enclosing
+// try -- a truncated input aborts the scan.
+void f_unguarded(const Bytes& data) {
+  ByteCursor c(data);
+  auto v = c.u16();
+  (void)v;
+}

@@ -1,0 +1,6 @@
+// Positive: a waiver spelled inside a raw string is data, not a
+// comment -- the memcpy on the same line still fires.
+void f_rawstring(void* dst, const void* src, unsigned long n) {
+  const char* t = R"(// lint-ok: not a waiver)"; std::memcpy(dst, src, n);
+  (void)t;
+}

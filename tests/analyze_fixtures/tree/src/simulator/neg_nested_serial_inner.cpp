@@ -1,0 +1,9 @@
+// Negative: a plain serial loop inside a parallel_for body shares
+// nothing across threads.
+void f_serial_inner(unsigned long n) {
+  util::parallel_for(n, [&](unsigned long i) {
+    for (unsigned long j = 0; j < 4; ++j) {
+      sink(i + j);
+    }
+  });
+}

@@ -1,0 +1,9 @@
+// Negative: the outer index is re-bound by value in the inner capture
+// list, so each inner task reads a private copy.
+void f_value_capture(unsigned long n) {
+  util::parallel_for(n, [&](unsigned long i) {
+    util::parallel_for(4, [&, i](unsigned long j) {
+      sink(i + j);
+    });
+  });
+}

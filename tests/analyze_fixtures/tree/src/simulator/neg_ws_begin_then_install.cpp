@@ -1,0 +1,9 @@
+// Negative: begin() resets the epoch before each reuse -- the
+// sanctioned serial pattern.
+void f_begin_then_install() {
+  PropagationWorkspace ws;
+  ws.begin(1);
+  ws.install(2);
+  ws.begin(2);
+  ws.install(3);
+}

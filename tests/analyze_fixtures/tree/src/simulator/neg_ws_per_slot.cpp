@@ -1,0 +1,9 @@
+// Negative: per-slot workspaces indexed by the loop variable are the
+// sanctioned parallel pattern (vector elements are not one shared
+// scratch object).
+void f_per_slot(std::vector<PropagationWorkspace>& slots) {
+  util::parallel_for(slots.size(), [&](unsigned long i) {
+    slots[i].begin(0);
+    slots[i].install(i);
+  });
+}

@@ -1,0 +1,9 @@
+// Positive: the inner parallel_for's [&] lambda touches the outer
+// loop index by reference.
+void f_nested(unsigned long n) {
+  util::parallel_for(n, [&](unsigned long i) {
+    util::parallel_for(4, [&](unsigned long j) {
+      sink(i + j);
+    });
+  });
+}

@@ -1,0 +1,10 @@
+// Positive: parallel_map nested in a parallel_for, with a [&] lambda
+// reading the outer loop index.
+void f_nested_map(unsigned long n) {
+  util::parallel_for(n, [&](unsigned long i) {
+    auto rows = util::parallel_map<int>(3, [&](unsigned long j) {
+      return static_cast<int>(i * j);
+    });
+    (void)rows;
+  });
+}

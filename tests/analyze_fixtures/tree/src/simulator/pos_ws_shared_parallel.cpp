@@ -1,0 +1,9 @@
+// Positive: one workspace captured by reference into a parallel_for
+// lambda -- every slot mutates the same scratch state.
+void f_shared_ws(unsigned long n) {
+  PropagationWorkspace ws;
+  ws.begin(0);
+  util::parallel_for(n, [&](unsigned long i) {
+    ws.install(i);
+  });
+}

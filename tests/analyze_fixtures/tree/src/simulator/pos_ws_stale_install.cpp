@@ -1,0 +1,6 @@
+// Positive: a fresh workspace is stale until begin(); install()
+// would leak the previous epoch's stamps.
+void f_stale_install() {
+  PropagationWorkspace ws;
+  ws.install(7);
+}

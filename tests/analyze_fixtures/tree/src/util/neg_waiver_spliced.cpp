@@ -1,0 +1,6 @@
+// Negative: a line-spliced waiver comment still covers its own line;
+// the backslash continues the comment, not the code.
+void f_spliced(char* d, const char* s) {
+  strcpy(d, s);  // lint-ok: spliced waiver, reason continues \
+onto the next physical line
+}

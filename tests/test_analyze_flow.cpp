@@ -1,0 +1,218 @@
+// In-process unit tests for the flow layer of manrs_analyze: function
+// discovery, CFG shape, protocol-spec parsing, waiver-comment edge
+// cases, and the typestate engine run end-to-end over synthetic files.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "analyze/cfg.h"
+#include "analyze/rule.h"
+#include "analyze/typestate.h"
+
+namespace {
+
+using manrs::analyze::analyze_text;
+using manrs::analyze::AnalyzedFile;
+using manrs::analyze::build_cfg;
+using manrs::analyze::Cfg;
+using manrs::analyze::find_functions;
+using manrs::analyze::Finding;
+using manrs::analyze::FunctionDef;
+using manrs::analyze::is_waiver_comment;
+using manrs::analyze::parse_protocols;
+using manrs::analyze::ProtocolSpec;
+using manrs::analyze::TypestateEngine;
+
+TEST(AnalyzeFlow, FindFunctionsRecoversQualifiedNamesAndParams) {
+  AnalyzedFile f = analyze_text(
+      "src/x.cpp",
+      "bool TableDumpReader::next(Record& out, int flags) {\n"
+      "  return false;\n"
+      "}\n"
+      "static void helper() {}\n");
+  std::vector<FunctionDef> fns = find_functions(f);
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_EQ(fns[0].name, "next");
+  EXPECT_EQ(fns[0].qualified, "TableDumpReader::next");
+  ASSERT_EQ(fns[0].params.size(), 2u);
+  EXPECT_EQ(fns[0].params[0].name, "out");
+  EXPECT_EQ(fns[0].params[0].type_terminal, "Record");
+  EXPECT_TRUE(fns[0].params[0].by_ref);
+  EXPECT_EQ(fns[0].params[1].name, "flags");
+  EXPECT_FALSE(fns[0].params[1].by_ref);
+  EXPECT_EQ(fns[1].name, "helper");
+  EXPECT_TRUE(fns[1].params.empty());
+}
+
+TEST(AnalyzeFlow, CfgSplitsOnBranches) {
+  AnalyzedFile f = analyze_text(
+      "src/x.cpp",
+      "int g(int a) {\n"
+      "  int r = 0;\n"
+      "  if (a > 0) {\n"
+      "    r = 1;\n"
+      "  } else {\n"
+      "    r = 2;\n"
+      "  }\n"
+      "  return r;\n"
+      "}\n");
+  std::vector<FunctionDef> fns = find_functions(f);
+  ASSERT_EQ(fns.size(), 1u);
+  Cfg cfg = build_cfg(f, fns[0]);
+  // At minimum: entry/head, then-block, else-block, join/exit.
+  EXPECT_GE(cfg.blocks.size(), 4u);
+  // Some block must have two successors (the branch).
+  bool has_branch = false;
+  for (const auto& b : cfg.blocks) has_branch |= b.succ.size() >= 2;
+  EXPECT_TRUE(has_branch);
+  // The exit block is reachable and has no successors.
+  EXPECT_TRUE(cfg.blocks[cfg.exit].succ.empty());
+}
+
+TEST(AnalyzeFlow, CfgMarksTryDepth) {
+  AnalyzedFile f = analyze_text(
+      "src/x.cpp",
+      "void g() {\n"
+      "  before();\n"
+      "  try {\n"
+      "    inside();\n"
+      "  } catch (...) {\n"
+      "  }\n"
+      "  after();\n"
+      "}\n");
+  std::vector<FunctionDef> fns = find_functions(f);
+  ASSERT_EQ(fns.size(), 1u);
+  Cfg cfg = build_cfg(f, fns[0]);
+  bool some_in_try = false;
+  bool some_outside = false;
+  for (const auto& b : cfg.blocks) {
+    if (b.ranges.empty()) continue;
+    (b.try_depth > 0 ? some_in_try : some_outside) = true;
+  }
+  EXPECT_TRUE(some_in_try);
+  EXPECT_TRUE(some_outside);
+}
+
+TEST(AnalyzeFlow, ParseProtocolsRoundTrips) {
+  std::string error;
+  std::vector<ProtocolSpec> specs = parse_protocols(
+      "# comment\n"
+      "protocol demo\n"
+      "  type Widget\n"
+      "  severity warning\n"
+      "  summary widget protocol\n"
+      "  hint fix it\n"
+      "  scope src/\n"
+      "  states closed open\n"
+      "  start closed\n"
+      "  attr try-suppresses\n"
+      "  on closed open_it -> open\n"
+      "  on closed use !! used while closed\n"
+      "end\n",
+      &error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_EQ(specs.size(), 1u);
+  const ProtocolSpec& s = specs[0];
+  EXPECT_EQ(s.id, "demo");
+  EXPECT_EQ(s.severity, "warning");
+  EXPECT_TRUE(s.try_suppresses);
+  EXPECT_FALSE(s.callers_try_suppresses);
+  ASSERT_EQ(s.states.size(), 2u);
+  EXPECT_EQ(s.start, s.state_index("closed"));
+  ASSERT_EQ(s.table.size(), 2u);
+  EXPECT_FALSE(s.table[0].is_error);
+  EXPECT_EQ(s.table[0].to, s.state_index("open"));
+  EXPECT_TRUE(s.table[1].is_error);
+  EXPECT_EQ(s.table[1].message, "used while closed");
+  EXPECT_TRUE(s.in_scope("src/a.cpp"));
+  EXPECT_FALSE(s.in_scope("bench/a.cpp"));
+}
+
+TEST(AnalyzeFlow, ParseProtocolsRejectsUnknownState) {
+  std::string error;
+  std::vector<ProtocolSpec> specs = parse_protocols(
+      "protocol demo\n"
+      "  states a b\n"
+      "  on nosuch m -> a\n"
+      "end\n",
+      &error);
+  EXPECT_TRUE(specs.empty());
+  EXPECT_NE(error.find("3"), std::string::npos) << error;  // line number
+}
+
+TEST(AnalyzeFlow, ParseProtocolsRejectsDirectiveOutsideProtocol) {
+  std::string error;
+  parse_protocols("states a b\n", &error);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(AnalyzeFlow, WaiverCommentRequiresReason) {
+  EXPECT_TRUE(is_waiver_comment("// lint-ok: tested elsewhere"));
+  EXPECT_FALSE(is_waiver_comment("// lint-ok:"));
+  EXPECT_FALSE(is_waiver_comment("// lint-ok:   "));
+  EXPECT_FALSE(is_waiver_comment("/* lint-ok: */"));
+  EXPECT_TRUE(is_waiver_comment("/* lint-ok: checked */"));
+  EXPECT_FALSE(is_waiver_comment("// nothing to see"));
+}
+
+TEST(AnalyzeFlow, EngineFlagsStagedReadAcrossFunctions) {
+  // The callee reads; the caller leaves the Rib staged. The finding
+  // must anchor at the caller's call site.
+  AnalyzedFile f = analyze_text(
+      "src/bgp/x.cpp",
+      "unsigned long count(Rib& r) { return r.entry_count(); }\n"
+      "void build() {\n"
+      "  Rib r;\n"
+      "  r.insert(1, 2, 3);\n"
+      "  count(r);\n"
+      "}\n");
+  std::string error;
+  std::vector<ProtocolSpec> specs = parse_protocols(
+      "protocol rib-typestate\n"
+      "  type Rib\n"
+      "  states clean staged finalized\n"
+      "  start clean\n"
+      "  on clean insert -> staged\n"
+      "  on staged entry_count !! staged read\n"
+      "  on staged finalize -> finalized\n"
+      "end\n",
+      &error);
+  ASSERT_TRUE(error.empty()) << error;
+  std::vector<const AnalyzedFile*> files = {&f};
+  TypestateEngine engine(std::move(specs), files);
+  std::vector<Finding> findings = engine.check_file(0);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "rib-typestate");
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(AnalyzeFlow, EngineStaysQuietWhenProtocolIsFollowed) {
+  AnalyzedFile f = analyze_text(
+      "src/bgp/x.cpp",
+      "void build() {\n"
+      "  Rib r;\n"
+      "  r.insert(1, 2, 3);\n"
+      "  r.finalize();\n"
+      "  auto n = r.entry_count();\n"
+      "  (void)n;\n"
+      "}\n");
+  std::string error;
+  std::vector<ProtocolSpec> specs = parse_protocols(
+      "protocol rib-typestate\n"
+      "  type Rib\n"
+      "  states clean staged finalized\n"
+      "  start clean\n"
+      "  on clean insert -> staged\n"
+      "  on staged entry_count !! staged read\n"
+      "  on staged finalize -> finalized\n"
+      "end\n",
+      &error);
+  ASSERT_TRUE(error.empty()) << error;
+  std::vector<const AnalyzedFile*> files = {&f};
+  TypestateEngine engine(std::move(specs), files);
+  EXPECT_TRUE(engine.check_file(0).empty());
+}
+
+}  // namespace

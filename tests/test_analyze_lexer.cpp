@@ -84,6 +84,29 @@ TEST(AnalyzeLexer, SplicedLineCommentContinues) {
   EXPECT_EQ(tokens[1].line, 3);
 }
 
+TEST(AnalyzeLexer, WaiverInsideRawStringIsStringNotComment) {
+  // "// lint-ok: ..." spelled inside a raw string must lex as string
+  // data; the waiver scan only looks at kComment tokens.
+  auto tokens =
+      lex_body("const char* t = R\"(// lint-ok: not a waiver)\";");
+  const Token* str = find_kind(tokens, TokenKind::kString);
+  ASSERT_NE(str, nullptr);
+  EXPECT_NE(str->text.find("lint-ok"), std::string::npos);
+  EXPECT_EQ(find_kind(tokens, TokenKind::kComment), nullptr);
+}
+
+TEST(AnalyzeLexer, SplicedWaiverCommentSpansBothLines) {
+  // A spliced "// lint-ok:" comment keeps its start line (where the
+  // waived code sits) and extends end_line over the continuation.
+  auto tokens = lex_body("strcpy(d, s);  // lint-ok: reason \\\ncontinued");
+  const Token* comment = find_kind(tokens, TokenKind::kComment);
+  ASSERT_NE(comment, nullptr);
+  EXPECT_NE(comment->text.find("lint-ok: reason"), std::string::npos);
+  EXPECT_NE(comment->text.find("continued"), std::string::npos);
+  EXPECT_EQ(comment->line, 1);
+  EXPECT_EQ(comment->end_line, 2);
+}
+
 TEST(AnalyzeLexer, SplicedIdentifierLexesAsOne) {
   auto tokens = lex_body("in\\\nt value;");
   ASSERT_GE(tokens.size(), 2u);

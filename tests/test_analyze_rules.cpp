@@ -79,15 +79,25 @@ TEST(AnalyzeRules, FixtureTreeFindingsMatchExactly) {
   ASSERT_EQ(r.exit_code, 1) << r.out;  // findings present -> exit 1
 
   std::vector<FindingKey> expected = {
+      {"src/bgp/pos_rib_insert_after_finalize.cpp", 7, "rib-typestate"},
+      {"src/bgp/pos_rib_pass_staged.cpp", 9, "rib-typestate"},
+      {"src/bgp/pos_rib_read_staged.cpp", 6, "rib-typestate"},
       {"src/core/pos_layer_undeclared.cpp", 1, "layer-violation"},
+      {"src/mrt/pos_cursor_after_try.cpp", 9, "cursor-guard"},
+      {"src/mrt/pos_cursor_unguarded.cpp", 5, "cursor-guard"},
       {"src/mrt/pos_memcpy.cpp", 4, "unchecked-memcpy"},
       {"src/mrt/pos_reinterpret.cpp", 3, "reinterpret-cast"},
       {"src/mrt/pos_throw.cpp", 5, "parse-throw-boundary"},
       {"src/mrt/pos_union.cpp", 2, "union-punning"},
+      {"src/mrt/pos_waiver_rawstring.cpp", 4, "unchecked-memcpy"},
       {"src/netbase/pos_layer.cpp", 1, "layer-violation"},
       {"src/simulator/pos_det_iter.cpp", 7, "determinism-iteration"},
+      {"src/simulator/pos_nested_capture.cpp", 6, "nested-parallel"},
+      {"src/simulator/pos_nested_map_capture.cpp", 6, "nested-parallel"},
       {"src/simulator/pos_par_capture.cpp", 7, "parallel-capture"},
       {"src/simulator/pos_ribmap.cpp", 7, "rib-map"},
+      {"src/simulator/pos_ws_shared_parallel.cpp", 7, "workspace-epoch"},
+      {"src/simulator/pos_ws_stale_install.cpp", 5, "workspace-epoch"},
       {"src/util/pos_atox.cpp", 3, "locale-atox"},
       {"src/util/pos_stdhash.cpp", 4, "std-hash"},
       {"src/util/pos_strtox.cpp", 4, "throwing-strtox"},
@@ -110,11 +120,12 @@ TEST(AnalyzeRules, RegexCorpusParityAllPortedRulesFire) {
   for (const FindingKey& k : parse_findings(r.out)) {
     fired.insert(std::get<2>(k));
   }
-  const std::array<const char*, 13> all_rules = {
+  const std::array<const char*, 17> all_rules = {
       "reinterpret-cast", "unchecked-memcpy", "throwing-strtox",
       "locale-atox", "unbounded-copy", "union-punning", "raw-thread",
       "rib-map", "std-hash", "determinism-iteration", "parallel-capture",
-      "layer-violation", "parse-throw-boundary"};
+      "layer-violation", "parse-throw-boundary", "rib-typestate",
+      "workspace-epoch", "cursor-guard", "nested-parallel"};
   for (const char* rule : all_rules) {
     EXPECT_EQ(fired.count(rule), 1u) << "rule never fired: " << rule;
   }
@@ -140,9 +151,103 @@ TEST(AnalyzeRules, ListRulesShowsFullCatalog) {
   EXPECT_EQ(r.exit_code, 0);
   for (const char* rule :
        {"reinterpret-cast", "determinism-iteration", "parallel-capture",
-        "layer-violation", "parse-throw-boundary"}) {
+        "layer-violation", "parse-throw-boundary", "rib-typestate",
+        "workspace-epoch", "cursor-guard", "nested-parallel"}) {
     EXPECT_NE(r.out.find(rule), std::string::npos) << rule;
   }
+}
+
+TEST(AnalyzeRules, WaiverInsideRawStringDoesNotWaive) {
+  // R"(// lint-ok: ...)" is string data; the memcpy on the same line
+  // must still fire.
+  RunResult r = run_analyzer(std::string("--root ") + MANRS_ANALYZE_TREE +
+                             " --json src/mrt/pos_waiver_rawstring.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.out;
+  std::vector<FindingKey> expected = {
+      {"src/mrt/pos_waiver_rawstring.cpp", 4, "unchecked-memcpy"}};
+  EXPECT_EQ(parse_findings(r.out), expected) << r.out;
+  EXPECT_NE(r.out.find("\"waived\":0"), std::string::npos) << r.out;
+}
+
+TEST(AnalyzeRules, SplicedWaiverCommentStillCoversItsLine) {
+  // A backslash-newline inside "// lint-ok: ..." extends the comment,
+  // so the waiver (and its reason) still covers the strcpy line.
+  RunResult r = run_analyzer(std::string("--root ") + MANRS_ANALYZE_TREE +
+                             " --json src/util/neg_waiver_spliced.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_EQ(parse_findings(r.out).size(), 0u) << r.out;
+  EXPECT_NE(r.out.find("\"waived\":1"), std::string::npos) << r.out;
+}
+
+TEST(AnalyzeRules, CachedRerunIsByteIdenticalAndAllHits) {
+  std::string dir = testing::TempDir() + "analyze_cache_test";
+  // TempDir() is stable across runs; start from a genuinely cold cache.
+  ASSERT_EQ(std::system(("rm -rf " + dir).c_str()), 0);
+  std::string s1 = dir + ".cold.sarif";
+  std::string s2 = dir + ".warm.sarif";
+  std::string common = std::string("--root ") + MANRS_ANALYZE_TREE +
+                       " --json --cache-dir " + dir;
+  RunResult cold = run_analyzer(common + " --sarif " + s1);
+  ASSERT_EQ(cold.exit_code, 1) << cold.out;
+  EXPECT_NE(cold.out.find("\"cache_hits\":0"), std::string::npos) << cold.out;
+  RunResult warm = run_analyzer(common + " --sarif " + s2);
+  ASSERT_EQ(warm.exit_code, 1) << warm.out;
+  EXPECT_NE(warm.out.find("\"cache_misses\":0"), std::string::npos)
+      << warm.out;
+  // The cached re-scan must reproduce the cold SARIF byte for byte.
+  std::ifstream f1(s1, std::ios::binary);
+  std::ifstream f2(s2, std::ios::binary);
+  ASSERT_TRUE(f1.good());
+  ASSERT_TRUE(f2.good());
+  std::ostringstream b1;
+  std::ostringstream b2;
+  b1 << f1.rdbuf();
+  b2 << f2.rdbuf();
+  EXPECT_EQ(b1.str(), b2.str());
+  std::remove(s1.c_str());
+  std::remove(s2.c_str());
+}
+
+TEST(AnalyzeRules, BaselinePassesOnItselfFailsOnNewFindings) {
+  std::string base = testing::TempDir() + "analyze_baseline_test.sarif";
+  // Baseline the full tree, then diff the same scan: nothing new.
+  RunResult make = run_analyzer(std::string("--root ") + MANRS_ANALYZE_TREE +
+                                " --sarif " + base);
+  ASSERT_EQ(make.exit_code, 1);
+  RunResult self = run_analyzer(std::string("--root ") + MANRS_ANALYZE_TREE +
+                                " --baseline " + base + " --fail-on-new");
+  EXPECT_EQ(self.exit_code, 0) << self.out;
+  // Baseline only a subtree: the rest of the corpus counts as new.
+  RunResult partial = run_analyzer(std::string("--root ") +
+                                   MANRS_ANALYZE_TREE + " --sarif " + base +
+                                   " src/util/pos_atox.cpp");
+  ASSERT_EQ(partial.exit_code, 1);
+  RunResult gated = run_analyzer(std::string("--root ") + MANRS_ANALYZE_TREE +
+                                 " --baseline " + base + " --fail-on-new");
+  EXPECT_EQ(gated.exit_code, 1) << gated.out;
+  std::remove(base.c_str());
+}
+
+TEST(AnalyzeRules, InternalErrorExitsTwo) {
+  RunResult r = run_analyzer(std::string("--root ") + MANRS_ANALYZE_TREE +
+                             " --self-test-throw");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(AnalyzeRules, MalformedProtocolSpecExitsTwo) {
+  std::string root = testing::TempDir() + "analyze_badproto";
+  std::string tools = root + "/tools/analyze";
+  ASSERT_EQ(std::system(("mkdir -p " + tools + " " + root + "/src").c_str()),
+            0);
+  {
+    std::ofstream proto(tools + "/protocols.txt");
+    proto << "protocol broken\n  on nosuch method -> nowhere\nend\n";
+    std::ofstream src(root + "/src/a.cpp");
+    src << "int x;\n";
+  }
+  RunResult r = run_analyzer("--root " + root);
+  EXPECT_EQ(r.exit_code, 2);
+  ASSERT_EQ(std::system(("rm -rf " + root).c_str()), 0);
 }
 
 TEST(AnalyzeRules, SarifArtifactIsWritten) {

@@ -7,6 +7,10 @@
 #include <fstream>
 #include <sstream>
 
+#include "analyze/cache.h"
+#include "analyze/typestate.h"
+#include "util/parallel.h"
+
 namespace manrs::analyze {
 
 namespace fs = std::filesystem;
@@ -43,6 +47,8 @@ bool allowlisted(const std::string& rule, const std::string& rel) {
   return false;
 }
 
+}  // namespace
+
 bool is_waiver_comment(const std::string& text) {
   size_t pos = text.find("lint-ok:");
   if (pos == std::string::npos) return false;
@@ -54,8 +60,6 @@ bool is_waiver_comment(const std::string& text) {
   // A reason is required; a bare "lint-ok:" waives nothing.
   return pos < text.size() && text[pos] != '*' && text[pos] != '/';
 }
-
-}  // namespace
 
 LayerConfig parse_layers(const std::string& text, std::string path) {
   LayerConfig config;
@@ -145,13 +149,25 @@ Analyzer::Analyzer(std::string root) {
   std::error_code ec;
   fs::path abs = fs::absolute(root, ec);
   root_ = ec ? root : abs.lexically_normal().string();
-  std::ifstream in(root_ + "/tools/analyze/layers.txt");
-  if (in) {
+  auto slurp = [](const std::string& path, std::string* out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
     std::ostringstream text;
     text << in.rdbuf();
-    layers_ = parse_layers(text.str(), root_ + "/tools/analyze/layers.txt");
+    *out = text.str();
+    return true;
+  };
+  if (slurp(root_ + "/tools/analyze/layers.txt", &layers_text_)) {
+    layers_ = parse_layers(layers_text_, root_ + "/tools/analyze/layers.txt");
+  }
+  if (slurp(root_ + "/tools/analyze/protocols.txt", &protocols_text_)) {
+    protocols_ = parse_protocols(protocols_text_, &protocol_error_);
   }
 }
+
+Analyzer::~Analyzer() = default;
+
+void Analyzer::enable_cache(std::string dir) { cache_dir_ = std::move(dir); }
 
 bool Analyzer::add_file(const std::string& path) {
   fs::path abs = fs::path(path).is_absolute() ? fs::path(path)
@@ -170,9 +186,7 @@ bool Analyzer::add_file(const std::string& path) {
   fs::path rel = fs::relative(abs, root_, ec);
   file.rel_path = (ec || rel.empty()) ? abs.generic_string()
                                       : rel.generic_string();
-  file.tokens = lex(text.str());
-  file.includes = extract_includes(file.tokens);
-  index_file(file);
+  file.text = text.str();
   files_.push_back(std::move(file));
   indexed_ = false;
   return true;
@@ -212,7 +226,12 @@ bool Analyzer::add_target(const std::string& target) {
   return ok;
 }
 
-void Analyzer::index_file(AnalyzedFile& file) {
+AnalyzedFile analyze_text(std::string rel_path, std::string text) {
+  AnalyzedFile file;
+  file.rel_path = std::move(rel_path);
+  file.text = std::move(text);
+  file.tokens = lex(file.text);
+  file.includes = extract_includes(file.tokens);
   const std::vector<Token>& toks = file.tokens;
 
   // Code view + waivers.
@@ -322,7 +341,7 @@ void Analyzer::index_file(AnalyzedFile& file) {
     const std::string& name = code_tok(k).text;
     if (k + 1 < n && code_tok(k + 1).is_punct("(")) {
       // Declared return type of a function.
-      program_.unordered_fns.insert(name);
+      file.unordered_fn_decls.insert(name);
     } else if (k + 1 < n && (code_tok(k + 1).is_punct("::") ||
                              code_tok(k + 1).is_punct("<"))) {
       // unordered_map<...>::iterator etc. -- not a variable.
@@ -330,13 +349,23 @@ void Analyzer::index_file(AnalyzedFile& file) {
       file.unordered_vars[name].push_back(code_tok(k).line);
     }
   }
+  return file;
 }
 
 void Analyzer::finish_index() {
   if (indexed_) return;
+  // Pass 1 in parallel: lex + per-file index. Each task touches only
+  // its own AnalyzedFile; the cross-file steps below stay serial.
+  util::parallel_for(files_.size(), [&](size_t i) {
+    AnalyzedFile& f = files_[i];
+    files_[i] = analyze_text(std::move(f.rel_path), std::move(f.text));
+  });
   program_.files.clear();
+  program_.unordered_fns.clear();
   for (const AnalyzedFile& f : files_) {
     program_.files[f.rel_path] = &f;
+    program_.unordered_fns.insert(f.unordered_fn_decls.begin(),
+                                  f.unordered_fn_decls.end());
   }
   // `auto x = f(...)` where f is declared (in any scanned file) to
   // return an unordered container: x inherits the container type.
@@ -373,12 +402,66 @@ void Analyzer::finish_index() {
   indexed_ = true;
 }
 
+std::vector<CatalogEntry> Analyzer::rule_catalog() const {
+  std::vector<CatalogEntry> out;
+  for (const auto& rule : make_all_rules()) {
+    const RuleInfo& info = rule->info();
+    out.push_back(CatalogEntry{info.id, info.severity, info.summary,
+                               info.hint});
+  }
+  for (const ProtocolSpec& spec : protocols_) {
+    out.push_back(CatalogEntry{spec.id, spec.severity, spec.summary,
+                               spec.hint});
+  }
+  return out;
+}
+
 AnalysisResult Analyzer::run() {
   finish_index();
   std::vector<std::unique_ptr<Rule>> rules = make_all_rules();
-  AnalysisResult result;
-  result.files_scanned = files_.size();
-  for (const AnalyzedFile& file : files_) {
+
+  std::vector<const AnalyzedFile*> file_ptrs;
+  file_ptrs.reserve(files_.size());
+  for (const AnalyzedFile& f : files_) file_ptrs.push_back(&f);
+  // A malformed protocols.txt disables the flow rules (the caller
+  // surfaces protocol_error() as a configuration error).
+  std::vector<ProtocolSpec> protos =
+      protocol_error_.empty() ? protocols_ : std::vector<ProtocolSpec>{};
+  TypestateEngine engine(std::move(protos), file_ptrs);
+
+  // The cache key folds in everything that can change a file's results
+  // besides its own content: the rule set, the layer and protocol
+  // configs, and the cross-TU environment (summaries, caller-try sets).
+  ResultCache cache(cache_dir_, [&] {
+    uint64_t h = fnv1a64("manrs_analyze-cache");
+    for (const auto& rule : rules) h = fnv1a64(rule->info().id, h);
+    h = fnv1a64(layers_text_, h);
+    h = fnv1a64(protocols_text_, h);
+    uint64_t env = engine.environment_hash();
+    h ^= env + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  }());
+
+  struct FileOutcome {
+    std::vector<Finding> findings;  // post-waiver
+    size_t waived = 0;
+    bool from_cache = false;
+  };
+  std::vector<FileOutcome> outcomes(files_.size());
+  util::parallel_for(files_.size(), [&](size_t i) {
+    const AnalyzedFile& file = files_[i];
+    FileOutcome& slot = outcomes[i];
+    uint64_t key = 0;
+    if (cache.enabled()) {
+      key = cache.key(file.rel_path, file.text);
+      CacheEntry entry;
+      if (cache.load(file.rel_path, key, &entry)) {
+        slot.findings = std::move(entry.findings);
+        slot.waived = entry.waived;
+        slot.from_cache = true;
+        return;
+      }
+    }
     FileContext ctx(file, program_, layers_);
     std::vector<Finding> raw;
     for (const auto& rule : rules) {
@@ -386,20 +469,44 @@ AnalysisResult Analyzer::run() {
       if (allowlisted(rule->info().id, file.rel_path)) continue;
       rule->check(ctx, raw);
     }
+    std::vector<Finding> flow = engine.check_file(i);
+    raw.insert(raw.end(), std::make_move_iterator(flow.begin()),
+               std::make_move_iterator(flow.end()));
     for (Finding& f : raw) {
       if (file.waived_lines.count(f.line) != 0) {
-        ++result.waived;
+        ++slot.waived;
         continue;
       }
-      result.findings.push_back(std::move(f));
+      slot.findings.push_back(std::move(f));
     }
+    if (cache.enabled()) {
+      CacheEntry entry;
+      entry.findings = slot.findings;
+      entry.waived = slot.waived;
+      cache.store(file.rel_path, key, entry);
+    }
+  });
+
+  AnalysisResult result;
+  result.files_scanned = files_.size();
+  for (FileOutcome& slot : outcomes) {
+    result.waived += slot.waived;
+    if (slot.from_cache) {
+      ++result.cache_hits;
+    } else {
+      ++result.cache_misses;
+    }
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(slot.findings.begin()),
+                           std::make_move_iterator(slot.findings.end()));
   }
   std::sort(result.findings.begin(), result.findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.file != b.file) return a.file < b.file;
               if (a.line != b.line) return a.line < b.line;
               if (a.col != b.col) return a.col < b.col;
-              return a.rule < b.rule;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;  // total order => stable bytes
             });
   return result;
 }

@@ -1,16 +1,22 @@
 // manrs_analyze driver: file loading, lexing, indexing, rule running.
 //
-// The analyzer makes two passes. Pass 1 lexes every file, extracts its
-// includes, scans its comment tokens for `// lint-ok: <reason>` waivers,
-// and builds the declaration index: variables (locals, members, and
+// The analyzer makes two passes. Pass 1 (parallel, one task per file
+// through util::parallel_for) lexes every file, extracts its includes,
+// scans its comment tokens for `// lint-ok: <reason>` waivers, and
+// builds the declaration index: variables (locals, members, and
 // parameters) whose declared type names unordered_map/unordered_set,
 // functions whose declared return type does, and `auto x = f(...)`
-// propagation through those functions. Pass 2 runs every registered
-// rule over every file, then drops findings on waived lines and
-// findings covered by the per-rule allowlists (the audited exceptions
-// inherited from tools/lint_wire.py).
+// propagation through those functions. Pass 2 builds the flow engine
+// (CFGs, call graph, typestate summaries -- see typestate.h) and runs
+// every registered rule plus the engine over every file, in parallel,
+// then drops findings on waived lines and findings covered by the
+// per-rule allowlists (the audited exceptions inherited from
+// tools/lint_wire.py). The global sort at the end makes output
+// independent of scheduling, which is what lets the incremental cache
+// (cache.h) promise byte-identical warm reruns.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -21,6 +27,11 @@
 #include "analyze/token.h"
 
 namespace manrs::analyze {
+
+// Defined in typestate.h (which includes this header via cfg.h; the
+// analyzer only holds protocols by value inside a vector, so a forward
+// declaration plus an out-of-line destructor breaks the cycle).
+struct ProtocolSpec;
 
 /// The include-layering contract, parsed from tools/analyze/layers.txt.
 /// Each declared module (a directory under src/) lists the modules it
@@ -41,6 +52,7 @@ LayerConfig parse_layers(const std::string& text, std::string path);
 
 struct AnalyzedFile {
   std::string rel_path;  // posix, relative to the analysis root
+  std::string text;      // raw file content (cache keys hash it)
   std::vector<Token> tokens;
   std::vector<size_t> code;  // indexes of code tokens (no comments/directives)
   std::vector<size_t> match;  // per code position: matching ()/[]/{} position
@@ -50,7 +62,19 @@ struct AnalyzedFile {
   // name -> source lines where an unordered_map/unordered_set variable
   // of that name is declared in this file.
   std::map<std::string, std::vector<int>> unordered_vars;
+  // Functions declared in this file returning an unordered container
+  // (file-local so indexing can run in parallel; merged globally later).
+  std::set<std::string> unordered_fn_decls;
 };
+
+/// True for a comment carrying a `lint-ok: <reason>` waiver (a bare
+/// "lint-ok:" with no reason waives nothing).
+bool is_waiver_comment(const std::string& text);
+
+/// Lex + index one buffer: code view, waiver lines, bracket match /
+/// enclosing-brace tables, declaration scan. The building block of the
+/// analyzer's parallel pass 1, exported for unit tests.
+AnalyzedFile analyze_text(std::string rel_path, std::string text);
 
 struct ProgramIndex {
   // Functions (by name, any file) declared to return an unordered
@@ -100,15 +124,22 @@ struct AnalysisResult {
   std::vector<Finding> findings;  // unwaived, sorted (file, line, col, rule)
   size_t files_scanned = 0;
   size_t waived = 0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;  // files analyzed fresh (== files_scanned
+                            // when the cache is disabled)
 };
 
 class Analyzer {
  public:
   /// `root`: the repository root all rel paths are computed against.
+  /// Loads tools/analyze/layers.txt and tools/analyze/protocols.txt
+  /// from it (a malformed protocols file sets protocol_error()).
   explicit Analyzer(std::string root);
+  ~Analyzer();  // out-of-line: ProtocolSpec is incomplete here
 
-  /// Load + lex one file (path absolute or root-relative). Returns false
-  /// (with a message to stderr) if unreadable.
+  /// Load one file (path absolute or root-relative); lexing and
+  /// indexing are deferred to run(). Returns false (with a message to
+  /// stderr) if unreadable.
   bool add_file(const std::string& path);
 
   /// Expand a file-or-directory target into add_file calls, skipping
@@ -116,17 +147,33 @@ class Analyzer {
   /// Returns false if the target does not exist.
   bool add_target(const std::string& target);
 
-  /// Run every rule over every loaded file.
+  /// Persist per-file results under `dir` and reuse them on rerun when
+  /// nothing the file's findings depend on changed. Call before run().
+  void enable_cache(std::string dir);
+
+  /// Run every rule and the typestate engine over every loaded file.
   AnalysisResult run();
 
   const LayerConfig& layers() const { return layers_; }
 
+  /// Non-empty when tools/analyze/protocols.txt failed to parse; the
+  /// flow rules are disabled and the caller should treat the scan as a
+  /// configuration error.
+  const std::string& protocol_error() const { return protocol_error_; }
+
+  /// Static rules plus the loaded protocol rules, catalog order.
+  std::vector<CatalogEntry> rule_catalog() const;
+
  private:
-  void index_file(AnalyzedFile& file);
   void finish_index();
 
   std::string root_;
   LayerConfig layers_;
+  std::string layers_text_;
+  std::string protocols_text_;
+  std::vector<ProtocolSpec> protocols_;
+  std::string protocol_error_;
+  std::string cache_dir_;
   std::vector<AnalyzedFile> files_;
   ProgramIndex program_;
   bool indexed_ = false;

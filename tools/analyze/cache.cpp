@@ -1,0 +1,163 @@
+#include "analyze/cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace manrs::analyze {
+
+namespace {
+
+constexpr uint64_t kCacheFormat = 3;  // bump to invalidate all shards
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\\': out += "\\\\"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case 't': out += '\t'; break;
+        case 'n': out += '\n'; break;
+        default: out += s[i];
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_tabs(const std::string& line) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == '\t') {
+      out.push_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string hex64(uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t fnv1a64(std::string_view data, uint64_t seed) {
+  uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+ResultCache::ResultCache(std::string dir, uint64_t env_hash)
+    : dir_(std::move(dir)), env_hash_(env_hash) {}
+
+uint64_t ResultCache::key(const std::string& rel_path,
+                          const std::string& content) const {
+  uint64_t h = fnv1a64(content);
+  h = fnv1a64(rel_path, h * 0x100000001b3ULL + kCacheFormat);
+  h ^= env_hash_ + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::string ResultCache::shard_path(const std::string& rel_path) const {
+  return dir_ + "/" + hex64(fnv1a64(rel_path)) + ".rec";
+}
+
+bool ResultCache::load(const std::string& rel_path, uint64_t key,
+                       CacheEntry* out) const {
+  if (!enabled()) return false;
+  std::ifstream in(shard_path(rel_path));
+  if (!in) return false;
+  std::string header;
+  if (!std::getline(in, header)) return false;
+  std::vector<std::string> hf = split_tabs(header);
+  // header: rel_path  key-hex  finding-count  waived-count
+  if (hf.size() != 4 || unescape(hf[0]) != rel_path ||
+      hf[1] != hex64(key)) {
+    return false;
+  }
+  auto count_v = util::parse_uint<uint64_t>(hf[2]);
+  auto waived_v = util::parse_uint<uint64_t>(hf[3]);
+  if (!count_v || !waived_v) return false;
+  const size_t count = static_cast<size_t>(*count_v);
+  CacheEntry entry;
+  entry.waived = static_cast<size_t>(*waived_v);
+  std::string line;
+  for (size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) return false;
+    std::vector<std::string> f = split_tabs(line);
+    // finding: file  line  col  rule  severity  message  hint
+    if (f.size() != 7) return false;
+    Finding fd;
+    fd.file = unescape(f[0]);
+    auto line_v = util::parse_int<int>(f[1]);
+    auto col_v = util::parse_int<int>(f[2]);
+    if (!line_v || !col_v) return false;
+    fd.line = *line_v;
+    fd.col = *col_v;
+    fd.rule = unescape(f[3]);
+    fd.severity = unescape(f[4]);
+    fd.message = unescape(f[5]);
+    fd.hint = unescape(f[6]);
+    entry.findings.push_back(std::move(fd));
+  }
+  *out = std::move(entry);
+  return true;
+}
+
+void ResultCache::store(const std::string& rel_path, uint64_t key,
+                        const CacheEntry& entry) const {
+  if (!enabled()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return;
+  std::ostringstream buf;
+  buf << escape(rel_path) << '\t' << hex64(key) << '\t'
+      << entry.findings.size() << '\t' << entry.waived << '\n';
+  for (const Finding& fd : entry.findings) {
+    buf << escape(fd.file) << '\t' << fd.line << '\t' << fd.col << '\t'
+        << escape(fd.rule) << '\t' << escape(fd.severity) << '\t'
+        << escape(fd.message) << '\t' << escape(fd.hint) << '\n';
+  }
+  const std::string path = shard_path(rel_path);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;
+    out << buf.str();
+    if (!out) return;
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+}
+
+}  // namespace manrs::analyze

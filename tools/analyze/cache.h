@@ -1,0 +1,58 @@
+// Incremental result cache for manrs_analyze.
+//
+// Per analyzed file, the post-waiver findings and the waived-line count
+// are stored in a shard under build/analyze-cache/ (or --cache-dir).
+// The key covers everything a file's findings can depend on:
+//
+//   key = fnv( file content hash
+//            , ruleset hash        -- rule ids + layers.txt + version
+//            , protocols.txt hash
+//            , engine environment hash  -- summaries, caller-try flags )
+//
+// so editing any file that changes a function summary invalidates every
+// dependent file's entry, while a no-op rescan hits on all shards. A
+// shard is one text record, tab-escaped, rewritten whole on store; a
+// corrupt or mismatched shard is treated as a miss. The cache is
+// best-effort: every I/O failure degrades to a miss or a skipped store.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analyze/rule.h"
+
+namespace manrs::analyze {
+
+uint64_t fnv1a64(std::string_view data, uint64_t seed = 0xcbf29ce484222325ULL);
+
+struct CacheEntry {
+  std::vector<Finding> findings;  // post-waiver, pre-sort
+  size_t waived = 0;
+};
+
+class ResultCache {
+ public:
+  /// `dir` is created on first store. Empty dir disables the cache.
+  ResultCache(std::string dir, uint64_t env_hash);
+
+  bool enabled() const { return !dir_.empty(); }
+
+  /// Key for one file. `content` is the raw file text.
+  uint64_t key(const std::string& rel_path, const std::string& content) const;
+
+  /// Load the entry for (rel_path, key); false = miss.
+  bool load(const std::string& rel_path, uint64_t key, CacheEntry* out) const;
+
+  /// Store (best-effort; failures are silent).
+  void store(const std::string& rel_path, uint64_t key,
+             const CacheEntry& entry) const;
+
+ private:
+  std::string shard_path(const std::string& rel_path) const;
+
+  std::string dir_;
+  uint64_t env_hash_ = 0;
+};
+
+}  // namespace manrs::analyze

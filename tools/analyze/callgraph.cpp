@@ -1,0 +1,151 @@
+#include "analyze/callgraph.h"
+
+#include <set>
+
+namespace manrs::analyze {
+
+namespace {
+
+/// Identifiers that look like calls in "name (" position but are not.
+const std::set<std::string> kNotACall = {
+    "if",      "for",     "while",    "switch", "catch",    "return",
+    "sizeof",  "alignof", "decltype", "new",    "delete",   "throw",
+    "typeid",  "static_assert", "alignas", "noexcept", "assert",
+    "defined", "co_await", "co_return", "requires"};
+
+}  // namespace
+
+CallGraph::CallGraph(const std::vector<const AnalyzedFile*>& files,
+                     std::vector<std::vector<FunctionDef>> defs,
+                     std::vector<std::vector<Cfg>> cfgs) {
+  fns_by_file_.resize(files.size());
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    for (size_t k = 0; k < defs[fi].size(); ++k) {
+      size_t id = fns_.size();
+      fns_.push_back(FunctionUnit{fi, std::move(defs[fi][k]),
+                                  std::move(cfgs[fi][k])});
+      by_name_[fns_[id].def.name].push_back(id);
+      by_qualified_[fns_[id].def.qualified].push_back(id);
+      fns_by_file_[fi].push_back(id);
+    }
+  }
+
+  // Call sites: scan each function's CFG block ranges for "name (".
+  for (size_t fn = 0; fn < fns_.size(); ++fn) {
+    const FunctionUnit& u = fns_[fn];
+    const AnalyzedFile& f = *files[u.file_index];
+    auto tok = [&](size_t i) -> const Token& { return f.tokens[f.code[i]]; };
+    for (size_t b = 0; b < u.cfg.blocks.size(); ++b) {
+      const BasicBlock& block = u.cfg.blocks[b];
+      for (const CodeRange& r : block.ranges) {
+        for (size_t i = r.first; i + 1 < r.second; ++i) {
+          if (tok(i).kind != TokenKind::kIdentifier) continue;
+          if (!tok(i + 1).is_punct("(")) continue;
+          if (kNotACall.count(tok(i).text) != 0) continue;
+          CallSite site;
+          site.file_index = u.file_index;
+          site.caller = fn;
+          site.terminal = tok(i).text;
+          site.pos = i;
+          // Lexical try detection: walk the enclosing-brace chain.
+          // (The CFG's try_depth misses tries inside lambda bodies,
+          // which parse as linear ranges -- the brace chain does not.)
+          site.in_try = block.try_depth > 0;
+          for (size_t b = f.encl[i]; b != static_cast<size_t>(-1) && !site.in_try;
+               b = f.encl[b]) {
+            if (b >= 1 && tok(b - 1).is_ident("try")) site.in_try = true;
+            if (b <= u.def.open) break;
+          }
+          // Walk the qualification chain leftward; note member calls.
+          size_t q = i;
+          std::vector<std::string> parts = {tok(i).text};
+          while (q >= 2 && tok(q - 1).is_punct("::") &&
+                 tok(q - 2).kind == TokenKind::kIdentifier) {
+            parts.push_back(tok(q - 2).text);
+            q -= 2;
+          }
+          if (q >= 1 &&
+              (tok(q - 1).is_punct(".") || tok(q - 1).is_punct("->"))) {
+            site.is_member = true;
+          }
+          // A declaration "Type name(" has an identifier right before
+          // the (possibly qualified) name -- not a call. ("return f(",
+          // "= f(", "(f(" all have punctuation there.)
+          if (!site.is_member && q >= 1 &&
+              tok(q - 1).kind == TokenKind::kIdentifier &&
+              kNotACall.count(tok(q - 1).text) == 0) {
+            continue;
+          }
+          if (parts.size() > 1) {
+            for (size_t k = parts.size(); k-- > 0;) {
+              if (!site.qualified.empty()) site.qualified += "::";
+              site.qualified += parts[k];
+            }
+          }
+          sites_.push_back(std::move(site));
+        }
+      }
+    }
+  }
+
+  // Caller lists per definition.
+  for (size_t s = 0; s < sites_.size(); ++s) {
+    for (size_t fn : resolve(sites_[s].terminal, sites_[s].qualified)) {
+      callers_[fn].push_back(s);
+    }
+  }
+}
+
+const std::vector<size_t>& CallGraph::functions_in(size_t file_index) const {
+  if (file_index >= fns_by_file_.size()) return empty_;
+  return fns_by_file_[file_index];
+}
+
+std::vector<size_t> CallGraph::resolve(const std::string& terminal,
+                                       const std::string& qualified) const {
+  if (!qualified.empty()) {
+    auto it = by_qualified_.find(qualified);
+    if (it != by_qualified_.end()) return it->second;
+    // Suffix match: "TableDumpReader::next" at the site vs
+    // "mrt::TableDumpReader::next"-style definitions do not occur (the
+    // definition spelling is what the file wrote), but the reverse
+    // does: a fully qualified call to a bare-spelled definition. Fall
+    // through to the terminal name.
+  }
+  auto it = by_name_.find(terminal);
+  if (it == by_name_.end()) return {};
+  if (qualified.empty()) return it->second;
+  // Qualified call, no exact definition spelling: keep candidates whose
+  // definition spelling ends with the call's qualification or vice
+  // versa (any-path fallback).
+  std::vector<size_t> out;
+  for (size_t fn : it->second) {
+    const std::string& dq = fns_[fn].def.qualified;
+    auto ends_with = [](const std::string& a, const std::string& b) {
+      return a.size() >= b.size() &&
+             a.compare(a.size() - b.size(), b.size(), b) == 0;
+    };
+    if (ends_with(dq, qualified) || ends_with(qualified, dq)) {
+      out.push_back(fn);
+    }
+  }
+  if (out.empty()) return it->second;
+  return out;
+}
+
+const std::vector<size_t>& CallGraph::callers_of(size_t fn) const {
+  auto it = callers_.find(fn);
+  if (it == callers_.end()) return empty_;
+  return it->second;
+}
+
+bool CallGraph::all_callers_in_try(size_t fn) const {
+  const std::vector<size_t>& cs = callers_of(fn);
+  if (cs.empty()) return false;
+  for (size_t s : cs) {
+    if (!sites_[s].in_try) return false;
+  }
+  return true;
+}
+
+}  // namespace manrs::analyze

@@ -1,0 +1,72 @@
+// Cross-translation-unit call graph over the analyzed file set.
+//
+// Definitions come from cfg.h's find_functions(); call sites are read
+// off each function's CFG blocks (so every site knows whether it sits
+// inside a try block). Resolution is by qualified name first
+// ("TableDumpReader::next" spelled at the call site), then by terminal
+// name when that is unambiguous across the program; an ambiguous bare
+// name resolves to every definition carrying it (the any-path
+// fallback) -- callers that need soundness treat multi-candidate
+// resolution conservatively.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/cfg.h"
+
+namespace manrs::analyze {
+
+struct CallSite {
+  size_t file_index = 0;    // into the file list handed to build_call_graph
+  size_t caller = SIZE_MAX; // def index of the enclosing function
+  std::string terminal;     // callee name as called ("next")
+  std::string qualified;    // qualified spelling at the site, "" if bare
+  size_t pos = 0;           // code position of the callee name token
+  bool in_try = false;      // lexically inside a try block (caller side)
+  bool is_member = false;   // obj.name(...) / obj->name(...)
+};
+
+struct FunctionUnit {
+  size_t file_index = 0;
+  FunctionDef def;
+  Cfg cfg;
+};
+
+class CallGraph {
+ public:
+  /// `files` must outlive the graph. defs/cfgs are moved in per file.
+  CallGraph(const std::vector<const AnalyzedFile*>& files,
+            std::vector<std::vector<FunctionDef>> defs,
+            std::vector<std::vector<Cfg>> cfgs);
+
+  const std::vector<FunctionUnit>& functions() const { return fns_; }
+  const std::vector<CallSite>& sites() const { return sites_; }
+
+  /// Function units defined in `file_index`, as indexes into functions().
+  const std::vector<size_t>& functions_in(size_t file_index) const;
+
+  /// Candidate definitions for a call (empty = unresolved/external).
+  std::vector<size_t> resolve(const std::string& terminal,
+                              const std::string& qualified) const;
+
+  /// Call sites resolving to def `fn` (exact-qualified or bare-name).
+  const std::vector<size_t>& callers_of(size_t fn) const;
+
+  /// True if `fn` has at least one known call site and every one of
+  /// them is lexically inside a try block.
+  bool all_callers_in_try(size_t fn) const;
+
+ private:
+  std::vector<FunctionUnit> fns_;
+  std::vector<CallSite> sites_;
+  std::map<std::string, std::vector<size_t>> by_name_;
+  std::map<std::string, std::vector<size_t>> by_qualified_;
+  std::map<size_t, std::vector<size_t>> callers_;
+  std::vector<std::vector<size_t>> fns_by_file_;
+  std::vector<size_t> empty_;
+};
+
+}  // namespace manrs::analyze

@@ -1,0 +1,545 @@
+#include "analyze/cfg.h"
+
+#include <set>
+
+namespace manrs::analyze {
+
+namespace {
+
+constexpr size_t npos = FileContext::npos;
+
+/// Keywords that can never be a function name at a definition site.
+const std::set<std::string> kNotAFunctionName = {
+    "if",     "for",    "while",  "switch",   "catch",  "return",
+    "do",     "else",   "new",    "delete",   "sizeof", "alignof",
+    "decltype", "operator", "try", "case",    "default", "throw",
+    "static_assert", "alignas", "requires", "co_await", "co_return"};
+
+/// Qualifier-ish tokens allowed between the parameter list ')' and the
+/// body '{' (besides noexcept(...) and a trailing return type).
+bool is_post_param_qualifier(const Token& t) {
+  return t.is_ident("const") || t.is_ident("noexcept") ||
+         t.is_ident("override") || t.is_ident("final") ||
+         t.is_ident("mutable") || t.is_ident("volatile") ||
+         t.is_punct("&") || t.is_punct("&&");
+}
+
+class View {
+ public:
+  explicit View(const AnalyzedFile& f) : f_(f) {}
+  size_t size() const { return f_.code.size(); }
+  const Token& tok(size_t i) const { return f_.tokens[f_.code[i]]; }
+  size_t match(size_t i) const { return f_.match[i]; }
+
+ private:
+  const AnalyzedFile& f_;
+};
+
+/// Parse one parameter declaration [a, b) into ParamInfo.
+ParamInfo parse_param(const View& v, size_t a, size_t b) {
+  ParamInfo p;
+  // Cut a default argument off first.
+  for (size_t i = a; i < b; ++i) {
+    if (v.tok(i).is_punct("=")) {
+      b = i;
+      break;
+    }
+    // Jump balanced groups so a '=' inside a template default stays put.
+    if ((v.tok(i).is_punct("(") || v.tok(i).is_punct("[") ||
+         v.tok(i).is_punct("{")) &&
+        v.match(i) != npos && v.match(i) < b) {
+      i = v.match(i);
+    }
+  }
+  size_t name_pos = npos;
+  for (size_t i = a; i < b; ++i) {
+    if (v.tok(i).kind == TokenKind::kIdentifier) name_pos = i;
+  }
+  if (name_pos == npos) return p;
+  p.name = v.tok(name_pos).text;
+  for (size_t i = a; i < b; ++i) {
+    const Token& t = v.tok(i);
+    if (t.is_punct("&") || t.is_punct("&&") || t.is_punct("*")) {
+      p.by_ref = true;
+    }
+  }
+  // The type terminal: the identifier right before the name, skipping
+  // cv/ref/ptr decorations. "std::span<const uint8_t> b" has '>' there,
+  // so its terminal stays "" -- by design only plain "Type name" /
+  // "ns::Type& name" declarations are typed.
+  size_t q = name_pos;
+  while (q > a) {
+    const Token& t = v.tok(q - 1);
+    if (t.is_punct("&") || t.is_punct("&&") || t.is_punct("*") ||
+        t.is_ident("const") || t.is_ident("volatile")) {
+      --q;
+      continue;
+    }
+    break;
+  }
+  if (q > a && v.tok(q - 1).kind == TokenKind::kIdentifier &&
+      q - 1 != name_pos) {
+    p.type_terminal = v.tok(q - 1).text;
+  }
+  return p;
+}
+
+/// Split the parameter list (lparen..rparen) at top-level commas,
+/// protecting template argument lists with an angle-depth heuristic.
+std::vector<ParamInfo> parse_params(const View& v, size_t lparen,
+                                    size_t rparen) {
+  std::vector<ParamInfo> out;
+  if (rparen <= lparen + 1) return out;
+  int angle = 0;
+  size_t start = lparen + 1;
+  for (size_t i = lparen + 1; i <= rparen; ++i) {
+    const Token& t = v.tok(i);
+    if (i < rparen && (t.is_punct("(") || t.is_punct("[") ||
+                       t.is_punct("{")) &&
+        v.match(i) != npos && v.match(i) < rparen) {
+      i = v.match(i);
+      continue;
+    }
+    if (t.is_punct("<")) ++angle;
+    if (t.is_punct(">") && angle > 0) --angle;
+    if (t.is_punct(">>") && angle > 0) angle -= 2;
+    if (i == rparen || (t.is_punct(",") && angle <= 0)) {
+      if (i > start) out.push_back(parse_param(v, start, i));
+      start = i + 1;
+      if (i == rparen) break;
+    }
+  }
+  return out;
+}
+
+/// Walk back from a body '{' to the ')' closing the parameter list.
+/// Handles trailing return types, noexcept(...), and constructor
+/// member-init lists. Returns npos when this '{' is not a function body.
+size_t find_param_close(const View& v, size_t open) {
+  size_t p = open;
+  int budget = 64;  // trailing return types are short; give up otherwise
+  while (p > 0 && budget-- > 0) {
+    const Token& t = v.tok(p - 1);
+    if (is_post_param_qualifier(t) || t.kind == TokenKind::kIdentifier ||
+        t.is_punct("::") || t.is_punct("->") || t.is_punct("<") ||
+        t.is_punct(">") || t.is_punct("*") || t.is_punct(",") ||
+        t.is_punct(">>")) {
+      // Part of a trailing return type / qualifier run -- except a bare
+      // identifier directly before '{' with no ')' further back means
+      // this is a class/namespace/enum/init-list brace; the loop below
+      // rejects that because it never finds a ')'.
+      if (t.kind == TokenKind::kIdentifier && !is_post_param_qualifier(t)) {
+        // Only skip identifiers when a -> (trailing return) or
+        // qualifier chain is plausibly in progress; a '{' preceded by a
+        // plain name ("struct Foo {", "vec{1,2}") is not a body.
+        bool has_arrow = false;
+        for (size_t q = p; q > 0 && q + 16 > p; --q) {
+          const Token& u = v.tok(q - 1);
+          if (u.is_punct("->")) {
+            has_arrow = true;
+            break;
+          }
+          if (u.is_punct(")") || u.is_punct("{") || u.is_punct(";")) break;
+        }
+        if (!has_arrow && p == open) return npos;
+        if (!has_arrow) {
+          // mid-walk identifier without an arrow: qualifier like
+          // noexcept already handled; bail out.
+          return npos;
+        }
+      }
+      --p;
+      continue;
+    }
+    if (t.is_punct(")")) {
+      size_t lp = v.match(p - 1);
+      if (lp == npos) return npos;
+      // noexcept(...) -- keep walking left of it.
+      if (lp > 0 && v.tok(lp - 1).is_ident("noexcept")) {
+        p = lp - 1;
+        continue;
+      }
+      // Constructor member-init entry "name(args)": the token chain
+      // before the name ends in ':' or ','. Walk to the real list.
+      size_t nm = lp;
+      while (nm > 0 && (v.tok(nm - 1).kind == TokenKind::kIdentifier ||
+                        v.tok(nm - 1).is_punct("::"))) {
+        --nm;
+      }
+      if (nm > 0 && (v.tok(nm - 1).is_punct(":") ||
+                     v.tok(nm - 1).is_punct(","))) {
+        p = nm - 1;  // continue left of the ':'/','
+        continue;
+      }
+      return p - 1;
+    }
+    if (t.is_punct("}")) {
+      // Brace-init member-init entry "name{args}" -- jump it.
+      size_t lb = v.match(p - 1);
+      if (lb == npos) return npos;
+      size_t nm = lb;
+      while (nm > 0 && (v.tok(nm - 1).kind == TokenKind::kIdentifier ||
+                        v.tok(nm - 1).is_punct("::"))) {
+        --nm;
+      }
+      if (nm > 0 && (v.tok(nm - 1).is_punct(":") ||
+                     v.tok(nm - 1).is_punct(","))) {
+        p = nm - 1;
+        continue;
+      }
+      return npos;
+    }
+    return npos;
+  }
+  return npos;
+}
+
+class CfgBuilder {
+ public:
+  CfgBuilder(const View& v, const FunctionDef& fn) : v_(v), fn_(fn) {}
+
+  Cfg build() {
+    cfg_.entry = new_block();
+    cur_ = cfg_.entry;
+    size_t exit = new_block();
+    cfg_.exit = exit;
+    parse_stmts(fn_.open + 1, fn_.close);
+    link(cur_, cfg_.exit);
+    return std::move(cfg_);
+  }
+
+ private:
+  size_t new_block() {
+    cfg_.blocks.push_back(BasicBlock{});
+    cfg_.blocks.back().try_depth = try_depth_;
+    return cfg_.blocks.size() - 1;
+  }
+  void link(size_t a, size_t b) { cfg_.blocks[a].succ.push_back(b); }
+  void add_range(size_t lo, size_t hi) {
+    if (lo < hi) cfg_.blocks[cur_].ranges.emplace_back(lo, hi);
+  }
+  const Token& tok(size_t i) const { return v_.tok(i); }
+  size_t match(size_t i) const { return v_.match(i); }
+
+  /// End (one past) of the plain statement starting at `i`, jumping
+  /// balanced groups so ';' inside for-heads / lambdas stays internal.
+  size_t stmt_end(size_t i, size_t hi) const {
+    size_t j = i;
+    while (j < hi) {
+      const Token& t = tok(j);
+      if ((t.is_punct("(") || t.is_punct("[") || t.is_punct("{")) &&
+          match(j) != npos && match(j) < hi) {
+        j = match(j) + 1;
+        continue;
+      }
+      if (t.is_punct(";")) return j + 1;
+      ++j;
+    }
+    return hi;
+  }
+
+  /// Parse statements in [lo, hi). `cur_` tracks the open block.
+  void parse_stmts(size_t lo, size_t hi) {
+    size_t i = lo;
+    while (i < hi) {
+      i = parse_stmt(i, hi);
+    }
+  }
+
+  /// Parse exactly one statement starting at `i`; returns its end.
+  size_t parse_stmt(size_t i, size_t hi) {
+    const Token& t = tok(i);
+    if (t.is_punct(";")) return i + 1;
+    if (t.is_punct("{") && match(i) != npos && match(i) < hi) {
+      parse_stmts(i + 1, match(i));
+      return match(i) + 1;
+    }
+    if (t.kind == TokenKind::kIdentifier) {
+      const std::string& kw = t.text;
+      if (kw == "if") return parse_if(i, hi);
+      if (kw == "for" || kw == "while") return parse_loop(i, hi);
+      if (kw == "do") return parse_do(i, hi);
+      if (kw == "switch") return parse_switch(i, hi);
+      if (kw == "try") return parse_try(i, hi);
+      if (kw == "return" || kw == "throw") {
+        size_t j = stmt_end(i, hi);
+        add_range(i, j);
+        link(cur_, cfg_.exit);
+        cur_ = new_block();  // unreachable continuation
+        return j;
+      }
+      if (kw == "break" || kw == "continue") {
+        size_t j = stmt_end(i, hi);
+        add_range(i, j);
+        if (kw == "break" && !breaks_.empty()) link(cur_, breaks_.back());
+        if (kw == "continue" && !continues_.empty()) {
+          link(cur_, continues_.back());
+        }
+        cur_ = new_block();
+        return j;
+      }
+      if (kw == "case" || kw == "default") {
+        // Stray label (only reachable when switch parsing degraded):
+        // skip to its ':'.
+        size_t j = i + 1;
+        while (j < hi && !tok(j).is_punct(":")) ++j;
+        return j < hi ? j + 1 : hi;
+      }
+      if (kw == "else") {
+        // Orphan else (degraded if parse): treat its body linearly.
+        return parse_stmt(i + 1, hi);
+      }
+    }
+    size_t j = stmt_end(i, hi);
+    add_range(i, j);
+    return j;
+  }
+
+  size_t parse_if(size_t i, size_t hi) {
+    size_t c = i + 1;
+    if (c < hi && tok(c).is_ident("constexpr")) ++c;
+    if (c >= hi || !tok(c).is_punct("(") || match(c) == npos ||
+        match(c) >= hi) {
+      size_t j = stmt_end(i, hi);
+      add_range(i, j);
+      return j;
+    }
+    size_t close = match(c);
+    add_range(i, close + 1);  // condition evaluates in the current block
+    size_t cond = cur_;
+
+    cur_ = new_block();
+    link(cond, cur_);
+    size_t end = parse_stmt(close + 1, hi);
+    size_t then_exit = cur_;
+
+    size_t else_exit = cond;  // condition-false falls through
+    if (end < hi && tok(end).is_ident("else")) {
+      cur_ = new_block();
+      link(cond, cur_);
+      end = parse_stmt(end + 1, hi);
+      else_exit = cur_;
+    }
+    size_t join = new_block();
+    link(then_exit, join);
+    link(else_exit, join);
+    cur_ = join;
+    return end;
+  }
+
+  size_t parse_loop(size_t i, size_t hi) {
+    if (i + 1 >= hi || !tok(i + 1).is_punct("(") || match(i + 1) == npos ||
+        match(i + 1) >= hi) {
+      size_t j = stmt_end(i, hi);
+      add_range(i, j);
+      return j;
+    }
+    size_t close = match(i + 1);
+    size_t head = new_block();
+    link(cur_, head);
+    cur_ = head;
+    add_range(i, close + 1);  // init + condition + step, approximated
+
+    size_t exit = new_block();
+    size_t body = new_block();
+    link(head, body);
+    breaks_.push_back(exit);
+    continues_.push_back(head);
+    cur_ = body;
+    size_t end = parse_stmt(close + 1, hi);
+    link(cur_, head);  // back edge
+    breaks_.pop_back();
+    continues_.pop_back();
+    link(head, exit);
+    cur_ = exit;
+    return end;
+  }
+
+  size_t parse_do(size_t i, size_t hi) {
+    size_t body = new_block();
+    link(cur_, body);
+    size_t exit = new_block();
+    breaks_.push_back(exit);
+    continues_.push_back(body);
+    cur_ = body;
+    size_t end = parse_stmt(i + 1, hi);
+    breaks_.pop_back();
+    continues_.pop_back();
+    if (end < hi && tok(end).is_ident("while") && end + 1 < hi &&
+        tok(end + 1).is_punct("(") && match(end + 1) != npos) {
+      size_t close = match(end + 1);
+      add_range(end, close + 1);
+      end = close + 1;
+      if (end < hi && tok(end).is_punct(";")) ++end;
+    }
+    link(cur_, body);  // back edge (condition true)
+    link(cur_, exit);
+    cur_ = exit;
+    return end;
+  }
+
+  size_t parse_switch(size_t i, size_t hi) {
+    if (i + 1 >= hi || !tok(i + 1).is_punct("(") || match(i + 1) == npos ||
+        match(i + 1) + 1 >= hi || !tok(match(i + 1) + 1).is_punct("{") ||
+        match(match(i + 1) + 1) == npos) {
+      size_t j = stmt_end(i, hi);
+      add_range(i, j);
+      return j;
+    }
+    size_t close = match(i + 1);
+    size_t bopen = close + 1;
+    size_t bend = match(bopen);
+    add_range(i, close + 1);
+    size_t head = cur_;
+
+    // Label positions at the top level of the switch body.
+    std::vector<size_t> labels;
+    bool has_default = false;
+    for (size_t j = bopen + 1; j < bend; ++j) {
+      const Token& t = tok(j);
+      if ((t.is_punct("(") || t.is_punct("[") || t.is_punct("{")) &&
+          match(j) != npos && match(j) < bend) {
+        j = match(j);
+        continue;
+      }
+      if (t.is_ident("case") || t.is_ident("default")) {
+        labels.push_back(j);
+        if (t.is_ident("default")) has_default = true;
+      }
+    }
+    size_t exit = new_block();
+    breaks_.push_back(exit);
+    std::vector<size_t> segs;
+    segs.reserve(labels.size());
+    for (size_t k = 0; k < labels.size(); ++k) {
+      size_t seg = new_block();
+      link(head, seg);
+      segs.push_back(seg);
+    }
+    if (!has_default) link(head, exit);
+    for (size_t k = 0; k < labels.size(); ++k) {
+      size_t colon = labels[k] + 1;
+      while (colon < bend && !tok(colon).is_punct(":")) {
+        // jump groups inside "case ns::kValue:" etc. ("::" is one token)
+        if ((tok(colon).is_punct("(") || tok(colon).is_punct("[")) &&
+            match(colon) != npos) {
+          colon = match(colon);
+        }
+        ++colon;
+      }
+      size_t seg_end = (k + 1 < labels.size()) ? labels[k + 1] : bend;
+      cur_ = segs[k];
+      if (colon < seg_end) parse_stmts(colon + 1, seg_end);
+      // Fallthrough to the next segment, or out of the switch.
+      link(cur_, k + 1 < segs.size() ? segs[k + 1] : exit);
+    }
+    breaks_.pop_back();
+    cur_ = exit;
+    return bend + 1;
+  }
+
+  size_t parse_try(size_t i, size_t hi) {
+    if (i + 1 >= hi || !tok(i + 1).is_punct("{") || match(i + 1) == npos ||
+        match(i + 1) >= hi) {
+      size_t j = stmt_end(i, hi);
+      add_range(i, j);
+      return j;
+    }
+    size_t bend = match(i + 1);
+    size_t before = cur_;
+    ++try_depth_;
+    size_t tb = new_block();
+    size_t body_first = tb;
+    link(before, tb);
+    cur_ = tb;
+    parse_stmts(i + 2, bend);
+    size_t body_end = cur_;
+    size_t body_last = cfg_.blocks.size() - 1;
+    --try_depth_;
+
+    size_t after = new_block();
+    link(body_end, after);
+    size_t end = bend + 1;
+    while (end < hi && tok(end).is_ident("catch") && end + 1 < hi &&
+           tok(end + 1).is_punct("(") && match(end + 1) != npos) {
+      size_t cclose = match(end + 1);
+      if (cclose + 1 >= hi || !tok(cclose + 1).is_punct("{") ||
+          match(cclose + 1) == npos) {
+        break;
+      }
+      size_t cb = new_block();
+      // An exception can fly out of any point of the try body: every
+      // block lexically inside it may hand its state to the handler.
+      for (size_t b = body_first; b <= body_last; ++b) link(b, cb);
+      link(before, cb);
+      cur_ = cb;
+      parse_stmts(cclose + 2, match(cclose + 1));
+      link(cur_, after);
+      end = match(cclose + 1) + 1;
+    }
+    cur_ = after;
+    return end;
+  }
+
+  const View& v_;
+  const FunctionDef& fn_;
+  Cfg cfg_;
+  size_t cur_ = 0;
+  int try_depth_ = 0;
+  std::vector<size_t> breaks_;
+  std::vector<size_t> continues_;
+};
+
+}  // namespace
+
+std::vector<FunctionDef> find_functions(const AnalyzedFile& file) {
+  View v(file);
+  std::vector<FunctionDef> out;
+  const size_t n = v.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (!v.tok(i).is_punct("{") || v.match(i) == npos) continue;
+    size_t pclose = find_param_close(v, i);
+    if (pclose == npos) continue;
+    size_t lparen = v.match(pclose);
+    if (lparen == npos || lparen == 0) continue;
+    const Token& name = v.tok(lparen - 1);
+    if (name.kind != TokenKind::kIdentifier ||
+        kNotAFunctionName.count(name.text) != 0) {
+      continue;
+    }
+    // Lambdas ("](...)") and destructors ("~Name(") are not call
+    // targets the resolver handles; skip them.
+    if (lparen >= 2 && (v.tok(lparen - 2).is_punct("]") ||
+                        v.tok(lparen - 2).is_punct("~"))) {
+      continue;
+    }
+    FunctionDef fn;
+    fn.name = name.text;
+    fn.line = name.line;
+    fn.lparen = lparen;
+    fn.open = i;
+    fn.close = v.match(i);
+    // Qualified spelling: walk "ident ::" pairs leftward.
+    std::vector<std::string> parts = {name.text};
+    size_t q = lparen - 1;
+    while (q >= 2 && v.tok(q - 1).is_punct("::") &&
+           v.tok(q - 2).kind == TokenKind::kIdentifier) {
+      parts.push_back(v.tok(q - 2).text);
+      q -= 2;
+    }
+    for (size_t k = parts.size(); k-- > 0;) {
+      if (!fn.qualified.empty()) fn.qualified += "::";
+      fn.qualified += parts[k];
+    }
+    fn.params = parse_params(v, lparen, pclose);
+    out.push_back(std::move(fn));
+  }
+  return out;
+}
+
+Cfg build_cfg(const AnalyzedFile& file, const FunctionDef& fn) {
+  View v(file);
+  return CfgBuilder(v, fn).build();
+}
+
+}  // namespace manrs::analyze

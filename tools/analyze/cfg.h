@@ -1,0 +1,67 @@
+// Per-function control-flow graphs recovered from the token stream.
+//
+// find_functions() walks a file's code view and locates function
+// definitions: a '{' whose backward context is a parameter list
+// (walking over cv/ref qualifiers, noexcept(...), trailing return
+// types, and constructor member-init lists), with the qualified name
+// chain ("A::B::name") read off the tokens before the '('. Lambdas,
+// destructors, and operator overloads are deliberately skipped -- the
+// typestate pass only needs named functions it can resolve calls to.
+//
+// build_cfg() lowers one function body to a small branching IR: basic
+// blocks holding ordered code-position ranges, split on
+// if/else/for/while/do/switch/try/return/throw/break/continue. Each
+// block records its lexical try depth so rules can treat exception
+// boundaries as guards. Statements are ranges, not expressions: a
+// lambda body inside a statement stays linear inside its block, which
+// is the right approximation for the event-sequence analysis built on
+// top (events inside the lambda are seen in lexical order).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/analyzer.h"
+
+namespace manrs::analyze {
+
+struct ParamInfo {
+  std::string name;           // "" if unnamed
+  std::string type_terminal;  // identifier right before the name, "" unknown
+  bool by_ref = false;        // declared & / && / *
+};
+
+struct FunctionDef {
+  std::string name;       // terminal identifier ("next")
+  std::string qualified;  // as spelled at the definition ("TableDumpReader::next")
+  int line = 0;
+  size_t lparen = 0;  // code pos of the parameter list '('
+  size_t open = 0;    // code pos of the body '{'
+  size_t close = 0;   // code pos of the matching '}'
+  std::vector<ParamInfo> params;
+};
+
+/// Half-open [begin, end) range of code positions.
+using CodeRange = std::pair<size_t, size_t>;
+
+struct BasicBlock {
+  std::vector<CodeRange> ranges;  // code executed in this block, in order
+  std::vector<size_t> succ;       // successor block ids
+  int try_depth = 0;              // > 0: lexically inside a try block
+};
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  size_t entry = 0;
+  size_t exit = 0;
+};
+
+/// All named function definitions in `file`, in code order.
+std::vector<FunctionDef> find_functions(const AnalyzedFile& file);
+
+/// Lower `fn`'s body (open..close) to a CFG. Never fails: unparseable
+/// constructs degrade to linear ranges.
+Cfg build_cfg(const AnalyzedFile& file, const FunctionDef& fn);
+
+}  // namespace manrs::analyze

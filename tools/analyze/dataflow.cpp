@@ -1,0 +1,256 @@
+#include "analyze/dataflow.h"
+
+#include <algorithm>
+#include <set>
+
+namespace manrs::analyze {
+
+namespace {
+
+constexpr size_t npos = FileContext::npos;
+
+bool in_list(const std::vector<std::string>& list, const std::string& s) {
+  return std::find(list.begin(), list.end(), s) != list.end();
+}
+
+const std::set<std::string> kNotACallHere = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "alignof", "decltype", "new", "delete", "throw", "typeid"};
+
+// Statement keywords that may directly precede a use of a variable
+// ("return v.m()"). Any other preceding identifier means a declaration
+// ("Rib rib") or a qualified name, not a use.
+const std::set<std::string> kStmtKeyword = {"return", "co_return", "else",
+                                            "do", "throw", "co_yield"};
+
+}  // namespace
+
+std::vector<TrackedVar> find_tracked_vars(
+    const AnalyzedFile& file, const FunctionDef& fn,
+    const std::vector<std::string>& types,
+    const std::vector<std::string>& fresh_init) {
+  auto tok = [&](size_t i) -> const Token& { return file.tokens[file.code[i]]; };
+  std::vector<TrackedVar> out;
+
+  for (size_t pi = 0; pi < fn.params.size(); ++pi) {
+    const ParamInfo& p = fn.params[pi];
+    if (p.name.empty() || !in_list(types, p.type_terminal)) continue;
+    TrackedVar v;
+    v.name = p.name;
+    v.decl_line = fn.line;
+    v.is_param = true;
+    v.param_index = pi;
+    out.push_back(std::move(v));
+  }
+
+  // Local declarations: "Type name", "ns::Type& name", with the
+  // declarator possibly continuing ", name2". Template arguments
+  // ("vector<Type>") never match: the token after the type must start a
+  // declarator.
+  for (size_t i = fn.open + 1; i + 1 < fn.close; ++i) {
+    const Token& t = tok(i);
+    if (t.kind != TokenKind::kIdentifier || !in_list(types, t.text)) continue;
+    if (i > 0 && (tok(i - 1).is_punct(".") || tok(i - 1).is_punct("->"))) {
+      continue;  // member access spelled like the type name
+    }
+    size_t k = i + 1;
+    while (k < fn.close &&
+           (tok(k).is_punct("&") || tok(k).is_punct("&&") ||
+            tok(k).is_punct("*") || tok(k).is_ident("const"))) {
+      ++k;
+    }
+    if (k >= fn.close || tok(k).kind != TokenKind::kIdentifier) continue;
+    // Next token decides whether this is a declaration at all.
+    while (k < fn.close) {
+      const Token& name = tok(k);
+      if (name.kind != TokenKind::kIdentifier) break;
+      size_t after = k + 1;
+      if (after >= fn.close) break;
+      const Token& a = tok(after);
+      TrackedVar v;
+      v.name = name.text;
+      v.decl_line = name.line;
+      if (a.is_punct(";") || a.is_punct(",")) {
+        v.fresh = true;  // default construction
+      } else if (a.is_punct("(") || a.is_punct("{")) {
+        v.fresh = true;  // direct construction with arguments
+      } else if (a.is_punct("=")) {
+        // Copy/call initializer: Unknown unless a fresh-init method is
+        // called in the initializer ("auto sub = r.sub(n)").
+        v.fresh = false;
+        size_t e = after + 1;
+        // Linear scan (not group-jumping): a fresh-init call can sit
+        // anywhere in the initializer expression.
+        while (e < fn.close && !tok(e).is_punct(";")) {
+          if (tok(e).kind == TokenKind::kIdentifier &&
+              in_list(fresh_init, tok(e).text) && e + 1 < fn.close &&
+              tok(e + 1).is_punct("(") && e >= 1 &&
+              (tok(e - 1).is_punct(".") || tok(e - 1).is_punct("->"))) {
+            v.fresh = true;
+          }
+          ++e;
+        }
+      } else {
+        break;  // "Type name)" etc. -- not a declaration we track
+      }
+      out.push_back(std::move(v));
+      // Multi-declarator: jump the initializer, continue after ','.
+      size_t e = after;
+      if (tok(e).is_punct("(") || tok(e).is_punct("{")) {
+        if (file.match[e] == npos || file.match[e] >= fn.close) break;
+        e = file.match[e] + 1;
+      } else if (tok(e).is_punct("=")) {
+        while (e < fn.close && !tok(e).is_punct(";") && !tok(e).is_punct(",")) {
+          if ((tok(e).is_punct("(") || tok(e).is_punct("{") ||
+               tok(e).is_punct("[")) &&
+              file.match[e] != npos && file.match[e] < fn.close) {
+            e = file.match[e];
+          }
+          ++e;
+        }
+      }
+      if (e >= fn.close || !tok(e).is_punct(",")) break;
+      k = e + 1;
+    }
+  }
+
+  // Deduplicate by name (shadowing collapses to the first declaration;
+  // events match by name, so a merged view is the conservative one).
+  std::vector<TrackedVar> dedup;
+  std::set<std::string> seen;
+  for (TrackedVar& v : out) {
+    if (seen.insert(v.name).second) dedup.push_back(std::move(v));
+  }
+  return dedup;
+}
+
+std::vector<std::vector<Event>> extract_events(
+    const AnalyzedFile& file, const Cfg& cfg,
+    const std::vector<TrackedVar>& vars) {
+  auto tok = [&](size_t i) -> const Token& { return file.tokens[file.code[i]]; };
+  auto var_index = [&](const std::string& name) -> size_t {
+    for (size_t v = 0; v < vars.size(); ++v) {
+      if (vars[v].name == name) return v;
+    }
+    return npos;
+  };
+
+  std::vector<std::vector<Event>> out(cfg.blocks.size());
+  for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+    std::vector<Event>& events = out[b];
+    for (const CodeRange& r : cfg.blocks[b].ranges) {
+      for (size_t i = r.first; i < r.second; ++i) {
+        const Token& t = tok(i);
+        if (t.kind != TokenKind::kIdentifier) continue;
+
+        // Method events and reassignment on a tracked variable.
+        size_t v = var_index(t.text);
+        if (v != npos &&
+            !(i > r.first &&
+              (tok(i - 1).is_punct(".") || tok(i - 1).is_punct("->") ||
+               tok(i - 1).is_punct("::") ||
+               (tok(i - 1).kind == TokenKind::kIdentifier &&
+                kStmtKeyword.count(tok(i - 1).text) == 0)))) {
+          if (i + 3 < r.second &&
+              (tok(i + 1).is_punct(".") || tok(i + 1).is_punct("->")) &&
+              tok(i + 2).kind == TokenKind::kIdentifier &&
+              tok(i + 3).is_punct("(")) {
+            Event e;
+            e.kind = Event::kMethod;
+            e.var = v;
+            e.pos = i + 2;
+            e.method = tok(i + 2).text;
+            events.push_back(std::move(e));
+            continue;
+          }
+          if (i + 1 < r.second && tok(i + 1).is_punct("=")) {
+            Event e;
+            e.kind = Event::kAssign;
+            e.var = v;
+            e.pos = i;
+            events.push_back(std::move(e));
+            continue;
+          }
+        }
+
+        // Passed-to events: scan the argument list of each call.
+        if (i + 1 < r.second && tok(i + 1).is_punct("(") &&
+            kNotACallHere.count(t.text) == 0 &&
+            file.match[i + 1] != npos && file.match[i + 1] < r.second) {
+          // Reject declarations "Type name(" (identifier right before
+          // the possibly qualified name).
+          size_t q = i;
+          std::vector<std::string> parts = {t.text};
+          while (q >= 2 && tok(q - 1).is_punct("::") &&
+                 tok(q - 2).kind == TokenKind::kIdentifier) {
+            parts.push_back(tok(q - 2).text);
+            q -= 2;
+          }
+          bool is_member =
+              q >= 1 && (tok(q - 1).is_punct(".") || tok(q - 1).is_punct("->"));
+          if (!is_member && q >= 1 &&
+              tok(q - 1).kind == TokenKind::kIdentifier &&
+              kNotACallHere.count(tok(q - 1).text) == 0) {
+            continue;
+          }
+          std::string qualified;
+          if (parts.size() > 1) {
+            for (size_t k = parts.size(); k-- > 0;) {
+              if (!qualified.empty()) qualified += "::";
+              qualified += parts[k];
+            }
+          }
+          size_t close = file.match[i + 1];
+          size_t arg_start = i + 2;
+          size_t arg_index = 0;
+          for (size_t j = i + 2; j <= close; ++j) {
+            bool at_end = (j == close);
+            if (!at_end && (tok(j).is_punct("(") || tok(j).is_punct("[") ||
+                            tok(j).is_punct("{")) &&
+                file.match[j] != npos && file.match[j] < close) {
+              j = file.match[j];
+              continue;
+            }
+            if (at_end || tok(j).is_punct(",")) {
+              // Argument [arg_start, j): exactly v, &v, or
+              // std::move(v) counts as handing the object over.
+              size_t len = j - arg_start;
+              size_t name_pos = npos;
+              if (len == 1 && tok(arg_start).kind == TokenKind::kIdentifier) {
+                name_pos = arg_start;
+              } else if (len == 2 && tok(arg_start).is_punct("&") &&
+                         tok(arg_start + 1).kind == TokenKind::kIdentifier) {
+                name_pos = arg_start + 1;
+              } else if (len == 6 && tok(arg_start).is_ident("std") &&
+                         tok(arg_start + 1).is_punct("::") &&
+                         tok(arg_start + 2).is_ident("move") &&
+                         tok(arg_start + 3).is_punct("(")) {
+                name_pos = arg_start + 4;
+              }
+              if (name_pos != npos) {
+                size_t pv = var_index(tok(name_pos).text);
+                if (pv != npos) {
+                  Event e;
+                  e.kind = Event::kPassedTo;
+                  e.var = pv;
+                  e.pos = i;
+                  e.callee_terminal = t.text;
+                  e.callee_qualified = qualified;
+                  e.arg_index = arg_index;
+                  events.push_back(std::move(e));
+                }
+              }
+              arg_start = j + 1;
+              ++arg_index;
+            }
+          }
+        }
+      }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& a, const Event& b) { return a.pos < b.pos; });
+  }
+  return out;
+}
+
+}  // namespace manrs::analyze

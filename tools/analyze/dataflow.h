@@ -1,0 +1,56 @@
+// Def-use extraction over tracked object types, per function.
+//
+// find_tracked_vars() locates, inside one function, the local variables
+// (and reference parameters) whose declared type terminal matches a
+// protocol's tracked type names. Initialization is classified: a
+// default / direct construction starts in the protocol's start state, a
+// copy / call initializer is Unknown (conservative: no false
+// positives), unless the initializer calls one of the protocol's
+// "fresh-init" methods (e.g. ByteCursor::sub carving a child cursor).
+//
+// extract_events() walks the function's CFG blocks and emits, in
+// lexical order per block, the events the typestate engine consumes:
+// method calls on a tracked variable, reassignment, and the variable
+// being passed (bare, &var, or std::move(var)) to a call.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analyze/cfg.h"
+
+namespace manrs::analyze {
+
+struct TrackedVar {
+  std::string name;
+  int decl_line = 0;
+  bool is_param = false;
+  size_t param_index = 0;  // position in the callee's parameter list
+  bool fresh = true;       // start state vs Unknown at the declaration
+};
+
+struct Event {
+  enum Kind { kMethod, kPassedTo, kAssign };
+  Kind kind = kMethod;
+  size_t var = 0;  // index into the tracked-var list
+  size_t pos = 0;  // code position (anchor for findings)
+  std::string method;            // kMethod: the member called
+  std::string callee_terminal;   // kPassedTo
+  std::string callee_qualified;  // kPassedTo ("" if bare)
+  size_t arg_index = 0;          // kPassedTo: zero-based argument slot
+};
+
+/// Tracked variables of `fn` whose type terminal is in `types`.
+/// `fresh_init`: method names whose call result counts as fresh.
+std::vector<TrackedVar> find_tracked_vars(
+    const AnalyzedFile& file, const FunctionDef& fn,
+    const std::vector<std::string>& types,
+    const std::vector<std::string>& fresh_init);
+
+/// Per CFG block, the events on `vars`, sorted by code position.
+std::vector<std::vector<Event>> extract_events(
+    const AnalyzedFile& file, const Cfg& cfg,
+    const std::vector<TrackedVar>& vars);
+
+}  // namespace manrs::analyze

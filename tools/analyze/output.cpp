@@ -1,6 +1,7 @@
 #include "analyze/output.h"
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 namespace manrs::analyze {
@@ -47,7 +48,8 @@ void write_text(std::ostream& out, const AnalysisResult& result) {
 void write_json(std::ostream& out, const AnalysisResult& result) {
   out << "{\"tool\":\"manrs_analyze\",\"version\":1,\"files_scanned\":"
       << result.files_scanned << ",\"waived\":" << result.waived
-      << ",\"findings\":[";
+      << ",\"cache_hits\":" << result.cache_hits
+      << ",\"cache_misses\":" << result.cache_misses << ",\"findings\":[";
   bool first = true;
   for (const Finding& f : result.findings) {
     if (!first) out << ",";
@@ -61,21 +63,21 @@ void write_json(std::ostream& out, const AnalysisResult& result) {
   out << "]}\n";
 }
 
-void write_sarif(std::ostream& out, const AnalysisResult& result) {
+void write_sarif(std::ostream& out, const AnalysisResult& result,
+                 const std::vector<CatalogEntry>& catalog) {
   out << "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
       << "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
       << "\"name\":\"manrs_analyze\",\"informationUri\":"
       << "\"docs/static-analysis.md\",\"rules\":[";
   bool first = true;
-  for (const auto& rule : make_all_rules()) {
-    const RuleInfo& info = rule->info();
+  for (const CatalogEntry& info : catalog) {
     if (!first) out << ",";
     first = false;
     out << "{\"id\":\"" << json_escape(info.id)
         << "\",\"shortDescription\":{\"text\":\"" << json_escape(info.summary)
         << "\"},\"help\":{\"text\":\"" << json_escape(info.hint)
         << "\"},\"defaultConfiguration\":{\"level\":\""
-        << (std::string(info.severity) == "error" ? "error" : "warning")
+        << (info.severity == "error" ? "error" : "warning")
         << "\"}}";
   }
   out << "]}},\"results\":[";
@@ -92,6 +94,60 @@ void write_sarif(std::ostream& out, const AnalysisResult& result) {
         << ",\"startColumn\":" << f.col << "}}}]}";
   }
   out << "]}]}\n";
+}
+
+std::vector<SarifResult> parse_sarif_results(const std::string& text) {
+  // write_sarif emits one flat object per result; reading those back
+  // only needs three scalar fields, so a targeted scan beats a JSON
+  // parser: find each "ruleId", then the following uri and startLine.
+  std::vector<SarifResult> out;
+  auto string_after = [&](size_t from, const char* key,
+                          std::string* value) -> size_t {
+    size_t k = text.find(key, from);
+    if (k == std::string::npos) return std::string::npos;
+    size_t q1 = text.find('"', k + std::strlen(key));
+    if (q1 == std::string::npos) return std::string::npos;
+    size_t q2 = q1 + 1;
+    std::string v;
+    while (q2 < text.size() && text[q2] != '"') {
+      if (text[q2] == '\\' && q2 + 1 < text.size()) {
+        ++q2;
+        switch (text[q2]) {
+          case 'n': v += '\n'; break;
+          case 't': v += '\t'; break;
+          case 'r': v += '\r'; break;
+          default: v += text[q2];
+        }
+      } else {
+        v += text[q2];
+      }
+      ++q2;
+    }
+    if (q2 >= text.size()) return std::string::npos;
+    *value = std::move(v);
+    return q2 + 1;
+  };
+  size_t pos = text.find("\"results\":[");
+  if (pos == std::string::npos) return out;
+  while (true) {
+    SarifResult r;
+    size_t after = string_after(pos, "\"ruleId\":", &r.rule);
+    if (after == std::string::npos) break;
+    size_t uri_end = string_after(after, "\"uri\":", &r.file);
+    if (uri_end == std::string::npos) break;
+    size_t ls = text.find("\"startLine\":", uri_end);
+    if (ls == std::string::npos) break;
+    ls += 12;
+    int line = 0;
+    while (ls < text.size() && text[ls] >= '0' && text[ls] <= '9') {
+      line = line * 10 + (text[ls] - '0');
+      ++ls;
+    }
+    r.line = line;
+    out.push_back(std::move(r));
+    pos = ls;
+  }
+  return out;
 }
 
 }  // namespace manrs::analyze

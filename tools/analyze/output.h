@@ -16,8 +16,21 @@ void write_text(std::ostream& out, const AnalysisResult& result);
 /// {"tool":"manrs_analyze","version":1,"files_scanned":N,"findings":[...]}
 void write_json(std::ostream& out, const AnalysisResult& result);
 
-/// SARIF 2.1.0: one run, rule metadata in tool.driver.rules, one result
-/// per finding.
-void write_sarif(std::ostream& out, const AnalysisResult& result);
+/// SARIF 2.1.0: one run, rule metadata in tool.driver.rules (the full
+/// catalog, including protocol rules), one result per finding.
+void write_sarif(std::ostream& out, const AnalysisResult& result,
+                 const std::vector<CatalogEntry>& catalog);
+
+/// One result row parsed back out of a SARIF file (baseline diffing).
+struct SarifResult {
+  std::string rule;
+  std::string file;
+  int line = 0;
+};
+
+/// Extract (ruleId, uri, startLine) triples from SARIF text written by
+/// write_sarif. Tolerant of whitespace; anything unparseable is
+/// skipped.
+std::vector<SarifResult> parse_sarif_results(const std::string& text);
 
 }  // namespace manrs::analyze

@@ -34,6 +34,16 @@ struct RuleInfo {
   const char* hint;      // fix hint shown with each finding
 };
 
+/// Owned rule metadata: the static token/scope rules plus the
+/// protocol-driven typestate rules, merged for --list-rules and the
+/// SARIF rules array.
+struct CatalogEntry {
+  std::string id;
+  std::string severity;
+  std::string summary;
+  std::string hint;
+};
+
 class FileContext;
 
 class Rule {

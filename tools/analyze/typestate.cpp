@@ -1,0 +1,781 @@
+#include "analyze/typestate.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/parallel.h"
+
+namespace manrs::analyze {
+
+namespace {
+
+constexpr size_t npos = FileContext::npos;
+
+uint64_t fnv1a_str(uint64_t h, const std::string& s) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= 0xff;  // field separator
+  h *= 0x100000001b3ULL;
+  return h;
+}
+uint64_t fnv1a_u64(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool method_matches(const std::string& pattern, const std::string& method) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return method.compare(0, pattern.size() - 1, pattern, 0,
+                          pattern.size() - 1) == 0;
+  }
+  return pattern == method;
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::istringstream in(s);
+  std::vector<std::string> out;
+  std::string w;
+  while (in >> w) out.push_back(w);
+  return out;
+}
+
+/// A lambda expression located in the code view.
+struct LambdaExpr {
+  size_t lbracket = npos;   // '['
+  size_t cap_close = npos;  // matching ']'
+  size_t body_open = npos;  // '{'
+  size_t body_close = npos; // matching '}'
+  size_t params_open = npos;   // '(' of the parameter list, npos if none
+  size_t params_close = npos;
+};
+
+}  // namespace
+
+bool ProtocolSpec::in_scope(const std::string& rel_path) const {
+  if (scope.empty()) return true;
+  for (const std::string& p : scope) {
+    if (rel_path.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
+int ProtocolSpec::state_index(const std::string& name) const {
+  for (size_t i = 0; i < states.size(); ++i) {
+    if (states[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<ProtocolSpec> parse_protocols(const std::string& text,
+                                          std::string* error) {
+  std::vector<ProtocolSpec> out;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  ProtocolSpec* cur = nullptr;
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) {
+      *error = "protocols.txt:" + std::to_string(lineno) + ": " + msg;
+    }
+    out.clear();
+    return out;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    if (line[b] == '#') continue;
+    size_t e = line.find_last_not_of(" \t\r");
+    line = line.substr(b, e - b + 1);
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    std::string rest;
+    std::getline(ls, rest);
+    size_t rb = rest.find_first_not_of(" \t");
+    rest = rb == std::string::npos ? "" : rest.substr(rb);
+
+    if (key == "protocol") {
+      if (cur != nullptr) return fail("nested 'protocol' (missing 'end')");
+      if (rest.empty()) return fail("protocol needs a rule id");
+      out.push_back(ProtocolSpec{});
+      cur = &out.back();
+      cur->id = split_ws(rest)[0];
+      continue;
+    }
+    if (cur == nullptr) return fail("directive outside a protocol block");
+    if (key == "end") {
+      if (cur->kind == ProtocolSpec::kTypestate && cur->states.empty()) {
+        return fail("protocol '" + cur->id + "' declares no states");
+      }
+      if (cur->kind == ProtocolSpec::kTypestate && cur->types.empty()) {
+        return fail("protocol '" + cur->id + "' declares no tracked types");
+      }
+      cur = nullptr;
+      continue;
+    }
+    if (key == "kind") {
+      if (rest == "nesting") {
+        cur->kind = ProtocolSpec::kNesting;
+      } else if (rest == "typestate") {
+        cur->kind = ProtocolSpec::kTypestate;
+      } else {
+        return fail("unknown kind '" + rest + "'");
+      }
+    } else if (key == "type") {
+      cur->types = split_ws(rest);
+    } else if (key == "severity") {
+      if (rest != "error" && rest != "warning") {
+        return fail("severity must be error|warning");
+      }
+      cur->severity = rest;
+    } else if (key == "summary") {
+      cur->summary = rest;
+    } else if (key == "hint") {
+      cur->hint = rest;
+    } else if (key == "scope") {
+      cur->scope = split_ws(rest);
+    } else if (key == "states") {
+      cur->states = split_ws(rest);
+    } else if (key == "start") {
+      int idx = cur->state_index(rest);
+      if (idx < 0) return fail("unknown start state '" + rest + "'");
+      cur->start = idx;
+    } else if (key == "attr") {
+      for (const std::string& a : split_ws(rest)) {
+        if (a == "try-suppresses") {
+          cur->try_suppresses = true;
+        } else if (a == "callers-try-suppresses") {
+          cur->callers_try_suppresses = true;
+        } else if (a == "no-share-parallel") {
+          cur->no_share_parallel = true;
+        } else {
+          return fail("unknown attr '" + a + "'");
+        }
+      }
+    } else if (key == "fresh-init") {
+      cur->fresh_init = split_ws(rest);
+    } else if (key == "functions") {
+      cur->functions = split_ws(rest);
+    } else if (key == "on") {
+      std::istringstream ts(rest);
+      std::string state, method, arrow;
+      ts >> state >> method >> arrow;
+      ProtocolTransition tr;
+      tr.from = cur->state_index(state);
+      if (tr.from < 0) return fail("unknown state '" + state + "'");
+      tr.method = method;
+      if (arrow == "->") {
+        std::string to;
+        ts >> to;
+        tr.to = cur->state_index(to);
+        if (tr.to < 0) return fail("unknown target state '" + to + "'");
+      } else if (arrow == "!!") {
+        tr.is_error = true;
+        std::getline(ts, tr.message);
+        size_t mb = tr.message.find_first_not_of(" \t");
+        tr.message =
+            mb == std::string::npos ? "" : tr.message.substr(mb);
+        if (tr.message.empty()) return fail("error transition needs a message");
+      } else {
+        return fail("transition needs '->' or '!!'");
+      }
+      cur->table.push_back(std::move(tr));
+    } else {
+      return fail("unknown directive '" + key + "'");
+    }
+  }
+  if (cur != nullptr) {
+    ++lineno;
+    return fail("missing 'end' for protocol '" + cur->id + "'");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Locate the lambda argument of a call whose name token is at `call`.
+/// Returns lbracket == npos when no lambda literal is found.
+LambdaExpr find_lambda_arg(const AnalyzedFile& f, size_t call) {
+  auto tok = [&](size_t i) -> const Token& { return f.tokens[f.code[i]]; };
+  LambdaExpr lam;
+  size_t open = call + 1;
+  // parallel_map<T>(...): jump the template argument list.
+  if (open < f.code.size() && tok(open).is_punct("<")) {
+    int depth = 0;
+    for (size_t j = open; j < f.code.size() && j < open + 64; ++j) {
+      if (tok(j).is_punct("<")) ++depth;
+      if (tok(j).is_punct(">") && --depth == 0) {
+        open = j + 1;
+        break;
+      }
+      if (tok(j).is_punct(">>")) {
+        depth -= 2;
+        if (depth <= 0) {
+          open = j + 1;
+          break;
+        }
+      }
+    }
+  }
+  if (open >= f.code.size() || !tok(open).is_punct("(") ||
+      f.match[open] == npos) {
+    return lam;
+  }
+  size_t close = f.match[open];
+  for (size_t j = open + 1; j < close; ++j) {
+    if (tok(j).is_punct("[") && f.match[j] != npos && f.match[j] < close) {
+      size_t cc = f.match[j];
+      size_t k = cc + 1;
+      LambdaExpr cand;
+      cand.lbracket = j;
+      cand.cap_close = cc;
+      if (k < close && tok(k).is_punct("(") && f.match[k] != npos) {
+        cand.params_open = k;
+        cand.params_close = f.match[k];
+        k = f.match[k] + 1;
+      }
+      // skip mutable / noexcept / trailing return
+      while (k < close && !tok(k).is_punct("{") && k < cc + 48) ++k;
+      if (k < close && tok(k).is_punct("{") && f.match[k] != npos) {
+        cand.body_open = k;
+        cand.body_close = f.match[k];
+        return cand;
+      }
+    }
+  }
+  return lam;
+}
+
+/// True when the capture list takes `name` by reference: a bare '&'
+/// default not overridden by a by-value mention of `name`, or an
+/// explicit "&name".
+bool captures_by_ref(const AnalyzedFile& f, const LambdaExpr& lam,
+                     const std::string& name) {
+  auto tok = [&](size_t i) -> const Token& { return f.tokens[f.code[i]]; };
+  bool ref_default = false;
+  bool by_value = false;
+  bool by_ref = false;
+  for (size_t j = lam.lbracket + 1; j < lam.cap_close; ++j) {
+    const Token& t = tok(j);
+    if (t.is_punct("&")) {
+      if (j + 1 < lam.cap_close && tok(j + 1).kind == TokenKind::kIdentifier) {
+        if (tok(j + 1).text == name) by_ref = true;
+        ++j;
+      } else {
+        ref_default = true;
+      }
+      continue;
+    }
+    if (t.kind == TokenKind::kIdentifier && t.text == name) {
+      // "[i]" / "[&, i]" / "[i = expr]" -- a by-value (re)binding.
+      by_value = true;
+    }
+  }
+  if (by_ref) return true;
+  if (by_value) return false;
+  return ref_default;
+}
+
+/// Name of the last parameter of a lambda ("size_t i" -> "i").
+std::string last_param_name(const AnalyzedFile& f, const LambdaExpr& lam) {
+  if (lam.params_open == npos) return "";
+  auto tok = [&](size_t i) -> const Token& { return f.tokens[f.code[i]]; };
+  std::string name;
+  for (size_t j = lam.params_open + 1; j < lam.params_close; ++j) {
+    if (tok(j).kind == TokenKind::kIdentifier) name = tok(j).text;
+  }
+  return name;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Build (defs, cfgs) for every file, fanned out over the pool, and
+/// hand them to the call graph.
+CallGraph make_graph(const std::vector<const AnalyzedFile*>& files) {
+  std::vector<std::vector<FunctionDef>> defs(files.size());
+  std::vector<std::vector<Cfg>> cfgs(files.size());
+  util::parallel_for(files.size(), [&](size_t i) {
+    defs[i] = find_functions(*files[i]);
+    cfgs[i].reserve(defs[i].size());
+    for (const FunctionDef& fn : defs[i]) {
+      cfgs[i].push_back(build_cfg(*files[i], fn));
+    }
+  });
+  return CallGraph(files, std::move(defs), std::move(cfgs));
+}
+
+}  // namespace
+
+TypestateEngine::TypestateEngine(
+    std::vector<ProtocolSpec> protocols,
+    const std::vector<const AnalyzedFile*>& files)
+    : protocols_(std::move(protocols)),
+      files_(files),
+      graph_(make_graph(files)) {
+  const size_t nfns = graph_.functions().size();
+  vars_.resize(protocols_.size());
+  events_.resize(protocols_.size());
+  summaries_.resize(protocols_.size());
+  for (size_t p = 0; p < protocols_.size(); ++p) {
+    if (protocols_[p].kind != ProtocolSpec::kTypestate) continue;
+    vars_[p].resize(nfns);
+    events_[p].resize(nfns);
+    summaries_[p].resize(nfns);
+  }
+  util::parallel_for(nfns, [&](size_t fn) {
+    const FunctionUnit& u = graph_.functions()[fn];
+    const AnalyzedFile& f = *files_[u.file_index];
+    for (size_t p = 0; p < protocols_.size(); ++p) {
+      const ProtocolSpec& proto = protocols_[p];
+      if (proto.kind != ProtocolSpec::kTypestate) continue;
+      vars_[p][fn] =
+          find_tracked_vars(f, u.def, proto.types, proto.fresh_init);
+      if (!vars_[p][fn].empty()) {
+        events_[p][fn] = extract_events(f, u.cfg, vars_[p][fn]);
+      }
+    }
+  });
+  fn_callers_all_try_.resize(nfns, 0);
+  for (size_t fn = 0; fn < nfns; ++fn) {
+    fn_callers_all_try_[fn] = graph_.all_callers_in_try(fn) ? 1 : 0;
+  }
+  compute_summaries();
+}
+
+uint64_t TypestateEngine::unknown_bit(size_t proto) const {
+  return 1ULL << protocols_[proto].states.size();
+}
+
+const ProtocolTransition* TypestateEngine::lookup(
+    size_t proto, int state, const std::string& method) const {
+  for (const ProtocolTransition& tr : protocols_[proto].table) {
+    if (tr.from == state && method_matches(tr.method, method)) return &tr;
+  }
+  return nullptr;
+}
+
+void TypestateEngine::run_flow(size_t proto, size_t fn,
+                               const std::vector<TrackedVar>& vars,
+                               const std::vector<std::vector<Event>>& events,
+                               size_t var, uint64_t entry_mask,
+                               uint64_t* exit_mask,
+                               std::vector<FlowError>* errors) const {
+  const ProtocolSpec& spec = protocols_[proto];
+  const Cfg& cfg = graph_.functions()[fn].cfg;
+  const size_t nblocks = cfg.blocks.size();
+  const uint64_t unknown = unknown_bit(proto);
+  const size_t nstates = spec.states.size();
+
+  // Transfer one block's events over a state set. When `collect` is
+  // non-null, error transitions append findings.
+  auto transfer = [&](uint64_t mask, size_t b,
+                      std::vector<FlowError>* collect) -> uint64_t {
+    const int try_depth = cfg.blocks[b].try_depth;
+    for (const Event& e : events[b]) {
+      if (e.var != var) continue;
+      if (mask == 0) break;
+      switch (e.kind) {
+        case Event::kAssign:
+          mask = unknown;
+          break;
+        case Event::kMethod: {
+          uint64_t next = mask & unknown;
+          for (size_t s = 0; s < nstates; ++s) {
+            if ((mask & (1ULL << s)) == 0) continue;
+            const ProtocolTransition* tr =
+                lookup(proto, static_cast<int>(s), e.method);
+            if (tr == nullptr) {
+              next |= 1ULL << s;
+            } else if (tr->is_error) {
+              if (collect != nullptr &&
+                  !(spec.try_suppresses && try_depth > 0)) {
+                FlowError err;
+                err.pos = e.pos;
+                err.var = var;
+                err.message = "'" + vars[var].name + "' (" + spec.states[s] +
+                              "): " + tr->message;
+                collect->push_back(std::move(err));
+              }
+              next |= 1ULL << s;  // stay; later uses report again
+            } else {
+              next |= 1ULL << static_cast<size_t>(tr->to);
+            }
+          }
+          mask = next;
+          break;
+        }
+        case Event::kPassedTo: {
+          std::vector<size_t> cands =
+              graph_.resolve(e.callee_terminal, e.callee_qualified);
+          if (cands.empty()) {
+            mask = unknown;  // external call: anything may happen
+            break;
+          }
+          uint64_t next = mask & unknown;
+          bool bail_unknown = false;
+          for (size_t cand : cands) {
+            const FunctionDef& cd = graph_.functions()[cand].def;
+            if (e.arg_index >= cd.params.size()) {
+              bail_unknown = true;
+              break;
+            }
+            const ParamInfo& cp = cd.params[e.arg_index];
+            bool tracked = !cp.name.empty() &&
+                           std::find(spec.types.begin(), spec.types.end(),
+                                     cp.type_terminal) != spec.types.end();
+            if (!tracked) {
+              bail_unknown = true;
+              break;
+            }
+            if (!cp.by_ref) {
+              next |= mask & ~unknown;  // callee got a copy
+              continue;
+            }
+            auto sit = summaries_[proto][cand].find(e.arg_index);
+            if (sit == summaries_[proto][cand].end()) {
+              next |= mask & ~unknown;  // no summary yet (bottom)
+              continue;
+            }
+            const Summary& sum = sit->second;
+            for (size_t s = 0; s < nstates; ++s) {
+              if ((mask & (1ULL << s)) == 0) continue;
+              if (sum.error[s] != 0 && collect != nullptr &&
+                  cands.size() == 1 &&
+                  !(spec.try_suppresses && try_depth > 0)) {
+                FlowError err;
+                err.pos = e.pos;
+                err.var = var;
+                err.message = "'" + vars[var].name + "' (" + spec.states[s] +
+                              ") passed to '" + e.callee_terminal +
+                              "', where " + sum.error_method[s];
+                collect->push_back(std::move(err));
+              }
+              next |= sum.exit_mask[s];
+            }
+            if ((mask & unknown) != 0) next |= unknown;
+          }
+          mask = bail_unknown ? unknown : next;
+          break;
+        }
+      }
+    }
+    return mask;
+  };
+
+  // Predecessor lists once per call.
+  std::vector<std::vector<size_t>> preds(nblocks);
+  for (size_t b = 0; b < nblocks; ++b) {
+    for (size_t s : cfg.blocks[b].succ) preds[s].push_back(b);
+  }
+  std::vector<uint64_t> out_mask(nblocks, 0);
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < 64) {
+    changed = false;
+    for (size_t b = 0; b < nblocks; ++b) {
+      uint64_t in = (b == cfg.entry) ? entry_mask : 0;
+      for (size_t p : preds[b]) in |= out_mask[p];
+      uint64_t nw = transfer(in, b, nullptr);
+      if (nw != out_mask[b]) {
+        out_mask[b] = nw;
+        changed = true;
+      }
+    }
+  }
+  if (exit_mask != nullptr) *exit_mask = out_mask[cfg.exit];
+  if (errors != nullptr) {
+    std::set<size_t> seen;  // one finding per code position
+    for (size_t b = 0; b < nblocks; ++b) {
+      uint64_t in = (b == cfg.entry) ? entry_mask : 0;
+      for (size_t p : preds[b]) in |= out_mask[p];
+      std::vector<FlowError> local;
+      transfer(in, b, &local);
+      for (FlowError& err : local) {
+        if (seen.insert(err.pos).second) errors->push_back(std::move(err));
+      }
+    }
+  }
+}
+
+void TypestateEngine::compute_summaries() {
+  const size_t nfns = graph_.functions().size();
+  // Seed: every tracked reference parameter gets a bottom summary.
+  for (size_t p = 0; p < protocols_.size(); ++p) {
+    const ProtocolSpec& spec = protocols_[p];
+    if (spec.kind != ProtocolSpec::kTypestate) continue;
+    const size_t entries = spec.states.size() + 1;  // + Unknown
+    for (size_t fn = 0; fn < nfns; ++fn) {
+      for (const TrackedVar& v : vars_[p][fn]) {
+        if (!v.is_param) continue;
+        Summary& sum = summaries_[p][fn][v.param_index];
+        sum.exit_mask.assign(entries, 0);
+        sum.error.assign(entries, 0);
+        sum.error_method.assign(entries, "");
+      }
+    }
+  }
+  // Fixpoint: recompute every summary until stable. Masks and error
+  // flags only grow, so this terminates.
+  for (int round = 0; round < 16; ++round) {
+    bool changed = false;
+    for (size_t p = 0; p < protocols_.size(); ++p) {
+      const ProtocolSpec& spec = protocols_[p];
+      if (spec.kind != ProtocolSpec::kTypestate) continue;
+      const size_t nstates = spec.states.size();
+      for (size_t fn = 0; fn < nfns; ++fn) {
+        for (auto& [param_index, sum] : summaries_[p][fn]) {
+          size_t var = npos;
+          for (size_t v = 0; v < vars_[p][fn].size(); ++v) {
+            if (vars_[p][fn][v].is_param &&
+                vars_[p][fn][v].param_index == param_index) {
+              var = v;
+              break;
+            }
+          }
+          if (var == npos) continue;
+          for (size_t s = 0; s <= nstates; ++s) {
+            uint64_t entry =
+                s < nstates ? (1ULL << s) : unknown_bit(p);
+            uint64_t exit = 0;
+            std::vector<FlowError> errs;
+            run_flow(p, fn, vars_[p][fn], events_[p][fn], var, entry, &exit,
+                     &errs);
+            exit |= entry == unknown_bit(p) ? unknown_bit(p) : 0;
+            if (exit != sum.exit_mask[s]) {
+              sum.exit_mask[s] = exit;
+              changed = true;
+            }
+            if (!errs.empty() && sum.error[s] == 0) {
+              sum.error[s] = 1;
+              sum.error_method[s] = errs[0].message;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+}
+
+std::vector<Finding> TypestateEngine::check_file(size_t file_index) const {
+  std::vector<Finding> out;
+  const AnalyzedFile& f = *files_[file_index];
+  auto tok = [&](size_t i) -> const Token& { return f.tokens[f.code[i]]; };
+  auto emit = [&](const ProtocolSpec& spec, size_t pos,
+                  const std::string& message) {
+    Finding fd;
+    fd.file = f.rel_path;
+    fd.line = tok(pos).line;
+    fd.col = tok(pos).col;
+    fd.rule = spec.id;
+    fd.severity = spec.severity;
+    fd.message = message;
+    fd.hint = spec.hint;
+    out.push_back(std::move(fd));
+  };
+
+  for (size_t p = 0; p < protocols_.size(); ++p) {
+    const ProtocolSpec& spec = protocols_[p];
+    if (spec.kind != ProtocolSpec::kTypestate) continue;
+    if (!spec.in_scope(f.rel_path)) continue;
+    for (size_t fn : graph_.functions_in(file_index)) {
+      const std::vector<TrackedVar>& vars = vars_[p][fn];
+      if (vars.empty()) continue;
+      if (spec.callers_try_suppresses && fn_callers_all_try_[fn] != 0) {
+        // Every known call site wraps this function in a try: the
+        // per-record error boundary covers whatever throws inside.
+        continue;
+      }
+      for (size_t v = 0; v < vars.size(); ++v) {
+        uint64_t entry;
+        if (vars[v].is_param) {
+          // Parameter misuse is charged to callers via the summary;
+          // reporting it here too would double-count.
+          continue;
+        }
+        entry = vars[v].fresh ? (1ULL << static_cast<size_t>(spec.start))
+                              : unknown_bit(p);
+        std::vector<FlowError> errs;
+        run_flow(p, fn, vars, events_[p][fn], v, entry, nullptr, &errs);
+        for (const FlowError& err : errs) {
+          emit(spec, err.pos, err.message);
+        }
+      }
+    }
+  }
+
+  std::vector<Finding> lex = lexical_checks(file_index);
+  out.insert(out.end(), std::make_move_iterator(lex.begin()),
+             std::make_move_iterator(lex.end()));
+  return out;
+}
+
+std::vector<Finding> TypestateEngine::lexical_checks(size_t file_index) const {
+  std::vector<Finding> out;
+  const AnalyzedFile& f = *files_[file_index];
+  auto tok = [&](size_t i) -> const Token& { return f.tokens[f.code[i]]; };
+  const size_t n = f.code.size();
+  auto emit = [&](const ProtocolSpec& spec, size_t pos, std::string message) {
+    Finding fd;
+    fd.file = f.rel_path;
+    fd.line = tok(pos).line;
+    fd.col = tok(pos).col;
+    fd.rule = spec.id;
+    fd.severity = spec.severity;
+    fd.message = std::move(message);
+    fd.hint = spec.hint;
+    out.push_back(std::move(fd));
+  };
+
+  // The parallel entry points any of the lexical checks care about.
+  std::vector<std::string> fanouts = {"parallel_for", "parallel_map"};
+
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (tok(i).kind != TokenKind::kIdentifier) continue;
+    if (std::find(fanouts.begin(), fanouts.end(), tok(i).text) ==
+        fanouts.end()) {
+      continue;
+    }
+    LambdaExpr lam = find_lambda_arg(f, i);
+    if (lam.lbracket == npos) continue;
+
+    // --- no-share-parallel: tracked vars of the enclosing function
+    // captured by reference and touched inside the lambda body.
+    for (size_t p = 0; p < protocols_.size(); ++p) {
+      const ProtocolSpec& spec = protocols_[p];
+      if (spec.kind != ProtocolSpec::kTypestate || !spec.no_share_parallel) {
+        continue;
+      }
+      if (!spec.in_scope(f.rel_path)) continue;
+      // Innermost enclosing function definition.
+      size_t encl = npos;
+      for (size_t fn : graph_.functions_in(file_index)) {
+        const FunctionDef& d = graph_.functions()[fn].def;
+        if (d.open < i && i < d.close &&
+            (encl == npos || d.open > graph_.functions()[encl].def.open)) {
+          encl = fn;
+        }
+      }
+      if (encl == npos) continue;
+      for (const TrackedVar& v : vars_[p][encl]) {
+        // Declared inside the lambda body itself? Then it is per-slot.
+        if (!captures_by_ref(f, lam, v.name)) continue;
+        bool declared_inside = false;
+        for (size_t j = lam.body_open + 1; j < lam.body_close; ++j) {
+          if (tok(j).kind == TokenKind::kIdentifier &&
+              std::find(spec.types.begin(), spec.types.end(), tok(j).text) !=
+                  spec.types.end() &&
+              j + 1 < lam.body_close &&
+              tok(j + 1).kind == TokenKind::kIdentifier &&
+              tok(j + 1).text == v.name) {
+            declared_inside = true;
+            break;
+          }
+        }
+        if (declared_inside) continue;
+        for (size_t j = lam.body_open + 1; j < lam.body_close; ++j) {
+          if (tok(j).kind == TokenKind::kIdentifier && tok(j).text == v.name &&
+              j + 1 < lam.body_close &&
+              (tok(j + 1).is_punct(".") || tok(j + 1).is_punct("->"))) {
+            emit(spec, j,
+                 "'" + v.name + "' (" + spec.types.front() +
+                     ") is captured by reference and used inside a " +
+                     tok(i).text +
+                     " lambda: every slot mutates the same workspace");
+            break;
+          }
+        }
+      }
+    }
+
+    // --- kind nesting: an inner fan-out whose [&] lambda touches the
+    // outer lambda's loop index.
+    for (size_t p = 0; p < protocols_.size(); ++p) {
+      const ProtocolSpec& spec = protocols_[p];
+      if (spec.kind != ProtocolSpec::kNesting) continue;
+      if (!spec.in_scope(f.rel_path)) continue;
+      const std::vector<std::string>& fns =
+          spec.functions.empty() ? fanouts : spec.functions;
+      std::string loop_var = last_param_name(f, lam);
+      if (loop_var.empty()) continue;
+      for (size_t j = lam.body_open + 1; j < lam.body_close; ++j) {
+        if (tok(j).kind != TokenKind::kIdentifier) continue;
+        if (std::find(fns.begin(), fns.end(), tok(j).text) == fns.end()) {
+          continue;
+        }
+        LambdaExpr inner = find_lambda_arg(f, j);
+        if (inner.lbracket == npos) continue;
+        if (!captures_by_ref(f, inner, loop_var)) continue;
+        for (size_t k = inner.body_open + 1; k < inner.body_close; ++k) {
+          if (tok(k).kind == TokenKind::kIdentifier &&
+              tok(k).text == loop_var) {
+            emit(spec, k,
+                 "nested " + tok(j).text + " lambda captures the outer loop "
+                 "index '" + loop_var + "' by reference");
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+uint64_t TypestateEngine::environment_hash() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const ProtocolSpec& spec : protocols_) {
+    h = fnv1a_str(h, spec.id);
+    h = fnv1a_str(h, spec.severity);
+    for (const std::string& s : spec.states) h = fnv1a_str(h, s);
+    for (const std::string& s : spec.types) h = fnv1a_str(h, s);
+    for (const std::string& s : spec.scope) h = fnv1a_str(h, s);
+    for (const std::string& s : spec.fresh_init) h = fnv1a_str(h, s);
+    for (const std::string& s : spec.functions) h = fnv1a_str(h, s);
+    h = fnv1a_u64(h, static_cast<uint64_t>(spec.kind));
+    h = fnv1a_u64(h, static_cast<uint64_t>(spec.start));
+    h = fnv1a_u64(h, (spec.try_suppresses ? 1u : 0u) |
+                         (spec.callers_try_suppresses ? 2u : 0u) |
+                         (spec.no_share_parallel ? 4u : 0u));
+    for (const ProtocolTransition& tr : spec.table) {
+      h = fnv1a_str(h, tr.method);
+      h = fnv1a_str(h, tr.message);
+      h = fnv1a_u64(h, static_cast<uint64_t>(tr.from));
+      h = fnv1a_u64(h, static_cast<uint64_t>(tr.to));
+      h = fnv1a_u64(h, tr.is_error ? 1 : 0);
+    }
+  }
+  for (size_t fn = 0; fn < graph_.functions().size(); ++fn) {
+    const FunctionUnit& u = graph_.functions()[fn];
+    h = fnv1a_str(h, files_[u.file_index]->rel_path);
+    h = fnv1a_str(h, u.def.qualified);
+    h = fnv1a_u64(h, fn_callers_all_try_[fn]);
+    for (size_t p = 0; p < summaries_.size(); ++p) {
+      if (summaries_[p].empty()) continue;
+      for (const auto& [param_index, sum] : summaries_[p][fn]) {
+        h = fnv1a_u64(h, param_index);
+        for (size_t s = 0; s < sum.exit_mask.size(); ++s) {
+          h = fnv1a_u64(h, sum.exit_mask[s]);
+          h = fnv1a_u64(h, sum.error[s]);
+          h = fnv1a_str(h, sum.error_method[s]);
+        }
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace manrs::analyze

@@ -1,0 +1,132 @@
+// Declarative typestate protocols and the flow-aware rule engine.
+//
+// Protocols live in tools/analyze/protocols.txt (see parse_protocols
+// for the grammar). Each kTypestate protocol is a state machine over
+// method-call events on tracked variables: states, a start state, and
+// per-(state, method) transitions that either move to a new state or
+// report an error. The engine runs a forward "may" dataflow over each
+// function's CFG -- the abstract value is a SET of possible states
+// (meet = union), so an error is reported when any reachable state has
+// an error transition for the event. Unknown (reassignment, unresolved
+// call, copy initializer) is a sink state with no transitions: the
+// engine never reports on what it cannot prove, trading recall for a
+// zero-false-positive default.
+//
+// Interprocedural: for every (function, tracked reference parameter)
+// the engine computes a summary -- per entry state, whether the body
+// errors and which states it can exit in -- by running the same
+// dataflow once per entry state, to fixpoint over the cross-TU call
+// graph (bottom-initialized, so cycles converge). kPassedTo events
+// apply callee summaries at the call site; an error inside the callee
+// is reported at the caller, where the bad state was produced.
+//
+// Two protocol kinds are lexical rather than flow-based:
+//   * attr no-share-parallel -- a tracked variable captured by
+//     reference into a util::parallel_for/parallel_map lambda;
+//   * kind nesting -- a nested parallel_for whose [&] lambda touches
+//     the outer lambda's loop index.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/callgraph.h"
+#include "analyze/dataflow.h"
+#include "analyze/rule.h"
+
+namespace manrs::analyze {
+
+struct ProtocolTransition {
+  int from = 0;
+  std::string method;  // "try_*" patterns: trailing '*' is a wildcard
+  bool is_error = false;
+  int to = 0;               // target state when !is_error
+  std::string message;      // error text when is_error
+};
+
+struct ProtocolSpec {
+  enum Kind { kTypestate, kNesting };
+  Kind kind = kTypestate;
+  std::string id;        // rule id ("rib-typestate")
+  std::string severity = "error";
+  std::string summary;
+  std::string hint;
+  std::vector<std::string> types;       // tracked type terminals
+  std::vector<std::string> scope;       // path prefixes; empty = everywhere
+  std::vector<std::string> states;
+  int start = 0;
+  bool try_suppresses = false;          // events in try blocks never error
+  bool callers_try_suppresses = false;  // local findings dropped when every
+                                        // call site of the function is in try
+  bool no_share_parallel = false;
+  std::vector<std::string> fresh_init;  // methods returning a fresh object
+  std::vector<std::string> functions;   // kNesting: the fan-out entry points
+  std::vector<ProtocolTransition> table;
+
+  bool in_scope(const std::string& rel_path) const;
+  int state_index(const std::string& name) const;
+};
+
+/// Parse a protocols.txt. On error returns an empty vector and sets
+/// *error to a message naming the offending line.
+std::vector<ProtocolSpec> parse_protocols(const std::string& text,
+                                          std::string* error);
+
+class TypestateEngine {
+ public:
+  /// Builds per-file function lists + CFGs (fanned out through
+  /// util::parallel_for), the cross-TU call graph, and the summary
+  /// fixpoint. `files` must outlive the engine.
+  TypestateEngine(std::vector<ProtocolSpec> protocols,
+                  const std::vector<const AnalyzedFile*>& files);
+
+  /// All findings anchored in files[file_index] (local misuse plus
+  /// call-site findings produced by callee summaries), unsorted.
+  std::vector<Finding> check_file(size_t file_index) const;
+
+  /// Deterministic digest of everything a single file's findings can
+  /// depend on besides its own content: protocol specs, function
+  /// summaries, and per-function caller-try coverage. Cache keys
+  /// include it so a cross-TU change invalidates dependent files.
+  uint64_t environment_hash() const;
+
+  const std::vector<ProtocolSpec>& protocols() const { return protocols_; }
+
+ private:
+  struct Summary {
+    // Indexed by entry state (real states then Unknown): exit mask,
+    // error flag, and the method that errors first (for the message).
+    std::vector<uint64_t> exit_mask;
+    std::vector<uint8_t> error;
+    std::vector<std::string> error_method;
+  };
+  struct FlowError {
+    size_t pos = 0;
+    size_t var = 0;
+    std::string message;
+  };
+
+  uint64_t unknown_bit(size_t proto) const;
+  const ProtocolTransition* lookup(size_t proto, int state,
+                                   const std::string& method) const;
+  void run_flow(size_t proto, size_t fn, const std::vector<TrackedVar>& vars,
+                const std::vector<std::vector<Event>>& events, size_t var,
+                uint64_t entry_mask, uint64_t* exit_mask,
+                std::vector<FlowError>* errors) const;
+  void compute_summaries();
+  std::vector<Finding> lexical_checks(size_t file_index) const;
+
+  std::vector<ProtocolSpec> protocols_;
+  std::vector<const AnalyzedFile*> files_;
+  CallGraph graph_;
+  // Per protocol, per function: tracked vars + per-block events.
+  std::vector<std::vector<std::vector<TrackedVar>>> vars_;
+  std::vector<std::vector<std::vector<std::vector<Event>>>> events_;
+  // summaries_[proto][fn] -> param_index -> Summary
+  std::vector<std::vector<std::map<size_t, Summary>>> summaries_;
+  std::vector<uint8_t> fn_callers_all_try_;
+};
+
+}  // namespace manrs::analyze

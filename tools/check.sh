@@ -15,11 +15,13 @@
 #   5. clang-tidy over the full tree (src, tools, bench, tests) against
 #      the sanitize build's compile_commands.json (skipped with a
 #      warning if not installed)
-#   6. manrs_analyze (tools/analyze/): the repo's own token- and
-#      scope-aware analyzer -- fails on any unwaived finding, writes a
-#      SARIF artifact to out/analyze.sarif, and self-checks its own
-#      sources; the legacy tools/lint_wire.py entry point is exercised
-#      as a shim over the same binary
+#   6. manrs_analyze (tools/analyze/): the repo's own flow-aware
+#      analyzer -- fails on any unwaived finding, writes a SARIF
+#      artifact to out/analyze.sarif, self-checks its own sources,
+#      verifies the incremental cache (warm re-scan byte-identical to
+#      the cold scan, timings appended to BENCH_analyze.json), runs
+#      the baseline diff gate, and exercises the legacy
+#      tools/lint_wire.py entry point as a shim over the same binary
 #
 # Exit 0 iff every stage that could run passed. See
 # docs/static-analysis.md for the policy behind each stage.
@@ -136,6 +138,27 @@ mkdir -p out
 
 step "analyze: self-check (tools/analyze over itself)"
 "$analyze_bin" --root "$repo_root" tools/analyze
+
+step "analyze: incremental cache (cold vs warm scan)"
+# Two cached scans from a cold cache: the warm re-scan must reproduce
+# the SARIF byte for byte and hit the cache for every file. Wall times
+# for both runs accumulate in BENCH_analyze.json (runs[] is append-only,
+# like BENCH_pipeline.json).
+rm -rf "$BUILD_DIR/analyze-cache"
+"$analyze_bin" --root "$repo_root" --cache-dir "$BUILD_DIR/analyze-cache" \
+  --sarif out/analyze.cold.sarif --stats-json BENCH_analyze.json
+"$analyze_bin" --root "$repo_root" --cache-dir "$BUILD_DIR/analyze-cache" \
+  --sarif out/analyze.warm.sarif --stats-json BENCH_analyze.json \
+  --json > out/analyze.warm.json
+cmp out/analyze.cold.sarif out/analyze.warm.sarif
+grep -q '"cache_misses":0' out/analyze.warm.json
+echo "-- warm scan byte-identical, all cache hits"
+
+step "analyze: baseline gate (no new findings vs out/analyze.sarif)"
+# The diff mode must pass against the scan's own baseline; CI jobs can
+# point --baseline at a committed out/analyze-baseline.sarif instead to
+# gate PRs on net-new findings only.
+"$analyze_bin" --root "$repo_root" --baseline out/analyze.sarif --fail-on-new
 
 step "analyze: lint_wire.py shim contract"
 MANRS_ANALYZE="$analyze_bin" python3 tools/lint_wire.py
