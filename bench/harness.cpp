@@ -19,6 +19,9 @@ topogen::ScenarioConfig config_from_env() {
     if (std::strcmp(scale, "tiny") == 0) {
       return topogen::ScenarioConfig::tiny();
     }
+    if (std::strcmp(scale, "large") == 0) {
+      return topogen::ScenarioConfig::large_scale();
+    }
     if (std::strcmp(scale, "full") == 0) {
       return topogen::ScenarioConfig::full_scale();
     }

@@ -1,7 +1,8 @@
 // Shared harness for the per-figure/per-table reproduction benches.
 //
 // Every bench builds the same paper-scale scenario (override with the
-// MANRS_SCALE environment variable: "tiny", "default", or "full") and
+// MANRS_SCALE environment variable: "tiny", "default", "large", or
+// "full") and
 // prints its figure or table as plain text, with the paper's published
 // value alongside where one exists. EXPERIMENTS.md collects the output.
 #pragma once

@@ -4,7 +4,7 @@
 //
 // Times each stage once with the exact serial fallback (1 thread) and
 // once with the parallel pool, at the scenario scale selected by
-// MANRS_SCALE (tiny / default / full):
+// MANRS_SCALE (tiny / default / large / full):
 //
 //   scenario_gen topogen::build_scenario -- synthetic-Internet generation
 //                (per-AS plans fan out; allocation + emission serial)
@@ -13,6 +13,12 @@
 //                group, no fan-out, serial only): the raw per-call cost
 //                of the CSR/bitmask/workspace engine, after a warmup
 //                call that builds the lazy drop masks
+//   propagation_batched
+//                PropagationSim::propagate_cached(requests) -- the
+//                batched lane-engine resolve of every announcement
+//                group (cache cleared first), without path extraction
+//                or the RIB merge: the raw many-origin sweep cost at
+//                the current MANRS_BATCH_WIDTH
 //   propagation  RouteCollector::collect -- per-(origin, validity-class)
 //                BGP propagation fan-out into the collector RIB (the
 //                propagation cache is cleared before each timed run, so
@@ -35,7 +41,10 @@
 // threads, wall_ms, speedup}, with "oversubscribed": true on rows whose
 // thread count exceeds hardware_concurrency -- on such hosts the
 // parallel rows measure pool overhead, not parallel speedup, and a
-// sub-1.0 "speedup" is expected rather than a regression.
+// sub-1.0 "speedup" is expected rather than a regression. Each run also
+// stamps "batch_width" (the lane width every batched stage ran at) and
+// "path_arena" (cumulative extract_paths counters; shared_hops is the
+// portion of all emitted hops served from the arena's suffix memo).
 // Parallel thread count: MANRS_THREADS when set, otherwise
 // max(hardware_concurrency, 4) so the pool machinery is exercised even
 // on small hosts.
@@ -134,6 +143,7 @@ std::vector<manrs::sim::Announcement> classify(
 std::string run_json(const std::string& scale, size_t threads_parallel,
                      const manrs::sim::PropagationCacheStats& cache,
                      uint64_t hegemony_hits,
+                     const manrs::sim::PathArenaStats& arena,
                      const std::vector<StageRow>& rows) {
   std::ostringstream out;
   char buf[256];
@@ -158,6 +168,16 @@ std::string run_json(const std::string& scale, size_t threads_parallel,
                 static_cast<unsigned long long>(cache.hits),
                 static_cast<unsigned long long>(cache.misses), cache.entries,
                 static_cast<unsigned long long>(hegemony_hits));
+  out << buf;
+  std::snprintf(buf, sizeof(buf), "      \"batch_width\": %zu,\n",
+                manrs::sim::batch_width());
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "      \"path_arena\": {\"paths\": %llu, \"hops\": %llu, "
+                "\"shared_hops\": %llu},\n",
+                static_cast<unsigned long long>(arena.paths),
+                static_cast<unsigned long long>(arena.hops),
+                static_cast<unsigned long long>(arena.shared_hops));
   out << buf;
   out << "      \"rows\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -318,17 +338,47 @@ int main() {
   std::printf("%-12s serial %9.3f ms   (one engine call, no fan-out)\n",
               "propagation_single", single_ms);
 
-  // --- propagation: collector RIB fan-out --------------------------------
-  // The cache is cleared before each timed run so both measure actual
-  // propagation work; cross-stage reuse is measured at the hegemony
-  // stage below.
-  bgp::Rib rib_serial, rib_parallel;
+  // --- propagation_batched: the batched lane-engine resolve alone --------
+  // Every group resolved in one propagate_cached(requests) call: misses
+  // sweep through the lane engine batch_width() origins at a time. No
+  // path extraction, no merge -- the raw many-origin propagation cost
+  // the collector and hegemony stages sit on top of.
+  std::vector<sim::PropagationRequest> requests;
+  requests.reserve(groups.size());
+  for (const auto& group : groups) {
+    requests.push_back(sim::PropagationRequest{group.origin, group.cls});
+  }
+  std::vector<sim::PropagationResultPtr> batched_serial, batched_parallel;
   util::set_thread_count(1);
   simulator.clear_cache();
+  double batched_serial_ms =
+      time_ms([&] { batched_serial = simulator.propagate_cached(requests); });
+  util::set_thread_count(threads);
+  simulator.clear_cache();
+  double batched_parallel_ms = time_ms(
+      [&] { batched_parallel = simulator.propagate_cached(requests); });
+  for (size_t r = 0; r < requests.size(); ++r) {
+    if (batched_serial[r] == nullptr || batched_parallel[r] == nullptr ||
+        batched_serial[r]->source != batched_parallel[r]->source) {
+      std::fprintf(stderr, "perf_pipeline: propagation_batched mismatch\n");
+      return 1;
+    }
+  }
+  record_stage("propagation_batched", batched_serial_ms, batched_parallel_ms);
+  std::printf("batch width %zu lanes, %zu groups -> %zu sweeps\n",
+              sim::batch_width(), groups.size(),
+              (groups.size() + sim::batch_width() - 1) / sim::batch_width());
+
+  // --- propagation: collector RIB fan-out --------------------------------
+  // Runs against the memo the batched stage warmed -- in production every
+  // stage shares one resolve, so this row measures the collector's own
+  // work (path extraction, entry building, merge) plus cache lookups.
+  // The cold resolve cost is the propagation_batched row above.
+  bgp::Rib rib_serial, rib_parallel;
+  util::set_thread_count(1);
   double prop_serial =
       time_ms([&] { rib_serial = collector.collect(announcements); });
   util::set_thread_count(threads);
-  simulator.clear_cache();
   double prop_parallel =
       time_ms([&] { rib_parallel = collector.collect(announcements); });
   if (rib_serial.entry_count() != rib_parallel.entry_count()) {
@@ -421,8 +471,17 @@ int main() {
   }
   record_stage("mrt_decode", mrt_serial, mrt_parallel);
 
-  write_json(json_path,
-             run_json(scale, threads, cache_stats, hegemony_hits, rows));
+  const sim::PathArenaStats arena_stats = sim::path_arena_stats();
+  std::printf("path arena: %llu paths, %llu hops (%.1f%% shared)\n",
+              static_cast<unsigned long long>(arena_stats.paths),
+              static_cast<unsigned long long>(arena_stats.hops),
+              arena_stats.hops > 0
+                  ? 100.0 * static_cast<double>(arena_stats.shared_hops) /
+                        static_cast<double>(arena_stats.hops)
+                  : 0.0);
+
+  write_json(json_path, run_json(scale, threads, cache_stats, hegemony_hits,
+                                 arena_stats, rows));
   std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

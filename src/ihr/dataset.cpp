@@ -69,36 +69,48 @@ IhrSnapshot IhrSnapshotBuilder::build(
   // vectors -- no string keys, no hash lookups on the emit path.
   std::vector<size_t> group_of;
   auto groups = sim::group_announcements(sim_announcements, &group_of);
+  // One batched resolve for every group. When the same simulator already
+  // served RouteCollector, the collector's propagations are all cache
+  // hits here; fresh misses run through the lane engine batch_width()
+  // origins per sweep.
+  std::vector<sim::PropagationRequest> requests;
+  requests.reserve(groups.size());
+  for (const auto& group : groups) {
+    requests.push_back(sim::PropagationRequest{group.origin, group.cls});
+  }
+  const std::vector<sim::PropagationResultPtr> results =
+      sim_.propagate_cached(requests);
+
   struct GroupView {
-    std::vector<bgp::AsPath> paths;           // one per vantage with a route
     std::vector<HegemonyScore> hegemony;      // transit scores
     std::vector<bool> transit_via_customer;   // aligned with hegemony
     uint32_t visibility = 0;
   };
-  // Each group's propagation + hegemony estimate depends only on const
-  // simulator state: fan the groups out and fill index-addressed slots
-  // (determinism contract; see docs/performance.md).
+  // Each group's hegemony estimate depends only on const simulator state
+  // and its result slot: fan the groups out and fill index-addressed
+  // slots (determinism contract; see docs/performance.md). Per-vantage
+  // paths are arena views scoped to this group's iteration -- each worker
+  // thread reuses one arena, so vantages sharing a customer-cone suffix
+  // share its hops.
   std::vector<GroupView> group_views(groups.size());
   util::parallel_for(groups.size(), [&](size_t g) {
-    const auto& group = groups[g];
-    // Cached: when the same simulator already served RouteCollector, the
-    // collector's propagations are reused here instead of recomputed.
-    sim::PropagationResultPtr result =
-        sim_.propagate_cached(group.origin, group.cls);
-    GroupView view;
-    for (net::Asn vantage : vantage_points_) {
-      bgp::AsPath path = sim_.path_from(*result, vantage);
-      if (!path.empty()) {
-        view.paths.push_back(std::move(path));
-        ++view.visibility;
-      }
+    thread_local sim::PathArena arena;
+    const sim::PropagationResult& result = *results[g];
+    const std::vector<sim::PathView> views =
+        sim_.extract_paths(result, vantage_points_, arena);
+    std::vector<sim::PathView> paths;  // one per vantage with a route
+    paths.reserve(views.size());
+    for (const sim::PathView& path : views) {
+      if (!path.empty()) paths.push_back(path);
     }
-    view.hegemony = compute_hegemony(view.paths, trim_);
+    GroupView view;
+    view.visibility = static_cast<uint32_t>(paths.size());
+    view.hegemony = compute_hegemony(paths, trim_);
     view.transit_via_customer.reserve(view.hegemony.size());
     for (const auto& score : view.hegemony) {
       int32_t id = sim_.indexer().id_of(score.asn);
       bool via_customer =
-          id >= 0 && result->source[static_cast<size_t>(id)] ==
+          id >= 0 && result.source[static_cast<size_t>(id)] ==
                          sim::RouteSource::kCustomer;
       view.transit_via_customer.push_back(via_customer);
     }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 namespace manrs::ihr {
 
@@ -26,34 +25,49 @@ double trimmed_indicator_mean(size_t ones, size_t total, double trim) {
   return static_cast<double>(ones_in_window) / static_cast<double>(kept);
 }
 
-std::vector<HegemonyScore> compute_hegemony(
-    const std::vector<bgp::AsPath>& paths, double trim) {
+namespace {
+
+/// Shared core of both compute_hegemony overloads. `hops_of` maps a path
+/// to its (hop pointer, hop count) pair; everything downstream of that is
+/// representation-independent, so owned AsPaths and arena PathViews score
+/// identically by construction.
+template <typename Path, typename HopsOf>
+std::vector<HegemonyScore> hegemony_over(const std::vector<Path>& paths,
+                                         double trim, HopsOf hops_of) {
   size_t total = paths.size();
   if (total == 0) return {};
 
   // Count, per AS, in how many viewpoint paths it appears as a transit.
-  std::unordered_map<uint32_t, size_t> appearances;
+  // Gather every appearance into a flat vector and count runs after one
+  // sort: groups see a few hundred transit hops over a few dozen distinct
+  // ASes, where sorting a small contiguous array beats hashing each hop.
+  std::vector<uint32_t> transits;
+  transits.reserve(total * 4);
   for (const auto& path : paths) {
-    const auto& hops = path.hops();
+    const auto [hops, len] = hops_of(path);
     // Skip hop 0 (the vantage itself); de-duplicate prepended hops.
     uint32_t prev = 0;
     bool have_prev = false;
-    for (size_t i = 1; i < hops.size(); ++i) {
+    for (size_t i = 1; i < len; ++i) {
       uint32_t value = hops[i].value();
       if (have_prev && value == prev) continue;
-      ++appearances[value];
+      transits.push_back(value);
       prev = value;
       have_prev = true;
     }
   }
+  std::sort(transits.begin(), transits.end());
 
   std::vector<HegemonyScore> out;
-  out.reserve(appearances.size());
-  for (const auto& [asn, ones] : appearances) {
-    double score = trimmed_indicator_mean(ones, total, trim);
+  for (size_t i = 0; i < transits.size();) {
+    const uint32_t asn = transits[i];
+    size_t j = i + 1;
+    while (j < transits.size() && transits[j] == asn) ++j;
+    double score = trimmed_indicator_mean(j - i, total, trim);
     if (score > 0.0) {
       out.push_back(HegemonyScore{net::Asn(asn), score});
     }
+    i = j;
   }
   std::sort(out.begin(), out.end(),
             [](const HegemonyScore& a, const HegemonyScore& b) {
@@ -61,6 +75,24 @@ std::vector<HegemonyScore> compute_hegemony(
               return a.asn < b.asn;
             });
   return out;
+}
+
+}  // namespace
+
+std::vector<HegemonyScore> compute_hegemony(
+    const std::vector<bgp::AsPath>& paths, double trim) {
+  return hegemony_over(paths, trim, [](const bgp::AsPath& path) {
+    const auto& hops = path.hops();
+    return std::pair<const net::Asn*, size_t>(hops.data(), hops.size());
+  });
+}
+
+std::vector<HegemonyScore> compute_hegemony(
+    const std::vector<sim::PathView>& paths, double trim) {
+  return hegemony_over(paths, trim, [](const sim::PathView& path) {
+    return std::pair<const net::Asn*, size_t>(path.hops,
+                                              static_cast<size_t>(path.len));
+  });
 }
 
 }  // namespace manrs::ihr

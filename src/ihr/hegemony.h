@@ -15,6 +15,7 @@
 
 #include "bgp/route.h"
 #include "netbase/asn.h"
+#include "simulator/propagation.h"
 
 namespace manrs::ihr {
 
@@ -34,6 +35,12 @@ struct HegemonyScore {
 /// by ascending ASN.
 std::vector<HegemonyScore> compute_hegemony(
     const std::vector<bgp::AsPath>& paths, double trim = 0.1);
+
+/// Same computation over arena-backed path views (the batched pipeline's
+/// path representation; see sim::PropagationSim::extract_paths). Scores
+/// are identical to the owned-path overload on equal hop sequences.
+std::vector<HegemonyScore> compute_hegemony(
+    const std::vector<sim::PathView>& paths, double trim = 0.1);
 
 /// Trimmed mean of 0/1 indicator samples; exposed for tests and the
 /// trim-sensitivity ablation bench.

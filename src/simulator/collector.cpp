@@ -53,22 +53,33 @@ std::vector<AnnouncementGroup> group_announcements(
 
 std::vector<std::vector<bgp::RibEntry>> RouteCollector::collect_group_entries(
     const std::vector<AnnouncementGroup>& groups) const {
-  // Groups propagate independently over const simulator state: fan out
-  // and collect each group's per-peer paths into its index slot.
+  // One batched resolve for every group: cache misses run through the
+  // lane engine batch_width() origins per sweep instead of one BFS per
+  // group (slot g answers groups[g]).
+  std::vector<PropagationRequest> requests;
+  requests.reserve(groups.size());
+  for (const AnnouncementGroup& group : groups) {
+    requests.push_back(PropagationRequest{group.origin, group.cls});
+  }
+  const std::vector<PropagationResultPtr> results =
+      sim_.propagate_cached(requests);
+
+  // Path extraction fans out per group; each worker thread reuses one
+  // arena, so vantages sharing a customer-cone suffix share its hops.
   std::vector<std::vector<bgp::RibEntry>> group_entries(groups.size());
   util::parallel_for(groups.size(), [&](size_t g) {
-    PropagationResultPtr result =
-        sim_.propagate_cached(groups[g].origin, groups[g].cls);
+    thread_local PathArena arena;
+    const std::vector<PathView> views =
+        sim_.extract_paths(*results[g], peer_ases_, arena);
     // Each peer's path is shared by every prefix in the group; peers with
     // no route are dropped here so the per-prefix merge never re-walks
     // them.
     std::vector<bgp::RibEntry> entries;
     entries.reserve(peer_ases_.size());
     for (size_t i = 0; i < peer_ases_.size(); ++i) {
-      bgp::AsPath path = sim_.path_from(*result, peer_ases_[i]);
-      if (!path.empty()) {
+      if (!views[i].empty()) {
         entries.push_back(
-            bgp::RibEntry{static_cast<uint32_t>(i), std::move(path)});
+            bgp::RibEntry{static_cast<uint32_t>(i), views[i].to_path()});
       }
     }
     group_entries[g] = std::move(entries);

@@ -1,11 +1,17 @@
 #include "simulator/propagation.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdlib>
 #include <mutex>
 
+#if defined(__GNUC__) && defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
 #include "util/det_hash.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace manrs::sim {
@@ -80,7 +86,107 @@ constexpr size_t kDropCustomer = 0;
 constexpr size_t kDropPeer = 1;
 constexpr size_t kDropProvider = 2;
 
+// ---- batched lane engine ---------------------------------------------------
+// Each (AS, lane) carries one packed order key, smaller = better:
+//
+//     [63:56] priority   [55:32] distance   [31:0] next-hop id
+//
+// with priority 0 = origin, 1 = customer, 2 = peer, 3 = provider. Unlike
+// the single-origin phase 3 (which pins phase-1/2 seeds at key 0), the
+// priority field makes the phase interactions fall out of one min-fold:
+// a provider candidate can never displace a customer/peer/origin key, and
+// a peer candidate can never displace a customer key. Unseen is the max
+// *signed* 64-bit value so the fold's compare is sign-agnostic (every
+// valid key has priority <= 3, well below 2^59) and the per-lane loop
+// auto-vectorizes with either signed or unsigned compares.
+constexpr uint64_t kLaneUnseen = 0x7fffffffffffffffull;
+constexpr uint64_t kLaneCustomerPrio = 1ull << 56;
+constexpr uint64_t kLanePeerPrio = 2ull << 56;
+constexpr uint64_t kLaneProviderPrio = 3ull << 56;
+constexpr uint64_t kLaneDistMask = 0xffffffull;
+
+/// The all-none result of an unknown origin (matches propagate_id's
+/// origin_id < 0 branch byte for byte).
+PropagationResult unreached_result(size_t n) {
+  PropagationResult result;
+  result.source.assign(n, RouteSource::kNone);
+  result.next_hop.assign(n, PropagationResult::kNoRoute);
+  result.distance.assign(n, std::numeric_limits<uint16_t>::max());
+  return result;
+}
+
+std::atomic<size_t> g_batch_width{0};  // 0 = unset; next read consults env
+
+size_t batch_width_from_env() {
+  const char* env = std::getenv("MANRS_BATCH_WIDTH");
+  size_t width = kMaxBatchLanes;
+  if (env != nullptr && *env != '\0') {
+    if (auto parsed = util::parse_uint<uint64_t>(env); parsed && *parsed > 0) {
+      width = static_cast<size_t>(*parsed);
+    }
+  }
+  return std::min(std::max<size_t>(width, 1), kMaxBatchLanes);
+}
+
+// Arena path-extraction counters (see PathArenaStats).
+std::atomic<uint64_t> g_arena_paths{0};
+std::atomic<uint64_t> g_arena_hops{0};
+std::atomic<uint64_t> g_arena_shared_hops{0};
+
 }  // namespace
+
+size_t batch_width() {
+  size_t width = g_batch_width.load(std::memory_order_relaxed);
+  if (width == 0) {
+    width = batch_width_from_env();
+    g_batch_width.store(width, std::memory_order_relaxed);
+  }
+  return width;
+}
+
+void set_batch_width(size_t width) {
+  if (width == 0) {
+    g_batch_width.store(0, std::memory_order_relaxed);
+    return;
+  }
+  g_batch_width.store(std::min(std::max<size_t>(width, 1), kMaxBatchLanes),
+                      std::memory_order_relaxed);
+}
+
+PathArenaStats path_arena_stats() {
+  PathArenaStats stats;
+  stats.paths = g_arena_paths.load(std::memory_order_relaxed);
+  stats.hops = g_arena_hops.load(std::memory_order_relaxed);
+  stats.shared_hops = g_arena_shared_hops.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void BatchWorkspace::begin(size_t n_ases, size_t lane_count) {
+  n = n_ases;
+  lanes = lane_count;
+  key.assign(n * lanes, kLaneUnseen);
+  cust_mask.assign(n, 0);
+  reach_mask.assign(n, 0);
+  fmask.assign(n, 0);
+  cmask.assign(n, 0);
+  drop_cust.assign(n, 0);
+  drop_peer.assign(n, 0);
+  drop_prov.assign(n, 0);
+  frontier.clear();
+  next.clear();
+  touched.clear();
+}
+
+void BatchWorkspace::seed_origin(int32_t id, size_t lane) {
+  const size_t v = static_cast<size_t>(id);
+  key[v * lanes + lane] = 0;  // priority 0, distance 0: never displaced
+  const uint64_t bit = 1ull << lane;
+  if (fmask[v] == 0) frontier.push_back(id);
+  fmask[v] |= bit;
+  if (reach_mask[v] == 0) touched.push_back(id);
+  reach_mask[v] |= bit;
+  cust_mask[v] |= bit;
+}
 
 // Mutable engine state: the lazily built per-class drop masks and the
 // cross-stage propagation cache. Held by pointer so PropagationSim stays
@@ -145,6 +251,29 @@ PropagationSim::PropagationSim(const astopo::AsGraph& graph)
   build(peers_, [&](net::Asn a) -> const std::vector<net::Asn>& {
     return graph.peers(a);
   });
+
+  // Provider-before-customer topological order (Kahn over the p2c DAG),
+  // seeded in ascending id order so the order is deterministic.
+  descent_order_.reserve(n);
+  std::vector<uint32_t> pending(n);
+  for (size_t i = 0; i < n; ++i) {
+    pending[i] = providers_.offsets[i + 1] - providers_.offsets[i];
+    if (pending[i] == 0) descent_order_.push_back(static_cast<int32_t>(i));
+  }
+  for (size_t head = 0; head < descent_order_.size(); ++head) {
+    const int32_t u = descent_order_[head];
+    const int32_t* e = customers_.begin(u);
+    const int32_t* const e_end = customers_.end(u);
+    for (; e != e_end; ++e) {
+      if (--pending[static_cast<size_t>(*e)] == 0) descent_order_.push_back(*e);
+    }
+  }
+  descent_is_dag_ = descent_order_.size() == n;
+  if (!descent_is_dag_) {
+    for (size_t i = 0; i < n; ++i) {
+      if (pending[i] != 0) descent_order_.push_back(static_cast<int32_t>(i));
+    }
+  }
 }
 
 PropagationSim::~PropagationSim() = default;
@@ -466,6 +595,382 @@ PropagationResult PropagationSim::propagate_id(
   return result;
 }
 
+namespace {
+
+// ---- Phase-3 pull fold: one AS's provider candidates -------------------
+// Both variants implement the same fold. For AS v (lane keys kv) and each
+// provider u, the candidate in lane l is
+//
+//     (provider | dist_u[l] + 1 | u)     packed as one order key,
+//
+// skipped when lane l never reached u or v's policy drops this class on
+// provider adjacencies; v keeps the minimum of its own key and every
+// candidate. The distance field is extracted by masking (all route keys
+// keep it in bits [55:32]); the +1 cannot carry into the priority byte
+// (2^24-hop paths don't exist). Returns whether any lane of v improved
+// -- only consulted when the p2c graph has a cycle. All key values fit
+// in 62 bits (kLaneUnseen is int64 max), so the signed AVX2 compares
+// agree with the scalar unsigned ones.
+constexpr uint64_t kLaneDistField = kLaneDistMask << 32;
+
+bool pull_providers_scalar(const int32_t* p, const int32_t* const p_end,
+                           const uint64_t* key, uint64_t* kv, size_t W,
+                           uint64_t drop) {
+  uint64_t any = 0;
+  for (; p != p_end; ++p) {
+    const uint64_t* const ku = key + static_cast<size_t>(*p) * W;
+    const uint64_t base = kLaneProviderPrio | static_cast<uint32_t>(*p);
+    for (size_t l = 0; l < W; ++l) {
+      const uint64_t k_u = ku[l];
+      const uint64_t cand = ((k_u & kLaneDistField) + (1ull << 32)) | base;
+      const bool blocked = k_u == kLaneUnseen || ((drop >> l) & 1) != 0;
+      const uint64_t offer = blocked ? kLaneUnseen : cand;
+      const uint64_t have = kv[l];
+      const uint64_t take = static_cast<uint64_t>(offer < have);
+      kv[l] = take != 0 ? offer : have;
+      any |= take;
+    }
+  }
+  return any != 0;
+}
+
+#if defined(__GNUC__) && defined(__x86_64__)
+#define MANRS_LANES_AVX2 1
+
+// 4-wide variant: v's lane block is folded group by group, with the
+// whole provider list folded in registers before each group is stored
+// back once. Requires W % 4 == 0 (a vector tail would read into the
+// next AS's lanes).
+__attribute__((target("avx2"))) bool pull_providers_avx2(
+    const int32_t* const p_begin, const int32_t* const p_end,
+    const uint64_t* key, uint64_t* kv, size_t W, uint64_t drop) {
+  const __m256i unseen =
+      _mm256_set1_epi64x(static_cast<long long>(kLaneUnseen));
+  const __m256i distfield =
+      _mm256_set1_epi64x(static_cast<long long>(kLaneDistField));
+  const __m256i step = _mm256_set1_epi64x(1ll << 32);
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i lane_shift = _mm256_set_epi64x(3, 2, 1, 0);
+  __m256i any = _mm256_setzero_si256();
+  // The __m256i* casts below are the x86 intrinsic load/store idiom over
+  // the lane-key array; __m256i aliases any object type by design.
+  for (size_t g = 0; g < W; g += 4) {
+    __m256i have = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(kv + g));  // lint-ok: intrinsic load
+    // Dropped lanes (rare: only filtered classes set bits) force the
+    // candidate to unseen via the expanded mask.
+    __m256i dropmask = _mm256_setzero_si256();
+    if (drop != 0) {
+      const __m256i bits = _mm256_and_si256(
+          _mm256_srlv_epi64(
+              _mm256_set1_epi64x(static_cast<long long>(drop >> g)),
+              lane_shift),
+          one);
+      dropmask = _mm256_cmpeq_epi64(bits, one);
+    }
+    for (const int32_t* p = p_begin; p != p_end; ++p) {
+      const uint64_t* const ku = key + static_cast<size_t>(*p) * W;
+      const __m256i k_u = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(ku + g));  // lint-ok: intrinsic load
+      const __m256i base = _mm256_set1_epi64x(static_cast<long long>(
+          kLaneProviderPrio | static_cast<uint32_t>(*p)));
+      const __m256i cand = _mm256_or_si256(
+          _mm256_add_epi64(_mm256_and_si256(k_u, distfield), step), base);
+      const __m256i blocked =
+          _mm256_or_si256(_mm256_cmpeq_epi64(k_u, unseen), dropmask);
+      const __m256i offer = _mm256_blendv_epi8(cand, unseen, blocked);
+      const __m256i take = _mm256_cmpgt_epi64(have, offer);
+      have = _mm256_blendv_epi8(have, offer, take);
+      any = _mm256_or_si256(any, take);
+    }
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(kv + g), have);  // lint-ok: intrinsic store
+  }
+  return _mm256_testz_si256(any, any) == 0;
+}
+
+const bool kHaveAvx2 = __builtin_cpu_supports("avx2") != 0;
+#endif  // __GNUC__ && __x86_64__
+
+}  // namespace
+
+void PropagationSim::propagate_lanes(const int32_t* origin_ids,
+                                     const size_t* cls_indices, size_t lanes,
+                                     BatchWorkspace& ws,
+                                     PropagationResult* const* results) const {
+  const size_t n = indexer_.size();
+  const size_t W = lanes;
+  ws.begin(n, W);
+
+  // Scatter the per-class packed drop bitsets into per-AS lane masks, one
+  // pass per *distinct* class in the batch (lanes sharing a class index
+  // share the scatter): after this, the inner-loop filter check is
+  // `frontier_lanes & ~drop_*[v]` -- one AND-NOT per lane word.
+  {
+    size_t distinct_cls[kMaxBatchLanes];
+    uint64_t cls_lanes[kMaxBatchLanes];
+    size_t distinct = 0;
+    for (size_t l = 0; l < W; ++l) {
+      size_t d = 0;
+      while (d < distinct && distinct_cls[d] != cls_indices[l]) ++d;
+      if (d == distinct) {
+        distinct_cls[d] = cls_indices[l];
+        cls_lanes[d] = 0;
+        ++distinct;
+      }
+      cls_lanes[d] |= 1ull << l;
+    }
+    const size_t words = (n + 63) / 64;
+    uint64_t* const lane_masks[3] = {ws.drop_cust.data(), ws.drop_peer.data(),
+                                     ws.drop_prov.data()};
+    for (size_t d = 0; d < distinct; ++d) {
+      for (size_t adj = 0; adj < 3; ++adj) {
+        const uint64_t* mask = mask_for(distinct_cls[d], adj);
+        uint64_t* out = lane_masks[adj];
+        for (size_t w = 0; w < words; ++w) {
+          uint64_t bits = mask[w];
+          while (bits != 0) {
+            const int b = __builtin_ctzll(bits);
+            bits &= bits - 1;
+            out[(w << 6) + static_cast<size_t>(b)] |= cls_lanes[d];
+          }
+        }
+      }
+    }
+  }
+
+  for (size_t l = 0; l < W; ++l) ws.seed_origin(origin_ids[l], l);
+
+  uint64_t* const key = ws.key.data();
+  uint64_t* const fmask = ws.fmask.data();
+  uint64_t* const cmask = ws.cmask.data();
+  uint64_t* const cust_mask = ws.cust_mask.data();
+  uint64_t* const reach_mask = ws.reach_mask.data();
+  const uint64_t* const drop_cust = ws.drop_cust.data();
+  const uint64_t* const drop_peer = ws.drop_peer.data();
+  const uint64_t* const drop_prov = ws.drop_prov.data();
+
+  // ---- Phase 1: customer routes climb provider edges -------------------
+  // Level-synchronous BFS over (AS, lane) pairs. A level-d frontier AS
+  // offers the lane-invariant candidate (customer | d+1 | u) to each
+  // provider; min-fold matches the single engine exactly: first install
+  // wins the lane, same-level revisits can only lower the next-hop id
+  // (the hop field is the low 32 bits), and earlier-level keys always
+  // compare smaller. Next-level membership accumulates in cmask so a
+  // frontier AS re-offered *during* its own level keeps its current mask.
+  {
+    std::vector<int32_t>& cur = ws.frontier;
+    std::vector<int32_t>& nxt = ws.next;
+    uint64_t level = 0;
+    while (!cur.empty()) {
+      nxt.clear();
+      const uint64_t cand_base = kLaneCustomerPrio | ((level + 1) << 32);
+      for (const int32_t u : cur) {
+        const uint64_t m = fmask[static_cast<size_t>(u)];
+        fmask[static_cast<size_t>(u)] = 0;
+        const uint64_t cand = cand_base | static_cast<uint32_t>(u);
+        const int32_t* e = providers_.begin(u);
+        const int32_t* const e_end = providers_.end(u);
+        for (; e != e_end; ++e) {
+          const size_t v = static_cast<size_t>(*e);
+          uint64_t active = m & ~drop_cust[v];
+          if (active == 0) continue;
+          uint64_t* const kv = key + v * W;
+          uint64_t newbits = 0;
+          do {
+            const size_t l = static_cast<size_t>(__builtin_ctzll(active));
+            active &= active - 1;
+            // Branch-free: cand < kLaneUnseen always, so an unseen lane
+            // both takes the candidate and records first-install.
+            const uint64_t have = kv[l];
+            const uint64_t take = static_cast<uint64_t>(cand < have);
+            kv[l] = take != 0 ? cand : have;
+            newbits |= static_cast<uint64_t>(have == kLaneUnseen) << l;
+          } while (active != 0);
+          if (newbits != 0) {
+            if (cmask[v] == 0) nxt.push_back(static_cast<int32_t>(v));
+            cmask[v] |= newbits;
+            cust_mask[v] |= newbits;
+            if (reach_mask[v] == 0) ws.touched.push_back(static_cast<int32_t>(v));
+            reach_mask[v] |= newbits;
+          }
+        }
+      }
+      for (const int32_t v : nxt) {
+        fmask[static_cast<size_t>(v)] = cmask[static_cast<size_t>(v)];
+        cmask[static_cast<size_t>(v)] = 0;
+      }
+      std::swap(cur, nxt);
+      ++level;
+    }
+  }
+
+  // ---- Phase 2: one lateral hop across peer edges ----------------------
+  // Offers come only from lanes holding customer/origin routes (cust_mask
+  // over the phase-1 touched prefix -- peer routes are never re-exported
+  // to peers). The immediate min-fold equals the single engine's
+  // collect-then-apply: the priority field rejects folds into
+  // customer-routed lanes, and min keeps the (distance, from-id) minimum
+  // among peer offers. Newly reached ASes extend the touched list.
+  const size_t phase1_touched = ws.touched.size();
+  for (size_t t = 0; t < phase1_touched; ++t) {
+    const int32_t u = ws.touched[t];
+    const uint64_t m = cust_mask[static_cast<size_t>(u)];
+    const uint64_t* const ku = key + static_cast<size_t>(u) * W;
+    const int32_t* e = peers_.begin(u);
+    const int32_t* const e_end = peers_.end(u);
+    for (; e != e_end; ++e) {
+      const size_t v = static_cast<size_t>(*e);
+      uint64_t active = m & ~drop_peer[v];
+      if (active == 0) continue;
+      uint64_t* const kv = key + v * W;
+      do {
+        const size_t l = static_cast<size_t>(__builtin_ctzll(active));
+        active &= active - 1;
+        const uint64_t dist1 = ((ku[l] >> 32) & kLaneDistMask) + 1;
+        const uint64_t cand =
+            kLanePeerPrio | (dist1 << 32) | static_cast<uint32_t>(u);
+        const uint64_t have = kv[l];
+        if (have == kLaneUnseen) {
+          kv[l] = cand;
+          if (reach_mask[v] == 0) ws.touched.push_back(static_cast<int32_t>(v));
+          reach_mask[v] |= 1ull << l;
+        } else if (cand < have) {
+          kv[l] = cand;
+        }
+      } while (active != 0);
+    }
+  }
+
+  // ---- Phase 3: routes descend customer edges --------------------------
+  // Pull-based: ASes are visited in provider-before-customer topological
+  // order (precomputed at construction), so every provider's key is final
+  // when its customers read it and each p2c edge is crossed exactly once
+  // per sweep. The level-synchronous alternative re-visits an AS once per
+  // distinct lane level -- lanes place their origins at different depths
+  // -- which made the descent cost scale with the lane count. Results are
+  // identical: the descent recurrence
+  //
+  //     key_v = min(seed_v, min over providers u of candidate(key_u))
+  //
+  // is monotone with a unique least fixpoint, which any evaluation order
+  // reaches; one topological pass suffices on a DAG, and the rare cyclic
+  // graph re-runs the pass until no key improves.
+  {
+#ifdef MANRS_LANES_AVX2
+    const bool use_avx2 = kHaveAvx2 && W % 4 == 0;
+#endif
+    for (;;) {
+      bool changed = false;
+      for (const int32_t vi : descent_order_) {
+        const int32_t* const p = providers_.begin(vi);
+        const int32_t* const p_end = providers_.end(vi);
+        if (p == p_end) continue;
+        uint64_t* const kv = key + static_cast<size_t>(vi) * W;
+        const uint64_t drop = drop_prov[static_cast<size_t>(vi)];
+#ifdef MANRS_LANES_AVX2
+        if (use_avx2) {
+          changed |= pull_providers_avx2(p, p_end, key, kv, W, drop);
+          continue;
+        }
+#endif
+        changed |= pull_providers_scalar(p, p_end, key, kv, W, drop);
+      }
+      if (descent_is_dag_ || !changed) break;
+    }
+  }
+
+  // Materialize every lane's dense result, lane-major within AS tiles:
+  // one lane's writes stream sequentially while its strided key reads
+  // stay inside a tile small enough to live in L2 across all lane
+  // passes. The decode is branch-free: the priority byte indexes a
+  // source table (0 = origin since only the origin holds key 0; 0x7f =
+  // kLaneUnseen's top byte = unreached), the low word is the next hop
+  // (kLaneUnseen's low word is already kNoRoute = -1), and the distance
+  // field truncates to the uint16 sentinel for unreached lanes. Only the
+  // origin's next hop needs patching afterwards (key 0 decodes as hop 0,
+  // not kNoRoute).
+  static constexpr std::array<RouteSource, 128> kSourceOfPrio = [] {
+    std::array<RouteSource, 128> t{};
+    t.fill(RouteSource::kNone);
+    t[0] = RouteSource::kOrigin;
+    t[1] = RouteSource::kCustomer;
+    t[2] = RouteSource::kPeer;
+    t[3] = RouteSource::kProvider;
+    return t;
+  }();
+  RouteSource* src_of[kMaxBatchLanes];
+  int32_t* hop_of[kMaxBatchLanes];
+  uint16_t* dist_of[kMaxBatchLanes];
+  for (size_t l = 0; l < W; ++l) {
+    PropagationResult& r = *results[l];
+    r.source.resize(n);
+    r.next_hop.resize(n);
+    r.distance.resize(n);
+    src_of[l] = r.source.data();
+    hop_of[l] = r.next_hop.data();
+    dist_of[l] = r.distance.data();
+  }
+  constexpr size_t kTile = 1024;  // x 512B lane block = 512KB, L2-sized
+  for (size_t base = 0; base < n; base += kTile) {
+    const size_t lim = std::min(n, base + kTile);
+    for (size_t l = 0; l < W; ++l) {
+      RouteSource* const src = src_of[l];
+      int32_t* const hop = hop_of[l];
+      uint16_t* const dist = dist_of[l];
+      for (size_t i = base; i < lim; ++i) {
+        const uint64_t k = key[i * W + l];
+        src[i] = kSourceOfPrio[k >> 56];
+        hop[i] = static_cast<int32_t>(static_cast<uint32_t>(k));
+        dist[i] = static_cast<uint16_t>(k >> 32);
+      }
+    }
+  }
+  for (size_t l = 0; l < W; ++l) {
+    hop_of[l][static_cast<size_t>(origin_ids[l])] = PropagationResult::kNoRoute;
+  }
+}
+
+std::vector<PropagationResult> PropagationSim::propagate_batch(
+    const std::vector<PropagationRequest>& requests) const {
+  static thread_local BatchWorkspace tl_batch_workspace;
+  return propagate_batch(requests, tl_batch_workspace);
+}
+
+std::vector<PropagationResult> PropagationSim::propagate_batch(
+    const std::vector<PropagationRequest>& requests,
+    BatchWorkspace& workspace) const {
+  const size_t n = indexer_.size();
+  std::vector<PropagationResult> out(requests.size());
+  std::vector<size_t> live;  // request slots with a known origin
+  live.reserve(requests.size());
+  for (size_t r = 0; r < requests.size(); ++r) {
+    if (indexer_.id_of(requests[r].origin) < 0) {
+      out[r] = unreached_result(n);
+    } else {
+      live.push_back(r);
+    }
+  }
+  if (live.empty()) return out;
+  ensure_masks();  // class_index reads the lazily built variant-slot count
+
+  const size_t width = batch_width();
+  int32_t ids[kMaxBatchLanes];
+  size_t cls[kMaxBatchLanes];
+  PropagationResult* res[kMaxBatchLanes];
+  for (size_t b = 0; b < live.size(); b += width) {
+    const size_t lanes = std::min(width, live.size() - b);
+    for (size_t l = 0; l < lanes; ++l) {
+      const PropagationRequest& req = requests[live[b + l]];
+      ids[l] = indexer_.id_of(req.origin);
+      cls[l] = class_index(req.cls);
+      res[l] = &out[live[b + l]];
+    }
+    propagate_lanes(ids, cls, lanes, workspace, res);
+  }
+  return out;
+}
+
 PropagationResultPtr PropagationSim::propagate_cached(
     net::Asn origin, const AnnouncementClass& cls) const {
   static thread_local PropagationWorkspace tl_workspace;
@@ -503,6 +1008,112 @@ PropagationResultPtr PropagationSim::propagate_cached(
     }
   }
   return result;
+}
+
+std::vector<PropagationResultPtr> PropagationSim::propagate_cached(
+    const std::vector<PropagationRequest>& requests) const {
+  State& st = *state_;
+  const size_t n = indexer_.size();
+  std::vector<PropagationResultPtr> out(requests.size());
+  if (requests.empty()) return out;
+  ensure_masks();
+  const bool enabled = st.cache_enabled.load(std::memory_order_relaxed);
+
+  // Resolve every request to its (origin, signature) key. The first
+  // occurrence of a key the memo misses becomes a pending lane; later
+  // occurrences share its computation (and count as hits, exactly as the
+  // same sequence of single-origin calls would).
+  struct Pending {
+    uint64_t key;
+    int32_t origin_id;
+    size_t cls_index;
+  };
+  std::vector<Pending> pending;
+  std::unordered_map<uint64_t, size_t> pending_of;
+  std::vector<int64_t> slot(requests.size(), -1);
+  uint64_t hit_count = 0;
+  {
+    std::unique_lock<std::mutex> lock(st.cache_mutex, std::defer_lock);
+    if (enabled) lock.lock();
+    for (size_t r = 0; r < requests.size(); ++r) {
+      const int32_t origin_id = indexer_.id_of(requests[r].origin);
+      if (origin_id < 0) {
+        out[r] = std::make_shared<PropagationResult>(unreached_result(n));
+        continue;
+      }
+      const size_t ci = class_index(requests[r].cls);
+      const uint64_t key =
+          (static_cast<uint64_t>(static_cast<uint32_t>(origin_id)) << 16) |
+          st.sig_of_class[ci];
+      if (enabled) {
+        auto it = st.cache.find(key);
+        if (it != st.cache.end()) {
+          out[r] = it->second;
+          ++hit_count;
+          continue;
+        }
+      }
+      auto [pit, fresh] = pending_of.emplace(key, pending.size());
+      if (fresh) {
+        pending.push_back(Pending{key, origin_id, ci});
+      } else if (enabled) {
+        ++hit_count;
+      }
+      slot[r] = static_cast<int64_t>(pit->second);
+    }
+  }
+  if (enabled && hit_count > 0) {
+    st.hits.fetch_add(hit_count, std::memory_order_relaxed);
+  }
+  if (pending.empty()) return out;
+
+  // Chunk the misses into lane sweeps and fan the sweeps out over the
+  // pool; each worker reuses one thread-local lane workspace.
+  const size_t width = batch_width();
+  const size_t sweeps = (pending.size() + width - 1) / width;
+  std::vector<std::shared_ptr<PropagationResult>> computed(pending.size());
+  util::parallel_for(sweeps, [&](size_t b) {
+    static thread_local BatchWorkspace tl_batch_workspace;
+    const size_t begin = b * width;
+    const size_t lanes = std::min(width, pending.size() - begin);
+    int32_t ids[kMaxBatchLanes];
+    size_t cls[kMaxBatchLanes];
+    PropagationResult* res[kMaxBatchLanes];
+    for (size_t l = 0; l < lanes; ++l) {
+      ids[l] = pending[begin + l].origin_id;
+      cls[l] = pending[begin + l].cls_index;
+      computed[b * width + l] = std::make_shared<PropagationResult>();
+      res[l] = computed[b * width + l].get();
+    }
+    propagate_lanes(ids, cls, lanes, tl_batch_workspace, res);
+  });
+
+  std::vector<PropagationResultPtr> resolved(pending.size());
+  if (enabled) {
+    st.misses.fetch_add(pending.size(), std::memory_order_relaxed);
+    const size_t bytes = cache_entry_bytes(n);
+    std::lock_guard<std::mutex> lock(st.cache_mutex);
+    for (size_t p = 0; p < pending.size(); ++p) {
+      auto it = st.cache.find(pending[p].key);
+      if (it != st.cache.end()) {
+        resolved[p] = it->second;  // lost a race to another caller: share
+        continue;
+      }
+      resolved[p] = std::move(computed[p]);
+      if (st.cache_bytes + bytes <= st.cache_capacity) {
+        st.cache.emplace(pending[p].key, resolved[p]);
+        st.cache_bytes += bytes;
+      }
+    }
+  } else {
+    for (size_t p = 0; p < pending.size(); ++p) {
+      resolved[p] = std::move(computed[p]);
+    }
+  }
+  for (size_t r = 0; r < requests.size(); ++r) {
+    if (slot[r] >= 0) out[r] = resolved[static_cast<size_t>(slot[r])];
+  }
+  return out;
 }
 
 void PropagationSim::set_cache_enabled(bool enabled) {
@@ -567,6 +1178,98 @@ bgp::AsPath PropagationSim::path_from(const PropagationResult& result,
     current = next;
   }
   return fail(PathStatus::kBrokenChain);  // exceeded any simple path: cycle
+}
+
+std::vector<PathView> PropagationSim::extract_paths(
+    const PropagationResult& result, const std::vector<net::Asn>& vantages,
+    PathArena& arena) const {
+  const size_t limit = std::min(indexer_.size(), result.source.size());
+  if (arena.memo_.size() < limit) {
+    arena.memo_.assign(limit, PathArena::Memo{});
+    arena.epoch_ = 0;
+  }
+  if (++arena.epoch_ == 0) {  // uint32 wrap: invalidate all stamps
+    for (PathArena::Memo& m : arena.memo_) m.stamp = 0;
+    arena.epoch_ = 1;
+  }
+  arena.hops_.clear();
+  const uint32_t epoch = arena.epoch_;
+
+  // Walks record (offset, len) spans; views materialize only after every
+  // walk, so hops_ growth can never dangle an earlier span.
+  std::vector<std::pair<uint32_t, uint32_t>> spans(vantages.size(), {0, 0});
+  uint64_t paths = 0;
+  uint64_t total_hops = 0;
+  uint64_t shared_hops = 0;
+  for (size_t k = 0; k < vantages.size(); ++k) {
+    const int32_t id = indexer_.id_of(vantages[k]);
+    if (id < 0 || static_cast<size_t>(id) >= limit) continue;
+    if (result.source[static_cast<size_t>(id)] == RouteSource::kNone) continue;
+    std::vector<int32_t>& scratch = arena.scratch_;
+    scratch.clear();
+    int32_t current = id;
+    uint32_t suffix_offset = 0;
+    uint32_t suffix_len = 0;
+    bool ok = false;
+    // Walk the next_hop chain until the origin or a hop whose suffix this
+    // result already materialized; the same bound as path_from catches
+    // cycles, and any broken chain yields an empty view, like path_from.
+    for (size_t steps = 0; steps <= limit; ++steps) {
+      const PathArena::Memo memo = arena.memo_[static_cast<size_t>(current)];
+      if (memo.stamp == epoch) {
+        suffix_offset = memo.offset;
+        suffix_len = memo.len;
+        ok = true;
+        break;
+      }
+      scratch.push_back(current);
+      if (result.source[static_cast<size_t>(current)] ==
+          RouteSource::kOrigin) {
+        ok = true;
+        break;
+      }
+      const int32_t next = result.next_hop[static_cast<size_t>(current)];
+      if (next < 0 || static_cast<size_t>(next) >= limit ||
+          result.source[static_cast<size_t>(next)] == RouteSource::kNone) {
+        break;
+      }
+      current = next;
+    }
+    if (!ok) continue;
+    const uint32_t start = static_cast<uint32_t>(arena.hops_.size());
+    const uint32_t total = static_cast<uint32_t>(scratch.size()) + suffix_len;
+    arena.hops_.resize(static_cast<size_t>(start) + total);
+    for (size_t j = 0; j < scratch.size(); ++j) {
+      arena.hops_[start + j] = indexer_.asn_of(scratch[j]);
+    }
+    if (suffix_len > 0) {
+      net::Asn* const hops = arena.hops_.data();
+      std::copy(hops + suffix_offset, hops + suffix_offset + suffix_len,
+                hops + start + scratch.size());
+    }
+    for (size_t j = 0; j < scratch.size(); ++j) {
+      arena.memo_[static_cast<size_t>(scratch[j])] = PathArena::Memo{
+          start + static_cast<uint32_t>(j), total - static_cast<uint32_t>(j),
+          epoch};
+    }
+    spans[k] = {start, total};
+    ++paths;
+    total_hops += total;
+    shared_hops += suffix_len;
+  }
+
+  std::vector<PathView> views(vantages.size());
+  for (size_t k = 0; k < vantages.size(); ++k) {
+    if (spans[k].second != 0) {
+      views[k] = PathView{arena.hops_.data() + spans[k].first, spans[k].second};
+    }
+  }
+  if (paths > 0) {
+    g_arena_paths.fetch_add(paths, std::memory_order_relaxed);
+    g_arena_hops.fetch_add(total_hops, std::memory_order_relaxed);
+    g_arena_shared_hops.fetch_add(shared_hops, std::memory_order_relaxed);
+  }
+  return views;
 }
 
 }  // namespace manrs::sim

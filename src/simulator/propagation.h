@@ -38,7 +38,16 @@
 //   * propagate_cached() memoizes results by (origin, effective drop
 //     signature), letting the collector and hegemony stages share one
 //     propagation per group -- and letting classes no policy tells apart
-//     collapse onto a single cache entry.
+//     collapse onto a single cache entry;
+//   * propagate_batch() runs up to kMaxBatchLanes origins per sweep over
+//     a struct-of-arrays lane block (one packed order key per (AS, lane),
+//     contiguous per AS), so one pass over the CSR adjacency serves the
+//     whole batch and the per-edge fold vectorizes across lanes; the
+//     batched propagate_cached() overload groups pending (origin,
+//     signature) misses into such sweeps;
+//   * extract_paths() reconstructs per-vantage AS paths into a reusable
+//     PathArena with a per-AS suffix memo, returning non-owning PathViews
+//     instead of one heap AsPath per vantage.
 #pragma once
 
 #include <algorithm>
@@ -233,6 +242,110 @@ struct PropagationCacheStats {
   size_t bytes = 0;
 };
 
+/// One origin x validity-class request for the batched engine. A batch of
+/// these is the unit RouteCollector::collect and IhrSnapshotBuilder::build
+/// hand to propagate_cached().
+struct PropagationRequest {
+  net::Asn origin;
+  AnnouncementClass cls;
+};
+
+/// Hard ceiling on lanes per batched sweep: lane membership (frontier,
+/// drop filters, change tracking) is one 64-bit mask per AS.
+inline constexpr size_t kMaxBatchLanes = 64;
+
+/// Lane width used when chunking requests into sweeps: MANRS_BATCH_WIDTH
+/// (default 64), clamped to [1, kMaxBatchLanes].
+size_t batch_width();
+/// Override the width (clamped to [1, kMaxBatchLanes]); 0 re-reads the
+/// environment. Test hook, like util::set_grain.
+void set_batch_width(size_t width);
+
+/// Reusable scratch for one batched sweep (propagate_batch): per-AS lane
+/// state as struct-of-arrays. The packed 8-byte order keys of all lanes of
+/// one AS are contiguous (`key[v * lanes + l]`), so the descent's
+/// min-fold runs over a dense block per edge visit; frontier membership,
+/// drop filters, and change tracking are one 64-bit lane mask per AS.
+/// begin() must start every sweep -- the arrays carry the previous
+/// sweep's keys otherwise -- and a workspace must not be shared between
+/// concurrent sweeps; parallel callers keep one per worker thread.
+struct BatchWorkspace {
+  size_t n = 0;      // ASes (dense-id space)
+  size_t lanes = 0;  // active lanes this sweep, <= kMaxBatchLanes
+
+  std::vector<uint64_t> key;  // n * lanes packed order keys, SoA per AS
+  // Per-AS lane masks.
+  std::vector<uint64_t> cust_mask;   // lanes holding a customer/origin route
+  std::vector<uint64_t> reach_mask;  // lanes routed after phases 1-2
+  std::vector<uint64_t> fmask;       // current BFS-level frontier lanes
+  std::vector<uint64_t> cmask;       // lanes changed within a level
+  std::vector<uint64_t> drop_cust;   // lanes this AS filters per adjacency
+  std::vector<uint64_t> drop_peer;
+  std::vector<uint64_t> drop_prov;
+  std::vector<int32_t> frontier;
+  std::vector<int32_t> next;
+  std::vector<int32_t> touched;  // ids routed in phases 1-2, in set order
+
+  /// Start a sweep over `n_ases` ASes and `lane_count` lanes: size and
+  /// clear every array (keys to the unseen sentinel).
+  void begin(size_t n_ases, size_t lane_count);
+
+  /// Seed lane `lane`'s origin at dense id `id`: pins the origin key and
+  /// enters the id into the phase-1 frontier. Call after begin().
+  void seed_origin(int32_t id, size_t lane);
+};
+
+/// A non-owning view of one reconstructed AS path [vantage, ..., origin].
+/// The hops live in the PathArena the view was extracted into; views stay
+/// valid until that arena's next extract_paths() call (or destruction).
+struct PathView {
+  const net::Asn* hops = nullptr;
+  uint32_t len = 0;
+
+  bool empty() const { return len == 0; }
+  size_t size() const { return len; }
+  const net::Asn* begin() const { return hops; }
+  const net::Asn* end() const { return hops + len; }
+  net::Asn operator[](size_t i) const { return hops[i]; }
+  /// Materialize an owned path (one exact-size allocation).
+  bgp::AsPath to_path() const {
+    return bgp::AsPath(std::vector<net::Asn>(hops, hops + len));
+  }
+};
+
+/// Cumulative process-wide counters for arena path extraction. shared_hops
+/// counts hops served from a memoized shared suffix instead of a fresh
+/// next_hop-chain walk.
+struct PathArenaStats {
+  uint64_t paths = 0;
+  uint64_t hops = 0;
+  uint64_t shared_hops = 0;
+};
+PathArenaStats path_arena_stats();
+
+/// Bump storage for extract_paths(): all hops of one result's paths in a
+/// single grow-only vector, plus an epoch-stamped per-AS memo so vantages
+/// deep in the same customer cone share their common suffix ([AS, ...,
+/// origin] is a function of the AS alone within one result) by memcpy
+/// instead of re-walking the chain. Reused across calls with O(1) reset;
+/// one arena per worker thread, like PropagationWorkspace.
+class PathArena {
+ public:
+  PathArena() = default;
+
+ private:
+  friend class PropagationSim;
+  struct Memo {
+    uint32_t offset = 0;
+    uint32_t len = 0;
+    uint32_t stamp = 0;  // valid iff == epoch
+  };
+  std::vector<net::Asn> hops_;
+  std::vector<Memo> memo_;
+  std::vector<int32_t> scratch_;  // ids of the walked (unmemoized) prefix
+  uint32_t epoch_ = 0;
+};
+
 class PropagationSim {
  public:
   explicit PropagationSim(const astopo::AsGraph& graph);
@@ -265,6 +378,25 @@ class PropagationSim {
   PropagationResultPtr propagate_cached(net::Asn origin,
                                         const AnnouncementClass& cls) const;
 
+  /// Batch-aware cached propagation: resolves every request against the
+  /// memo, groups first-seen misses by (origin, signature), runs them
+  /// through the lane engine batch_width() origins per sweep (sweeps fan
+  /// out over the worker pool), installs the results, and returns one
+  /// pointer per request (slot i answers requests[i]). Per-lane results
+  /// are byte-identical to the single-origin engine at any width. Unknown
+  /// origins yield the all-none result, like the single-origin overload.
+  std::vector<PropagationResultPtr> propagate_cached(
+      const std::vector<PropagationRequest>& requests) const;
+
+  /// Uncached batched propagation (the raw lane engine): slot i answers
+  /// requests[i], chunked into sweeps of batch_width() lanes. The
+  /// workspace overload reuses caller scratch.
+  std::vector<PropagationResult> propagate_batch(
+      const std::vector<PropagationRequest>& requests) const;
+  std::vector<PropagationResult> propagate_batch(
+      const std::vector<PropagationRequest>& requests,
+      BatchWorkspace& workspace) const;
+
   /// Cache controls. Capacity defaults to MANRS_PROP_CACHE_MB megabytes
   /// (2048 when unset); at capacity, new results are returned uncached.
   /// Disabling also clears. Cached bytes are pure function values, so
@@ -282,6 +414,16 @@ class PropagationSim {
                         net::Asn vantage) const;
   bgp::AsPath path_from(const PropagationResult& result, net::Asn vantage,
                         PathStatus* status) const;
+
+  /// Reconstruct the AS path of every vantage in one pass: slot i is
+  /// vantages[i]'s path as a view into `arena` (empty when the vantage
+  /// has no route or the chain is corrupt, exactly like path_from).
+  /// Vantages whose suffix was already walked for this result share its
+  /// hops through the arena memo. Views from previous extract_paths calls
+  /// on the same arena are invalidated.
+  std::vector<PathView> extract_paths(const PropagationResult& result,
+                                      const std::vector<net::Asn>& vantages,
+                                      PathArena& arena) const;
 
  private:
   /// Flat compressed-sparse-row adjacency: neighbors of u are
@@ -309,11 +451,25 @@ class PropagationSim {
   PropagationResult propagate_id(int32_t origin_id,
                                  const AnnouncementClass& cls,
                                  PropagationWorkspace& ws) const;
+  /// One batched sweep: lane l propagates origin_ids[l] under class index
+  /// cls_indices[l]; results[l] receives lane l's dense result. Callers
+  /// guarantee lanes <= kMaxBatchLanes, valid ids, and ensure_masks().
+  void propagate_lanes(const int32_t* origin_ids, const size_t* cls_indices,
+                       size_t lanes, BatchWorkspace& ws,
+                       PropagationResult* const* results) const;
 
   AsIndexer indexer_;
   Csr providers_;  // providers_.edges of u: ids that are providers of u
   Csr customers_;
   Csr peers_;
+  // Provider-before-customer topological order of the p2c hierarchy,
+  // computed once at construction: the lane engine's descent pulls each
+  // AS's provider candidates in this order, so one pass over the order
+  // crosses every p2c edge exactly once. If the graph has a p2c cycle
+  // (never for generated topologies), the order is completed with the
+  // leftover ids and the descent iterates to the fixpoint instead.
+  std::vector<int32_t> descent_order_;
+  bool descent_is_dag_ = true;
   std::vector<FilterPolicy> policies_;
   std::unique_ptr<State> state_;
 };

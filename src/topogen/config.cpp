@@ -88,6 +88,15 @@ ScenarioConfig ScenarioConfig::full_scale() {
   return c;
 }
 
+ScenarioConfig ScenarioConfig::large_scale() {
+  // Stays on the default<->full axis: only the small non-MANRS
+  // population (the paper's 10x-downscaled group) grows.
+  ScenarioConfig c = paper_default();
+  c.small_other.count = 20000;
+  c.small_other.quiet = 300;
+  return c;
+}
+
 ScenarioConfig ScenarioConfig::tiny() {
   ScenarioConfig c;
   c.small_manrs = {40, 5, small_manrs_reg(), small_manrs_filter()};

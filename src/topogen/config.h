@@ -107,6 +107,11 @@ struct ScenarioConfig {
   /// Same behaviour models at the paper's full population counts.
   static ScenarioConfig full_scale();
 
+  /// Between paper_default and full_scale: the small non-MANRS
+  /// population at 3x the default (~25k ASes total). Big enough that
+  /// scaling regressions show, small enough for a CI smoke run.
+  static ScenarioConfig large_scale();
+
   /// A miniature configuration for unit/integration tests (hundreds of
   /// ASes, seconds to generate and propagate).
   static ScenarioConfig tiny();

@@ -1,0 +1,10 @@
+// Negative: begin() sizes and clears the lane arrays before each
+// sweep's seeding -- the sanctioned serial pattern.
+void f_bws_begin_then_seed() {
+  BatchWorkspace ws;
+  ws.begin(64, 8);
+  ws.seed_origin(1, 0);
+  ws.seed_origin(2, 1);
+  ws.begin(64, 8);
+  ws.seed_origin(3, 0);
+}

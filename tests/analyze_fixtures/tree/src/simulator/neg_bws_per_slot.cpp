@@ -1,0 +1,9 @@
+// Negative: per-slot batch workspaces indexed by the loop variable are
+// the sanctioned parallel pattern (vector elements are not one shared
+// scratch object).
+void f_bws_per_slot(std::vector<BatchWorkspace>& slots) {
+  util::parallel_for(slots.size(), [&](unsigned long i) {
+    slots[i].begin(64, 8);
+    slots[i].seed_origin(static_cast<int>(i), 0);
+  });
+}

@@ -1,0 +1,9 @@
+// Positive: one batch workspace captured by reference into a
+// parallel_for lambda -- every slot sweeps over the same lane arrays.
+void f_bws_shared(unsigned long n) {
+  BatchWorkspace ws;
+  ws.begin(64, 8);
+  util::parallel_for(n, [&](unsigned long i) {
+    ws.seed_origin(static_cast<int>(i), 0);
+  });
+}

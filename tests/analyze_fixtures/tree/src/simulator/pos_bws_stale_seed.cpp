@@ -1,0 +1,6 @@
+// Positive: a fresh batch workspace is stale until begin(); seeding a
+// lane would leak the previous sweep's keys.
+void f_bws_stale_seed() {
+  BatchWorkspace ws;
+  ws.seed_origin(7, 0);
+}

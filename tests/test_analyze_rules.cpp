@@ -91,6 +91,8 @@ TEST(AnalyzeRules, FixtureTreeFindingsMatchExactly) {
       {"src/mrt/pos_union.cpp", 2, "union-punning"},
       {"src/mrt/pos_waiver_rawstring.cpp", 4, "unchecked-memcpy"},
       {"src/netbase/pos_layer.cpp", 1, "layer-violation"},
+      {"src/simulator/pos_bws_shared_parallel.cpp", 7, "batch-workspace"},
+      {"src/simulator/pos_bws_stale_seed.cpp", 5, "batch-workspace"},
       {"src/simulator/pos_det_iter.cpp", 7, "determinism-iteration"},
       {"src/simulator/pos_nested_capture.cpp", 6, "nested-parallel"},
       {"src/simulator/pos_nested_map_capture.cpp", 6, "nested-parallel"},
@@ -120,12 +122,13 @@ TEST(AnalyzeRules, RegexCorpusParityAllPortedRulesFire) {
   for (const FindingKey& k : parse_findings(r.out)) {
     fired.insert(std::get<2>(k));
   }
-  const std::array<const char*, 17> all_rules = {
+  const std::array<const char*, 18> all_rules = {
       "reinterpret-cast", "unchecked-memcpy", "throwing-strtox",
       "locale-atox", "unbounded-copy", "union-punning", "raw-thread",
       "rib-map", "std-hash", "determinism-iteration", "parallel-capture",
       "layer-violation", "parse-throw-boundary", "rib-typestate",
-      "workspace-epoch", "cursor-guard", "nested-parallel"};
+      "workspace-epoch", "batch-workspace", "cursor-guard",
+      "nested-parallel"};
   for (const char* rule : all_rules) {
     EXPECT_EQ(fired.count(rule), 1u) << "rule never fired: " << rule;
   }
@@ -152,7 +155,8 @@ TEST(AnalyzeRules, ListRulesShowsFullCatalog) {
   for (const char* rule :
        {"reinterpret-cast", "determinism-iteration", "parallel-capture",
         "layer-violation", "parse-throw-boundary", "rib-typestate",
-        "workspace-epoch", "cursor-guard", "nested-parallel"}) {
+        "workspace-epoch", "batch-workspace", "cursor-guard",
+        "nested-parallel"}) {
     EXPECT_NE(r.out.find(rule), std::string::npos) << rule;
   }
 }

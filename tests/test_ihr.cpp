@@ -101,7 +101,8 @@ TEST(Hegemony, SortedByScoreDescending) {
 }
 
 TEST(Hegemony, EmptyInput) {
-  EXPECT_TRUE(compute_hegemony({}, 0.1).empty());
+  EXPECT_TRUE(compute_hegemony(std::vector<bgp::AsPath>{}, 0.1).empty());
+  EXPECT_TRUE(compute_hegemony(std::vector<sim::PathView>{}, 0.1).empty());
 }
 
 TEST(IhrCsv, PrefixOriginRoundTrip) {

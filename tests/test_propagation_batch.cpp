@@ -1,0 +1,523 @@
+// Batched propagation engine tests.
+//
+// Three layers:
+//
+//   * PropagationBatch: the lane engine (propagate_batch) must equal the
+//     single-origin engine result-for-result at every lane width -- 1,
+//     a non-power-of-two, the full 64, and a width larger than the
+//     request count -- and the batched propagate_cached() front end must
+//     share memo entries (and hit/miss accounting) with the single-call
+//     overload.
+//   * PropagationBatchPaths: extract_paths() views must match path_from
+//     hop-for-hop, including no-route vantages, the origin itself, and
+//     unknown ASNs, while the arena's suffix memo actually shares hops.
+//   * PropagationBatchGolden: full collector RIBs and hegemony CSVs must
+//     be byte-identical to the single-origin engine across the thread x
+//     grain x batch-width matrix. The single-engine golden is produced by
+//     pre-warming the propagation cache through propagate_cached(origin,
+//     cls) -- the batched front end then serves only single-engine
+//     results -- plus, for the collector, an explicit path_from +
+//     merge_group_entries reference build.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ihr/dataset.h"
+#include "mrt/table_dump.h"
+#include "simulator/collector.h"
+#include "simulator/propagation.h"
+#include "topogen/scenario.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace manrs {
+namespace {
+
+using astopo::AsGraph;
+using net::Asn;
+using sim::AnnouncementClass;
+using sim::FilterPolicy;
+using sim::PropagationRequest;
+using sim::PropagationResult;
+using sim::PropagationSim;
+
+// Restores the lane width (and the thread/grain knobs the golden matrix
+// touches) no matter how a test exits.
+struct EngineKnobGuard {
+  ~EngineKnobGuard() {
+    sim::set_batch_width(0);
+    util::set_thread_count(0);
+    util::set_grain(0);
+  }
+};
+
+AsGraph random_graph(util::Rng& rng, size_t n) {
+  AsGraph graph;
+  // Node i may buy transit from lower-indexed nodes (acyclic p2c), plus
+  // random peering edges not parallel to p2c edges.
+  for (size_t i = 0; i < n; ++i) graph.add_as(Asn(100 + i));
+  for (size_t i = 1; i < n; ++i) {
+    size_t providers = 1 + rng.uniform(2);
+    for (size_t k = 0; k < providers; ++k) {
+      graph.add_provider_customer(Asn(100 + rng.uniform(i)), Asn(100 + i));
+    }
+  }
+  for (size_t k = 0; k < n / 2; ++k) {
+    size_t a = rng.uniform(n), b = rng.uniform(n);
+    if (a == b) continue;
+    if (graph.is_provider_of(Asn(100 + a), Asn(100 + b)) ||
+        graph.is_provider_of(Asn(100 + b), Asn(100 + a))) {
+      continue;
+    }
+    graph.add_peer_peer(Asn(100 + a), Asn(100 + b));
+  }
+  return graph;
+}
+
+void apply_random_policies(util::Rng& rng, const AsGraph& graph,
+                           PropagationSim& sim) {
+  for (Asn asn : graph.all_asns()) {
+    FilterPolicy policy;
+    policy.rov = rng.bernoulli(0.2);
+    if (rng.bernoulli(0.3)) {
+      policy.customer_strictness =
+          static_cast<uint8_t>(1 + rng.uniform(sim::kFilterVariants));
+    }
+    if (rng.bernoulli(0.2)) {
+      policy.peer_strictness =
+          static_cast<uint8_t>(1 + rng.uniform(sim::kFilterVariants));
+    }
+    sim.set_policy(asn, policy);
+  }
+}
+
+AnnouncementClass random_class(util::Rng& rng) {
+  AnnouncementClass cls;
+  cls.rpki_invalid = rng.bernoulli(0.4);
+  cls.irr_invalid = rng.bernoulli(0.4);
+  cls.variant = static_cast<uint8_t>(rng.uniform(sim::kFilterVariants));
+  return cls;
+}
+
+/// A request mix that exercises every batched code path: valid + invalid
+/// classes (different effective drop signatures), duplicate (origin,
+/// class) pairs, and one unknown origin.
+std::vector<PropagationRequest> mixed_requests(util::Rng& rng, size_t n,
+                                               size_t count) {
+  std::vector<PropagationRequest> requests;
+  requests.reserve(count);
+  for (size_t r = 0; r < count; ++r) {
+    Asn origin(100 + static_cast<uint32_t>(rng.uniform(n)));
+    AnnouncementClass cls =
+        rng.bernoulli(0.3) ? AnnouncementClass{} : random_class(rng);
+    requests.push_back(PropagationRequest{origin, cls});
+    if (rng.bernoulli(0.2) && requests.size() < count) {
+      requests.push_back(requests.back());  // duplicate lane
+      ++r;
+    }
+  }
+  requests[count / 2].origin = Asn(99999999);  // unknown to the graph
+  return requests;
+}
+
+void expect_result_eq(const PropagationResult& got,
+                      const PropagationResult& want, size_t request,
+                      size_t width) {
+  EXPECT_EQ(got.source, want.source) << "request=" << request
+                                     << " width=" << width;
+  EXPECT_EQ(got.next_hop, want.next_hop)
+      << "request=" << request << " width=" << width;
+  EXPECT_EQ(got.distance, want.distance)
+      << "request=" << request << " width=" << width;
+}
+
+TEST(PropagationBatch, MatchesSingleAcrossWidths) {
+  EngineKnobGuard guard;
+  util::Rng rng(20260801);
+  const size_t n = 40;
+  AsGraph graph = random_graph(rng, n);
+  PropagationSim sim(graph);
+  apply_random_policies(rng, graph, sim);
+
+  // 90 requests: at width 64 that is one full sweep plus a partial one.
+  std::vector<PropagationRequest> requests = mixed_requests(rng, n, 90);
+  std::vector<PropagationResult> singles;
+  singles.reserve(requests.size());
+  for (const PropagationRequest& req : requests) {
+    singles.push_back(sim.propagate(req.origin, req.cls));
+  }
+
+  for (size_t width : {size_t{1}, size_t{7}, size_t{64}}) {
+    sim::set_batch_width(width);
+    ASSERT_EQ(sim::batch_width(), width);
+    std::vector<PropagationResult> lanes = sim.propagate_batch(requests);
+    ASSERT_EQ(lanes.size(), requests.size());
+    for (size_t r = 0; r < requests.size(); ++r) {
+      expect_result_eq(lanes[r], singles[r], r, width);
+    }
+  }
+
+  // Width larger than the whole request list: one short sweep.
+  sim::set_batch_width(64);
+  std::vector<PropagationRequest> few(requests.begin(), requests.begin() + 5);
+  std::vector<PropagationResult> lanes = sim.propagate_batch(few);
+  for (size_t r = 0; r < few.size(); ++r) {
+    expect_result_eq(lanes[r], singles[r], r, 64);
+  }
+}
+
+TEST(PropagationBatch, WorkspaceReuseAcrossSweeps) {
+  // One lane workspace reused across batches of varying width and lane
+  // count must leave no state behind between sweeps.
+  EngineKnobGuard guard;
+  util::Rng rng(715);
+  const size_t n = 28;
+  AsGraph graph = random_graph(rng, n);
+  PropagationSim sim(graph);
+  apply_random_policies(rng, graph, sim);
+
+  sim::BatchWorkspace reused;
+  for (size_t round = 0; round < 4; ++round) {
+    sim::set_batch_width(round + 1);  // 1, 2, 3, 4 lanes per sweep
+    std::vector<PropagationRequest> requests =
+        mixed_requests(rng, n, 6 + 3 * round);
+    std::vector<PropagationResult> warm = sim.propagate_batch(requests,
+                                                              reused);
+    for (size_t r = 0; r < requests.size(); ++r) {
+      PropagationResult cold = sim.propagate(requests[r].origin,
+                                             requests[r].cls);
+      expect_result_eq(warm[r], cold, r, round + 1);
+    }
+  }
+}
+
+TEST(PropagationBatch, WidthKnobReadsEnvironment) {
+  EngineKnobGuard guard;
+  ASSERT_EQ(setenv("MANRS_BATCH_WIDTH", "7", 1), 0);
+  sim::set_batch_width(0);  // re-read the environment
+  EXPECT_EQ(sim::batch_width(), 7u);
+  ASSERT_EQ(setenv("MANRS_BATCH_WIDTH", "100", 1), 0);
+  sim::set_batch_width(0);
+  EXPECT_EQ(sim::batch_width(), sim::kMaxBatchLanes);  // clamped
+  ASSERT_EQ(unsetenv("MANRS_BATCH_WIDTH"), 0);
+  sim::set_batch_width(0);
+  EXPECT_EQ(sim::batch_width(), sim::kMaxBatchLanes);  // default
+  sim::set_batch_width(3);
+  EXPECT_EQ(sim::batch_width(), 3u);
+}
+
+TEST(PropagationBatch, CachedBatchSharesEntriesWithSingleCalls) {
+  EngineKnobGuard guard;
+  util::Rng rng(1177);
+  const size_t n = 24;
+  AsGraph graph = random_graph(rng, n);
+  PropagationSim sim(graph);
+  apply_random_policies(rng, graph, sim);
+  ASSERT_TRUE(sim.cache_enabled());
+
+  std::vector<PropagationRequest> requests = mixed_requests(rng, n, 40);
+  sim::set_batch_width(7);
+  std::vector<sim::PropagationResultPtr> batched =
+      sim.propagate_cached(requests);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (size_t r = 0; r < requests.size(); ++r) {
+    ASSERT_NE(batched[r], nullptr) << r;
+    // Values equal the uncached single engine...
+    PropagationResult plain = sim.propagate(requests[r].origin,
+                                            requests[r].cls);
+    expect_result_eq(*batched[r], plain, r, 7);
+    // ...and known origins share the exact memo object a single-origin
+    // cached call serves.
+    if (sim.indexer().id_of(requests[r].origin) >= 0) {
+      EXPECT_EQ(sim.propagate_cached(requests[r].origin, requests[r].cls)
+                    .get(),
+                batched[r].get())
+          << r;
+    }
+  }
+}
+
+TEST(PropagationBatch, CachedBatchCountsDuplicatesAsHits) {
+  // The batched front end must account exactly like the same sequence of
+  // single-origin calls: first occurrence of a missing key is one miss,
+  // every later occurrence in the same batch is a hit.
+  EngineKnobGuard guard;
+  util::Rng rng(31);
+  AsGraph graph = random_graph(rng, 16);
+  PropagationSim sim(graph);
+
+  AnnouncementClass valid;
+  std::vector<PropagationRequest> requests{
+      PropagationRequest{Asn(101), valid},
+      PropagationRequest{Asn(101), valid},  // duplicate of the pending miss
+      PropagationRequest{Asn(105), valid},
+  };
+  std::vector<sim::PropagationResultPtr> first =
+      sim.propagate_cached(requests);
+  EXPECT_EQ(first[0].get(), first[1].get());
+  auto stats = sim.cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+
+  // A second identical batch is all hits against the installed entries.
+  std::vector<sim::PropagationResultPtr> second =
+      sim.propagate_cached(requests);
+  for (size_t r = 0; r < requests.size(); ++r) {
+    EXPECT_EQ(second[r].get(), first[r].get());
+  }
+  stats = sim.cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 4u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(PropagationBatch, CachedBatchWithCacheDisabled) {
+  EngineKnobGuard guard;
+  util::Rng rng(92);
+  const size_t n = 20;
+  AsGraph graph = random_graph(rng, n);
+  PropagationSim sim(graph);
+  apply_random_policies(rng, graph, sim);
+  sim.set_cache_enabled(false);
+
+  std::vector<PropagationRequest> requests = mixed_requests(rng, n, 12);
+  std::vector<sim::PropagationResultPtr> batched =
+      sim.propagate_cached(requests);
+  for (size_t r = 0; r < requests.size(); ++r) {
+    ASSERT_NE(batched[r], nullptr);
+    PropagationResult plain = sim.propagate(requests[r].origin,
+                                            requests[r].cls);
+    expect_result_eq(*batched[r], plain, r, sim::batch_width());
+  }
+  EXPECT_EQ(sim.cache_stats().entries, 0u);
+  sim.set_cache_enabled(true);
+}
+
+TEST(PropagationBatch, UnknownOriginYieldsAllNone) {
+  EngineKnobGuard guard;
+  util::Rng rng(55);
+  AsGraph graph = random_graph(rng, 10);
+  PropagationSim sim(graph);
+
+  std::vector<PropagationRequest> requests{
+      PropagationRequest{Asn(424242), AnnouncementClass{}}};
+  std::vector<PropagationResult> lanes = sim.propagate_batch(requests);
+  std::vector<sim::PropagationResultPtr> cached =
+      sim.propagate_cached(requests);
+  ASSERT_EQ(lanes[0].source.size(), sim.indexer().size());
+  for (size_t i = 0; i < lanes[0].source.size(); ++i) {
+    EXPECT_EQ(lanes[0].source[i], sim::RouteSource::kNone);
+    EXPECT_EQ(cached[0]->source[i], sim::RouteSource::kNone);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arena path extraction.
+
+TEST(PropagationBatchPaths, ExtractMatchesPathFrom) {
+  util::Rng rng(60061);
+  const size_t n = 32;
+  AsGraph graph = random_graph(rng, n);
+  PropagationSim sim(graph);
+  apply_random_policies(rng, graph, sim);
+
+  // Vantages: every AS (origin included), plus an ASN the graph has
+  // never heard of.
+  std::vector<Asn> vantages = sim.indexer().asns();
+  vantages.push_back(Asn(77777777));
+
+  sim::PathArena arena;  // reused across results: epoch reset under test
+  for (int round = 0; round < 6; ++round) {
+    Asn origin(100 + static_cast<uint32_t>(rng.uniform(n)));
+    AnnouncementClass cls = round == 0 ? AnnouncementClass{}
+                                       : random_class(rng);
+    PropagationResult result = sim.propagate(origin, cls);
+
+    sim::PathArenaStats before = sim::path_arena_stats();
+    std::vector<sim::PathView> views =
+        sim.extract_paths(result, vantages, arena);
+    sim::PathArenaStats after = sim::path_arena_stats();
+    ASSERT_EQ(views.size(), vantages.size());
+
+    uint64_t expected_paths = 0;
+    for (size_t k = 0; k < vantages.size(); ++k) {
+      bgp::AsPath want = sim.path_from(result, vantages[k]);
+      ASSERT_EQ(views[k].size(), want.hops().size())
+          << "round=" << round << " vantage=" << vantages[k].to_string();
+      for (size_t h = 0; h < want.hops().size(); ++h) {
+        EXPECT_EQ(views[k][h], want.hops()[h]);
+      }
+      // to_path round-trips into the owned representation.
+      EXPECT_EQ(views[k].to_path().hops(), want.hops());
+      if (!want.empty()) ++expected_paths;
+    }
+    EXPECT_EQ(after.paths - before.paths, expected_paths);
+    // With every AS as a vantage, interior chain nodes are themselves
+    // vantages: all but the first hop of later walks come off the memo.
+    if (expected_paths > 1) {
+      EXPECT_GT(after.shared_hops, before.shared_hops);
+    }
+  }
+}
+
+TEST(PropagationBatchPaths, BrokenChainYieldsEmptyView) {
+  util::Rng rng(808);
+  AsGraph graph = random_graph(rng, 12);
+  PropagationSim sim(graph);
+  Asn origin(100);
+  PropagationResult result = sim.propagate(origin, AnnouncementClass{});
+
+  // Corrupt one routed, non-origin AS into a self-loop: path_from
+  // reports kBrokenChain, and the arena walk must agree (empty view)
+  // for every vantage whose chain crosses it.
+  int32_t victim = -1;
+  for (size_t i = 0; i < result.source.size(); ++i) {
+    if (result.source[i] != sim::RouteSource::kNone &&
+        result.source[i] != sim::RouteSource::kOrigin) {
+      victim = static_cast<int32_t>(i);
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  result.next_hop[static_cast<size_t>(victim)] = victim;
+
+  std::vector<Asn> vantages = sim.indexer().asns();
+  sim::PathArena arena;
+  std::vector<sim::PathView> views = sim.extract_paths(result, vantages,
+                                                       arena);
+  for (size_t k = 0; k < vantages.size(); ++k) {
+    sim::PathStatus status = sim::PathStatus::kOk;
+    bgp::AsPath want = sim.path_from(result, vantages[k], &status);
+    EXPECT_EQ(views[k].empty(), want.empty())
+        << vantages[k].to_string() << " status=" << static_cast<int>(status);
+    if (!want.empty()) {
+      ASSERT_EQ(views[k].size(), want.hops().size());
+      for (size_t h = 0; h < want.hops().size(); ++h) {
+        EXPECT_EQ(views[k][h], want.hops()[h]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full-pipeline byte equality vs the single-origin engine.
+
+std::vector<sim::Announcement> classified_announcements(
+    const topogen::Scenario& scenario) {
+  std::vector<sim::Announcement> out;
+  for (const auto& po : scenario.announcements()) {
+    AnnouncementClass cls;
+    cls.rpki_invalid =
+        rpki::is_invalid(scenario.vrps.validate(po.prefix, po.origin));
+    cls.irr_invalid =
+        irr::validate_route(scenario.irr, po.prefix, po.origin) ==
+        irr::IrrStatus::kInvalidAsn;
+    cls.variant = (cls.rpki_invalid || cls.irr_invalid)
+                      ? sim::filter_variant(po.prefix)
+                      : 0;
+    out.push_back(sim::Announcement{po.prefix, po.origin, cls});
+  }
+  return out;
+}
+
+std::string rib_bytes(const bgp::Rib& rib) {
+  std::ostringstream out;
+  mrt::TableDumpWriter writer(out, /*timestamp=*/1651363200);  // 2022-05-01
+  writer.write_rib(rib, "batch");
+  return out.str();
+}
+
+std::string hegemony_bytes(const ihr::IhrSnapshot& snapshot) {
+  std::ostringstream po, transit;
+  ihr::write_prefix_origin_csv(po, snapshot.prefix_origins);
+  ihr::write_transit_csv(transit, snapshot.transits);
+  return po.str() + "\n---\n" + transit.str();
+}
+
+/// Force every group's propagation through the single-origin engine:
+/// propagate_cached(origin, cls) computes with propagate_id, so after
+/// this warm-up the batched front end resolves every request as a memo
+/// hit and the lane engine never runs.
+void prewarm_single_engine(const PropagationSim& sim,
+                           const std::vector<sim::Announcement>& as) {
+  for (const auto& group : sim::group_announcements(as)) {
+    (void)sim.propagate_cached(group.origin, group.cls);
+  }
+}
+
+TEST(PropagationBatchGolden, PipelineBytesMatchSingleEngineAcrossMatrix) {
+  EngineKnobGuard guard;
+  const topogen::Scenario scenario =
+      topogen::build_scenario(topogen::ScenarioConfig::tiny());
+  const auto announcements = classified_announcements(scenario);
+  ASSERT_FALSE(announcements.empty());
+
+  auto pipeline_bytes = [&](bool single_engine) {
+    PropagationSim simulator = scenario.make_sim();
+    if (single_engine) prewarm_single_engine(simulator, announcements);
+    sim::RouteCollector collector(simulator, scenario.vantage_points);
+    std::string rib = rib_bytes(collector.collect(announcements));
+    ihr::IhrSnapshotBuilder builder(simulator, scenario.vantage_points);
+    std::string heg = hegemony_bytes(builder.build(
+        scenario.announcements(), scenario.vrps, scenario.irr));
+    return std::pair<std::string, std::string>(std::move(rib),
+                                               std::move(heg));
+  };
+
+  util::set_thread_count(1);
+  util::set_grain(0);
+  sim::set_batch_width(0);
+  const auto [golden_rib, golden_heg] = pipeline_bytes(true);
+  ASSERT_GT(golden_rib.size(), 100u);
+  ASSERT_GT(golden_heg.size(), 100u);
+
+  // An explicit single-engine collector reference: per-group single
+  // propagation + per-peer path_from, merged with the same sharded
+  // merge. Pins the golden itself to the pre-batch pipeline.
+  {
+    PropagationSim simulator = scenario.make_sim();
+    bgp::Rib rib;
+    for (Asn peer : scenario.vantage_points) rib.add_peer(peer);
+    const auto groups = sim::group_announcements(announcements);
+    std::vector<std::vector<bgp::RibEntry>> entries(groups.size());
+    for (size_t g = 0; g < groups.size(); ++g) {
+      sim::PropagationResultPtr result =
+          simulator.propagate_cached(groups[g].origin, groups[g].cls);
+      for (size_t i = 0; i < scenario.vantage_points.size(); ++i) {
+        bgp::AsPath path =
+            simulator.path_from(*result, scenario.vantage_points[i]);
+        if (!path.empty()) {
+          entries[g].push_back(
+              bgp::RibEntry{static_cast<uint32_t>(i), std::move(path)});
+        }
+      }
+    }
+    rib.adopt_rows(sim::merge_group_entries(groups, std::move(entries)));
+    ASSERT_EQ(rib_bytes(rib), golden_rib);
+  }
+
+  for (size_t width : {size_t{1}, size_t{7}, size_t{64}}) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      for (size_t grain : {size_t{1}, size_t{64}}) {
+        sim::set_batch_width(width);
+        util::set_thread_count(threads);
+        util::set_grain(grain);
+        const auto [rib, heg] = pipeline_bytes(false);
+        EXPECT_EQ(rib, golden_rib) << "width=" << width
+                                   << " threads=" << threads
+                                   << " grain=" << grain;
+        EXPECT_EQ(heg, golden_heg) << "width=" << width
+                                   << " threads=" << threads
+                                   << " grain=" << grain;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace manrs

@@ -255,6 +255,66 @@ TEST_P(PropagationOracleP, WorkspaceReuseIsIdempotent) {
   }
 }
 
+TEST_P(PropagationOracleP, BatchedLanesMatchOracle) {
+  // Every lane of one batched sweep must match the naive oracle. The
+  // batch deliberately mixes effective drop signatures: valid lanes
+  // propagate unfiltered while invalid variants hit ROV / strictness
+  // filters of the same policies in the same sweep, plus a duplicate
+  // (origin, class) lane pair.
+  util::Rng rng(GetParam() * 0x2545f4914f6cdd1dull + 1);
+  size_t n = 12 + rng.uniform(24);
+  AsGraph graph = random_graph(rng, n);
+  auto policies = random_policies(rng, graph);
+  PropagationSim sim(graph);
+  for (const auto& [asn, policy] : policies) sim.set_policy(Asn(asn), policy);
+
+  std::vector<sim::PropagationRequest> requests;
+  AnnouncementClass valid;  // all-clear signature
+  Asn first(100 + static_cast<uint32_t>(rng.uniform(n)));
+  requests.push_back(sim::PropagationRequest{first, valid});
+  requests.push_back(sim::PropagationRequest{first, valid});  // duplicate lane
+  for (int a = 0; a < 8; ++a) {
+    requests.push_back(sim::PropagationRequest{
+        Asn(100 + static_cast<uint32_t>(rng.uniform(n))), random_class(rng)});
+  }
+
+  sim::BatchWorkspace workspace;
+  std::vector<PropagationResult> lanes = sim.propagate_batch(requests,
+                                                             workspace);
+  ASSERT_EQ(lanes.size(), requests.size());
+  for (size_t r = 0; r < requests.size(); ++r) {
+    auto oracle = oracle_propagate(graph, policies, requests[r].origin,
+                                   requests[r].cls);
+    const PropagationResult& lane = lanes[r];
+    for (Asn asn : graph.all_asns()) {
+      int32_t id = sim.indexer().id_of(asn);
+      ASSERT_GE(id, 0);
+      auto ref = oracle.find(asn.value());
+      const bool ref_reached = ref != oracle.end();
+      ASSERT_EQ(lane.reached(id), ref_reached)
+          << "seed=" << GetParam() << " lane=" << r
+          << " origin=" << requests[r].origin.to_string()
+          << " as=" << asn.to_string();
+      if (!ref_reached) continue;
+      const size_t i = static_cast<size_t>(id);
+      EXPECT_EQ(lane.source[i], ref->second.source)
+          << "lane=" << r << " as=" << asn.to_string();
+      EXPECT_EQ(lane.distance[i], ref->second.distance)
+          << "lane=" << r << " as=" << asn.to_string();
+      if (ref->second.source != RouteSource::kOrigin) {
+        ASSERT_GE(lane.next_hop[i], 0);
+        EXPECT_EQ(sim.indexer().asn_of(lane.next_hop[i]).value(),
+                  ref->second.next_hop)
+            << "seed=" << GetParam() << " lane=" << r
+            << " origin=" << requests[r].origin.to_string()
+            << " as=" << asn.to_string();
+      } else {
+        EXPECT_EQ(lane.next_hop[i], PropagationResult::kNoRoute);
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, PropagationOracleP,
                          ::testing::Values(11, 22, 33, 44, 55, 66));
 

@@ -91,6 +91,18 @@ void collect_locals(const FileContext& ctx, size_t begin, size_t end,
         next.is_punct(")") || next.is_punct(":") || next.is_punct("{") ||
         next.is_punct("(")) {
       locals.insert(t.text);
+    } else if (next.is_punct("[")) {
+      // C-array declarator: `Type name[expr]` then `;`, `=`, or `,`.
+      // A subscripted *store* (`a[i] = x`) never has a type-ish token
+      // before the array name, so the surrounding guard excludes it.
+      size_t close = ctx.match(i + 1);
+      if (close != FileContext::npos && close + 1 < ctx.size()) {
+        const Token& after = ctx.tok(close + 1);
+        if (after.is_punct(";") || after.is_punct("=") ||
+            after.is_punct(",")) {
+          locals.insert(t.text);
+        }
+      }
     }
   }
 }

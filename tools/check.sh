@@ -4,14 +4,17 @@
 #   1. configure + build with ASan+UBSan, warnings-as-errors
 #   2. run the full ctest suite (including the malformed-input fuzz
 #      corpus) under the sanitizers
-#   3. repeat the golden + propagation oracle/cache-equality tests
-#      across the MANRS_THREADS x MANRS_GRAIN environment matrix
-#      (byte-equality at every combination)
+#   3. repeat the golden + propagation oracle/cache-equality +
+#      batched-lane-equality tests across the MANRS_THREADS x
+#      MANRS_GRAIN environment matrix (byte-equality at every
+#      combination)
 #   4. TSan build + run of the parallel-pipeline tests (thread pool,
 #      the serial-vs-parallel golden tests, the sharded RIB merge, the
-#      propagation oracle and cache-equality tests) -- once at defaults
-#      and once at MANRS_GRAIN=1 -- plus a perf_pipeline smoke run at
-#      MANRS_SCALE=tiny (skip with TSAN=0)
+#      propagation oracle, cache-equality, and batched-lane tests) --
+#      once at defaults and once at MANRS_GRAIN=1 -- plus perf_pipeline
+#      smoke runs at MANRS_SCALE=tiny (TSan) and MANRS_SCALE=large
+#      (sanitize build; skip with SMOKE_LARGE=0) (skip TSan with
+#      TSAN=0)
 #   5. clang-tidy over the full tree (src, tools, bench, tests) against
 #      the sanitize build's compile_commands.json (skipped with a
 #      warning if not installed)
@@ -32,6 +35,7 @@
 #                   for a TSan pass of the whole suite)
 #   TSAN_BUILD_DIR  TSan build directory (default: build-tsan)
 #   TSAN            set to 0 to skip the dedicated TSan parallel-test stage
+#   SMOKE_LARGE     set to 0 to skip the MANRS_SCALE=large pipeline smoke
 #   JOBS            parallelism (default: nproc)
 
 set -euo pipefail
@@ -72,7 +76,7 @@ for matrix_threads in 2 4; do
     ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}" \
     UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
       ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
-        -R 'ParallelGolden|PropagationOracle|PropagationCache'
+        -R 'ParallelGolden|PropagationOracle|PropagationCache|PropagationBatch'
   done
 done
 
@@ -87,11 +91,13 @@ if [[ "${TSAN:-1}" != "0" && "$SANITIZE" != "thread" ]]; then
   step "TSan: parallel + golden + propagation cache tests"
   # The pool, env-parsing, and shutdown tests plus the serial-vs-parallel
   # golden equality tests (including the sharded flat-RIB merge) and the
-  # propagation oracle / cache tests (concurrent lazy mask build and
-  # cache insert/lookup under the pool); TSan halts on the first race.
+  # propagation oracle / cache / batched-lane tests (concurrent lazy mask
+  # build, cache insert/lookup under the pool, and the batched front
+  # end's thread-local workspaces + locked install); TSan halts on the
+  # first race.
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-      -R 'Parallel|ThreadPool|PropagationOracle|PropagationCache'
+      -R 'Parallel|ThreadPool|PropagationOracle|PropagationCache|PropagationBatch'
 
   step "TSan: golden + cache tests at MANRS_GRAIN=1 (max chunk handoff)"
   # Grain 1 maximises work-counter contention, cross-thread row handoffs
@@ -100,13 +106,26 @@ if [[ "${TSAN:-1}" != "0" && "$SANITIZE" != "thread" ]]; then
   MANRS_THREADS=4 MANRS_GRAIN=1 \
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-      -R 'ParallelGolden|PropagationOracle|PropagationCache'
+      -R 'ParallelGolden|PropagationOracle|PropagationCache|PropagationBatch'
 
   step "TSan: perf_pipeline smoke (MANRS_SCALE=tiny)"
   MANRS_SCALE=tiny \
   MANRS_BENCH_JSON="$TSAN_BUILD_DIR/BENCH_pipeline.smoke.json" \
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     "./$TSAN_BUILD_DIR/bench/perf_pipeline"
+fi
+
+if [[ "${SMOKE_LARGE:-1}" != "0" ]]; then
+  step "perf_pipeline smoke (MANRS_SCALE=large, sanitize build)"
+  # The ROADMAP's "large run finishes at all" gate: the full pipeline at
+  # the large preset (~3x default ASes), JSON into the build tree so the
+  # repo's BENCH_pipeline.json only accumulates deliberate runs. Same
+  # invocation as the smoke_large CMake target, but under ASan+UBSan.
+  MANRS_SCALE=large \
+  MANRS_BENCH_JSON="$BUILD_DIR/BENCH_smoke_large.json" \
+  ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+    "./$BUILD_DIR/bench/perf_pipeline"
 fi
 
 step "clang-tidy (full tree)"
