@@ -31,8 +31,12 @@
 //                it measures the cross-stage reuse the shared
 //                propagation cache provides (hit counts are printed and
 //                recorded in the run JSON as "prop_cache")
-//   mrt_decode   TableDumpReader::read_rib -- TABLE_DUMP_V2 record-split
-//                parallel decode of the serialized collector RIB
+//   mrt_decode   TableDumpReader::read_rib -- TABLE_DUMP_V2 zero-copy
+//                decode of the serialized collector RIB (frame-index
+//                scan + in-place span parse, the read_rib_file path)
+//   bgp4mp_fold  UpdateStreamReader::fold_into -- BGP4MP update-stream
+//                fold of the full table (one announce per entry) into a
+//                live RIB; serial only, the fold is stream-ordered
 //
 // Output: a human-readable table on stdout and BENCH_pipeline.json
 // (override the path with MANRS_BENCH_JSON). The JSON accumulates one
@@ -57,6 +61,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -64,10 +69,12 @@
 
 #include "harness.h"
 #include "irr/validation.h"
+#include "mrt/bgp4mp.h"
 #include "mrt/table_dump.h"
 #include "rpki/validation.h"
 #include "simulator/collector.h"
 #include "topogen/scenario.h"
+#include "util/bytes.h"
 #include "util/parallel.h"
 
 namespace {
@@ -452,17 +459,17 @@ int main() {
   std::printf("mrt dump: %zu bytes, %zu prefixes\n", dump.size(),
               rib_serial.prefix_count());
 
+  // The timed path is the zero-copy span decode (frame-index scan +
+  // in-place body parse), the same code read_rib_file runs against an
+  // mmap'd dump -- no istream, no per-record body copies.
+  const std::span<const uint8_t> dump_bytes = util::as_bytes(dump);
   bgp::Rib decoded_serial, decoded_parallel;
   util::set_thread_count(1);
-  double mrt_serial = time_ms([&] {
-    std::istringstream in(dump);
-    decoded_serial = mrt::TableDumpReader::read_rib(in);
-  });
+  double mrt_serial = time_ms(
+      [&] { decoded_serial = mrt::TableDumpReader::read_rib(dump_bytes); });
   util::set_thread_count(threads);
-  double mrt_parallel = time_ms([&] {
-    std::istringstream in(dump);
-    decoded_parallel = mrt::TableDumpReader::read_rib(in);
-  });
+  double mrt_parallel = time_ms(
+      [&] { decoded_parallel = mrt::TableDumpReader::read_rib(dump_bytes); });
   util::set_thread_count(0);
   if (decoded_serial.entry_count() != decoded_parallel.entry_count() ||
       decoded_serial.entry_count() != rib_serial.entry_count()) {
@@ -470,6 +477,43 @@ int main() {
     return 1;
   }
   record_stage("mrt_decode", mrt_serial, mrt_parallel);
+
+  // --- bgp4mp_fold: BGP4MP update-stream fold into a live RIB ------------
+  // The decoded RIB is re-expressed as a BGP4MP update stream (one
+  // announce per entry, built outside the timer) and folded into an
+  // empty RIB with the peer table pre-registered: the steady-state cost
+  // of applying collector deltas. Serial only -- the fold is a stream,
+  // order is its contract.
+  std::ostringstream update_stream;
+  mrt::Bgp4mpWriter update_writer(update_stream);
+  const std::vector<mrt::Bgp4mpRecord> deltas =
+      mrt::diff_ribs(bgp::Rib{}, decoded_serial, /*timestamp=*/1651363200);
+  for (const auto& rec : deltas) update_writer.write(rec);
+  const std::string updates = update_stream.str();
+  std::printf("bgp4mp stream: %zu bytes, %zu updates\n", updates.size(),
+              deltas.size());
+
+  bgp::Rib folded;
+  for (size_t p = 0; p < decoded_serial.peer_count(); ++p) {
+    folded.add_peer(decoded_serial.peer_asn(static_cast<uint32_t>(p)));
+  }
+  util::set_thread_count(1);
+  size_t folded_updates = 0;
+  double fold_ms = time_ms([&] {
+    mrt::UpdateStreamReader update_reader(util::as_bytes(updates));
+    folded_updates = update_reader.fold_into(folded);
+  });
+  util::set_thread_count(0);
+  if (folded_updates != deltas.size() ||
+      folded.entry_count() != decoded_serial.entry_count()) {
+    std::fprintf(stderr, "perf_pipeline: bgp4mp_fold mismatch\n");
+    return 1;
+  }
+  rows.push_back(StageRow{"bgp4mp_fold", 1, fold_ms, 1.0, false});
+  std::printf("%-12s serial %9.1f ms   (%.2f us/update, stream fold)\n",
+              "bgp4mp_fold", fold_ms,
+              deltas.empty() ? 0.0 : 1000.0 * fold_ms /
+                                         static_cast<double>(deltas.size()));
 
   const sim::PathArenaStats arena_stats = sim::path_arena_stats();
   std::printf("path arena: %llu paths, %llu hops (%.1f%% shared)\n",

@@ -18,6 +18,13 @@ uint32_t Rib::add_peer(net::Asn peer_asn) {
   return static_cast<uint32_t>(peers_.size() - 1);
 }
 
+uint32_t Rib::find_or_add_peer(net::Asn peer_asn) {
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    if (peers_[i] == peer_asn) return static_cast<uint32_t>(i);
+  }
+  return add_peer(peer_asn);
+}
+
 void Rib::insert(const net::Prefix& prefix, uint32_t peer_index,
                  AsPath path) {
   staged_.push_back(Staged{prefix, RibEntry{peer_index, std::move(path)}});
@@ -31,14 +38,23 @@ void Rib::insert_many(const net::Prefix& prefix,
   }
 }
 
+void Rib::erase(const net::Prefix& prefix, uint32_t peer_index) {
+  staged_.push_back(Staged{prefix, RibEntry{peer_index, AsPath{}}, true});
+}
+
 void Rib::apply_entry(std::vector<RibEntry>& entries, Staged&& staged) {
-  for (auto& e : entries) {
-    if (e.peer_index == staged.entry.peer_index) {
-      e.path = std::move(staged.entry.path);
+  for (auto it = entries.begin(); it != entries.end(); ++it) {
+    if (it->peer_index == staged.entry.peer_index) {
+      if (staged.erase) {
+        entries.erase(it);
+      } else {
+        it->path = std::move(staged.entry.path);
+      }
       return;
     }
   }
-  entries.push_back(std::move(staged.entry));
+  // Withdrawing a path the peer never announced is an idempotent no-op.
+  if (!staged.erase) entries.push_back(std::move(staged.entry));
 }
 
 void Rib::finalize() {
@@ -71,7 +87,9 @@ void Rib::finalize() {
     while (si < staged_.size() && staged_[si].prefix == prefix) {
       apply_entry(row.entries, std::move(staged_[si++]));
     }
-    merged.push_back(std::move(row));
+    // A row drained by staged withdrawals leaves the table entirely
+    // (the invariant is that every table row has at least one entry).
+    if (!row.entries.empty()) merged.push_back(std::move(row));
   }
   table_ = std::move(merged);
   staged_.clear();

@@ -52,6 +52,10 @@ class Rib {
   /// collector sessions with.
   uint32_t add_peer(net::Asn peer_asn);
 
+  /// Index of the peer sessioning as `peer_asn`, registering it if new.
+  /// Linear in peer_count() -- collector peer tables are tens of entries.
+  uint32_t find_or_add_peer(net::Asn peer_asn);
+
   size_t peer_count() const { return peers_.size(); }
   net::Asn peer_asn(uint32_t index) const { return peers_.at(index); }
 
@@ -63,6 +67,21 @@ class Rib {
   /// semantics as repeated insert).
   void insert_many(const net::Prefix& prefix,
                    std::span<const RibEntry> entries);
+
+  /// Stage a withdrawal: at finalize time, remove peer `peer_index`'s
+  /// entry for `prefix` (a no-op when no such entry exists by then --
+  /// BGP withdraws are idempotent). Ordered with inserts: an insert
+  /// staged after an erase for the same (prefix, peer) survives, and
+  /// vice versa. Rows left with no entries are dropped from the table.
+  void erase(const net::Prefix& prefix, uint32_t peer_index);
+
+  /// Reopen a finalized Rib for another staged write batch (update-stream
+  /// folding: RIB snapshot + deltas -> new snapshot). A runtime no-op --
+  /// insert/erase may always be staged -- but the sanctioned transition
+  /// out of the shared-read state: after begin_delta() the Rib must be
+  /// treated as under construction (not shared across threads) until the
+  /// next finalize(). The rib-typestate protocol checks this statically.
+  void begin_delta() {}
 
   /// Merge all staged inserts into the sorted table. Idempotent; cheap
   /// when nothing is staged. Read accessors call this lazily, but bulk
@@ -107,6 +126,7 @@ class Rib {
   struct Staged {
     net::Prefix prefix;
     RibEntry entry;
+    bool erase = false;  // tombstone: remove entry.peer_index's path
   };
 
   /// Lazy finalize from const accessors; see the concurrency note above.

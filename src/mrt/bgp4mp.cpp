@@ -97,6 +97,8 @@ BgpUpdate decode_update_body(ByteReader& r, size_t body_len) {
   ByteReader body = r.sub(body_len);
   BgpUpdate update;
 
+  // An UPDATE body starts with the two mandatory length fields.
+  if (!body.can_read(4)) throw MrtError("truncated BGP UPDATE body");
   size_t withdrawn_len = body.u16();
   ByteReader withdrawn = body.sub(withdrawn_len);
   while (!withdrawn.done()) {
@@ -120,6 +122,8 @@ BgpUpdate decode_update_body(ByteReader& r, size_t body_len) {
       }
       update.path = bgp::AsPath(std::move(hops));
     } else if (type == kAttrMpReachNlri) {
+      // AFI + SAFI + next-hop length precede the NLRI.
+      if (!attr.can_read(4)) throw MrtError("truncated MP_REACH_NLRI");
       uint16_t afi = attr.u16();
       uint8_t safi = attr.u8();
       size_t nh_len = attr.u8();
@@ -132,6 +136,7 @@ BgpUpdate decode_update_body(ByteReader& r, size_t body_len) {
         update.announced.push_back(decode_nlri(attr, family));
       }
     } else if (type == kAttrMpUnreachNlri) {
+      if (!attr.can_read(3)) throw MrtError("truncated MP_UNREACH_NLRI");
       uint16_t afi = attr.u16();
       uint8_t safi = attr.u8();
       net::Family family =
@@ -147,6 +152,33 @@ BgpUpdate decode_update_body(ByteReader& r, size_t body_len) {
     update.announced.push_back(decode_nlri(body, net::Family::kIpv4));
   }
   return update;
+}
+
+/// Decode a BGP4MP_MESSAGE_AS4 record body (everything after the MRT
+/// common header). Returns false for non-UPDATE BGP messages (the caller
+/// counts them as skipped); throws ParseError/MrtError on malformed
+/// input. Shared verbatim by the stream reader and the zero-copy span
+/// reader so the two cannot drift.
+bool parse_bgp4mp_update(uint32_t timestamp, std::span<const uint8_t> body,
+                         Bgp4mpRecord& record) {
+  ByteReader r(body);
+  record.timestamp = timestamp;
+  record.peer_asn = net::Asn(r.u32());
+  record.local_asn = net::Asn(r.u32());
+  r.skip(2);  // interface index
+  uint16_t afi = r.u16();
+  net::Family family =
+      afi == kAfiIpv6 ? net::Family::kIpv6 : net::Family::kIpv4;
+  record.peer_ip = read_address(r, family);
+  record.local_ip = read_address(r, family);
+  // BGP header.
+  r.skip(16);  // marker
+  uint16_t msg_len = r.u16();
+  uint8_t msg_type = r.u8();
+  if (msg_type != kBgpMessageUpdate) return false;
+  if (msg_len < 19) throw MrtError("BGP message length < 19");
+  record.update = decode_update_body(r, msg_len - 19u);
+  return true;
 }
 
 }  // namespace
@@ -200,7 +232,10 @@ bool Bgp4mpReader::next(Bgp4mpRecord& record) {
       ++bad_;
       return false;
     }
-    std::vector<uint8_t> body(length);
+    // The scratch buffer only ever grows: steady-state reads after the
+    // largest record allocate nothing.
+    if (scratch_.size() < length) scratch_.resize(length);
+    std::span<uint8_t> body(scratch_.data(), length);
     if (!util::read_exact(in_, body)) {
       ++bad_;
       return false;
@@ -210,31 +245,57 @@ bool Bgp4mpReader::next(Bgp4mpRecord& record) {
       continue;
     }
     try {
-      ByteReader r(body);
-      record.timestamp = timestamp;
-      record.peer_asn = net::Asn(r.u32());
-      record.local_asn = net::Asn(r.u32());
-      r.skip(2);  // interface index
-      uint16_t afi = r.u16();
-      net::Family family =
-          afi == kAfiIpv6 ? net::Family::kIpv6 : net::Family::kIpv4;
-      record.peer_ip = read_address(r, family);
-      record.local_ip = read_address(r, family);
-      // BGP header.
-      r.skip(16);  // marker
-      uint16_t msg_len = r.u16();
-      uint8_t msg_type = r.u8();
-      if (msg_type != kBgpMessageUpdate) {
-        ++skipped_;
-        continue;
-      }
-      if (msg_len < 19) throw MrtError("BGP message length < 19");
-      record.update = decode_update_body(r, msg_len - 19u);
-      return true;
+      if (parse_bgp4mp_update(timestamp, body, record)) return true;
+      ++skipped_;
     } catch (const util::ParseError&) {
       ++bad_;
     }
   }
+}
+
+UpdateStreamReader::UpdateStreamReader(std::span<const uint8_t> data)
+    : data_(data), index_(scan_frames(data)) {
+  bad_ = index_.bad;
+}
+
+bool UpdateStreamReader::next(Bgp4mpRecord& record) {
+  while (next_ < index_.records.size()) {
+    const RecordRef& ref = index_.records[next_++];
+    if (ref.type != kTypeBgp4mp || ref.subtype != kSubtypeBgp4mpMessageAs4) {
+      ++skipped_;
+      continue;
+    }
+    try {
+      if (parse_bgp4mp_update(ref.timestamp,
+                              data_.subspan(ref.offset, ref.length), record)) {
+        return true;
+      }
+      ++skipped_;
+    } catch (const util::ParseError&) {
+      ++bad_;
+    }
+  }
+  return false;
+}
+
+size_t UpdateStreamReader::fold_into(bgp::Rib& rib) {
+  rib.begin_delta();
+  size_t applied = 0;
+  Bgp4mpRecord record;
+  while (next(record)) {
+    const uint32_t peer = rib.find_or_add_peer(record.peer_asn);
+    // RFC 4271 processing order: withdrawals first, then the announce
+    // (an UPDATE may re-announce a prefix it also lists as withdrawn).
+    for (const net::Prefix& p : record.update.withdrawn) {
+      rib.erase(p, peer);
+    }
+    for (const net::Prefix& p : record.update.announced) {
+      rib.insert(p, peer, record.update.path);
+    }
+    ++applied;
+  }
+  rib.finalize();
+  return applied;
 }
 
 std::vector<BgpUpdate> diff_tables(
@@ -274,6 +335,73 @@ std::vector<BgpUpdate> diff_tables(
     out.push_back(std::move(withdrawal));
   }
   for (auto& [_, update] : announces) out.push_back(std::move(update));
+  return out;
+}
+
+std::vector<Bgp4mpRecord> diff_ribs(const bgp::Rib& before,
+                                    const bgp::Rib& after,
+                                    uint32_t timestamp) {
+  // Synthetic session endpoints (TEST-NET-1); fold_into keys peers by AS,
+  // so the addresses only need to be well-formed.
+  const net::IpAddress peer_ip = net::IpAddress::v4(0xC0000201u);
+  const net::IpAddress local_ip = net::IpAddress::v4(0xC0000202u);
+  const net::Asn collector_asn(64512);  // private-use collector AS
+
+  std::vector<Bgp4mpRecord> out;
+  auto make_record = [&](net::Asn peer_asn) {
+    Bgp4mpRecord rec;
+    rec.timestamp = timestamp;
+    rec.peer_asn = peer_asn;
+    rec.local_asn = collector_asn;
+    rec.peer_ip = peer_ip;
+    rec.local_ip = local_ip;
+    return rec;
+  };
+
+  // Withdrawals first (entries of `before` whose peer AS no longer has a
+  // path for the prefix in `after`), matching diff_tables' ordering.
+  before.for_each([&](const net::Prefix& prefix,
+                      const std::vector<bgp::RibEntry>& entries) {
+    const auto& after_entries = after.entries(prefix);
+    for (const auto& e : entries) {
+      const net::Asn asn = before.peer_asn(e.peer_index);
+      bool still_present = false;
+      for (const auto& ae : after_entries) {
+        if (after.peer_asn(ae.peer_index) == asn) {
+          still_present = true;
+          break;
+        }
+      }
+      if (!still_present) {
+        Bgp4mpRecord rec = make_record(asn);
+        rec.update.withdrawn.push_back(prefix);
+        out.push_back(std::move(rec));
+      }
+    }
+  });
+
+  // Announces in `after`'s row-major order: one record per entry whose
+  // path is new or changed relative to the same peer AS in `before`.
+  after.for_each([&](const net::Prefix& prefix,
+                     const std::vector<bgp::RibEntry>& entries) {
+    const auto& before_entries = before.entries(prefix);
+    for (const auto& e : entries) {
+      const net::Asn asn = after.peer_asn(e.peer_index);
+      bool unchanged = false;
+      for (const auto& be : before_entries) {
+        if (before.peer_asn(be.peer_index) == asn) {
+          unchanged = be.path == e.path;
+          break;
+        }
+      }
+      if (!unchanged) {
+        Bgp4mpRecord rec = make_record(asn);
+        rec.update.path = e.path;
+        rec.update.announced.push_back(prefix);
+        out.push_back(std::move(rec));
+      }
+    }
+  });
   return out;
 }
 

@@ -16,9 +16,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <vector>
 
+#include "bgp/rib.h"
 #include "bgp/route.h"
+#include "mrt/frame_index.h"
 #include "mrt/wire.h"
 #include "netbase/ip.h"
 
@@ -80,6 +83,40 @@ class Bgp4mpReader {
 
  private:
   std::istream& in_;
+  std::vector<uint8_t> scratch_;  // grown once, reused per record body
+  size_t skipped_ = 0;
+  size_t bad_ = 0;
+};
+
+/// Zero-copy streaming reader over BGP4MP update records in a framed
+/// span, plus the fold that applies them to a live RIB. The span must
+/// stay alive for the reader's lifetime (it is a view into a
+/// util::MappedFile or an in-memory stream); record bodies are decoded
+/// in place, never copied.
+///
+/// Skip/bad semantics match Bgp4mpReader: unsupported MRT types and
+/// non-UPDATE BGP messages are skipped, malformed records counted.
+class UpdateStreamReader {
+ public:
+  explicit UpdateStreamReader(std::span<const uint8_t> data);
+
+  /// Next UPDATE record in stream order; false at end of stream.
+  bool next(Bgp4mpRecord& record);
+
+  /// Fold every remaining update into `rib`, in stream order: announced
+  /// prefixes replace the peer's path (peers are resolved by AS via
+  /// Rib::find_or_add_peer), withdrawn prefixes erase it. Stages through
+  /// begin_delta()/finalize() once, so folding a delta stream onto a RIB
+  /// snapshot costs one merge. Returns the number of updates applied.
+  size_t fold_into(bgp::Rib& rib);
+
+  size_t skipped_records() const { return skipped_; }
+  size_t bad_records() const { return bad_; }
+
+ private:
+  std::span<const uint8_t> data_;
+  FrameIndex index_;
+  size_t next_ = 0;
   size_t skipped_ = 0;
   size_t bad_ = 0;
 };
@@ -91,5 +128,15 @@ class Bgp4mpReader {
 std::vector<BgpUpdate> diff_tables(
     const std::vector<bgp::PrefixOrigin>& before,
     const std::vector<bgp::PrefixOrigin>& after, net::Asn peer);
+
+/// Diff two RIBs into a BGP4MP update stream: folding the result into a
+/// copy of `before` (UpdateStreamReader::fold_into) reproduces `after`.
+/// Withdrawal records come first (entries of `before` absent from
+/// `after`), then one announce record per entry of `after` whose path
+/// differs from `before`, emitted in `after`'s row-major order -- so an
+/// empty `before` yields announces in exactly `after`'s iteration order.
+std::vector<Bgp4mpRecord> diff_ribs(const bgp::Rib& before,
+                                    const bgp::Rib& after,
+                                    uint32_t timestamp);
 
 }  // namespace manrs::mrt

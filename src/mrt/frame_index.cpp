@@ -1,0 +1,149 @@
+#include "mrt/frame_index.h"
+
+#include <algorithm>
+
+#include "mrt/wire.h"
+#include "util/parallel.h"
+
+namespace manrs::mrt {
+
+namespace {
+
+/// Decode the 12-byte common header at absolute offset `off`. Returns
+/// false when fewer than 12 bytes remain (a truncated header).
+bool read_header(std::span<const uint8_t> data, uint64_t off,
+                 RecordRef& ref) {
+  ByteReader cursor(data.subspan(off));
+  if (!cursor.can_read(12)) return false;
+  ref.timestamp = cursor.u32();
+  ref.type = cursor.u16();
+  ref.subtype = cursor.u16();
+  ref.length = cursor.u32();
+  ref.offset = off + 12;
+  return true;
+}
+
+/// True when the header at `off` starts a chain of `depth` in-bounds
+/// headers (or reaches clean EOF first). Used only to pick speculative
+/// anchors -- the stitch pass is what makes the result authoritative.
+bool plausible_chain(std::span<const uint8_t> data, uint64_t off,
+                     int depth) {
+  uint64_t cur = off;
+  for (int i = 0; i < depth; ++i) {
+    if (cur == data.size()) return true;  // clean EOF ends the chain
+    RecordRef ref;
+    if (!read_header(data, cur, ref)) return false;
+    if (ref.length > kMaxRecordLength) return false;
+    if (ref.offset + ref.length > data.size()) return false;
+    cur = ref.offset + ref.length;
+  }
+  return true;
+}
+
+/// Walk the chain from `cur` until the first record starting at or
+/// after `end`, appending refs for every record that starts before
+/// `end`. Returns the handoff offset; sets `corrupt` when the chain
+/// breaks (truncated header, oversized length, body past EOF) -- the
+/// handoff is then the corrupt header's offset.
+uint64_t chain_block(std::span<const uint8_t> data, uint64_t cur,
+                     uint64_t end, std::vector<RecordRef>& refs,
+                     bool& corrupt) {
+  while (cur < end) {
+    RecordRef ref;
+    if (!read_header(data, cur, ref) || ref.length > kMaxRecordLength ||
+        ref.offset + ref.length > data.size()) {
+      corrupt = true;
+      return cur;
+    }
+    refs.push_back(ref);
+    cur = ref.offset + ref.length;
+  }
+  return cur;
+}
+
+}  // namespace
+
+FrameIndex scan_frames(std::span<const uint8_t> data) {
+  FrameIndex out;
+  bool corrupt = false;
+  out.scanned_bytes = chain_block(data, 0, data.size(), out.records, corrupt);
+  if (corrupt) {
+    out.bad = 1;
+    out.truncated = true;
+  }
+  return out;
+}
+
+FrameIndex scan_frames_parallel(std::span<const uint8_t> data,
+                                size_t block_hint) {
+  const uint64_t n = data.size();
+  const size_t threads = util::thread_count();
+  // Auto block size: a few blocks per worker for load balance, but
+  // never so small that probing dominates the scan.
+  size_t block = block_hint != 0
+                     ? block_hint
+                     : std::max<size_t>(n / (threads * 4 + 1), 4u << 20);
+  if (threads <= 1 || block >= n || block < 13) return scan_frames(data);
+  const size_t nblocks = static_cast<size_t>((n + block - 1) / block);
+
+  struct BlockScan {
+    bool anchored = false;
+    uint64_t anchor = 0;
+    uint64_t handoff = 0;
+    bool corrupt = false;
+    std::vector<RecordRef> refs;
+  };
+  std::vector<BlockScan> scans(nblocks);
+  util::parallel_for(nblocks, [&](size_t b) {
+    BlockScan& scan = scans[b];
+    const uint64_t start = static_cast<uint64_t>(b) * block;
+    const uint64_t end = std::min<uint64_t>(start + block, n);
+    if (b == 0) {
+      scan.anchored = true;  // offset 0 is the one known-true anchor
+    } else {
+      // Probe for the first plausible header in the block. A false
+      // anchor (record payload that happens to look like a header
+      // chain) is caught by the stitch pass below, never trusted.
+      for (uint64_t o = start; o < end; ++o) {
+        if (plausible_chain(data, o, 3)) {
+          scan.anchored = true;
+          scan.anchor = o;
+          break;
+        }
+      }
+      if (!scan.anchored) return;  // record spans the whole block
+    }
+    scan.handoff =
+        chain_block(data, scan.anchor, end, scan.refs, scan.corrupt);
+  });
+
+  // Serial stitch: accept a block's speculative frames only when its
+  // anchor is exactly where the verified chain hands off; otherwise
+  // re-frame the block from the verified position. Induction from
+  // offset 0 makes the accepted chain identical to the serial scan.
+  FrameIndex out;
+  uint64_t cur = 0;
+  for (size_t b = 0; b < nblocks; ++b) {
+    const uint64_t end = std::min<uint64_t>((static_cast<uint64_t>(b) + 1) *
+                                                block, n);
+    bool corrupt = false;
+    if (scans[b].anchored && scans[b].anchor == cur) {
+      out.records.insert(out.records.end(),
+                         std::make_move_iterator(scans[b].refs.begin()),
+                         std::make_move_iterator(scans[b].refs.end()));
+      cur = scans[b].handoff;
+      corrupt = scans[b].corrupt;
+    } else {
+      cur = chain_block(data, cur, end, out.records, corrupt);
+    }
+    if (corrupt) {
+      out.bad = 1;
+      out.truncated = true;
+      break;
+    }
+  }
+  out.scanned_bytes = cur;
+  return out;
+}
+
+}  // namespace manrs::mrt

@@ -1,0 +1,65 @@
+// MRT frame scan: the cheap first pass of the streaming ingest.
+//
+// An MRT file is a chain of records, each a 12-byte common header
+// (timestamp, type, subtype, body length) followed by the body; the
+// only way to find record N+1 is to hop over record N's declared
+// length. scan_frames() walks that chain once -- touching only the
+// headers, never the bodies -- and emits a compact offset index
+// (RecordRef per record) that the decode pass then fans out over with
+// zero-copy std::span bodies straight off the mapping.
+//
+// Two scanners share one result shape and byte-identical semantics:
+//
+//   * scan_frames(data)           -- serial header hop, O(records).
+//   * scan_frames_parallel(data)  -- block-parallel: the file is cut
+//     into blocks, each worker probes the first plausible header at or
+//     after its block start (a candidate anchor must start a chain of
+//     in-bounds headers) and frames its block speculatively; a serial
+//     stitch pass then verifies that every worker's chain hands off
+//     exactly at the next worker's anchor. Blocks whose anchor guess
+//     was wrong (or missing -- a record spanning the whole block) are
+//     re-framed serially from the verified handoff, so the result is
+//     ALWAYS the serial chain: speculation buys parallelism, the
+//     stitch pass buys certainty.
+//
+// Corruption semantics match the streaming readers exactly: the scan
+// ends at the first truncated header, oversized declared length, or
+// body running past EOF (`bad` = 1, `truncated` = true); records after
+// that point are unreachable because the chain itself is broken.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace manrs::mrt {
+
+/// One record located in the byte stream: the decoded common header
+/// plus the body's [offset, offset+length) span into the scanned data.
+struct RecordRef {
+  uint32_t timestamp = 0;
+  uint16_t type = 0;
+  uint16_t subtype = 0;
+  uint32_t length = 0;  // body length (header excluded)
+  uint64_t offset = 0;  // body offset into the scanned span
+};
+
+struct FrameIndex {
+  std::vector<RecordRef> records;
+  size_t bad = 0;          // 1 when the chain ended on a corrupt header
+  bool truncated = false;  // scan stopped before clean EOF
+  uint64_t scanned_bytes = 0;  // offset of the first byte not framed
+};
+
+/// Serial header hop over the whole span.
+FrameIndex scan_frames(std::span<const uint8_t> data);
+
+/// Block-parallel scan (speculative anchors + serial stitch verify).
+/// Produces a FrameIndex byte-identical to scan_frames(data) on every
+/// input. `block_hint` overrides the per-worker block size (0 = auto
+/// from the pool width); exposed so tests can force records to
+/// straddle block boundaries.
+FrameIndex scan_frames_parallel(std::span<const uint8_t> data,
+                                size_t block_hint = 0);
+
+}  // namespace manrs::mrt

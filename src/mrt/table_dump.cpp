@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "util/bytes.h"
+#include "util/mapped_file.h"
 #include "util/parallel.h"
 
 namespace manrs::mrt {
@@ -57,6 +58,10 @@ bool parse_table_dump_body(const MrtHeader& header,
     size_t name_len = r.u16();
     table.view_name.assign(r.ascii(name_len));
     size_t peer_count = r.u16();
+    // A peer entry is at least 11 bytes; bounding the reserve by the
+    // remaining body keeps a lying count from allocating ahead of the
+    // truncation error.
+    table.peers.reserve(std::min(peer_count, r.remaining() / 11));
     for (size_t i = 0; i < peer_count; ++i) {
       uint8_t flags = r.u8();
       PeerEntry peer;
@@ -79,6 +84,10 @@ bool parse_table_dump_body(const MrtHeader& header,
                                     ? net::Family::kIpv4
                                     : net::Family::kIpv6);
     size_t entry_count = r.u16();
+    // An entry is at least 8 bytes of fixed fields; same bounded-reserve
+    // rationale as the peer table above. Exact reserves matter here: the
+    // growth reallocations were a measurable slice of whole-dump decode.
+    rib.entries.reserve(std::min(entry_count, r.remaining() / 8));
     for (size_t i = 0; i < entry_count; ++i) {
       RibEntryRecord entry;
       entry.peer_index = r.u16();
@@ -92,6 +101,79 @@ bool parse_table_dump_body(const MrtHeader& header,
   }
   return false;
 }
+
+/// Replace-per-peer in stream order, or append.
+void apply_fold_entry(std::vector<bgp::RibEntry>& entries, uint32_t peer,
+                      bgp::AsPath&& path) {
+  for (auto& have : entries) {
+    if (have.peer_index == peer) {
+      have.path = std::move(path);
+      return;
+    }
+  }
+  entries.push_back(bgp::RibEntry{peer, std::move(path)});
+}
+
+/// Stream-order fold of parsed TABLE_DUMP_V2 records into a Rib: one
+/// RibRow per RIB record (TABLE_DUMP_V2 groups a prefix's entries into a
+/// single record, so sorting rows -- 150k for a full dump -- is far
+/// cheaper than staging and sorting every entry through Rib::insert +
+/// finalize), with PEER_INDEX_TABLE records re-mapping subsequent
+/// records' peer indices, an order-dependent rule. Both decode paths
+/// (streaming serial, slot-parallel) feed the same fold, so they cannot
+/// diverge.
+class RibFold {
+ public:
+  /// Consume one parsed record (moves the entry paths out of it).
+  void add(TableDumpReader::Record& record) {
+    if (record.peer_index) {
+      peer_map_.clear();
+      for (const auto& peer : record.peer_index->peers) {
+        peer_map_.push_back(rib_.add_peer(peer.asn));
+      }
+    } else if (record.rib) {
+      bgp::RibRow row;
+      row.prefix = record.rib->prefix;
+      row.entries.reserve(record.rib->entries.size());
+      for (auto& entry : record.rib->entries) {
+        uint32_t peer = entry.peer_index < peer_map_.size()
+                            ? peer_map_[entry.peer_index]
+                            : entry.peer_index;
+        apply_fold_entry(row.entries, peer, std::move(entry.path));
+      }
+      if (!row.entries.empty()) rows_.push_back(std::move(row));
+    }
+  }
+
+  bgp::Rib finish() {
+    // Our own dumps emit rows in sorted order, so the stable sort is a
+    // single verification pass; foreign dumps may repeat or reorder
+    // prefixes, and duplicate rows merge in stream order below.
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [](const bgp::RibRow& a, const bgp::RibRow& b) {
+                       return a.prefix < b.prefix;
+                     });
+    std::vector<bgp::RibRow> merged;
+    merged.reserve(rows_.size());
+    for (auto& row : rows_) {
+      if (!merged.empty() && merged.back().prefix == row.prefix) {
+        for (auto& e : row.entries) {
+          apply_fold_entry(merged.back().entries, e.peer_index,
+                           std::move(e.path));
+        }
+      } else {
+        merged.push_back(std::move(row));
+      }
+    }
+    rib_.adopt_rows(std::move(merged));
+    return std::move(rib_);
+  }
+
+ private:
+  bgp::Rib rib_;
+  std::vector<uint32_t> peer_map_;  // dump peer index -> rib peer index
+  std::vector<bgp::RibRow> rows_;
+};
 
 }  // namespace
 
@@ -187,8 +269,16 @@ bgp::AsPath decode_path_attributes(ByteReader& r, size_t attr_len) {
           throw MrtError("unknown AS_PATH segment type " +
                          std::to_string(seg_type));
         }
-        for (uint8_t i = 0; i < count; ++i) {
-          hops.emplace_back(attr.u32());
+        // One bounds check for the whole segment instead of one per hop:
+        // this loop runs once per hop of every entry in a dump, so the
+        // per-read need() overhead is measurable at full scale.
+        auto raw = attr.bytes(static_cast<size_t>(count) * 4);
+        hops.reserve(hops.size() + count);
+        for (size_t i = 0; i < raw.size(); i += 4) {
+          hops.emplace_back(static_cast<uint32_t>(raw[i]) << 24 |
+                            static_cast<uint32_t>(raw[i + 1]) << 16 |
+                            static_cast<uint32_t>(raw[i + 2]) << 8 |
+                            static_cast<uint32_t>(raw[i + 3]));
         }
       }
       path = bgp::AsPath(std::move(hops));
@@ -299,7 +389,10 @@ bool TableDumpReader::next(Record& record) {
       ++bad_;
       return false;
     }
-    std::vector<uint8_t> body(header.length);
+    // The scratch buffer only ever grows: steady-state reads after the
+    // largest record allocate nothing.
+    if (scratch_.size() < header.length) scratch_.resize(header.length);
+    std::span<uint8_t> body(scratch_.data(), header.length);
     if (!util::read_exact(in_, body)) {
       ++bad_;
       return false;
@@ -319,54 +412,82 @@ bool TableDumpReader::next(Record& record) {
   }
 }
 
-bgp::Rib TableDumpReader::read_rib(std::istream& in, size_t* bad_records) {
+TableDumpScan::TableDumpScan(std::span<const uint8_t> data)
+    : data_(data), index_(scan_frames(data)) {
+  bad_ = index_.bad;
+}
+
+bool TableDumpScan::next(TableDumpReader::Record& record) {
+  while (next_ < index_.records.size()) {
+    const RecordRef& ref = index_.records[next_++];
+    if (ref.type != kTypeTableDumpV2) {
+      ++skipped_;
+      continue;
+    }
+    MrtHeader header;
+    header.timestamp = ref.timestamp;
+    header.type = ref.type;
+    header.subtype = ref.subtype;
+    header.length = ref.length;
+    try {
+      if (parse_table_dump_body(header, data_.subspan(ref.offset, ref.length),
+                                record)) {
+        return true;
+      }
+      ++skipped_;
+    } catch (const util::ParseError&) {
+      ++bad_;
+    }
+  }
+  return false;
+}
+
+bgp::Rib TableDumpReader::read_rib(std::span<const uint8_t> data,
+                                   size_t* bad_records) {
   // Whole-dump decode in three phases, mirroring the streaming reader's
   // semantics exactly:
-  //   1. slurp the stream and split it at record boundaries (headers are
-  //      the only place lengths live; the scan is serial and cheap);
+  //   1. frame-index scan: split the bytes at record boundaries (headers
+  //      are the only place lengths live; the scan touches 12 bytes per
+  //      record and goes block-parallel on wide pools);
   //   2. parse record bodies -- the expensive part -- concurrently into
-  //      index-addressed slots;
+  //      index-addressed slots, each body a zero-copy span off `data`;
   //   3. fold the slots into the Rib serially, in stream order, so the
   //      result is byte-identical to a serial decode (peer-table records
   //      re-map subsequent RIB records' peer indices, an order-dependent
   //      rule the fold preserves).
-  std::vector<uint8_t> data;
-  {
-    std::array<uint8_t, 65536> chunk{};
-    size_t got = 0;
-    while ((got = util::read_upto(in, chunk)) > 0) {
-      data.insert(data.end(), chunk.data(), chunk.data() + got);
+  const FrameIndex index = scan_frames_parallel(data);
+  size_t bad = index.bad;
+  RibFold fold;
+
+  if (util::thread_count() <= 1) {
+    // Serial fast path: parse and fold record-at-a-time through one
+    // reused Record. The slot buffer below keeps every parsed record
+    // (millions of entry-path vectors) alive until the fold drains it,
+    // which costs a measurable allocator/cache penalty that buys nothing
+    // without workers -- streaming keeps the allocator on its
+    // same-size-block fast path and the working set one record deep.
+    Record record;
+    for (const RecordRef& ref : index.records) {
+      if (ref.type != kTypeTableDumpV2) continue;  // skipped, not an error
+      MrtHeader header{ref.timestamp, ref.type, ref.subtype, ref.length};
+      try {
+        if (parse_table_dump_body(header, data.subspan(ref.offset, ref.length),
+                                  record)) {
+          fold.add(record);
+        }
+      } catch (const util::ParseError&) {
+        ++bad;
+      }
     }
+    if (bad_records) *bad_records = bad;
+    return fold.finish();
   }
 
-  struct Slice {
-    MrtHeader header;
-    size_t offset = 0;  // body offset into `data`
-  };
-  std::vector<Slice> slices;
-  size_t bad = 0;
-  util::ByteCursor cursor{std::span<const uint8_t>(data)};
-  while (!cursor.done()) {
-    if (!cursor.can_read(12)) {
-      ++bad;  // truncated header: nothing more to salvage
-      break;
-    }
-    MrtHeader header;
-    header.timestamp = cursor.u32();
-    header.type = cursor.u16();
-    header.subtype = cursor.u16();
-    header.length = cursor.u32();
-    // Reject absurd declared lengths (and bodies running past EOF):
-    // resynchronising after a corrupt length field is hopeless, so this
-    // ends the scan, exactly as the streaming reader stops.
-    if (header.length > kMaxRecordLength || !cursor.can_read(header.length)) {
-      ++bad;
-      break;
-    }
-    size_t offset = cursor.position();
-    cursor.skip(header.length);
-    if (header.type != kTypeTableDumpV2) continue;  // skipped, not an error
-    slices.push_back(Slice{header, offset});
+  std::vector<const RecordRef*> slices;
+  slices.reserve(index.records.size());
+  for (const RecordRef& ref : index.records) {
+    if (ref.type != kTypeTableDumpV2) continue;  // skipped, not an error
+    slices.push_back(&ref);
   }
 
   struct Parsed {
@@ -375,82 +496,44 @@ bgp::Rib TableDumpReader::read_rib(std::istream& in, size_t* bad_records) {
     bool failed = false;
   };
   std::vector<Parsed> parsed(slices.size());
-  std::span<const uint8_t> bytes(data);
   util::parallel_for(slices.size(), [&](size_t i) {
-    const Slice& slice = slices[i];
+    const RecordRef& ref = *slices[i];
+    MrtHeader header{ref.timestamp, ref.type, ref.subtype, ref.length};
     try {
       parsed[i].engaged = parse_table_dump_body(
-          slice.header, bytes.subspan(slice.offset, slice.header.length),
-          parsed[i].record);
+          header, data.subspan(ref.offset, ref.length), parsed[i].record);
     } catch (const util::ParseError&) {
       parsed[i].failed = true;
     }
   });
 
-  // Fold the stream into rows, one per RIB record. TABLE_DUMP_V2 groups
-  // all of a prefix's entries into a single record, so building a RibRow
-  // per record and sorting rows (150k for a full dump) is far cheaper
-  // than staging and sorting every entry (millions) through
-  // Rib::insert + finalize.
-  auto apply = [](std::vector<bgp::RibEntry>& entries, uint32_t peer,
-                  bgp::AsPath&& path) {
-    for (auto& have : entries) {
-      if (have.peer_index == peer) {
-        have.path = std::move(path);  // replace-per-peer, stream order
-        return;
-      }
-    }
-    entries.push_back(bgp::RibEntry{peer, std::move(path)});
-  };
-
-  bgp::Rib rib;
-  std::vector<uint32_t> peer_map;  // dump peer index -> rib peer index
-  std::vector<bgp::RibRow> rows;
   for (auto& p : parsed) {
     if (p.failed) {
       ++bad;
       continue;
     }
-    if (!p.engaged) continue;
-    if (p.record.peer_index) {
-      peer_map.clear();
-      for (const auto& peer : p.record.peer_index->peers) {
-        peer_map.push_back(rib.add_peer(peer.asn));
-      }
-    } else if (p.record.rib) {
-      bgp::RibRow row;
-      row.prefix = p.record.rib->prefix;
-      for (auto& entry : p.record.rib->entries) {
-        uint32_t peer = entry.peer_index < peer_map.size()
-                            ? peer_map[entry.peer_index]
-                            : entry.peer_index;
-        apply(row.entries, peer, std::move(entry.path));
-      }
-      if (!row.entries.empty()) rows.push_back(std::move(row));
-    }
+    if (p.engaged) fold.add(p.record);
   }
   if (bad_records) *bad_records = bad;
+  return fold.finish();
+}
 
-  // Our own dumps emit rows in sorted order, so the stable sort is a
-  // single verification pass; foreign dumps may repeat or reorder
-  // prefixes, and duplicate rows merge in stream order below.
-  std::stable_sort(rows.begin(), rows.end(),
-                   [](const bgp::RibRow& a, const bgp::RibRow& b) {
-                     return a.prefix < b.prefix;
-                   });
-  std::vector<bgp::RibRow> merged;
-  merged.reserve(rows.size());
-  for (auto& row : rows) {
-    if (!merged.empty() && merged.back().prefix == row.prefix) {
-      for (auto& e : row.entries) {
-        apply(merged.back().entries, e.peer_index, std::move(e.path));
-      }
-    } else {
-      merged.push_back(std::move(row));
-    }
+bgp::Rib TableDumpReader::read_rib(std::istream& in, size_t* bad_records) {
+  std::vector<uint8_t> data;
+  util::read_all(in, data);
+  return read_rib(std::span<const uint8_t>(data), bad_records);
+}
+
+bgp::Rib TableDumpReader::read_rib_file(const std::string& path,
+                                        size_t* bad_records) {
+  util::MappedFile file;
+  if (!file.open(path)) {
+    if (bad_records) *bad_records = 1;
+    return bgp::Rib{};
   }
-  rib.adopt_rows(std::move(merged));
-  return rib;
+  // The mapping outlives the call: every body span handed to the decode
+  // workers views `file.bytes()`, and nothing escapes read_rib(span).
+  return read_rib(file.bytes(), bad_records);
 }
 
 }  // namespace manrs::mrt

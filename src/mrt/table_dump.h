@@ -15,11 +15,13 @@
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bgp/rib.h"
 #include "bgp/route.h"
+#include "mrt/frame_index.h"
 #include "mrt/wire.h"
 #include "netbase/ip.h"
 #include "netbase/prefix.h"
@@ -106,11 +108,52 @@ class TableDumpReader {
   size_t skipped_records() const { return skipped_; }
   size_t bad_records() const { return bad_; }
 
-  /// Convenience: reconstruct a bgp::Rib from an entire stream.
+  /// Reconstruct a bgp::Rib from in-memory dump bytes: frame-index scan
+  /// (block-parallel on wide pools), zero-copy parallel body decode off
+  /// `data`, then a serial stream-order fold. `data` is only read during
+  /// the call; nothing is retained.
+  static bgp::Rib read_rib(std::span<const uint8_t> data,
+                           size_t* bad_records = nullptr);
+
+  /// Convenience: reconstruct a bgp::Rib from an entire stream. Slurps
+  /// the stream once (reserving from its seekable size) and delegates to
+  /// the span overload.
   static bgp::Rib read_rib(std::istream& in, size_t* bad_records = nullptr);
+
+  /// Reconstruct a bgp::Rib straight off a file: the dump bytes are
+  /// mmap'd (util::MappedFile, with a buffered-read fallback) and decoded
+  /// in place -- the zero-copy path a production collector uses for
+  /// multi-GB dumps. Returns an empty Rib and sets *bad_records when the
+  /// file cannot be opened.
+  static bgp::Rib read_rib_file(const std::string& path,
+                                size_t* bad_records = nullptr);
 
  private:
   std::istream& in_;
+  std::vector<uint8_t> scratch_;  // grown once, reused per record body
+  size_t skipped_ = 0;
+  size_t bad_ = 0;
+};
+
+/// Zero-copy streaming iterator over TABLE_DUMP_V2 records in a framed
+/// span: the record-at-a-time counterpart of read_rib(span), sharing its
+/// parser (and therefore its exact skip/bad semantics) with the stream
+/// reader. The span must stay alive for the scan's lifetime (it is a
+/// view into a MappedFile or an in-memory dump).
+class TableDumpScan {
+ public:
+  explicit TableDumpScan(std::span<const uint8_t> data);
+
+  /// Next supported record in stream order; false at end of index.
+  bool next(TableDumpReader::Record& record);
+
+  size_t skipped_records() const { return skipped_; }
+  size_t bad_records() const { return bad_; }
+
+ private:
+  std::span<const uint8_t> data_;
+  FrameIndex index_;
+  size_t next_ = 0;
   size_t skipped_ = 0;
   size_t bad_ = 0;
 };

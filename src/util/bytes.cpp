@@ -1,5 +1,6 @@
 #include "util/bytes.h"
 
+#include <array>
 #include <istream>
 #include <ostream>
 
@@ -27,6 +28,27 @@ size_t read_upto(std::istream& in, std::span<uint8_t> out) {
   in.read(reinterpret_cast<char*>(out.data()),
           static_cast<std::streamsize>(out.size()));
   return static_cast<size_t>(in.gcount());
+}
+
+size_t read_all(std::istream& in, std::vector<uint8_t>& out) {
+  const size_t start = out.size();
+  // Probe the remaining length when the stream is seekable so the slurp
+  // reserves once; non-seekable streams (pipes) fall back to doubling.
+  const std::istream::pos_type here = in.tellg();
+  if (here != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in.tellg();
+    in.seekg(here);
+    if (end != std::istream::pos_type(-1) && end > here) {
+      out.reserve(start + static_cast<size_t>(end - here));
+    }
+  }
+  std::array<uint8_t, 65536> chunk{};
+  size_t got = 0;
+  while ((got = read_upto(in, chunk)) > 0) {
+    out.insert(out.end(), chunk.data(), chunk.data() + got);
+  }
+  return out.size() - start;
 }
 
 void write_bytes(std::ostream& out, std::span<const uint8_t> data) {

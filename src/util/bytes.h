@@ -208,6 +208,12 @@ class ByteBuf {
 /// Read up to `out.size()` bytes; returns the count actually read.
 size_t read_upto(std::istream& in, std::span<uint8_t> out);
 
+/// Slurp the rest of the stream into `out` (appending to its current
+/// contents). When the stream is seekable the remaining size is probed
+/// once up front so the buffer grows exactly once instead of
+/// reallocating per chunk. Returns the number of bytes appended.
+size_t read_all(std::istream& in, std::vector<uint8_t>& out);
+
 /// Write all of `data` to the stream.
 void write_bytes(std::ostream& out, std::span<const uint8_t> data);
 

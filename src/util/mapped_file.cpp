@@ -1,0 +1,103 @@
+#include "util/mapped_file.h"
+
+#include <cstdio>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MANRS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace manrs::util {
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    open_ = std::exchange(other.open_, false);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    map_base_ = std::exchange(other.map_base_, nullptr);
+    map_len_ = std::exchange(other.map_len_, 0);
+    fallback_ = std::move(other.fallback_);
+    other.fallback_.clear();
+  }
+  return *this;
+}
+
+namespace {
+
+/// Plain-stdio slurp for the no-mmap path. Returns false on any I/O
+/// error; `out` is sized from a seek so the read never reallocates.
+bool read_whole_file(const std::string& path, std::vector<uint8_t>& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  bool ok = std::fseek(f, 0, SEEK_END) == 0;
+  long end = ok ? std::ftell(f) : -1;
+  ok = ok && end >= 0 && std::fseek(f, 0, SEEK_SET) == 0;
+  if (ok) {
+    out.resize(static_cast<size_t>(end));
+    size_t got = out.empty() ? 0 : std::fread(out.data(), 1, out.size(), f);
+    ok = got == out.size();
+  }
+  std::fclose(f);
+  if (!ok) out.clear();
+  return ok;
+}
+
+}  // namespace
+
+bool MappedFile::open(const std::string& path) {
+  close();
+#if MANRS_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);  // lint-ok: POSIX open, not a parse path
+  if (fd >= 0) {
+    struct stat st{};
+    bool is_regular = fstat(fd, &st) == 0 && S_ISREG(st.st_mode);
+    if (is_regular) {
+      size_t len = static_cast<size_t>(st.st_size);
+      if (len == 0) {
+        // mmap(0) is EINVAL; an empty regular file is an empty span.
+        ::close(fd);
+        open_ = true;
+        return true;
+      }
+      void* base = mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (base != MAP_FAILED) {
+        map_base_ = base;
+        map_len_ = len;
+        data_ = static_cast<const uint8_t*>(base);
+        size_ = len;
+        open_ = true;
+        return true;
+      }
+    } else {
+      ::close(fd);
+    }
+    // Non-regular file or mmap failure: fall through to the read path.
+  }
+#endif
+  if (!read_whole_file(path, fallback_)) return false;
+  data_ = fallback_.data();
+  size_ = fallback_.size();
+  open_ = true;
+  return true;
+}
+
+void MappedFile::close() {
+#if MANRS_HAVE_MMAP
+  if (map_base_ != nullptr) munmap(map_base_, map_len_);
+#endif
+  map_base_ = nullptr;
+  map_len_ = 0;
+  fallback_.clear();
+  fallback_.shrink_to_fit();
+  data_ = nullptr;
+  size_ = 0;
+  open_ = false;
+}
+
+}  // namespace manrs::util

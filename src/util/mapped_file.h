@@ -1,0 +1,73 @@
+// Read-only memory-mapped file with a plain-read fallback.
+//
+// The streaming MRT ingest references dump bytes in place instead of
+// copying them through an istream: MappedFile maps the file read-only
+// (mmap on POSIX hosts) and hands out std::span<const uint8_t> views of
+// the mapping. When mmap is unavailable -- non-regular files, pipes,
+// exotic filesystems, non-POSIX builds -- open() falls back to reading
+// the whole file into an owned buffer, so callers see one contract
+// either way: open() -> bytes() -> close().
+//
+// Lifetime rules (enforced by the mapped-span typestate protocol in
+// tools/analyze/protocols.txt):
+//   * every span obtained from bytes() aliases the mapping and dies
+//     with it: no span may be read after close() (or after the
+//     MappedFile is destroyed), and no accessor may be called on a
+//     closed mapping;
+//   * decode lambdas fanning out over the mapping must capture the
+//     MappedFile (or its span) by reference, never copy the bytes --
+//     the type is move-only precisely so a by-value capture of the
+//     owner cannot compile.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace manrs::util {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { close(); }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  /// Map `path` read-only. Returns false (and stays closed) when the
+  /// file cannot be opened or stat'd; falls back to slurping the bytes
+  /// into an owned buffer when mmap itself is unavailable or fails.
+  /// Reopening an open MappedFile closes the previous mapping first.
+  [[nodiscard]] bool open(const std::string& path);
+
+  /// Release the mapping (or the fallback buffer). Safe to call twice;
+  /// every span previously returned by bytes() is invalid afterwards.
+  void close();
+
+  bool is_open() const { return open_; }
+
+  /// True when the bytes come from an actual mmap (false: fallback
+  /// buffer, or not open). Diagnostics only -- the byte contract is
+  /// identical either way.
+  bool is_mapped() const { return map_base_ != nullptr; }
+
+  /// The whole file. The span aliases the mapping: it is valid until
+  /// close() / destruction and must not escape that lifetime.
+  std::span<const uint8_t> bytes() const { return {data_, size_}; }
+
+  size_t size() const { return size_; }
+
+ private:
+  bool open_ = false;
+  const uint8_t* data_ = nullptr;  // view: mapping or fallback buffer
+  size_t size_ = 0;
+  void* map_base_ = nullptr;  // non-null iff mmap'd (munmap target)
+  size_t map_len_ = 0;
+  std::vector<uint8_t> fallback_;  // owns bytes when not mmap'd
+};
+
+}  // namespace manrs::util

@@ -1,0 +1,11 @@
+// Negative: begin_delta() reopens a finalized Rib for an update-stream
+// fold; the staged erase/insert batch seals again at finalize().
+void f_begin_delta_fold() {
+  Rib rib;
+  rib.insert(1, 2, 3);
+  rib.finalize();
+  rib.begin_delta();
+  rib.erase(1, 2);
+  rib.insert(4, 5, 6);
+  rib.finalize();
+}

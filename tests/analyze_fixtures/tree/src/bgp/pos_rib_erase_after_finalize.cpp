@@ -1,0 +1,8 @@
+// Positive: withdrawing from a finalized Rib without begin_delta()
+// mutates a sealed table.
+void f_erase_after_finalize() {
+  Rib rib;
+  rib.insert(1, 2, 3);
+  rib.finalize();
+  rib.erase(1, 2);
+}

@@ -1,0 +1,9 @@
+// Negative: open() -> bytes()/size() -> close() is the sanctioned
+// mapping lifecycle.
+void f_open_then_bytes() {
+  MappedFile file;
+  file.open("dump.mrt");
+  auto view = file.bytes();
+  auto len = file.size();
+  file.close();
+}

@@ -1,0 +1,10 @@
+// Negative: reopening closes the previous mapping first; spans taken
+// after the second open() view the new mapping and are valid.
+void f_reopen_then_bytes() {
+  MappedFile file;
+  file.open("a.mrt");
+  file.close();
+  file.open("b.mrt");
+  auto view = file.bytes();
+  file.close();
+}

@@ -1,0 +1,9 @@
+// Positive: the callee summary reads the mapping; passing a
+// never-opened MappedFile reports the dangling read at the call site.
+unsigned long total_bytes(MappedFile& file) {
+  return file.bytes().size();
+}
+void f_pass_closed() {
+  MappedFile file;
+  total_bytes(file);
+}

@@ -1,0 +1,9 @@
+// Positive: every span from bytes() dies with the mapping; reading
+// the bytes after close() is a dangling view.
+void f_use_after_close() {
+  MappedFile file;
+  file.open("dump.mrt");
+  auto view = file.bytes();
+  file.close();
+  file.bytes();
+}

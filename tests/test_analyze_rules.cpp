@@ -79,6 +79,7 @@ TEST(AnalyzeRules, FixtureTreeFindingsMatchExactly) {
   ASSERT_EQ(r.exit_code, 1) << r.out;  // findings present -> exit 1
 
   std::vector<FindingKey> expected = {
+      {"src/bgp/pos_rib_erase_after_finalize.cpp", 7, "rib-typestate"},
       {"src/bgp/pos_rib_insert_after_finalize.cpp", 7, "rib-typestate"},
       {"src/bgp/pos_rib_pass_staged.cpp", 9, "rib-typestate"},
       {"src/bgp/pos_rib_read_staged.cpp", 6, "rib-typestate"},
@@ -101,6 +102,8 @@ TEST(AnalyzeRules, FixtureTreeFindingsMatchExactly) {
       {"src/simulator/pos_ws_shared_parallel.cpp", 7, "workspace-epoch"},
       {"src/simulator/pos_ws_stale_install.cpp", 5, "workspace-epoch"},
       {"src/util/pos_atox.cpp", 3, "locale-atox"},
+      {"src/util/pos_mapped_pass_closed.cpp", 8, "mapped-span"},
+      {"src/util/pos_mapped_use_after_close.cpp", 8, "mapped-span"},
       {"src/util/pos_stdhash.cpp", 4, "std-hash"},
       {"src/util/pos_strtox.cpp", 4, "throwing-strtox"},
       {"src/util/pos_thread.cpp", 4, "raw-thread"},
@@ -122,13 +125,13 @@ TEST(AnalyzeRules, RegexCorpusParityAllPortedRulesFire) {
   for (const FindingKey& k : parse_findings(r.out)) {
     fired.insert(std::get<2>(k));
   }
-  const std::array<const char*, 18> all_rules = {
+  const std::array<const char*, 19> all_rules = {
       "reinterpret-cast", "unchecked-memcpy", "throwing-strtox",
       "locale-atox", "unbounded-copy", "union-punning", "raw-thread",
       "rib-map", "std-hash", "determinism-iteration", "parallel-capture",
       "layer-violation", "parse-throw-boundary", "rib-typestate",
       "workspace-epoch", "batch-workspace", "cursor-guard",
-      "nested-parallel"};
+      "nested-parallel", "mapped-span"};
   for (const char* rule : all_rules) {
     EXPECT_EQ(fired.count(rule), 1u) << "rule never fired: " << rule;
   }
@@ -156,7 +159,7 @@ TEST(AnalyzeRules, ListRulesShowsFullCatalog) {
        {"reinterpret-cast", "determinism-iteration", "parallel-capture",
         "layer-violation", "parse-throw-boundary", "rib-typestate",
         "workspace-epoch", "batch-workspace", "cursor-guard",
-        "nested-parallel"}) {
+        "nested-parallel", "mapped-span"}) {
     EXPECT_NE(r.out.find(rule), std::string::npos) << rule;
   }
 }

@@ -1,0 +1,567 @@
+// Streaming zero-copy MRT ingest tests: frame-index scan edge cases
+// (truncation, corruption, block-boundary straddling), mmap-vs-istream
+// byte-equality goldens across the thread x grain matrix, and the
+// BGP4MP update-stream fold (MrtIngest / UpdateStream suites).
+//
+// "Byte-identical" is checked the strong way: two Ribs are equal iff
+// re-serializing both through TableDumpWriter yields the same bytes
+// (peer table, row order, per-row entry order -- everything).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mrt/bgp4mp.h"
+#include "mrt/frame_index.h"
+#include "mrt/table_dump.h"
+#include "util/bytes.h"
+#include "util/mapped_file.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace manrs::mrt {
+namespace {
+
+using net::Asn;
+using net::Prefix;
+
+bgp::AsPath path(std::initializer_list<uint32_t> hops) {
+  std::vector<Asn> v;
+  for (uint32_t h : hops) v.emplace_back(h);
+  return bgp::AsPath(std::move(v));
+}
+
+/// Random finalized Rib: `prefixes` rows spread over five peers.
+bgp::Rib random_rib(uint64_t seed, int prefixes) {
+  util::Rng rng(seed);
+  bgp::Rib rib;
+  std::vector<uint32_t> peers;
+  for (int i = 0; i < 5; ++i) {
+    peers.push_back(rib.add_peer(Asn(65000 + static_cast<uint32_t>(i))));
+  }
+  for (int i = 0; i < prefixes; ++i) {
+    bool v6 = rng.bernoulli(0.3);
+    unsigned len = static_cast<unsigned>(
+        v6 ? 16 + rng.uniform(49) : 8 + rng.uniform(25));
+    net::IpAddress addr =
+        v6 ? net::IpAddress::v6(rng.next(), rng.next())
+           : net::IpAddress::v4(static_cast<uint32_t>(rng.next()));
+    Prefix prefix(addr, len);
+    size_t hop_count = 1 + rng.uniform(6);
+    std::vector<Asn> hops;
+    for (size_t h = 0; h < hop_count; ++h) {
+      hops.emplace_back(static_cast<uint32_t>(1 + rng.uniform(100000)));
+    }
+    rib.insert(prefix, peers[rng.uniform(peers.size())],
+               bgp::AsPath(std::move(hops)));
+  }
+  rib.finalize();
+  return rib;
+}
+
+/// Serialize a finalized Rib; the byte-equality oracle for Rib identity.
+std::string dump_of(const bgp::Rib& rib) {
+  std::ostringstream out;
+  TableDumpWriter writer(out, /*timestamp=*/1651363200);
+  writer.write_rib(rib, "ingest-test");
+  return out.str();
+}
+
+/// Order-insensitive row content: "prefix peer_asn|path" lines with each
+/// row's entries sorted, for fold tests where entry order inside a row
+/// legitimately differs from a from-scratch build.
+std::vector<std::string> canonical(const bgp::Rib& rib) {
+  std::vector<std::string> out;
+  rib.for_each([&](const Prefix& prefix,
+                   const std::vector<bgp::RibEntry>& entries) {
+    std::vector<std::string> rows;
+    for (const auto& e : entries) {
+      rows.push_back(rib.peer_asn(e.peer_index).to_string() + "|" +
+                     e.path.to_string());
+    }
+    std::sort(rows.begin(), rows.end());
+    for (const auto& r : rows) out.push_back(prefix.to_string() + " " + r);
+  });
+  return out;
+}
+
+/// Append one hand-crafted MRT record (12-byte header + body).
+void put_record(ByteWriter& w, uint16_t type, uint16_t subtype,
+                std::span<const uint8_t> body, uint32_t timestamp = 7) {
+  w.u32(timestamp);
+  w.u16(type);
+  w.u16(subtype);
+  w.u32(static_cast<uint32_t>(body.size()));
+  w.bytes(body);
+}
+
+void expect_same_index(const FrameIndex& a, const FrameIndex& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].offset, b.records[i].offset) << i;
+    EXPECT_EQ(a.records[i].length, b.records[i].length) << i;
+    EXPECT_EQ(a.records[i].type, b.records[i].type) << i;
+    EXPECT_EQ(a.records[i].subtype, b.records[i].subtype) << i;
+    EXPECT_EQ(a.records[i].timestamp, b.records[i].timestamp) << i;
+  }
+  EXPECT_EQ(a.bad, b.bad);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(a.scanned_bytes, b.scanned_bytes);
+}
+
+class MrtIngest : public ::testing::Test {
+ protected:
+  // Every test leaves the global pool and grain as it found them.
+  void TearDown() override {
+    util::set_thread_count(0);
+    util::set_grain(0);
+  }
+};
+
+TEST_F(MrtIngest, FrameScanEmptyInput) {
+  FrameIndex index = scan_frames({});
+  EXPECT_TRUE(index.records.empty());
+  EXPECT_EQ(index.bad, 0u);
+  EXPECT_FALSE(index.truncated);
+  EXPECT_EQ(index.scanned_bytes, 0u);
+}
+
+TEST_F(MrtIngest, FrameScanTruncatedHeaderAtEof) {
+  ByteWriter w;
+  w.u32(1);
+  w.u16(13);  // six header bytes, then EOF
+  FrameIndex index = scan_frames(w.span());
+  EXPECT_TRUE(index.records.empty());
+  EXPECT_EQ(index.bad, 1u);
+  EXPECT_TRUE(index.truncated);
+  EXPECT_EQ(index.scanned_bytes, 0u);
+}
+
+TEST_F(MrtIngest, FrameScanTruncatedBodyAtEof) {
+  ByteWriter w;
+  w.u32(1);
+  w.u16(13);
+  w.u16(2);
+  w.u32(100);  // declares 100 body bytes...
+  w.u32(0);    // ...but only 4 follow
+  FrameIndex index = scan_frames(w.span());
+  EXPECT_TRUE(index.records.empty());
+  EXPECT_EQ(index.bad, 1u);
+  EXPECT_TRUE(index.truncated);
+}
+
+TEST_F(MrtIngest, FrameScanCorruptLengthMidFileEndsChain) {
+  ByteWriter good_body;
+  good_body.u32(0xAABBCCDD);
+  ByteWriter w;
+  put_record(w, 99, 0, good_body.span());
+  const size_t corrupt_at = w.size();
+  w.u32(2);
+  w.u16(99);
+  w.u16(0);
+  w.u32(0xFFFFFFFFu);  // absurd declared length: the chain is broken
+  put_record(w, 99, 0, good_body.span());  // unreachable
+
+  FrameIndex index = scan_frames(w.span());
+  ASSERT_EQ(index.records.size(), 1u);
+  EXPECT_EQ(index.records[0].offset, 12u);
+  EXPECT_EQ(index.records[0].length, 4u);
+  EXPECT_EQ(index.bad, 1u);
+  EXPECT_TRUE(index.truncated);
+  EXPECT_EQ(index.scanned_bytes, corrupt_at);
+}
+
+TEST_F(MrtIngest, ParallelScanMatchesSerialAcrossBlockHints) {
+  // Zero-filled bodies are the adversarial case: a zero timestamp /
+  // type / length parses as a plausible chain of empty records, so
+  // block anchors probed inside a body look valid until the stitch
+  // pass rejects them.
+  ByteWriter w;
+  std::vector<uint8_t> zeros(97, 0);
+  std::vector<uint8_t> ones(61, 0xFF);
+  for (int i = 0; i < 40; ++i) {
+    put_record(w, 13, 2, i % 2 ? std::span<const uint8_t>(zeros)
+                               : std::span<const uint8_t>(ones),
+               static_cast<uint32_t>(i));
+  }
+  const FrameIndex serial = scan_frames(w.span());
+  ASSERT_EQ(serial.records.size(), 40u);
+
+  for (size_t threads : {2u, 4u, 8u}) {
+    util::set_thread_count(threads);
+    for (size_t hint : {13u, 16u, 64u, 256u, 1024u}) {
+      FrameIndex parallel = scan_frames_parallel(w.span(), hint);
+      expect_same_index(parallel, serial);
+    }
+  }
+}
+
+TEST_F(MrtIngest, ParallelScanMatchesSerialOnCorruptTail) {
+  ByteWriter w;
+  std::vector<uint8_t> zeros(33, 0);
+  for (int i = 0; i < 20; ++i) put_record(w, 13, 2, zeros);
+  w.u32(9);
+  w.u16(13);
+  w.u16(2);
+  w.u32(1u << 30);  // oversized declared length mid-file
+  for (int i = 0; i < 5; ++i) put_record(w, 13, 2, zeros);
+
+  const FrameIndex serial = scan_frames(w.span());
+  EXPECT_EQ(serial.bad, 1u);
+  EXPECT_TRUE(serial.truncated);
+  util::set_thread_count(4);
+  for (size_t hint : {16u, 128u, 512u}) {
+    FrameIndex parallel = scan_frames_parallel(w.span(), hint);
+    expect_same_index(parallel, serial);
+  }
+}
+
+TEST_F(MrtIngest, ReadRibSpanMatchesStreamReaderByteForByte) {
+  bgp::Rib rib = random_rib(4242, 200);
+  const std::string dump = dump_of(rib);
+
+  size_t bad_span = 0;
+  bgp::Rib from_span =
+      TableDumpReader::read_rib(util::as_bytes(dump), &bad_span);
+  std::istringstream in(dump);
+  size_t bad_stream = 0;
+  bgp::Rib from_stream = TableDumpReader::read_rib(in, &bad_stream);
+
+  EXPECT_EQ(bad_span, 0u);
+  EXPECT_EQ(bad_stream, 0u);
+  EXPECT_EQ(dump_of(from_span), dump_of(from_stream));
+  EXPECT_EQ(dump_of(from_span), dump);  // round-trip is exact
+}
+
+TEST_F(MrtIngest, ReadRibGoldenAcrossThreadGrainMatrix) {
+  bgp::Rib rib = random_rib(99, 300);
+  const std::string dump = dump_of(rib);
+  util::set_thread_count(1);
+  const std::string golden =
+      dump_of(TableDumpReader::read_rib(util::as_bytes(dump)));
+
+  for (size_t threads : {1u, 2u, 4u}) {
+    for (size_t grain : {1u, 7u, 0u}) {
+      util::set_thread_count(threads);
+      util::set_grain(grain);
+      size_t bad = 0;
+      bgp::Rib decoded = TableDumpReader::read_rib(util::as_bytes(dump), &bad);
+      EXPECT_EQ(bad, 0u);
+      EXPECT_EQ(dump_of(decoded), golden)
+          << "threads=" << threads << " grain=" << grain;
+    }
+  }
+}
+
+TEST_F(MrtIngest, ReadRibTruncatedDumpCountsOneBadRecord) {
+  bgp::Rib rib = random_rib(7, 40);
+  std::string dump = dump_of(rib);
+  dump.resize(dump.size() - 5);  // chop mid-record
+  size_t bad = 0;
+  bgp::Rib parsed = TableDumpReader::read_rib(util::as_bytes(dump), &bad);
+  EXPECT_EQ(bad, 1u);
+  EXPECT_EQ(parsed.prefix_count(), rib.prefix_count() - 1);
+}
+
+TEST_F(MrtIngest, ReadRibFileMmapMatchesInMemoryDecode) {
+  bgp::Rib rib = random_rib(2024, 150);
+  const std::string dump = dump_of(rib);
+  const std::string file = testing::TempDir() + "ingest_mmap.mrt";
+  {
+    std::ofstream out(file, std::ios::binary);
+    out << dump;
+  }
+  size_t bad = 1;
+  bgp::Rib from_file = TableDumpReader::read_rib_file(file, &bad);
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(dump_of(from_file), dump);
+  std::remove(file.c_str());
+}
+
+TEST_F(MrtIngest, ReadRibFileMissingSetsBad) {
+  size_t bad = 0;
+  bgp::Rib rib =
+      TableDumpReader::read_rib_file(testing::TempDir() + "no_such.mrt", &bad);
+  EXPECT_EQ(bad, 1u);
+  EXPECT_EQ(rib.prefix_count(), 0u);
+}
+
+TEST_F(MrtIngest, MappedFileBasics) {
+  const std::string file = testing::TempDir() + "ingest_mapped.bin";
+  {
+    std::ofstream out(file, std::ios::binary);
+    out << "manrs";
+  }
+  util::MappedFile mapped;
+  ASSERT_TRUE(mapped.open(file));
+  EXPECT_TRUE(mapped.is_open());
+  ASSERT_EQ(mapped.size(), 5u);
+  EXPECT_EQ(util::as_chars(mapped.bytes()), "manrs");
+  mapped.close();
+  EXPECT_FALSE(mapped.is_open());
+  EXPECT_FALSE(mapped.open(testing::TempDir() + "definitely_missing.bin"));
+  std::remove(file.c_str());
+}
+
+TEST_F(MrtIngest, MappedFileEmptyFileIsEmptySpan) {
+  const std::string file = testing::TempDir() + "ingest_empty.mrt";
+  { std::ofstream out(file, std::ios::binary); }
+  util::MappedFile mapped;
+  ASSERT_TRUE(mapped.open(file));
+  EXPECT_EQ(mapped.size(), 0u);
+  size_t bad = 1;
+  bgp::Rib rib = TableDumpReader::read_rib_file(file, &bad);
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(rib.prefix_count(), 0u);
+  mapped.close();
+  std::remove(file.c_str());
+}
+
+TEST_F(MrtIngest, TableDumpScanMatchesStreamReader) {
+  // A dump with an unknown-type record spliced in and a chopped tail:
+  // the span scan must report the same records, skips, and bads as the
+  // istream reader.
+  bgp::Rib rib = random_rib(11, 30);
+  std::ostringstream out;
+  ByteWriter legacy;
+  legacy.u32(0xFFFFFFFFu);
+  ByteWriter w;
+  put_record(w, 12, 1, legacy.span());
+  util::write_bytes(out, w.span());
+  TableDumpWriter writer(out, 77);
+  writer.write_rib(rib, "scan");
+  std::string bytes = out.str();
+  bytes.resize(bytes.size() - 3);
+
+  std::istringstream in(bytes);
+  TableDumpReader reader(in);
+  TableDumpScan scan(util::as_bytes(bytes));
+  TableDumpReader::Record a, b;
+  size_t records = 0;
+  while (true) {
+    bool more_stream = reader.next(a);
+    bool more_scan = scan.next(b);
+    ASSERT_EQ(more_stream, more_scan);
+    if (!more_stream) break;
+    ++records;
+    EXPECT_EQ(a.header.type, b.header.type);
+    EXPECT_EQ(a.header.subtype, b.header.subtype);
+    EXPECT_EQ(a.peer_index.has_value(), b.peer_index.has_value());
+    EXPECT_EQ(a.rib.has_value(), b.rib.has_value());
+    if (a.rib && b.rib) {
+      EXPECT_EQ(a.rib->prefix, b.rib->prefix);
+      EXPECT_EQ(a.rib->entries.size(), b.rib->entries.size());
+    }
+  }
+  EXPECT_GT(records, 0u);
+  EXPECT_EQ(reader.skipped_records(), scan.skipped_records());
+  EXPECT_EQ(reader.bad_records(), scan.bad_records());
+}
+
+TEST(UpdateStream, EmptyToFullFoldReproducesDumpBytes) {
+  bgp::Rib rib = random_rib(31337, 120);
+  const std::vector<Bgp4mpRecord> deltas =
+      diff_ribs(bgp::Rib{}, rib, /*timestamp=*/1651363200);
+  std::ostringstream out;
+  Bgp4mpWriter writer(out);
+  for (const auto& rec : deltas) writer.write(rec);
+  const std::string stream = out.str();
+
+  // Pre-register the peer table in dump order; the announce stream then
+  // rebuilds the table byte-for-byte.
+  bgp::Rib folded;
+  for (size_t p = 0; p < rib.peer_count(); ++p) {
+    folded.add_peer(rib.peer_asn(static_cast<uint32_t>(p)));
+  }
+  UpdateStreamReader reader(util::as_bytes(stream));
+  EXPECT_EQ(reader.fold_into(folded), deltas.size());
+  EXPECT_EQ(reader.bad_records(), 0u);
+  EXPECT_EQ(dump_of(folded), dump_of(rib));
+}
+
+TEST(UpdateStream, IncrementalChurnFoldMatchesTarget) {
+  bgp::Rib before = random_rib(555, 80);
+  // Target: drop some rows, change some paths, add new prefixes.
+  bgp::Rib after;
+  for (size_t p = 0; p < before.peer_count(); ++p) {
+    after.add_peer(before.peer_asn(static_cast<uint32_t>(p)));
+  }
+  size_t row = 0;
+  before.for_each([&](const Prefix& prefix,
+                      const std::vector<bgp::RibEntry>& entries) {
+    ++row;
+    if (row % 5 == 0) return;  // withdrawn entirely
+    for (const auto& e : entries) {
+      bgp::AsPath p2 = row % 3 == 0 ? e.path.prepend(Asn(64999)) : e.path;
+      after.insert(prefix, e.peer_index, std::move(p2));
+    }
+  });
+  after.insert(Prefix::must_parse("198.51.100.0/24"), 0, path({65000, 42}));
+  after.insert(Prefix::must_parse("2001:db8:ffff::/48"), 1,
+               path({65001, 43}));
+  after.finalize();
+
+  const std::vector<Bgp4mpRecord> deltas = diff_ribs(before, after, 9);
+  std::ostringstream out;
+  Bgp4mpWriter writer(out);
+  for (const auto& rec : deltas) writer.write(rec);
+  const std::string stream = out.str();
+
+  UpdateStreamReader reader(util::as_bytes(stream));
+  bgp::Rib folded = std::move(before);
+  reader.fold_into(folded);
+  EXPECT_EQ(reader.bad_records(), 0u);
+  EXPECT_EQ(canonical(folded), canonical(after));
+}
+
+TEST(UpdateStream, WithdrawRemovesEntryThenRow) {
+  bgp::Rib rib;
+  uint32_t p0 = rib.add_peer(Asn(65000));
+  uint32_t p1 = rib.add_peer(Asn(65001));
+  const Prefix prefix = Prefix::must_parse("192.0.2.0/24");
+  rib.insert(prefix, p0, path({65000, 7}));
+  rib.insert(prefix, p1, path({65001, 7}));
+  rib.finalize();
+
+  auto withdraw = [&](uint32_t peer_asn) {
+    Bgp4mpRecord rec;
+    rec.timestamp = 1;
+    rec.peer_asn = Asn(peer_asn);
+    rec.local_asn = Asn(64512);
+    rec.peer_ip = net::IpAddress::v4(0x0A000001);
+    rec.local_ip = net::IpAddress::v4(0x0A000002);
+    rec.update.withdrawn.push_back(prefix);
+    std::ostringstream out;
+    Bgp4mpWriter writer(out);
+    writer.write(rec);
+    const std::string stream = out.str();
+    UpdateStreamReader reader(util::as_bytes(stream));
+    EXPECT_EQ(reader.fold_into(rib), 1u);
+  };
+
+  withdraw(65000);
+  ASSERT_EQ(rib.entries(prefix).size(), 1u);
+  EXPECT_EQ(rib.peer_asn(rib.entries(prefix)[0].peer_index), Asn(65001));
+  withdraw(65001);
+  EXPECT_EQ(rib.prefix_count(), 0u);
+  // Withdrawing a never-announced prefix is an idempotent no-op.
+  withdraw(65000);
+  EXPECT_EQ(rib.prefix_count(), 0u);
+}
+
+TEST(UpdateStream, TwoBatchDeltaCycleMatchesDirectBuild) {
+  bgp::Rib a = random_rib(1, 40);
+  bgp::Rib b = random_rib(2, 40);
+  bgp::Rib c = random_rib(3, 40);
+
+  auto stream_of = [](const bgp::Rib& from, const bgp::Rib& to) {
+    std::ostringstream out;
+    Bgp4mpWriter writer(out);
+    for (const auto& rec : diff_ribs(from, to, 5)) writer.write(rec);
+    return out.str();
+  };
+  const std::string ab = stream_of(a, b);
+  const std::string bc = stream_of(b, c);
+
+  // Each fold_into() is one begin_delta()/finalize() cycle; a standing
+  // RIB absorbs successive delta batches.
+  bgp::Rib live = std::move(a);
+  UpdateStreamReader first(util::as_bytes(ab));
+  first.fold_into(live);
+  EXPECT_EQ(canonical(live), canonical(b));
+  UpdateStreamReader second(util::as_bytes(bc));
+  second.fold_into(live);
+  EXPECT_EQ(canonical(live), canonical(c));
+}
+
+TEST(UpdateStream, EmptyDiffFoldsToNoChange) {
+  bgp::Rib rib = random_rib(8, 25);
+  EXPECT_TRUE(diff_ribs(rib, rib, 1).empty());
+  UpdateStreamReader reader({});
+  bgp::Rib copy = random_rib(8, 25);
+  EXPECT_EQ(reader.fold_into(copy), 0u);
+  EXPECT_EQ(dump_of(copy), dump_of(rib));
+}
+
+TEST(UpdateStream, SkipsAndBadsAreCounted) {
+  std::ostringstream out;
+  // 1. A TABLE_DUMP_V2-typed record: wrong MRT type, skipped.
+  ByteWriter foreign_body;
+  foreign_body.u32(0);
+  ByteWriter foreign;
+  put_record(foreign, 13, 2, foreign_body.span());
+  util::write_bytes(out, foreign.span());
+  // 2. A valid UPDATE.
+  Bgp4mpRecord rec;
+  rec.timestamp = 2;
+  rec.peer_asn = Asn(65000);
+  rec.local_asn = Asn(64512);
+  rec.peer_ip = net::IpAddress::v4(0x0A000001);
+  rec.local_ip = net::IpAddress::v4(0x0A000002);
+  rec.update.announced.push_back(Prefix::must_parse("10.0.0.0/8"));
+  rec.update.path = path({65000, 1});
+  Bgp4mpWriter writer(out);
+  writer.write(rec);
+  // 3. A BGP KEEPALIVE in a BGP4MP_MESSAGE_AS4 record: skipped.
+  ByteWriter keepalive;
+  keepalive.u32(65000);
+  keepalive.u32(64512);
+  keepalive.u16(0);
+  keepalive.u16(1);  // AFI v4
+  keepalive.u32(0x0A000001);
+  keepalive.u32(0x0A000002);
+  for (int i = 0; i < 4; ++i) keepalive.u32(0xFFFFFFFFu);
+  keepalive.u16(19);
+  keepalive.u8(4);  // KEEPALIVE
+  ByteWriter ka;
+  put_record(ka, kTypeBgp4mp, kSubtypeBgp4mpMessageAs4, keepalive.span());
+  util::write_bytes(out, ka.span());
+  // 4. A malformed BGP4MP body: counted bad.
+  ByteWriter garbage_body;
+  garbage_body.u32(0xDEADBEEFu);
+  ByteWriter garbage;
+  put_record(garbage, kTypeBgp4mp, kSubtypeBgp4mpMessageAs4,
+             garbage_body.span());
+  util::write_bytes(out, garbage.span());
+
+  const std::string stream = out.str();
+  UpdateStreamReader reader(util::as_bytes(stream));
+  Bgp4mpRecord parsed;
+  ASSERT_TRUE(reader.next(parsed));
+  EXPECT_EQ(parsed.update.announced.size(), 1u);
+  EXPECT_FALSE(reader.next(parsed));
+  EXPECT_EQ(reader.skipped_records(), 2u);
+  EXPECT_EQ(reader.bad_records(), 1u);
+}
+
+TEST(UpdateStream, MatchesStreamingReaderRecordForRecord) {
+  bgp::Rib rib = random_rib(65, 50);
+  std::ostringstream out;
+  Bgp4mpWriter writer(out);
+  for (const auto& rec : diff_ribs(bgp::Rib{}, rib, 3)) writer.write(rec);
+  const std::string stream = out.str();
+
+  std::istringstream in(stream);
+  Bgp4mpReader streaming(in);
+  UpdateStreamReader spanning(util::as_bytes(stream));
+  Bgp4mpRecord a, b;
+  while (true) {
+    bool more_stream = streaming.next(a);
+    bool more_span = spanning.next(b);
+    ASSERT_EQ(more_stream, more_span);
+    if (!more_stream) break;
+    EXPECT_EQ(a.peer_asn, b.peer_asn);
+    EXPECT_EQ(a.update.announced, b.update.announced);
+    EXPECT_EQ(a.update.withdrawn, b.update.withdrawn);
+    EXPECT_EQ(a.update.path, b.update.path);
+  }
+  EXPECT_EQ(streaming.bad_records(), spanning.bad_records());
+  EXPECT_EQ(streaming.skipped_records(), spanning.skipped_records());
+}
+
+}  // namespace
+}  // namespace manrs::mrt

@@ -5,12 +5,15 @@
 #   2. run the full ctest suite (including the malformed-input fuzz
 #      corpus) under the sanitizers
 #   3. repeat the golden + propagation oracle/cache-equality +
-#      batched-lane-equality tests across the MANRS_THREADS x
-#      MANRS_GRAIN environment matrix (byte-equality at every
-#      combination)
+#      batched-lane-equality + streaming-ingest tests across the
+#      MANRS_THREADS x MANRS_GRAIN environment matrix (byte-equality
+#      at every combination), then the ingest goldens once more under
+#      ASan with explicit emphasis (MrtIngest/UpdateStream: block-scan
+#      stitching, mmap decode, update-stream folding)
 #   4. TSan build + run of the parallel-pipeline tests (thread pool,
 #      the serial-vs-parallel golden tests, the sharded RIB merge, the
-#      propagation oracle, cache-equality, and batched-lane tests) --
+#      propagation oracle, cache-equality, batched-lane, and
+#      streaming-ingest frame-scan/decode tests) --
 #      once at defaults and once at MANRS_GRAIN=1 -- plus perf_pipeline
 #      smoke runs at MANRS_SCALE=tiny (TSan) and MANRS_SCALE=large
 #      (sanitize build; skip with SMOKE_LARGE=0) (skip TSan with
@@ -76,9 +79,20 @@ for matrix_threads in 2 4; do
     ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}" \
     UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
       ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
-        -R 'ParallelGolden|PropagationOracle|PropagationCache|PropagationBatch'
+        -R 'ParallelGolden|PropagationOracle|PropagationCache|PropagationBatch|MrtIngest|UpdateStream'
   done
 done
+
+step "ingest goldens under ASan (mmap + block-parallel scan + fold)"
+# The streaming-ingest goldens are the memory-safety hot spot of the MRT
+# path: zero-copy spans into a mapping, speculative block anchors probing
+# arbitrary offsets, and in-place body decode. Run the MrtIngest /
+# UpdateStream suites on their own under ASan so a regression here fails
+# with an ingest-named stage, not buried in the full suite.
+ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+    -R 'MrtIngest|UpdateStream'
 
 if [[ "${TSAN:-1}" != "0" && "$SANITIZE" != "thread" ]]; then
   TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
@@ -86,7 +100,7 @@ if [[ "${TSAN:-1}" != "0" && "$SANITIZE" != "thread" ]]; then
   step "TSan: build parallel-pipeline tests"
   cmake -B "$TSAN_BUILD_DIR" -S . -DSANITIZE=thread
   cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
-    --target tests_util tests_integration perf_pipeline
+    --target tests_util tests_integration tests_bgp_mrt perf_pipeline
 
   step "TSan: parallel + golden + propagation cache tests"
   # The pool, env-parsing, and shutdown tests plus the serial-vs-parallel
@@ -97,7 +111,7 @@ if [[ "${TSAN:-1}" != "0" && "$SANITIZE" != "thread" ]]; then
   # first race.
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-      -R 'Parallel|ThreadPool|PropagationOracle|PropagationCache|PropagationBatch'
+      -R 'Parallel|ThreadPool|PropagationOracle|PropagationCache|PropagationBatch|MrtIngest|UpdateStream'
 
   step "TSan: golden + cache tests at MANRS_GRAIN=1 (max chunk handoff)"
   # Grain 1 maximises work-counter contention, cross-thread row handoffs
@@ -106,7 +120,7 @@ if [[ "${TSAN:-1}" != "0" && "$SANITIZE" != "thread" ]]; then
   MANRS_THREADS=4 MANRS_GRAIN=1 \
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-      -R 'ParallelGolden|PropagationOracle|PropagationCache|PropagationBatch'
+      -R 'ParallelGolden|PropagationOracle|PropagationCache|PropagationBatch|MrtIngest|UpdateStream'
 
   step "TSan: perf_pipeline smoke (MANRS_SCALE=tiny)"
   MANRS_SCALE=tiny \

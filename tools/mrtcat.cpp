@@ -9,16 +9,20 @@
 //   BGP4MP|<timestamp>|W|<peer-ip>|<peer-asn>|<prefix>
 // which matches the classic `bgpdump -m` field layout closely enough for
 // downstream scripts.
-#include <array>
+//
+// The file is memory-mapped (util::MappedFile) and decoded in place via
+// the zero-copy span readers; nothing is copied through an istream.
 #include <cstdio>
 #include <cstring>
-#include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "mrt/bgp4mp.h"
+#include "mrt/frame_index.h"
 #include "mrt/table_dump.h"
 #include "util/bytes.h"
+#include "util/mapped_file.h"
 
 using namespace manrs;
 
@@ -35,11 +39,11 @@ struct Summary {
   size_t skipped = 0;
 };
 
-int dump_table(std::istream& in, bool print, Summary& summary) {
-  mrt::TableDumpReader reader(in);
+int dump_table(std::span<const uint8_t> data, bool print, Summary& summary) {
+  mrt::TableDumpScan scan(data);
   mrt::TableDumpReader::Record record;
   std::vector<mrt::PeerEntry> peers;
-  while (reader.next(record)) {
+  while (scan.next(record)) {
     if (record.peer_index) {
       peers = record.peer_index->peers;
       summary.peers = peers.size();
@@ -63,13 +67,14 @@ int dump_table(std::istream& in, bool print, Summary& summary) {
                   entry.path.to_string().c_str());
     }
   }
-  summary.bad += reader.bad_records();
-  summary.skipped += reader.skipped_records();
+  summary.bad += scan.bad_records();
+  summary.skipped += scan.skipped_records();
   return 0;
 }
 
-int dump_updates(std::istream& in, bool print, Summary& summary) {
-  mrt::Bgp4mpReader reader(in);
+int dump_updates(std::span<const uint8_t> data, bool print,
+                 Summary& summary) {
+  mrt::UpdateStreamReader reader(data);
   mrt::Bgp4mpRecord record;
   while (reader.next(record)) {
     ++summary.updates;
@@ -99,14 +104,11 @@ int dump_updates(std::istream& in, bool print, Summary& summary) {
 
 /// Peek the first record header to choose a decoder (type 13 = table
 /// dump, 16 = BGP4MP).
-int detect_type(std::istream& in) {
-  std::array<uint8_t, 12> header{};
-  if (!util::read_exact(in, header)) return -1;
-  util::ByteCursor cursor(header);
+int detect_type(std::span<const uint8_t> data) {
+  util::ByteCursor cursor(data);
+  if (!cursor.can_read(12)) return -1;
   cursor.skip(4);  // timestamp
-  uint16_t type = cursor.u16();
-  in.seekg(0);
-  return type;
+  return cursor.u16();
 }
 
 }  // namespace
@@ -118,12 +120,12 @@ int main(int argc, char** argv) {
   }
   bool summary_only = argc > 2 && std::strcmp(argv[2], "--summary") == 0;
 
-  std::ifstream in(argv[1], std::ios::binary);
-  if (!in) {
+  util::MappedFile file;
+  if (!file.open(argv[1])) {
     std::fprintf(stderr, "mrtcat: cannot open %s\n", argv[1]);
     return 1;
   }
-  int type = detect_type(in);
+  int type = detect_type(file.bytes());
   if (type < 0) {
     std::fprintf(stderr, "mrtcat: %s: not an MRT file\n", argv[1]);
     return 1;
@@ -131,7 +133,7 @@ int main(int argc, char** argv) {
 
   Summary summary;
   if (type == mrt::kTypeBgp4mp) {
-    dump_updates(in, !summary_only, summary);
+    dump_updates(file.bytes(), !summary_only, summary);
     if (summary_only) {
       std::printf("%s: BGP4MP stream, %zu updates (%zu announced, %zu "
                   "withdrawn prefixes), %zu skipped, %zu bad\n",
@@ -139,7 +141,7 @@ int main(int argc, char** argv) {
                   summary.withdrawn, summary.skipped, summary.bad);
     }
   } else {
-    dump_table(in, !summary_only, summary);
+    dump_table(file.bytes(), !summary_only, summary);
     if (summary_only) {
       std::printf("%s: TABLE_DUMP_V2 RIB, %zu peers, %zu prefixes, %zu "
                   "entries, %zu skipped, %zu bad\n",
