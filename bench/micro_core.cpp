@@ -166,6 +166,50 @@ void BM_MrtEncodeDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_MrtEncodeDecode);
 
+// The temporal snapshot engine finalizes a staged Rib batch every day;
+// on quiet days most ops are effective no-ops (withdraw-of-absent,
+// re-announce-identical). Arg(0) = a pure no-op batch, which must take
+// the staged_is_noop() fast path (no re-sort, no row churn); Arg(1) =
+// the same batch plus one real insert, paying the full merge.
+void BM_RibNoOpFinalize(benchmark::State& state) {
+  util::Rng rng(7);
+  bgp::Rib rib;
+  uint32_t peer = rib.add_peer(net::Asn(65000));
+  std::vector<net::Prefix> prefixes;
+  std::vector<bgp::AsPath> paths;
+  for (int i = 0; i < 1000; ++i) {
+    prefixes.push_back(random_v4(rng));
+    std::vector<net::Asn> hops;
+    for (int h = 0; h < 4; ++h) {
+      hops.emplace_back(static_cast<uint32_t>(1 + rng.uniform(70000)));
+    }
+    paths.emplace_back(std::move(hops));
+    rib.insert(prefixes.back(), peer, paths.back());
+  }
+  rib.finalize();
+  const bool real_op = state.range(0) != 0;
+  uint32_t churn = 0;
+  for (auto _ : state) {
+    rib.begin_delta();
+    for (size_t i = 0; i < prefixes.size(); i += 16) {
+      rib.insert(prefixes[i], peer, paths[i]);          // identical path
+      rib.erase(prefixes[i], peer + 1 + (churn & 1));   // absent peer
+    }
+    if (real_op) {
+      // A genuinely different path for one prefix forces the full merge
+      // (table size stays stable across iterations).
+      rib.insert(prefixes[churn % prefixes.size()], peer,
+                 paths[(churn + 1) % paths.size()]);
+    }
+    rib.finalize();
+    benchmark::DoNotOptimize(rib.entry_count());
+    ++churn;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(prefixes.size() / 16 * 2));
+}
+BENCHMARK(BM_RibNoOpFinalize)->Arg(0)->Arg(1);
+
 void BM_CsvParse(benchmark::State& state) {
   std::string doc = "URI,ASN,IP Prefix,Max Length\n";
   for (int i = 0; i < 1000; ++i) {

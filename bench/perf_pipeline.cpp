@@ -37,6 +37,15 @@
 //   bgp4mp_fold  UpdateStreamReader::fold_into -- BGP4MP update-stream
 //                fold of the full table (one announce per entry) into a
 //                live RIB; serial only, the fold is stream-ordered
+//   snapshot_series
+//                benchx::SnapshotSeries -- MANRS_SERIES_DAYS (default 64)
+//                days of daily-delta ecosystem evolution recomputed
+//                incrementally (delta-aware cache invalidation, memoized
+//                hegemony views), against the same days rebuilt from
+//                scratch; both serial, every day byte-checked against the
+//                cold-rebuild oracle; the row's "speedup" is cold/incr
+//                and per-day {hits, misses, invalidated} land in the run
+//                JSON under "snapshot_series"
 //
 // Output: a human-readable table on stdout and BENCH_pipeline.json
 // (override the path with MANRS_BENCH_JSON). The JSON accumulates one
@@ -61,6 +70,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <span>
 #include <sstream>
 #include <string>
@@ -76,6 +86,7 @@
 #include "topogen/scenario.h"
 #include "util/bytes.h"
 #include "util/parallel.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -146,11 +157,14 @@ std::vector<manrs::sim::Announcement> classify(
   return out;
 }
 
-/// Serialize one run (this invocation) as a JSON object.
+/// Serialize one run (this invocation) as a JSON object. `series_json` is
+/// the pre-rendered "snapshot_series" object (empty when the stage was
+/// skipped).
 std::string run_json(const std::string& scale, size_t threads_parallel,
                      const manrs::sim::PropagationCacheStats& cache,
                      uint64_t hegemony_hits,
                      const manrs::sim::PathArenaStats& arena,
+                     const std::string& series_json,
                      const std::vector<StageRow>& rows) {
   std::ostringstream out;
   char buf[256];
@@ -186,6 +200,9 @@ std::string run_json(const std::string& scale, size_t threads_parallel,
                 static_cast<unsigned long long>(arena.hops),
                 static_cast<unsigned long long>(arena.shared_hops));
   out << buf;
+  if (!series_json.empty()) {
+    out << "      \"snapshot_series\": " << series_json << ",\n";
+  }
   out << "      \"rows\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const StageRow& r = rows[i];
@@ -515,6 +532,101 @@ int main() {
               deltas.empty() ? 0.0 : 1000.0 * fold_ms /
                                          static_cast<double>(deltas.size()));
 
+  // --- snapshot_series: delta-aware temporal sweep vs cold rebuilds ------
+  // The temporal snapshot engine advances the ecosystem day by day,
+  // folding each EcosystemDelta in place and recomputing only what the
+  // delta touched (classification, propagation cache entries, hegemony
+  // views). The baseline is the honest alternative: rebuilding every
+  // day's snapshot from scratch. Both run serial, so the speedup is
+  // algorithmic, not parallelism. Every day of the incremental sweep is
+  // checked byte-for-byte (digests over every emitted record field)
+  // against the cold-rebuild oracle before timings are reported.
+  int series_days = 64;
+  if (const char* env = std::getenv("MANRS_SERIES_DAYS")) {
+    auto parsed = util::parse_int<int>(env);
+    series_days = parsed && *parsed >= 1 ? *parsed : 1;
+  }
+  util::set_thread_count(1);
+  std::vector<benchx::DayOutputs> series_outputs;
+  std::vector<benchx::DayEngineStats> series_stats;
+  std::vector<double> series_day_ms;
+  series_outputs.reserve(static_cast<size_t>(series_days));
+  // Day-0 setup (classify + fold the base table) is charged to the
+  // incremental side -- the cold baseline pays the equivalent inside
+  // every rebuild.
+  std::unique_ptr<benchx::SnapshotSeries> series_ptr;
+  const double series_setup_ms = time_ms(
+      [&] { series_ptr = std::make_unique<benchx::SnapshotSeries>(scenario); });
+  benchx::SnapshotSeries& series = *series_ptr;
+  double incremental_ms = time_ms([&] {
+    for (int d = 1; d <= series_days; ++d) {
+      series_day_ms.push_back(time_ms([&] { series.advance(); }));
+      series_outputs.push_back(series.outputs());
+      series_stats.push_back(series.last_stats());
+    }
+  });
+  incremental_ms += series_setup_ms;
+  double cold_ms = 0.0;
+  for (int d = 1; d <= series_days; ++d) {
+    benchx::DayOutputs cold;
+    cold_ms += time_ms([&] { cold = series.cold_rebuild(d); });
+    if (!(cold == series_outputs[static_cast<size_t>(d - 1)])) {
+      std::fprintf(stderr,
+                   "perf_pipeline: snapshot_series day %d diverges from the "
+                   "cold-rebuild oracle\n",
+                   d);
+      return 1;
+    }
+  }
+  util::set_thread_count(0);
+  const double series_speedup =
+      incremental_ms > 0.0 ? cold_ms / incremental_ms : 0.0;
+  rows.push_back(
+      StageRow{"snapshot_series", 1, incremental_ms, series_speedup, false});
+  uint64_t series_hits = 0, series_misses = 0, series_invalidated = 0;
+  for (const auto& st : series_stats) {
+    series_hits += st.cache_hits;
+    series_misses += st.cache_misses;
+    series_invalidated += st.cache_invalidated;
+  }
+  std::printf("%-12s %d days incremental %9.1f ms   cold %9.1f ms   "
+              "speedup %.2fx (serial, oracle-checked)\n",
+              "snapshot_series", series_days, incremental_ms, cold_ms,
+              series_speedup);
+  std::printf("series cache: %llu hits, %llu misses, %llu invalidated "
+              "across %d days\n",
+              static_cast<unsigned long long>(series_hits),
+              static_cast<unsigned long long>(series_misses),
+              static_cast<unsigned long long>(series_invalidated),
+              series_days);
+  std::string series_json;
+  {
+    std::ostringstream sj;
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"days\": %d, \"incremental_ms\": %.3f, "
+                  "\"cold_ms\": %.3f, \"speedup\": %.3f,\n",
+                  series_days, incremental_ms, cold_ms, series_speedup);
+    sj << buf;
+    sj << "        \"per_day\": [\n";
+    for (size_t i = 0; i < series_stats.size(); ++i) {
+      const benchx::DayEngineStats& st = series_stats[i];
+      std::snprintf(
+          buf, sizeof(buf),
+          "          {\"day\": %d, \"wall_ms\": %.3f, \"hits\": %llu, "
+          "\"misses\": %llu, \"invalidated\": %llu, \"reclassified\": %zu, "
+          "\"groups_reused\": %zu}%s\n",
+          st.day, series_day_ms[i], static_cast<unsigned long long>(st.cache_hits),
+          static_cast<unsigned long long>(st.cache_misses),
+          static_cast<unsigned long long>(st.cache_invalidated),
+          st.reclassified, st.groups_reused,
+          i + 1 < series_stats.size() ? "," : "");
+      sj << buf;
+    }
+    sj << "        ]}";
+    series_json = sj.str();
+  }
+
   const sim::PathArenaStats arena_stats = sim::path_arena_stats();
   std::printf("path arena: %llu paths, %llu hops (%.1f%% shared)\n",
               static_cast<unsigned long long>(arena_stats.paths),
@@ -525,7 +637,7 @@ int main() {
                   : 0.0);
 
   write_json(json_path, run_json(scale, threads, cache_stats, hegemony_hits,
-                                 arena_stats, rows));
+                                 arena_stats, series_json, rows));
   std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

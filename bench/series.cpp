@@ -1,0 +1,440 @@
+// SnapshotSeries: the temporal snapshot engine (see harness.h).
+//
+// The incremental path and the cold-rebuild oracle both flow through
+// compute_day_outputs(), so any divergence between them is a real
+// divergence of the *inputs* (registries, propagation results) -- exactly
+// what the byte-identity digests are meant to catch.
+
+#include <algorithm>
+#include <bit>
+#include <unordered_set>
+#include <utility>
+
+#include "harness.h"
+#include "irr/validation.h"
+#include "simulator/collector.h"
+#include "util/det_hash.h"
+#include "util/parallel.h"
+
+namespace manrs::benchx {
+
+namespace {
+
+constexpr double kHegemonyTrim = 0.1;  // IhrSnapshotBuilder's default
+
+uint64_t group_key(net::Asn origin, const sim::AnnouncementClass& cls) {
+  return (static_cast<uint64_t>(origin.value()) << 16) |
+         (static_cast<uint64_t>(cls.variant) << 2) |
+         (static_cast<uint64_t>(cls.rpki_invalid) << 1) |
+         static_cast<uint64_t>(cls.irr_invalid);
+}
+
+uint64_t fold_prefix(uint64_t h, const net::Prefix& prefix) {
+  h = util::fnv1a_u64(h, prefix.address().hi());
+  h = util::fnv1a_u64(h, prefix.address().lo());
+  h = util::fnv1a_byte(h, static_cast<uint8_t>(prefix.length()));
+  h = util::fnv1a_byte(h, prefix.is_v4() ? 4 : 6);
+  return h;
+}
+
+uint64_t fold_record(uint64_t h, const ihr::PrefixOriginRecord& r) {
+  h = fold_prefix(h, r.prefix);
+  h = util::fnv1a_u64(h, r.origin.value());
+  h = util::fnv1a_byte(h, static_cast<uint8_t>(r.rpki));
+  h = util::fnv1a_byte(h, static_cast<uint8_t>(r.irr));
+  h = util::fnv1a_u64(h, r.visibility);
+  return h;
+}
+
+uint64_t fold_record(uint64_t h, const ihr::TransitRecord& r) {
+  h = fold_prefix(h, r.prefix);
+  h = util::fnv1a_u64(h, r.origin.value());
+  h = util::fnv1a_u64(h, r.transit.value());
+  h = util::fnv1a_u64(h, std::bit_cast<uint64_t>(r.hegemony));
+  h = util::fnv1a_byte(h, r.via_customer ? 1 : 0);
+  h = util::fnv1a_byte(h, static_cast<uint8_t>(r.rpki));
+  h = util::fnv1a_byte(h, static_cast<uint8_t>(r.irr));
+  return h;
+}
+
+}  // namespace
+
+/// The shared emit path: classify, group, propagate (cached), derive
+/// per-group hegemony views (through `memo` when provided), emit both IHR
+/// datasets, and reduce them to the day's series point. `classifications`
+/// short-circuits the validators for the incremental path; when null every
+/// announcement is classified fresh (the oracle path).
+DayOutputs compute_day_outputs(
+    int day, const std::vector<bgp::PrefixOrigin>& announcements,
+    const sim::PropagationSim& sim,
+    const std::vector<net::Asn>& vantage_points, const rpki::VrpStore& vrps,
+    const irr::IrrRegistry& irr, const core::ManrsRegistry& registry,
+    const std::unordered_map<bgp::PrefixOrigin,
+                             SnapshotSeries::Classification>* classifications,
+    std::unordered_map<uint64_t, SnapshotSeries::GroupMemo>* memo,
+    DayEngineStats* stats) {
+  DayOutputs out;
+  out.day = day;
+  out.announcements = announcements.size();
+
+  // ---- classification ---------------------------------------------------
+  struct Row {
+    bgp::PrefixOrigin po;
+    rpki::RpkiStatus rpki;
+    irr::IrrStatus irr;
+  };
+  std::vector<Row> rows;
+  rows.reserve(announcements.size());
+  std::vector<sim::Announcement> sim_announcements;
+  sim_announcements.reserve(announcements.size());
+  for (const bgp::PrefixOrigin& po : announcements) {
+    Row row;
+    row.po = po;
+    bool classified = false;
+    if (classifications) {
+      const auto it = classifications->find(po);
+      if (it != classifications->end()) {
+        row.rpki = it->second.rpki;
+        row.irr = it->second.irr;
+        classified = true;
+      }
+    }
+    if (!classified) {
+      row.rpki = vrps.validate(po.prefix, po.origin);
+      row.irr = irr::validate_route(irr, po.prefix, po.origin);
+    }
+    rows.push_back(row);
+    sim::AnnouncementClass cls;
+    cls.rpki_invalid = rpki::is_invalid(row.rpki);
+    cls.irr_invalid = row.irr == irr::IrrStatus::kInvalidAsn;
+    cls.variant = (cls.rpki_invalid || cls.irr_invalid)
+                      ? sim::filter_variant(po.prefix)
+                      : 0;
+    sim_announcements.push_back(sim::Announcement{po.prefix, po.origin, cls});
+  }
+
+  // ---- per-group propagation (cached) -----------------------------------
+  std::vector<size_t> group_of;
+  const auto groups = sim::group_announcements(sim_announcements, &group_of);
+  std::vector<sim::PropagationRequest> requests;
+  requests.reserve(groups.size());
+  for (const auto& group : groups) {
+    requests.push_back(sim::PropagationRequest{group.origin, group.cls});
+  }
+  const std::vector<sim::PropagationResultPtr> results =
+      sim.propagate_cached(requests);
+
+  // ---- hegemony views, memoized on result identity ----------------------
+  // A group's view depends only on (result, vantage set): while the
+  // propagation cache keeps returning the same result object, yesterday's
+  // extraction is today's extraction.
+  std::vector<SnapshotSeries::GroupMemo> views(groups.size());
+  std::vector<char> reused(groups.size(), 0);
+  if (memo) {
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const auto it = memo->find(group_key(groups[g].origin, groups[g].cls));
+      if (it != memo->end() && it->second.result.get() == results[g].get()) {
+        views[g] = it->second;
+        reused[g] = 1;
+      }
+    }
+  }
+  util::parallel_for(groups.size(), [&](size_t g) {
+    if (reused[g]) return;
+    thread_local sim::PathArena arena;
+    const sim::PropagationResult& result = *results[g];
+    const std::vector<sim::PathView> all_views =
+        sim.extract_paths(result, vantage_points, arena);
+    std::vector<sim::PathView> paths;
+    paths.reserve(all_views.size());
+    for (const sim::PathView& path : all_views) {
+      if (!path.empty()) paths.push_back(path);
+    }
+    SnapshotSeries::GroupMemo view;
+    view.result = results[g];
+    view.visibility = static_cast<uint32_t>(paths.size());
+    view.hegemony = ihr::compute_hegemony(paths, kHegemonyTrim);
+    view.via_customer.reserve(view.hegemony.size());
+    for (const auto& score : view.hegemony) {
+      const int32_t id = sim.indexer().id_of(score.asn);
+      view.via_customer.push_back(
+          id >= 0 && result.source[static_cast<size_t>(id)] ==
+                         sim::RouteSource::kCustomer);
+    }
+    views[g] = std::move(view);
+  });
+  if (memo) {
+    std::unordered_map<uint64_t, SnapshotSeries::GroupMemo> next;
+    next.reserve(groups.size());
+    for (size_t g = 0; g < groups.size(); ++g) {
+      next.emplace(group_key(groups[g].origin, groups[g].cls), views[g]);
+    }
+    *memo = std::move(next);
+  }
+  if (stats) {
+    stats->groups = groups.size();
+    stats->groups_reused = 0;
+    for (const char r : reused) stats->groups_reused += r ? 1u : 0u;
+  }
+
+  // ---- emit + reduce ----------------------------------------------------
+  std::vector<ihr::TransitRecord> transits;
+  uint64_t po_digest = util::kFnv1aOffset;
+  uint64_t transit_digest = util::kFnv1aOffset;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const SnapshotSeries::GroupMemo& view = views[group_of[i]];
+    ihr::PrefixOriginRecord record;
+    record.prefix = row.po.prefix;
+    record.origin = row.po.origin;
+    record.rpki = row.rpki;
+    record.irr = row.irr;
+    record.visibility = view.visibility;
+    po_digest = fold_record(po_digest, record);
+    switch (core::classify_conformance(row.rpki, row.irr)) {
+      case core::ConformanceClass::kConformant:
+        ++out.conformant;
+        break;
+      case core::ConformanceClass::kUnconformant:
+        ++out.unconformant;
+        break;
+      case core::ConformanceClass::kUnregistered:
+        break;
+    }
+    for (size_t t = 0; t < view.hegemony.size(); ++t) {
+      if (view.hegemony[t].asn == row.po.origin) continue;  // trivial transit
+      ihr::TransitRecord transit;
+      transit.prefix = row.po.prefix;
+      transit.origin = row.po.origin;
+      transit.transit = view.hegemony[t].asn;
+      transit.hegemony = view.hegemony[t].score;
+      transit.via_customer = view.via_customer[t];
+      transit.rpki = row.rpki;
+      transit.irr = row.irr;
+      transit_digest = fold_record(transit_digest, transit);
+      transits.push_back(std::move(transit));
+    }
+  }
+  out.transit_records = transits.size();
+  out.prefix_origin_digest = po_digest;
+  out.transit_digest = transit_digest;
+
+  // ---- series points ----------------------------------------------------
+  out.participants = registry.participant_count();
+  out.member_ases = registry.member_ases().size();
+
+  const core::SaturationResult saturation =
+      core::compute_rpki_saturation(announcements, vrps, registry);
+  out.rsat_manrs = saturation.rsat_manrs();
+  out.rsat_non_manrs = saturation.rsat_non_manrs();
+
+  const std::vector<core::PreferenceScore> preferences =
+      core::compute_preference_scores(transits, registry);
+  uint64_t pref_digest = util::kFnv1aOffset;
+  double valid_sum = 0.0;
+  double other_sum = 0.0;
+  size_t valid_n = 0;
+  size_t other_n = 0;
+  for (const core::PreferenceScore& p : preferences) {
+    pref_digest = fold_prefix(pref_digest, p.prefix_origin.prefix);
+    pref_digest = util::fnv1a_u64(pref_digest, p.prefix_origin.origin.value());
+    pref_digest = util::fnv1a_byte(pref_digest, static_cast<uint8_t>(p.rpki));
+    pref_digest =
+        util::fnv1a_u64(pref_digest, std::bit_cast<uint64_t>(p.score));
+    if (p.rpki == rpki::RpkiStatus::kValid) {
+      valid_sum += p.score;
+      ++valid_n;
+    } else {
+      other_sum += p.score;
+      ++other_n;
+    }
+  }
+  out.preference_digest = pref_digest;
+  out.preference_valid_mean =
+      valid_n ? valid_sum / static_cast<double>(valid_n) : 0.0;
+  out.preference_other_mean =
+      other_n ? other_sum / static_cast<double>(other_n) : 0.0;
+  return out;
+}
+
+SnapshotSeries::SnapshotSeries(const topogen::Scenario& base,
+                               topogen::EvolutionConfig config)
+    : base_(&base),
+      evolution_(base, config),
+      vrps_(evolution_.vrps_at(0)),
+      irr_(evolution_.irr_at(0)),
+      registry_(evolution_.registry_at(0)),
+      sim_(base.graph) {
+  for (const topogen::AsProfile& profile : base.profiles) {
+    sim_.set_policy(profile.asn, profile.policy);
+  }
+  for (const bgp::PrefixOrigin& po : evolution_.announcements_at(0)) {
+    rib_.insert(po.prefix, peer_of(po.origin),
+                bgp::AsPath(std::vector<net::Asn>{po.origin}));
+  }
+  rib_.finalize();
+  for (const bgp::PrefixOrigin& po : rib_.prefix_origins()) {
+    classifications_.emplace(po, classify(po));
+    announcement_index_.insert(po.prefix, po);
+  }
+}
+
+uint32_t SnapshotSeries::peer_of(net::Asn origin) {
+  const auto it = origin_peer_.find(origin.value());
+  if (it != origin_peer_.end()) return it->second;
+  const uint32_t index = rib_.add_peer(origin);
+  origin_peer_.emplace(origin.value(), index);
+  return index;
+}
+
+SnapshotSeries::Classification SnapshotSeries::classify(
+    const bgp::PrefixOrigin& po) const {
+  Classification cls;
+  cls.rpki = vrps_.validate(po.prefix, po.origin);
+  cls.irr = irr::validate_route(irr_, po.prefix, po.origin);
+  return cls;
+}
+
+topogen::EcosystemDelta SnapshotSeries::begin_day() {
+  return evolution_.delta_for_day(day_ + 1);
+}
+
+void SnapshotSeries::apply(const topogen::EcosystemDelta& delta) {
+  stats_ = DayEngineStats{};
+  stats_.day = delta.day;
+  stats_.delta_ops = delta.op_count();
+  {
+    const sim::PropagationCacheStats cache = sim_.cache_stats();
+    baseline_hits_ = cache.hits;
+    baseline_misses_ = cache.misses;
+  }
+
+  // Registries first: the (re)classifications below must see day state.
+  for (const rpki::Vrp& vrp : delta.roa_remove) vrps_.stage_remove(vrp);
+  for (const rpki::Vrp& vrp : delta.roa_add) vrps_.stage_add(vrp);
+  vrps_.finalize_delta();
+
+  std::unordered_set<irr::IrrDatabase*> touched;
+  for (const topogen::IrrEdit& edit : delta.irr_remove) {
+    if (irr::IrrDatabase* db = irr_.find_database_mut(edit.db)) {
+      db->stage_remove_route(edit.route.prefix, edit.route.origin);
+      touched.insert(db);
+    }
+  }
+  for (const topogen::IrrEdit& edit : delta.irr_add) {
+    if (irr::IrrDatabase* db = irr_.find_database_mut(edit.db)) {
+      db->stage_add_route(edit.route);
+      touched.insert(db);
+    }
+  }
+  for (irr::IrrDatabase* db : touched) db->finalize_delta();
+
+  // Announcement churn folds through the Rib's staged delta path.
+  rib_.begin_delta();
+  for (const bgp::PrefixOrigin& po : delta.withdraw) {
+    rib_.erase(po.prefix, peer_of(po.origin));
+  }
+  for (const bgp::PrefixOrigin& po : delta.announce) {
+    rib_.insert(po.prefix, peer_of(po.origin),
+                bgp::AsPath(std::vector<net::Asn>{po.origin}));
+  }
+  rib_.finalize();
+
+  // Classification upkeep: drop withdrawn pairs, classify new ones, and
+  // re-run the validators only where a covering ROA or route object
+  // changed (subtree walk of the announcement index).
+  for (const bgp::PrefixOrigin& po : delta.withdraw) {
+    if (classifications_.erase(po) > 0) {
+      announcement_index_.erase_at(
+          po.prefix, [&](const bgp::PrefixOrigin& v) { return v == po; });
+    }
+  }
+  std::unordered_set<bgp::PrefixOrigin> dirty;
+  auto mark_under = [&](const net::Prefix& changed) {
+    announcement_index_.for_each_covered(
+        changed, [&](const bgp::PrefixOrigin& po) { dirty.insert(po); });
+  };
+  for (const rpki::Vrp& vrp : delta.roa_add) mark_under(vrp.prefix);
+  for (const rpki::Vrp& vrp : delta.roa_remove) mark_under(vrp.prefix);
+  for (const topogen::IrrEdit& edit : delta.irr_add) {
+    mark_under(edit.route.prefix);
+  }
+  for (const topogen::IrrEdit& edit : delta.irr_remove) {
+    mark_under(edit.route.prefix);
+  }
+  for (const bgp::PrefixOrigin& po : dirty) {
+    const auto it = classifications_.find(po);
+    if (it == classifications_.end()) continue;
+    it->second = classify(po);
+    ++stats_.reclassified;
+  }
+  for (const bgp::PrefixOrigin& po : delta.announce) {
+    auto [it, inserted] = classifications_.try_emplace(po);
+    if (inserted) {
+      it->second = classify(po);
+      announcement_index_.insert(po.prefix, po);
+      ++stats_.reclassified;
+    }
+  }
+
+  // Membership, policies, and topology growth.
+  registry_ = evolution_.registry_at(delta.day);
+  sim::SimDelta sim_delta;
+  sim_delta.policies.reserve(delta.members.size());
+  for (const topogen::MembershipChange& change : delta.members) {
+    sim_delta.policies.push_back(
+        sim::SimDelta::PolicyChange{change.asn, change.policy});
+  }
+  sim_delta.edges = delta.edges;
+  const sim::SimDeltaStats sim_stats = sim_.apply_delta(sim_delta);
+  stats_.cache_invalidated = sim_stats.entries_invalidated;
+
+  day_ = delta.day;
+}
+
+const DayOutputs& SnapshotSeries::recompute() {
+  outputs_ = compute_day_outputs(day_, rib_.prefix_origins(), sim_,
+                                 base_->vantage_points, vrps_, irr_, registry_,
+                                 &classifications_, &group_memo_, &stats_);
+  const sim::PropagationCacheStats cache = sim_.cache_stats();
+  stats_.cache_hits = cache.hits - baseline_hits_;
+  stats_.cache_misses = cache.misses - baseline_misses_;
+  return outputs_;
+}
+
+const DayOutputs& SnapshotSeries::advance() {
+  const topogen::EcosystemDelta delta = begin_day();
+  apply(delta);
+  return recompute();
+}
+
+DayOutputs SnapshotSeries::cold_rebuild(int k) const {
+  bgp::Rib rib;
+  std::unordered_map<uint32_t, uint32_t> peers;
+  for (const bgp::PrefixOrigin& po : evolution_.announcements_at(k)) {
+    auto [it, inserted] = peers.emplace(po.origin.value(), 0u);
+    if (inserted) it->second = rib.add_peer(po.origin);
+    rib.insert(po.prefix, it->second,
+               bgp::AsPath(std::vector<net::Asn>{po.origin}));
+  }
+  rib.finalize();
+
+  const rpki::VrpStore vrps = evolution_.vrps_at(k);
+  const irr::IrrRegistry irr = evolution_.irr_at(k);
+  const core::ManrsRegistry registry = evolution_.registry_at(k);
+  const astopo::AsGraph graph = evolution_.graph_at(k);
+  sim::PropagationSim cold(graph);
+  for (const topogen::AsProfile& profile : base_->profiles) {
+    cold.set_policy(profile.asn, profile.policy);
+  }
+  for (const sim::SimDelta::PolicyChange& change :
+       evolution_.policy_changes_through(k)) {
+    cold.set_policy(change.asn, change.policy);
+  }
+  return compute_day_outputs(k, rib.prefix_origins(), cold,
+                             base_->vantage_points, vrps, irr, registry,
+                             /*classifications=*/nullptr, /*memo=*/nullptr,
+                             /*stats=*/nullptr);
+}
+
+}  // namespace manrs::benchx

@@ -57,8 +57,44 @@ void Rib::apply_entry(std::vector<RibEntry>& entries, Staged&& staged) {
   if (!staged.erase) entries.push_back(std::move(staged.entry));
 }
 
+bool Rib::staged_is_noop() const {
+  for (const Staged& s : staged_) {
+    auto it = std::lower_bound(table_.begin(), table_.end(), s.prefix,
+                               [](const RibRow& row, const net::Prefix& p) {
+                                 return row.prefix < p;
+                               });
+    const RibEntry* entry = nullptr;
+    if (it != table_.end() && it->prefix == s.prefix) {
+      for (const RibEntry& e : it->entries) {
+        if (e.peer_index == s.entry.peer_index) {
+          entry = &e;
+          break;
+        }
+      }
+    }
+    if (s.erase) {
+      if (entry != nullptr) return false;  // a real removal
+    } else {
+      if (entry == nullptr || !(entry->path == s.entry.path)) return false;
+    }
+  }
+  return true;
+}
+
 void Rib::finalize() {
   if (staged_.empty()) return;
+  // Effective-no-op fast path: a batch of withdraw-of-absent and
+  // re-announce-of-identical-path ops leaves the table byte-identical, so
+  // skip the sort and merge entirely -- no row churn, and references into
+  // the table stay valid. Sound to check each op against the pre-batch
+  // table alone: an op that is a no-op leaves the table unchanged for the
+  // next op's check. The scan bails at the first effective op, so real
+  // update batches pay about one lookup before merging as before.
+  if (staged_is_noop()) {
+    staged_.clear();
+    staged_.shrink_to_fit();
+    return;
+  }
   // Stable sort groups staged entries by prefix while keeping insertion
   // order inside each group -- the order the replace-per-peer rule is
   // defined over.

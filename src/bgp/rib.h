@@ -84,8 +84,12 @@ class Rib {
   void begin_delta() {}
 
   /// Merge all staged inserts into the sorted table. Idempotent; cheap
-  /// when nothing is staged. Read accessors call this lazily, but bulk
-  /// builders should call it once after the last insert.
+  /// when nothing is staged. A staged batch whose ops are all effective
+  /// no-ops (withdrawals of absent entries, re-announcements of identical
+  /// paths) leaves the table untouched -- no row churn, no re-sort, and
+  /// references returned by entries() stay valid. Read accessors call
+  /// this lazily, but bulk builders should call it once after the last
+  /// insert.
   void finalize();
 
   /// True when no writes are staged (the table is the full state).
@@ -136,6 +140,10 @@ class Rib {
 
   /// Apply one staged entry onto a row (replace-per-peer or append).
   static void apply_entry(std::vector<RibEntry>& entries, Staged&& staged);
+
+  /// True iff every staged op leaves the table unchanged (the finalize()
+  /// fast path's test).
+  bool staged_is_noop() const;
 
   std::vector<net::Asn> peers_;
   std::vector<RibRow> table_;  // sorted by prefix, unique

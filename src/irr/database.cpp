@@ -25,6 +25,39 @@ void IrrDatabase::add_aut_num(AutNumObject aut) {
   aut_nums_[aut.asn.value()] = std::move(aut);
 }
 
+size_t IrrDatabase::remove_route(const net::Prefix& prefix, net::Asn origin) {
+  size_t removed = routes_.erase_at(
+      prefix, [&](const RouteObject& r) { return r.origin == origin; });
+  route_count_ -= removed;
+  return removed;
+}
+
+void IrrDatabase::stage_add_route(RouteObject route) {
+  staged_.push_back(StagedOp{std::move(route), /*add=*/true});
+}
+
+void IrrDatabase::stage_remove_route(const net::Prefix& prefix,
+                                     net::Asn origin) {
+  RouteObject key;
+  key.prefix = prefix;
+  key.origin = origin;
+  staged_.push_back(StagedOp{std::move(key), /*add=*/false});
+}
+
+size_t IrrDatabase::finalize_delta() {
+  size_t applied = 0;
+  for (StagedOp& op : staged_) {
+    if (op.add) {
+      add_route(std::move(op.route));
+      ++applied;
+    } else {
+      applied += remove_route(op.route.prefix, op.route.origin);
+    }
+  }
+  staged_.clear();
+  return applied;
+}
+
 std::vector<RouteObject> IrrDatabase::covering_routes(
     const net::Prefix& query) const {
   return routes_.covering(query);
@@ -96,6 +129,13 @@ IrrDatabase& IrrRegistry::add_database(std::string name, bool authoritative) {
 }
 
 const IrrDatabase* IrrRegistry::find_database(std::string_view name) const {
+  for (const auto& db : databases_) {
+    if (db->name() == name) return db.get();
+  }
+  return nullptr;
+}
+
+IrrDatabase* IrrRegistry::find_database_mut(std::string_view name) {
   for (const auto& db : databases_) {
     if (db->name() == name) return db.get();
   }

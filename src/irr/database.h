@@ -35,6 +35,23 @@ class IrrDatabase {
   void add_as_set(AsSetObject set);
   void add_aut_num(AutNumObject aut);
 
+  /// Remove every route object registered at exactly (prefix, origin);
+  /// returns the number removed (0 when absent).
+  size_t remove_route(const net::Prefix& prefix, net::Asn origin);
+
+  /// --- staged delta application (temporal snapshot engine) --------------
+  /// The route-object equivalent of Rib::begin_delta()/finalize(): a day's
+  /// IRR edits queue here and land in one finalize_delta() call, editing
+  /// the trie in place instead of rebuilding the database. Queries between
+  /// stage_*() calls still see the pre-delta objects.
+  void stage_add_route(RouteObject route);
+  void stage_remove_route(const net::Prefix& prefix, net::Asn origin);
+  size_t staged_count() const { return staged_.size(); }
+
+  /// Apply staged operations in order; returns the number of table
+  /// mutations actually performed (removals of absent objects are no-ops).
+  size_t finalize_delta();
+
   size_t route_count() const { return route_count_; }
   size_t as_set_count() const { return as_sets_.size(); }
   size_t aut_num_count() const { return aut_nums_.size(); }
@@ -66,12 +83,18 @@ class IrrDatabase {
   void write_rpsl(std::ostream& out) const;
 
  private:
+  struct StagedOp {
+    RouteObject route;  // for removals only prefix/origin are meaningful
+    bool add;
+  };
+
   std::string name_;
   bool authoritative_;
   net::PrefixTrie<RouteObject> routes_;
   size_t route_count_ = 0;
   std::unordered_map<std::string, AsSetObject> as_sets_;
   std::unordered_map<uint32_t, AutNumObject> aut_nums_;
+  std::vector<StagedOp> staged_;
 };
 
 /// The queryable union of several IRR databases.
@@ -82,6 +105,12 @@ class IrrRegistry {
   IrrDatabase& add_database(std::string name, bool authoritative);
 
   const IrrDatabase* find_database(std::string_view name) const;
+
+  /// Mutable lookup for in-place delta application (the snapshot-series
+  /// driver edits the authoritative database and the RADb mirror copy
+  /// through this). nullptr when no database has that name.
+  IrrDatabase* find_database_mut(std::string_view name);
+
   std::vector<const IrrDatabase*> databases() const;
   size_t total_routes() const;
 

@@ -10,6 +10,7 @@
 // prefix (e.g. several ROAs for the same prefix with different ASNs).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -45,6 +46,27 @@ class PrefixTrie {
     static const std::vector<T> kEmpty;
     const Node* node = find_node(prefix);
     return node ? node->values : kEmpty;
+  }
+
+  /// Erase every value stored at exactly `prefix` for which `pred(value)`
+  /// holds; returns the number removed. Emptied nodes stay allocated --
+  /// every walk already skips nodes with no values, and the staged-delta
+  /// churn that drives erasure re-inserts at the same prefixes, so keeping
+  /// the skeleton avoids re-allocating the path on the next add.
+  template <typename Pred>
+  size_t erase_at(const Prefix& prefix, Pred&& pred) {
+    Node* node = &root(prefix.family());
+    for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+      bool b = prefix.address().bit(depth);
+      Node* child = node->children[b ? 1 : 0].get();
+      if (!child) return 0;
+      node = child;
+    }
+    auto it = std::remove_if(node->values.begin(), node->values.end(), pred);
+    size_t removed = static_cast<size_t>(node->values.end() - it);
+    node->values.erase(it, node->values.end());
+    size_ -= removed;
+    return removed;
   }
 
   /// Invoke `fn(prefix_length, value)` for every entry whose prefix covers

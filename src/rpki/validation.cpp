@@ -22,6 +22,21 @@ void VrpStore::add_all(const std::vector<Vrp>& vrps) {
   for (const auto& v : vrps) add(v);
 }
 
+size_t VrpStore::finalize_delta() {
+  size_t applied = 0;
+  for (const StagedOp& op : staged_) {
+    if (op.add) {
+      trie_.insert(op.vrp.prefix, op.vrp);
+      ++applied;
+    } else {
+      applied += trie_.erase_at(op.vrp.prefix,
+                                [&](const Vrp& v) { return v == op.vrp; });
+    }
+  }
+  staged_.clear();
+  return applied;
+}
+
 RpkiStatus VrpStore::validate(const net::Prefix& route,
                               net::Asn origin) const {
   bool any_covering = false;

@@ -45,6 +45,20 @@ class VrpStore {
   void add(const Vrp& vrp);
   void add_all(const std::vector<Vrp>& vrps);
 
+  /// --- staged delta application (temporal snapshot engine) --------------
+  /// The ROA-table equivalent of Rib::begin_delta()/finalize(): a day's
+  /// ROA churn queues here and lands in one finalize_delta() call, so the
+  /// trie is edited in place instead of rebuilt. Queries issued between
+  /// stage_*() calls still see the pre-delta table.
+  void stage_add(const Vrp& vrp) { staged_.push_back(StagedOp{vrp, true}); }
+  void stage_remove(const Vrp& vrp) { staged_.push_back(StagedOp{vrp, false}); }
+  size_t staged_count() const { return staged_.size(); }
+
+  /// Apply staged operations in order. Removals erase VRPs equal in every
+  /// field; removing an absent VRP is a no-op. Returns the number of table
+  /// mutations actually performed.
+  size_t finalize_delta();
+
   size_t size() const { return trie_.size(); }
   bool empty() const { return trie_.empty(); }
 
@@ -67,7 +81,13 @@ class VrpStore {
   }
 
  private:
+  struct StagedOp {
+    Vrp vrp;
+    bool add;
+  };
+
   net::PrefixTrie<Vrp> trie_;
+  std::vector<StagedOp> staged_;
 };
 
 }  // namespace manrs::rpki

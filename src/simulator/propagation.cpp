@@ -204,6 +204,10 @@ struct PropagationSim::State {
   // share a signature, and with it a propagation cache slot. Signature 0
   // is the all-zero (nothing drops) signature of the valid class.
   std::vector<uint16_t> sig_of_class;
+  // Representative class per signature (sig_reps[s]'s mask block IS
+  // signature s's block). apply_delta() rekeys surviving cache entries by
+  // comparing old blocks against these.
+  std::vector<size_t> sig_reps;
 
   // Memoized results keyed by (origin_id << 16) | signature.
   std::mutex cache_mutex;
@@ -213,6 +217,7 @@ struct PropagationSim::State {
   std::atomic<bool> cache_enabled{true};
   std::atomic<uint64_t> hits{0};
   std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> invalidated{0};  // dropped by apply_delta migrations
 };
 
 PropagationSim::PropagationSim(const astopo::AsGraph& graph)
@@ -252,8 +257,15 @@ PropagationSim::PropagationSim(const astopo::AsGraph& graph)
     return graph.peers(a);
   });
 
-  // Provider-before-customer topological order (Kahn over the p2c DAG),
-  // seeded in ascending id order so the order is deterministic.
+  rebuild_descent_order();
+}
+
+// Provider-before-customer topological order (Kahn over the p2c DAG),
+// seeded in ascending id order so the order is deterministic. Re-run by
+// apply_delta() after edge growth.
+void PropagationSim::rebuild_descent_order() {
+  const size_t n = indexer_.size();
+  descent_order_.clear();
   descent_order_.reserve(n);
   std::vector<uint32_t> pending(n);
   for (size_t i = 0; i < n; ++i) {
@@ -292,6 +304,235 @@ const FilterPolicy& PropagationSim::policy(net::Asn asn) const {
   static const FilterPolicy kDefault;
   int32_t id = indexer_.id_of(asn);
   return id >= 0 ? policies_[static_cast<size_t>(id)] : kDefault;
+}
+
+SimDeltaStats PropagationSim::apply_delta(const SimDelta& delta) {
+  State& st = *state_;
+  SimDeltaStats stats;
+  if (delta.empty()) {
+    std::lock_guard<std::mutex> lock(st.cache_mutex);
+    stats.entries_before = st.cache.size();
+    stats.entries_kept = st.cache.size();
+    return stats;
+  }
+
+  const size_t n = indexer_.size();
+
+  // Snapshot the pre-delta signature mask blocks; the rekey step matches
+  // them byte-for-byte against the rebuilt blocks. A non-empty cache
+  // implies masks were built (every cached insert goes through
+  // ensure_masks), so an unbuilt-mask state migrates nothing.
+  const bool had_masks = st.masks_ready.load(std::memory_order_acquire);
+  std::vector<std::vector<uint64_t>> old_blocks;
+  if (had_masks) {
+    old_blocks.reserve(st.sig_reps.size());
+    for (size_t rep : st.sig_reps) {
+      const uint64_t* block = st.drop_masks.data() + rep * 3 * st.words;
+      old_blocks.emplace_back(block, block + 3 * st.words);
+    }
+  }
+
+  // Policies land in place -- set_policy would clear the cache wholesale,
+  // which is exactly what this path avoids.
+  for (const SimDelta::PolicyChange& pc : delta.policies) {
+    const int32_t id = indexer_.id_of(pc.asn);
+    if (id >= 0) policies_[static_cast<size_t>(id)] = pc.policy;
+  }
+
+  // Edge growth: collect per-role adjacency additions (skipping edges
+  // already present), merge-rebuild each touched CSR, and remember the
+  // new edges for the per-entry candidate test below.
+  struct NewEdge {
+    int32_t u;  // provider for p2c
+    int32_t v;
+    bool p2c;
+  };
+  std::vector<NewEdge> new_edges;
+  std::vector<std::pair<int32_t, int32_t>> add_prov, add_cust, add_peer;
+  auto has_edge = [](const Csr& csr, int32_t from, int32_t to) {
+    return std::binary_search(csr.begin(from), csr.end(from), to);
+  };
+  for (const SimDelta::EdgeAdd& ea : delta.edges) {
+    const int32_t a = indexer_.id_of(ea.a);
+    const int32_t b = indexer_.id_of(ea.b);
+    if (a < 0 || b < 0 || a == b) continue;
+    if (ea.rel == astopo::Relationship::kProviderCustomer) {
+      if (has_edge(customers_, a, b)) continue;
+      add_cust.emplace_back(a, b);
+      add_prov.emplace_back(b, a);
+      new_edges.push_back(NewEdge{a, b, true});
+    } else {
+      if (has_edge(peers_, a, b)) continue;
+      add_peer.emplace_back(a, b);
+      add_peer.emplace_back(b, a);
+      new_edges.push_back(NewEdge{a, b, false});
+    }
+  }
+  auto csr_merge = [&](Csr& csr, std::vector<std::pair<int32_t, int32_t>>& adds) {
+    if (adds.empty()) return;
+    std::sort(adds.begin(), adds.end());
+    adds.erase(std::unique(adds.begin(), adds.end()), adds.end());
+    Csr merged;
+    merged.offsets.assign(n + 1, 0);
+    size_t ai = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t extra = 0;
+      while (ai < adds.size() &&
+             adds[ai].first == static_cast<int32_t>(i)) {
+        ++extra;
+        ++ai;
+      }
+      merged.offsets[i + 1] =
+          merged.offsets[i] + (csr.offsets[i + 1] - csr.offsets[i]) + extra;
+    }
+    merged.edges.resize(merged.offsets[n]);
+    ai = 0;
+    for (size_t i = 0; i < n; ++i) {
+      int32_t* out = merged.edges.data() + merged.offsets[i];
+      const int32_t* ob = csr.edges.data() + csr.offsets[i];
+      const int32_t* const oe = csr.edges.data() + csr.offsets[i + 1];
+      while (ob != oe || (ai < adds.size() &&
+                          adds[ai].first == static_cast<int32_t>(i))) {
+        const bool take_add =
+            ai < adds.size() && adds[ai].first == static_cast<int32_t>(i) &&
+            (ob == oe || adds[ai].second < *ob);
+        if (take_add) {
+          *out++ = adds[ai++].second;
+        } else {
+          *out++ = *ob++;
+        }
+      }
+    }
+    csr = std::move(merged);
+  };
+  csr_merge(providers_, add_prov);
+  csr_merge(customers_, add_cust);
+  csr_merge(peers_, add_peer);
+  if (!new_edges.empty()) rebuild_descent_order();
+
+  // Rebuild masks + signatures only when policies moved; edge growth
+  // leaves the (per-AS, per-class) drop decisions untouched.
+  if (!delta.policies.empty()) {
+    st.masks_ready.store(false, std::memory_order_release);
+  }
+  ensure_masks();
+
+  // Migrate the cache under the lock: rekey by mask-block bytes, then run
+  // the candidate test for every surviving entry against the new edges.
+  std::lock_guard<std::mutex> lock(st.cache_mutex);
+  stats.entries_before = st.cache.size();
+  if (st.cache.empty()) return stats;
+
+  // old signature -> new signature wherever the 3*words-u64 mask block is
+  // byte-identical. Injective by construction: blocks are mutually
+  // distinct on both sides, so rekeying never collides.
+  std::vector<int32_t> sig_map(old_blocks.size(), -1);
+  for (size_t os = 0; os < old_blocks.size(); ++os) {
+    for (size_t ns = 0; ns < st.sig_reps.size(); ++ns) {
+      const uint64_t* block =
+          st.drop_masks.data() + st.sig_reps[ns] * 3 * st.words;
+      if (std::equal(old_blocks[os].begin(), old_blocks[os].end(), block)) {
+        sig_map[os] = static_cast<int32_t>(ns);
+        break;
+      }
+    }
+  }
+
+  // The entry's current packed order key at dense id `id` -- the same
+  // encoding the lane engine folds over (priority, distance, next hop).
+  auto key_of = [](const PropagationResult& res, int32_t id) -> uint64_t {
+    const size_t i = static_cast<size_t>(id);
+    uint64_t prio = 0;
+    switch (res.source[i]) {
+      case RouteSource::kNone:
+        return kLaneUnseen;
+      case RouteSource::kOrigin:
+        return 0;
+      case RouteSource::kCustomer:
+        prio = kLaneCustomerPrio;
+        break;
+      case RouteSource::kPeer:
+        prio = kLanePeerPrio;
+        break;
+      case RouteSource::kProvider:
+        prio = kLaneProviderPrio;
+        break;
+    }
+    return prio | (static_cast<uint64_t>(res.distance[i]) << 32) |
+           static_cast<uint32_t>(res.next_hop[i]);
+  };
+
+  // Does any new edge offer either endpoint a better key than the cached
+  // result holds? If not, the old result is still a fixpoint of the grown
+  // graph (the new offers are the only new terms in the endpoint
+  // equations, and every other node's equation is untouched), and the
+  // unique stable solution, so it is byte-identical to a cold rebuild.
+  auto improved = [&](const PropagationResult& res, uint16_t new_sig) {
+    const size_t rep = st.sig_reps[new_sig];
+    const uint64_t* drop_cust =
+        st.drop_masks.data() + (rep * 3 + kDropCustomer) * st.words;
+    const uint64_t* drop_peer =
+        st.drop_masks.data() + (rep * 3 + kDropPeer) * st.words;
+    const uint64_t* drop_prov =
+        st.drop_masks.data() + (rep * 3 + kDropProvider) * st.words;
+    // Offer across one direction: `restricted` is the valley-free export
+    // rule (only origin/customer routes go to peers and providers);
+    // `drop_at_to` is the receiver's ingress filter for this adjacency.
+    auto offer_beats = [&](int32_t from, int32_t to, uint64_t prio,
+                           const uint64_t* drop_at_to, bool restricted) {
+      const size_t f = static_cast<size_t>(from);
+      const RouteSource src = res.source[f];
+      if (src == RouteSource::kNone) return false;
+      if (restricted && src != RouteSource::kOrigin &&
+          src != RouteSource::kCustomer) {
+        return false;
+      }
+      if (test_bit(drop_at_to, to)) return false;
+      const uint64_t cand = prio |
+                            ((static_cast<uint64_t>(res.distance[f]) + 1)
+                             << 32) |
+                            static_cast<uint32_t>(from);
+      return cand < key_of(res, to);
+    };
+    for (const NewEdge& e : new_edges) {
+      if (e.p2c) {
+        // v learns from its new provider u; u learns from its customer v.
+        if (offer_beats(e.u, e.v, kLaneProviderPrio, drop_prov, false)) {
+          return true;
+        }
+        if (offer_beats(e.v, e.u, kLaneCustomerPrio, drop_cust, true)) {
+          return true;
+        }
+      } else {
+        if (offer_beats(e.u, e.v, kLanePeerPrio, drop_peer, true)) return true;
+        if (offer_beats(e.v, e.u, kLanePeerPrio, drop_peer, true)) return true;
+      }
+    }
+    return false;
+  };
+
+  std::unordered_map<uint64_t, PropagationResultPtr> migrated;
+  migrated.reserve(st.cache.size());
+  uint64_t dropped = 0;
+  // lint-ok: order-independent fold (dropped is a count, migrated is keyed by the unique rekeyed cache key)
+  for (const auto& [key, result] : st.cache) {
+    const uint64_t origin_part = key >> 16;
+    const size_t old_sig = key & 0xffff;
+    const int32_t new_sig =
+        old_sig < sig_map.size() ? sig_map[old_sig] : -1;
+    if (new_sig < 0 || improved(*result, static_cast<uint16_t>(new_sig))) {
+      ++dropped;
+      continue;
+    }
+    migrated.emplace(
+        (origin_part << 16) | static_cast<uint16_t>(new_sig), result);
+  }
+  st.cache = std::move(migrated);
+  st.cache_bytes = st.cache.size() * cache_entry_bytes(n);
+  st.invalidated.fetch_add(dropped, std::memory_order_relaxed);
+  stats.entries_invalidated = static_cast<size_t>(dropped);
+  stats.entries_kept = st.cache.size();
+  return stats;
 }
 
 void PropagationSim::ensure_masks() const {
@@ -339,9 +580,12 @@ void PropagationSim::ensure_masks() const {
     }
   }
 
-  // Collapse classes with identical masks onto shared signatures.
+  // Collapse classes with identical masks onto shared signatures. The
+  // representative list is kept in State: apply_delta() rekeys cache
+  // entries by comparing pre-delta signature blocks against it.
   st.sig_of_class.assign(classes, 0);
-  std::vector<size_t> reps;
+  std::vector<size_t>& reps = st.sig_reps;
+  reps.clear();
   for (size_t c = 0; c < classes; ++c) {
     const uint64_t* mine = st.drop_masks.data() + c * 3 * st.words;
     uint16_t sig = 0;
@@ -1135,6 +1379,7 @@ PropagationCacheStats PropagationSim::cache_stats() const {
   PropagationCacheStats stats;
   stats.hits = state_->hits.load(std::memory_order_relaxed);
   stats.misses = state_->misses.load(std::memory_order_relaxed);
+  stats.invalidated = state_->invalidated.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(state_->cache_mutex);
   stats.entries = state_->cache.size();
   stats.bytes = state_->cache_bytes;

@@ -238,8 +238,39 @@ struct PropagationWorkspace {
 struct PropagationCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;  // computed fresh (inserted unless over capacity)
+  uint64_t invalidated = 0;  // entries dropped by apply_delta()
   size_t entries = 0;
   size_t bytes = 0;
+};
+
+/// One day's topology/policy change set for apply_delta(). The AS universe
+/// is fixed at construction (the indexer never changes); deltas add edges
+/// among existing ASes and replace per-AS policies wholesale.
+struct SimDelta {
+  struct PolicyChange {
+    net::Asn asn;
+    FilterPolicy policy;
+  };
+  /// For kProviderCustomer edges `a` is the provider and `b` the customer;
+  /// for kPeerPeer the order is irrelevant. Duplicate / already-present
+  /// edges are ignored.
+  struct EdgeAdd {
+    net::Asn a;
+    net::Asn b;
+    astopo::Relationship rel = astopo::Relationship::kPeerPeer;
+  };
+
+  std::vector<PolicyChange> policies;
+  std::vector<EdgeAdd> edges;
+
+  bool empty() const { return policies.empty() && edges.empty(); }
+};
+
+/// Cache-migration accounting from one apply_delta() call.
+struct SimDeltaStats {
+  size_t entries_before = 0;       // cache entries when the delta arrived
+  size_t entries_invalidated = 0;  // dropped (inputs touched by the delta)
+  size_t entries_kept = 0;         // survived, rekeyed where signatures moved
 };
 
 /// One origin x validity-class request for the batched engine. A batch of
@@ -361,6 +392,27 @@ class PropagationSim {
   void set_policy(net::Asn asn, const FilterPolicy& policy);
   const FilterPolicy& policy(net::Asn asn) const;
 
+  /// Apply one day's policy/edge delta in place with *selective* cache
+  /// invalidation (set_policy clears the cache wholesale). Not safe
+  /// concurrently with propagate() calls. Two-step migration under the
+  /// cache lock, sound because a cached result is a pure function of
+  /// (adjacency, origin, the 3 drop-mask bitsets of its signature):
+  ///
+  ///   1. Rekey by mask bytes: entries whose old signature's mask block is
+  ///      byte-identical to a rebuilt signature's block keep their result
+  ///      under the new signature; entries whose block disappeared (some
+  ///      policy change touched a mask their class uses) are dropped.
+  ///   2. Edge candidate test: for each surviving entry and each new edge,
+  ///      compute the packed order key the edge would offer at both
+  ///      endpoints (export gating + receiver drop masks included). If no
+  ///      offer beats the endpoint's current key, the old result is still
+  ///      a fixpoint of the grown graph -- and the minimal one, so it is
+  ///      exactly what a cold propagation would return. Otherwise drop.
+  ///
+  /// The per-day cold-rebuild oracle (DeltaOracle tests, SnapshotSeries
+  /// verify mode) pins that this is never too narrow.
+  SimDeltaStats apply_delta(const SimDelta& delta);
+
   /// Propagate an announcement originated by `origin` with the given
   /// validity class. Returns per-AS routing state. Always computes (no
   /// cache); the workspace overload reuses caller scratch.
@@ -446,6 +498,9 @@ class PropagationSim {
   struct State;
 
   void ensure_masks() const;
+  /// Recompute descent_order_/descent_is_dag_ from the current CSRs
+  /// (construction and after apply_delta() edge growth).
+  void rebuild_descent_order();
   size_t class_index(const AnnouncementClass& cls) const;
   const uint64_t* mask_for(size_t cls_index, size_t adjacency) const;
   PropagationResult propagate_id(int32_t origin_id,

@@ -1,0 +1,463 @@
+#include "topogen/evolution.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace manrs::topogen {
+
+namespace {
+
+// Forked-stream ids: one per item kind, so the per-item schedules never
+// perturb each other when a knob changes how many draws one kind makes.
+constexpr uint64_t kStreamAnnounceFlap = 1;
+constexpr uint64_t kStreamRoaFlap = 2;
+constexpr uint64_t kStreamIrrFlap = 3;
+constexpr uint64_t kStreamAnnounceBirth = 4;
+constexpr uint64_t kStreamRoaBirth = 5;
+constexpr uint64_t kStreamIrrBirth = 6;
+constexpr uint64_t kStreamJoinShuffle = 7;
+constexpr uint64_t kStreamJoinPolicy = 8;
+constexpr uint64_t kStreamLeave = 9;
+constexpr uint64_t kStreamEdges = 10;
+
+/// Births draw /24s from 98.0.0.0/8: 65536 slots, far more than any
+/// realistic series consumes (at the default 6/day, ~30 years).
+constexpr size_t kBirthSlots = 65536;
+
+std::string irr_group_key(const net::Prefix& prefix, net::Asn origin) {
+  return prefix.to_string() + " " + std::to_string(origin.value());
+}
+
+}  // namespace
+
+EcosystemEvolution::EcosystemEvolution(const Scenario& base,
+                                       EvolutionConfig config)
+    : base_(&base), config_(config) {
+  // ---- announcement flappers -------------------------------------------
+  base_announcements_ = base.announcements();
+  announce_flaps_.reserve(base_announcements_.size());
+  for (size_t i = 0; i < base_announcements_.size(); ++i) {
+    announce_flaps_.push_back(
+        make_flap(item_rng(kStreamAnnounceFlap, i), config_.announce_churn));
+  }
+
+  // ---- VRP flappers -----------------------------------------------------
+  base.vrps.for_each([&](const rpki::Vrp& vrp) { base_vrps_.push_back(vrp); });
+  vrp_flaps_.reserve(base_vrps_.size());
+  for (size_t i = 0; i < base_vrps_.size(); ++i) {
+    vrp_flaps_.push_back(
+        make_flap(item_rng(kStreamRoaFlap, i), config_.roa_churn));
+  }
+
+  // ---- IRR route-object groups -----------------------------------------
+  // A (prefix, origin) registered in several databases (authoritative +
+  // RADb mirror) flaps as one group: removing only one copy would be
+  // invisible through the registry's de-duplicating queries.
+  std::unordered_map<std::string, size_t> group_of;
+  for (const irr::IrrDatabase* db : base.irr.databases()) {
+    db->for_each_route([&](const irr::RouteObject& route) {
+      auto [it, inserted] = group_of.emplace(
+          irr_group_key(route.prefix, route.origin), irr_groups_.size());
+      if (inserted) irr_groups_.push_back(IrrGroup{});
+      irr_groups_[it->second].edits.push_back(IrrEdit{db->name(), route});
+    });
+  }
+  irr_flaps_.reserve(irr_groups_.size());
+  for (size_t i = 0; i < irr_groups_.size(); ++i) {
+    irr_flaps_.push_back(
+        make_flap(item_rng(kStreamIrrFlap, i), config_.irr_churn));
+  }
+  // Birth route objects land in RADb when present (the catch-all registry
+  // new registrations really go to), else the first database.
+  const auto dbs = base.irr.databases();
+  for (const irr::IrrDatabase* db : dbs) {
+    if (db->name() == "RADB") birth_irr_db_ = db->name();
+  }
+  if (birth_irr_db_.empty() && !dbs.empty()) birth_irr_db_ = dbs.front()->name();
+
+  // ---- membership schedules --------------------------------------------
+  const auto& participants = base.manrs.participants();
+  leave_day_.assign(participants.size(), kNever);
+  const int weeks = std::max(1, config_.horizon_days / 7);
+  for (size_t j = 0; j < participants.size(); ++j) {
+    util::Rng rng = item_rng(kStreamLeave, j);
+    if (!rng.bernoulli(config_.leave_rate)) continue;
+    leave_day_[j] =
+        1 + 7 * static_cast<int>(rng.uniform(static_cast<uint64_t>(weeks)));
+  }
+
+  std::unordered_set<std::string> member_orgs;
+  for (const auto& p : participants) member_orgs.insert(p.org_id);
+  std::vector<const AsProfile*> candidates;
+  for (const AsProfile& profile : base.profiles) {
+    // Skip ASes whose organization already participates: the registry has
+    // no "extend an existing registration" operation, and a second
+    // participant row per org would distort the Fig 2 counts.
+    if (profile.manrs || member_orgs.count(profile.org_id)) continue;
+    candidates.push_back(&profile);
+  }
+  {
+    util::Rng r(config_.seed);
+    util::Rng shuffle_rng = r.fork(kStreamJoinShuffle);
+    shuffle_rng.shuffle(candidates);
+  }
+  const size_t per_week = std::max<size_t>(1, config_.joins_per_week);
+  joins_.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const AsProfile& profile = *candidates[i];
+    Join join;
+    join.asn = profile.asn;
+    join.org_id = profile.org_id;
+    join.day = 1 + 7 * static_cast<int>(i / per_week);
+    if (join.day > config_.horizon_days) break;  // beyond the horizon
+    util::Rng rng = item_rng(kStreamJoinPolicy, profile.asn.value());
+    join.program = rng.bernoulli(0.12) ? core::Program::kCdn
+                                       : core::Program::kIsp;
+    sim::FilterPolicy policy;
+    policy.rov = rng.bernoulli(0.5);
+    if (rng.bernoulli(0.6)) {
+      policy.customer_strictness = sim::kFilterVariants;
+    } else {
+      policy.customer_strictness =
+          static_cast<uint8_t>(1 + rng.uniform(sim::kFilterVariants));
+    }
+    if (join.program == core::Program::kCdn || rng.bernoulli(0.15)) {
+      policy.peer_strictness =
+          static_cast<uint8_t>(1 + rng.uniform(sim::kFilterVariants - 1));
+    }
+    join.policy = policy;
+    joins_.push_back(std::move(join));
+  }
+
+  // ---- candidate edge list ---------------------------------------------
+  // New p2c edges attach base-leaf customers only (an AS with no customers
+  // never becomes a provider here), so no sequence of daily slices can
+  // close a provider cycle.
+  std::vector<net::Asn> all = base.graph.all_asns();
+  std::vector<net::Asn> leaves;
+  std::vector<net::Asn> transits;
+  for (net::Asn asn : all) {
+    if (base.graph.customer_degree(asn) == 0) {
+      leaves.push_back(asn);
+    } else {
+      transits.push_back(asn);
+    }
+  }
+  const size_t want =
+      config_.edges_per_day * static_cast<size_t>(config_.horizon_days);
+  util::Rng base_rng(config_.seed);
+  util::Rng er = base_rng.fork(kStreamEdges);
+  std::unordered_set<uint64_t> seen;
+  auto pair_key = [](net::Asn a, net::Asn b) {
+    uint32_t lo = std::min(a.value(), b.value());
+    uint32_t hi = std::max(a.value(), b.value());
+    return (static_cast<uint64_t>(hi) << 32) | lo;
+  };
+  size_t attempts = 0;
+  const size_t max_attempts = 64 * want + 1024;
+  while (edge_candidates_.size() < want && attempts++ < max_attempts &&
+         all.size() >= 2) {
+    sim::SimDelta::EdgeAdd edge;
+    if (!leaves.empty() && !transits.empty() &&
+        er.bernoulli(config_.p2c_edge_share)) {
+      edge.a = transits[er.uniform(transits.size())];
+      edge.b = leaves[er.uniform(leaves.size())];
+      edge.rel = astopo::Relationship::kProviderCustomer;
+    } else {
+      // Peerings attach leaf to leaf: day-to-day edge growth in the real
+      // Internet is dominated by edge networks meeting at IXPs. (It also
+      // keeps the daily blast radius small -- a leaf only exports its own
+      // originations over a peer link -- which is what makes delta-aware
+      // cache invalidation worthwhile.)
+      const std::vector<net::Asn>& pool = leaves.size() >= 2 ? leaves : all;
+      edge.a = pool[er.uniform(pool.size())];
+      edge.b = pool[er.uniform(pool.size())];
+      edge.rel = astopo::Relationship::kPeerPeer;
+    }
+    if (edge.a == edge.b) continue;
+    if (base.graph.is_provider_of(edge.a, edge.b) ||
+        base.graph.is_provider_of(edge.b, edge.a) ||
+        base.graph.are_peers(edge.a, edge.b)) {
+      continue;
+    }
+    if (!seen.insert(pair_key(edge.a, edge.b)).second) continue;
+    edge_candidates_.push_back(edge);
+  }
+}
+
+util::Rng EcosystemEvolution::item_rng(uint64_t kind, uint64_t index) const {
+  util::Rng root(config_.seed);
+  util::Rng stream = root.fork(kind);
+  return stream.fork(index);
+}
+
+EcosystemEvolution::FlapSchedule EcosystemEvolution::make_flap(
+    util::Rng rng, double rate) const {
+  if (!rng.bernoulli(rate)) return FlapSchedule{};
+  FlapSchedule flap;
+  const int min_cycle = std::max(2, config_.flap_min_cycle);
+  const int max_cycle = std::max(min_cycle, config_.flap_max_cycle);
+  flap.cycle = min_cycle + static_cast<int>(rng.uniform(
+                               static_cast<uint64_t>(max_cycle - min_cycle) + 1));
+  flap.off = 1 + static_cast<int>(
+                     rng.uniform(static_cast<uint64_t>(flap.cycle) / 2));
+  // Phase in [off, cycle) so active(0) is true: day 0 is the base snapshot.
+  flap.phase = flap.off + static_cast<int>(rng.uniform(
+                              static_cast<uint64_t>(flap.cycle - flap.off)));
+  return flap;
+}
+
+bgp::PrefixOrigin EcosystemEvolution::birth_announcement(size_t index) const {
+  const uint32_t slot = static_cast<uint32_t>(index % kBirthSlots);
+  const uint32_t addr = (98u << 24) | (slot << 8);
+  bgp::PrefixOrigin po;
+  po.prefix = net::Prefix(net::IpAddress::v4(addr), 24);
+  util::Rng rng = item_rng(kStreamAnnounceBirth, index);
+  const auto& profiles = base_->profiles;
+  po.origin = profiles[rng.uniform(profiles.size())].asn;
+  return po;
+}
+
+rpki::Vrp EcosystemEvolution::birth_vrp(size_t index,
+                                        const bgp::PrefixOrigin& po) const {
+  rpki::Vrp vrp;
+  vrp.prefix = po.prefix;
+  vrp.max_length = po.prefix.length();
+  vrp.asn = po.origin;
+  util::Rng rng = item_rng(kStreamRoaBirth, index);
+  if (rng.bernoulli(config_.birth_roa_misconfig)) {
+    const auto& profiles = base_->profiles;
+    vrp.asn = profiles[rng.uniform(profiles.size())].asn;
+  }
+  return vrp;
+}
+
+irr::RouteObject EcosystemEvolution::birth_route(
+    size_t index, const bgp::PrefixOrigin& po) const {
+  irr::RouteObject route;
+  route.prefix = po.prefix;
+  route.origin = po.origin;
+  route.source = birth_irr_db_;
+  util::Rng rng = item_rng(kStreamIrrBirth, index);
+  if (rng.bernoulli(config_.birth_irr_stale)) {
+    const auto& profiles = base_->profiles;
+    route.origin = profiles[rng.uniform(profiles.size())].asn;
+  }
+  return route;
+}
+
+size_t EcosystemEvolution::birth_count_through(int day) const {
+  if (day <= 0) return 0;
+  const size_t raw =
+      static_cast<size_t>(day) * config_.announce_births_per_day;
+  return std::min(raw, kBirthSlots);
+}
+
+EcosystemDelta EcosystemEvolution::delta_for_day(int day) const {
+  EcosystemDelta delta;
+  delta.day = day;
+  if (day <= 0) return delta;
+
+  // ---- flappers ---------------------------------------------------------
+  for (size_t i = 0; i < announce_flaps_.size(); ++i) {
+    const FlapSchedule& flap = announce_flaps_[i];
+    if (flap.cycle == 0) continue;
+    const bool now = flap.active(day);
+    if (now == flap.active(day - 1)) continue;
+    (now ? delta.announce : delta.withdraw).push_back(base_announcements_[i]);
+  }
+  for (size_t i = 0; i < vrp_flaps_.size(); ++i) {
+    const FlapSchedule& flap = vrp_flaps_[i];
+    if (flap.cycle == 0) continue;
+    const bool now = flap.active(day);
+    if (now == flap.active(day - 1)) continue;
+    (now ? delta.roa_add : delta.roa_remove).push_back(base_vrps_[i]);
+  }
+  for (size_t i = 0; i < irr_flaps_.size(); ++i) {
+    const FlapSchedule& flap = irr_flaps_[i];
+    if (flap.cycle == 0) continue;
+    const bool now = flap.active(day);
+    if (now == flap.active(day - 1)) continue;
+    auto& out = now ? delta.irr_add : delta.irr_remove;
+    for (const IrrEdit& edit : irr_groups_[i].edits) out.push_back(edit);
+  }
+
+  // ---- births -----------------------------------------------------------
+  const size_t first = birth_count_through(day - 1);
+  const size_t last = birth_count_through(day);
+  for (size_t index = first; index < last; ++index) {
+    const size_t offset = index - first;
+    bgp::PrefixOrigin po = birth_announcement(index);
+    delta.announce.push_back(po);
+    if (offset < config_.roa_births_per_day) {
+      delta.roa_add.push_back(birth_vrp(index, po));
+    }
+    if (offset < config_.irr_births_per_day && !birth_irr_db_.empty()) {
+      delta.irr_add.push_back(IrrEdit{birth_irr_db_, birth_route(index, po)});
+    }
+  }
+
+  // ---- weekly membership batch -----------------------------------------
+  if (day % 7 == 1) {
+    const util::Date date = base_->snapshot_date.add_days(day);
+    for (const Join& join : joins_) {
+      if (join.day != day) continue;
+      MembershipChange change;
+      change.asn = join.asn;
+      change.org_id = join.org_id;
+      change.program = join.program;
+      change.date = date;
+      change.join = true;
+      change.policy = join.policy;
+      delta.members.push_back(std::move(change));
+    }
+    const auto& participants = base_->manrs.participants();
+    for (size_t j = 0; j < participants.size(); ++j) {
+      if (leave_day_[j] != day) continue;
+      for (net::Asn asn : participants[j].registered_ases) {
+        MembershipChange change;
+        change.asn = asn;
+        change.org_id = participants[j].org_id;
+        change.program = participants[j].program;
+        change.date = date;
+        change.join = false;
+        change.policy = sim::FilterPolicy{};
+        delta.members.push_back(std::move(change));
+      }
+    }
+  }
+
+  // ---- topology growth --------------------------------------------------
+  const size_t lo = std::min(
+      edge_candidates_.size(),
+      static_cast<size_t>(day - 1) * config_.edges_per_day);
+  const size_t hi = std::min(edge_candidates_.size(),
+                             static_cast<size_t>(day) * config_.edges_per_day);
+  for (size_t i = lo; i < hi; ++i) delta.edges.push_back(edge_candidates_[i]);
+
+  return delta;
+}
+
+std::vector<bgp::PrefixOrigin> EcosystemEvolution::announcements_at(
+    int day) const {
+  std::vector<bgp::PrefixOrigin> out;
+  out.reserve(base_announcements_.size());
+  for (size_t i = 0; i < base_announcements_.size(); ++i) {
+    if (announce_flaps_[i].active(day)) out.push_back(base_announcements_[i]);
+  }
+  const size_t births = birth_count_through(day);
+  for (size_t index = 0; index < births; ++index) {
+    out.push_back(birth_announcement(index));
+  }
+  return out;
+}
+
+rpki::VrpStore EcosystemEvolution::vrps_at(int day) const {
+  rpki::VrpStore store;
+  for (size_t i = 0; i < base_vrps_.size(); ++i) {
+    if (vrp_flaps_[i].active(day)) store.add(base_vrps_[i]);
+  }
+  const size_t births = birth_count_through(day);
+  const size_t per_day = std::max<size_t>(1, config_.announce_births_per_day);
+  for (size_t index = 0; index < births; ++index) {
+    if (index % per_day >= config_.roa_births_per_day) continue;
+    store.add(birth_vrp(index, birth_announcement(index)));
+  }
+  return store;
+}
+
+irr::IrrRegistry EcosystemEvolution::irr_at(int day) const {
+  irr::IrrRegistry registry;
+  // Recreate the base databases in authoritative-first order -- the same
+  // precedence order the registry's queries use -- so de-duplication picks
+  // identical representatives on the cold and incremental paths.
+  for (const irr::IrrDatabase* db : base_->irr.databases()) {
+    registry.add_database(db->name(), db->authoritative());
+  }
+  for (size_t i = 0; i < irr_groups_.size(); ++i) {
+    if (!irr_flaps_[i].active(day)) continue;
+    for (const IrrEdit& edit : irr_groups_[i].edits) {
+      registry.find_database_mut(edit.db)->add_route(edit.route);
+    }
+  }
+  if (!birth_irr_db_.empty()) {
+    irr::IrrDatabase* birth_db = registry.find_database_mut(birth_irr_db_);
+    const size_t births = birth_count_through(day);
+    const size_t per_day = std::max<size_t>(1, config_.announce_births_per_day);
+    for (size_t index = 0; index < births; ++index) {
+      if (index % per_day >= config_.irr_births_per_day) continue;
+      birth_db->add_route(birth_route(index, birth_announcement(index)));
+    }
+  }
+  return registry;
+}
+
+core::ManrsRegistry EcosystemEvolution::registry_at(int day) const {
+  core::ManrsRegistry registry;
+  const auto& participants = base_->manrs.participants();
+  for (size_t j = 0; j < participants.size(); ++j) {
+    if (leave_day_[j] <= day) continue;
+    registry.add_participant(participants[j]);
+  }
+  // Collapse joined ASes by organization, in join order, so one org that
+  // registers several ASes across weeks stays one participant row.
+  std::unordered_map<std::string, size_t> org_row;
+  std::vector<core::Participant> joined;
+  for (const Join& join : joins_) {
+    if (join.day > day) break;  // joins_ is join-day ascending
+    auto [it, inserted] = org_row.emplace(join.org_id, joined.size());
+    if (inserted) {
+      core::Participant participant;
+      participant.org_id = join.org_id;
+      participant.program = join.program;
+      participant.joined = base_->snapshot_date.add_days(join.day);
+      joined.push_back(std::move(participant));
+    }
+    joined[it->second].registered_ases.push_back(join.asn);
+  }
+  for (core::Participant& participant : joined) {
+    registry.add_participant(std::move(participant));
+  }
+  return registry;
+}
+
+astopo::AsGraph EcosystemEvolution::graph_at(int day) const {
+  astopo::AsGraph graph = base_->graph;
+  const size_t hi =
+      day <= 0 ? 0
+               : std::min(edge_candidates_.size(),
+                          static_cast<size_t>(day) * config_.edges_per_day);
+  for (size_t i = 0; i < hi; ++i) {
+    const sim::SimDelta::EdgeAdd& edge = edge_candidates_[i];
+    if (edge.rel == astopo::Relationship::kProviderCustomer) {
+      graph.add_provider_customer(edge.a, edge.b);
+    } else {
+      graph.add_peer_peer(edge.a, edge.b);
+    }
+  }
+  return graph;
+}
+
+std::vector<sim::SimDelta::PolicyChange>
+EcosystemEvolution::policy_changes_through(int day) const {
+  std::vector<sim::SimDelta::PolicyChange> out;
+  for (int d = 1; d <= day; ++d) {
+    if (d % 7 != 1) continue;
+    for (const Join& join : joins_) {
+      if (join.day != d) continue;
+      out.push_back(sim::SimDelta::PolicyChange{join.asn, join.policy});
+    }
+    const auto& participants = base_->manrs.participants();
+    for (size_t j = 0; j < participants.size(); ++j) {
+      if (leave_day_[j] != d) continue;
+      for (net::Asn asn : participants[j].registered_ases) {
+        out.push_back(sim::SimDelta::PolicyChange{asn, sim::FilterPolicy{}});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace manrs::topogen

@@ -1,0 +1,211 @@
+// Daily-delta ecosystem evolution (the temporal snapshot engine's input).
+//
+// The paper measures one snapshot (May 1, 2022); the snapshot-series
+// driver extends that to a day-by-day evolution of the same universe:
+// announcements flap in and out of the global table, ROAs and IRR route
+// objects are registered and withdrawn, organizations join (and a few
+// leave) MANRS, and the AS topology grows new edges. EcosystemEvolution
+// turns a base Scenario into that evolution.
+//
+// Everything is a pure function of (base scenario, config, day), built
+// from per-item forked RNG streams: delta_for_day(d) can be computed for
+// any d in isolation, in any order, and the *_at(day) accessors
+// materialize the absolute day-k state without folding deltas -- the
+// independent path the cold-rebuild oracle uses to check the incremental
+// engine.
+//
+// Churn model:
+//   * Flappers: a configured fraction of base announcements / VRPs / IRR
+//     route objects follow a per-item square-wave schedule (cycle length,
+//     off-window, phase; phase chosen so day 0 matches the base
+//     snapshot). IRR route objects flap as cross-database groups keyed by
+//     (prefix, origin), so a flap is visible through the registry's
+//     authoritative-first de-duplication.
+//   * Births: each day allocates /24s from a reserved block (98.0.0.0/8)
+//     to deterministic slices -- day d owns indices [(d-1)*k, d*k) -- and
+//     a prefix of each day's births arrive with a same-day ROA and/or
+//     route object (occasionally misregistered, so classification churn
+//     includes new Invalids).
+//   * Membership: weekly batches (days 1 mod 7). Joins draw from a
+//     deterministically shuffled list of non-member ASes and adopt a
+//     MANRS-style filtering policy; a small fraction of base participants
+//     leave, and their ASes drop back to an empty policy.
+//   * Topology: a pre-deduplicated candidate edge list is sliced per day.
+//     New provider->customer edges only attach base-leaf customers (ASes
+//     with no customers), so the p2c hierarchy stays acyclic by
+//     construction.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/manrs.h"
+#include "irr/objects.h"
+#include "rpki/vrp.h"
+#include "simulator/propagation.h"
+#include "topogen/scenario.h"
+#include "util/rng.h"
+
+namespace manrs::topogen {
+
+struct EvolutionConfig {
+  uint64_t seed = 2022;
+
+  /// Flap and leave schedules span this window; also bounds the candidate
+  /// edge list (edges_per_day * horizon_days candidates are drawn).
+  int horizon_days = 512;
+
+  // ---- churn (fraction of base items that flap) -------------------------
+  double announce_churn = 0.02;
+  double roa_churn = 0.02;
+  double irr_churn = 0.01;
+  int flap_min_cycle = 14;  // days
+  int flap_max_cycle = 56;
+
+  // ---- births -----------------------------------------------------------
+  size_t announce_births_per_day = 6;
+  size_t roa_births_per_day = 4;  // first k of the day's births get a ROA
+  size_t irr_births_per_day = 3;  // first k get a route object
+  double birth_roa_misconfig = 0.15;  // wrong-origin ROA probability
+  double birth_irr_stale = 0.10;      // wrong-origin route object
+
+  // ---- membership (processed on days == 1 mod 7) ------------------------
+  size_t joins_per_week = 3;
+  double leave_rate = 0.04;  // fraction of base participants that leave
+
+  // ---- topology growth --------------------------------------------------
+  size_t edges_per_day = 4;
+  double p2c_edge_share = 0.1;  // remainder are leaf-leaf peerings
+};
+
+/// One AS joining or leaving MANRS. On join, `policy` is the filtering
+/// policy the AS adopts; on leave, the AS reverts to the default (empty)
+/// policy.
+struct MembershipChange {
+  net::Asn asn;
+  std::string org_id;
+  core::Program program = core::Program::kIsp;
+  util::Date date;
+  bool join = true;
+  sim::FilterPolicy policy;
+};
+
+/// One IRR route-object edit, targeted at a specific database (`db` is the
+/// database name, not the object's `source` tag -- RADb mirror copies keep
+/// the original source). Removals match on (prefix, origin) only.
+struct IrrEdit {
+  std::string db;
+  irr::RouteObject route;
+};
+
+/// Everything that changes between day-1 and day.
+struct EcosystemDelta {
+  int day = 0;
+  std::vector<bgp::PrefixOrigin> announce;   // enter the global table
+  std::vector<bgp::PrefixOrigin> withdraw;   // leave the global table
+  std::vector<rpki::Vrp> roa_add;
+  std::vector<rpki::Vrp> roa_remove;
+  std::vector<IrrEdit> irr_add;
+  std::vector<IrrEdit> irr_remove;
+  std::vector<MembershipChange> members;
+  std::vector<sim::SimDelta::EdgeAdd> edges;
+
+  bool empty() const {
+    return announce.empty() && withdraw.empty() && roa_add.empty() &&
+           roa_remove.empty() && irr_add.empty() && irr_remove.empty() &&
+           members.empty() && edges.empty();
+  }
+  size_t op_count() const {
+    return announce.size() + withdraw.size() + roa_add.size() +
+           roa_remove.size() + irr_add.size() + irr_remove.size() +
+           members.size() + edges.size();
+  }
+};
+
+class EcosystemEvolution {
+ public:
+  /// `base` must outlive the evolution. Day 0 is the base snapshot.
+  explicit EcosystemEvolution(const Scenario& base, EvolutionConfig config = {});
+
+  const EvolutionConfig& config() const { return config_; }
+  const Scenario& base() const { return *base_; }
+
+  /// The delta transforming day-1 state into day state (day >= 1). Pure
+  /// function of (base, config, day).
+  EcosystemDelta delta_for_day(int day) const;
+
+  // ---- absolute day-k state (the cold-rebuild oracle's inputs) ----------
+  // Computed directly from the schedules, never by folding deltas.
+
+  /// All (prefix, origin) pairs announced on `day` (base order, births
+  /// appended; callers fold through a Rib, which sorts).
+  std::vector<bgp::PrefixOrigin> announcements_at(int day) const;
+  rpki::VrpStore vrps_at(int day) const;
+  irr::IrrRegistry irr_at(int day) const;
+  core::ManrsRegistry registry_at(int day) const;
+  astopo::AsGraph graph_at(int day) const;
+
+  /// Chronological per-AS policy changes over days (0, day]: apply in
+  /// order to a simulator carrying the base profile policies to obtain the
+  /// day-k policy state.
+  std::vector<sim::SimDelta::PolicyChange> policy_changes_through(
+      int day) const;
+
+ private:
+  /// Per-item square wave; cycle == 0 means the item never flaps.
+  struct FlapSchedule {
+    int cycle = 0;
+    int off = 0;
+    int phase = 0;
+    bool active(int day) const {
+      if (cycle == 0 || day <= 0) return true;  // day 0 is the base state
+      return ((day + phase) % cycle) >= off;
+    }
+  };
+
+  struct IrrGroup {
+    std::vector<IrrEdit> edits;  // one per database holding the object
+  };
+
+  struct Join {
+    net::Asn asn;
+    std::string org_id;
+    core::Program program = core::Program::kIsp;
+    int day = 0;
+    sim::FilterPolicy policy;
+  };
+
+  util::Rng item_rng(uint64_t kind, uint64_t index) const;
+  FlapSchedule make_flap(util::Rng rng, double rate) const;
+  bgp::PrefixOrigin birth_announcement(size_t index) const;
+  rpki::Vrp birth_vrp(size_t index, const bgp::PrefixOrigin& po) const;
+  irr::RouteObject birth_route(size_t index,
+                               const bgp::PrefixOrigin& po) const;
+  /// Birth indices live on day d iff (d-1)*k <= index < d*k; capped to the
+  /// reserved /24 space.
+  size_t birth_count_through(int day) const;
+
+  const Scenario* base_;
+  EvolutionConfig config_;
+
+  std::vector<bgp::PrefixOrigin> base_announcements_;
+  std::vector<FlapSchedule> announce_flaps_;
+
+  std::vector<rpki::Vrp> base_vrps_;
+  std::vector<FlapSchedule> vrp_flaps_;
+
+  std::vector<IrrGroup> irr_groups_;
+  std::vector<FlapSchedule> irr_flaps_;
+  std::string birth_irr_db_;  // empty when the base registry has none
+
+  std::vector<int> leave_day_;  // per base participant; max() = never
+  std::vector<Join> joins_;     // join-day ascending
+
+  std::vector<sim::SimDelta::EdgeAdd> edge_candidates_;
+
+  static constexpr int kNever = std::numeric_limits<int>::max();
+};
+
+}  // namespace manrs::topogen

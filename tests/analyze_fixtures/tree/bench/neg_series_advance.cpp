@@ -1,0 +1,11 @@
+// Negative: advance() is the one-shot day and loops freely; accessors
+// and cold_rebuild() never touch the day protocol.
+void f_advance_loop() {
+  SnapshotSeries series;
+  series.advance();
+  series.advance();
+  auto cold = series.cold_rebuild(1);
+  auto stats = series.last_stats();
+  (void)cold;
+  (void)stats;
+}

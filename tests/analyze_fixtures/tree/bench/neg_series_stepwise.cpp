@@ -1,0 +1,19 @@
+// Negative: the sanctioned step-wise day -- begin_day(), apply(),
+// recompute() -- then the next day's cycle.
+void f_stepwise() {
+  SnapshotSeries series;
+  auto delta = series.begin_day();
+  series.apply(delta);
+  series.recompute();
+  auto next = series.begin_day();
+  series.apply(next);
+  series.recompute();
+}
+// Negative: recomputing the current day again is idempotent and legal.
+void f_recompute_again() {
+  SnapshotSeries series;
+  auto delta = series.begin_day();
+  series.apply(delta);
+  series.recompute();
+  series.recompute();
+}

@@ -1,0 +1,8 @@
+// Positive: advance() is the one-shot day and may not interleave with
+// an outstanding step-wise delta.
+void f_advance_pending() {
+  SnapshotSeries series;
+  auto delta = series.begin_day();
+  series.advance();
+  (void)delta;
+}

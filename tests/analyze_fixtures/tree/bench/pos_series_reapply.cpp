@@ -1,0 +1,9 @@
+// Positive: a consumed delta must not be apply()-ed twice -- the staged
+// stores would fold the same announce/withdraw ops a second time.
+void f_reapply() {
+  SnapshotSeries series;
+  auto delta = series.begin_day();
+  series.apply(delta);
+  series.apply(delta);
+  series.recompute();
+}

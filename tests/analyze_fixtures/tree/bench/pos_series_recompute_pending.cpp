@@ -1,0 +1,9 @@
+// Positive: the day's delta must be apply()-ed before recompute() --
+// skipping apply() leaves the propagation cache un-invalidated and
+// recompute() serves stale results.
+void f_recompute_pending() {
+  SnapshotSeries series;
+  auto delta = series.begin_day();
+  series.recompute();
+  (void)delta;
+}

@@ -79,6 +79,9 @@ TEST(AnalyzeRules, FixtureTreeFindingsMatchExactly) {
   ASSERT_EQ(r.exit_code, 1) << r.out;  // findings present -> exit 1
 
   std::vector<FindingKey> expected = {
+      {"bench/pos_series_advance_pending.cpp", 6, "series-delta"},
+      {"bench/pos_series_reapply.cpp", 7, "series-delta"},
+      {"bench/pos_series_recompute_pending.cpp", 7, "series-delta"},
       {"src/bgp/pos_rib_erase_after_finalize.cpp", 7, "rib-typestate"},
       {"src/bgp/pos_rib_insert_after_finalize.cpp", 7, "rib-typestate"},
       {"src/bgp/pos_rib_pass_staged.cpp", 9, "rib-typestate"},
@@ -125,13 +128,13 @@ TEST(AnalyzeRules, RegexCorpusParityAllPortedRulesFire) {
   for (const FindingKey& k : parse_findings(r.out)) {
     fired.insert(std::get<2>(k));
   }
-  const std::array<const char*, 19> all_rules = {
+  const std::array<const char*, 20> all_rules = {
       "reinterpret-cast", "unchecked-memcpy", "throwing-strtox",
       "locale-atox", "unbounded-copy", "union-punning", "raw-thread",
       "rib-map", "std-hash", "determinism-iteration", "parallel-capture",
       "layer-violation", "parse-throw-boundary", "rib-typestate",
       "workspace-epoch", "batch-workspace", "cursor-guard",
-      "nested-parallel", "mapped-span"};
+      "nested-parallel", "mapped-span", "series-delta"};
   for (const char* rule : all_rules) {
     EXPECT_EQ(fired.count(rule), 1u) << "rule never fired: " << rule;
   }
@@ -159,7 +162,7 @@ TEST(AnalyzeRules, ListRulesShowsFullCatalog) {
        {"reinterpret-cast", "determinism-iteration", "parallel-capture",
         "layer-violation", "parse-throw-boundary", "rib-typestate",
         "workspace-epoch", "batch-workspace", "cursor-guard",
-        "nested-parallel", "mapped-span"}) {
+        "nested-parallel", "mapped-span", "series-delta"}) {
     EXPECT_NE(r.out.find(rule), std::string::npos) << rule;
   }
 }

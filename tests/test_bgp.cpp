@@ -1,7 +1,12 @@
 #include "bgp/rib.h"
 #include "bgp/route.h"
+#include "mrt/bgp4mp.h"
+#include "mrt/table_dump.h"
 
 #include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
 
 namespace manrs::bgp {
 namespace {
@@ -127,6 +132,77 @@ TEST(Rib, PrefixesOriginatedBy) {
   ASSERT_EQ(prefixes.size(), 2u);
   EXPECT_EQ(prefixes[0], Prefix::must_parse("10.0.0.0/8"));
   EXPECT_EQ(prefixes[1], Prefix::must_parse("12.0.0.0/8"));
+}
+
+// ---------------------------------------------------------------------------
+// Delta no-op golden: a staged batch whose ops are all effective no-ops
+// (withdrawals of absent entries, re-announcements of identical paths)
+// must leave the table byte-identical AND keep references returned by
+// entries() valid -- the contract the temporal snapshot engine's quiet
+// days lean on.
+
+std::string serialize(const Rib& rib) {
+  std::ostringstream out;
+  mrt::TableDumpWriter writer(out, /*timestamp=*/1651363200);
+  writer.write_rib(rib, "test.noop");
+  return out.str();
+}
+
+Rib small_rib() {
+  Rib rib;
+  uint32_t p0 = rib.add_peer(Asn(100));
+  uint32_t p1 = rib.add_peer(Asn(200));
+  rib.insert(Prefix::must_parse("10.0.0.0/8"), p0, path({100, 1}));
+  rib.insert(Prefix::must_parse("10.0.0.0/8"), p1, path({200, 50, 1}));
+  rib.insert(Prefix::must_parse("11.1.0.0/16"), p0, path({100, 2}));
+  rib.finalize();
+  return rib;
+}
+
+TEST(RibDeltaNoOp, EmptyBatchIsByteIdentical) {
+  Rib rib = small_rib();
+  const std::string before = serialize(rib);
+  rib.begin_delta();
+  rib.finalize();  // nothing staged at all
+  EXPECT_EQ(serialize(rib), before);
+}
+
+TEST(RibDeltaNoOp, EffectiveNoOpBatchKeepsBytesAndReferences) {
+  Rib rib = small_rib();
+  const std::string before = serialize(rib);
+  const Prefix pfx = Prefix::must_parse("10.0.0.0/8");
+  const std::vector<RibEntry>* row_before = &rib.entries(pfx);
+  const RibEntry* data_before = row_before->data();
+
+  rib.begin_delta();
+  // Withdraw-of-absent: peer 1 never announced 11.1.0.0/16.
+  rib.erase(Prefix::must_parse("11.1.0.0/16"), 1);
+  // Withdraw of a prefix the table has never seen.
+  rib.erase(Prefix::must_parse("192.0.2.0/24"), 0);
+  // Re-announcement of the identical path.
+  rib.insert(pfx, 0, path({100, 1}));
+  rib.finalize();
+
+  EXPECT_EQ(serialize(rib), before);
+  // The no-op fast path must not rebuild rows: references stay valid.
+  EXPECT_EQ(&rib.entries(pfx), row_before);
+  EXPECT_EQ(rib.entries(pfx).data(), data_before);
+}
+
+TEST(RibDeltaNoOp, DiffRibsAgainstSelfIsEmpty) {
+  const Rib rib = small_rib();
+  EXPECT_TRUE(mrt::diff_ribs(rib, rib, /*timestamp=*/1651363200).empty());
+}
+
+TEST(RibDeltaNoOp, RealOpAmongNoOpsStillApplies) {
+  Rib rib = small_rib();
+  const std::string before = serialize(rib);
+  rib.begin_delta();
+  rib.insert(Prefix::must_parse("10.0.0.0/8"), 0, path({100, 1}));  // no-op
+  rib.insert(Prefix::must_parse("12.0.0.0/8"), 0, path({100, 3}));  // real
+  rib.finalize();
+  EXPECT_NE(serialize(rib), before);
+  EXPECT_EQ(rib.prefix_count(), 3u);
 }
 
 }  // namespace

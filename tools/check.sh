@@ -5,11 +5,14 @@
 #   2. run the full ctest suite (including the malformed-input fuzz
 #      corpus) under the sanitizers
 #   3. repeat the golden + propagation oracle/cache-equality +
-#      batched-lane-equality + streaming-ingest tests across the
-#      MANRS_THREADS x MANRS_GRAIN environment matrix (byte-equality
-#      at every combination), then the ingest goldens once more under
-#      ASan with explicit emphasis (MrtIngest/UpdateStream: block-scan
-#      stitching, mmap decode, update-stream folding)
+#      batched-lane-equality + streaming-ingest + snapshot-series
+#      tests across the MANRS_THREADS x MANRS_GRAIN environment matrix
+#      (byte-equality at every combination), then the ingest goldens
+#      once more under ASan with explicit emphasis
+#      (MrtIngest/UpdateStream: block-scan stitching, mmap decode,
+#      update-stream folding), then a series-smoke stage (manrs_series
+#      sweeping the temporal snapshot engine at tiny scale with every
+#      day oracle-checked against cold rebuilds)
 #   4. TSan build + run of the parallel-pipeline tests (thread pool,
 #      the serial-vs-parallel golden tests, the sharded RIB merge, the
 #      propagation oracle, cache-equality, batched-lane, and
@@ -79,7 +82,7 @@ for matrix_threads in 2 4; do
     ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}" \
     UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
       ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
-        -R 'ParallelGolden|PropagationOracle|PropagationCache|PropagationBatch|MrtIngest|UpdateStream'
+        -R 'ParallelGolden|PropagationOracle|PropagationCache|PropagationBatch|MrtIngest|UpdateStream|SnapshotSeries|DeltaOracle'
   done
 done
 
@@ -94,13 +97,23 @@ UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
     -R 'MrtIngest|UpdateStream'
 
+step "series-smoke (manrs_series, tiny scale, oracle-checked)"
+# The temporal snapshot engine end to end under ASan: a 12-day sweep of
+# the daily-delta evolution, every day's outputs byte-checked against an
+# independent cold rebuild (--oracle), Fig 2/6/9 series on stdout.
+MANRS_SCALE=tiny \
+ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+  "./$BUILD_DIR/tools/manrs_series" --days 12 --oracle
+
 if [[ "${TSAN:-1}" != "0" && "$SANITIZE" != "thread" ]]; then
   TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 
   step "TSan: build parallel-pipeline tests"
   cmake -B "$TSAN_BUILD_DIR" -S . -DSANITIZE=thread
   cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
-    --target tests_util tests_integration tests_bgp_mrt perf_pipeline
+    --target tests_util tests_integration tests_bgp_mrt tests_series \
+    perf_pipeline
 
   step "TSan: parallel + golden + propagation cache tests"
   # The pool, env-parsing, and shutdown tests plus the serial-vs-parallel
@@ -111,7 +124,7 @@ if [[ "${TSAN:-1}" != "0" && "$SANITIZE" != "thread" ]]; then
   # first race.
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-      -R 'Parallel|ThreadPool|PropagationOracle|PropagationCache|PropagationBatch|MrtIngest|UpdateStream'
+      -R 'Parallel|ThreadPool|PropagationOracle|PropagationCache|PropagationBatch|MrtIngest|UpdateStream|SnapshotSeries|DeltaOracle'
 
   step "TSan: golden + cache tests at MANRS_GRAIN=1 (max chunk handoff)"
   # Grain 1 maximises work-counter contention, cross-thread row handoffs
@@ -120,10 +133,14 @@ if [[ "${TSAN:-1}" != "0" && "$SANITIZE" != "thread" ]]; then
   MANRS_THREADS=4 MANRS_GRAIN=1 \
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-      -R 'ParallelGolden|PropagationOracle|PropagationCache|PropagationBatch|MrtIngest|UpdateStream'
+      -R 'ParallelGolden|PropagationOracle|PropagationCache|PropagationBatch|MrtIngest|UpdateStream|SnapshotSeries|DeltaOracle'
 
   step "TSan: perf_pipeline smoke (MANRS_SCALE=tiny)"
+  # MANRS_SERIES_DAYS caps the snapshot_series stage (default 64 days)
+  # so the TSan smoke stays bounded; 16 days still crosses two weekly
+  # membership batches.
   MANRS_SCALE=tiny \
+  MANRS_SERIES_DAYS=16 \
   MANRS_BENCH_JSON="$TSAN_BUILD_DIR/BENCH_pipeline.smoke.json" \
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     "./$TSAN_BUILD_DIR/bench/perf_pipeline"
@@ -136,6 +153,7 @@ if [[ "${SMOKE_LARGE:-1}" != "0" ]]; then
   # repo's BENCH_pipeline.json only accumulates deliberate runs. Same
   # invocation as the smoke_large CMake target, but under ASan+UBSan.
   MANRS_SCALE=large \
+  MANRS_SERIES_DAYS=8 \
   MANRS_BENCH_JSON="$BUILD_DIR/BENCH_smoke_large.json" \
   ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}" \
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
