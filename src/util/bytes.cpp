@@ -13,8 +13,8 @@ std::string_view ByteCursor::ascii(size_t n) {
 // The casts below are the codebase's one sanctioned byte<->char aliasing
 // site: uint8_t and char have the same size and alignment, and aliasing
 // through [unsigned] char is explicitly defined behaviour. Everything
-// above the stream boundary works in uint8_t spans only.
-// lint-ok: audited aliasing bridge
+// above the stream boundary works in uint8_t spans only. (This file is
+// on the reinterpret-cast allowlist, so no waiver is needed here.)
 
 bool read_exact(std::istream& in, std::span<uint8_t> out) {
   if (out.empty()) return true;

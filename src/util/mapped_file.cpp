@@ -52,7 +52,7 @@ bool read_whole_file(const std::string& path, std::vector<uint8_t>& out) {
 bool MappedFile::open(const std::string& path) {
   close();
 #if MANRS_HAVE_MMAP
-  int fd = ::open(path.c_str(), O_RDONLY);  // lint-ok: POSIX open, not a parse path
+  int fd = ::open(path.c_str(), O_RDONLY);  // POSIX open, not a parse path
   if (fd >= 0) {
     struct stat st{};
     bool is_regular = fstat(fd, &st) == 0 && S_ISREG(st.st_mode);

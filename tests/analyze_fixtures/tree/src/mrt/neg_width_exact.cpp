@@ -1,0 +1,10 @@
+// Negative: the same read shape as pos_width_fixed, but the guard
+// proves exactly the 12 bytes the reads consume.
+void f_width_exact(const Bytes& data) {
+  ByteCursor c(data);
+  if (!c.can_read(12)) return;
+  auto a = c.u64();
+  auto b = c.u32();
+  (void)a;
+  (void)b;
+}

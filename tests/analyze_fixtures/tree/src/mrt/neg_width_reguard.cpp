@@ -1,0 +1,11 @@
+// Negative: the cursor re-guards after consuming its first proof, so
+// every read is covered by the budget live at that point.
+void f_width_reguard(const Bytes& data) {
+  ByteCursor c(data);
+  if (!c.can_read(4)) return;
+  auto a = c.u32();
+  if (!c.can_read(8)) return;
+  auto b = c.u64();
+  (void)a;
+  (void)b;
+}

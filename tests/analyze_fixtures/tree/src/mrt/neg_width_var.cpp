@@ -1,0 +1,9 @@
+// Negative: the tracked-variable guard width covers the read exactly.
+#include <cstddef>
+void f_width_var_ok(const Bytes& data) {
+  ByteCursor c(data);
+  std::size_t len = 6;
+  if (!c.can_read(len)) return;
+  auto v = c.bytes(len);
+  (void)v;
+}

@@ -1,0 +1,13 @@
+// Positive: the callee consumes 8 bytes through its by-reference
+// cursor parameter on every path before guarding on its own, so the
+// caller's can_read(4) proof cannot cover the call.
+#include <cstdint>
+std::uint64_t read_fixed8(ByteCursor& c) {
+  return c.u64();
+}
+void f_width_caller(const Bytes& data) {
+  ByteCursor c(data);
+  if (!c.can_read(4)) return;
+  auto v = read_fixed8(c);
+  (void)v;
+}

@@ -1,0 +1,11 @@
+// Positive: the guard proves 8 bytes but the reads consume 12 -- the
+// can_read(8)-then-read-12 class the binary cursor-guard typestate
+// cannot see (the guard exists, it is just too narrow).
+void f_width_fixed(const Bytes& data) {
+  ByteCursor c(data);
+  if (!c.can_read(8)) return;
+  auto a = c.u64();
+  auto b = c.u32();
+  (void)a;
+  (void)b;
+}

@@ -1,0 +1,10 @@
+// Positive: the guard width and read width are a tracked local; the
+// read consumes two bytes more than the guard proved.
+#include <cstddef>
+void f_width_var(const Bytes& data) {
+  ByteCursor c(data);
+  std::size_t len = 4;
+  if (!c.can_read(len)) return;
+  auto v = c.bytes(len + 2);
+  (void)v;
+}

@@ -1,0 +1,13 @@
+// Negative: the write to the captured accumulator happens under a
+// scoped lock that stays live to the end of the lambda body.
+#include <cstddef>
+#include <mutex>
+void f_locked(std::size_t n) {
+  std::size_t total = 0;
+  std::mutex mu;
+  util::parallel_for(n, [&](std::size_t i) {
+    std::scoped_lock lk(mu);
+    total += i;
+  });
+  (void)total;
+}

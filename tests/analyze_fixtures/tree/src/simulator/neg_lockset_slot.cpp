@@ -1,0 +1,11 @@
+// Negative: the slot index is a linear function of the loop variable
+// with a nonzero coefficient, so writes land in disjoint elements.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+void f_slot_ok(std::size_t n, std::vector<std::uint64_t>& out) {
+  util::parallel_for(n, [&](std::size_t i) {
+    std::size_t slot = 2 * i + 1;
+    out[slot] = i;
+  });
+}

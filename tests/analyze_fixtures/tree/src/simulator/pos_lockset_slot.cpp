@@ -1,0 +1,11 @@
+// Positive: the slot index is a constant, not a function of the loop
+// variable -- every iteration writes the same element concurrently.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+void f_slot_race(std::size_t n, std::vector<std::uint64_t>& out) {
+  util::parallel_for(n, [&](std::size_t i) {
+    std::size_t slot = 0;
+    out[slot] += i;
+  });
+}

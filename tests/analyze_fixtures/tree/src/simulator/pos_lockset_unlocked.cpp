@@ -1,0 +1,15 @@
+// Positive: the RAII lock is released before the write. The old
+// lexical heuristic accepted any lock type named in the body; the
+// lockset analysis sees the write outside the live region.
+#include <cstddef>
+#include <mutex>
+void f_unlocked(std::size_t n) {
+  std::size_t total = 0;
+  std::mutex mu;
+  util::parallel_for(n, [&](std::size_t i) {
+    std::unique_lock lk(mu);
+    lk.unlock();
+    total += i;
+  });
+  (void)total;
+}

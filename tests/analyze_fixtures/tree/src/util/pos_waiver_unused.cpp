@@ -1,0 +1,5 @@
+// Positive: the inline waiver suppresses no finding -- the line it
+// sits on is clean, so the comment is stale.
+void f_unused_waiver(int* dst, const int* src) {
+  *dst = *src;  // lint-ok: nothing here ever fired
+}

@@ -1,0 +1,5 @@
+// Positive: a standalone stale waiver; the next code line is clean.
+void f_unused_standalone(int a, int* out) {
+  // lint-ok: stale waiver over a clean line
+  *out = a;
+}

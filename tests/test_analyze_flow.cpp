@@ -1,13 +1,16 @@
 // In-process unit tests for the flow layer of manrs_analyze: function
 // discovery, CFG shape, protocol-spec parsing, waiver-comment edge
-// cases, and the typestate engine run end-to-end over synthetic files.
+// cases, the typestate engine, the interval lattice, and the value
+// engine run end-to-end over synthetic files.
 #include <gtest/gtest.h>
 
 #include <string>
 #include <vector>
 
 #include "analyze/analyzer.h"
+#include "analyze/callgraph.h"
 #include "analyze/cfg.h"
+#include "analyze/intervals.h"
 #include "analyze/rule.h"
 #include "analyze/typestate.h"
 
@@ -15,15 +18,24 @@ namespace {
 
 using manrs::analyze::analyze_text;
 using manrs::analyze::AnalyzedFile;
+using manrs::analyze::build_call_graph;
 using manrs::analyze::build_cfg;
+using manrs::analyze::CallGraph;
 using manrs::analyze::Cfg;
 using manrs::analyze::find_functions;
 using manrs::analyze::Finding;
 using manrs::analyze::FunctionDef;
+using manrs::analyze::Interval;
+using manrs::analyze::interval_add;
+using manrs::analyze::interval_join;
+using manrs::analyze::interval_mul;
+using manrs::analyze::interval_sub;
+using manrs::analyze::interval_widen;
 using manrs::analyze::is_waiver_comment;
 using manrs::analyze::parse_protocols;
 using manrs::analyze::ProtocolSpec;
 using manrs::analyze::TypestateEngine;
+using manrs::analyze::ValueEngine;
 
 TEST(AnalyzeFlow, FindFunctionsRecoversQualifiedNamesAndParams) {
   AnalyzedFile f = analyze_text(
@@ -181,7 +193,8 @@ TEST(AnalyzeFlow, EngineFlagsStagedReadAcrossFunctions) {
       &error);
   ASSERT_TRUE(error.empty()) << error;
   std::vector<const AnalyzedFile*> files = {&f};
-  TypestateEngine engine(std::move(specs), files);
+  CallGraph graph = build_call_graph(files);
+  TypestateEngine engine(std::move(specs), files, &graph);
   std::vector<Finding> findings = engine.check_file(0);
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, "rib-typestate");
@@ -211,8 +224,199 @@ TEST(AnalyzeFlow, EngineStaysQuietWhenProtocolIsFollowed) {
       &error);
   ASSERT_TRUE(error.empty()) << error;
   std::vector<const AnalyzedFile*> files = {&f};
-  TypestateEngine engine(std::move(specs), files);
+  CallGraph graph = build_call_graph(files);
+  TypestateEngine engine(std::move(specs), files, &graph);
   EXPECT_TRUE(engine.check_file(0).empty());
+}
+
+TEST(AnalyzeIntervals, JoinIdentitySinkAndHull) {
+  Interval b = Interval::bottom();
+  Interval u = Interval::unknown();
+  Interval r = Interval::range(2, 5);
+  // Bottom is the identity of join.
+  EXPECT_EQ(interval_join(b, r), r);
+  EXPECT_EQ(interval_join(r, b), r);
+  EXPECT_EQ(interval_join(b, b), b);
+  // Unknown is the sink.
+  EXPECT_EQ(interval_join(u, r), u);
+  EXPECT_EQ(interval_join(r, u), u);
+  // Ranges take the convex hull.
+  EXPECT_EQ(interval_join(r, Interval::range(7, 9)), Interval::range(2, 9));
+  EXPECT_EQ(interval_join(Interval::constant(4), Interval::constant(4)),
+            Interval::constant(4));
+}
+
+TEST(AnalyzeIntervals, WideningJumpsToUnknownOnGrowth) {
+  Interval r = Interval::range(0, 4);
+  // Stable or narrowing values keep the previous bound.
+  EXPECT_EQ(interval_widen(r, r), r);
+  EXPECT_EQ(interval_widen(r, Interval::range(1, 3)), r);
+  // Any growth in either direction goes straight to Unknown.
+  EXPECT_EQ(interval_widen(r, Interval::range(0, 5)), Interval::unknown());
+  EXPECT_EQ(interval_widen(r, Interval::range(-1, 4)), Interval::unknown());
+  // Bottom previous just adopts the next value.
+  EXPECT_EQ(interval_widen(Interval::bottom(), r), r);
+}
+
+TEST(AnalyzeIntervals, ArithmeticPropagatesAndSaturates) {
+  Interval a = Interval::range(1, 3);
+  Interval b = Interval::range(10, 20);
+  EXPECT_EQ(interval_add(a, b), Interval::range(11, 23));
+  EXPECT_EQ(interval_sub(b, a), Interval::range(7, 19));
+  EXPECT_EQ(interval_mul(a, b), Interval::range(10, 60));
+  // Negative factors flip the bound order; mul must take min/max
+  // over all four corner products.
+  EXPECT_EQ(interval_mul(Interval::range(-2, 3), Interval::range(4, 5)),
+            Interval::range(-10, 15));
+  // Unknown propagates, Bottom propagates.
+  EXPECT_EQ(interval_add(Interval::unknown(), a), Interval::unknown());
+  EXPECT_EQ(interval_add(Interval::bottom(), a), Interval::bottom());
+  // Overflow saturates instead of wrapping (stays a range, not UB).
+  Interval big = Interval::constant(1LL << 62);
+  EXPECT_EQ(interval_mul(big, big).kind, Interval::kRange);
+}
+
+namespace {
+// Shared width protocol for the ValueEngine tests below.
+const char* kWidthProto =
+    "protocol cursor-width\n"
+    "  kind width\n"
+    "  type ByteCursor\n"
+    "  severity warning\n"
+    "  summary guard proves fewer bytes than the reads consume\n"
+    "  scope src/\n"
+    "  guard can_read remaining\n"
+    "  read u16 2\n"
+    "  read u32 4\n"
+    "  read u64 8\n"
+    "  read bytes arg\n"
+    "end\n";
+}  // namespace
+
+TEST(AnalyzeFlow, ValueEngineFlagsGuardNarrowerThanReads) {
+  AnalyzedFile f = analyze_text(
+      "src/mrt/x.cpp",
+      "void parse(ByteCursor& c) {\n"
+      "  if (!c.can_read(8)) return;\n"
+      "  auto a = c.u64();\n"
+      "  auto b = c.u32();\n"  // 12 > 8: overrun
+      "  (void)a; (void)b;\n"
+      "}\n");
+  std::string error;
+  std::vector<ProtocolSpec> specs = parse_protocols(kWidthProto, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  std::vector<const AnalyzedFile*> files = {&f};
+  CallGraph graph = build_call_graph(files);
+  ValueEngine engine(std::move(specs), files, &graph);
+  std::vector<Finding> findings = engine.check_file(0);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "cursor-width");
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(AnalyzeFlow, ValueEngineTracksArithmeticOnGuardedLength) {
+  // The guard budget covers len but not len + 2: the lattice has to
+  // evaluate the addition to see the overrun.
+  AnalyzedFile f = analyze_text(
+      "src/mrt/x.cpp",
+      "void parse(ByteCursor& c) {\n"
+      "  std::size_t len = 4;\n"
+      "  if (!c.can_read(len)) return;\n"
+      "  auto v = c.bytes(len + 2);\n"
+      "  (void)v;\n"
+      "}\n");
+  std::string error;
+  std::vector<ProtocolSpec> specs = parse_protocols(kWidthProto, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  std::vector<const AnalyzedFile*> files = {&f};
+  CallGraph graph = build_call_graph(files);
+  ValueEngine engine(std::move(specs), files, &graph);
+  std::vector<Finding> findings = engine.check_file(0);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(AnalyzeFlow, ValueEngineAcceptsExactAndRenewedGuards) {
+  AnalyzedFile f = analyze_text(
+      "src/mrt/x.cpp",
+      "void parse(ByteCursor& c) {\n"
+      "  if (!c.can_read(4)) return;\n"
+      "  auto a = c.u32();\n"
+      "  if (!c.can_read(8)) return;\n"
+      "  auto b = c.u64();\n"
+      "  (void)a; (void)b;\n"
+      "}\n");
+  std::string error;
+  std::vector<ProtocolSpec> specs = parse_protocols(kWidthProto, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  std::vector<const AnalyzedFile*> files = {&f};
+  CallGraph graph = build_call_graph(files);
+  ValueEngine engine(std::move(specs), files, &graph);
+  EXPECT_TRUE(engine.check_file(0).empty());
+}
+
+TEST(AnalyzeFlow, ValueEngineChargesCalleeConsumptionToCaller) {
+  // The callee consumes 8 bytes on every path; the caller only proved
+  // 4, so the pass site is the finding.
+  AnalyzedFile f = analyze_text(
+      "src/mrt/x.cpp",
+      "unsigned long read8(ByteCursor& c) { return c.u64(); }\n"
+      "void parse(ByteCursor& c) {\n"
+      "  if (!c.can_read(4)) return;\n"
+      "  auto v = read8(c);\n"
+      "  (void)v;\n"
+      "}\n");
+  std::string error;
+  std::vector<ProtocolSpec> specs = parse_protocols(kWidthProto, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  std::vector<const AnalyzedFile*> files = {&f};
+  CallGraph graph = build_call_graph(files);
+  ValueEngine engine(std::move(specs), files, &graph);
+  std::vector<Finding> findings = engine.check_file(0);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("read8"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(AnalyzeFlow, ValueEngineLocksetAcceptsLinearSlotRejectsConstant) {
+  const char* proto =
+      "protocol lockset-race\n"
+      "  kind lockset\n"
+      "  severity error\n"
+      "  summary parallel write with a possibly-empty lockset\n"
+      "  scope src/\n"
+      "  functions parallel_for\n"
+      "  lock lock_guard unique_lock scoped_lock\n"
+      "  atomic atomic\n"
+      "end\n";
+  AnalyzedFile bad = analyze_text(
+      "src/simulator/bad.cpp",
+      "void f(std::size_t n, std::vector<int>& out) {\n"
+      "  util::parallel_for(n, [&](std::size_t i) {\n"
+      "    std::size_t slot = 0;\n"
+      "    out[slot] += static_cast<int>(i);\n"
+      "  });\n"
+      "}\n");
+  AnalyzedFile good = analyze_text(
+      "src/simulator/good.cpp",
+      "void f(std::size_t n, std::vector<int>& out) {\n"
+      "  util::parallel_for(n, [&](std::size_t i) {\n"
+      "    std::size_t slot = 2 * i + 1;\n"
+      "    out[slot] = static_cast<int>(i);\n"
+      "  });\n"
+      "}\n");
+  std::string error;
+  std::vector<ProtocolSpec> specs = parse_protocols(proto, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  std::vector<const AnalyzedFile*> files = {&bad, &good};
+  CallGraph graph = build_call_graph(files);
+  ValueEngine engine(std::move(specs), files, &graph);
+  std::vector<Finding> findings = engine.check_file(0);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lockset-race");
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_TRUE(engine.check_file(1).empty());
 }
 
 }  // namespace

@@ -94,13 +94,18 @@ TEST(AnalyzeRules, FixtureTreeFindingsMatchExactly) {
       {"src/mrt/pos_throw.cpp", 5, "parse-throw-boundary"},
       {"src/mrt/pos_union.cpp", 2, "union-punning"},
       {"src/mrt/pos_waiver_rawstring.cpp", 4, "unchecked-memcpy"},
+      {"src/mrt/pos_width_caller.cpp", 11, "cursor-width"},
+      {"src/mrt/pos_width_fixed.cpp", 8, "cursor-width"},
+      {"src/mrt/pos_width_var.cpp", 8, "cursor-width"},
       {"src/netbase/pos_layer.cpp", 1, "layer-violation"},
       {"src/simulator/pos_bws_shared_parallel.cpp", 7, "batch-workspace"},
       {"src/simulator/pos_bws_stale_seed.cpp", 5, "batch-workspace"},
       {"src/simulator/pos_det_iter.cpp", 7, "determinism-iteration"},
+      {"src/simulator/pos_lockset_slot.cpp", 9, "lockset-race"},
+      {"src/simulator/pos_lockset_unlocked.cpp", 12, "lockset-race"},
       {"src/simulator/pos_nested_capture.cpp", 6, "nested-parallel"},
       {"src/simulator/pos_nested_map_capture.cpp", 6, "nested-parallel"},
-      {"src/simulator/pos_par_capture.cpp", 7, "parallel-capture"},
+      {"src/simulator/pos_par_capture.cpp", 7, "lockset-race"},
       {"src/simulator/pos_ribmap.cpp", 7, "rib-map"},
       {"src/simulator/pos_ws_shared_parallel.cpp", 7, "workspace-epoch"},
       {"src/simulator/pos_ws_stale_install.cpp", 5, "workspace-epoch"},
@@ -112,6 +117,8 @@ TEST(AnalyzeRules, FixtureTreeFindingsMatchExactly) {
       {"src/util/pos_thread.cpp", 4, "raw-thread"},
       {"src/util/pos_unbounded.cpp", 3, "unbounded-copy"},
       {"src/util/pos_waiver_noreason.cpp", 3, "unbounded-copy"},
+      {"src/util/pos_waiver_unused.cpp", 4, "unused-waiver"},
+      {"src/util/pos_waiver_unused_standalone.cpp", 3, "unused-waiver"},
   };
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(parse_findings(r.out), expected) << r.out;
@@ -128,13 +135,14 @@ TEST(AnalyzeRules, RegexCorpusParityAllPortedRulesFire) {
   for (const FindingKey& k : parse_findings(r.out)) {
     fired.insert(std::get<2>(k));
   }
-  const std::array<const char*, 20> all_rules = {
+  const std::array<const char*, 22> all_rules = {
       "reinterpret-cast", "unchecked-memcpy", "throwing-strtox",
       "locale-atox", "unbounded-copy", "union-punning", "raw-thread",
-      "rib-map", "std-hash", "determinism-iteration", "parallel-capture",
+      "rib-map", "std-hash", "determinism-iteration", "lockset-race",
       "layer-violation", "parse-throw-boundary", "rib-typestate",
       "workspace-epoch", "batch-workspace", "cursor-guard",
-      "nested-parallel", "mapped-span", "series-delta"};
+      "nested-parallel", "mapped-span", "series-delta", "cursor-width",
+      "unused-waiver"};
   for (const char* rule : all_rules) {
     EXPECT_EQ(fired.count(rule), 1u) << "rule never fired: " << rule;
   }
@@ -159,10 +167,11 @@ TEST(AnalyzeRules, ListRulesShowsFullCatalog) {
   RunResult r = run_analyzer("--list-rules");
   EXPECT_EQ(r.exit_code, 0);
   for (const char* rule :
-       {"reinterpret-cast", "determinism-iteration", "parallel-capture",
+       {"reinterpret-cast", "determinism-iteration", "lockset-race",
         "layer-violation", "parse-throw-boundary", "rib-typestate",
         "workspace-epoch", "batch-workspace", "cursor-guard",
-        "nested-parallel", "mapped-span", "series-delta"}) {
+        "nested-parallel", "mapped-span", "series-delta", "cursor-width",
+        "unused-waiver"}) {
     EXPECT_NE(r.out.find(rule), std::string::npos) << rule;
   }
 }

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "analyze/cache.h"
+#include "analyze/intervals.h"
 #include "analyze/typestate.h"
 #include "util/parallel.h"
 
@@ -50,8 +51,15 @@ bool allowlisted(const std::string& rule, const std::string& rel) {
 }  // namespace
 
 bool is_waiver_comment(const std::string& text) {
-  size_t pos = text.find("lint-ok:");
-  if (pos == std::string::npos) return false;
+  // The marker must open the comment ("// lint-ok: reason"): prose that
+  // merely quotes lint-ok elsewhere in a comment is not a waiver.
+  size_t pos = 0;
+  while (pos < text.size() &&
+         (text[pos] == '/' || text[pos] == '*' ||
+          std::isspace(static_cast<unsigned char>(text[pos])))) {
+    ++pos;
+  }
+  if (text.compare(pos, 8, "lint-ok:") != 0) return false;
   pos += 8;
   while (pos < text.size() &&
          std::isspace(static_cast<unsigned char>(text[pos]))) {
@@ -241,7 +249,13 @@ AnalyzedFile analyze_text(std::string rel_path, std::string text) {
     const Token& t = toks[i];
     if (t.kind == TokenKind::kComment) {
       if (is_waiver_comment(t.text)) {
-        for (int l = t.line; l <= t.end_line; ++l) file.waived_lines.insert(l);
+        WaiverSite site;
+        site.line = t.line;
+        for (int l = t.line; l <= t.end_line; ++l) {
+          file.waived_lines.insert(l);
+          site.covers.insert(l);
+        }
+        file.waiver_sites.push_back(std::move(site));
         if (!line_has_code[t.line]) pending_waiver_line = t.end_line + 1;
       }
       continue;
@@ -254,17 +268,22 @@ AnalyzedFile analyze_text(std::string rel_path, std::string text) {
   if (pending_waiver_line != 0) {
     // Re-scan: each standalone waiver comment covers the next line.
     bool prev_standalone_waiver = false;
+    int prev_comment_line = 0;
     int prev_end_line = 0;
     for (const Token& t : toks) {
       if (t.kind == TokenKind::kComment && is_waiver_comment(t.text) &&
           !line_has_code[t.line]) {
         prev_standalone_waiver = true;
+        prev_comment_line = t.line;
         prev_end_line = t.end_line;
         continue;
       }
       if (prev_standalone_waiver && t.kind != TokenKind::kEndOfFile &&
           t.line > prev_end_line) {
         file.waived_lines.insert(t.line);
+        for (WaiverSite& site : file.waiver_sites) {
+          if (site.line == prev_comment_line) site.covers.insert(t.line);
+        }
         prev_standalone_waiver = false;
       }
     }
@@ -409,6 +428,11 @@ std::vector<CatalogEntry> Analyzer::rule_catalog() const {
     out.push_back(CatalogEntry{info.id, info.severity, info.summary,
                                info.hint});
   }
+  out.push_back(CatalogEntry{
+      "unused-waiver", "info",
+      "a lint-ok comment that suppresses no finding is stale and hides "
+      "the rule it once silenced",
+      "delete the stale comment (or fix the rule id it targets)"});
   for (const ProtocolSpec& spec : protocols_) {
     out.push_back(CatalogEntry{spec.id, spec.severity, spec.summary,
                                spec.hint});
@@ -427,11 +451,15 @@ AnalysisResult Analyzer::run() {
   // surfaces protocol_error() as a configuration error).
   std::vector<ProtocolSpec> protos =
       protocol_error_.empty() ? protocols_ : std::vector<ProtocolSpec>{};
-  TypestateEngine engine(std::move(protos), file_ptrs);
+  // One cross-TU call graph shared by the typestate and value engines.
+  CallGraph graph = build_call_graph(file_ptrs);
+  TypestateEngine engine(protos, file_ptrs, &graph);
+  ValueEngine value_engine(std::move(protos), file_ptrs, &graph);
 
   // The cache key folds in everything that can change a file's results
   // besides its own content: the rule set, the layer and protocol
-  // configs, and the cross-TU environment (summaries, caller-try sets).
+  // configs, and the cross-TU environment (summaries, caller-try sets,
+  // the value lattice).
   ResultCache cache(cache_dir_, [&] {
     uint64_t h = fnv1a64("manrs_analyze-cache");
     for (const auto& rule : rules) h = fnv1a64(rule->info().id, h);
@@ -439,6 +467,8 @@ AnalysisResult Analyzer::run() {
     h = fnv1a64(protocols_text_, h);
     uint64_t env = engine.environment_hash();
     h ^= env + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    uint64_t value_env = value_engine.environment_hash();
+    h ^= value_env + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
     return h;
   }());
 
@@ -472,11 +502,34 @@ AnalysisResult Analyzer::run() {
     std::vector<Finding> flow = engine.check_file(i);
     raw.insert(raw.end(), std::make_move_iterator(flow.begin()),
                std::make_move_iterator(flow.end()));
+    std::vector<Finding> value = value_engine.check_file(i);
+    raw.insert(raw.end(), std::make_move_iterator(value.begin()),
+               std::make_move_iterator(value.end()));
+    std::vector<uint8_t> site_used(file.waiver_sites.size(), 0);
     for (Finding& f : raw) {
       if (file.waived_lines.count(f.line) != 0) {
         ++slot.waived;
+        for (size_t s = 0; s < file.waiver_sites.size(); ++s) {
+          if (file.waiver_sites[s].covers.count(f.line) != 0) site_used[s] = 1;
+        }
         continue;
       }
+      slot.findings.push_back(std::move(f));
+    }
+    // Waiver hygiene: a lint-ok comment that absorbed nothing is dead
+    // weight (the finding it silenced was fixed, or it never matched).
+    // Emitted after the waiver filter, so a stale waiver cannot waive
+    // its own report.
+    for (size_t s = 0; s < file.waiver_sites.size(); ++s) {
+      if (site_used[s] != 0) continue;
+      Finding f;
+      f.file = file.rel_path;
+      f.line = file.waiver_sites[s].line;
+      f.col = 1;
+      f.rule = "unused-waiver";
+      f.severity = "info";
+      f.message = "lint-ok waiver suppresses no finding; remove it";
+      f.hint = "delete the stale comment (or fix the rule id it targets)";
       slot.findings.push_back(std::move(f));
     }
     if (cache.enabled()) {

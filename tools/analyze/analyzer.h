@@ -50,6 +50,14 @@ struct LayerConfig {
 /// Parse a layers.txt. Lines: `module: dep dep ...`; '#' comments.
 LayerConfig parse_layers(const std::string& text, std::string path);
 
+/// One `// lint-ok:` comment and the source lines it suppresses
+/// findings on. The analyzer marks sites that actually absorbed a
+/// finding; the rest are reported as unused-waiver.
+struct WaiverSite {
+  int line = 0;         // line of the waiver comment itself
+  std::set<int> covers; // lines whose findings this comment waives
+};
+
 struct AnalyzedFile {
   std::string rel_path;  // posix, relative to the analysis root
   std::string text;      // raw file content (cache keys hash it)
@@ -59,6 +67,7 @@ struct AnalyzedFile {
   std::vector<size_t> encl;   // per code position: enclosing '{' code position
   std::vector<IncludeDirective> includes;
   std::set<int> waived_lines;
+  std::vector<WaiverSite> waiver_sites;
   // name -> source lines where an unordered_map/unordered_set variable
   // of that name is declared in this file.
   std::map<std::string, std::vector<int>> unordered_vars;
@@ -67,8 +76,9 @@ struct AnalyzedFile {
   std::set<std::string> unordered_fn_decls;
 };
 
-/// True for a comment carrying a `lint-ok: <reason>` waiver (a bare
-/// "lint-ok:" with no reason waives nothing).
+/// True for a comment that opens with a `lint-ok: <reason>` waiver (a
+/// bare "lint-ok:" with no reason waives nothing, and prose that only
+/// mentions lint-ok mid-comment is not a waiver).
 bool is_waiver_comment(const std::string& text);
 
 /// Lex + index one buffer: code view, waiver lines, bracket match /

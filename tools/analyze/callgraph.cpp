@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "util/parallel.h"
+
 namespace manrs::analyze {
 
 namespace {
@@ -146,6 +148,19 @@ bool CallGraph::all_callers_in_try(size_t fn) const {
     if (!sites_[s].in_try) return false;
   }
   return true;
+}
+
+CallGraph build_call_graph(const std::vector<const AnalyzedFile*>& files) {
+  std::vector<std::vector<FunctionDef>> defs(files.size());
+  std::vector<std::vector<Cfg>> cfgs(files.size());
+  util::parallel_for(files.size(), [&](size_t i) {
+    defs[i] = find_functions(*files[i]);
+    cfgs[i].reserve(defs[i].size());
+    for (const FunctionDef& fn : defs[i]) {
+      cfgs[i].push_back(build_cfg(*files[i], fn));
+    }
+  });
+  return CallGraph(files, std::move(defs), std::move(cfgs));
 }
 
 }  // namespace manrs::analyze

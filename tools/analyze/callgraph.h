@@ -69,4 +69,9 @@ class CallGraph {
   std::vector<size_t> empty_;
 };
 
+/// Build (defs, cfgs) for every file, fanned out over the pool, and
+/// hand them to a CallGraph. The shared entry point for every engine
+/// that needs the cross-TU graph (typestate, value analysis).
+CallGraph build_call_graph(const std::vector<const AnalyzedFile*>& files);
+
 }  // namespace manrs::analyze

@@ -542,4 +542,93 @@ Cfg build_cfg(const AnalyzedFile& file, const FunctionDef& fn) {
   return CfgBuilder(v, fn).build();
 }
 
+LambdaExpr find_lambda_arg(const AnalyzedFile& f, size_t call) {
+  constexpr size_t npos = FileContext::npos;
+  auto tok = [&](size_t i) -> const Token& { return f.tokens[f.code[i]]; };
+  LambdaExpr lam;
+  size_t open = call + 1;
+  // parallel_map<T>(...): jump the template argument list.
+  if (open < f.code.size() && tok(open).is_punct("<")) {
+    int depth = 0;
+    for (size_t j = open; j < f.code.size() && j < open + 64; ++j) {
+      if (tok(j).is_punct("<")) ++depth;
+      if (tok(j).is_punct(">") && --depth == 0) {
+        open = j + 1;
+        break;
+      }
+      if (tok(j).is_punct(">>")) {
+        depth -= 2;
+        if (depth <= 0) {
+          open = j + 1;
+          break;
+        }
+      }
+    }
+  }
+  if (open >= f.code.size() || !tok(open).is_punct("(") ||
+      f.match[open] == npos) {
+    return lam;
+  }
+  size_t close = f.match[open];
+  for (size_t j = open + 1; j < close; ++j) {
+    if (tok(j).is_punct("[") && f.match[j] != npos && f.match[j] < close) {
+      size_t cc = f.match[j];
+      size_t k = cc + 1;
+      LambdaExpr cand;
+      cand.lbracket = j;
+      cand.cap_close = cc;
+      if (k < close && tok(k).is_punct("(") && f.match[k] != npos) {
+        cand.params_open = k;
+        cand.params_close = f.match[k];
+        k = f.match[k] + 1;
+      }
+      // skip mutable / noexcept / trailing return
+      while (k < close && !tok(k).is_punct("{") && k < cc + 48) ++k;
+      if (k < close && tok(k).is_punct("{") && f.match[k] != npos) {
+        cand.body_open = k;
+        cand.body_close = f.match[k];
+        return cand;
+      }
+    }
+  }
+  return lam;
+}
+
+bool captures_by_ref(const AnalyzedFile& f, const LambdaExpr& lam,
+                     const std::string& name) {
+  auto tok = [&](size_t i) -> const Token& { return f.tokens[f.code[i]]; };
+  bool ref_default = false;
+  bool by_value = false;
+  bool by_ref = false;
+  for (size_t j = lam.lbracket + 1; j < lam.cap_close; ++j) {
+    const Token& t = tok(j);
+    if (t.is_punct("&")) {
+      if (j + 1 < lam.cap_close && tok(j + 1).kind == TokenKind::kIdentifier) {
+        if (tok(j + 1).text == name) by_ref = true;
+        ++j;
+      } else {
+        ref_default = true;
+      }
+      continue;
+    }
+    if (t.kind == TokenKind::kIdentifier && t.text == name) {
+      // "[i]" / "[&, i]" / "[i = expr]" -- a by-value (re)binding.
+      by_value = true;
+    }
+  }
+  if (by_ref) return true;
+  if (by_value) return false;
+  return ref_default;
+}
+
+std::string last_param_name(const AnalyzedFile& f, const LambdaExpr& lam) {
+  if (lam.params_open == FileContext::npos) return "";
+  auto tok = [&](size_t i) -> const Token& { return f.tokens[f.code[i]]; };
+  std::string name;
+  for (size_t j = lam.params_open + 1; j < lam.params_close; ++j) {
+    if (tok(j).kind == TokenKind::kIdentifier) name = tok(j).text;
+  }
+  return name;
+}
+
 }  // namespace manrs::analyze

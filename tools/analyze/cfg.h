@@ -64,4 +64,29 @@ std::vector<FunctionDef> find_functions(const AnalyzedFile& file);
 /// constructs degrade to linear ranges.
 Cfg build_cfg(const AnalyzedFile& file, const FunctionDef& fn);
 
+/// A lambda expression located in the code view. Shared by the lexical
+/// typestate checks and the lockset analysis.
+struct LambdaExpr {
+  size_t lbracket = FileContext::npos;   // '['
+  size_t cap_close = FileContext::npos;  // matching ']'
+  size_t body_open = FileContext::npos;  // '{'
+  size_t body_close = FileContext::npos; // matching '}'
+  size_t params_open = FileContext::npos;   // '(' of the parameter list
+  size_t params_close = FileContext::npos;
+};
+
+/// Locate the lambda argument of a call whose name token is at `call`
+/// (jumping an explicit template argument list). Returns
+/// lbracket == npos when no lambda literal is found.
+LambdaExpr find_lambda_arg(const AnalyzedFile& f, size_t call);
+
+/// True when the capture list takes `name` by reference: a bare '&'
+/// default not overridden by a by-value mention of `name`, or an
+/// explicit "&name".
+bool captures_by_ref(const AnalyzedFile& f, const LambdaExpr& lam,
+                     const std::string& name);
+
+/// Name of the last parameter of a lambda ("size_t i" -> "i").
+std::string last_param_name(const AnalyzedFile& f, const LambdaExpr& lam);
+
 }  // namespace manrs::analyze

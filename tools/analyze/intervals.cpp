@@ -1,0 +1,1483 @@
+// Interval lattice, the width dataflow pass, and the lockset scan.
+//
+// Everything here is engineered around one asymmetry: an overstated
+// byte *consumption* or an understated guard *budget* can only hide a
+// finding (a false negative), while the reverse invents one. So the
+// evaluator returns Unknown for anything it cannot fully consume, reads
+// of unknown width subtract zero from the budget, guards with
+// non-singleton arguments poison the budget to NoProof, and callee
+// summaries are min-over-paths under-approximations. The result is a
+// pass that stays silent the moment it loses the thread -- the same
+// zero-false-positive contract the typestate engine makes.
+#include "analyze/intervals.h"
+
+#include <algorithm>
+#include <climits>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/dataflow.h"
+
+namespace manrs::analyze {
+
+Interval interval_join(const Interval& a, const Interval& b) {
+  if (a.kind == Interval::kBottom) return b;
+  if (b.kind == Interval::kBottom) return a;
+  if (a.kind == Interval::kUnknown || b.kind == Interval::kUnknown) {
+    return Interval::unknown();
+  }
+  return Interval::range(std::min(a.lo, b.lo), std::max(a.hi, b.hi));
+}
+
+Interval interval_widen(const Interval& prev, const Interval& next) {
+  if (prev.kind == Interval::kBottom) return next;
+  if (next.kind == Interval::kBottom) return prev;
+  if (prev.kind == Interval::kUnknown || next.kind == Interval::kUnknown) {
+    return Interval::unknown();
+  }
+  if (next.lo >= prev.lo && next.hi <= prev.hi) return prev;
+  return Interval::unknown();
+}
+
+namespace {
+
+constexpr size_t npos = FileContext::npos;
+// Saturation bound for interval arithmetic: far from overflow even
+// after repeated +/-, so clamped math stays ordered.
+constexpr long long kSat = LLONG_MAX / 4;
+// Budget sentinel: no guard proof on some path into this point.
+constexpr long long kNoProof = LLONG_MIN;
+// Summary sentinel on the consumed counter: the callee established a
+// guard of its own (or lost the parameter); stop accumulating.
+constexpr long long kStopped = -(kSat * 2);
+
+long long clamp_sat(__int128 v) {
+  if (v > kSat) return kSat;
+  if (v < -kSat) return -kSat;
+  return static_cast<long long>(v);
+}
+
+uint64_t fnv1a_str(uint64_t h, const std::string& s) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= 0xff;  // field separator
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+uint64_t fnv1a_u64(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+int builtin_size(const std::string& name) {
+  static const std::map<std::string, int> kSizes = {
+      {"uint8_t", 1},  {"int8_t", 1},  {"char", 1},     {"bool", 1},
+      {"uint16_t", 2}, {"int16_t", 2}, {"short", 2},    {"uint32_t", 4},
+      {"int32_t", 4},  {"int", 4},     {"unsigned", 4}, {"float", 4},
+      {"uint64_t", 8}, {"int64_t", 8}, {"size_t", 8},   {"long", 8},
+      {"double", 8},   {"uintptr_t", 8}, {"ptrdiff_t", 8}};
+  auto it = kSizes.find(name);
+  return it == kSizes.end() ? 0 : it->second;
+}
+
+bool call_keyword(const std::string& s) {
+  static const std::set<std::string> kWords = {
+      "if",     "for",           "while",    "switch",   "catch",
+      "return", "sizeof",        "alignof",  "decltype", "throw",
+      "static_assert", "noexcept", "assert", "defined",  "case",
+      "new",    "delete",        "co_await", "co_return", "co_yield"};
+  return kWords.count(s) != 0;
+}
+
+bool compound_assign_tok(const Token& t) {
+  if (t.kind != TokenKind::kPunct) return false;
+  return t.text == "+=" || t.text == "-=" || t.text == "*=" ||
+         t.text == "/=" || t.text == "%=" || t.text == "&=" ||
+         t.text == "|=" || t.text == "^=" || t.text == "<<=" ||
+         t.text == ">>=";
+}
+
+bool comparison_tok(const Token& t) {
+  if (t.kind != TokenKind::kPunct) return false;
+  return t.text == "<" || t.text == "<=" || t.text == "==" ||
+         t.text == "!=" || t.text == ">" || t.text == ">=";
+}
+
+/// Parse an integer literal token (base prefixes, digit separators,
+/// integer suffixes). Returns false for floats / malformed.
+bool parse_int_literal(const std::string& text, long long* out) {
+  std::string body;
+  body.reserve(text.size());
+  for (char c : text) {
+    if (c != '\'') body.push_back(c);
+  }
+  while (!body.empty()) {
+    char c = body.back();
+    if (c == 'u' || c == 'U' || c == 'l' || c == 'L' || c == 'z' ||
+        c == 'Z') {
+      body.pop_back();
+    } else {
+      break;
+    }
+  }
+  if (body.empty()) return false;
+  char* end = nullptr;
+  long long v = std::strtoll(body.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Width pass: one function, one protocol, run in two modes.
+//
+// Check mode walks the CFG tracking, per cursor variable, the byte
+// budget proved by the dominating guard, and flags reads whose minimum
+// consumption exceeds it. Summary mode runs the same transfer focused
+// on one by-reference parameter and computes the bytes consumed on
+// *every* path before the callee guards on its own -- the value
+// check-mode charges at call sites that pass the cursor onward.
+// ---------------------------------------------------------------------------
+
+struct WidthViolation {
+  size_t pos = 0;
+  std::string message;
+};
+
+class WidthPass {
+ public:
+  WidthPass(const AnalyzedFile& f, const FunctionUnit& u,
+            const ProtocolSpec& spec, const CallGraph& graph,
+            const std::map<size_t, std::map<size_t, long long>>& required)
+      : f_(f), u_(u), spec_(spec), graph_(graph), required_(required) {
+    vars_ = find_tracked_vars(f, u.def, spec.types, spec.fresh_init);
+    scan_array_sizes();
+  }
+
+  bool has_vars() const { return !vars_.empty(); }
+
+  void check(std::vector<WidthViolation>* out) {
+    summary_var_ = npos;
+    run(out);
+  }
+
+  /// Bytes consumed through parameter `param_index` on every path
+  /// before the function guards on it itself. 0 when untrackable.
+  long long summarize(size_t param_index) {
+    summary_var_ = npos;
+    for (size_t v = 0; v < vars_.size(); ++v) {
+      if (vars_[v].is_param && vars_[v].param_index == param_index) {
+        summary_var_ = v;
+      }
+    }
+    if (summary_var_ == npos) return 0;
+    run(nullptr);
+    const State& exit = outs_[u_.cfg.exit];
+    if (!exit.reach) return 0;
+    return std::max(0LL, exit.need);
+  }
+
+ private:
+  struct State {
+    bool reach = false;
+    // Integer locals proved to hold a range (absence = unknown).
+    std::map<std::string, Interval> env;
+    // Per tracked var: guard-proved byte budget, kNoProof = none.
+    std::vector<long long> budget;
+    // Summary mode: bytes consumed through the focus parameter since
+    // entry (kStopped once the callee guards), and the running maximum
+    // of that prefix -- the value min-joined into the summary.
+    long long c = 0;
+    long long need = 0;
+
+    bool operator==(const State& o) const {
+      return reach == o.reach && env == o.env && budget == o.budget &&
+             c == o.c && need == o.need;
+    }
+  };
+
+  const Token& tok(size_t i) const { return f_.tokens[f_.code[i]]; }
+  size_t size() const { return f_.code.size(); }
+
+  size_t var_index(const std::string& name) const {
+    for (size_t v = 0; v < vars_.size(); ++v) {
+      if (vars_[v].name == name) return v;
+    }
+    return npos;
+  }
+
+  bool is_guard(const std::string& m) const {
+    return std::find(spec_.guards.begin(), spec_.guards.end(), m) !=
+           spec_.guards.end();
+  }
+  bool is_pure(const std::string& m) const {
+    return std::find(spec_.pure.begin(), spec_.pure.end(), m) !=
+           spec_.pure.end();
+  }
+  bool is_fresh_init(const std::string& m) const {
+    return std::find(spec_.fresh_init.begin(), spec_.fresh_init.end(), m) !=
+           spec_.fresh_init.end();
+  }
+  const ReadSpec* find_read(const std::string& m) const {
+    for (const ReadSpec& r : spec_.reads) {
+      if (r.method == m) return &r;
+    }
+    return nullptr;
+  }
+
+  void kill_var(State& st, size_t v) const {
+    st.budget[v] = kNoProof;
+    if (v == summary_var_) st.c = kStopped;
+  }
+
+  /// `std::array<T, N> name` declarations in the body: name -> N.
+  /// A separate map so .size() stays evaluable across env kills.
+  void scan_array_sizes() {
+    const size_t end = u_.def.close;
+    for (size_t i = u_.def.open + 1; i < end && i < size(); ++i) {
+      if (!tok(i).is_ident("array") || i + 1 >= end) continue;
+      if (!tok(i + 1).is_punct("<")) continue;
+      int depth = 0;
+      size_t g = npos;
+      for (size_t j = i + 1; j < end; ++j) {
+        const Token& t = tok(j);
+        if (t.is_punct("<")) {
+          ++depth;
+        } else if (t.is_punct(">")) {
+          if (--depth == 0) {
+            g = j;
+            break;
+          }
+        } else if (t.is_punct(">>")) {
+          depth -= 2;
+          if (depth <= 0) {
+            g = j;
+            break;
+          }
+        } else if (t.is_punct(";") || t.is_punct("{")) {
+          break;
+        }
+      }
+      if (g == npos || g + 1 >= end) continue;
+      long long n = 0;
+      if (tok(g - 1).kind != TokenKind::kNumber ||
+          !parse_int_literal(tok(g - 1).text, &n)) {
+        continue;
+      }
+      if (tok(g + 1).kind != TokenKind::kIdentifier) continue;
+      array_sizes_[tok(g + 1).text] = n;
+    }
+  }
+
+  /// First code position >= `from` ending the statement / argument:
+  /// a depth-0 `;` `,` or closing bracket.
+  size_t stmt_end(size_t from) const {
+    int depth = 0;
+    for (size_t j = from; j < size(); ++j) {
+      const Token& t = tok(j);
+      if (t.is_punct("(") || t.is_punct("[")) {
+        ++depth;
+      } else if (t.is_punct(")") || t.is_punct("]")) {
+        if (depth == 0) return j;
+        --depth;
+      } else if (depth == 0 &&
+                 (t.is_punct(";") || t.is_punct(",") || t.is_punct("{") ||
+                  t.is_punct("}"))) {
+        return j;
+      }
+    }
+    return size();
+  }
+
+  /// Like stmt_end but also stops at depth-0 logical/ternary operators:
+  /// the right-hand side of a comparison ends there.
+  size_t cmp_rhs_end(size_t from) const {
+    int depth = 0;
+    for (size_t j = from; j < size(); ++j) {
+      const Token& t = tok(j);
+      if (t.is_punct("(") || t.is_punct("[")) {
+        ++depth;
+      } else if (t.is_punct(")") || t.is_punct("]")) {
+        if (depth == 0) return j;
+        --depth;
+      } else if (depth == 0 &&
+                 (t.is_punct(";") || t.is_punct(",") || t.is_punct("{") ||
+                  t.is_punct("}") || t.is_punct("&&") || t.is_punct("||") ||
+                  t.is_punct("?") || t.is_punct(":"))) {
+        return j;
+      }
+    }
+    return size();
+  }
+
+  // Recursive-descent evaluator over [pos, e). Anything not consumed
+  // in full collapses to Unknown.
+  Interval eval(const State& st, size_t b, size_t e) const {
+    size_t pos = b;
+    Interval v = parse_expr(st, pos, e);
+    if (pos != e) return Interval::unknown();
+    return v;
+  }
+
+  Interval parse_expr(const State& st, size_t& pos, size_t e) const {
+    Interval v = parse_term(st, pos, e);
+    while (pos < e && (tok(pos).is_punct("+") || tok(pos).is_punct("-"))) {
+      bool add = tok(pos).is_punct("+");
+      ++pos;
+      Interval r = parse_term(st, pos, e);
+      v = add ? interval_add(v, r) : interval_sub(v, r);
+    }
+    return v;
+  }
+
+  Interval parse_term(const State& st, size_t& pos, size_t e) const {
+    Interval v = parse_factor(st, pos, e);
+    while (pos < e && tok(pos).is_punct("*")) {
+      ++pos;
+      v = interval_mul(v, parse_factor(st, pos, e));
+    }
+    return v;
+  }
+
+  Interval parse_factor(const State& st, size_t& pos, size_t e) const {
+    if (pos >= e) return Interval::unknown();
+    const Token& t = tok(pos);
+    if (t.is_punct("-") || t.is_punct("+")) {
+      bool neg = t.is_punct("-");
+      ++pos;
+      Interval v = parse_factor(st, pos, e);
+      return neg ? interval_sub(Interval::constant(0), v) : v;
+    }
+    if (t.kind == TokenKind::kNumber) {
+      long long v = 0;
+      ++pos;
+      if (!parse_int_literal(t.text, &v)) return Interval::unknown();
+      return Interval::constant(v);
+    }
+    if (t.is_punct("(")) {
+      size_t close = f_.match[pos];
+      if (close == npos || close >= e) {
+        pos = e;
+        return Interval::unknown();
+      }
+      ++pos;
+      Interval v = parse_expr(st, pos, close);
+      if (pos != close) v = Interval::unknown();
+      pos = close + 1;
+      return v;
+    }
+    if (t.is_ident("sizeof") && pos + 1 < e && tok(pos + 1).is_punct("(")) {
+      size_t close = f_.match[pos + 1];
+      if (close == npos || close >= e) {
+        pos = e;
+        return Interval::unknown();
+      }
+      // Last identifier inside names the type terminal.
+      std::string type;
+      for (size_t j = pos + 2; j < close; ++j) {
+        if (tok(j).kind == TokenKind::kIdentifier) type = tok(j).text;
+      }
+      pos = close + 1;
+      int sz = builtin_size(type);
+      return sz > 0 ? Interval::constant(sz) : Interval::unknown();
+    }
+    if (t.is_ident("static_cast") && pos + 1 < e &&
+        tok(pos + 1).is_punct("<")) {
+      size_t j = pos + 1;
+      int depth = 0;
+      while (j < e) {
+        if (tok(j).is_punct("<")) {
+          ++depth;
+        } else if (tok(j).is_punct(">")) {
+          if (--depth == 0) break;
+        } else if (tok(j).is_punct(">>")) {
+          depth -= 2;
+          if (depth <= 0) break;
+        }
+        ++j;
+      }
+      if (j >= e || j + 1 >= e || !tok(j + 1).is_punct("(")) {
+        pos = e;
+        return Interval::unknown();
+      }
+      size_t close = f_.match[j + 1];
+      if (close == npos || close >= e) {
+        pos = e;
+        return Interval::unknown();
+      }
+      pos = j + 2;
+      Interval v = parse_expr(st, pos, close);
+      if (pos != close) v = Interval::unknown();
+      pos = close + 1;
+      return v;
+    }
+    if (t.kind == TokenKind::kIdentifier && !call_keyword(t.text)) {
+      // name.size() over a std::array declared in this function.
+      if (pos + 3 < e && (tok(pos + 1).is_punct(".")) &&
+          tok(pos + 2).is_ident("size") && tok(pos + 3).is_punct("(")) {
+        size_t close = f_.match[pos + 3];
+        if (close == pos + 4 && close < e) {
+          auto it = array_sizes_.find(t.text);
+          pos = close + 1;
+          if (it != array_sizes_.end()) return Interval::constant(it->second);
+          return Interval::unknown();
+        }
+      }
+      auto it = st.env.find(t.text);
+      if (it != st.env.end() && pos + 1 >= e) {
+        ++pos;
+        return it->second;
+      }
+      if (it != st.env.end()) {
+        const Token& nx = tok(pos + 1);
+        // A bare use inside a larger expression is fine; a call or
+        // member access is not this identifier's value.
+        if (!nx.is_punct("(") && !nx.is_punct(".") && !nx.is_punct("->") &&
+            !nx.is_punct("[") && !nx.is_punct("::")) {
+          ++pos;
+          return it->second;
+        }
+      }
+    }
+    pos = e;
+    return Interval::unknown();
+  }
+
+  /// Open paren of the innermost argument list containing `i`, or npos.
+  size_t find_arg_open(size_t i) const {
+    int depth = 0;
+    for (size_t j = i; j-- > 0;) {
+      const Token& t = tok(j);
+      if (t.is_punct(")") || t.is_punct("]")) {
+        ++depth;
+      } else if (t.is_punct("(") || t.is_punct("[")) {
+        if (depth == 0) return t.is_punct("(") ? j : npos;
+        --depth;
+      } else if (t.is_punct(";") || t.is_punct("{") || t.is_punct("}")) {
+        return npos;
+      }
+    }
+    return npos;
+  }
+
+  void handle_method(size_t i, size_t v, State& st,
+                     std::vector<WidthViolation>* collect) const {
+    const std::string& method = tok(i + 2).text;
+    size_t lparen = i + 3;
+    size_t close = f_.match[lparen];
+    bool has_args = close != npos && close > lparen + 1;
+
+    if (is_guard(method)) {
+      bool cmp_after = close != npos && close + 1 < size() &&
+                       comparison_tok(tok(close + 1));
+      if (v == summary_var_ && (has_args || cmp_after)) st.c = kStopped;
+      if (has_args) {
+        Interval a = eval(st, lparen + 1, close);
+        if (a.is_singleton() && a.lo >= 0) {
+          st.budget[v] = std::max(st.budget[v], a.lo);
+        } else {
+          st.budget[v] = kNoProof;
+        }
+      } else if (cmp_after) {
+        const Token& cmp = tok(close + 1);
+        if (cmp.is_punct(">=") || cmp.is_punct(">")) {
+          size_t re = cmp_rhs_end(close + 2);
+          Interval a = eval(st, close + 2, re);
+          if (a.is_singleton() && a.lo >= 0) {
+            long long k = cmp.is_punct(">") ? a.lo + 1 : a.lo;
+            st.budget[v] = std::max(st.budget[v], k);
+          }
+          // Non-singleton: the comparison proves nothing but consumes
+          // nothing either; the prior budget stays valid.
+        }
+      }
+      return;
+    }
+
+    const ReadSpec* rs = find_read(method);
+    if (rs != nullptr) {
+      long long wlo = 0;
+      Interval a = Interval::unknown();
+      if (rs->width >= 0) {
+        wlo = rs->width;
+        a = Interval::constant(rs->width);
+      } else if (has_args) {
+        a = eval(st, lparen + 1, close);
+        if (a.kind == Interval::kRange) wlo = std::max(0LL, a.lo);
+      }
+      if (st.budget[v] != kNoProof && wlo > st.budget[v]) {
+        if (collect != nullptr) {
+          WidthViolation viol;
+          viol.pos = i + 2;
+          viol.message = "'" + vars_[v].name + "." + method + "' consumes " +
+                         std::to_string(wlo) +
+                         " byte(s) but the dominating guard proves only " +
+                         std::to_string(st.budget[v]) + " more";
+          collect->push_back(std::move(viol));
+        }
+        st.budget[v] = kNoProof;
+      } else if (st.budget[v] != kNoProof) {
+        st.budget[v] -= wlo;
+      }
+      if (v == summary_var_ && st.c > kStopped) {
+        st.c = clamp_sat(static_cast<__int128>(st.c) + wlo);
+        st.need = std::max(st.need, st.c);
+      }
+      if (is_fresh_init(method) && i >= 2 && tok(i - 1).is_punct("=") &&
+          tok(i - 2).kind == TokenKind::kIdentifier) {
+        size_t cv = var_index(tok(i - 2).text);
+        if (cv != npos) {
+          // `child = cur.sub(n)`: the child cursor spans exactly n
+          // bytes, so a singleton n is a full budget for it.
+          st.budget[cv] = a.is_singleton() && a.lo >= 0 ? a.lo : kNoProof;
+        }
+      }
+      return;
+    }
+
+    if (is_pure(method)) return;
+    kill_var(st, v);
+  }
+
+  void handle_passed(size_t i, size_t v, State& st,
+                     std::vector<WidthViolation>* collect) const {
+    size_t open = find_arg_open(i);
+    if (open == npos || open == 0) {
+      kill_var(st, v);
+      return;
+    }
+    const Token& name = tok(open - 1);
+    if (name.kind != TokenKind::kIdentifier || call_keyword(name.text)) {
+      kill_var(st, v);
+      return;
+    }
+    std::string terminal = name.text;
+    std::string qualified = terminal;
+    bool saw_scope = false;
+    size_t k = open - 1;
+    while (k >= 2 && tok(k - 1).is_punct("::") &&
+           tok(k - 2).kind == TokenKind::kIdentifier) {
+      qualified = tok(k - 2).text + "::" + qualified;
+      saw_scope = true;
+      k -= 2;
+    }
+    bool member = k > 0 && (tok(k - 1).is_punct(".") || tok(k - 1).is_punct("->"));
+    size_t arg_index = 0;
+    int depth = 0;
+    for (size_t j = open + 1; j < i; ++j) {
+      const Token& t = tok(j);
+      if (t.is_punct("(") || t.is_punct("[")) {
+        ++depth;
+      } else if (t.is_punct(")") || t.is_punct("]")) {
+        --depth;
+      } else if (depth == 0 && t.is_punct(",")) {
+        ++arg_index;
+      }
+    }
+    std::vector<size_t> cands =
+        graph_.resolve(terminal, saw_scope ? qualified : std::string());
+    bool tracked_ref = false;
+    long long required = 0;
+    if (cands.size() == 1) {
+      const FunctionDef& cd = graph_.functions()[cands[0]].def;
+      if (arg_index < cd.params.size()) {
+        const ParamInfo& cp = cd.params[arg_index];
+        bool cursor_type =
+            std::find(spec_.types.begin(), spec_.types.end(),
+                      cp.type_terminal) != spec_.types.end();
+        if (cursor_type && !cp.name.empty()) {
+          if (!cp.by_ref) return;  // callee got a copy: budget survives
+          tracked_ref = true;
+          auto fit = required_.find(cands[0]);
+          if (fit != required_.end()) {
+            auto pit = fit->second.find(arg_index);
+            if (pit != fit->second.end()) required = pit->second;
+          }
+        }
+      }
+    }
+    if (tracked_ref && !member && required > 0 && st.budget[v] != kNoProof &&
+        st.budget[v] < required && collect != nullptr) {
+      WidthViolation viol;
+      viol.pos = i;
+      viol.message = "'" + vars_[v].name + "' passed to '" + terminal +
+                     "', which consumes " + std::to_string(required) +
+                     " byte(s) on every path, but the guard proves only " +
+                     std::to_string(st.budget[v]);
+      collect->push_back(std::move(viol));
+    }
+    if (v == summary_var_ && st.c > kStopped) {
+      if (tracked_ref) {
+        st.need = std::max(
+            st.need, clamp_sat(static_cast<__int128>(st.c) + required));
+      }
+      st.c = kStopped;
+    }
+    st.budget[v] = kNoProof;
+  }
+
+  void step(size_t i, State& st, std::vector<WidthViolation>* collect) const {
+    const Token& t = tok(i);
+    if (t.kind != TokenKind::kIdentifier) return;
+    const size_t n = size();
+    const Token* prev = i > 0 ? &tok(i - 1) : nullptr;
+    const Token* next = i + 1 < n ? &tok(i + 1) : nullptr;
+    bool head = prev == nullptr ||
+                (!prev->is_punct(".") && !prev->is_punct("->") &&
+                 !prev->is_punct("::"));
+
+    // Any call expression invalidates the integer locals it receives
+    // (out-params), except the protocol's own methods on a tracked
+    // cursor, whose arguments are read-only by contract.
+    if (next != nullptr && next->is_punct("(") && !call_keyword(t.text)) {
+      bool member = prev != nullptr &&
+                    (prev->is_punct(".") || prev->is_punct("->"));
+      bool listed_on_tracked = false;
+      if (member && i >= 2 && tok(i - 2).kind == TokenKind::kIdentifier &&
+          var_index(tok(i - 2).text) != npos &&
+          (is_guard(t.text) || find_read(t.text) != nullptr ||
+           is_pure(t.text))) {
+        listed_on_tracked = true;
+      }
+      if (!listed_on_tracked) {
+        size_t close = f_.match[i + 1];
+        if (close != npos) {
+          for (size_t j = i + 2; j < close; ++j) {
+            if (tok(j).kind == TokenKind::kIdentifier) st.env.erase(tok(j).text);
+          }
+        }
+      }
+    }
+
+    size_t v = head ? var_index(t.text) : npos;
+    if (v != npos) {
+      if (prev != nullptr && prev->is_punct("&")) {
+        kill_var(st, v);
+        return;
+      }
+      if (next != nullptr && (next->is_punct(".") || next->is_punct("->")) &&
+          i + 3 < n && tok(i + 2).kind == TokenKind::kIdentifier &&
+          tok(i + 3).is_punct("(")) {
+        handle_method(i, v, st, collect);
+        return;
+      }
+      if (next != nullptr &&
+          (next->is_punct("=") || compound_assign_tok(*next))) {
+        kill_var(st, v);
+        return;
+      }
+      bool arg_shape =
+          prev != nullptr && (prev->is_punct("(") || prev->is_punct(",")) &&
+          next != nullptr && (next->is_punct(",") || next->is_punct(")"));
+      if (arg_shape) {
+        handle_passed(i, v, st, collect);
+        return;
+      }
+      // Declaration (`ByteCursor r(...)`) or an unrecognized use: lose
+      // whatever was proved. Conservative in the silent direction.
+      kill_var(st, v);
+      return;
+    }
+
+    // Integer-environment transfer for everything else.
+    if (!head) return;
+    if (next != nullptr && next->is_punct("=")) {
+      size_t e = stmt_end(i + 2);
+      Interval val = eval(st, i + 2, e);
+      if (val.kind == Interval::kRange) {
+        st.env[t.text] = val;
+      } else {
+        st.env.erase(t.text);
+      }
+      return;
+    }
+    if ((next != nullptr &&
+         (compound_assign_tok(*next) || next->is_punct("++") ||
+          next->is_punct("--"))) ||
+        (prev != nullptr &&
+         (prev->is_punct("&") || prev->is_punct("++") ||
+          prev->is_punct("--") || prev->is_punct(">>")))) {
+      st.env.erase(t.text);
+    }
+  }
+
+  State transfer(size_t b, const State& in,
+                 std::vector<WidthViolation>* collect) const {
+    State st = in;
+    if (!st.reach) return st;
+    for (const CodeRange& range : u_.cfg.blocks[b].ranges) {
+      for (size_t i = range.first; i < range.second && i < size(); ++i) {
+        step(i, st, collect);
+      }
+    }
+    return st;
+  }
+
+  State join_preds(size_t b, const std::vector<std::vector<size_t>>& preds,
+                   const State& entry_state) const {
+    State in;
+    in.budget.assign(vars_.size(), kNoProof);
+    auto contribute = [&](const State& s) {
+      if (!s.reach) return;
+      if (!in.reach) {
+        in = s;
+        return;
+      }
+      for (auto it = in.env.begin(); it != in.env.end();) {
+        auto jt = s.env.find(it->first);
+        if (jt == s.env.end()) {
+          it = in.env.erase(it);
+          continue;
+        }
+        it->second = interval_join(it->second, jt->second);
+        if (it->second.kind != Interval::kRange) {
+          it = in.env.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (size_t v = 0; v < in.budget.size(); ++v) {
+        in.budget[v] = std::min(in.budget[v], s.budget[v]);
+      }
+      in.c = std::min(in.c, s.c);
+      in.need = std::min(in.need, s.need);
+    };
+    if (b == u_.cfg.entry) contribute(entry_state);
+    for (size_t p : preds[b]) {
+      if (p < b) contribute(outs_[p]);
+    }
+    for (size_t p : preds[b]) {
+      if (p < b || !outs_[p].reach) continue;
+      if (!in.reach) {
+        // Reachable only around a loop: keep nothing.
+        in.reach = true;
+        in.env.clear();
+        in.budget.assign(vars_.size(), kNoProof);
+        in.c = 0;
+        in.need = 0;
+        continue;
+      }
+      // Back edge: budgets are not loop-invariant (reads consume), so
+      // they drop to NoProof; integer locals widen.
+      for (long long& budget : in.budget) budget = kNoProof;
+      const State& bp = outs_[p];
+      for (auto it = in.env.begin(); it != in.env.end();) {
+        auto jt = bp.env.find(it->first);
+        Interval back =
+            jt == bp.env.end() ? Interval::unknown() : jt->second;
+        it->second = interval_widen(it->second, back);
+        if (it->second.kind != Interval::kRange) {
+          it = in.env.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    return in;
+  }
+
+  void run(std::vector<WidthViolation>* out) {
+    const Cfg& cfg = u_.cfg;
+    const size_t nblocks = cfg.blocks.size();
+    std::vector<std::vector<size_t>> preds(nblocks);
+    for (size_t b = 0; b < nblocks; ++b) {
+      for (size_t s : cfg.blocks[b].succ) preds[s].push_back(b);
+    }
+    State entry_state;
+    entry_state.reach = true;
+    entry_state.budget.assign(vars_.size(), kNoProof);
+    outs_.assign(nblocks, State{});
+    for (State& s : outs_) s.budget.assign(vars_.size(), kNoProof);
+    bool changed = true;
+    int rounds = 0;
+    while (changed && rounds++ < 64) {
+      changed = false;
+      for (size_t b = 0; b < nblocks; ++b) {
+        State in = join_preds(b, preds, entry_state);
+        State nw = transfer(b, in, nullptr);
+        if (!(nw == outs_[b])) {
+          outs_[b] = std::move(nw);
+          changed = true;
+        }
+      }
+    }
+    if (out != nullptr) {
+      std::set<size_t> seen;
+      for (size_t b = 0; b < nblocks; ++b) {
+        if (spec_.try_suppresses && cfg.blocks[b].try_depth > 0) continue;
+        State in = join_preds(b, preds, entry_state);
+        std::vector<WidthViolation> local;
+        transfer(b, in, &local);
+        for (WidthViolation& viol : local) {
+          if (seen.insert(viol.pos).second) out->push_back(std::move(viol));
+        }
+      }
+    }
+  }
+
+  const AnalyzedFile& f_;
+  const FunctionUnit& u_;
+  const ProtocolSpec& spec_;
+  const CallGraph& graph_;
+  const std::map<size_t, std::map<size_t, long long>>& required_;
+  std::vector<TrackedVar> vars_;
+  std::map<std::string, long long> array_sizes_;
+  size_t summary_var_ = npos;
+  std::vector<State> outs_;
+};
+
+}  // namespace
+
+Interval interval_add(const Interval& a, const Interval& b) {
+  if (a.kind == Interval::kBottom || b.kind == Interval::kBottom) {
+    return Interval::bottom();
+  }
+  if (a.kind == Interval::kUnknown || b.kind == Interval::kUnknown) {
+    return Interval::unknown();
+  }
+  return Interval::range(
+      clamp_sat(static_cast<__int128>(a.lo) + b.lo),
+      clamp_sat(static_cast<__int128>(a.hi) + b.hi));
+}
+
+Interval interval_sub(const Interval& a, const Interval& b) {
+  if (a.kind == Interval::kBottom || b.kind == Interval::kBottom) {
+    return Interval::bottom();
+  }
+  if (a.kind == Interval::kUnknown || b.kind == Interval::kUnknown) {
+    return Interval::unknown();
+  }
+  return Interval::range(
+      clamp_sat(static_cast<__int128>(a.lo) - b.hi),
+      clamp_sat(static_cast<__int128>(a.hi) - b.lo));
+}
+
+Interval interval_mul(const Interval& a, const Interval& b) {
+  if (a.kind == Interval::kBottom || b.kind == Interval::kBottom) {
+    return Interval::bottom();
+  }
+  if (a.kind == Interval::kUnknown || b.kind == Interval::kUnknown) {
+    return Interval::unknown();
+  }
+  __int128 p1 = static_cast<__int128>(a.lo) * b.lo;
+  __int128 p2 = static_cast<__int128>(a.lo) * b.hi;
+  __int128 p3 = static_cast<__int128>(a.hi) * b.lo;
+  __int128 p4 = static_cast<__int128>(a.hi) * b.hi;
+  __int128 lo = std::min(std::min(p1, p2), std::min(p3, p4));
+  __int128 hi = std::max(std::max(p1, p2), std::max(p3, p4));
+  return Interval::range(clamp_sat(lo), clamp_sat(hi));
+}
+
+// ---------------------------------------------------------------------------
+// Lockset scan over parallel lambda bodies.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool lex_keywordish(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "return", "throw",  "case",   "goto",  "new",    "delete",
+      "else",   "do",     "co_return", "co_yield", "co_await", "sizeof",
+      "typeid", "if",     "while",  "switch", "not",   "and", "or"};
+  return kKeywords.count(s) != 0;
+}
+
+bool lex_type_ish(const Token& t) {
+  if (t.kind == TokenKind::kIdentifier) return !lex_keywordish(t.text);
+  return t.is_punct(">") || t.is_punct("*") || t.is_punct("&") ||
+         t.is_punct("&&") || t.is_punct("]") || t.is_punct("::");
+}
+
+bool lex_mutating_method(const std::string& name) {
+  static const std::set<std::string> kMethods = {
+      "push_back", "emplace_back", "pop_back", "insert", "emplace",
+      "erase",     "clear",        "resize",   "assign", "append",
+      "push",      "pop",          "push_front"};
+  return kMethods.count(name) != 0;
+}
+
+/// Local declarations in [begin, end): type-ish prev + declarator
+/// continuation, structured bindings, C-array declarators. Over-
+/// approximating only ever silences a finding.
+void lex_collect_locals(const AnalyzedFile& f, size_t begin, size_t end,
+                        std::set<std::string>& locals) {
+  auto tok = [&](size_t i) -> const Token& { return f.tokens[f.code[i]]; };
+  const size_t n = f.code.size();
+  for (size_t i = begin; i < end && i < n; ++i) {
+    const Token& t = tok(i);
+    if (t.is_punct("[") && i > begin) {
+      const Token& prev = tok(i - 1);
+      if (prev.is_ident("auto") || prev.is_punct("&") || prev.is_punct("&&")) {
+        size_t close = f.match[i];
+        for (size_t j = i + 1; j < close && j < n; ++j) {
+          if (tok(j).kind == TokenKind::kIdentifier) {
+            locals.insert(tok(j).text);
+          }
+        }
+      }
+      continue;
+    }
+    if (t.kind != TokenKind::kIdentifier || lex_keywordish(t.text)) continue;
+    if (i == begin || i + 1 >= n) continue;
+    const Token& prev = tok(i - 1);
+    const Token& next = tok(i + 1);
+    if (!lex_type_ish(prev) || prev.is_punct("::")) continue;
+    if (prev.kind == TokenKind::kIdentifier && lex_keywordish(prev.text)) {
+      continue;
+    }
+    if (next.is_punct("=") || next.is_punct(";") || next.is_punct(",") ||
+        next.is_punct(")") || next.is_punct(":") || next.is_punct("{") ||
+        next.is_punct("(")) {
+      locals.insert(t.text);
+    } else if (next.is_punct("[")) {
+      size_t close = f.match[i + 1];
+      if (close != npos && close + 1 < n) {
+        const Token& after = tok(close + 1);
+        if (after.is_punct(";") || after.is_punct("=") ||
+            after.is_punct(",")) {
+          locals.insert(t.text);
+        }
+      }
+    }
+  }
+}
+
+struct LockMutation {
+  size_t pos = 0;
+  std::string name;
+  bool indexed_by_var = false;
+  std::string sub_index;  // single-identifier first subscript, else ""
+};
+
+/// Writes in [begin, end) to identifiers outside `locals`: the
+/// contract-rule mutation scan plus the shape of the first subscript
+/// (a lone identifier is a candidate slot index).
+std::vector<LockMutation> lex_scan_mutations(
+    const AnalyzedFile& f, size_t begin, size_t end,
+    const std::set<std::string>& locals, const std::string& loop_var) {
+  auto tok = [&](size_t i) -> const Token& { return f.tokens[f.code[i]]; };
+  std::vector<LockMutation> out;
+  const size_t n = f.code.size();
+  for (size_t i = begin; i < end && i < n; ++i) {
+    const Token& t = tok(i);
+    if (t.kind != TokenKind::kIdentifier || lex_keywordish(t.text)) continue;
+    if (i > 0) {
+      const Token& prev = tok(i - 1);
+      if (prev.is_punct(".") || prev.is_punct("->") || prev.is_punct("::")) {
+        continue;
+      }
+    }
+    if (locals.count(t.text) != 0 || t.text == loop_var) continue;
+
+    size_t j = i + 1;
+    bool indexed = false;
+    bool first_sub = true;
+    std::string sub_index;
+    std::string last_member;
+    while (j < end) {
+      const Token& a = tok(j);
+      if (a.is_punct("[")) {
+        size_t close = f.match[j];
+        if (close == npos || close >= end) break;
+        if (!loop_var.empty()) {
+          for (size_t k = j + 1; k < close; ++k) {
+            if (tok(k).is_ident(loop_var)) indexed = true;
+          }
+        }
+        if (first_sub && close == j + 2 &&
+            tok(j + 1).kind == TokenKind::kIdentifier) {
+          sub_index = tok(j + 1).text;
+        }
+        first_sub = false;
+        j = close + 1;
+        continue;
+      }
+      if ((a.is_punct(".") || a.is_punct("->")) && j + 1 < end &&
+          tok(j + 1).kind == TokenKind::kIdentifier) {
+        last_member = tok(j + 1).text;
+        j += 2;
+        continue;
+      }
+      break;
+    }
+    if (j >= end) continue;
+    const Token& op = tok(j);
+
+    bool wrote = false;
+    if (op.is_punct("=")) {
+      bool decl = j == i + 1 && i > begin && lex_type_ish(tok(i - 1));
+      wrote = !decl;
+    } else if (compound_assign_tok(op) || op.is_punct("++") ||
+               op.is_punct("--")) {
+      wrote = true;
+    } else if (!last_member.empty() && op.is_punct("(") &&
+               lex_mutating_method(last_member)) {
+      wrote = true;
+    }
+    if (!wrote && i > 0) {
+      const Token& prev = tok(i - 1);
+      if ((prev.is_punct("++") || prev.is_punct("--")) && j == i + 1) {
+        wrote = true;
+      }
+    }
+    if (!wrote) continue;
+    LockMutation m;
+    m.pos = i;
+    m.name = t.text;
+    m.indexed_by_var = indexed;
+    m.sub_index = std::move(sub_index);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+/// True when [b, e) is `c0 + c1 * loop_var` with c1 != 0, built from
+/// integer literals, the loop variable, `+ - *`, and static_cast
+/// wrappers around a single literal or the loop variable. That shape
+/// makes the indexed slot injective in the loop variable.
+bool lex_linear_in(const AnalyzedFile& f, size_t b, size_t e,
+                   const std::string& loop_var) {
+  auto tok = [&](size_t i) -> const Token& { return f.tokens[f.code[i]]; };
+  bool nonzero_var_term = false;
+  size_t term_start = b;
+  for (size_t i = b; i <= e; ++i) {
+    bool term_break = i == e || tok(i).is_punct("+") || tok(i).is_punct("-");
+    if (!term_break) continue;
+    // Classify the term [term_start, i).
+    int var_count = 0;
+    bool zero_literal = false;
+    bool ok = term_start < i;
+    for (size_t j = term_start; j < i && ok; ++j) {
+      const Token& t = tok(j);
+      if (t.is_punct("*")) continue;
+      if (t.is_ident("static_cast")) {
+        // static_cast < T > ( x )
+        size_t k = j + 1;
+        int depth = 0;
+        while (k < i) {
+          if (tok(k).is_punct("<")) {
+            ++depth;
+          } else if (tok(k).is_punct(">")) {
+            if (--depth == 0) break;
+          }
+          ++k;
+        }
+        if (k + 3 >= i || !tok(k + 1).is_punct("(") ||
+            !tok(k + 3).is_punct(")")) {
+          ok = false;
+          break;
+        }
+        const Token& inner = tok(k + 2);
+        if (inner.is_ident(loop_var)) {
+          ++var_count;
+        } else if (inner.kind == TokenKind::kNumber) {
+          long long v = 0;
+          if (parse_int_literal(inner.text, &v) && v == 0) {
+            zero_literal = true;
+          }
+        } else {
+          ok = false;
+        }
+        j = k + 3;
+        continue;
+      }
+      if (t.kind == TokenKind::kNumber) {
+        long long v = 0;
+        if (parse_int_literal(t.text, &v)) {
+          if (v == 0) zero_literal = true;
+        } else {
+          ok = false;
+        }
+        continue;
+      }
+      if (t.is_ident(loop_var)) {
+        ++var_count;
+        continue;
+      }
+      ok = false;
+    }
+    if (!ok || var_count > 1) return false;
+    if (var_count == 1 && !zero_literal) nonzero_var_term = true;
+    term_start = i + 1;
+  }
+  return nonzero_var_term;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ValueEngine
+// ---------------------------------------------------------------------------
+
+ValueEngine::ValueEngine(std::vector<ProtocolSpec> protocols,
+                         const std::vector<const AnalyzedFile*>& files,
+                         const CallGraph* graph)
+    : protocols_(std::move(protocols)), files_(files), graph_(graph) {
+  compute_try_cover();
+  compute_width_summaries();
+}
+
+void ValueEngine::compute_try_cover() {
+  const auto& fns = graph_->functions();
+  fn_try_covered_.assign(fns.size(), 0);
+  // Least fixpoint of: covered(fn) = fn has call sites and each is in
+  // a try block or in a covered caller. Starts all-false, so cycles
+  // stay uncovered (the reporting direction).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t fn = 0; fn < fns.size(); ++fn) {
+      if (fn_try_covered_[fn] != 0) continue;
+      const std::vector<size_t>& sites = graph_->callers_of(fn);
+      if (sites.empty()) continue;
+      bool all = true;
+      for (size_t s : sites) {
+        const CallSite& cs = graph_->sites()[s];
+        if (cs.in_try) continue;
+        if (cs.caller == SIZE_MAX || fn_try_covered_[cs.caller] == 0) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        fn_try_covered_[fn] = 1;
+        changed = true;
+      }
+    }
+  }
+}
+
+void ValueEngine::compute_width_summaries() {
+  const auto& fns = graph_->functions();
+  width_required_.assign(protocols_.size(), {});
+  for (size_t p = 0; p < protocols_.size(); ++p) {
+    const ProtocolSpec& spec = protocols_[p];
+    if (spec.kind != ProtocolSpec::kWidth) continue;
+    auto& req = width_required_[p];
+    for (size_t fn = 0; fn < fns.size(); ++fn) {
+      const FunctionDef& def = fns[fn].def;
+      for (size_t pi = 0; pi < def.params.size(); ++pi) {
+        const ParamInfo& par = def.params[pi];
+        if (!par.by_ref || par.name.empty()) continue;
+        if (std::find(spec.types.begin(), spec.types.end(),
+                      par.type_terminal) == spec.types.end()) {
+          continue;
+        }
+        req[fn][pi] = 0;
+      }
+    }
+    // Gauss-Seidel over the call graph; requirements only grow, so
+    // this converges (bounded rounds as a backstop).
+    for (int round = 0; round < 16; ++round) {
+      bool changed = false;
+      for (auto& entry : req) {
+        const FunctionUnit& u = fns[entry.first];
+        WidthPass pass(*files_[u.file_index], u, spec, *graph_, req);
+        for (auto& pentry : entry.second) {
+          long long v = pass.summarize(pentry.first);
+          if (v != pentry.second) {
+            pentry.second = v;
+            changed = true;
+          }
+        }
+      }
+      if (!changed) break;
+    }
+  }
+}
+
+void ValueEngine::width_check(size_t proto, size_t fn,
+                              std::vector<Finding>* out) const {
+  const ProtocolSpec& spec = protocols_[proto];
+  const FunctionUnit& u = graph_->functions()[fn];
+  const AnalyzedFile& f = *files_[u.file_index];
+  WidthPass pass(f, u, spec, *graph_, width_required_[proto]);
+  if (!pass.has_vars()) return;
+  std::vector<WidthViolation> viols;
+  pass.check(&viols);
+  for (WidthViolation& viol : viols) {
+    const Token& t = f.tokens[f.code[viol.pos]];
+    Finding fd;
+    fd.file = f.rel_path;
+    fd.line = t.line;
+    fd.col = t.col;
+    fd.rule = spec.id;
+    fd.severity = spec.severity;
+    fd.message = std::move(viol.message);
+    fd.hint = spec.hint;
+    out->push_back(std::move(fd));
+  }
+}
+
+std::vector<Finding> ValueEngine::lockset_check(size_t proto,
+                                                size_t file_index) const {
+  const ProtocolSpec& spec = protocols_[proto];
+  const AnalyzedFile& f = *files_[file_index];
+  auto tok = [&](size_t i) -> const Token& { return f.tokens[f.code[i]]; };
+  const size_t n = f.code.size();
+  std::vector<Finding> out;
+
+  auto is_atomic_type = [&](const std::string& text) {
+    for (const std::string& prefix : spec.atomic_prefixes) {
+      if (text.rfind(prefix, 0) == 0) return true;
+    }
+    return false;
+  };
+  // File-wide names declared with an atomic type: writes to them are
+  // synchronized wherever they happen.
+  std::set<std::string> synced;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const Token& t = tok(i);
+    if (t.kind != TokenKind::kIdentifier || !is_atomic_type(t.text)) continue;
+    size_t k = i + 1;
+    if (tok(k).is_punct("<")) {
+      int depth = 0;
+      while (k < n) {
+        if (tok(k).is_punct("<")) {
+          ++depth;
+        } else if (tok(k).is_punct(">")) {
+          if (--depth == 0) {
+            ++k;
+            break;
+          }
+        } else if (tok(k).is_punct(">>")) {
+          depth -= 2;
+          if (depth <= 0) {
+            ++k;
+            break;
+          }
+        } else if (tok(k).is_punct(";")) {
+          break;
+        }
+        ++k;
+      }
+    }
+    if (k < n && tok(k).kind == TokenKind::kIdentifier) {
+      synced.insert(tok(k).text);
+    }
+  }
+
+  auto is_lock_type = [&](const std::string& text) {
+    return std::find(spec.lock_types.begin(), spec.lock_types.end(), text) !=
+           spec.lock_types.end();
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const Token& t = tok(i);
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (std::find(spec.functions.begin(), spec.functions.end(), t.text) ==
+        spec.functions.end()) {
+      continue;
+    }
+    LambdaExpr lam = find_lambda_arg(f, i);
+    if (lam.lbracket == npos || lam.body_open == npos ||
+        lam.body_close == npos) {
+      continue;
+    }
+    const std::string loop_var = last_param_name(f, lam);
+    const size_t body_b = lam.body_open + 1;
+    const size_t body_e = lam.body_close;
+
+    std::set<std::string> locals;
+    if (lam.params_open != npos && lam.params_close != npos) {
+      for (size_t j = lam.params_open + 1; j < lam.params_close; ++j) {
+        if (tok(j).kind == TokenKind::kIdentifier) locals.insert(tok(j).text);
+      }
+    }
+    lex_collect_locals(f, body_b, body_e, locals);
+
+    // Live lock regions: an RAII lock declaration opens a segment to
+    // its scope end, split by explicit .unlock()/.lock() pairs.
+    std::vector<std::pair<size_t, size_t>> locked;
+    for (size_t j = body_b; j + 1 < body_e; ++j) {
+      if (tok(j).kind != TokenKind::kIdentifier || !is_lock_type(tok(j).text)) {
+        continue;
+      }
+      size_t k = j + 1;
+      if (tok(k).is_punct("<")) {
+        int depth = 0;
+        while (k < body_e) {
+          if (tok(k).is_punct("<")) {
+            ++depth;
+          } else if (tok(k).is_punct(">")) {
+            if (--depth == 0) {
+              ++k;
+              break;
+            }
+          }
+          ++k;
+        }
+      }
+      if (k >= body_e || tok(k).kind != TokenKind::kIdentifier) continue;
+      const std::string lock_name = tok(k).text;
+      size_t scope_close = body_e;
+      size_t eb = f.encl[j];
+      if (eb != npos && f.match[eb] != npos) {
+        scope_close = std::min(scope_close, f.match[eb]);
+      }
+      size_t seg_start = k;
+      for (size_t m = k; m + 2 < scope_close; ++m) {
+        if (!tok(m).is_ident(lock_name)) continue;
+        if (!tok(m + 1).is_punct(".") && !tok(m + 1).is_punct("->")) continue;
+        if (tok(m + 2).is_ident("unlock")) {
+          if (seg_start != npos) {
+            locked.emplace_back(seg_start, m);
+            seg_start = npos;
+          }
+        } else if (tok(m + 2).is_ident("lock") && seg_start == npos) {
+          seg_start = m;
+        }
+      }
+      if (seg_start != npos) locked.emplace_back(seg_start, scope_close);
+    }
+    auto in_locked = [&](size_t pos) {
+      for (const auto& seg : locked) {
+        if (pos >= seg.first && pos < seg.second) return true;
+      }
+      return false;
+    };
+
+    // A local is a good slot index when every assignment to it in the
+    // body is linear in the loop variable with a nonzero coefficient.
+    auto slot_good = [&](const std::string& name) {
+      bool any = false;
+      for (size_t j = body_b; j < body_e; ++j) {
+        if (!tok(j).is_ident(name)) continue;
+        if (j > 0) {
+          const Token& prev = tok(j - 1);
+          if (prev.is_punct(".") || prev.is_punct("->") ||
+              prev.is_punct("::")) {
+            continue;
+          }
+        }
+        if (j + 1 >= body_e) continue;
+        const Token& next = tok(j + 1);
+        if (next.is_punct("=")) {
+          size_t e = j + 2;
+          int depth = 0;
+          while (e < body_e) {
+            const Token& x = tok(e);
+            if (x.is_punct("(") || x.is_punct("[")) {
+              ++depth;
+            } else if (x.is_punct(")") || x.is_punct("]")) {
+              if (depth == 0) break;
+              --depth;
+            } else if (depth == 0 && (x.is_punct(";") || x.is_punct(","))) {
+              break;
+            }
+            ++e;
+          }
+          if (!lex_linear_in(f, j + 2, e, loop_var)) return false;
+          any = true;
+          continue;
+        }
+        if (compound_assign_tok(next) || next.is_punct("++") ||
+            next.is_punct("--")) {
+          return false;
+        }
+        if (j > 0 && (tok(j - 1).is_punct("++") || tok(j - 1).is_punct("--"))) {
+          return false;
+        }
+      }
+      return any;
+    };
+
+    for (const LockMutation& m :
+         lex_scan_mutations(f, body_b, body_e, locals, loop_var)) {
+      if (!captures_by_ref(f, lam, m.name)) continue;
+      if (synced.count(m.name) != 0) continue;
+      if (m.indexed_by_var) continue;
+      if (in_locked(m.pos)) continue;
+      if (!m.sub_index.empty() && locals.count(m.sub_index) != 0 &&
+          slot_good(m.sub_index)) {
+        continue;
+      }
+      const Token& head = tok(m.pos);
+      Finding fd;
+      fd.file = f.rel_path;
+      fd.line = head.line;
+      fd.col = head.col;
+      fd.rule = spec.id;
+      fd.severity = spec.severity;
+      fd.message = "lambda passed to '" + t.text + "' writes to captured '" +
+                   m.name + "' with a possibly-empty lockset";
+      fd.hint = spec.hint;
+      out.push_back(std::move(fd));
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> ValueEngine::check_file(size_t file_index) const {
+  std::vector<Finding> out;
+  const AnalyzedFile& f = *files_[file_index];
+  for (size_t p = 0; p < protocols_.size(); ++p) {
+    const ProtocolSpec& spec = protocols_[p];
+    if (!spec.in_scope(f.rel_path)) continue;
+    if (spec.kind == ProtocolSpec::kWidth) {
+      for (size_t fn : graph_->functions_in(file_index)) {
+        if (spec.callers_try_suppresses && fn_try_covered_[fn] != 0) continue;
+        width_check(p, fn, &out);
+      }
+    } else if (spec.kind == ProtocolSpec::kLockset) {
+      std::vector<Finding> lock = lockset_check(p, file_index);
+      out.insert(out.end(), std::make_move_iterator(lock.begin()),
+                 std::make_move_iterator(lock.end()));
+    }
+  }
+  return out;
+}
+
+uint64_t ValueEngine::environment_hash() const {
+  uint64_t h = 1469598103934665603ull;
+  h = fnv1a_u64(h, kLatticeVersion);
+  for (const ProtocolSpec& spec : protocols_) {
+    if (spec.kind != ProtocolSpec::kWidth &&
+        spec.kind != ProtocolSpec::kLockset) {
+      continue;
+    }
+    h = fnv1a_str(h, spec.id);
+    h = fnv1a_str(h, spec.severity);
+    h = fnv1a_u64(h, static_cast<uint64_t>(spec.kind));
+    h = fnv1a_u64(h, (spec.try_suppresses ? 1u : 0u) |
+                         (spec.callers_try_suppresses ? 2u : 0u));
+    for (const std::string& s : spec.types) h = fnv1a_str(h, s);
+    for (const std::string& s : spec.scope) h = fnv1a_str(h, s);
+    for (const std::string& s : spec.fresh_init) h = fnv1a_str(h, s);
+    for (const std::string& s : spec.functions) h = fnv1a_str(h, s);
+    for (const std::string& s : spec.guards) h = fnv1a_str(h, s);
+    for (const ReadSpec& r : spec.reads) {
+      h = fnv1a_str(h, r.method);
+      h = fnv1a_u64(h, static_cast<uint64_t>(r.width));
+    }
+    for (const std::string& s : spec.pure) h = fnv1a_str(h, s);
+    for (const std::string& s : spec.lock_types) h = fnv1a_str(h, s);
+    for (const std::string& s : spec.atomic_prefixes) h = fnv1a_str(h, s);
+  }
+  const auto& fns = graph_->functions();
+  for (size_t fn = 0; fn < fns.size(); ++fn) {
+    h = fnv1a_str(h, files_[fns[fn].file_index]->rel_path);
+    h = fnv1a_str(h, fns[fn].def.qualified);
+    h = fnv1a_u64(h, fn_try_covered_[fn]);
+  }
+  for (const auto& req : width_required_) {
+    for (const auto& fentry : req) {
+      h = fnv1a_u64(h, fentry.first);
+      for (const auto& pentry : fentry.second) {
+        h = fnv1a_u64(h, pentry.first);
+        h = fnv1a_u64(h, static_cast<uint64_t>(pentry.second));
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace manrs::analyze

@@ -1,0 +1,138 @@
+// Value-aware analysis layer: a constant/interval lattice over integer
+// locals plus the two rule families built on it.
+//
+// The lattice is the classic three-tier interval domain: Bottom (no
+// information yet, the identity of join), a [lo, hi] range, and Unknown
+// (the sink -- anything the evaluator cannot prove lands here and never
+// recovers, which is what keeps the rules at zero false positives).
+// Joins take the convex hull; back-edges widen straight to Unknown so
+// loops converge immediately instead of crawling up the integer line.
+//
+// Two protocol kinds consume the lattice (parsed from protocols.txt by
+// typestate.h's parser, same registry/SARIF/cache plumbing):
+//
+//   kind width    -- quantitative upgrade of the binary cursor-guard
+//     typestate: at every ByteCursor/ByteReader read site the engine
+//     compares the bytes the read consumes (fixed-width u8..u64, or
+//     bytes(n)/skip(n)/sub(n) with n evaluated in the lattice) against
+//     the *budget* proved by the dominating can_read(k) /
+//     "remaining() >= k" guard. A read whose minimum consumption
+//     exceeds the proved budget is the can_read(8)-then-read-12 class
+//     binary typestate cannot see. Budgets only exist when the guard
+//     argument evaluates to a singleton interval; everything else is
+//     NoProof and stays silent. Interprocedurally, every (function,
+//     by-reference cursor parameter) gets a summary: the number of
+//     bytes the callee consumes on *every* path before establishing a
+//     guard of its own (a min-over-paths under-approximation, so a
+//     caller is only flagged when each path through the callee would
+//     overrun its proof). try-blocks and transitively try-covered
+//     call chains suppress, mirroring the cursor-guard attributes.
+//
+//   kind lockset  -- flow-aware replacement for the lexical
+//     parallel-capture heuristic: inside every parallel_for /
+//     parallel_map lambda, a write to a captured-by-reference location
+//     is accepted only if it is (a) to an atomic-typed name, (b) inside
+//     a live lock region (scoped_lock/lock_guard/unique_lock tracked
+//     from declaration to scope end, truncated by .unlock() and
+//     reopened by .lock()), (c) subscripted by the loop variable, or
+//     (d) subscripted by a local whose every assignment is a linear
+//     form of the loop variable with a provably nonzero coefficient
+//     (the out[slot] slot-indexing idiom). Everything else is a
+//     may-be-empty lockset on a shared location: a race.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/callgraph.h"
+#include "analyze/rule.h"
+#include "analyze/typestate.h"
+
+namespace manrs::analyze {
+
+/// Version of the value lattice + transfer semantics. Folded into the
+/// cache environment hash (a semantics change must invalidate cached
+/// per-file results) and stamped into BENCH_analyze.json runs.
+inline constexpr uint64_t kLatticeVersion = 1;
+
+struct Interval {
+  enum Kind { kBottom, kRange, kUnknown };
+  Kind kind = kBottom;
+  long long lo = 0;
+  long long hi = 0;
+
+  static Interval bottom() { return Interval{}; }
+  static Interval unknown() {
+    Interval v;
+    v.kind = kUnknown;
+    return v;
+  }
+  static Interval constant(long long c) { return range(c, c); }
+  static Interval range(long long lo, long long hi) {
+    Interval v;
+    v.kind = kRange;
+    v.lo = lo;
+    v.hi = hi;
+    return v;
+  }
+
+  bool is_singleton() const { return kind == kRange && lo == hi; }
+  bool operator==(const Interval& o) const {
+    if (kind != o.kind) return false;
+    if (kind != kRange) return true;
+    return lo == o.lo && hi == o.hi;
+  }
+  bool operator!=(const Interval& o) const { return !(*this == o); }
+};
+
+/// Least upper bound: Bottom is the identity, Unknown the sink,
+/// ranges take the convex hull.
+Interval interval_join(const Interval& a, const Interval& b);
+
+/// Widening for back-edges: any growth beyond `prev` jumps straight to
+/// Unknown (stable or narrowing values keep `prev`).
+Interval interval_widen(const Interval& prev, const Interval& next);
+
+/// Saturating interval arithmetic; Bottom propagates Bottom, Unknown
+/// propagates Unknown.
+Interval interval_add(const Interval& a, const Interval& b);
+Interval interval_sub(const Interval& a, const Interval& b);
+Interval interval_mul(const Interval& a, const Interval& b);
+
+class ValueEngine {
+ public:
+  /// `files` and `graph` must outlive the engine (same shared call
+  /// graph the typestate engine runs on, see build_call_graph).
+  /// Non-width/lockset protocols are ignored.
+  ValueEngine(std::vector<ProtocolSpec> protocols,
+              const std::vector<const AnalyzedFile*>& files,
+              const CallGraph* graph);
+
+  /// All width + lockset findings anchored in files[file_index],
+  /// unsorted.
+  std::vector<Finding> check_file(size_t file_index) const;
+
+  /// Digest of everything a file's value findings can depend on
+  /// besides its own content: the lattice version, the specs, the
+  /// width summaries, and per-function try coverage.
+  uint64_t environment_hash() const;
+
+ private:
+  void compute_try_cover();
+  void compute_width_summaries();
+  void width_check(size_t proto, size_t fn, std::vector<Finding>* out) const;
+  std::vector<Finding> lockset_check(size_t proto, size_t file_index) const;
+
+  std::vector<ProtocolSpec> protocols_;
+  std::vector<const AnalyzedFile*> files_;
+  const CallGraph* graph_;
+  // Transitive caller-try coverage: every call site of fn is in a try
+  // or in a function that is itself covered.
+  std::vector<uint8_t> fn_try_covered_;
+  // Per width protocol: fn -> param_index -> required bytes.
+  std::vector<std::map<size_t, std::map<size_t, long long>>> width_required_;
+};
+
+}  // namespace manrs::analyze

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "analyze/analyzer.h"
+#include "analyze/intervals.h"
 #include "analyze/output.h"
 
 namespace fs = std::filesystem;
@@ -103,10 +104,12 @@ void append_stats(const std::string& path,
   std::snprintf(buf, sizeof(buf),
                 "{\"files\": %zu, \"findings\": %zu, \"waived\": %zu, "
                 "\"cache\": %s, \"cache_hits\": %zu, \"cache_misses\": %zu, "
-                "\"wall_ms\": %.3f}",
+                "\"lattice\": %llu, \"wall_ms\": %.3f}",
                 result.files_scanned, result.findings.size(), result.waived,
                 cache_enabled ? "true" : "false", result.cache_hits,
-                result.cache_misses, wall_ms);
+                result.cache_misses,
+                static_cast<unsigned long long>(manrs::analyze::kLatticeVersion),
+                wall_ms);
   run << buf;
   runs.push_back(run.str());
 

@@ -77,7 +77,9 @@ void write_sarif(std::ostream& out, const AnalysisResult& result,
         << "\",\"shortDescription\":{\"text\":\"" << json_escape(info.summary)
         << "\"},\"help\":{\"text\":\"" << json_escape(info.hint)
         << "\"},\"defaultConfiguration\":{\"level\":\""
-        << (info.severity == "error" ? "error" : "warning")
+        << (info.severity == "error"
+                ? "error"
+                : info.severity == "info" ? "note" : "warning")
         << "\"}}";
   }
   out << "]}},\"results\":[";
@@ -86,7 +88,9 @@ void write_sarif(std::ostream& out, const AnalysisResult& result,
     if (!first) out << ",";
     first = false;
     out << "{\"ruleId\":\"" << json_escape(f.rule) << "\",\"level\":\""
-        << (f.severity == "error" ? "error" : "warning")
+        << (f.severity == "error"
+                ? "error"
+                : f.severity == "info" ? "note" : "warning")
         << "\",\"message\":{\"text\":\"" << json_escape(f.message)
         << "\"},\"locations\":[{\"physicalLocation\":{"
         << "\"artifactLocation\":{\"uri\":\"" << json_escape(f.file)

@@ -1,5 +1,7 @@
-// The four rules regex cannot express: they need scopes, declarations,
-// and call sites.
+// The three rules regex cannot express: they need scopes, declarations,
+// and call sites. (The parallel-capture race heuristic that used to
+// live here was replaced by the flow-aware lockset-race protocol in
+// intervals.cpp.)
 //
 //   determinism-iteration  range-for over an unordered container that
 //                          mutates an accumulator: iteration order is
@@ -8,11 +10,6 @@
 //                          sort-then-scan shape, recognized here) the
 //                          output bytes depend on the stdlib -- the
 //                          filter_variant bug class.
-//   parallel-capture       a [&] lambda handed to util::parallel_for /
-//                          parallel_map that writes to a captured
-//                          variable not indexed by the loop variable --
-//                          the data-race shape TSan only catches when a
-//                          test happens to interleave.
 //   layer-violation        a first-party include edge not declared in
 //                          tools/analyze/layers.txt.
 //   parse-throw-boundary   a throw of anything but ParseError/MrtError
@@ -336,124 +333,6 @@ class DeterminismIterationRule final : public Rule {
   }
 };
 
-class ParallelCaptureRule final : public Rule {
- public:
-  const RuleInfo& info() const override {
-    static const RuleInfo kInfo = {
-        "parallel-capture", "error",
-        "a [&] lambda given to util::parallel_for/parallel_map writes to a "
-        "captured variable without indexing by the loop variable -- a data "
-        "race TSan only catches when a test happens to interleave",
-        "collect into index-addressed slots (out[i] = ...) and merge "
-        "serially afterwards (docs/performance.md), or use an atomic"};
-    return kInfo;
-  }
-
-  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
-    // Names declared with atomic/mutex-guard types anywhere in the file
-    // are synchronization, not races.
-    std::set<std::string> synced;
-    for (size_t i = 0; i + 1 < ctx.size(); ++i) {
-      const Token& t = ctx.tok(i);
-      if (t.kind != TokenKind::kIdentifier) continue;
-      if (t.text.rfind("atomic", 0) != 0 && t.text != "mutex" &&
-          t.text != "lock_guard" && t.text != "unique_lock" &&
-          t.text != "scoped_lock") {
-        continue;
-      }
-      size_t j = i + 1;
-      if (ctx.tok(j).is_punct("<")) {
-        int depth = 0;
-        for (; j < ctx.size() && j < i + 64; ++j) {
-          if (ctx.tok(j).is_punct("<")) ++depth;
-          if (ctx.tok(j).is_punct(">") && --depth == 0) break;
-          if (ctx.tok(j).is_punct(">>")) {
-            depth -= 2;
-            if (depth <= 0) break;
-          }
-        }
-        ++j;
-      }
-      if (j < ctx.size() && ctx.tok(j).kind == TokenKind::kIdentifier) {
-        synced.insert(ctx.tok(j).text);
-      }
-    }
-
-    for (size_t i = 0; i < ctx.size(); ++i) {
-      const Token& t = ctx.tok(i);
-      if (t.kind != TokenKind::kIdentifier ||
-          (t.text != "parallel_for" && t.text != "parallel_map")) {
-        continue;
-      }
-      size_t j = i + 1;
-      if (j < ctx.size() && ctx.tok(j).is_punct("<")) {
-        int depth = 0;
-        for (; j < ctx.size() && j < i + 64; ++j) {
-          if (ctx.tok(j).is_punct("<")) ++depth;
-          if (ctx.tok(j).is_punct(">") && --depth == 0) break;
-        }
-        ++j;
-      }
-      if (j >= ctx.size() || !ctx.tok(j).is_punct("(")) continue;
-      size_t call_close = ctx.match(j);
-      if (call_close == FileContext::npos) continue;
-
-      // Find a [&] capture inside the argument list.
-      size_t cap = FileContext::npos;
-      for (size_t k = j + 1; k + 2 < call_close; ++k) {
-        if (ctx.tok(k).is_punct("[") && ctx.tok(k + 1).is_punct("&") &&
-            ctx.tok(k + 2).is_punct("]")) {
-          cap = k;
-          break;
-        }
-      }
-      if (cap == FileContext::npos) continue;
-
-      std::set<std::string> locals;
-      std::string loop_var;
-      size_t after_params = cap + 3;
-      if (after_params < call_close && ctx.tok(after_params).is_punct("(")) {
-        size_t pclose = ctx.match(after_params);
-        if (pclose == FileContext::npos) continue;
-        for (size_t k = after_params + 1; k < pclose; ++k) {
-          if (ctx.tok(k).kind == TokenKind::kIdentifier) {
-            locals.insert(ctx.tok(k).text);
-            loop_var = ctx.tok(k).text;  // last identifier of the list
-          }
-        }
-        after_params = pclose + 1;
-      }
-      // Skip specifiers to the body brace.
-      size_t bopen = after_params;
-      while (bopen < call_close && !ctx.tok(bopen).is_punct("{")) ++bopen;
-      if (bopen >= call_close) continue;
-      size_t bclose = ctx.match(bopen);
-      if (bclose == FileContext::npos) continue;
-
-      collect_locals(ctx, bopen + 1, bclose, locals);
-      std::vector<Mutation> muts =
-          scan_mutations(ctx, bopen + 1, bclose, locals, loop_var);
-      bool has_guard = false;
-      for (size_t k = bopen + 1; k < bclose; ++k) {
-        const Token& g = ctx.tok(k);
-        if (g.is_ident("lock_guard") || g.is_ident("unique_lock") ||
-            g.is_ident("scoped_lock")) {
-          has_guard = true;
-        }
-      }
-      for (const Mutation& m : muts) {
-        if (m.indexed_by_var) continue;
-        if (synced.count(m.name) != 0 || has_guard) continue;
-        out.push_back(ctx.finding(
-            *this, m.pos,
-            "lambda passed to " + t.text + " writes to captured '" + m.name +
-                "' without indexing by loop variable '" +
-                (loop_var.empty() ? std::string("<none>") : loop_var) + "'"));
-      }
-    }
-  }
-};
-
 class LayerViolationRule final : public Rule {
  public:
   const RuleInfo& info() const override {
@@ -561,7 +440,6 @@ class ParseThrowBoundaryRule final : public Rule {
 std::vector<std::unique_ptr<Rule>> make_contract_rules() {
   std::vector<std::unique_ptr<Rule>> rules;
   rules.push_back(std::make_unique<DeterminismIterationRule>());
-  rules.push_back(std::make_unique<ParallelCaptureRule>());
   rules.push_back(std::make_unique<LayerViolationRule>());
   rules.push_back(std::make_unique<ParseThrowBoundaryRule>());
   return rules;

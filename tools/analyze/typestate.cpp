@@ -1,6 +1,7 @@
 #include "analyze/typestate.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 #include <sstream>
 
@@ -44,16 +45,6 @@ std::vector<std::string> split_ws(const std::string& s) {
   while (in >> w) out.push_back(w);
   return out;
 }
-
-/// A lambda expression located in the code view.
-struct LambdaExpr {
-  size_t lbracket = npos;   // '['
-  size_t cap_close = npos;  // matching ']'
-  size_t body_open = npos;  // '{'
-  size_t body_close = npos; // matching '}'
-  size_t params_open = npos;   // '(' of the parameter list, npos if none
-  size_t params_close = npos;
-};
 
 }  // namespace
 
@@ -117,6 +108,16 @@ std::vector<ProtocolSpec> parse_protocols(const std::string& text,
       if (cur->kind == ProtocolSpec::kTypestate && cur->types.empty()) {
         return fail("protocol '" + cur->id + "' declares no tracked types");
       }
+      if (cur->kind == ProtocolSpec::kWidth &&
+          (cur->types.empty() || cur->reads.empty() || cur->guards.empty())) {
+        return fail("width protocol '" + cur->id +
+                    "' needs type, guard, and read directives");
+      }
+      if (cur->kind == ProtocolSpec::kLockset &&
+          (cur->functions.empty() || cur->lock_types.empty())) {
+        return fail("lockset protocol '" + cur->id +
+                    "' needs functions and lock directives");
+      }
       cur = nullptr;
       continue;
     }
@@ -125,6 +126,10 @@ std::vector<ProtocolSpec> parse_protocols(const std::string& text,
         cur->kind = ProtocolSpec::kNesting;
       } else if (rest == "typestate") {
         cur->kind = ProtocolSpec::kTypestate;
+      } else if (rest == "width") {
+        cur->kind = ProtocolSpec::kWidth;
+      } else if (rest == "lockset") {
+        cur->kind = ProtocolSpec::kLockset;
       } else {
         return fail("unknown kind '" + rest + "'");
       }
@@ -163,6 +168,30 @@ std::vector<ProtocolSpec> parse_protocols(const std::string& text,
       cur->fresh_init = split_ws(rest);
     } else if (key == "functions") {
       cur->functions = split_ws(rest);
+    } else if (key == "guard") {
+      cur->guards = split_ws(rest);
+    } else if (key == "read") {
+      std::vector<std::string> w = split_ws(rest);
+      if (w.size() != 2) return fail("read needs '<method> <bytes|arg>'");
+      ReadSpec rs;
+      rs.method = w[0];
+      if (w[1] == "arg") {
+        rs.width = -1;
+      } else {
+        char* end_ptr = nullptr;
+        long v = std::strtol(w[1].c_str(), &end_ptr, 10);
+        if (end_ptr == nullptr || *end_ptr != '\0' || v < 0) {
+          return fail("read width must be a byte count or 'arg'");
+        }
+        rs.width = static_cast<int>(v);
+      }
+      cur->reads.push_back(std::move(rs));
+    } else if (key == "pure") {
+      cur->pure = split_ws(rest);
+    } else if (key == "lock") {
+      cur->lock_types = split_ws(rest);
+    } else if (key == "atomic") {
+      cur->atomic_prefixes = split_ws(rest);
     } else if (key == "on") {
       std::istringstream ts(rest);
       std::string state, method, arrow;
@@ -200,132 +229,12 @@ std::vector<ProtocolSpec> parse_protocols(const std::string& text,
 
 // ---------------------------------------------------------------------------
 
-namespace {
-
-/// Locate the lambda argument of a call whose name token is at `call`.
-/// Returns lbracket == npos when no lambda literal is found.
-LambdaExpr find_lambda_arg(const AnalyzedFile& f, size_t call) {
-  auto tok = [&](size_t i) -> const Token& { return f.tokens[f.code[i]]; };
-  LambdaExpr lam;
-  size_t open = call + 1;
-  // parallel_map<T>(...): jump the template argument list.
-  if (open < f.code.size() && tok(open).is_punct("<")) {
-    int depth = 0;
-    for (size_t j = open; j < f.code.size() && j < open + 64; ++j) {
-      if (tok(j).is_punct("<")) ++depth;
-      if (tok(j).is_punct(">") && --depth == 0) {
-        open = j + 1;
-        break;
-      }
-      if (tok(j).is_punct(">>")) {
-        depth -= 2;
-        if (depth <= 0) {
-          open = j + 1;
-          break;
-        }
-      }
-    }
-  }
-  if (open >= f.code.size() || !tok(open).is_punct("(") ||
-      f.match[open] == npos) {
-    return lam;
-  }
-  size_t close = f.match[open];
-  for (size_t j = open + 1; j < close; ++j) {
-    if (tok(j).is_punct("[") && f.match[j] != npos && f.match[j] < close) {
-      size_t cc = f.match[j];
-      size_t k = cc + 1;
-      LambdaExpr cand;
-      cand.lbracket = j;
-      cand.cap_close = cc;
-      if (k < close && tok(k).is_punct("(") && f.match[k] != npos) {
-        cand.params_open = k;
-        cand.params_close = f.match[k];
-        k = f.match[k] + 1;
-      }
-      // skip mutable / noexcept / trailing return
-      while (k < close && !tok(k).is_punct("{") && k < cc + 48) ++k;
-      if (k < close && tok(k).is_punct("{") && f.match[k] != npos) {
-        cand.body_open = k;
-        cand.body_close = f.match[k];
-        return cand;
-      }
-    }
-  }
-  return lam;
-}
-
-/// True when the capture list takes `name` by reference: a bare '&'
-/// default not overridden by a by-value mention of `name`, or an
-/// explicit "&name".
-bool captures_by_ref(const AnalyzedFile& f, const LambdaExpr& lam,
-                     const std::string& name) {
-  auto tok = [&](size_t i) -> const Token& { return f.tokens[f.code[i]]; };
-  bool ref_default = false;
-  bool by_value = false;
-  bool by_ref = false;
-  for (size_t j = lam.lbracket + 1; j < lam.cap_close; ++j) {
-    const Token& t = tok(j);
-    if (t.is_punct("&")) {
-      if (j + 1 < lam.cap_close && tok(j + 1).kind == TokenKind::kIdentifier) {
-        if (tok(j + 1).text == name) by_ref = true;
-        ++j;
-      } else {
-        ref_default = true;
-      }
-      continue;
-    }
-    if (t.kind == TokenKind::kIdentifier && t.text == name) {
-      // "[i]" / "[&, i]" / "[i = expr]" -- a by-value (re)binding.
-      by_value = true;
-    }
-  }
-  if (by_ref) return true;
-  if (by_value) return false;
-  return ref_default;
-}
-
-/// Name of the last parameter of a lambda ("size_t i" -> "i").
-std::string last_param_name(const AnalyzedFile& f, const LambdaExpr& lam) {
-  if (lam.params_open == npos) return "";
-  auto tok = [&](size_t i) -> const Token& { return f.tokens[f.code[i]]; };
-  std::string name;
-  for (size_t j = lam.params_open + 1; j < lam.params_close; ++j) {
-    if (tok(j).kind == TokenKind::kIdentifier) name = tok(j).text;
-  }
-  return name;
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-
-namespace {
-
-/// Build (defs, cfgs) for every file, fanned out over the pool, and
-/// hand them to the call graph.
-CallGraph make_graph(const std::vector<const AnalyzedFile*>& files) {
-  std::vector<std::vector<FunctionDef>> defs(files.size());
-  std::vector<std::vector<Cfg>> cfgs(files.size());
-  util::parallel_for(files.size(), [&](size_t i) {
-    defs[i] = find_functions(*files[i]);
-    cfgs[i].reserve(defs[i].size());
-    for (const FunctionDef& fn : defs[i]) {
-      cfgs[i].push_back(build_cfg(*files[i], fn));
-    }
-  });
-  return CallGraph(files, std::move(defs), std::move(cfgs));
-}
-
-}  // namespace
-
 TypestateEngine::TypestateEngine(
     std::vector<ProtocolSpec> protocols,
-    const std::vector<const AnalyzedFile*>& files)
-    : protocols_(std::move(protocols)),
-      files_(files),
-      graph_(make_graph(files)) {
-  const size_t nfns = graph_.functions().size();
+    const std::vector<const AnalyzedFile*>& files,
+    const CallGraph* graph)
+    : protocols_(std::move(protocols)), files_(files), graph_(graph) {
+  const size_t nfns = graph_->functions().size();
   vars_.resize(protocols_.size());
   events_.resize(protocols_.size());
   summaries_.resize(protocols_.size());
@@ -336,7 +245,7 @@ TypestateEngine::TypestateEngine(
     summaries_[p].resize(nfns);
   }
   util::parallel_for(nfns, [&](size_t fn) {
-    const FunctionUnit& u = graph_.functions()[fn];
+    const FunctionUnit& u = graph_->functions()[fn];
     const AnalyzedFile& f = *files_[u.file_index];
     for (size_t p = 0; p < protocols_.size(); ++p) {
       const ProtocolSpec& proto = protocols_[p];
@@ -350,7 +259,7 @@ TypestateEngine::TypestateEngine(
   });
   fn_callers_all_try_.resize(nfns, 0);
   for (size_t fn = 0; fn < nfns; ++fn) {
-    fn_callers_all_try_[fn] = graph_.all_callers_in_try(fn) ? 1 : 0;
+    fn_callers_all_try_[fn] = graph_->all_callers_in_try(fn) ? 1 : 0;
   }
   compute_summaries();
 }
@@ -374,7 +283,7 @@ void TypestateEngine::run_flow(size_t proto, size_t fn,
                                uint64_t* exit_mask,
                                std::vector<FlowError>* errors) const {
   const ProtocolSpec& spec = protocols_[proto];
-  const Cfg& cfg = graph_.functions()[fn].cfg;
+  const Cfg& cfg = graph_->functions()[fn].cfg;
   const size_t nblocks = cfg.blocks.size();
   const uint64_t unknown = unknown_bit(proto);
   const size_t nstates = spec.states.size();
@@ -419,7 +328,7 @@ void TypestateEngine::run_flow(size_t proto, size_t fn,
         }
         case Event::kPassedTo: {
           std::vector<size_t> cands =
-              graph_.resolve(e.callee_terminal, e.callee_qualified);
+              graph_->resolve(e.callee_terminal, e.callee_qualified);
           if (cands.empty()) {
             mask = unknown;  // external call: anything may happen
             break;
@@ -427,7 +336,7 @@ void TypestateEngine::run_flow(size_t proto, size_t fn,
           uint64_t next = mask & unknown;
           bool bail_unknown = false;
           for (size_t cand : cands) {
-            const FunctionDef& cd = graph_.functions()[cand].def;
+            const FunctionDef& cd = graph_->functions()[cand].def;
             if (e.arg_index >= cd.params.size()) {
               bail_unknown = true;
               break;
@@ -511,7 +420,7 @@ void TypestateEngine::run_flow(size_t proto, size_t fn,
 }
 
 void TypestateEngine::compute_summaries() {
-  const size_t nfns = graph_.functions().size();
+  const size_t nfns = graph_->functions().size();
   // Seed: every tracked reference parameter gets a bottom summary.
   for (size_t p = 0; p < protocols_.size(); ++p) {
     const ProtocolSpec& spec = protocols_[p];
@@ -592,7 +501,7 @@ std::vector<Finding> TypestateEngine::check_file(size_t file_index) const {
     const ProtocolSpec& spec = protocols_[p];
     if (spec.kind != ProtocolSpec::kTypestate) continue;
     if (!spec.in_scope(f.rel_path)) continue;
-    for (size_t fn : graph_.functions_in(file_index)) {
+    for (size_t fn : graph_->functions_in(file_index)) {
       const std::vector<TrackedVar>& vars = vars_[p][fn];
       if (vars.empty()) continue;
       if (spec.callers_try_suppresses && fn_callers_all_try_[fn] != 0) {
@@ -663,10 +572,10 @@ std::vector<Finding> TypestateEngine::lexical_checks(size_t file_index) const {
       if (!spec.in_scope(f.rel_path)) continue;
       // Innermost enclosing function definition.
       size_t encl = npos;
-      for (size_t fn : graph_.functions_in(file_index)) {
-        const FunctionDef& d = graph_.functions()[fn].def;
+      for (size_t fn : graph_->functions_in(file_index)) {
+        const FunctionDef& d = graph_->functions()[fn].def;
         if (d.open < i && i < d.close &&
-            (encl == npos || d.open > graph_.functions()[encl].def.open)) {
+            (encl == npos || d.open > graph_->functions()[encl].def.open)) {
           encl = fn;
         }
       }
@@ -745,6 +654,14 @@ uint64_t TypestateEngine::environment_hash() const {
     for (const std::string& s : spec.scope) h = fnv1a_str(h, s);
     for (const std::string& s : spec.fresh_init) h = fnv1a_str(h, s);
     for (const std::string& s : spec.functions) h = fnv1a_str(h, s);
+    for (const std::string& s : spec.guards) h = fnv1a_str(h, s);
+    for (const ReadSpec& r : spec.reads) {
+      h = fnv1a_str(h, r.method);
+      h = fnv1a_u64(h, static_cast<uint64_t>(r.width));
+    }
+    for (const std::string& s : spec.pure) h = fnv1a_str(h, s);
+    for (const std::string& s : spec.lock_types) h = fnv1a_str(h, s);
+    for (const std::string& s : spec.atomic_prefixes) h = fnv1a_str(h, s);
     h = fnv1a_u64(h, static_cast<uint64_t>(spec.kind));
     h = fnv1a_u64(h, static_cast<uint64_t>(spec.start));
     h = fnv1a_u64(h, (spec.try_suppresses ? 1u : 0u) |
@@ -758,8 +675,8 @@ uint64_t TypestateEngine::environment_hash() const {
       h = fnv1a_u64(h, tr.is_error ? 1 : 0);
     }
   }
-  for (size_t fn = 0; fn < graph_.functions().size(); ++fn) {
-    const FunctionUnit& u = graph_.functions()[fn];
+  for (size_t fn = 0; fn < graph_->functions().size(); ++fn) {
+    const FunctionUnit& u = graph_->functions()[fn];
     h = fnv1a_str(h, files_[u.file_index]->rel_path);
     h = fnv1a_str(h, u.def.qualified);
     h = fnv1a_u64(h, fn_callers_all_try_[fn]);

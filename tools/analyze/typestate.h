@@ -46,8 +46,15 @@ struct ProtocolTransition {
   std::string message;      // error text when is_error
 };
 
+/// A consuming read method for kWidth protocols: a fixed byte width,
+/// or width -1 meaning "the first argument, evaluated as an interval".
+struct ReadSpec {
+  std::string method;
+  int width = 0;
+};
+
 struct ProtocolSpec {
-  enum Kind { kTypestate, kNesting };
+  enum Kind { kTypestate, kNesting, kWidth, kLockset };
   Kind kind = kTypestate;
   std::string id;        // rule id ("rib-typestate")
   std::string severity = "error";
@@ -62,8 +69,15 @@ struct ProtocolSpec {
                                         // call site of the function is in try
   bool no_share_parallel = false;
   std::vector<std::string> fresh_init;  // methods returning a fresh object
-  std::vector<std::string> functions;   // kNesting: the fan-out entry points
+  std::vector<std::string> functions;   // kNesting/kLockset: fan-out entries
   std::vector<ProtocolTransition> table;
+  // kWidth-only vocabulary.
+  std::vector<std::string> guards;      // can_read/remaining-style proofs
+  std::vector<ReadSpec> reads;          // consuming methods + byte widths
+  std::vector<std::string> pure;        // non-consuming methods (done, data)
+  // kLockset-only vocabulary.
+  std::vector<std::string> lock_types;      // scoped RAII lock type terminals
+  std::vector<std::string> atomic_prefixes; // type prefixes treated as atomic
 
   bool in_scope(const std::string& rel_path) const;
   int state_index(const std::string& name) const;
@@ -76,11 +90,12 @@ std::vector<ProtocolSpec> parse_protocols(const std::string& text,
 
 class TypestateEngine {
  public:
-  /// Builds per-file function lists + CFGs (fanned out through
-  /// util::parallel_for), the cross-TU call graph, and the summary
-  /// fixpoint. `files` must outlive the engine.
+  /// Builds per-protocol tracked vars/events over a shared cross-TU
+  /// call graph (see build_call_graph) and runs the summary fixpoint.
+  /// `files` and `graph` must outlive the engine.
   TypestateEngine(std::vector<ProtocolSpec> protocols,
-                  const std::vector<const AnalyzedFile*>& files);
+                  const std::vector<const AnalyzedFile*>& files,
+                  const CallGraph* graph);
 
   /// All findings anchored in files[file_index] (local misuse plus
   /// call-site findings produced by callee summaries), unsorted.
@@ -120,7 +135,7 @@ class TypestateEngine {
 
   std::vector<ProtocolSpec> protocols_;
   std::vector<const AnalyzedFile*> files_;
-  CallGraph graph_;
+  const CallGraph* graph_;
   // Per protocol, per function: tracked vars + per-block events.
   std::vector<std::vector<std::vector<TrackedVar>>> vars_;
   std::vector<std::vector<std::vector<std::vector<Event>>>> events_;

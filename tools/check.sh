@@ -27,10 +27,13 @@
 #   6. manrs_analyze (tools/analyze/): the repo's own flow-aware
 #      analyzer -- fails on any unwaived finding, writes a SARIF
 #      artifact to out/analyze.sarif, self-checks its own sources,
-#      verifies the incremental cache (warm re-scan byte-identical to
-#      the cold scan, timings appended to BENCH_analyze.json), runs
-#      the baseline diff gate, and exercises the legacy
-#      tools/lint_wire.py entry point as a shim over the same binary
+#      sanity-checks the value layer (cursor-width / lockset-race /
+#      unused-waiver must fire on the fixture corpus), verifies the
+#      incremental cache (warm re-scan byte-identical to the cold
+#      scan, timings + lattice version appended to
+#      BENCH_analyze.json), runs the baseline diff gate, and
+#      exercises the legacy tools/lint_wire.py entry point as a shim
+#      over the same binary
 #
 # Exit 0 iff every stage that could run passed. See
 # docs/static-analysis.md for the policy behind each stage.
@@ -189,6 +192,18 @@ mkdir -p out
 
 step "analyze: self-check (tools/analyze over itself)"
 "$analyze_bin" --root "$repo_root" tools/analyze
+
+step "analyze: value layer (fixture corpus sanity)"
+# The interval/lockset tier must keep firing on the fixture corpus: a
+# silent engine regression would otherwise only show as "repo still
+# clean". Exit 1 is expected (the corpus is deliberately broken).
+fixtures_json=$("$analyze_bin" --root "$repo_root/tests/analyze_fixtures/tree" \
+  --json || true)
+for rule in cursor-width lockset-race unused-waiver; do
+  grep -q "\"rule\":\"$rule\"" <<<"$fixtures_json" || {
+    echo "value-layer rule never fired on fixtures: $rule" >&2; exit 1; }
+done
+echo "-- cursor-width, lockset-race, unused-waiver all fire on fixtures"
 
 step "analyze: incremental cache (cold vs warm scan)"
 # Two cached scans from a cold cache: the warm re-scan must reproduce
